@@ -1,0 +1,42 @@
+# Convenience targets for the spatialest reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments figures examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full scale.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Render the paper's illustrations (Figures 1-4, 7) as SVG.
+figures:
+	$(GO) run ./cmd/partview -all figures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compare
+	$(GO) run ./examples/queryoptimizer
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/ingest
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf figures

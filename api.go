@@ -1,0 +1,182 @@
+package spatialest
+
+// Additional public surface: the statistics catalog, the cost-based
+// planner with spatial join estimation, WKT ingestion, persisted
+// histograms, and the Hilbert-packed R-tree loader.
+
+import (
+	"io"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/feedback"
+	"repro/internal/geojson"
+	"repro/internal/planner"
+	"repro/internal/rtree"
+	"repro/internal/synthetic"
+	"repro/internal/trace"
+	"repro/internal/wkt"
+)
+
+// Catalog is a thread-safe statistics catalog: named Min-Skew
+// histograms with ANALYZE-style builds, churn-driven staleness
+// tracking and directory persistence.
+type Catalog = catalog.Catalog
+
+// CatalogConfig sets the catalog's statistics policy.
+type CatalogConfig = catalog.Config
+
+// NewCatalog creates an empty statistics catalog.
+func NewCatalog(cfg CatalogConfig) *Catalog { return catalog.New(cfg) }
+
+// Planner chooses access paths for range predicates from estimates.
+type Planner = planner.Planner
+
+// CostModel holds the planner's cost constants.
+type CostModel = planner.CostModel
+
+// Plan is a planner decision.
+type Plan = planner.Plan
+
+// DefaultCostModel mirrors the usual random-versus-sequential penalty.
+func DefaultCostModel() CostModel { return planner.DefaultCostModel() }
+
+// NewPlanner creates a planner over a table of n tuples summarized by
+// est.
+func NewPlanner(est Estimator, n int, model CostModel) (*Planner, error) {
+	return planner.New(est, n, model)
+}
+
+// EstimateJoin estimates the intersection-join cardinality of the two
+// rectangle sets summarized by the histograms.
+func EstimateJoin(r, s *Histogram) (float64, error) { return planner.EstimateJoin(r, s) }
+
+// ParseWKT parses one Well-Known Text geometry (POINT, LINESTRING,
+// POLYGON and MULTI variants) and returns its minimum bounding
+// rectangle; ok is false for EMPTY geometries.
+func ParseWKT(s string) (r Rect, ok bool, err error) { return wkt.ParseMBR(s) }
+
+// ReadWKTDataset parses one WKT geometry per line and returns their
+// MBRs as a dataset.
+func ReadWKTDataset(r io.Reader) (*Dataset, error) { return wkt.ReadDataset(r) }
+
+// ParseGeoJSON parses a GeoJSON document (geometry, Feature or
+// FeatureCollection) and returns the MBR of its contents; ok is false
+// when the document holds no coordinates.
+func ParseGeoJSON(data []byte) (r Rect, ok bool, err error) { return geojson.ParseMBR(data) }
+
+// ReadGeoJSONDataset parses a GeoJSON document into one MBR per
+// geometry.
+func ReadGeoJSONDataset(r io.Reader) (*Dataset, error) { return geojson.ReadDataset(r) }
+
+// ReadHistogram deserializes a histogram persisted with
+// Histogram.WriteTo.
+func ReadHistogram(r io.Reader) (*Histogram, error) { return core.ReadHistogram(r) }
+
+// Neighbor is one k-nearest-neighbor result from RTree.NearestNeighbors.
+type Neighbor = rtree.Neighbor
+
+// HilbertLoad bulk-loads an R-tree by Hilbert-sorting the rectangle
+// centers; entry i gets identifier i.
+func HilbertLoad(rects []Rect, maxEntries int) *RTree {
+	return rtree.HilbertLoad(rects, maxEntries)
+}
+
+// FeedbackConfig controls the adaptive correction grid of
+// NewFeedback.
+type FeedbackConfig = feedback.Config
+
+// FeedbackEstimator wraps a base estimator with query-feedback
+// learning: Observe folds executed queries' true result sizes into a
+// grid of multiplicative corrections (adaptive estimation in the
+// spirit of [CR94]).
+type FeedbackEstimator = feedback.Estimator
+
+// NewFeedback wraps base with a feedback correction grid over bounds.
+func NewFeedback(base Estimator, bounds Rect, cfg FeedbackConfig) (*FeedbackEstimator, error) {
+	return feedback.New(base, bounds, cfg)
+}
+
+// AVIKind selects the marginal histogram type used by NewAVI.
+type AVIKind = core.AVIKind
+
+// Marginal histogram kinds for NewAVI.
+const (
+	AVIEquiDepth = core.AVIEquiDepth
+	AVIEquiWidth = core.AVIEquiWidth
+	AVIVOptimal  = core.AVIVOptimal
+)
+
+// NewAVI builds the attribute-value-independence baseline: two
+// one-dimensional histograms over the x and y centers whose range
+// fractions are multiplied. It ignores coordinate correlation and
+// quantifies what the two-dimensional partitionings buy.
+func NewAVI(d *Dataset, buckets int, kind AVIKind) (*core.AVIEstimator, error) {
+	return core.NewAVI(d, buckets, kind)
+}
+
+// AutoMinSkewOptions configures NewMinSkewAuto.
+type AutoMinSkewOptions = core.AutoMinSkewConfig
+
+// AutoTuneInfo reports the resolutions NewMinSkewAuto considered and
+// chose.
+type AutoTuneInfo = core.AutoTuneInfo
+
+// NewMinSkewAuto builds Min-Skew with an automatically selected grid
+// resolution — the paper's open question of picking the region count,
+// answered by measuring each candidate partition's spatial skew on
+// the finest grid and stopping at the knee.
+func NewMinSkewAuto(d *Dataset, opts AutoMinSkewOptions) (*Histogram, AutoTuneInfo, error) {
+	return core.NewMinSkewAuto(d, opts)
+}
+
+// OptimalBSPOptions configures NewOptimalBSP.
+type OptimalBSPOptions = core.OptimalBSPConfig
+
+// NewOptimalBSP builds the exact minimum-spatial-skew BSP by dynamic
+// programming. Only small grids and budgets are accepted; it exists to
+// measure how close greedy Min-Skew gets to optimal.
+func NewOptimalBSP(d *Dataset, opts OptimalBSPOptions) (*Histogram, error) {
+	return core.NewOptimalBSP(d, opts)
+}
+
+// PartitionSkews returns the total spatial skew achieved by greedy
+// Min-Skew and by the exact optimal BSP on the same grid.
+func PartitionSkews(d *Dataset, opts OptimalBSPOptions) (greedy, optimal float64, err error) {
+	return core.PartitionSkews(d, opts)
+}
+
+// SequoiaPoints generates a Sequoia-2000-like point dataset.
+func SequoiaPoints(n int, space float64, seed int64) *Dataset {
+	return synthetic.SequoiaPoints(n, space, seed)
+}
+
+// Trace is a persisted evaluation workload: queries plus their exact
+// result sizes, replayable against any estimator.
+type Trace = trace.Trace
+
+// CaptureTrace records the exact answers of the queries.
+func CaptureTrace(oracle Oracle, queries []Rect) *Trace { return trace.Capture(oracle, queries) }
+
+// SaveTrace writes a trace to a file.
+func SaveTrace(path string, t *Trace) error { return trace.Save(path, t) }
+
+// LoadTrace reads a trace from a file.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// NewQuadTreeHist builds buckets from the leaves of a PR quadtree over
+// the input, a second index-derived grouping alongside the R-tree
+// technique.
+func NewQuadTreeHist(d *Dataset, buckets int) (*Histogram, error) {
+	return core.NewQuadTreeHist(d, buckets)
+}
+
+// RTreeLoad selects the construction method of NewRTreeHistogram.
+type RTreeLoad = core.RTreeLoad
+
+// R-tree histogram construction methods.
+const (
+	LoadInsert  = core.LoadInsert
+	LoadSTR     = core.LoadSTR
+	LoadHilbert = core.LoadHilbert
+)

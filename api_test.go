@@ -1,0 +1,109 @@
+package spatialest_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	spatialest "repro"
+)
+
+func TestCatalogPublicAPI(t *testing.T) {
+	cat := spatialest.NewCatalog(spatialest.CatalogConfig{Buckets: 30, Regions: 400})
+	d := spatialest.UniformData(2000, 1000, 5, 15, 1)
+	if err := cat.Analyze("parcels", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cat.Estimate("parcels", spatialest.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2000) > 200 {
+		t.Fatalf("covering estimate = %g", got)
+	}
+}
+
+func TestPlannerPublicAPI(t *testing.T) {
+	d := spatialest.UniformData(50000, 10000, 10, 40, 2)
+	hist, err := spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spatialest.NewPlanner(hist, d.N(), spatialest.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := p.Choose(spatialest.NewRect(0, 0, 100, 100))
+	if plan.Rows < 0 || plan.Cost <= 0 {
+		t.Fatalf("plan = %v", plan)
+	}
+	// Join estimate on identical sets roughly squares the density.
+	j, err := spatialest.EstimateJoin(hist, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j <= 0 {
+		t.Fatalf("join estimate = %g", j)
+	}
+}
+
+func TestWKTPublicAPI(t *testing.T) {
+	r, ok, err := spatialest.ParseWKT("POLYGON ((0 0, 4 0, 4 4, 0 0))")
+	if err != nil || !ok {
+		t.Fatalf("ParseWKT: %v, ok=%v", err, ok)
+	}
+	if r != spatialest.NewRect(0, 0, 4, 4) {
+		t.Fatalf("MBR = %v", r)
+	}
+	d, err := spatialest.ReadWKTDataset(strings.NewReader("POINT (1 2)\nPOINT (3 4)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 {
+		t.Fatalf("N = %d", d.N())
+	}
+}
+
+func TestHistogramPersistencePublicAPI(t *testing.T) {
+	d := spatialest.Charminar(2000, 1000, 10, 3)
+	hist, err := spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: 20, Regions: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := hist.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spatialest.ReadHistogram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spatialest.NewRect(50, 50, 400, 400)
+	if hist.Estimate(q) != back.Estimate(q) {
+		t.Fatal("persisted histogram estimates differ")
+	}
+}
+
+func TestHilbertAndRTreeMethodsPublicAPI(t *testing.T) {
+	d := spatialest.Clusters(3000, 4, 1000, 0.03, 2, 10, 4)
+	h := spatialest.HilbertLoad(d.Rects(), 32)
+	if h.Len() != d.N() {
+		t.Fatalf("Hilbert Len = %d", h.Len())
+	}
+	q := spatialest.NewRect(0, 0, 400, 400)
+	str := spatialest.STRLoad(d.Rects(), 32)
+	if h.Count(q) != str.Count(q) {
+		t.Fatalf("Hilbert (%d) and STR (%d) disagree", h.Count(q), str.Count(q))
+	}
+	// Histogram via each load method.
+	for _, m := range []spatialest.RTreeLoad{spatialest.LoadInsert, spatialest.LoadSTR, spatialest.LoadHilbert} {
+		hist, err := spatialest.NewRTreeHistogram(d, spatialest.RTreeHistogramOptions{Buckets: 30, Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got := hist.Estimate(q); got <= 0 {
+			t.Fatalf("%v: estimate = %g", m, got)
+		}
+	}
+}

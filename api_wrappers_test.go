@@ -1,0 +1,131 @@
+package spatialest_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	spatialest "repro"
+)
+
+// TestWrapperSurface exercises the remaining thin public wrappers so
+// the whole exported API is covered end to end.
+func TestWrapperSurface(t *testing.T) {
+	d := spatialest.Charminar(4000, 1000, 10, 9)
+	bounds, _ := d.MBR()
+
+	// Feedback wrapper.
+	base, err := spatialest.NewUniform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := spatialest.NewFeedback(base, bounds, spatialest.FeedbackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spatialest.NewRect(100, 100, 400, 400)
+	oracle := spatialest.NewOracle(d)
+	fb.Observe(q, oracle.Count(q))
+	if got := fb.Estimate(q); got < 0 || math.IsNaN(got) {
+		t.Fatalf("feedback estimate = %g", got)
+	}
+
+	// Trace capture / save / load / evaluate.
+	queries, err := spatialest.GenerateQueries(d, spatialest.QueryConfig{Count: 50, QSize: 0.1, Seed: 2, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spatialest.CaptureTrace(oracle, queries)
+	path := filepath.Join(t.TempDir(), "w.trace")
+	if err := spatialest.SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spatialest.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := back.Evaluate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Queries != 50 {
+		t.Fatalf("trace summary = %+v", sum)
+	}
+
+	// Auto-tuned Min-Skew.
+	auto, info, err := spatialest.NewMinSkewAuto(d, spatialest.AutoMinSkewOptions{Buckets: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Regions < 64 || len(auto.Buckets()) == 0 {
+		t.Fatalf("auto tune info = %+v", info)
+	}
+
+	// Quadtree histogram + optimal BSP + partition skews.
+	qh, err := spatialest.NewQuadTreeHist(d, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qh.Estimate(q) < 0 {
+		t.Fatal("quadtree estimate negative")
+	}
+	opt, err := spatialest.NewOptimalBSP(d, spatialest.OptimalBSPOptions{Buckets: 6, Regions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Estimate(q) < 0 {
+		t.Fatal("optimal estimate negative")
+	}
+	greedy, optimal, err := spatialest.PartitionSkews(d, spatialest.OptimalBSPOptions{Buckets: 6, Regions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimal > greedy+1e-9 {
+		t.Fatalf("optimal %g exceeds greedy %g", optimal, greedy)
+	}
+
+	// AVI.
+	avi, err := spatialest.NewAVI(d, 40, spatialest.AVIVOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avi.Estimate(q) < 0 {
+		t.Fatal("AVI estimate negative")
+	}
+
+	// GeoJSON single-geometry parse.
+	r, ok, err := spatialest.ParseGeoJSON([]byte(`{"type":"Point","coordinates":[1,2]}`))
+	if err != nil || !ok || r != spatialest.NewRect(1, 2, 1, 2) {
+		t.Fatalf("ParseGeoJSON = %v %v %v", r, ok, err)
+	}
+
+	// Sequoia generator and kNN through the public index.
+	pts := spatialest.SequoiaPoints(500, 1000, 3)
+	tree := spatialest.STRLoad(pts.Rects(), 16)
+	nbs := tree.NearestNeighbors(5, spatialest.Rect{MinX: 500, MinY: 500, MaxX: 500, MaxY: 500}.Center())
+	if len(nbs) != 5 {
+		t.Fatalf("kNN = %d results", len(nbs))
+	}
+	var prev spatialest.Neighbor
+	for i, nb := range nbs {
+		if i > 0 && nb.Dist < prev.Dist {
+			t.Fatal("kNN not sorted")
+		}
+		prev = nb
+	}
+}
+
+func TestDatasetSaveLoadWrapper(t *testing.T) {
+	d := spatialest.UniformData(100, 100, 1, 5, 1)
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := spatialest.SaveDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spatialest.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 100 {
+		t.Fatalf("N = %d", back.N())
+	}
+}

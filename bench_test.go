@@ -1,0 +1,287 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure. Each benchmark measures the dominant cost of its experiment
+// (construction or estimation) and attaches the experiment's headline
+// accuracy numbers as custom metrics (relerr*), so a -bench run yields
+// the same series the paper plots:
+//
+//	BenchmarkFig8QuerySize     error vs. query size per technique
+//	BenchmarkFig9Buckets       error vs. bucket count (Min-Skew)
+//	BenchmarkFig10Regions      Min-Skew error vs. grid regions (NJ + Charminar)
+//	BenchmarkFig11Refinement   error vs. progressive refinements
+//	BenchmarkTable1Construction  construction time per technique and input size
+//
+// The full paper-scale harness is `go run ./cmd/experiments`; the
+// benchmarks run on moderately scaled datasets so the whole suite
+// completes in minutes.
+package spatialest_test
+
+import (
+	"sync"
+	"testing"
+
+	spatialest "repro"
+)
+
+// benchScale holds the shared, lazily-built benchmark environment.
+var benchScale struct {
+	once      sync.Once
+	njroad    *spatialest.Dataset
+	charminar *spatialest.Dataset
+	njOracle  spatialest.Oracle
+	chOracle  spatialest.Oracle
+}
+
+func benchEnv() *struct {
+	once      sync.Once
+	njroad    *spatialest.Dataset
+	charminar *spatialest.Dataset
+	njOracle  spatialest.Oracle
+	chOracle  spatialest.Oracle
+} {
+	benchScale.once.Do(func() {
+		benchScale.njroad = spatialest.NJRoad(60000)
+		benchScale.charminar = spatialest.Charminar(20000, 10000, 100, 1999)
+		benchScale.njOracle = spatialest.NewOracle(benchScale.njroad)
+		benchScale.chOracle = spatialest.NewOracle(benchScale.charminar)
+	})
+	return &benchScale
+}
+
+// relErr scores an estimator on a workload against the oracle.
+func relErr(b *testing.B, d *spatialest.Dataset, o spatialest.Oracle, est spatialest.Estimator, qsize float64) float64 {
+	b.Helper()
+	queries, err := spatialest.GenerateQueries(d, spatialest.QueryConfig{
+		Count: 600, QSize: qsize, Seed: 7, Clamp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	actual := make([]int, len(queries))
+	ests := make([]float64, len(queries))
+	for i, q := range queries {
+		actual[i] = o.Count(q)
+		ests[i] = est.Estimate(q)
+	}
+	rel, err := spatialest.AvgRelativeError(actual, ests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rel
+}
+
+// buildBenchTechnique mirrors the experiment harness's construction
+// rules (Sample gets the paper's liberal 4x-buckets rectangles).
+func buildBenchTechnique(b *testing.B, d *spatialest.Dataset, name string, buckets int) spatialest.Estimator {
+	b.Helper()
+	var est spatialest.Estimator
+	var err error
+	switch name {
+	case "Min-Skew":
+		est, err = spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: buckets, Regions: 10000})
+	case "Equi-Area":
+		est, err = spatialest.NewEquiArea(d, buckets)
+	case "Equi-Count":
+		est, err = spatialest.NewEquiCount(d, buckets)
+	case "R-Tree":
+		est, err = spatialest.NewRTreeHistogram(d, spatialest.RTreeHistogramOptions{Buckets: buckets})
+	case "Sample":
+		est, err = spatialest.NewSample(d, 4*buckets, 7)
+	case "Uniform":
+		est, err = spatialest.NewUniform(d)
+	case "Fractal":
+		est, err = spatialest.NewFractal(d, 2, 8)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return est
+}
+
+// BenchmarkFig8QuerySize reproduces Figure 8: per technique, the
+// estimation throughput is measured and the relative errors at 2%, 10%
+// and 25% query sizes are attached as metrics.
+func BenchmarkFig8QuerySize(b *testing.B) {
+	env := benchEnv()
+	for _, name := range []string{"Min-Skew", "Equi-Count", "Equi-Area", "R-Tree", "Sample", "Uniform", "Fractal"} {
+		b.Run(name, func(b *testing.B) {
+			est := buildBenchTechnique(b, env.njroad, name, 100)
+			queries, err := spatialest.GenerateQueries(env.njroad, spatialest.QueryConfig{
+				Count: 256, QSize: 0.10, Seed: 3, Clamp: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est.Estimate(queries[i%len(queries)])
+			}
+			b.StopTimer()
+			// Metrics must be reported after ResetTimer, which clears
+			// them.
+			for _, qp := range []struct {
+				label string
+				size  float64
+			}{{"relerr2pct", 0.02}, {"relerr10pct", 0.10}, {"relerr25pct", 0.25}} {
+				b.ReportMetric(relErr(b, env.njroad, env.njOracle, est, qp.size), qp.label)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Buckets reproduces Figure 9 for the champion technique:
+// Min-Skew construction time per bucket budget with the errors at the
+// paper's two plotted query sizes attached.
+func BenchmarkFig9Buckets(b *testing.B) {
+	env := benchEnv()
+	for _, buckets := range []int{50, 100, 200, 350, 500, 750} {
+		b.Run(benchName("buckets", buckets), func(b *testing.B) {
+			var est spatialest.Estimator
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = spatialest.NewMinSkew(env.njroad, spatialest.MinSkewOptions{
+					Buckets: buckets, Regions: 10000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(relErr(b, env.njroad, env.njOracle, est, 0.05), "relerr5pct")
+			b.ReportMetric(relErr(b, env.njroad, env.njOracle, est, 0.25), "relerr25pct")
+		})
+	}
+}
+
+// BenchmarkFig10Regions reproduces Figures 10(a) and 10(b): Min-Skew
+// construction per grid resolution on both datasets, with the two
+// query-size errors attached.
+func BenchmarkFig10Regions(b *testing.B) {
+	env := benchEnv()
+	datasets := []struct {
+		label  string
+		d      *spatialest.Dataset
+		oracle spatialest.Oracle
+	}{
+		{"NJRoad", env.njroad, env.njOracle},
+		{"Charminar", env.charminar, env.chOracle},
+	}
+	for _, ds := range datasets {
+		for _, regions := range []int{1000, 10000, 30000, 90000} {
+			b.Run(ds.label+"/"+benchName("regions", regions), func(b *testing.B) {
+				var est spatialest.Estimator
+				for i := 0; i < b.N; i++ {
+					var err error
+					est, err = spatialest.NewMinSkew(ds.d, spatialest.MinSkewOptions{
+						Buckets: 100, Regions: regions,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(relErr(b, ds.d, ds.oracle, est, 0.05), "relerr5pct")
+				b.ReportMetric(relErr(b, ds.d, ds.oracle, est, 0.25), "relerr25pct")
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Refinement reproduces Figure 11: Min-Skew with
+// progressive refinement on Charminar at 30,000 regions, large
+// queries.
+func BenchmarkFig11Refinement(b *testing.B) {
+	env := benchEnv()
+	for _, refs := range []int{0, 1, 2, 4, 6, 8} {
+		b.Run(benchName("refinements", refs), func(b *testing.B) {
+			var est spatialest.Estimator
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = spatialest.NewMinSkew(env.charminar, spatialest.MinSkewOptions{
+					Buckets: 100, Regions: 30000, Refinements: refs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(relErr(b, env.charminar, env.chOracle, est, 0.25), "relerr25pct")
+		})
+	}
+}
+
+// BenchmarkTable1Construction reproduces Table 1: construction time
+// per technique at two input sizes and two bucket budgets. ns/op is
+// the table cell.
+func BenchmarkTable1Construction(b *testing.B) {
+	sizes := map[string]*spatialest.Dataset{
+		"N=50K": spatialest.NJRoad(50000),
+		// The paper's 400K column; scaled to 200K to keep the R-Tree
+		// cell affordable in a default -benchtime run.
+		"N=200K": spatialest.NJRoad(200000),
+	}
+	for _, sizeLabel := range []string{"N=50K", "N=200K"} {
+		d := sizes[sizeLabel]
+		for _, buckets := range []int{100, 750} {
+			for _, name := range []string{"Min-Skew", "Equi-Area", "Equi-Count", "R-Tree", "Uniform"} {
+				b.Run(sizeLabel+"/"+benchName("b", buckets)+"/"+name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						buildBenchTechnique(b, d, name, buckets)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkMinSkewEstimate isolates per-query estimation latency at
+// the paper's default configuration.
+func BenchmarkMinSkewEstimate(b *testing.B) {
+	env := benchEnv()
+	est, err := spatialest.NewMinSkew(env.njroad, spatialest.MinSkewOptions{Buckets: 100, Regions: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := spatialest.GenerateQueries(env.njroad, spatialest.QueryConfig{
+		Count: 1024, QSize: 0.10, Seed: 5, Clamp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Estimate(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkOracleCount measures the exact oracle the experiments use
+// for ground truth.
+func BenchmarkOracleCount(b *testing.B) {
+	env := benchEnv()
+	queries, err := spatialest.GenerateQueries(env.njroad, spatialest.QueryConfig{
+		Count: 1024, QSize: 0.10, Seed: 5, Clamp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.njOracle.Count(queries[i%len(queries)])
+	}
+}
+
+func benchName(prefix string, v int) string {
+	// Avoid fmt in hot bench setup; this is cold code but keeps the
+	// dependency list small.
+	digits := [20]byte{}
+	i := len(digits)
+	if v == 0 {
+		i--
+		digits[i] = '0'
+	}
+	for v > 0 {
+		i--
+		digits[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return prefix + "=" + string(digits[i:])
+}

@@ -1,0 +1,63 @@
+// Command datagen generates the datasets used in the paper's
+// experiments and writes them in the library's text or binary format
+// (by output extension: ".bin" is binary).
+//
+// Usage:
+//
+//	datagen -kind charminar -n 40000 -out charminar.txt
+//	datagen -kind njroad -n 414442 -out njroad.bin
+//	datagen -kind uniform|clusters|skewed ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spatialest "repro"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "charminar", "dataset kind: charminar, njroad, uniform, clusters, skewed")
+		n       = flag.Int("n", 40000, "number of rectangles")
+		space   = flag.Float64("space", 10000, "side of the square input space")
+		size    = flag.Float64("size", 100, "rectangle side (charminar) / max side (others)")
+		minSide = flag.Float64("minside", 1, "minimum rectangle side (uniform, clusters)")
+		k       = flag.Int("clusters", 8, "cluster count (clusters)")
+		theta   = flag.Float64("theta", 1.0, "Zipf skew (skewed)")
+		seed    = flag.Int64("seed", 1999, "random seed")
+		out     = flag.String("out", "", "output path (required; .bin selects binary format)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var d *spatialest.Dataset
+	switch *kind {
+	case "charminar":
+		d = spatialest.Charminar(*n, *space, *size, *seed)
+	case "njroad":
+		d = spatialest.NJRoad(*n)
+	case "uniform":
+		d = spatialest.UniformData(*n, *space, *minSide, *size, *seed)
+	case "clusters":
+		d = spatialest.Clusters(*n, *k, *space, 0.03, *minSide, *size, *seed)
+	case "skewed":
+		d = spatialest.Skewed(spatialest.SkewedDataConfig{
+			N: *n, Space: *space, PlacementTheta: *theta, SizeTheta: *theta, MaxSide: *size, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := spatialest.SaveDataset(*out, d); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %v\n", *out, d)
+}

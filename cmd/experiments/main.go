@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// and table of Section 5, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments                  # run everything at paper scale
+//	experiments -exp fig8        # one experiment
+//	experiments -scale 0.1       # 10% of the paper's data/query sizes
+//
+// Experiments: fig8, fig9, fig10a, fig10b, fig11, table1, the
+// ablations (ablation-marginal, ablation-rtree, ablation-refine,
+// ablation-local, ablation-optimal) and the extensions (points,
+// sequoia, avi, feedback, autotune), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run")
+		scale   = flag.Float64("scale", 1.0, "scale factor for dataset and workload sizes")
+		queries = flag.Int("queries", 0, "override query count (0 = paper's 10000 x scale)")
+		seed    = flag.Int64("seed", 1999, "random seed")
+		format  = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	opts := experiments.Defaults()
+	opts.Seed = *seed
+	opts.NJRoadSize = scaled(opts.NJRoadSize, *scale)
+	opts.CharminarSize = scaled(opts.CharminarSize, *scale)
+	opts.Queries = scaled(opts.Queries, *scale)
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+
+	outputCSV = *format == "csv"
+	fmt.Printf("# datasets: NJ-Road-like n=%d, Charminar n=%d; %d queries per workload; seed %d\n\n",
+		opts.NJRoadSize, opts.CharminarSize, opts.Queries, opts.Seed)
+	start := time.Now()
+	env := experiments.NewEnv(opts)
+	fmt.Printf("# environment built in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	runs := map[string]func() error{
+		"fig8":              func() error { return one(env.Fig8) },
+		"fig9":              func() error { return many(env.Fig9) },
+		"fig10a":            func() error { return one(env.Fig10a) },
+		"fig10b":            func() error { return one(env.Fig10b) },
+		"fig11":             func() error { return one(env.Fig11) },
+		"table1":            func() error { return one(env.Table1) },
+		"ablation-marginal": func() error { return one(env.AblationMarginal) },
+		"ablation-rtree":    func() error { return one(env.AblationRTreeLoad) },
+		"ablation-refine":   func() error { return one(env.AblationRefinementSweep) },
+		"ablation-local":    func() error { return one(env.AblationLocalGreedy) },
+		"ablation-optimal":  func() error { return one(env.AblationOptimal) },
+		"points":            func() error { return one(env.PointQueries) },
+		"sequoia":           func() error { return one(env.SequoiaPointData) },
+		"avi":               func() error { return one(env.AVIComparison) },
+		"feedback":          func() error { return one(env.FeedbackAdaptation) },
+		"autotune":          func() error { return one(env.AutoTune) },
+	}
+	order := []string{"fig8", "fig9", "fig10a", "fig10b", "fig11", "table1",
+		"ablation-marginal", "ablation-rtree", "ablation-refine", "ablation-local",
+		"ablation-optimal", "points", "sequoia", "avi", "feedback", "autotune"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			runTimed(name, runs[name])
+		}
+		return
+	}
+	run, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; available: all %s\n",
+			*exp, strings.Join(order, " "))
+		os.Exit(2)
+	}
+	runTimed(*exp, run)
+}
+
+func scaled(v int, scale float64) int {
+	out := int(float64(v) * scale)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+func runTimed(name string, f func() error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s completed in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func one(f func() (*experiments.Table, error)) error {
+	t, err := f()
+	if err != nil {
+		return err
+	}
+	return render(t)
+}
+
+// render emits one table in the selected output format.
+func render(t *experiments.Table) error {
+	if outputCSV {
+		return t.RenderCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+// outputCSV is set from the -format flag before any experiment runs.
+var outputCSV bool
+
+func many(f func() ([]*experiments.Table, error)) error {
+	ts, err := f()
+	if err != nil {
+		return err
+	}
+	for _, t := range ts {
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Command partview renders a dataset and a technique's partitioning as
+// an SVG image, reproducing the paper's illustrations: Figure 1 (the
+// Charminar dataset), Figures 2-4 (Equi-Area, Equi-Count and R-Tree
+// partitionings) and Figure 7 (the Min-Skew partitioning).
+//
+// Usage:
+//
+//	partview -gen charminar -technique minskew -buckets 50 -out fig7.svg
+//	partview -data njroad.bin -technique equiarea -out ea.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spatialest "repro"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file")
+		gen       = flag.String("gen", "charminar", "generate instead of loading: charminar or njroad")
+		n         = flag.Int("n", 40000, "size for -gen")
+		technique = flag.String("technique", "minskew", "partitioning: minskew, equiarea, equicount, rtree, none")
+		buckets   = flag.Int("buckets", 50, "bucket budget (the paper's figures use 50)")
+		regions   = flag.Int("regions", 10000, "Min-Skew grid regions")
+		width     = flag.Int("width", 800, "image width in pixels")
+		out       = flag.String("out", "", "output SVG path (required unless -all)")
+		all       = flag.String("all", "", "directory: render every paper figure (1-4, 7) there and exit")
+	)
+	flag.Parse()
+	if *all != "" {
+		if err := renderAll(*all, *width); err != nil {
+			fmt.Fprintf(os.Stderr, "partview: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "partview: -out is required")
+		os.Exit(2)
+	}
+
+	var d *spatialest.Dataset
+	var err error
+	switch {
+	case *dataPath != "":
+		d, err = spatialest.LoadDataset(*dataPath)
+	case *gen == "charminar":
+		d = spatialest.Charminar(*n, 10000, 100, 1999)
+	case *gen == "njroad":
+		d = spatialest.NJRoad(*n)
+	default:
+		err = fmt.Errorf("need -data or -gen charminar|njroad")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "partview: %v\n", err)
+		os.Exit(1)
+	}
+
+	var hist *spatialest.Histogram
+	switch *technique {
+	case "minskew":
+		hist, err = spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: *buckets, Regions: *regions})
+	case "equiarea":
+		hist, err = spatialest.NewEquiArea(d, *buckets)
+	case "equicount":
+		hist, err = spatialest.NewEquiCount(d, *buckets)
+	case "rtree":
+		hist, err = spatialest.NewRTreeHistogram(d, spatialest.RTreeHistogramOptions{Buckets: *buckets})
+	case "none":
+	default:
+		err = fmt.Errorf("unknown technique %q", *technique)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "partview: %v\n", err)
+		os.Exit(1)
+	}
+
+	mbr, _ := d.MBR()
+	plot := svgplot.New(mbr, *width).Data(d)
+	title := fmt.Sprintf("%d rectangles", d.N())
+	if hist != nil {
+		boxes := make([]spatialest.Rect, 0, len(hist.Buckets()))
+		for _, b := range hist.Buckets() {
+			boxes = append(boxes, b.Box)
+		}
+		plot.Boxes(boxes, "")
+		title = fmt.Sprintf("%s, %d buckets over %d rectangles", hist.Name(), len(boxes), d.N())
+	}
+	plot.Title(title)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "partview: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := plot.Render(f); err != nil {
+		fmt.Fprintf(os.Stderr, "partview: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "partview: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s)\n", *out, title)
+}
+
+// renderAll reproduces the paper's illustrations in one pass: the
+// Charminar dataset (Figure 1) and its 50-bucket Equi-Area,
+// Equi-Count, R-Tree and Min-Skew partitionings (Figures 2-4, 7).
+func renderAll(dir string, width int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	d := spatialest.Charminar(40000, 10000, 100, 1999)
+	mbr, _ := d.MBR()
+
+	write := func(name, title string, hist *spatialest.Histogram) error {
+		plot := svgplot.New(mbr, width).Data(d)
+		if hist != nil {
+			boxes := make([]spatialest.Rect, 0, len(hist.Buckets()))
+			for _, b := range hist.Buckets() {
+				boxes = append(boxes, b.Box)
+			}
+			plot.Boxes(boxes, "")
+		}
+		plot.Title(title)
+		path := dir + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := plot.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", path, title)
+		return nil
+	}
+
+	if err := write("fig1-charminar.svg", "Figure 1: Charminar dataset", nil); err != nil {
+		return err
+	}
+	builds := []struct {
+		file, title string
+		build       func() (*spatialest.Histogram, error)
+	}{
+		{"fig2-equiarea.svg", "Figure 2: Equi-Area partitioning (50 buckets)",
+			func() (*spatialest.Histogram, error) { return spatialest.NewEquiArea(d, 50) }},
+		{"fig3-equicount.svg", "Figure 3: Equi-Count partitioning (50 buckets)",
+			func() (*spatialest.Histogram, error) { return spatialest.NewEquiCount(d, 50) }},
+		{"fig4-rtree.svg", "Figure 4: R-Tree partitioning (50 buckets)",
+			func() (*spatialest.Histogram, error) {
+				return spatialest.NewRTreeHistogram(d, spatialest.RTreeHistogramOptions{Buckets: 50})
+			}},
+		{"fig7-minskew.svg", "Figure 7: Min-Skew partitioning (50 buckets)",
+			func() (*spatialest.Histogram, error) {
+				return spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: 50, Regions: 2500})
+			}},
+	}
+	for _, b := range builds {
+		hist, err := b.build()
+		if err != nil {
+			return fmt.Errorf("%s: %v", b.file, err)
+		}
+		if err := write(b.file, b.title, hist); err != nil {
+			return err
+		}
+	}
+	return nil
+}

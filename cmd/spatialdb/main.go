@@ -1,0 +1,49 @@
+// Command spatialdb is an interactive miniature spatial database: STR
+// bulk-loaded R*-tree indexes, Min-Skew statistics with ANALYZE and
+// churn tracking, a cost-based planner for EXPLAIN, and spatial join
+// estimates — the full stack the library provides, in one REPL.
+//
+// Usage:
+//
+//	spatialdb                 # interactive session on stdin
+//	spatialdb < script.sdb    # batch mode
+//
+// Type "help" for the command reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/spatialdb"
+)
+
+func main() {
+	var (
+		buckets = flag.Int("buckets", 100, "statistics buckets per table")
+		regions = flag.Int("regions", 10000, "Min-Skew grid regions")
+		stats   = flag.String("stats", "", "directory to load/save persisted statistics")
+	)
+	flag.Parse()
+
+	db := spatialdb.New(catalog.Config{Buckets: *buckets, Regions: *regions})
+	if *stats != "" {
+		if err := db.LoadStats(*stats); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: loading stats: %v (continuing)\n", err)
+		}
+	}
+	fmt.Println("spatialdb — type 'help' for commands, 'quit' to exit")
+	repl := &spatialdb.REPL{DB: db}
+	if err := repl.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats != "" {
+		if err := db.SaveStats(*stats); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: saving stats: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Command spatialest builds a selectivity estimator over a dataset and
+// answers range queries with it, optionally alongside the exact count.
+//
+// Usage:
+//
+//	spatialest -data njroad.bin -technique minskew -buckets 100 \
+//	    -query "2000 2000 4000 4000"
+//
+// Without -query, queries are read one per line from standard input as
+// "minx miny maxx maxy"; a line with two fields is a point query.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	spatialest "repro"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "dataset file (required; or use -gen)")
+		gen         = flag.String("gen", "", "generate a dataset instead of loading: charminar or njroad")
+		n           = flag.Int("n", 40000, "size for -gen")
+		technique   = flag.String("technique", "minskew", "estimator: minskew, equiarea, equicount, rtree, sample, fractal, uniform")
+		buckets     = flag.Int("buckets", 100, "bucket budget")
+		regions     = flag.Int("regions", 10000, "Min-Skew grid regions")
+		refinements = flag.Int("refinements", 0, "Min-Skew progressive refinements")
+		query       = flag.String("query", "", "single query: \"minx miny maxx maxy\" or \"x y\"")
+		withExact   = flag.Bool("exact", false, "also compute the exact count")
+		seed        = flag.Int64("seed", 1, "seed for sampling")
+		eval        = flag.Int("eval", 0, "evaluate on a generated workload of this many queries and report error statistics")
+		evalQSize   = flag.Float64("evalqsize", 0.10, "query size fraction for -eval")
+		saveTrace   = flag.String("savetrace", "", "with -eval: also persist the workload and ground truth to this file")
+		replayTrace = flag.String("replay", "", "evaluate against a previously saved trace instead of -eval")
+	)
+	flag.Parse()
+
+	d, err := loadData(*dataPath, *gen, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	est, err := build(d, *technique, *buckets, *regions, *refinements, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s over %d rectangles: built in %v, %.0f bucket-equivalents\n",
+		est.Name(), d.N(), time.Since(start).Round(time.Millisecond), est.SpaceBuckets())
+
+	if *replayTrace != "" {
+		tr, err := spatialest.LoadTrace(*replayTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+			os.Exit(1)
+		}
+		sum, err := tr.Evaluate(est)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:  %s (%d queries)\n", *replayTrace, tr.Len())
+		fmt.Printf("error:  %v\n", sum)
+		return
+	}
+	if *eval > 0 {
+		if err := evaluate(d, est, *eval, *evalQSize, *seed, *saveTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var oracle spatialest.Oracle
+	if *withExact {
+		oracle = spatialest.NewOracle(d)
+	}
+
+	answer := func(q spatialest.Rect) {
+		e := est.Estimate(q)
+		if oracle != nil {
+			exact := oracle.Count(q)
+			fmt.Printf("%v estimate=%.1f exact=%d selectivity=%.5f\n", q, e, exact, e/float64(d.N()))
+			return
+		}
+		fmt.Printf("%v estimate=%.1f selectivity=%.5f\n", q, e, e/float64(d.N()))
+	}
+
+	if *query != "" {
+		q, err := parseQuery(*query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+			os.Exit(1)
+		}
+		answer(q)
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := parseQuery(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+			continue
+		}
+		answer(q)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// evaluate scores the estimator on a generated workload against the
+// exact oracle and prints the paper's metric plus a fuller summary.
+func evaluate(d *spatialest.Dataset, est spatialest.Estimator, count int, qsize float64, seed int64, savePath string) error {
+	queries, err := spatialest.GenerateQueries(d, spatialest.QueryConfig{
+		Count: count, QSize: qsize, Seed: seed, Clamp: true,
+	})
+	if err != nil {
+		return err
+	}
+	tr := spatialest.CaptureTrace(spatialest.NewOracle(d), queries)
+	start := time.Now()
+	ests := make([]float64, len(queries))
+	for i, q := range queries {
+		ests[i] = est.Estimate(q)
+	}
+	estTime := time.Since(start)
+	sum, err := spatialest.SummarizeErrors(tr.Actual, ests)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d queries at QSize %.0f%%\n", count, qsize*100)
+	fmt.Printf("error:    %v\n", sum)
+	fmt.Printf("latency:  %v per estimate\n", (estTime / time.Duration(count)).Round(time.Nanosecond))
+	if savePath != "" {
+		if err := spatialest.SaveTrace(savePath, tr); err != nil {
+			return err
+		}
+		fmt.Printf("trace:    saved to %s\n", savePath)
+	}
+	return nil
+}
+
+func loadData(path, gen string, n int) (*spatialest.Dataset, error) {
+	switch {
+	case path != "":
+		return spatialest.LoadDataset(path)
+	case gen == "charminar":
+		return spatialest.Charminar(n, 10000, 100, 1999), nil
+	case gen == "njroad":
+		return spatialest.NJRoad(n), nil
+	default:
+		return nil, fmt.Errorf("need -data or -gen charminar|njroad")
+	}
+}
+
+func build(d *spatialest.Dataset, technique string, buckets, regions, refinements int, seed int64) (spatialest.Estimator, error) {
+	switch technique {
+	case "minskew":
+		return spatialest.NewMinSkew(d, spatialest.MinSkewOptions{
+			Buckets: buckets, Regions: regions, Refinements: refinements,
+		})
+	case "equiarea":
+		return spatialest.NewEquiArea(d, buckets)
+	case "equicount":
+		return spatialest.NewEquiCount(d, buckets)
+	case "rtree":
+		return spatialest.NewRTreeHistogram(d, spatialest.RTreeHistogramOptions{Buckets: buckets})
+	case "sample":
+		return spatialest.NewSample(d, 4*buckets, seed)
+	case "fractal":
+		return spatialest.NewFractal(d, 2, 8)
+	case "uniform":
+		return spatialest.NewUniform(d)
+	default:
+		return nil, fmt.Errorf("unknown technique %q", technique)
+	}
+}
+
+func parseQuery(s string) (spatialest.Rect, error) {
+	fields := strings.Fields(s)
+	vals := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return spatialest.Rect{}, fmt.Errorf("bad query %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	switch len(vals) {
+	case 2:
+		return spatialest.PointQuery(vals[0], vals[1]), nil
+	case 4:
+		return spatialest.NewRect(vals[0], vals[1], vals[2], vals[3]), nil
+	default:
+		return spatialest.Rect{}, fmt.Errorf("query %q needs 2 or 4 numbers", s)
+	}
+}

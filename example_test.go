@@ -1,0 +1,102 @@
+package spatialest_test
+
+import (
+	"fmt"
+	"strings"
+
+	spatialest "repro"
+)
+
+// ExampleNewMinSkew builds the paper's headline estimator and answers
+// a range query.
+func ExampleNewMinSkew() {
+	// 10,000 uniformly placed 10x10 rectangles in a 1000x1000 space.
+	data := spatialest.UniformData(10000, 1000, 10, 10, 42)
+
+	est, err := spatialest.NewMinSkew(data, spatialest.MinSkewOptions{
+		Buckets: 100,
+		Regions: 2500,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// A quarter-space query over uniform data intersects about a
+	// quarter of the rectangles.
+	q := spatialest.NewRect(0, 0, 500, 500)
+	sel := est.Estimate(q) / float64(data.N())
+	fmt.Printf("selectivity ~ %.2f\n", sel)
+	// Output: selectivity ~ 0.26
+}
+
+// ExampleNewRTree exercises the dynamic spatial index.
+func ExampleNewRTree() {
+	tree := spatialest.NewRTree(16)
+	tree.Insert(spatialest.NewRect(0, 0, 10, 10), 1)
+	tree.Insert(spatialest.NewRect(20, 20, 30, 30), 2)
+	tree.Insert(spatialest.NewRect(5, 5, 25, 25), 3)
+
+	fmt.Println("hits:", tree.Count(spatialest.NewRect(0, 0, 12, 12)))
+	tree.Delete(spatialest.NewRect(5, 5, 25, 25), 3)
+	fmt.Println("after delete:", tree.Count(spatialest.NewRect(0, 0, 12, 12)))
+	// Output:
+	// hits: 2
+	// after delete: 1
+}
+
+// ExampleParseWKT reduces a GIS geometry to the MBR the estimators
+// consume.
+func ExampleParseWKT() {
+	r, ok, err := spatialest.ParseWKT("POLYGON ((0 0, 4 0, 4 3, 0 3, 0 0))")
+	if err != nil || !ok {
+		panic(err)
+	}
+	fmt.Println(r)
+	// Output: [(0,0),(4,3)]
+}
+
+// ExampleReadGeoJSONDataset ingests a FeatureCollection.
+func ExampleReadGeoJSONDataset() {
+	doc := `{"type":"FeatureCollection","features":[
+	  {"type":"Feature","geometry":{"type":"Point","coordinates":[2,3]}},
+	  {"type":"Feature","geometry":{"type":"LineString","coordinates":[[0,0],[9,9]]}}
+	]}`
+	d, err := spatialest.ReadGeoJSONDataset(strings.NewReader(doc))
+	if err != nil {
+		panic(err)
+	}
+	mbr, _ := d.MBR()
+	fmt.Println(d.N(), "geometries, MBR", mbr)
+	// Output: 2 geometries, MBR [(0,0),(9,9)]
+}
+
+// ExampleEstimateJoin estimates a spatial join size from two
+// histograms without touching the data.
+func ExampleEstimateJoin() {
+	parcels := spatialest.UniformData(5000, 1000, 8, 8, 1)
+	roads := spatialest.UniformData(3000, 1000, 20, 2, 2)
+
+	hp, _ := spatialest.NewMinSkew(parcels, spatialest.MinSkewOptions{Buckets: 50, Regions: 2500})
+	hr, _ := spatialest.NewMinSkew(roads, spatialest.MinSkewOptions{Buckets: 50, Regions: 2500})
+
+	est, err := spatialest.EstimateJoin(hp, hr)
+	if err != nil {
+		panic(err)
+	}
+	// Exact answer for comparison.
+	index := spatialest.STRLoad(roads.Rects(), 32)
+	exact := 0
+	for _, p := range parcels.Rects() {
+		exact += index.Count(p)
+	}
+	ratio := est / float64(exact)
+	fmt.Printf("estimate within %.0f%% of exact\n", 100*absf(ratio-1))
+	// Output: estimate within 2% of exact
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+// Adaptive: selectivity estimation that learns from executed queries.
+//
+// Statistics go stale and every summary has blind spots. This example
+// wraps a deliberately weak estimator (Uniform) and the strong
+// Min-Skew histogram with query-feedback correction grids, replays a
+// day of "production" queries — observing each true result size after
+// execution — and shows the estimation error before and after on a
+// held-out workload.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spatialest "repro"
+)
+
+func main() {
+	data := spatialest.Clusters(150000, 10, 50000, 0.025, 10, 200, 11)
+	fmt.Printf("dataset: %v\n\n", data)
+	oracle := spatialest.NewOracle(data)
+	bounds, _ := data.MBR()
+
+	// A training day of queries and a held-out evaluation set.
+	train, err := spatialest.GenerateQueries(data, spatialest.QueryConfig{
+		Count: 5000, QSize: 0.08, Seed: 1, Clamp: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := spatialest.GenerateQueries(data, spatialest.QueryConfig{
+		Count: 1000, QSize: 0.08, Seed: 2, Clamp: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := make([]int, len(test))
+	for i, q := range test {
+		actual[i] = oracle.Count(q)
+	}
+
+	score := func(e spatialest.Estimator) float64 {
+		ests := make([]float64, len(test))
+		for i, q := range test {
+			ests[i] = e.Estimate(q)
+		}
+		rel, err := spatialest.AvgRelativeError(actual, ests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rel
+	}
+
+	bases := []struct {
+		name  string
+		build func() (spatialest.Estimator, error)
+	}{
+		{"Uniform", func() (spatialest.Estimator, error) { return spatialest.NewUniform(data) }},
+		{"Min-Skew", func() (spatialest.Estimator, error) {
+			return spatialest.NewMinSkew(data, spatialest.MinSkewOptions{Buckets: 100, Regions: 10000})
+		}},
+	}
+
+	fmt.Printf("%-10s %10s %10s %12s\n", "base", "before", "after", "improvement")
+	for _, b := range bases {
+		base, err := b.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb, err := spatialest.NewFeedback(base, bounds, spatialest.FeedbackConfig{
+			GridX: 24, GridY: 24, LearningRate: 0.3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := score(fb)
+		for _, q := range train {
+			// In a real system the executor reports this for free after
+			// running the query.
+			fb.Observe(q, oracle.Count(q))
+		}
+		after := score(fb)
+		fmt.Printf("%-10s %10.3f %10.3f %11.0f%%\n", b.name, before, after, 100*(1-after/before))
+	}
+	fmt.Println("\nfeedback corrects systematic regional bias for weak and strong bases alike;")
+	fmt.Println("the absolute error of the corrected Min-Skew remains an order of magnitude lower")
+}

@@ -1,0 +1,89 @@
+// Compare: a full technique shoot-out on a generated road map —
+// a miniature of the paper's Figure 8 runnable in seconds.
+//
+// All seven techniques are built with the same space budget and scored
+// with the paper's average relative error metric on workloads of three
+// query sizes.
+//
+// Run with:
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	spatialest "repro"
+)
+
+func main() {
+	const buckets = 100
+	data := spatialest.NJRoad(100000)
+	fmt.Printf("dataset: %v\n\n", data)
+
+	type technique struct {
+		name  string
+		build func() (spatialest.Estimator, error)
+	}
+	techniques := []technique{
+		{"Min-Skew", func() (spatialest.Estimator, error) {
+			return spatialest.NewMinSkew(data, spatialest.MinSkewOptions{Buckets: buckets, Regions: 10000})
+		}},
+		{"Equi-Count", func() (spatialest.Estimator, error) { return spatialest.NewEquiCount(data, buckets) }},
+		{"Equi-Area", func() (spatialest.Estimator, error) { return spatialest.NewEquiArea(data, buckets) }},
+		{"R-Tree", func() (spatialest.Estimator, error) {
+			return spatialest.NewRTreeHistogram(data, spatialest.RTreeHistogramOptions{Buckets: buckets})
+		}},
+		// The paper gives Sample twice the fair space: 4x buckets rects.
+		{"Sample", func() (spatialest.Estimator, error) { return spatialest.NewSample(data, 4*buckets, 1) }},
+		{"Uniform", func() (spatialest.Estimator, error) { return spatialest.NewUniform(data) }},
+		{"Fractal", func() (spatialest.Estimator, error) { return spatialest.NewFractal(data, 2, 8) }},
+	}
+
+	qsizes := []float64{0.02, 0.10, 0.25}
+	oracle := spatialest.NewOracle(data)
+
+	// Precompute workloads and ground truth, shared by all techniques.
+	workloads := make([][]spatialest.Rect, len(qsizes))
+	actuals := make([][]int, len(qsizes))
+	for i, qs := range qsizes {
+		queries, err := spatialest.GenerateQueries(data, spatialest.QueryConfig{
+			Count: 2000, QSize: qs, Seed: 99, Clamp: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads[i] = queries
+		actuals[i] = make([]int, len(queries))
+		for j, q := range queries {
+			actuals[i][j] = oracle.Count(q)
+		}
+	}
+
+	fmt.Println("average relative error per query size:")
+	fmt.Printf("%-11s %9s  %8s %8s %8s\n", "technique", "build", "2%", "10%", "25%")
+	for _, t := range techniques {
+		start := time.Now()
+		est, err := t.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		build := time.Since(start)
+		row := fmt.Sprintf("%-11s %9s ", t.name, build.Round(time.Millisecond))
+		for i := range qsizes {
+			ests := make([]float64, len(workloads[i]))
+			for j, q := range workloads[i] {
+				ests[j] = est.Estimate(q)
+			}
+			rel, err := spatialest.AvgRelativeError(actuals[i], ests)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %8.3f", rel)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nexpected shape (paper Fig. 8): Min-Skew lowest; Equi-*/R-Tree mid; Sample/Uniform/Fractal highest")
+}

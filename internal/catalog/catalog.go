@@ -1,0 +1,252 @@
+// Package catalog is the statistics catalog a spatial database system
+// would wrap around the estimators: named per-attribute histograms
+// with ANALYZE-style (re)builds, churn-driven staleness policies,
+// concurrent read access, and persistence to a directory.
+//
+// The catalog owns the policy questions the paper leaves to the
+// system: which technique to use (Min-Skew by default), how many
+// buckets, and when to rebuild.
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Config sets the catalog's statistics policy.
+type Config struct {
+	// Buckets per histogram (the paper's query-processor budget of a
+	// few hundred bytes corresponds to 50-200). Default 100.
+	Buckets int
+	// Regions for Min-Skew construction. Default core.DefaultRegions.
+	Regions int
+	// Refinements for Min-Skew progressive refinement. Default 0.
+	Refinements int
+	// RebuildAt is the staleness fraction above which Stale reports
+	// a rebuild is due. Default 0.2.
+	RebuildAt float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Buckets == 0 {
+		c.Buckets = 100
+	}
+	if c.Regions == 0 {
+		c.Regions = core.DefaultRegions
+	}
+	if c.RebuildAt == 0 {
+		c.RebuildAt = 0.2
+	}
+	return c
+}
+
+// Catalog holds named spatial statistics. All methods are safe for
+// concurrent use.
+type Catalog struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	stats map[string]*core.BucketEstimator
+}
+
+// New creates an empty catalog.
+func New(cfg Config) *Catalog {
+	return &Catalog{cfg: cfg.withDefaults(), stats: make(map[string]*core.BucketEstimator)}
+}
+
+// Analyze builds (or rebuilds) the statistics for the named attribute
+// from the given data using the configured Min-Skew policy.
+func (c *Catalog) Analyze(name string, d *dataset.Distribution) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty statistics name")
+	}
+	hist, err := core.NewMinSkew(d, core.MinSkewConfig{
+		Buckets:     c.cfg.Buckets,
+		Regions:     c.cfg.Regions,
+		Refinements: c.cfg.Refinements,
+	})
+	if err != nil {
+		return fmt.Errorf("catalog: analyze %q: %v", name, err)
+	}
+	c.mu.Lock()
+	c.stats[name] = hist
+	c.mu.Unlock()
+	return nil
+}
+
+// Estimate returns the estimated result size of q against the named
+// attribute's statistics.
+func (c *Catalog) Estimate(name string, q geom.Rect) (float64, error) {
+	c.mu.RLock()
+	hist, ok := c.stats[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("catalog: no statistics for %q", name)
+	}
+	return hist.Estimate(q), nil
+}
+
+// NoteInsert propagates a data insert into the named statistics (a
+// no-op if the attribute has no statistics yet).
+func (c *Catalog) NoteInsert(name string, r geom.Rect) {
+	c.mu.Lock()
+	if hist, ok := c.stats[name]; ok {
+		hist.Insert(r)
+	}
+	c.mu.Unlock()
+}
+
+// NoteDelete propagates a data delete into the named statistics.
+func (c *Catalog) NoteDelete(name string, r geom.Rect) {
+	c.mu.Lock()
+	if hist, ok := c.stats[name]; ok {
+		hist.Delete(r)
+	}
+	c.mu.Unlock()
+}
+
+// Stale reports whether the named statistics have absorbed enough
+// churn that a rebuild is due per the configured policy. Unknown names
+// report true: missing statistics are maximally stale.
+func (c *Catalog) Stale(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hist, ok := c.stats[name]
+	if !ok {
+		return true
+	}
+	return hist.StaleFraction() >= c.cfg.RebuildAt
+}
+
+// Names returns the attributes with statistics, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.stats))
+	for n := range c.stats {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Histogram returns the named histogram for inspection, or nil.
+func (c *Catalog) Histogram(name string) *core.BucketEstimator {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats[name]
+}
+
+// Drop removes the named statistics; it reports whether they existed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.stats[name]
+	delete(c.stats, name)
+	return ok
+}
+
+// statExt is the file extension of persisted histograms.
+const statExt = ".sphist"
+
+// Save persists every histogram to dir (created if needed), one file
+// per attribute. Names are encoded so arbitrary attribute names map to
+// safe file names.
+func (c *Catalog) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("catalog: %v", err)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for name, hist := range c.stats {
+		path := filepath.Join(dir, encodeName(name)+statExt)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("catalog: save %q: %v", name, err)
+		}
+		if _, err := hist.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("catalog: save %q: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("catalog: save %q: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// Load reads every persisted histogram from dir into the catalog,
+// replacing same-named entries. The attribute name is carried by the
+// file name (the name inside the file records the technique).
+func (c *Catalog) Load(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("catalog: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), statExt) {
+			continue
+		}
+		name, err := decodeName(strings.TrimSuffix(e.Name(), statExt))
+		if err != nil {
+			return fmt.Errorf("catalog: bad statistics file name %q: %v", e.Name(), err)
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("catalog: load %q: %v", name, err)
+		}
+		hist, err := core.ReadHistogram(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("catalog: load %q: %v", name, err)
+		}
+		c.mu.Lock()
+		c.stats[name] = hist
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// encodeName hex-escapes bytes that are unsafe in file names.
+func encodeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9', ch == '-', ch == '_':
+			b.WriteByte(ch)
+		default:
+			fmt.Fprintf(&b, "%%%02x", ch)
+		}
+	}
+	return b.String()
+}
+
+// decodeName reverses encodeName.
+func decodeName(enc string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(enc); i++ {
+		if enc[i] != '%' {
+			b.WriteByte(enc[i])
+			continue
+		}
+		if i+2 >= len(enc) {
+			return "", fmt.Errorf("truncated escape")
+		}
+		var v int
+		if _, err := fmt.Sscanf(enc[i+1:i+3], "%02x", &v); err != nil {
+			return "", fmt.Errorf("bad escape %q", enc[i:i+3])
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func TestAnalyzeAndEstimate(t *testing.T) {
+	c := New(Config{Buckets: 40, Regions: 900})
+	d := synthetic.Charminar(3000, 1000, 10, 1)
+	if err := c.Analyze("roads.geom", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Estimate("roads.geom", geom.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < float64(d.N())*0.9 || got > float64(d.N())*1.1 {
+		t.Fatalf("covering estimate = %g, want ~%d", got, d.N())
+	}
+	if _, err := c.Estimate("missing", geom.NewRect(0, 0, 1, 1)); err == nil {
+		t.Fatal("estimate on missing stats should fail")
+	}
+	if err := c.Analyze("", d); err == nil {
+		t.Fatal("empty name should fail")
+	}
+}
+
+func TestNamesDropHistogram(t *testing.T) {
+	c := New(Config{Buckets: 10, Regions: 100})
+	d := synthetic.Uniform(500, 100, 1, 5, 2)
+	for _, n := range []string{"b", "a"} {
+		if err := c.Analyze(n, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if c.Histogram("a") == nil {
+		t.Fatal("Histogram(a) nil")
+	}
+	if c.Histogram("zzz") != nil {
+		t.Fatal("Histogram(zzz) should be nil")
+	}
+	if !c.Drop("a") || c.Drop("a") {
+		t.Fatal("Drop semantics broken")
+	}
+	if len(c.Names()) != 1 {
+		t.Fatalf("Names after drop = %v", c.Names())
+	}
+}
+
+func TestStalenessPolicy(t *testing.T) {
+	c := New(Config{Buckets: 10, Regions: 100, RebuildAt: 0.3})
+	if !c.Stale("missing") {
+		t.Fatal("missing stats must be stale")
+	}
+	d := synthetic.Uniform(100, 100, 1, 5, 3)
+	if err := c.Analyze("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stale("t") {
+		t.Fatal("fresh stats must not be stale")
+	}
+	for i := 0; i < 50; i++ {
+		c.NoteInsert("t", geom.NewRect(10, 10, 12, 12))
+	}
+	if !c.Stale("t") {
+		t.Fatal("50 churn over 150 live should exceed 0.3")
+	}
+	// Note* on missing names are no-ops.
+	c.NoteInsert("missing", geom.NewRect(0, 0, 1, 1))
+	c.NoteDelete("missing", geom.NewRect(0, 0, 1, 1))
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New(Config{Buckets: 20, Regions: 400})
+	d := synthetic.Clusters(2000, 3, 500, 0.05, 1, 8, 4)
+	names := []string{"plain", "with space", "slash/and.dot", "pct%name"}
+	for _, n := range names {
+		if err := c.Analyze(n, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back := New(Config{})
+	if err := back.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Names()
+	if len(got) != len(names) {
+		t.Fatalf("loaded %v", got)
+	}
+	q := geom.NewRect(100, 100, 300, 300)
+	for _, n := range names {
+		a, err := c.Estimate(n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Estimate(n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%q: estimates differ after reload: %g vs %g", n, a, b)
+		}
+	}
+	if err := back.Load(dir + "/nonexistent"); err == nil {
+		t.Fatal("loading missing dir should fail")
+	}
+}
+
+func TestNameEncoding(t *testing.T) {
+	for _, name := range []string{"simple", "a b", "x/y", "100%", "ünïcode", ""} {
+		enc := encodeName(name)
+		dec, err := decodeName(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", enc, err)
+		}
+		if dec != name {
+			t.Fatalf("round trip %q -> %q -> %q", name, enc, dec)
+		}
+	}
+	if _, err := decodeName("%g"); err == nil {
+		t.Fatal("truncated escape should fail")
+	}
+	if _, err := decodeName("%zz"); err == nil {
+		t.Fatal("bad hex should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{Buckets: 10, Regions: 100})
+	d := synthetic.Uniform(500, 100, 1, 5, 5)
+	if err := c.Analyze("t", d); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := geom.NewRect(0, 0, 50, 50)
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					if _, err := c.Estimate("t", q); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					c.NoteInsert("t", geom.NewRect(1, 1, 3, 3))
+				case 2:
+					c.Stale("t")
+				case 3:
+					c.NoteDelete("t", geom.NewRect(1, 1, 3, 3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

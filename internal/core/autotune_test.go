@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synthetic"
+)
+
+func TestMinSkewAutoErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	if _, _, err := NewMinSkewAuto(d, AutoMinSkewConfig{Buckets: 0}); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, _, err := NewMinSkewAuto(dataset.New(nil), AutoMinSkewConfig{Buckets: 10}); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	if _, _, err := NewMinSkewAuto(d, AutoMinSkewConfig{Buckets: 10, MaxRegions: 1}); err == nil {
+		t.Fatal("max regions below coarsest ladder step should fail")
+	}
+}
+
+func TestMinSkewAutoLadder(t *testing.T) {
+	d := synthetic.Charminar(20000, 10000, 100, 5)
+	est, info, err := NewMinSkewAuto(d, AutoMinSkewConfig{Buckets: 100, MaxRegions: 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Candidates) < 3 {
+		t.Fatalf("only %d ladder steps", len(info.Candidates))
+	}
+	// Candidates quadruple and skews are non-negative.
+	for i := 1; i < len(info.Candidates); i++ {
+		if info.Candidates[i] != info.Candidates[i-1]*4 {
+			t.Fatalf("ladder not quadrupling: %v", info.Candidates)
+		}
+	}
+	for _, s := range info.Skews {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("bad skew %g", s)
+		}
+	}
+	// The chosen resolution is one of the candidates.
+	found := false
+	for _, c := range info.Candidates {
+		if c == info.Regions {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chosen %d not among candidates %v", info.Regions, info.Candidates)
+	}
+	if got := len(est.Buckets()); got != 100 {
+		t.Fatalf("bucket count = %d", got)
+	}
+}
+
+func TestMinSkewAutoPicksKnee(t *testing.T) {
+	// Diminishing-returns rule: every ladder step up to the chosen
+	// resolution must have improved skew by at least the tolerance, and
+	// the step just past it (if any) must not have.
+	d := synthetic.Charminar(20000, 10000, 100, 6)
+	_, info, err := NewMinSkewAuto(d, AutoMinSkewConfig{Buckets: 100, MaxRegions: 65536, Tolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, c := range info.Candidates {
+		if c == info.Regions {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("chosen %d not among candidates %v", info.Regions, info.Candidates)
+	}
+	improvement := func(i int) float64 {
+		return (info.Skews[i-1] - info.Skews[i]) / info.Skews[i-1]
+	}
+	for i := 1; i <= idx; i++ {
+		if improvement(i) < 0.05 {
+			t.Fatalf("step to candidate %d improved only %.3f yet a finer grid was chosen",
+				info.Candidates[i], improvement(i))
+		}
+	}
+	if idx+1 < len(info.Candidates) && improvement(idx+1) >= 0.05 {
+		t.Fatalf("step past the chosen resolution still improved %.3f; knee missed", improvement(idx+1))
+	}
+	// The tuner should not pick the finest grid on this instance: the
+	// curve flattens well before 65536 regions (Figure 10 behavior).
+	if info.Regions == info.Candidates[len(info.Candidates)-1] {
+		t.Fatalf("tuner picked the maximum resolution %d; knee detection failed", info.Regions)
+	}
+}
+
+func TestMinSkewAutoAccuracyComparable(t *testing.T) {
+	// Auto-tuned Min-Skew should be in the same accuracy class as the
+	// paper's fixed 10000-region default.
+	d := synthetic.Charminar(20000, 10000, 100, 7)
+	auto, _, err := NewMinSkewAuto(d, AutoMinSkewConfig{Buckets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewMinSkew(d, MinSkewConfig{Buckets: 100, Regions: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, ef := avgRelErr(t, d, auto, 0.10), avgRelErr(t, d, fixed, 0.10)
+	if ea > ef*2+0.05 {
+		t.Fatalf("auto-tuned error %g much worse than fixed %g", ea, ef)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func TestAVIErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	if _, err := NewAVI(d, 1, AVIEquiDepth); err == nil {
+		t.Fatal("1 bucket should fail")
+	}
+	if _, err := NewAVI(dataset.New(nil), 10, AVIEquiDepth); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+}
+
+func TestAVIOnUniformData(t *testing.T) {
+	// With truly independent coordinates AVI is accurate.
+	d := synthetic.Uniform(20000, 1000, 2, 2, 3)
+	for _, kind := range []AVIKind{AVIEquiDepth, AVIEquiWidth, AVIVOptimal} {
+		avi, err := NewAVI(d, 100, kind)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		q := geom.NewRect(100, 200, 400, 600)
+		exact := 0
+		for _, r := range d.Rects() {
+			if r.Intersects(q) {
+				exact++
+			}
+		}
+		got := avi.Estimate(q)
+		if math.Abs(got-float64(exact))/float64(exact) > 0.15 {
+			t.Fatalf("kind %d: estimate %g vs exact %d", kind, got, exact)
+		}
+	}
+}
+
+func TestAVIFailsOnCorrelatedData(t *testing.T) {
+	// Points on the diagonal: x and y are perfectly correlated. AVI
+	// estimates P(x)·P(y) and badly overestimates off-diagonal regions.
+	var rects []geom.Rect
+	for i := 0; i < 5000; i++ {
+		v := float64(i) / 5
+		rects = append(rects, geom.NewRect(v, v, v, v))
+	}
+	d := dataset.New(rects)
+	avi, err := NewAVI(d, 100, AVIEquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal query: truth 0, AVI predicts ~ N * 0.25 * 0.25.
+	offDiag := geom.NewRect(0, 750, 250, 1000)
+	got := avi.Estimate(offDiag)
+	if got < 100 {
+		t.Fatalf("AVI off-diagonal estimate = %g; expected the AVI flaw (large overestimate)", got)
+	}
+	// Min-Skew with the exact 2-D split objective nails the query.
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 50, Regions: 2500, FullSplitSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msGot := ms.Estimate(offDiag); msGot > 1 {
+		t.Fatalf("full-search Min-Skew off-diagonal estimate %g, want ~0 (AVI gave %g)", msGot, got)
+	}
+}
+
+func TestMarginalHeuristicBlindSpot(t *testing.T) {
+	// A perfect diagonal has *uniform* marginal distributions along
+	// both axes, so the marginal split heuristic sees no skew anywhere
+	// and degenerates to arbitrary splits, while the exact 2-D
+	// objective separates the diagonal cleanly. Documents the known
+	// limitation of the paper's Section 4.1 complexity reduction.
+	var rects []geom.Rect
+	for i := 0; i < 5000; i++ {
+		v := float64(i) / 5
+		rects = append(rects, geom.NewRect(v, v, v, v))
+	}
+	d := dataset.New(rects)
+	offDiag := geom.NewRect(0, 750, 250, 1000)
+	marginal, err := NewMinSkew(d, MinSkewConfig{Buckets: 50, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewMinSkew(d, MinSkewConfig{Buckets: 50, Regions: 2500, FullSplitSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mErr := marginal.Estimate(offDiag) // truth is 0
+	fErr := full.Estimate(offDiag)
+	if fErr > 1 {
+		t.Fatalf("full-search estimate %g, want ~0", fErr)
+	}
+	if mErr < 50 {
+		t.Fatalf("marginal estimate %g; expected the heuristic to struggle on diagonals", mErr)
+	}
+}
+
+func TestAVIMetadata(t *testing.T) {
+	d := synthetic.Uniform(1000, 100, 1, 5, 4)
+	avi, err := NewAVI(d, 80, AVIEquiDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avi.Name() != "AVI" {
+		t.Fatalf("Name = %q", avi.Name())
+	}
+	// 40 + 40 one-dim buckets at 3 words = 30 spatial-bucket
+	// equivalents.
+	if got := avi.SpaceBuckets(); got > 40 || got < 10 {
+		t.Fatalf("SpaceBuckets = %g", got)
+	}
+	// Point query support.
+	if got := avi.Estimate(geom.PointRect(geom.Point{X: 50, Y: 50})); got < 0 || math.IsNaN(got) {
+		t.Fatalf("point estimate = %g", got)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/tiger"
+)
+
+// Construction benchmarks over a 50K road-like dataset (Table 1's
+// smaller column), plus estimation latency per technique.
+
+func benchData(b *testing.B) *dataset.Distribution {
+	b.Helper()
+	return tiger.NJRoad(50000)
+}
+
+func BenchmarkConstructMinSkew(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMinSkew(d, MinSkewConfig{Buckets: 100, Regions: 10000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructMinSkewRefined(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMinSkew(d, MinSkewConfig{Buckets: 100, Regions: 16384, Refinements: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructEquiArea(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEquiArea(d, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructEquiCount(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEquiCount(d, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructRTreeSTR(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRTreeHist(d, RTreeHistConfig{Buckets: 100, Method: LoadSTR}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructRTreeHilbert(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRTreeHist(d, RTreeHistConfig{Buckets: 100, Method: LoadHilbert}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructSample(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSample(d, 400, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructFractal(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewFractal(d, 2, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructAVI(b *testing.B) {
+	d := benchData(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAVI(d, 266, AVIEquiDepth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Estimation latency at the paper's default configuration.
+func benchEstimate(b *testing.B, est Estimator) {
+	b.Helper()
+	queries := make([]geom.Rect, 256)
+	d := synthetic.Charminar(1000, 10000, 100, 1)
+	for i := range queries {
+		c := d.Rect(i % d.N()).Center()
+		queries[i] = geom.RectAround(c, 800, 800)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Estimate(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkEstimateMinSkew100(b *testing.B) {
+	d := benchData(b)
+	est, err := NewMinSkew(d, MinSkewConfig{Buckets: 100, Regions: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEstimate(b, est)
+}
+
+func BenchmarkEstimateMinSkew750(b *testing.B) {
+	d := benchData(b)
+	est, err := NewMinSkew(d, MinSkewConfig{Buckets: 750, Regions: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEstimate(b, est)
+}
+
+func BenchmarkEstimateSample400(b *testing.B) {
+	d := benchData(b)
+	est, err := NewSample(d, 400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEstimate(b, est)
+}
+
+// BenchmarkEstimateParallel measures concurrent estimation throughput:
+// Estimate is a pure read, so it should scale with cores.
+func BenchmarkEstimateParallel(b *testing.B) {
+	d := benchData(b)
+	est, err := NewMinSkew(d, MinSkewConfig{Buckets: 100, Regions: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		c := d.Rect(i % d.N()).Center()
+		queries[i] = geom.RectAround(c, 500, 500)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			est.Estimate(queries[i%len(queries)])
+			i++
+		}
+	})
+}
+
+func BenchmarkEstimateAVI(b *testing.B) {
+	d := benchData(b)
+	est, err := NewAVI(d, 266, AVIEquiDepth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEstimate(b, est)
+}

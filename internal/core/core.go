@@ -1,0 +1,161 @@
+// Package core implements the spatial selectivity estimators studied
+// in the paper: the Uniform single-bucket baseline (Section 3.1), the
+// Equi-Area and Equi-Count partitionings (Section 3.3), the R-tree
+// index-based grouping (Section 3.4), sampling and the fractal
+// parametric technique (Section 5.3), and the paper's contribution —
+// the Min-Skew binary space partitioning with optional progressive
+// refinement (Sections 4.1 and 5.6).
+//
+// All bucket-based techniques share the Bucket representation and the
+// per-bucket uniformity-assumption formulas of Section 3.1; an
+// estimate for a query is the sum of per-bucket contributions because
+// buckets partition the input.
+//
+// # Concurrency
+//
+// Estimate on every estimator in this package is a pure read and is
+// safe to call from any number of goroutines concurrently — query
+// planners estimate from many sessions at once. The incremental
+// maintenance methods (Insert, Delete, ResetChurn on BucketEstimator)
+// mutate state and require external synchronization against concurrent
+// Estimates; the catalog package provides that locking, and the
+// feedback package's adaptive wrapper is internally synchronized.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Estimator estimates the result size of spatial range and point
+// queries: the number of input rectangles intersecting the query.
+type Estimator interface {
+	// Estimate returns the estimated number of input rectangles with a
+	// non-empty intersection with q. Point queries are degenerate
+	// rectangles (geom.PointRect).
+	Estimate(q geom.Rect) float64
+	// Name identifies the technique, e.g. "Min-Skew".
+	Name() string
+	// SpaceBuckets returns the estimator's space consumption in bucket
+	// equivalents per the paper's accounting (Section 5.4): a bucket is
+	// eight words; a stored sample rectangle is four words, i.e. half a
+	// bucket.
+	SpaceBuckets() float64
+}
+
+// Bucket is the unit of the bucket-based techniques: the eight words
+// the paper charges per bucket (Section 5.4) — the bounding box, the
+// average spatial density, and the number, average width and average
+// height of the rectangles assigned to the bucket.
+type Bucket struct {
+	Box geom.Rect
+	// Count is the number of input rectangles whose centers fall in
+	// the bucket.
+	Count int
+	// AvgW and AvgH are the average width and height of those
+	// rectangles.
+	AvgW, AvgH float64
+	// AvgDensity is the average spatial density inside the bucket: the
+	// summed area of the bucket's rectangles divided by the bucket box
+	// area. It answers point queries directly.
+	AvgDensity float64
+}
+
+// Estimate applies the uniformity assumption of Section 3.1 within the
+// bucket: the query is extended by half the average rectangle
+// dimensions on each side (so that any rectangle whose center falls in
+// the extended region intersects the query), clipped to the bucket
+// box, and the bucket's rectangles are assumed uniformly placed.
+func (b Bucket) Estimate(q geom.Rect) float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	if q.Area() == 0 && q.Width() == 0 && q.Height() == 0 {
+		// Point query: the expected number of rectangles covering a
+		// point equals the average spatial density (Section 3.1).
+		if b.Box.ContainsPoint(geom.Point{X: q.MinX, Y: q.MinY}) {
+			return b.AvgDensity
+		}
+		// Points outside the box can still be covered by rectangles
+		// whose centers are inside it; fall through to the extended
+		// formula which handles the overhang.
+	}
+	ext := q.Expand(b.AvgW/2, b.AvgH/2)
+	inter, ok := ext.Intersection(b.Box)
+	if !ok {
+		return 0
+	}
+	boxArea := b.Box.Area()
+	if boxArea == 0 {
+		// Degenerate bucket (all centers collinear or identical): every
+		// rectangle is assumed to intersect any query whose extended
+		// region touches the box.
+		return float64(b.Count)
+	}
+	return float64(b.Count) * inter.Area() / boxArea
+}
+
+// BucketEstimator sums per-bucket estimates; it implements Estimator
+// for every bucket-based technique.
+type BucketEstimator struct {
+	name    string
+	buckets []Bucket
+
+	// Incremental-maintenance state (see maintain.go).
+	churn     int
+	uncovered int
+}
+
+// NewBucketEstimator wraps a finished bucket list.
+func NewBucketEstimator(name string, buckets []Bucket) *BucketEstimator {
+	return &BucketEstimator{name: name, buckets: buckets}
+}
+
+// Estimate implements Estimator.
+func (e *BucketEstimator) Estimate(q geom.Rect) float64 {
+	var total float64
+	for _, b := range e.buckets {
+		total += b.Estimate(q)
+	}
+	return total
+}
+
+// Name implements Estimator.
+func (e *BucketEstimator) Name() string { return e.name }
+
+// SpaceBuckets implements Estimator: one bucket each.
+func (e *BucketEstimator) SpaceBuckets() float64 { return float64(len(e.buckets)) }
+
+// Buckets exposes the bucket list (read-only) for inspection and
+// visualization.
+func (e *BucketEstimator) Buckets() []Bucket { return e.buckets }
+
+// String summarizes the estimator.
+func (e *BucketEstimator) String() string {
+	return fmt.Sprintf("%s{%d buckets}", e.name, len(e.buckets))
+}
+
+// summarize computes the bucket statistics for a set of member
+// rectangles given the bucket box.
+func summarize(box geom.Rect, members []geom.Rect) Bucket {
+	b := Bucket{Box: box, Count: len(members)}
+	if len(members) == 0 {
+		return b
+	}
+	var sumW, sumH, sumArea float64
+	for _, r := range members {
+		sumW += r.Width()
+		sumH += r.Height()
+		sumArea += r.Area()
+	}
+	n := float64(len(members))
+	b.AvgW = sumW / n
+	b.AvgH = sumH / n
+	if area := box.Area(); area > 0 {
+		b.AvgDensity = sumArea / area
+	} else {
+		b.AvgDensity = n
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestBucketEstimateEmpty(t *testing.T) {
+	b := Bucket{Box: geom.NewRect(0, 0, 10, 10)}
+	if got := b.Estimate(geom.NewRect(1, 1, 2, 2)); got != 0 {
+		t.Fatalf("empty bucket estimate = %g", got)
+	}
+}
+
+func TestBucketEstimateFullCoverage(t *testing.T) {
+	// A query whose extended region covers the whole bucket must report
+	// the full count.
+	b := Bucket{Box: geom.NewRect(0, 0, 10, 10), Count: 40, AvgW: 2, AvgH: 2, AvgDensity: 1.6}
+	if got := b.Estimate(geom.NewRect(-5, -5, 15, 15)); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("covering query estimate = %g, want 40", got)
+	}
+}
+
+func TestBucketEstimateDisjoint(t *testing.T) {
+	b := Bucket{Box: geom.NewRect(0, 0, 10, 10), Count: 40, AvgW: 2, AvgH: 2}
+	// Far away: even the extended query misses the bucket.
+	if got := b.Estimate(geom.NewRect(100, 100, 110, 110)); got != 0 {
+		t.Fatalf("disjoint estimate = %g", got)
+	}
+	// Just outside by less than half the average width: the extension
+	// catches rectangles hanging over the box edge.
+	if got := b.Estimate(geom.NewRect(10.5, 0, 11, 10)); got <= 0 {
+		t.Fatalf("near-edge estimate = %g, want > 0", got)
+	}
+}
+
+func TestBucketEstimateProportional(t *testing.T) {
+	// Uniform math: bucket 10x10 with 100 rects of 0 extent; a query
+	// covering a quarter of the box should estimate ~25.
+	b := Bucket{Box: geom.NewRect(0, 0, 10, 10), Count: 100, AvgW: 0, AvgH: 0}
+	if got := b.Estimate(geom.NewRect(0, 0, 5, 5)); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("quarter query = %g, want 25", got)
+	}
+	// Extension grows the effective region: with AvgW=AvgH=2 the
+	// extended query is 7x7 clipped to 6x6 within the box... compute:
+	// Expand(1,1) of (0,0,5,5) = (-1,-1,6,6); clipped to box = (0,0,6,6)
+	// -> 36/100 of the box.
+	b.AvgW, b.AvgH = 2, 2
+	if got := b.Estimate(geom.NewRect(0, 0, 5, 5)); math.Abs(got-36) > 1e-9 {
+		t.Fatalf("extended quarter query = %g, want 36", got)
+	}
+}
+
+func TestBucketEstimatePointQuery(t *testing.T) {
+	b := Bucket{Box: geom.NewRect(0, 0, 10, 10), Count: 100, AvgW: 1, AvgH: 1, AvgDensity: 1.0}
+	q := geom.PointRect(geom.Point{X: 5, Y: 5})
+	if got := b.Estimate(q); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("point query = %g, want density 1.0", got)
+	}
+	// Point outside the box but within half an average width: the
+	// extension formula yields a small positive value.
+	out := geom.PointRect(geom.Point{X: 10.3, Y: 5})
+	if got := b.Estimate(out); got <= 0 {
+		t.Fatalf("overhang point query = %g, want > 0", got)
+	}
+	// Point far outside.
+	far := geom.PointRect(geom.Point{X: 50, Y: 50})
+	if got := b.Estimate(far); got != 0 {
+		t.Fatalf("far point query = %g", got)
+	}
+}
+
+func TestBucketDegenerateBox(t *testing.T) {
+	// All centers identical: zero-area box; any query touching the
+	// extended region sees the whole count.
+	b := Bucket{Box: geom.NewRect(5, 5, 5, 5), Count: 10, AvgW: 2, AvgH: 2, AvgDensity: 10}
+	if got := b.Estimate(geom.NewRect(4, 4, 6, 6)); got != 10 {
+		t.Fatalf("degenerate box estimate = %g, want 10", got)
+	}
+	if got := b.Estimate(geom.NewRect(8, 8, 9, 9)); got != 0 {
+		t.Fatalf("degenerate box miss = %g, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	box := geom.NewRect(0, 0, 10, 10)
+	members := []geom.Rect{
+		geom.NewRect(0, 0, 2, 2),
+		geom.NewRect(4, 4, 8, 6),
+	}
+	b := summarize(box, members)
+	if b.Count != 2 {
+		t.Fatalf("Count = %d", b.Count)
+	}
+	if b.AvgW != 3 || b.AvgH != 2 {
+		t.Fatalf("AvgW/H = %g/%g, want 3/2", b.AvgW, b.AvgH)
+	}
+	wantDensity := (4.0 + 8.0) / 100.0
+	if math.Abs(b.AvgDensity-wantDensity) > 1e-12 {
+		t.Fatalf("AvgDensity = %g, want %g", b.AvgDensity, wantDensity)
+	}
+	// Empty members.
+	if got := summarize(box, nil); got.Count != 0 || got.AvgW != 0 {
+		t.Fatalf("empty summarize = %+v", got)
+	}
+	// Degenerate box with members.
+	pb := summarize(geom.NewRect(1, 1, 1, 1), []geom.Rect{geom.NewRect(1, 1, 1, 1)})
+	if pb.AvgDensity != 1 {
+		t.Fatalf("degenerate box density = %g, want count fallback", pb.AvgDensity)
+	}
+}
+
+func TestBucketEstimatorSumsBuckets(t *testing.T) {
+	e := NewBucketEstimator("test", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 10},
+		{Box: geom.NewRect(10, 0, 20, 10), Count: 30},
+	})
+	// Query covering both boxes entirely.
+	if got := e.Estimate(geom.NewRect(-1, -1, 21, 11)); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("sum = %g, want 40", got)
+	}
+	if e.Name() != "test" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.SpaceBuckets() != 2 {
+		t.Fatalf("SpaceBuckets = %g", e.SpaceBuckets())
+	}
+	if len(e.Buckets()) != 2 {
+		t.Fatalf("Buckets len = %d", len(e.Buckets()))
+	}
+	if e.String() != "test{2 buckets}" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestUniformEstimator(t *testing.T) {
+	if _, err := NewUniform(dataset.New(nil)); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	// 100 unit squares uniformly placed in [0,100]^2 (snapped grid).
+	var rects []geom.Rect
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			x, y := float64(i)*10, float64(j)*10
+			rects = append(rects, geom.NewRect(x, y, x+1, y+1))
+		}
+	}
+	d := dataset.New(rects)
+	u, err := NewUniform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Name() != "Uniform" || u.SpaceBuckets() != 1 {
+		t.Fatalf("uniform meta: %q/%g", u.Name(), u.SpaceBuckets())
+	}
+	// Whole-space query returns ~N.
+	mbr, _ := d.MBR()
+	got := u.Estimate(mbr)
+	if math.Abs(got-100) > 5 {
+		t.Fatalf("whole query = %g, want ~100", got)
+	}
+	// Quarter query: ~25 plus edge-extension effects.
+	got = u.Estimate(geom.NewRect(0, 0, 45, 45))
+	if got < 20 || got > 35 {
+		t.Fatalf("quarter query = %g, want ~25", got)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// The Equi-Area and Equi-Count groupings of Section 3.3 are binary
+// space partitionings built directly over the rectangles (they require
+// the input in memory, one of the drawbacks Section 3.5 notes). Both
+// repeatedly split one bucket in two, assigning rectangles by where
+// their centers lie and recomputing the bucket MBRs so the partition
+// tracks the data rather than the empty space:
+//
+//   - Equi-Area picks the bucket with the longest dimension among all
+//     current buckets and halves its MBR along that dimension;
+//   - Equi-Count picks the bucket and dimension with the highest
+//     projected rectangle count (distinct projected centers) and splits
+//     at the median so the halves hold equal numbers of rectangles.
+
+// workBucket is a bucket under construction.
+type workBucket struct {
+	box     geom.Rect // MBR of member rectangles
+	members []int32
+	// Cached distinct projected-center counts (Equi-Count criterion).
+	distinctX, distinctY int
+	// Dimensions that have already failed to split.
+	deadX, deadY bool
+}
+
+func newWorkBucket(d *dataset.Distribution, members []int32, wantDistinct bool) *workBucket {
+	wb := &workBucket{members: members}
+	for i, idx := range members {
+		r := d.Rect(int(idx))
+		if i == 0 {
+			wb.box = r
+		} else {
+			wb.box = wb.box.Union(r)
+		}
+	}
+	if wantDistinct {
+		wb.distinctX = distinctProjected(d, members, true)
+		wb.distinctY = distinctProjected(d, members, false)
+	}
+	return wb
+}
+
+// distinctProjected counts distinct center coordinates of the members
+// along one axis — the paper's "projected rectangle count".
+func distinctProjected(d *dataset.Distribution, members []int32, xAxis bool) int {
+	vals := make([]float64, len(members))
+	for i, idx := range members {
+		c := d.Rect(int(idx)).Center()
+		if xAxis {
+			vals[i] = c.X
+		} else {
+			vals[i] = c.Y
+		}
+	}
+	sort.Float64s(vals)
+	n := 0
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// splitAt partitions the members by center coordinate: proj <= cut goes
+// left. It returns nil slices when one side would be empty.
+func splitAt(d *dataset.Distribution, members []int32, xAxis bool, cut float64) (left, right []int32) {
+	for _, idx := range members {
+		c := d.Rect(int(idx)).Center()
+		v := c.X
+		if !xAxis {
+			v = c.Y
+		}
+		if v <= cut {
+			left = append(left, idx)
+		} else {
+			right = append(right, idx)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil
+	}
+	return left, right
+}
+
+// medianCut returns a center-coordinate threshold that separates the
+// members into two non-empty halves as evenly as possible, and whether
+// such a cut exists (it does not when all projections coincide).
+func medianCut(d *dataset.Distribution, members []int32, xAxis bool) (float64, bool) {
+	vals := make([]float64, len(members))
+	for i, idx := range members {
+		c := d.Rect(int(idx)).Center()
+		if xAxis {
+			vals[i] = c.X
+		} else {
+			vals[i] = c.Y
+		}
+	}
+	sort.Float64s(vals)
+	if vals[0] == vals[len(vals)-1] {
+		return 0, false
+	}
+	// The ideal cut is after the midpoint; move it to the nearest value
+	// boundary so both sides are non-empty.
+	mid := len(vals) / 2
+	cut := vals[mid-1]
+	if cut == vals[len(vals)-1] {
+		// Everything from mid-1 up is the same value; cut below it.
+		for i := mid - 1; i >= 0; i-- {
+			if vals[i] < cut {
+				return vals[i], true
+			}
+		}
+		return 0, false
+	}
+	return cut, true
+}
+
+// NewEquiArea builds the Equi-Area grouping with the given bucket
+// budget.
+func NewEquiArea(d *dataset.Distribution, buckets int) (*BucketEstimator, error) {
+	return buildEqui(d, buckets, "Equi-Area", false)
+}
+
+// NewEquiCount builds the Equi-Count grouping with the given bucket
+// budget.
+func NewEquiCount(d *dataset.Distribution, buckets int) (*BucketEstimator, error) {
+	return buildEqui(d, buckets, "Equi-Count", true)
+}
+
+func buildEqui(d *dataset.Distribution, buckets int, name string, byCount bool) (*BucketEstimator, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("core: %s needs at least one bucket, got %d", name, buckets)
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: %s over empty distribution", name)
+	}
+	all := make([]int32, d.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	work := []*workBucket{newWorkBucket(d, all, byCount)}
+
+	for len(work) < buckets {
+		// Choose the bucket and dimension per the technique's criterion.
+		bi, xAxis, ok := chooseSplit(work, byCount)
+		if !ok {
+			break // nothing splittable remains
+		}
+		wb := work[bi]
+		var left, right []int32
+		if byCount {
+			if cut, ok := medianCut(d, wb.members, xAxis); ok {
+				left, right = splitAt(d, wb.members, xAxis, cut)
+			}
+		} else {
+			// Equi-Area: halve the bucket MBR.
+			var cut float64
+			if xAxis {
+				cut = (wb.box.MinX + wb.box.MaxX) / 2
+			} else {
+				cut = (wb.box.MinY + wb.box.MaxY) / 2
+			}
+			left, right = splitAt(d, wb.members, xAxis, cut)
+			if left == nil {
+				// All centers landed on one side of the geometric
+				// midpoint; fall back to a median cut so the split
+				// still makes progress.
+				if cut, ok := medianCut(d, wb.members, xAxis); ok {
+					left, right = splitAt(d, wb.members, xAxis, cut)
+				}
+			}
+		}
+		if left == nil {
+			// This dimension cannot separate the members; disable it
+			// and try again.
+			if xAxis {
+				wb.deadX = true
+			} else {
+				wb.deadY = true
+			}
+			continue
+		}
+		work[bi] = newWorkBucket(d, left, byCount)
+		work = append(work, newWorkBucket(d, right, byCount))
+	}
+
+	out := make([]Bucket, len(work))
+	for i, wb := range work {
+		members := make([]geom.Rect, len(wb.members))
+		for j, idx := range wb.members {
+			members[j] = d.Rect(int(idx))
+		}
+		out[i] = summarize(wb.box, members)
+	}
+	return NewBucketEstimator(name, out), nil
+}
+
+// chooseSplit picks the next bucket and axis: longest dimension for
+// Equi-Area, highest projected count for Equi-Count. Buckets with one
+// member or dead axes are skipped.
+func chooseSplit(work []*workBucket, byCount bool) (idx int, xAxis bool, ok bool) {
+	best := -1.0
+	for i, wb := range work {
+		if len(wb.members) < 2 {
+			continue
+		}
+		var scoreX, scoreY float64
+		if byCount {
+			scoreX, scoreY = float64(wb.distinctX), float64(wb.distinctY)
+			// A dimension with a single distinct value cannot split.
+			if wb.distinctX < 2 {
+				scoreX = -1
+			}
+			if wb.distinctY < 2 {
+				scoreY = -1
+			}
+		} else {
+			scoreX, scoreY = wb.box.Width(), wb.box.Height()
+		}
+		if wb.deadX {
+			scoreX = -1
+		}
+		if wb.deadY {
+			scoreY = -1
+		}
+		if scoreX > best {
+			best, idx, xAxis, ok = scoreX, i, true, true
+		}
+		if scoreY > best {
+			best, idx, xAxis, ok = scoreY, i, false, true
+		}
+	}
+	if best <= 0 {
+		return 0, false, false
+	}
+	return idx, xAxis, ok
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+func TestEquiAreaErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	if _, err := NewEquiArea(d, 0); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, err := NewEquiArea(dataset.New(nil), 10); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	if _, err := NewEquiCount(dataset.New(nil), 10); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+}
+
+func TestEquiAreaBucketCountAndCoverage(t *testing.T) {
+	d := synthetic.Charminar(5000, 1000, 10, 2)
+	ea, err := NewEquiArea(d, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ea.Buckets()); got != 50 {
+		t.Fatalf("bucket count = %d, want 50", got)
+	}
+	total := 0
+	for _, b := range ea.Buckets() {
+		total += b.Count
+		if b.Count == 0 {
+			t.Fatal("Equi-Area produced an empty bucket")
+		}
+	}
+	if total != d.N() {
+		t.Fatalf("counts sum to %d, want %d", total, d.N())
+	}
+	// Equi-Area buckets have roughly comparable box areas: max within
+	// ~100x of positive min (loose sanity bound; recomputed MBRs shrink
+	// some buckets a lot).
+	minA, maxA := math.Inf(1), 0.0
+	for _, b := range ea.Buckets() {
+		a := b.Box.Area()
+		if a > 0 && a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	if maxA == 0 {
+		t.Fatal("all buckets degenerate")
+	}
+}
+
+func TestEquiCountBalancedCounts(t *testing.T) {
+	d := synthetic.Charminar(8000, 1000, 10, 3)
+	ec, err := NewEquiCount(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ec.Buckets()); got != 64 {
+		t.Fatalf("bucket count = %d, want 64", got)
+	}
+	total, max := 0, 0
+	for _, b := range ec.Buckets() {
+		total += b.Count
+		if b.Count > max {
+			max = b.Count
+		}
+		if b.Count == 0 {
+			t.Fatal("Equi-Count produced an empty bucket")
+		}
+	}
+	if total != d.N() {
+		t.Fatalf("counts sum to %d", total)
+	}
+	// Perfect balance would be 125 per bucket; allow generous slack for
+	// the median-split heuristic but catch gross imbalance.
+	if max > 4*d.N()/64 {
+		t.Fatalf("largest bucket has %d of %d rects; Equi-Count is not balancing", max, d.N())
+	}
+}
+
+func TestEquiSplitDegenerateData(t *testing.T) {
+	// All identical centers: cannot split at all; both techniques must
+	// terminate with a single bucket.
+	rects := make([]geom.Rect, 64)
+	for i := range rects {
+		rects[i] = geom.NewRect(5, 5, 7, 7)
+	}
+	d := dataset.New(rects)
+	ea, err := NewEquiArea(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ea.Buckets()); got != 1 {
+		t.Fatalf("Equi-Area on identical rects: %d buckets, want 1", got)
+	}
+	ec, err := NewEquiCount(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ec.Buckets()); got != 1 {
+		t.Fatalf("Equi-Count on identical rects: %d buckets, want 1", got)
+	}
+	// Two distinct x positions only: exactly 2 buckets are possible.
+	rects = append(rects, geom.NewRect(50, 5, 52, 7), geom.NewRect(50, 5, 52, 7))
+	d = dataset.New(rects)
+	ec, err = NewEquiCount(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ec.Buckets()); got != 2 {
+		t.Fatalf("two-position data: %d buckets, want 2", got)
+	}
+}
+
+func TestRTreeHistErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 4)
+	if _, err := NewRTreeHist(d, RTreeHistConfig{Buckets: 0}); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, err := NewRTreeHist(dataset.New(nil), RTreeHistConfig{Buckets: 10}); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+}
+
+func TestRTreeHistBucketBudget(t *testing.T) {
+	d := synthetic.Charminar(20000, 1000, 10, 5)
+	for _, bulk := range []bool{false, true} {
+		rt, err := NewRTreeHist(d, RTreeHistConfig{Buckets: 100, BulkLoad: bulk})
+		if err != nil {
+			t.Fatalf("bulk=%v: %v", bulk, err)
+		}
+		got := len(rt.Buckets())
+		if got > 100 {
+			t.Fatalf("bulk=%v: %d buckets exceeds quota 100", bulk, got)
+		}
+		if got < 10 {
+			t.Fatalf("bulk=%v: only %d buckets; fanout tuning failed", bulk, got)
+		}
+		total := 0
+		for _, b := range rt.Buckets() {
+			total += b.Count
+		}
+		if total != d.N() {
+			t.Fatalf("bulk=%v: counts sum to %d, want %d", bulk, total, d.N())
+		}
+	}
+}
+
+func TestTuneFanout(t *testing.T) {
+	// The full NJ Road at 100 buckets needs fanout ~5921, within the
+	// default cap.
+	if got := tuneFanout(414442, 100, 0); got < 5900 || got > 6000 {
+		t.Fatalf("large-N fanout = %d, want ~5921", got)
+	}
+	if got := tuneFanout(10000000, 50, 0); got != 16384 {
+		t.Fatalf("huge-N fanout = %d, want cap 16384", got)
+	}
+	if got := tuneFanout(100, 100, 0); got != 8 {
+		t.Fatalf("small fanout = %d, want floor 8", got)
+	}
+	if got := tuneFanout(50000, 750, 0); got < 90 || got > 110 {
+		t.Fatalf("tuned fanout = %d, want ~96", got)
+	}
+	if got := tuneFanout(1000000, 10, 512); got != 512 {
+		t.Fatalf("capped fanout = %d, want 512", got)
+	}
+}
+
+func TestSampleEstimator(t *testing.T) {
+	d := synthetic.Uniform(10000, 1000, 5, 15, 6)
+	if _, err := NewSample(d, 0, 1); err == nil {
+		t.Fatal("zero sample should fail")
+	}
+	if _, err := NewSample(dataset.New(nil), 10, 1); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	s, err := NewSample(d, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 400 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if s.Name() != "Sample" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.SpaceBuckets() != 200 {
+		t.Fatalf("SpaceBuckets = %g, want 200 (half a bucket per rect)", s.SpaceBuckets())
+	}
+	// Covering query is exact.
+	mbr, _ := d.MBR()
+	if got := s.Estimate(mbr.Expand(1, 1)); math.Abs(got-float64(d.N())) > 1e-9 {
+		t.Fatalf("covering estimate = %g, want %d", got, d.N())
+	}
+	// Oversized sample keeps everything -> exact estimator.
+	full, err := NewSample(d, d.N()*2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 400, 400)
+	exactCount := 0
+	for _, r := range d.Rects() {
+		if r.Intersects(q) {
+			exactCount++
+		}
+	}
+	if got := full.Estimate(q); math.Abs(got-float64(exactCount)) > 1e-9 {
+		t.Fatalf("full-sample estimate = %g, want %d", got, exactCount)
+	}
+}
+
+func TestSampleUnbiasedOnUniform(t *testing.T) {
+	d := synthetic.Uniform(20000, 1000, 5, 15, 7)
+	s, err := NewSample(d, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(0, 0, 500, 500)
+	exactCount := 0
+	for _, r := range d.Rects() {
+		if r.Intersects(q) {
+			exactCount++
+		}
+	}
+	got := s.Estimate(q)
+	if math.Abs(got-float64(exactCount))/float64(exactCount) > 0.15 {
+		t.Fatalf("sample estimate %g too far from exact %d", got, exactCount)
+	}
+}
+
+func TestFractalEstimator(t *testing.T) {
+	if _, err := NewFractal(dataset.New(nil), 2, 7); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	d := synthetic.Uniform(20000, 1000, 2, 2, 8)
+	f, err := NewFractal(d, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "Fractal" || f.SpaceBuckets() != 1 {
+		t.Fatalf("meta: %q/%g", f.Name(), f.SpaceBuckets())
+	}
+	dim := f.Dimension()
+	if math.Abs(dim.D2-2) > 0.4 {
+		t.Fatalf("uniform data D2 = %g, want ~2", dim.D2)
+	}
+	// On uniform data the power law should estimate a central query
+	// reasonably (within 2x).
+	q := geom.NewRect(250, 250, 750, 750)
+	exactCount := 0
+	for _, r := range d.Rects() {
+		if r.Intersects(q) {
+			exactCount++
+		}
+	}
+	got := f.Estimate(q)
+	if got < float64(exactCount)/2 || got > float64(exactCount)*2 {
+		t.Fatalf("fractal estimate %g vs exact %d", got, exactCount)
+	}
+}
+
+// TestEstimatorInterfaceCompliance pins the Estimator implementations.
+func TestEstimatorInterfaceCompliance(t *testing.T) {
+	d := synthetic.Uniform(500, 100, 1, 3, 9)
+	var es []Estimator
+	u, _ := NewUniform(d)
+	es = append(es, u)
+	ea, _ := NewEquiArea(d, 10)
+	es = append(es, ea)
+	ec, _ := NewEquiCount(d, 10)
+	es = append(es, ec)
+	rt, _ := NewRTreeHist(d, RTreeHistConfig{Buckets: 10})
+	es = append(es, rt)
+	ms, _ := NewMinSkew(d, MinSkewConfig{Buckets: 10, Regions: 100})
+	es = append(es, ms)
+	sp, _ := NewSample(d, 20, 1)
+	es = append(es, sp)
+	fr, _ := NewFractal(d, 2, 6)
+	es = append(es, fr)
+
+	qs, err := workload.Generate(d, workload.Config{Count: 50, QSize: 0.15, Seed: 2, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es {
+		if e.Name() == "" || e.SpaceBuckets() <= 0 {
+			t.Fatalf("%T: bad metadata", e)
+		}
+		for _, q := range qs {
+			got := e.Estimate(q)
+			if got < 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s.Estimate(%v) = %g", e.Name(), q, got)
+			}
+		}
+	}
+}

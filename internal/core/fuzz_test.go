@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzReadHistogram asserts the histogram deserializer rejects garbage
+// without panicking and that accepted histograms produce sane
+// estimates.
+func FuzzReadHistogram(f *testing.F) {
+	good := NewBucketEstimator("seed", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 5, AvgW: 1, AvgH: 1, AvgDensity: 0.05},
+		{Box: geom.NewRect(10, 0, 20, 10), Count: 3, AvgW: 2, AvgH: 1, AvgDensity: 0.06},
+	})
+	raw, _ := good.MarshalBinary()
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add([]byte("SPHIST1\n"))
+	f.Add(raw[:len(raw)-5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		h, err := ReadHistogram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		got := h.Estimate(geom.NewRect(-1e9, -1e9, 1e9, 1e9))
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("accepted histogram with bad estimate %g", got)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Incremental maintenance. A histogram is built from a snapshot of the
+// data; as the underlying table changes, the statistics drift. Rather
+// than rebuilding on every modification — construction costs a data
+// sweep — the histogram absorbs inserts and deletes into the affected
+// bucket's statistics and tracks how much churn it has seen, so a
+// catalog can trigger a rebuild once the drift crosses a threshold
+// (the usual ANALYZE policy in database systems).
+
+// Insert updates the histogram for a newly inserted rectangle. The
+// rectangle is credited to the bucket containing its center; if no
+// bucket covers the center (the data outgrew the original MBR) it is
+// counted as uncovered and only the churn counter advances.
+func (e *BucketEstimator) Insert(r geom.Rect) {
+	e.churn++
+	i := e.bucketFor(r.Center())
+	if i < 0 {
+		e.uncovered++
+		return
+	}
+	b := &e.buckets[i]
+	n := float64(b.Count)
+	b.AvgW = (b.AvgW*n + r.Width()) / (n + 1)
+	b.AvgH = (b.AvgH*n + r.Height()) / (n + 1)
+	if area := b.Box.Area(); area > 0 {
+		b.AvgDensity += r.Area() / area
+	} else {
+		b.AvgDensity++
+	}
+	b.Count++
+}
+
+// Delete updates the histogram for a removed rectangle. It is the
+// inverse of Insert; deleting from an empty or non-covering bucket
+// only advances the churn counter.
+func (e *BucketEstimator) Delete(r geom.Rect) {
+	e.churn++
+	i := e.bucketFor(r.Center())
+	if i < 0 {
+		if e.uncovered > 0 {
+			e.uncovered--
+		}
+		return
+	}
+	b := &e.buckets[i]
+	if b.Count == 0 {
+		return
+	}
+	n := float64(b.Count)
+	if b.Count == 1 {
+		b.AvgW, b.AvgH, b.AvgDensity = 0, 0, 0
+		b.Count = 0
+		return
+	}
+	b.AvgW = math.Max(0, (b.AvgW*n-r.Width())/(n-1))
+	b.AvgH = math.Max(0, (b.AvgH*n-r.Height())/(n-1))
+	if area := b.Box.Area(); area > 0 {
+		b.AvgDensity = math.Max(0, b.AvgDensity-r.Area()/area)
+	} else if b.AvgDensity > 0 {
+		b.AvgDensity--
+	}
+	b.Count--
+}
+
+// bucketFor returns the index of the first bucket whose box contains
+// the point, or -1. Buckets from BSP techniques tile the space so at
+// most a boundary tie is ambiguous; first match is deterministic.
+func (e *BucketEstimator) bucketFor(p geom.Point) int {
+	for i := range e.buckets {
+		if e.buckets[i].Box.ContainsPoint(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Churn returns the number of Insert/Delete operations absorbed since
+// construction (or since ResetChurn).
+func (e *BucketEstimator) Churn() int { return e.churn }
+
+// Uncovered returns how many live inserted rectangles fell outside
+// every bucket; a growing value means the data has outgrown the
+// histogram's extent and a rebuild is overdue.
+func (e *BucketEstimator) Uncovered() int { return e.uncovered }
+
+// StaleFraction returns churn relative to the current total count; a
+// catalog typically rebuilds statistics when this passes ~0.1-0.2.
+func (e *BucketEstimator) StaleFraction() float64 {
+	total := e.uncovered
+	for i := range e.buckets {
+		total += e.buckets[i].Count
+	}
+	if total == 0 {
+		if e.churn == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(e.churn) / float64(total)
+}
+
+// ResetChurn zeroes the churn tracking, e.g. after a rebuild decision
+// was evaluated.
+func (e *BucketEstimator) ResetChurn() { e.churn = 0 }

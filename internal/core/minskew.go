@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+)
+
+// MinSkewConfig controls construction of the Min-Skew partitioning
+// (Section 4.1) and its progressive refinement (Section 5.6).
+type MinSkewConfig struct {
+	// Buckets is the bucket budget beta.
+	Buckets int
+	// Regions is the (final) number of uniform grid regions used to
+	// approximate the input; the paper's experiments default to 10000.
+	Regions int
+	// Refinements is the number of progressive refinement steps. Zero
+	// runs plain Min-Skew on the full grid. With k refinements the
+	// construction starts on a grid of Regions/4^k cells, emits
+	// Buckets/(k+1) buckets per stage, and quadruples the grid between
+	// stages (Example 3 in the paper).
+	Refinements int
+	// FullSplitSearch evaluates candidate splits against the exact
+	// two-dimensional spatial skew instead of the paper's marginal
+	// frequency heuristic. Ablation knob.
+	FullSplitSearch bool
+	// LocalGreedy replaces the paper's global greedy loop (always split
+	// the bucket with the largest skew reduction anywhere) with local
+	// recursion: each split divides the remaining bucket budget between
+	// the two halves in proportion to their skew. Ablation knob; not
+	// compatible with progressive refinement.
+	LocalGreedy bool
+}
+
+// DefaultRegions is the grid size the paper uses for its headline
+// experiments.
+const DefaultRegions = 10000
+
+// msBlock is one bucket under construction: a rectangular block of
+// grid cells plus its cached best split.
+type msBlock struct {
+	blk       grid.Block
+	axis      int // 0 = split along x, 1 = along y, -1 = unsplittable
+	pos       int // split after this many columns/rows of the block
+	reduction float64
+}
+
+// NewMinSkew builds the Min-Skew partitioning over the distribution.
+func NewMinSkew(d *dataset.Distribution, cfg MinSkewConfig) (*BucketEstimator, error) {
+	if cfg.Buckets < 1 {
+		return nil, fmt.Errorf("core: Min-Skew needs at least one bucket, got %d", cfg.Buckets)
+	}
+	if cfg.Regions < 1 {
+		cfg.Regions = DefaultRegions
+	}
+	if cfg.Refinements < 0 {
+		return nil, fmt.Errorf("core: negative refinement count %d", cfg.Refinements)
+	}
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, fmt.Errorf("core: Min-Skew over empty distribution")
+	}
+
+	// Initial grid: Regions/4^k cells, so that k quadruplings land on
+	// the requested final resolution.
+	initRegions := cfg.Regions
+	for i := 0; i < cfg.Refinements; i++ {
+		initRegions = (initRegions + 3) / 4
+	}
+	nx, ny := grid.Dims(initRegions, mbr)
+	g, err := grid.Build(d, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.LocalGreedy {
+		if cfg.Refinements > 0 {
+			return nil, fmt.Errorf("core: LocalGreedy does not support progressive refinement")
+		}
+		blocks := splitLocal(g, g.FullBlock(), cfg.Buckets, cfg.FullSplitSearch)
+		return NewBucketEstimator("Min-Skew", finalizeBuckets(d, g, blocks)), nil
+	}
+
+	blocks := []*msBlock{newMSBlock(g, g.FullBlock(), cfg.FullSplitSearch)}
+	stages := cfg.Refinements + 1
+	for stage := 0; stage < stages; stage++ {
+		target := cfg.Buckets * (stage + 1) / stages
+		growTo(g, &blocks, target, cfg.FullSplitSearch)
+		if stage < stages-1 {
+			// Refine: quadruple the grid and remap the blocks onto it.
+			g, err = grid.Build(d, g.NX()*2, g.NY()*2)
+			if err != nil {
+				return nil, err
+			}
+			for i, mb := range blocks {
+				refined := grid.Block{
+					X0: mb.blk.X0 * 2, Y0: mb.blk.Y0 * 2,
+					X1: mb.blk.X1*2 + 1, Y1: mb.blk.Y1*2 + 1,
+				}
+				blocks[i] = newMSBlock(g, refined, cfg.FullSplitSearch)
+			}
+		}
+	}
+
+	return NewBucketEstimator("Min-Skew", finalizeBuckets(d, g, blocks)), nil
+}
+
+// growTo splits blocks greedily — always the block whose best split
+// yields the largest reduction in spatial skew — until the target
+// count is reached or nothing can be split.
+func growTo(g *grid.Grid, blocks *[]*msBlock, target int, full bool) {
+	for len(*blocks) < target {
+		best, bestRed := -1, -1.0
+		for i, mb := range *blocks {
+			if mb.axis >= 0 && mb.reduction > bestRed {
+				best, bestRed = i, mb.reduction
+			}
+		}
+		if best < 0 {
+			return
+		}
+		mb := (*blocks)[best]
+		left, right := splitBlock(mb.blk, mb.axis, mb.pos)
+		(*blocks)[best] = newMSBlock(g, left, full)
+		*blocks = append(*blocks, newMSBlock(g, right, full))
+	}
+}
+
+// splitLocal recursively divides a block, splitting the remaining
+// bucket budget between the halves in proportion to their spatial
+// skew (plus one guaranteed bucket each). It is the local alternative
+// to the paper's global greedy loop.
+func splitLocal(g *grid.Grid, b grid.Block, budget int, full bool) []*msBlock {
+	mb := newMSBlock(g, b, full)
+	if budget <= 1 || mb.axis < 0 {
+		return []*msBlock{mb}
+	}
+	left, right := splitBlock(b, mb.axis, mb.pos)
+	ls, rs := g.Skew(left), g.Skew(right)
+	// Budget for the left half: proportional to skew share, with each
+	// side keeping at least one bucket.
+	remaining := budget - 2
+	lb := 1
+	if total := ls + rs; total > 0 {
+		lb += int(float64(remaining) * ls / total)
+	} else {
+		lb += remaining / 2
+	}
+	rb := budget - lb
+	out := splitLocal(g, left, lb, full)
+	return append(out, splitLocal(g, right, rb, full)...)
+}
+
+// splitBlock cuts the block after pos columns (axis 0) or rows (axis 1).
+func splitBlock(b grid.Block, axis, pos int) (left, right grid.Block) {
+	if axis == 0 {
+		cut := b.X0 + pos
+		return grid.Block{X0: b.X0, Y0: b.Y0, X1: cut, Y1: b.Y1},
+			grid.Block{X0: cut + 1, Y0: b.Y0, X1: b.X1, Y1: b.Y1}
+	}
+	cut := b.Y0 + pos
+	return grid.Block{X0: b.X0, Y0: b.Y0, X1: b.X1, Y1: cut},
+		grid.Block{X0: b.X0, Y0: cut + 1, X1: b.X1, Y1: b.Y1}
+}
+
+// newMSBlock computes and caches the best split of the block.
+func newMSBlock(g *grid.Grid, b grid.Block, full bool) *msBlock {
+	mb := &msBlock{blk: b, axis: -1}
+	w := b.X1 - b.X0 + 1
+	h := b.Y1 - b.Y0 + 1
+	if w < 2 && h < 2 {
+		return mb
+	}
+	if full {
+		mb.bestSplitFull(g)
+	} else {
+		mb.bestSplitMarginal(g)
+	}
+	return mb
+}
+
+// bestSplitMarginal evaluates candidate splits on the marginal
+// frequency distributions along each dimension, the complexity
+// reduction Section 4.1 describes. The skew of a marginal segment is
+// its sum of squared deviations (count times variance), computable for
+// every cut in one pass with running prefix sums.
+func (mb *msBlock) bestSplitMarginal(g *grid.Grid) {
+	b := mb.blk
+	if b.X1 > b.X0 {
+		m := g.MarginalX(b, nil)
+		pos, red, ok := bestCut(m)
+		if ok && (mb.axis < 0 || red > mb.reduction) {
+			mb.axis, mb.pos, mb.reduction = 0, pos, red
+		}
+	}
+	if b.Y1 > b.Y0 {
+		m := g.MarginalY(b, nil)
+		pos, red, ok := bestCut(m)
+		if ok && (mb.axis < 0 || red > mb.reduction) {
+			mb.axis, mb.pos, mb.reduction = 1, pos, red
+		}
+	}
+}
+
+// bestCut returns the cut index (split after element pos) minimizing
+// the summed SSE of the two segments of vals, i.e. maximizing the skew
+// reduction. ok is false when vals has fewer than two elements.
+func bestCut(vals []float64) (pos int, reduction float64, ok bool) {
+	n := len(vals)
+	if n < 2 {
+		return 0, 0, false
+	}
+	var total, totalSq float64
+	for _, v := range vals {
+		total += v
+		totalSq += v * v
+	}
+	totalSSE := sse(total, totalSq, n)
+
+	bestPos, bestSSE := 0, 0.0
+	var ls, lsq float64
+	first := true
+	for i := 0; i < n-1; i++ {
+		ls += vals[i]
+		lsq += vals[i] * vals[i]
+		s := sse(ls, lsq, i+1) + sse(total-ls, totalSq-lsq, n-1-i)
+		if first || s < bestSSE {
+			bestPos, bestSSE, first = i, s, false
+		}
+	}
+	red := totalSSE - bestSSE
+	if red < 0 {
+		red = 0
+	}
+	return bestPos, red, true
+}
+
+// sse returns sum of squared deviations given a segment's sum, sum of
+// squares and length.
+func sse(sum, sumsq float64, n int) float64 {
+	v := sumsq - sum*sum/float64(n)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// bestSplitFull evaluates candidate splits against the exact
+// two-dimensional spatial skew (Definition 4.1) using the grid's O(1)
+// block skew queries.
+func (mb *msBlock) bestSplitFull(g *grid.Grid) {
+	b := mb.blk
+	total := g.Skew(b)
+	consider := func(axis, pos int, l, r grid.Block) {
+		red := total - g.Skew(l) - g.Skew(r)
+		if red < 0 {
+			red = 0
+		}
+		if mb.axis < 0 || red > mb.reduction {
+			mb.axis, mb.pos, mb.reduction = axis, pos, red
+		}
+	}
+	for x := b.X0; x < b.X1; x++ {
+		l := grid.Block{X0: b.X0, Y0: b.Y0, X1: x, Y1: b.Y1}
+		r := grid.Block{X0: x + 1, Y0: b.Y0, X1: b.X1, Y1: b.Y1}
+		consider(0, x-b.X0, l, r)
+	}
+	for y := b.Y0; y < b.Y1; y++ {
+		l := grid.Block{X0: b.X0, Y0: b.Y0, X1: b.X1, Y1: y}
+		r := grid.Block{X0: b.X0, Y0: y + 1, X1: b.X1, Y1: b.Y1}
+		consider(1, y-b.Y0, l, r)
+	}
+}
+
+// finalizeBuckets assigns each input rectangle to the block containing
+// its center (the last step of Algorithm Min-Skew) and computes the
+// stored bucket statistics.
+func finalizeBuckets(d *dataset.Distribution, g *grid.Grid, blocks []*msBlock) []Bucket {
+	// Cell -> bucket index.
+	cellOwner := make([]int32, g.NX()*g.NY())
+	for i, mb := range blocks {
+		for y := mb.blk.Y0; y <= mb.blk.Y1; y++ {
+			row := y * g.NX()
+			for x := mb.blk.X0; x <= mb.blk.X1; x++ {
+				cellOwner[row+x] = int32(i)
+			}
+		}
+	}
+	type acc struct {
+		count            int
+		sumW, sumH, sumA float64
+	}
+	accs := make([]acc, len(blocks))
+	bounds := g.Bounds()
+	cw, ch := g.CellWidth(), g.CellHeight()
+	for _, r := range d.Rects() {
+		c := r.Center()
+		cx, cy := 0, 0
+		if cw > 0 {
+			cx = int((c.X - bounds.MinX) / cw)
+		}
+		if ch > 0 {
+			cy = int((c.Y - bounds.MinY) / ch)
+		}
+		if cx >= g.NX() {
+			cx = g.NX() - 1
+		}
+		if cy >= g.NY() {
+			cy = g.NY() - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		a := &accs[cellOwner[cy*g.NX()+cx]]
+		a.count++
+		a.sumW += r.Width()
+		a.sumH += r.Height()
+		a.sumA += r.Area()
+	}
+	out := make([]Bucket, len(blocks))
+	for i, mb := range blocks {
+		box := g.BlockRect(mb.blk)
+		b := Bucket{Box: box, Count: accs[i].count}
+		if accs[i].count > 0 {
+			n := float64(accs[i].count)
+			b.AvgW = accs[i].sumW / n
+			b.AvgH = accs[i].sumH / n
+			if area := box.Area(); area > 0 {
+				b.AvgDensity = accs[i].sumA / area
+			} else {
+				b.AvgDensity = n
+			}
+		}
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+func TestMinSkewConfigErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	if _, err := NewMinSkew(d, MinSkewConfig{Buckets: 0}); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, err := NewMinSkew(d, MinSkewConfig{Buckets: 10, Refinements: -1}); err == nil {
+		t.Fatal("negative refinements should fail")
+	}
+	if _, err := NewMinSkew(dataset.New(nil), MinSkewConfig{Buckets: 10}); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+}
+
+func TestMinSkewBucketCountAndTiling(t *testing.T) {
+	d := synthetic.Charminar(5000, 1000, 10, 1)
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 50, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ms.Buckets()
+	if len(bs) != 50 {
+		t.Fatalf("bucket count = %d, want 50", len(bs))
+	}
+	// Buckets tile the MBR: total area equals MBR area, counts sum to N.
+	mbr, _ := d.MBR()
+	var area float64
+	total := 0
+	for _, b := range bs {
+		area += b.Box.Area()
+		total += b.Count
+		if !mbr.Contains(b.Box) {
+			t.Fatalf("bucket %v escapes MBR %v", b.Box, mbr)
+		}
+	}
+	if math.Abs(area-mbr.Area())/mbr.Area() > 1e-9 {
+		t.Fatalf("bucket areas sum to %g, MBR area %g", area, mbr.Area())
+	}
+	if total != d.N() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, d.N())
+	}
+	// Disjointness: pairwise intersection area is zero.
+	for i := range bs {
+		for j := i + 1; j < len(bs); j++ {
+			if bs[i].Box.IntersectionArea(bs[j].Box) > 1e-9 {
+				t.Fatalf("buckets %d and %d overlap: %v vs %v", i, j, bs[i].Box, bs[j].Box)
+			}
+		}
+	}
+}
+
+func TestMinSkewSingleBucketEqualsUniform(t *testing.T) {
+	d := synthetic.Uniform(2000, 500, 2, 10, 2)
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 1, Regions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUniform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, _ := workload.Generate(d, workload.Config{Count: 50, QSize: 0.1, Seed: 1, Clamp: true})
+	for _, q := range qs {
+		a, b := ms.Estimate(q), u.Estimate(q)
+		if math.Abs(a-b) > 1e-6*(1+math.Abs(b)) {
+			t.Fatalf("1-bucket Min-Skew %g != Uniform %g for %v", a, b, q)
+		}
+	}
+}
+
+// avgRelErr builds the estimator error on a standard workload.
+func avgRelErr(t *testing.T, d *dataset.Distribution, e Estimator, qsize float64) float64 {
+	t.Helper()
+	qs, err := workload.Generate(d, workload.Config{Count: 400, QSize: qsize, Seed: 42, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.NewAuto(d)
+	actual := make([]int, len(qs))
+	est := make([]float64, len(qs))
+	for i, q := range qs {
+		actual[i] = oracle.Count(q)
+		est[i] = e.Estimate(q)
+	}
+	rel, err := metrics.AvgRelativeError(actual, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestMinSkewBeatsUniformOnSkewedData(t *testing.T) {
+	d := synthetic.Charminar(20000, 10000, 100, 3)
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 100, Regions: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUniform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msErr := avgRelErr(t, d, ms, 0.10)
+	uErr := avgRelErr(t, d, u, 0.10)
+	if msErr >= uErr {
+		t.Fatalf("Min-Skew error %g not better than Uniform %g", msErr, uErr)
+	}
+	if msErr > 0.5 {
+		t.Fatalf("Min-Skew error %g unexpectedly high", msErr)
+	}
+}
+
+func TestMinSkewMoreBucketsHelp(t *testing.T) {
+	d := synthetic.Charminar(20000, 10000, 100, 4)
+	few, err := NewMinSkew(d, MinSkewConfig{Buckets: 10, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewMinSkew(d, MinSkewConfig{Buckets: 200, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFew := avgRelErr(t, d, few, 0.05)
+	errMany := avgRelErr(t, d, many, 0.05)
+	if errMany >= errFew {
+		t.Fatalf("200 buckets (%g) not better than 10 buckets (%g)", errMany, errFew)
+	}
+}
+
+func TestMinSkewFullSearchComparable(t *testing.T) {
+	d := synthetic.Charminar(10000, 1000, 10, 5)
+	marg, err := NewMinSkew(d, MinSkewConfig{Buckets: 60, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewMinSkew(d, MinSkewConfig{Buckets: 60, Regions: 2500, FullSplitSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := avgRelErr(t, d, marg, 0.10)
+	ef := avgRelErr(t, d, full, 0.10)
+	// The heuristics should be in the same ballpark (within 3x).
+	if em > 3*ef+0.05 && em > 0.2 {
+		t.Fatalf("marginal search (%g) much worse than full search (%g)", em, ef)
+	}
+}
+
+func TestMinSkewProgressiveRefinement(t *testing.T) {
+	d := synthetic.Charminar(20000, 10000, 100, 6)
+	for _, refs := range []int{1, 2, 3} {
+		ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 60, Regions: 16000, Refinements: refs})
+		if err != nil {
+			t.Fatalf("refinements=%d: %v", refs, err)
+		}
+		if got := len(ms.Buckets()); got != 60 {
+			t.Fatalf("refinements=%d: bucket count %d, want 60", refs, got)
+		}
+		// Tiling still holds after refinement.
+		mbr, _ := d.MBR()
+		var area float64
+		total := 0
+		for _, b := range ms.Buckets() {
+			area += b.Box.Area()
+			total += b.Count
+		}
+		if math.Abs(area-mbr.Area())/mbr.Area() > 1e-9 {
+			t.Fatalf("refinements=%d: area %g != MBR %g", refs, area, mbr.Area())
+		}
+		if total != d.N() {
+			t.Fatalf("refinements=%d: counts %d != N", refs, total)
+		}
+	}
+}
+
+func TestMinSkewLocalGreedy(t *testing.T) {
+	d := synthetic.Charminar(10000, 1000, 10, 21)
+	local, err := NewMinSkew(d, MinSkewConfig{Buckets: 60, Regions: 2500, LocalGreedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local budget splitting can strand budget in unsplittable
+	// subtrees, so the count may fall slightly short of the target.
+	if got := len(local.Buckets()); got < 50 || got > 60 {
+		t.Fatalf("local-greedy bucket count = %d, want 50-60", got)
+	}
+	// Tiling and count invariants hold for the local variant too.
+	mbr, _ := d.MBR()
+	var area float64
+	total := 0
+	for _, b := range local.Buckets() {
+		area += b.Box.Area()
+		total += b.Count
+	}
+	if math.Abs(area-mbr.Area())/mbr.Area() > 1e-9 || total != d.N() {
+		t.Fatalf("local-greedy tiling broken: area %g vs %g, count %d vs %d",
+			area, mbr.Area(), total, d.N())
+	}
+	// Still clearly better than a single bucket.
+	u, _ := NewUniform(d)
+	if el, eu := avgRelErr(t, d, local, 0.10), avgRelErr(t, d, u, 0.10); el >= eu {
+		t.Fatalf("local-greedy error %g not better than uniform %g", el, eu)
+	}
+	// Refinement combination is rejected.
+	if _, err := NewMinSkew(d, MinSkewConfig{Buckets: 10, LocalGreedy: true, Refinements: 2}); err == nil {
+		t.Fatal("LocalGreedy + Refinements should fail")
+	}
+}
+
+func TestMinSkewEstimatesNonNegative(t *testing.T) {
+	d := synthetic.Clusters(5000, 4, 1000, 0.03, 1, 10, 7)
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 40, Regions: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64()*1200-100, rng.Float64()*1200-100
+		q := geom.NewRect(x, y, x+rng.Float64()*300, y+rng.Float64()*300)
+		if got := ms.Estimate(q); got < 0 || math.IsNaN(got) {
+			t.Fatalf("estimate(%v) = %g", q, got)
+		}
+	}
+	// Point queries.
+	for i := 0; i < 100; i++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		if got := ms.Estimate(geom.PointRect(p)); got < 0 || math.IsNaN(got) {
+			t.Fatalf("point estimate = %g", got)
+		}
+	}
+}
+
+func TestMinSkewDegenerateData(t *testing.T) {
+	// Identical rectangles: zero-size MBR grid must not crash.
+	rects := make([]geom.Rect, 100)
+	for i := range rects {
+		rects[i] = geom.NewRect(5, 5, 5, 5)
+	}
+	d := dataset.New(rects)
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 10, Regions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.Estimate(geom.NewRect(0, 0, 10, 10)); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("covering query on degenerate data = %g, want 100", got)
+	}
+	// Single rectangle.
+	one := dataset.New([]geom.Rect{geom.NewRect(0, 0, 4, 4)})
+	ms, err = NewMinSkew(one, MinSkewConfig{Buckets: 5, Regions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.Estimate(geom.NewRect(1, 1, 2, 2)); got <= 0 {
+		t.Fatalf("single-rect estimate = %g", got)
+	}
+}
+
+func TestBestCut(t *testing.T) {
+	// Two-level step: 0,0,0,9,9,9 — best cut after index 2.
+	pos, red, ok := bestCut([]float64{0, 0, 0, 9, 9, 9})
+	if !ok || pos != 2 {
+		t.Fatalf("bestCut = %d, %v; want pos 2", pos, ok)
+	}
+	// SSE of whole = 6 * var([0,0,0,9,9,9]) = 6 * 20.25 = 121.5;
+	// each side is constant so reduction equals total SSE.
+	if math.Abs(red-121.5) > 1e-9 {
+		t.Fatalf("reduction = %g, want 121.5", red)
+	}
+	// Uniform values: any cut gives zero reduction.
+	_, red, ok = bestCut([]float64{4, 4, 4, 4})
+	if !ok || red != 0 {
+		t.Fatalf("uniform reduction = %g, ok=%v", red, ok)
+	}
+	// Too short.
+	if _, _, ok := bestCut([]float64{1}); ok {
+		t.Fatal("singleton should not be cuttable")
+	}
+}
+
+func TestSplitBlock(t *testing.T) {
+	b := grid.Block{X0: 2, Y0: 3, X1: 7, Y1: 9}
+	l, r := splitBlock(b, 0, 1)
+	if l != (grid.Block{X0: 2, Y0: 3, X1: 3, Y1: 9}) || r != (grid.Block{X0: 4, Y0: 3, X1: 7, Y1: 9}) {
+		t.Fatalf("x split = %+v, %+v", l, r)
+	}
+	l, r = splitBlock(b, 1, 0)
+	if l != (grid.Block{X0: 2, Y0: 3, X1: 7, Y1: 3}) || r != (grid.Block{X0: 2, Y0: 4, X1: 7, Y1: 9}) {
+		t.Fatalf("y split = %+v, %+v", l, r)
+	}
+	// Split results must partition the cells.
+	if l.Cells()+r.Cells() != b.Cells() {
+		t.Fatalf("split loses cells: %d + %d != %d", l.Cells(), r.Cells(), b.Cells())
+	}
+}

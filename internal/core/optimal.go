@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+)
+
+// Optimal BSP construction. The paper notes (Section 4) that building
+// partitionings that minimize spatial skew is NP-hard in general and
+// that the best known BSP algorithms use dynamic programming with at
+// least O(N^2.5) cost, which motivates Min-Skew's greedy heuristic.
+// For small instances the DP is perfectly feasible, and having it lets
+// the test suite and ablations measure how much skew the greedy
+// heuristic leaves on the table.
+
+// optimalLimits bound the DP's input so its O(cells^2 * (nx+ny) * k^2)
+// cost stays in check.
+const (
+	maxOptimalCells   = 1024
+	maxOptimalBuckets = 24
+)
+
+// OptimalBSPConfig configures NewOptimalBSP.
+type OptimalBSPConfig struct {
+	// Buckets is the bucket budget (at most maxOptimalBuckets).
+	Buckets int
+	// Regions is the grid resolution (at most maxOptimalCells cells).
+	Regions int
+}
+
+// NewOptimalBSP builds the binary space partitioning of the density
+// grid that exactly minimizes the total spatial skew (Definition 4.1)
+// within the bucket budget, by dynamic programming over (sub-block,
+// budget) states. It is exponential in nothing but still expensive:
+// only small grids and budgets are accepted.
+func NewOptimalBSP(d *dataset.Distribution, cfg OptimalBSPConfig) (*BucketEstimator, error) {
+	blocks, g, err := optimalBlocks(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewBucketEstimator("Optimal-BSP", finalizeBuckets(d, g, blocks)), nil
+}
+
+func optimalBlocks(d *dataset.Distribution, cfg OptimalBSPConfig) ([]*msBlock, *grid.Grid, error) {
+	if cfg.Buckets < 1 || cfg.Buckets > maxOptimalBuckets {
+		return nil, nil, fmt.Errorf("core: optimal BSP budget %d outside [1,%d]", cfg.Buckets, maxOptimalBuckets)
+	}
+	if cfg.Regions < 1 || cfg.Regions > maxOptimalCells {
+		return nil, nil, fmt.Errorf("core: optimal BSP regions %d outside [1,%d]", cfg.Regions, maxOptimalCells)
+	}
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, nil, fmt.Errorf("core: optimal BSP over empty distribution")
+	}
+	nx, ny := grid.Dims(cfg.Regions, mbr)
+	if nx*ny > maxOptimalCells {
+		return nil, nil, fmt.Errorf("core: optimal BSP grid %dx%d too large", nx, ny)
+	}
+	g, err := grid.Build(d, nx, ny)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	dp := &optimalDP{g: g, memo: make(map[dpKey]dpVal)}
+	blocks := dp.partition(g.FullBlock(), cfg.Buckets)
+	out := make([]*msBlock, len(blocks))
+	for i, b := range blocks {
+		out[i] = &msBlock{blk: b, axis: -1}
+	}
+	return out, g, nil
+}
+
+type dpKey struct {
+	b grid.Block
+	k int
+}
+
+type dpVal struct {
+	cost float64
+	// Split decision: axis -1 means keep whole.
+	axis, pos, leftK int
+}
+
+type optimalDP struct {
+	g    *grid.Grid
+	memo map[dpKey]dpVal
+}
+
+// solve returns the minimum total skew of partitioning b into at most
+// k buckets.
+func (dp *optimalDP) solve(b grid.Block, k int) dpVal {
+	key := dpKey{b: b, k: k}
+	if v, ok := dp.memo[key]; ok {
+		return v
+	}
+	best := dpVal{cost: dp.g.Skew(b), axis: -1}
+	if k > 1 && best.cost > 0 {
+		// Vertical cuts.
+		for x := b.X0; x < b.X1; x++ {
+			l := grid.Block{X0: b.X0, Y0: b.Y0, X1: x, Y1: b.Y1}
+			r := grid.Block{X0: x + 1, Y0: b.Y0, X1: b.X1, Y1: b.Y1}
+			dp.splitCosts(l, r, k, 0, x-b.X0, &best)
+		}
+		// Horizontal cuts.
+		for y := b.Y0; y < b.Y1; y++ {
+			l := grid.Block{X0: b.X0, Y0: b.Y0, X1: b.X1, Y1: y}
+			r := grid.Block{X0: b.X0, Y0: y + 1, X1: b.X1, Y1: b.Y1}
+			dp.splitCosts(l, r, k, 1, y-b.Y0, &best)
+		}
+	}
+	dp.memo[key] = best
+	return best
+}
+
+// splitCosts tries every budget division between the two halves.
+func (dp *optimalDP) splitCosts(l, r grid.Block, k, axis, pos int, best *dpVal) {
+	// Budgets beyond the cell count are wasted; cap to keep the state
+	// space tight.
+	maxL := l.Cells()
+	for kl := 1; kl <= k-1; kl++ {
+		if kl > maxL {
+			break
+		}
+		kr := k - kl
+		cost := dp.solve(l, kl).cost + dp.solve(r, kr).cost
+		if cost < best.cost {
+			*best = dpVal{cost: cost, axis: axis, pos: pos, leftK: kl}
+		}
+	}
+}
+
+// partition reconstructs the optimal block list.
+func (dp *optimalDP) partition(b grid.Block, k int) []grid.Block {
+	v := dp.solve(b, k)
+	if v.axis < 0 {
+		return []grid.Block{b}
+	}
+	l, r := splitBlock(b, v.axis, v.pos)
+	out := dp.partition(l, v.leftK)
+	return append(out, dp.partition(r, k-v.leftK)...)
+}
+
+// PartitionSkews builds both the greedy Min-Skew and the optimal BSP
+// over the same grid and returns their total spatial skews, for
+// measuring how close the greedy heuristic gets to the optimum.
+func PartitionSkews(d *dataset.Distribution, cfg OptimalBSPConfig) (greedy, optimal float64, err error) {
+	optBlocks, g, err := optimalBlocks(d, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, mb := range optBlocks {
+		optimal += g.Skew(mb.blk)
+	}
+
+	blocks := []*msBlock{newMSBlock(g, g.FullBlock(), true)}
+	growTo(g, &blocks, cfg.Buckets, true)
+	for _, mb := range blocks {
+		greedy += g.Skew(mb.blk)
+	}
+	return greedy, optimal, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+// Cross-technique invariants, checked over randomized queries:
+//
+//  1. Estimates are finite and within [0, N].
+//  2. Estimates are monotone under query containment: a larger query
+//     never has a smaller estimate.
+//  3. A query covering the whole extended input estimates exactly N
+//     for the tiling (histogram) techniques.
+
+func allEstimators(t *testing.T) (map[string]Estimator, int) {
+	t.Helper()
+	d := synthetic.Clusters(4000, 5, 1000, 0.04, 1, 20, 77)
+	out := map[string]Estimator{}
+	var err error
+	add := func(name string, e Estimator, buildErr error) {
+		if buildErr != nil {
+			t.Fatalf("%s: %v", name, buildErr)
+		}
+		out[name] = e
+	}
+	var u, ea, ec, rt, ms, opt *BucketEstimator
+	u, err = NewUniform(d)
+	add("Uniform", u, err)
+	ea, err = NewEquiArea(d, 30)
+	add("Equi-Area", ea, err)
+	ec, err = NewEquiCount(d, 30)
+	add("Equi-Count", ec, err)
+	rt, err = NewRTreeHist(d, RTreeHistConfig{Buckets: 30})
+	add("R-Tree", rt, err)
+	ms, err = NewMinSkew(d, MinSkewConfig{Buckets: 30, Regions: 900})
+	add("Min-Skew", ms, err)
+	msr, err := NewMinSkew(d, MinSkewConfig{Buckets: 30, Regions: 1024, Refinements: 2})
+	add("Min-Skew-PR", msr, err)
+	opt, err = NewOptimalBSP(d, OptimalBSPConfig{Buckets: 8, Regions: 100})
+	add("Optimal-BSP", opt, err)
+	sp, err := NewSample(d, 120, 5)
+	add("Sample", sp, err)
+	fr, err := NewFractal(d, 2, 7)
+	add("Fractal", fr, err)
+	return out, d.N()
+}
+
+func randQuery(rng *rand.Rand) geom.Rect {
+	x := rng.Float64()*1400 - 200
+	y := rng.Float64()*1400 - 200
+	w := rng.Float64() * 600
+	h := rng.Float64() * 600
+	if rng.Intn(10) == 0 {
+		w, h = 0, 0 // point queries too
+	}
+	return geom.NewRect(x, y, x+w, y+h)
+}
+
+func TestPropertyEstimatesBounded(t *testing.T) {
+	ests, n := allEstimators(t)
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 400; i++ {
+		q := randQuery(rng)
+		for name, e := range ests {
+			got := e.Estimate(q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s.Estimate(%v) = %g", name, q, got)
+			}
+			if got < 0 {
+				t.Fatalf("%s.Estimate(%v) = %g < 0", name, q, got)
+			}
+			if got > float64(n)+1e-6 {
+				t.Fatalf("%s.Estimate(%v) = %g > N = %d", name, q, got, n)
+			}
+		}
+	}
+}
+
+func TestPropertyEstimatesMonotone(t *testing.T) {
+	ests, _ := allEstimators(t)
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 300; i++ {
+		inner := randQuery(rng)
+		// Grow the query outward by random margins.
+		outer := geom.NewRect(
+			inner.MinX-rng.Float64()*100, inner.MinY-rng.Float64()*100,
+			inner.MaxX+rng.Float64()*100, inner.MaxY+rng.Float64()*100)
+		for name, e := range ests {
+			a, b := e.Estimate(inner), e.Estimate(outer)
+			if a > b+1e-9 {
+				t.Fatalf("%s: estimate(%v)=%g > estimate(%v)=%g despite containment",
+					name, inner, a, outer, b)
+			}
+		}
+	}
+}
+
+func TestPropertyCoveringQueryIsExactForTilings(t *testing.T) {
+	ests, n := allEstimators(t)
+	huge := geom.NewRect(-1e6, -1e6, 1e6, 1e6)
+	// Tiling techniques account for every rectangle exactly once.
+	for _, name := range []string{"Uniform", "Min-Skew", "Min-Skew-PR", "Optimal-BSP", "Sample"} {
+		got := ests[name].Estimate(huge)
+		if math.Abs(got-float64(n)) > 1e-6 {
+			t.Errorf("%s: covering estimate = %g, want %d", name, got, n)
+		}
+	}
+	// Equi-* and R-Tree buckets can overlap, but each rectangle still
+	// belongs to exactly one bucket, so the covering estimate is N too.
+	for _, name := range []string{"Equi-Area", "Equi-Count", "R-Tree"} {
+		got := ests[name].Estimate(huge)
+		if math.Abs(got-float64(n)) > 1e-6 {
+			t.Errorf("%s: covering estimate = %g, want %d", name, got, n)
+		}
+	}
+}

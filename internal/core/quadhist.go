@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/quadtree"
+)
+
+// NewQuadTreeHist builds buckets from the leaves of a PR quadtree over
+// the input — a second index-derived grouping to set against the
+// paper's R-tree technique. Quadtree leaves form a disjoint tiling
+// (like Min-Skew's buckets) but their boundaries come from regular
+// quartering rather than from the data's skew, so the comparison
+// isolates the value of skew-aware split placement.
+//
+// As with the R-tree, the bucket count is hard to hit exactly: the
+// leaf capacity is retuned upward until the leaf count fits the
+// budget, which can leave the histogram under quota.
+func NewQuadTreeHist(d *dataset.Distribution, buckets int) (*BucketEstimator, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("core: quadtree grouping needs at least one bucket, got %d", buckets)
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: quadtree grouping over empty distribution")
+	}
+	// Initial leaf capacity sized for a balanced tree; double until the
+	// leaf count fits the budget.
+	leafCap := 2 * d.N() / buckets
+	if leafCap < 1 {
+		leafCap = 1
+	}
+	var leaves []quadtree.LeafSummary
+	for attempt := 0; attempt < 20; attempt++ {
+		t, err := quadtree.Build(d, quadtree.Config{LeafCap: leafCap})
+		if err != nil {
+			return nil, err
+		}
+		leaves = t.Leaves()
+		if len(leaves) <= buckets {
+			break
+		}
+		leafCap *= 2
+	}
+	if len(leaves) > buckets {
+		return nil, fmt.Errorf("core: quadtree grouping could not fit %d leaves into %d buckets", len(leaves), buckets)
+	}
+	out := make([]Bucket, 0, len(leaves))
+	for _, l := range leaves {
+		b := Bucket{Box: l.Box, Count: l.Count}
+		if l.Count > 0 {
+			n := float64(l.Count)
+			b.AvgW = l.SumW / n
+			b.AvgH = l.SumH / n
+			if area := l.Box.Area(); area > 0 {
+				b.AvgDensity = l.SumA / area
+			} else {
+				b.AvgDensity = n
+			}
+		}
+		out = append(out, b)
+	}
+	return NewBucketEstimator("QuadTree", out), nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func TestQuadTreeHistErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	if _, err := NewQuadTreeHist(d, 0); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, err := NewQuadTreeHist(dataset.New(nil), 10); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+}
+
+func TestQuadTreeHistBudgetAndTiling(t *testing.T) {
+	d := synthetic.Charminar(10000, 1000, 10, 2)
+	h, err := NewQuadTreeHist(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(h.Buckets())
+	if got > 100 {
+		t.Fatalf("%d buckets exceeds quota", got)
+	}
+	if got < 4 {
+		t.Fatalf("only %d buckets; tuning failed", got)
+	}
+	mbr, _ := d.MBR()
+	var area float64
+	total := 0
+	for _, b := range h.Buckets() {
+		area += b.Box.Area()
+		total += b.Count
+	}
+	if math.Abs(area-mbr.Area())/mbr.Area() > 1e-9 {
+		t.Fatalf("areas sum to %g, want %g", area, mbr.Area())
+	}
+	if total != d.N() {
+		t.Fatalf("counts sum to %d", total)
+	}
+	if got := h.Estimate(geom.NewRect(0, 0, 1000, 1000)); math.Abs(got-float64(d.N())) > 1e-6 {
+		t.Fatalf("covering estimate = %g", got)
+	}
+}
+
+func TestQuadTreeHistBeatsUniformOnSkew(t *testing.T) {
+	d := synthetic.Charminar(20000, 10000, 100, 3)
+	qh, err := NewQuadTreeHist(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := NewUniform(d)
+	if eq, eu := avgRelErr(t, d, qh, 0.10), avgRelErr(t, d, u, 0.10); eq >= eu {
+		t.Fatalf("quadtree error %g not better than uniform %g", eq, eu)
+	}
+}
+
+func TestQuadTreeHistDegenerate(t *testing.T) {
+	// All-identical rectangles: single leaf, still answers.
+	rects := make([]geom.Rect, 64)
+	for i := range rects {
+		rects[i] = geom.NewRect(5, 5, 7, 7)
+	}
+	d := dataset.New(rects)
+	h, err := NewQuadTreeHist(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Estimate(geom.NewRect(0, 0, 10, 10)); math.Abs(got-64) > 1e-9 {
+		t.Fatalf("estimate = %g, want 64", got)
+	}
+}

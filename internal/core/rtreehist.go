@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/rtree"
+)
+
+// RTreeLoad selects how the R-tree behind the histogram is built.
+type RTreeLoad int
+
+const (
+	// LoadInsert is the paper's method: repeated R* insertion.
+	LoadInsert RTreeLoad = iota
+	// LoadSTR bulk-loads with Sort-Tile-Recursive packing.
+	LoadSTR
+	// LoadHilbert bulk-loads by Hilbert-sorting the centers.
+	LoadHilbert
+)
+
+// String implements fmt.Stringer.
+func (l RTreeLoad) String() string {
+	switch l {
+	case LoadInsert:
+		return "repeated-insert"
+	case LoadSTR:
+		return "STR"
+	case LoadHilbert:
+		return "Hilbert"
+	default:
+		return fmt.Sprintf("RTreeLoad(%d)", int(l))
+	}
+}
+
+// RTreeHistConfig controls the R-tree index-based grouping of Section
+// 3.4.
+type RTreeHistConfig struct {
+	// Buckets is the bucket budget. The construction tweaks the tree's
+	// branching factor so the chosen level produces close to, but never
+	// more than, this many buckets (Section 5.4).
+	Buckets int
+	// Method selects the tree construction; the default LoadInsert is
+	// the paper's repeated R* insertion.
+	Method RTreeLoad
+	// BulkLoad is a deprecated alias: true selects LoadSTR when Method
+	// is LoadInsert.
+	BulkLoad bool
+	// MaxFanout caps the tuned branching factor (0 means the default
+	// 16384). Small bucket budgets over large inputs need enormous
+	// fanouts; a cap below N/(0.7*Buckets) makes the leaf level exceed
+	// the budget so the histogram falls back to a higher (coarser)
+	// level.
+	MaxFanout int
+}
+
+// NewRTreeHist builds buckets from the MBRs of the nodes of an R*-tree
+// over the input: the deepest level whose node count does not exceed
+// the budget supplies the buckets, each annotated with the aggregate
+// statistics of its subtree.
+func NewRTreeHist(d *dataset.Distribution, cfg RTreeHistConfig) (*BucketEstimator, error) {
+	if cfg.Buckets < 1 {
+		return nil, fmt.Errorf("core: R-Tree grouping needs at least one bucket, got %d", cfg.Buckets)
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: R-Tree grouping over empty distribution")
+	}
+	fanout := tuneFanout(d.N(), cfg.Buckets, cfg.MaxFanout)
+	method := cfg.Method
+	if cfg.BulkLoad && method == LoadInsert {
+		method = LoadSTR
+	}
+
+	var t *rtree.Tree
+	switch method {
+	case LoadSTR:
+		t = rtree.STRLoad(d.Rects(), fanout)
+	case LoadHilbert:
+		t = rtree.HilbertLoad(d.Rects(), fanout)
+	default:
+		t = rtree.New(fanout)
+		for i, r := range d.Rects() {
+			t.Insert(r, i)
+		}
+	}
+
+	// Use the deepest level with at most the budgeted node count.
+	var sums []rtree.NodeSummary
+	for level := 0; level < t.Height(); level++ {
+		s, err := t.LevelNodes(level)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) <= cfg.Buckets {
+			sums = s
+			break
+		}
+	}
+	if sums == nil {
+		// Even the root exceeds the budget: impossible since the root
+		// is one node, but guard anyway.
+		s, err := t.LevelNodes(t.Height() - 1)
+		if err != nil {
+			return nil, err
+		}
+		sums = s
+	}
+
+	buckets := make([]Bucket, len(sums))
+	for i, s := range sums {
+		b := Bucket{Box: s.MBR, Count: s.Count}
+		if s.Count > 0 {
+			b.AvgW = s.SumW / float64(s.Count)
+			b.AvgH = s.SumH / float64(s.Count)
+			if area := s.MBR.Area(); area > 0 {
+				// Approximate the bucket's covered area from the
+				// average dimensions (the tree does not retain the
+				// exact summed rectangle areas).
+				b.AvgDensity = float64(s.Count) * b.AvgW * b.AvgH / area
+			} else {
+				b.AvgDensity = float64(s.Count)
+			}
+		}
+		buckets[i] = b
+	}
+	return NewBucketEstimator("R-Tree", buckets), nil
+}
+
+// tuneFanout chooses a branching factor so the leaf level lands close
+// to the bucket budget assuming ~70% node fill, clamped to a sane
+// range.
+func tuneFanout(n, buckets, maxFanout int) int {
+	if maxFanout <= 0 {
+		maxFanout = 16384
+	}
+	f := int(math.Ceil(float64(n) / (0.7 * float64(buckets))))
+	if f < 8 {
+		f = 8
+	}
+	if f > maxFanout {
+		f = maxFanout
+	}
+	return f
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// SampleEstimator implements the sampling technique of Section 5.3: a
+// uniform random sample of the input rectangles is retained; a query's
+// selectivity on the sample is scaled up by N/n. Each stored sample
+// rectangle costs half a bucket of space (only its bounding box is
+// kept, Section 5.4).
+type SampleEstimator struct {
+	sample []geom.Rect
+	n      int // input size
+}
+
+// NewSample draws a uniform sample of size rectangles (without
+// replacement) from d using the given seed. A size of at least the
+// input keeps everything, making the estimator exact.
+func NewSample(d *dataset.Distribution, size int, seed int64) (*SampleEstimator, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("core: sample size %d < 1", size)
+	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: sampling an empty distribution")
+	}
+	if size > d.N() {
+		size = d.N()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.N())
+	sample := make([]geom.Rect, size)
+	for i := 0; i < size; i++ {
+		sample[i] = d.Rect(perm[i])
+	}
+	return &SampleEstimator{sample: sample, n: d.N()}, nil
+}
+
+// Estimate implements Estimator: m * N / n for m sample hits.
+func (s *SampleEstimator) Estimate(q geom.Rect) float64 {
+	m := 0
+	for _, r := range s.sample {
+		if r.Intersects(q) {
+			m++
+		}
+	}
+	return float64(m) * float64(s.n) / float64(len(s.sample))
+}
+
+// Name implements Estimator.
+func (s *SampleEstimator) Name() string { return "Sample" }
+
+// SpaceBuckets implements Estimator: two sample rectangles per bucket
+// equivalent.
+func (s *SampleEstimator) SpaceBuckets() float64 { return float64(len(s.sample)) / 2 }
+
+// Size returns the number of retained sample rectangles.
+func (s *SampleEstimator) Size() int { return len(s.sample) }

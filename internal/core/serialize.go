@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Histogram serialization: database systems persist statistics in the
+// catalog between sessions. The binary format is versioned and
+// self-describing:
+//
+//	magic "SPHIST1\n"
+//	uint16 name length, name bytes
+//	uint32 bucket count
+//	per bucket: 4 float64 box coords, uint64 count,
+//	            3 float64 (avg width, avg height, avg density)
+//
+// All integers are big-endian; floats are IEEE-754 bits.
+
+const histMagic = "SPHIST1\n"
+
+// WriteTo serializes the histogram. It implements io.WriterTo.
+func (e *BucketEstimator) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(histMagic)); err != nil {
+		return n, err
+	}
+	if len(e.name) > math.MaxUint16 {
+		return n, fmt.Errorf("core: histogram name too long (%d bytes)", len(e.name))
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(e.name)))
+	if err := write(buf[:2]); err != nil {
+		return n, err
+	}
+	if err := write([]byte(e.name)); err != nil {
+		return n, err
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(e.buckets)))
+	if err := write(buf[:4]); err != nil {
+		return n, err
+	}
+	for _, b := range e.buckets {
+		for _, v := range [...]float64{b.Box.MinX, b.Box.MinY, b.Box.MaxX, b.Box.MaxY} {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			if err := write(buf[:]); err != nil {
+				return n, err
+			}
+		}
+		binary.BigEndian.PutUint64(buf[:], uint64(b.Count))
+		if err := write(buf[:]); err != nil {
+			return n, err
+		}
+		for _, v := range [...]float64{b.AvgW, b.AvgH, b.AvgDensity} {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			if err := write(buf[:]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadHistogram deserializes a histogram written by WriteTo.
+func ReadHistogram(r io.Reader) (*BucketEstimator, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(histMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: read histogram magic: %v", err)
+	}
+	if string(magic) != histMagic {
+		return nil, fmt.Errorf("core: bad histogram magic %q", magic)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:2]); err != nil {
+		return nil, fmt.Errorf("core: read name length: %v", err)
+	}
+	nameLen := binary.BigEndian.Uint16(buf[:2])
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("core: read name: %v", err)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("core: read bucket count: %v", err)
+	}
+	count := binary.BigEndian.Uint32(buf[:4])
+	const maxBuckets = 1 << 24
+	if count > maxBuckets {
+		return nil, fmt.Errorf("core: implausible bucket count %d", count)
+	}
+	readF := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(buf[:])), nil
+	}
+	// The count is untrusted: bound the preallocation and let append
+	// grow with actual payload.
+	capHint := count
+	if capHint > 1<<12 {
+		capHint = 1 << 12
+	}
+	buckets := make([]Bucket, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		var vals [4]float64
+		for j := range vals {
+			v, err := readF()
+			if err != nil {
+				return nil, fmt.Errorf("core: bucket %d box: %v", i, err)
+			}
+			vals[j] = v
+		}
+		box := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if !box.Valid() {
+			return nil, fmt.Errorf("core: bucket %d has invalid box %v", i, box)
+		}
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("core: bucket %d count: %v", i, err)
+		}
+		cnt := binary.BigEndian.Uint64(buf[:])
+		if cnt > math.MaxInt32 {
+			return nil, fmt.Errorf("core: bucket %d implausible count %d", i, cnt)
+		}
+		w, err := readF()
+		if err != nil {
+			return nil, fmt.Errorf("core: bucket %d stats: %v", i, err)
+		}
+		h, err := readF()
+		if err != nil {
+			return nil, fmt.Errorf("core: bucket %d stats: %v", i, err)
+		}
+		dens, err := readF()
+		if err != nil {
+			return nil, fmt.Errorf("core: bucket %d stats: %v", i, err)
+		}
+		if math.IsNaN(w) || math.IsNaN(h) || math.IsNaN(dens) || w < 0 || h < 0 || dens < 0 {
+			return nil, fmt.Errorf("core: bucket %d has invalid statistics", i)
+		}
+		buckets = append(buckets, Bucket{Box: box, Count: int(cnt), AvgW: w, AvgH: h, AvgDensity: dens})
+	}
+	return NewBucketEstimator(string(name), buckets), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e *BucketEstimator) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (e *BucketEstimator) UnmarshalBinary(data []byte) error {
+	h, err := ReadHistogram(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*e = *h
+	return nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func TestHistogramRoundTrip(t *testing.T) {
+	d := synthetic.Charminar(3000, 1000, 10, 11)
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: 40, Regions: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := ms.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadHistogram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != ms.Name() {
+		t.Fatalf("name = %q, want %q", back.Name(), ms.Name())
+	}
+	if len(back.Buckets()) != len(ms.Buckets()) {
+		t.Fatalf("buckets = %d, want %d", len(back.Buckets()), len(ms.Buckets()))
+	}
+	for i, b := range ms.Buckets() {
+		if back.Buckets()[i] != b {
+			t.Fatalf("bucket %d: %+v != %+v", i, back.Buckets()[i], b)
+		}
+	}
+	// Estimates are identical after the round trip.
+	q := geom.NewRect(100, 100, 600, 700)
+	if a, b := ms.Estimate(q), back.Estimate(q); a != b {
+		t.Fatalf("estimates differ after round trip: %g vs %g", a, b)
+	}
+}
+
+func TestHistogramMarshalBinary(t *testing.T) {
+	e := NewBucketEstimator("demo", []Bucket{
+		{Box: geom.NewRect(0, 0, 5, 5), Count: 7, AvgW: 1, AvgH: 2, AvgDensity: 0.3},
+	})
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BucketEstimator
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "demo" || len(back.Buckets()) != 1 || back.Buckets()[0].Count != 7 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestReadHistogramErrors(t *testing.T) {
+	good := NewBucketEstimator("x", []Bucket{
+		{Box: geom.NewRect(0, 0, 1, 1), Count: 1, AvgW: 0.5, AvgH: 0.5, AvgDensity: 0.25},
+	})
+	raw, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOTHIST!rest")},
+		{"truncated header", raw[:9]},
+		{"truncated buckets", raw[:len(raw)-8]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadHistogram(bytes.NewReader(c.data)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+
+	// Corrupt box: make MinX > MaxX.
+	bad := append([]byte(nil), raw...)
+	// Header: 8 magic + 2 len + 1 name + 4 count = 15; first float is MinX.
+	for i := 0; i < 8; i++ {
+		bad[15+i] = 0
+	}
+	// Set MinX = +Inf.
+	inf := math.Float64bits(math.Inf(1))
+	for i := 0; i < 8; i++ {
+		bad[15+i] = byte(inf >> (56 - 8*i))
+	}
+	if _, err := ReadHistogram(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "invalid box") {
+		t.Fatalf("corrupt box error = %v", err)
+	}
+
+	// Implausible bucket count.
+	badCount := append([]byte(nil), raw[:11]...)
+	badCount = append(badCount, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := ReadHistogram(bytes.NewReader(badCount)); err == nil {
+		t.Fatal("huge bucket count should fail")
+	}
+}
+
+func TestMaintainInsertDelete(t *testing.T) {
+	e := NewBucketEstimator("m", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 2, AvgW: 2, AvgH: 2, AvgDensity: 0.08},
+		{Box: geom.NewRect(10, 0, 20, 10), Count: 0},
+	})
+	// Insert into the first bucket.
+	e.Insert(geom.NewRect(1, 1, 5, 5)) // 4x4
+	b := e.Buckets()[0]
+	if b.Count != 3 {
+		t.Fatalf("Count = %d", b.Count)
+	}
+	if math.Abs(b.AvgW-(2+2+4)/3.0) > 1e-12 {
+		t.Fatalf("AvgW = %g", b.AvgW)
+	}
+	if math.Abs(b.AvgDensity-(0.08+0.16)) > 1e-12 {
+		t.Fatalf("AvgDensity = %g", b.AvgDensity)
+	}
+	// Insert into the empty second bucket.
+	e.Insert(geom.NewRect(12, 2, 14, 4))
+	if got := e.Buckets()[1]; got.Count != 1 || got.AvgW != 2 {
+		t.Fatalf("second bucket = %+v", got)
+	}
+	// Delete restores the first bucket's stats.
+	e.Delete(geom.NewRect(1, 1, 5, 5))
+	b = e.Buckets()[0]
+	if b.Count != 2 || math.Abs(b.AvgW-2) > 1e-9 || math.Abs(b.AvgDensity-0.08) > 1e-9 {
+		t.Fatalf("after delete: %+v", b)
+	}
+	if e.Churn() != 3 {
+		t.Fatalf("Churn = %d", e.Churn())
+	}
+	e.ResetChurn()
+	if e.Churn() != 0 {
+		t.Fatal("ResetChurn failed")
+	}
+}
+
+func TestMaintainUncoveredAndEdgeCases(t *testing.T) {
+	e := NewBucketEstimator("m", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 1, AvgW: 1, AvgH: 1, AvgDensity: 0.01},
+	})
+	// Center outside every bucket.
+	e.Insert(geom.NewRect(100, 100, 102, 102))
+	if e.Uncovered() != 1 {
+		t.Fatalf("Uncovered = %d", e.Uncovered())
+	}
+	e.Delete(geom.NewRect(100, 100, 102, 102))
+	if e.Uncovered() != 0 {
+		t.Fatalf("Uncovered after delete = %d", e.Uncovered())
+	}
+	// Delete the last member: bucket zeroes cleanly.
+	e.Delete(geom.NewRect(4, 4, 6, 6))
+	b := e.Buckets()[0]
+	if b.Count != 0 || b.AvgW != 0 || b.AvgDensity != 0 {
+		t.Fatalf("emptied bucket = %+v", b)
+	}
+	// Deleting from an empty bucket is a no-op.
+	e.Delete(geom.NewRect(4, 4, 6, 6))
+	if e.Buckets()[0].Count != 0 {
+		t.Fatal("delete from empty bucket changed count")
+	}
+}
+
+func TestStaleFraction(t *testing.T) {
+	e := NewBucketEstimator("m", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 10, AvgW: 1, AvgH: 1, AvgDensity: 0.1},
+	})
+	if e.StaleFraction() != 0 {
+		t.Fatalf("fresh StaleFraction = %g", e.StaleFraction())
+	}
+	for i := 0; i < 5; i++ {
+		e.Insert(geom.NewRect(1, 1, 2, 2))
+	}
+	// 5 churn over 15 live entries.
+	if got := e.StaleFraction(); math.Abs(got-5.0/15.0) > 1e-12 {
+		t.Fatalf("StaleFraction = %g, want 1/3", got)
+	}
+	// All-empty histogram with churn reports fully stale.
+	empty := NewBucketEstimator("e", []Bucket{{Box: geom.NewRect(0, 0, 1, 1)}})
+	empty.Delete(geom.NewRect(0, 0, 1, 1))
+	if empty.StaleFraction() != 1 {
+		t.Fatalf("empty churned StaleFraction = %g", empty.StaleFraction())
+	}
+}
+
+func TestMaintainedEstimatesTrackData(t *testing.T) {
+	// Build on half the data, then Insert the other half; estimates
+	// should roughly double.
+	d := synthetic.Uniform(4000, 1000, 5, 15, 13)
+	half := d.Rects()[:2000]
+	rest := d.Rects()[2000:]
+	hist, err := NewMinSkew(dataset.New(half), MinSkewConfig{Buckets: 30, Regions: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(200, 200, 800, 800)
+	before := hist.Estimate(q)
+	for _, r := range rest {
+		hist.Insert(r)
+	}
+	after := hist.Estimate(q)
+	if after < before*1.7 || after > before*2.3 {
+		t.Fatalf("estimate went %g -> %g, want ~2x", before, after)
+	}
+}

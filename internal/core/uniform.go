@@ -1,0 +1,20 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// NewUniform builds the Uniform technique of Section 3.1: a single
+// bucket covering the entire input MBR under the uniformity
+// assumption. It is the spatial analogue of the classic
+// uniform-distribution assumption of relational optimizers.
+func NewUniform(d *dataset.Distribution) (*BucketEstimator, error) {
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, fmt.Errorf("core: uniform over empty distribution")
+	}
+	b := summarize(mbr, d.Rects())
+	return NewBucketEstimator("Uniform", []Bucket{b}), nil
+}

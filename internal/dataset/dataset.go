@@ -1,0 +1,165 @@
+// Package dataset defines the input of the selectivity estimation
+// problem: a distribution T of two-dimensional rectangles (Section 2 of
+// the paper), together with the aggregate statistics the estimators
+// need — the number of rectangles N, the minimum bounding rectangle and
+// its area Area(T), the total rectangle area TA, and the average width
+// Wavg and height Havg.
+//
+// The package also provides a simple line-oriented text interchange
+// format and a compact binary format for persisting distributions.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Distribution is a set of input rectangles with cached aggregate
+// statistics. The zero value is an empty distribution; use New or Add
+// followed by the accessor methods. Statistics are maintained
+// incrementally so Add is O(1).
+type Distribution struct {
+	rects []geom.Rect
+
+	hasMBR    bool
+	mbr       geom.Rect
+	totalArea float64 // TA: sum of areas of all rectangles
+	sumW      float64
+	sumH      float64
+}
+
+// New creates a Distribution from the given rectangles. The slice is
+// copied, so the caller may reuse it.
+func New(rects []geom.Rect) *Distribution {
+	d := &Distribution{rects: make([]geom.Rect, 0, len(rects))}
+	for _, r := range rects {
+		d.Add(r)
+	}
+	return d
+}
+
+// FromRects creates a Distribution that takes ownership of the given
+// slice without copying. The caller must not modify rects afterwards.
+func FromRects(rects []geom.Rect) *Distribution {
+	d := &Distribution{}
+	d.rects = d.rects[:0]
+	for _, r := range rects {
+		d.accumulate(r)
+	}
+	d.rects = rects
+	return d
+}
+
+// Add appends one rectangle to the distribution, updating statistics.
+// Invalid rectangles (NaN/Inf or inverted corners) are rejected with an
+// error and not added.
+func (d *Distribution) Add(r geom.Rect) error {
+	if !r.Valid() {
+		return fmt.Errorf("dataset: invalid rectangle %v", r)
+	}
+	d.accumulate(r)
+	d.rects = append(d.rects, r)
+	return nil
+}
+
+func (d *Distribution) accumulate(r geom.Rect) {
+	if !d.hasMBR {
+		d.mbr = r
+		d.hasMBR = true
+	} else {
+		d.mbr = d.mbr.Union(r)
+	}
+	d.totalArea += r.Area()
+	d.sumW += r.Width()
+	d.sumH += r.Height()
+}
+
+// N returns the number of rectangles in the distribution.
+func (d *Distribution) N() int { return len(d.rects) }
+
+// Rects returns the underlying rectangle slice. Callers must treat it as
+// read-only.
+func (d *Distribution) Rects() []geom.Rect { return d.rects }
+
+// Rect returns the i-th rectangle.
+func (d *Distribution) Rect(i int) geom.Rect { return d.rects[i] }
+
+// MBR returns the minimum bounding rectangle of the distribution and
+// whether the distribution is non-empty.
+func (d *Distribution) MBR() (geom.Rect, bool) {
+	if len(d.rects) == 0 {
+		return geom.Rect{}, false
+	}
+	return d.mbr, true
+}
+
+// Area returns Area(T), the area of the MBR of the input, zero when the
+// distribution is empty.
+func (d *Distribution) Area() float64 {
+	if len(d.rects) == 0 {
+		return 0
+	}
+	return d.mbr.Area()
+}
+
+// TotalArea returns TA, the sum of the areas of all input rectangles.
+func (d *Distribution) TotalArea() float64 { return d.totalArea }
+
+// AvgWidth returns Wavg, the average rectangle width (0 for an empty
+// distribution).
+func (d *Distribution) AvgWidth() float64 {
+	if len(d.rects) == 0 {
+		return 0
+	}
+	return d.sumW / float64(len(d.rects))
+}
+
+// AvgHeight returns Havg, the average rectangle height (0 for an empty
+// distribution).
+func (d *Distribution) AvgHeight() float64 {
+	if len(d.rects) == 0 {
+		return 0
+	}
+	return d.sumH / float64(len(d.rects))
+}
+
+// Centers returns the centers of all rectangles, in input order.
+func (d *Distribution) Centers() []geom.Point {
+	out := make([]geom.Point, len(d.rects))
+	for i, r := range d.rects {
+		out[i] = r.Center()
+	}
+	return out
+}
+
+// Stats is a snapshot of the aggregate statistics of a distribution.
+type Stats struct {
+	N         int
+	MBR       geom.Rect
+	Area      float64 // area of the MBR
+	TotalArea float64 // TA
+	AvgWidth  float64 // Wavg
+	AvgHeight float64 // Havg
+}
+
+// Stats returns a snapshot of the distribution's aggregate statistics.
+func (d *Distribution) Stats() Stats {
+	return Stats{
+		N:         d.N(),
+		MBR:       d.mbr,
+		Area:      d.Area(),
+		TotalArea: d.totalArea,
+		AvgWidth:  d.AvgWidth(),
+		AvgHeight: d.AvgHeight(),
+	}
+}
+
+// String summarizes the distribution.
+func (d *Distribution) String() string {
+	if d.N() == 0 {
+		return "Distribution{empty}"
+	}
+	return fmt.Sprintf("Distribution{N=%d, MBR=%v, TA=%.4g, Wavg=%.4g, Havg=%.4g}",
+		d.N(), d.mbr, d.totalArea, d.AvgWidth(), d.AvgHeight())
+}

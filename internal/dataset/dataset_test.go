@@ -1,0 +1,278 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mustAdd(t *testing.T, d *Distribution, r geom.Rect) {
+	t.Helper()
+	if err := d.Add(r); err != nil {
+		t.Fatalf("Add(%v): %v", r, err)
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := &Distribution{}
+	if d.N() != 0 {
+		t.Fatalf("N = %d, want 0", d.N())
+	}
+	if _, ok := d.MBR(); ok {
+		t.Fatal("empty distribution should have no MBR")
+	}
+	if d.Area() != 0 || d.TotalArea() != 0 || d.AvgWidth() != 0 || d.AvgHeight() != 0 {
+		t.Fatal("empty distribution stats should all be zero")
+	}
+	if got := d.String(); got != "Distribution{empty}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestStatsIncremental(t *testing.T) {
+	d := &Distribution{}
+	mustAdd(t, d, geom.NewRect(0, 0, 2, 2))
+	mustAdd(t, d, geom.NewRect(4, 4, 10, 6))
+
+	if d.N() != 2 {
+		t.Fatalf("N = %d", d.N())
+	}
+	mbr, ok := d.MBR()
+	if !ok || mbr != geom.NewRect(0, 0, 10, 6) {
+		t.Fatalf("MBR = %v, %v", mbr, ok)
+	}
+	if got := d.Area(); got != 60 {
+		t.Errorf("Area = %g, want 60", got)
+	}
+	if got := d.TotalArea(); got != 4+12 {
+		t.Errorf("TotalArea = %g, want 16", got)
+	}
+	if got := d.AvgWidth(); got != (2+6)/2.0 {
+		t.Errorf("AvgWidth = %g, want 4", got)
+	}
+	if got := d.AvgHeight(); got != (2+2)/2.0 {
+		t.Errorf("AvgHeight = %g, want 2", got)
+	}
+	s := d.Stats()
+	if s.N != 2 || s.MBR != mbr || s.TotalArea != 16 {
+		t.Errorf("Stats snapshot mismatch: %+v", s)
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	d := &Distribution{}
+	bad := []geom.Rect{
+		{MinX: 2, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 0, MinY: 0, MaxX: math.Inf(1), MaxY: 1},
+	}
+	for _, r := range bad {
+		if err := d.Add(r); err == nil {
+			t.Errorf("Add(%v) should fail", r)
+		}
+	}
+	if d.N() != 0 {
+		t.Fatalf("invalid adds must not change the distribution, N = %d", d.N())
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	rects := []geom.Rect{geom.NewRect(0, 0, 1, 1)}
+	d := New(rects)
+	rects[0] = geom.NewRect(50, 50, 60, 60)
+	if d.Rect(0) != geom.NewRect(0, 0, 1, 1) {
+		t.Fatal("New must copy the input slice")
+	}
+}
+
+func TestFromRectsAllPointsMBR(t *testing.T) {
+	// Regression: with zero-area rectangles, FromRects used to reset
+	// the MBR on every element, leaving the MBR of the last point only.
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 0, 0),
+		geom.NewRect(10, 20, 10, 20),
+		geom.NewRect(5, 5, 5, 5),
+	}
+	d := FromRects(rects)
+	mbr, ok := d.MBR()
+	if !ok || mbr != geom.NewRect(0, 0, 10, 20) {
+		t.Fatalf("MBR = %v, %v; want [(0,0),(10,20)]", mbr, ok)
+	}
+	// Same through incremental Add.
+	d2 := &Distribution{}
+	for _, r := range rects {
+		mustAdd(t, d2, r)
+	}
+	mbr2, _ := d2.MBR()
+	if mbr2 != mbr {
+		t.Fatalf("Add path MBR = %v", mbr2)
+	}
+}
+
+func TestFromRectsStats(t *testing.T) {
+	rects := []geom.Rect{geom.NewRect(0, 0, 2, 2), geom.NewRect(1, 1, 5, 3)}
+	d := FromRects(rects)
+	if d.N() != 2 {
+		t.Fatalf("N = %d", d.N())
+	}
+	mbr, _ := d.MBR()
+	if mbr != geom.NewRect(0, 0, 5, 3) {
+		t.Fatalf("MBR = %v", mbr)
+	}
+	if d.TotalArea() != 4+8 {
+		t.Fatalf("TotalArea = %g", d.TotalArea())
+	}
+}
+
+func TestCenters(t *testing.T) {
+	d := New([]geom.Rect{geom.NewRect(0, 0, 2, 2), geom.NewRect(2, 2, 6, 4)})
+	got := d.Centers()
+	want := []geom.Point{{X: 1, Y: 1}, {X: 4, Y: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Centers len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Centers[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	d := New([]geom.Rect{
+		geom.NewRect(0, 0, 1.5, 2.25),
+		geom.NewRect(-3, -4, -1, -2),
+		geom.NewRect(7, 7, 7, 7), // degenerate point
+	})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRects(t, d, got)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rects []geom.Rect
+	for i := 0; i < 500; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*10, y+rng.Float64()*10))
+	}
+	d := New(rects)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRects(t, d, got)
+}
+
+func requireSameRects(t *testing.T, want, got *Distribution) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("N = %d, want %d", got.N(), want.N())
+	}
+	for i := range want.Rects() {
+		if got.Rect(i) != want.Rect(i) {
+			t.Fatalf("rect %d = %v, want %v", i, got.Rect(i), want.Rect(i))
+		}
+	}
+	if math.Abs(got.TotalArea()-want.TotalArea()) > 1e-9 {
+		t.Fatalf("TotalArea = %g, want %g", got.TotalArea(), want.TotalArea())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"too few fields", "1 2 3\n"},
+		{"too many fields", "1 2 3 4 5\n"},
+		{"non-numeric", "a b c d\n"},
+		{"inverted rect", "5 5 1 1\n"},
+		{"nan", "NaN 0 1 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+				t.Fatalf("ReadText(%q) should fail", c.in)
+			}
+		})
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n  \n0 0 1 1\n# trailing comment\n2 2 3 3\n"
+	d, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 {
+		t.Fatalf("N = %d, want 2", d.N())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("WRONGMAG"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte(binaryMagic))); err == nil {
+		t.Fatal("truncated count should fail")
+	}
+	// Magic plus count 1 but no payload.
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("truncated payload should fail")
+	}
+	// Implausible count.
+	buf.Reset()
+	buf.WriteString(binaryMagic)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("huge count should fail")
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	d := New([]geom.Rect{geom.NewRect(0, 0, 1, 1), geom.NewRect(5, 5, 8, 9)})
+	dir := t.TempDir()
+
+	txt := filepath.Join(dir, "d.txt")
+	if err := Save(txt, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRects(t, d, got)
+
+	bin := filepath.Join(dir, "d.bin")
+	if err := Save(bin, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRects(t, d, got)
+
+	if _, err := Load(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("loading missing file should fail")
+	}
+}

@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzReadText asserts the text reader never panics and every accepted
+// distribution has consistent statistics.
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"0 0 1 1\n",
+		"# comment\n\n0 0 1 1\n2 2 3 3\n",
+		"0 0 1\n",
+		"a b c d\n",
+		"1e308 0 1e309 1\n",
+		"0 0 0 0\n",
+		"-1 -2 -0.5 -0.25\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			return
+		}
+		d, err := ReadText(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if d.N() > 0 {
+			mbr, ok := d.MBR()
+			if !ok || !mbr.Valid() {
+				t.Fatalf("accepted distribution with bad MBR %v", mbr)
+			}
+			for _, r := range d.Rects() {
+				if !mbr.Contains(r) {
+					t.Fatalf("MBR %v does not contain %v", mbr, r)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadBinary asserts the binary reader handles arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteBinary(&good, New([]geom.Rect{geom.NewRect(0, 0, 1, 1)}))
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SPRECT1\n"))
+	f.Add([]byte("SPRECT1\n\x00\x00\x00\x00\x00\x00\x00\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		d, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range d.Rects() {
+			if !r.Valid() {
+				t.Fatalf("accepted invalid rect %v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Text format: one rectangle per line as "minx miny maxx maxy".
+// Blank lines and lines starting with '#' are ignored.
+//
+// Binary format: the magic "SPRECT1\n" followed by a big-endian uint64
+// count and count*4 big-endian float64 coordinates.
+
+const binaryMagic = "SPRECT1\n"
+
+// WriteText writes the distribution in the text interchange format.
+func WriteText(w io.Writer, d *Distribution) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# spatialest rectangles n=%d\n", d.N()); err != nil {
+		return err
+	}
+	for _, r := range d.Rects() {
+		if _, err := fmt.Fprintf(bw, "%g %g %g %g\n", r.MinX, r.MinY, r.MaxX, r.MaxY); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text interchange format.
+func ReadText(r io.Reader) (*Distribution, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	d := &Distribution{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("dataset: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		var coords [4]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad coordinate %q: %v", lineNo, f, err)
+			}
+			coords[i] = v
+		}
+		rect := geom.Rect{MinX: coords[0], MinY: coords[1], MaxX: coords[2], MaxY: coords[3]}
+		if err := d.Add(rect); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %v", err)
+	}
+	return d, nil
+}
+
+// WriteBinary writes the distribution in the compact binary format.
+func WriteBinary(w io.Writer, d *Distribution) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(d.N()))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, r := range d.Rects() {
+		for _, v := range [4]float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*Distribution, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: read magic: %v", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read count: %v", err)
+	}
+	n := binary.BigEndian.Uint64(buf[:])
+	const maxRects = 1 << 30
+	if n > maxRects {
+		return nil, fmt.Errorf("dataset: implausible rectangle count %d", n)
+	}
+	// The count is untrusted input: never preallocate more than a
+	// bounded amount, and let append grow as real payload arrives
+	// (truncated files fail at the first missing byte).
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	d := &Distribution{rects: make([]geom.Rect, 0, capHint)}
+	for i := uint64(0); i < n; i++ {
+		var coords [4]float64
+		for j := range coords {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("dataset: rect %d: %v", i, err)
+			}
+			coords[j] = math.Float64frombits(binary.BigEndian.Uint64(buf[:]))
+		}
+		rect := geom.Rect{MinX: coords[0], MinY: coords[1], MaxX: coords[2], MaxY: coords[3]}
+		if err := d.Add(rect); err != nil {
+			return nil, fmt.Errorf("dataset: rect %d: %v", i, err)
+		}
+	}
+	return d, nil
+}
+
+// Save writes the distribution to path; the format is chosen by
+// extension: ".bin" selects the binary format, anything else the text
+// format.
+func Save(path string, d *Distribution) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		if err := WriteBinary(f, d); err != nil {
+			return err
+		}
+	} else if err := WriteText(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a distribution from path, selecting the format by
+// extension as in Save.
+func Load(path string) (*Distribution, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}

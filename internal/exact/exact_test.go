@@ -1,0 +1,125 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func randDist(rng *rand.Rand, n int, space, maxSide float64) *dataset.Distribution {
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rng.Float64()*space, rng.Float64()*space
+		rects[i] = geom.NewRect(x, y, x+rng.Float64()*maxSide, y+rng.Float64()*maxSide)
+	}
+	return dataset.New(rects)
+}
+
+func TestBruteForceBasics(t *testing.T) {
+	d := dataset.New([]geom.Rect{
+		geom.NewRect(0, 0, 1, 1),
+		geom.NewRect(2, 2, 3, 3),
+		geom.NewRect(0.5, 0.5, 2.5, 2.5),
+	})
+	o := NewBruteForce(d)
+	if o.N() != 3 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if got := o.Count(geom.NewRect(0, 0, 0.6, 0.6)); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	if got := o.Count(geom.NewRect(10, 10, 11, 11)); got != 0 {
+		t.Fatalf("miss Count = %d, want 0", got)
+	}
+	// Point query hitting the overlap of rects 1 and 2.
+	if got := o.Count(geom.PointRect(geom.Point{X: 2.2, Y: 2.2})); got != 2 {
+		t.Fatalf("point Count = %d, want 2", got)
+	}
+}
+
+func TestGridOracleEmpty(t *testing.T) {
+	o := NewGridOracle(dataset.New(nil), 100)
+	if o.N() != 0 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if got := o.Count(geom.NewRect(0, 0, 1, 1)); got != 0 {
+		t.Fatalf("Count on empty = %d", got)
+	}
+}
+
+func TestGridOracleMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	d := randDist(rng, 3000, 1000, 40)
+	bf := NewBruteForce(d)
+	for _, cells := range []int{1, 16, 256, 4096} {
+		o := NewGridOracle(d, cells)
+		for i := 0; i < 300; i++ {
+			x, y := rng.Float64()*1100-50, rng.Float64()*1100-50
+			q := geom.NewRect(x, y, x+rng.Float64()*400, y+rng.Float64()*400)
+			want := bf.Count(q)
+			if got := o.Count(q); got != want {
+				t.Fatalf("cells=%d query %v: Count = %d, want %d", cells, q, got, want)
+			}
+		}
+	}
+}
+
+func TestGridOraclePointQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	d := randDist(rng, 2000, 500, 30)
+	bf := NewBruteForce(d)
+	o := NewAuto(d)
+	for i := 0; i < 500; i++ {
+		p := geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+		q := geom.PointRect(p)
+		if got, want := o.Count(q), bf.Count(q); got != want {
+			t.Fatalf("point %v: Count = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestGridOracleQueryOutsideMBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	d := randDist(rng, 100, 100, 10)
+	o := NewAuto(d)
+	if got := o.Count(geom.NewRect(-500, -500, -400, -400)); got != 0 {
+		t.Fatalf("far query Count = %d", got)
+	}
+	// Query covering everything counts everything.
+	if got := o.Count(geom.NewRect(-1000, -1000, 1000, 1000)); got != d.N() {
+		t.Fatalf("covering query Count = %d, want %d", got, d.N())
+	}
+}
+
+func TestGridOracleDegenerateData(t *testing.T) {
+	// All rectangles identical points: zero-area MBR.
+	rects := make([]geom.Rect, 50)
+	for i := range rects {
+		rects[i] = geom.NewRect(7, 7, 7, 7)
+	}
+	d := dataset.New(rects)
+	o := NewAuto(d)
+	if got := o.Count(geom.NewRect(0, 0, 10, 10)); got != 50 {
+		t.Fatalf("degenerate Count = %d, want 50", got)
+	}
+	if got := o.Count(geom.NewRect(8, 8, 10, 10)); got != 0 {
+		t.Fatalf("degenerate miss = %d, want 0", got)
+	}
+}
+
+func BenchmarkGridOracle(b *testing.B) {
+	rng := rand.New(rand.NewSource(61))
+	d := randDist(rng, 100000, 10000, 50)
+	o := NewAuto(d)
+	queries := make([]geom.Rect, 512)
+	for i := range queries {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		queries[i] = geom.NewRect(x, y, x+500, y+500)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Count(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,293 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Section 5): error versus query size (Figure 8), error
+// versus bucket count (Figure 9), Min-Skew's sensitivity to the grid
+// resolution on real-life and synthetic data (Figures 10a and 10b),
+// the impact of progressive refinement (Figure 11), and the
+// construction-time comparison (Table 1).
+//
+// Each experiment returns a Table whose rows and columns mirror the
+// paper's axes, so the harness output can be compared line by line
+// with the published graphs.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/synthetic"
+	"repro/internal/tiger"
+	"repro/internal/workload"
+)
+
+// Options scales the experiments. The zero value is replaced by
+// Defaults; tests use reduced scales.
+type Options struct {
+	// NJRoadSize is the size of the NJ-Road-like dataset (the paper's
+	// TIGER set has 414,442 rectangles).
+	NJRoadSize int
+	// CharminarSize is the size of the synthetic Charminar dataset
+	// (40,000 in the paper).
+	CharminarSize int
+	// Queries per workload (10,000 in the paper).
+	Queries int
+	// Seed for data and workload generation.
+	Seed int64
+}
+
+// Defaults returns the paper-scale options.
+func Defaults() Options {
+	return Options{
+		NJRoadSize:    414442,
+		CharminarSize: 40000,
+		Queries:       10000,
+		Seed:          1999,
+	}
+}
+
+// withDefaults fills zero fields from Defaults.
+func (o Options) withDefaults() Options {
+	def := Defaults()
+	if o.NJRoadSize == 0 {
+		o.NJRoadSize = def.NJRoadSize
+	}
+	if o.CharminarSize == 0 {
+		o.CharminarSize = def.CharminarSize
+	}
+	if o.Queries == 0 {
+		o.Queries = def.Queries
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	return o
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title string
+	// RowLabel names the row axis (e.g. "QSize").
+	RowLabel string
+	Columns  []string
+	Rows     []string
+	// Values[r][c]; NaN cells print as "-".
+	Values [][]float64
+	Notes  []string
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.RowLabel)
+	for _, r := range t.Rows {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, row := range t.Values {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := "-"
+			if v == v { // not NaN
+				s = fmt.Sprintf("%.4g", v)
+			}
+			cells[i][j] = s
+			if len(s) > widths[j+1] {
+				widths[j+1] = len(s)
+			}
+		}
+	}
+	for j, c := range t.Columns {
+		if len(c) > widths[j+1] {
+			widths[j+1] = len(c)
+		}
+	}
+	head := fmt.Sprintf("%-*s", widths[0], t.RowLabel)
+	for j, c := range t.Columns {
+		head += fmt.Sprintf("  %*s", widths[j+1], c)
+	}
+	if _, err := fmt.Fprintln(w, head); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(head))); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		line := fmt.Sprintf("%-*s", widths[0], r)
+		for j := range t.Columns {
+			line += fmt.Sprintf("  %*s", widths[j+1], cells[i][j])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180 CSV. The title and notes are
+// omitted — only the header and data rows are emitted, so the output
+// loads directly into analysis tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.RowLabel}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		rec := make([]string, 0, len(t.Columns)+1)
+		rec = append(rec, r)
+		for _, v := range t.Values[i] {
+			if v != v { // NaN
+				rec = append(rec, "")
+			} else {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Env caches the datasets and oracles shared by the experiments.
+type Env struct {
+	Opts      Options
+	NJRoad    *dataset.Distribution
+	Charminar *dataset.Distribution
+
+	njOracle   exact.Oracle
+	charOracle exact.Oracle
+
+	// truth caches ground-truth counts per (dataset, qsize) so the
+	// oracle runs once per workload rather than once per technique.
+	truth map[truthKey]*truthEntry
+}
+
+type truthKey struct {
+	d     *dataset.Distribution
+	qsize float64
+}
+
+type truthEntry struct {
+	queries []geom.Rect
+	actual  []int
+}
+
+// NewEnv generates (or regenerates) the experiment datasets.
+func NewEnv(opts Options) *Env {
+	opts = opts.withDefaults()
+	e := &Env{Opts: opts}
+	e.NJRoad = tiger.NJRoad(opts.NJRoadSize)
+	e.Charminar = synthetic.Charminar(opts.CharminarSize, 10000, 100, opts.Seed)
+	e.njOracle = exact.NewAuto(e.NJRoad)
+	e.charOracle = exact.NewAuto(e.Charminar)
+	return e
+}
+
+// oracleFor returns the cached exact oracle for a dataset.
+func (e *Env) oracleFor(d *dataset.Distribution) exact.Oracle {
+	switch d {
+	case e.NJRoad:
+		return e.njOracle
+	case e.Charminar:
+		return e.charOracle
+	default:
+		return exact.NewAuto(d)
+	}
+}
+
+// evalError runs the workload through the estimator and returns the
+// paper's average relative error. Workloads and their exact answers
+// are cached per (dataset, query size).
+func (e *Env) evalError(d *dataset.Distribution, est core.Estimator, qsize float64) (float64, error) {
+	te, err := e.groundTruth(d, qsize)
+	if err != nil {
+		return 0, err
+	}
+	ests := make([]float64, len(te.queries))
+	for i, q := range te.queries {
+		ests[i] = est.Estimate(q)
+	}
+	return metrics.AvgRelativeError(te.actual, ests)
+}
+
+// groundTruth returns the cached workload and exact counts for a
+// dataset and query size, computing them on first use.
+func (e *Env) groundTruth(d *dataset.Distribution, qsize float64) (*truthEntry, error) {
+	if e.truth == nil {
+		e.truth = make(map[truthKey]*truthEntry)
+	}
+	key := truthKey{d: d, qsize: qsize}
+	if te, ok := e.truth[key]; ok {
+		return te, nil
+	}
+	qs, err := workload.Generate(d, workload.Config{
+		Count: e.Opts.Queries, QSize: qsize, Seed: e.Opts.Seed + int64(qsize*1000), Clamp: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	oracle := e.oracleFor(d)
+	te := &truthEntry{queries: qs, actual: make([]int, len(qs))}
+	for i, q := range qs {
+		te.actual[i] = oracle.Count(q)
+	}
+	e.truth[key] = te
+	return te, nil
+}
+
+// buildTechnique constructs the named technique over d with the given
+// bucket budget, also reporting the construction time. Sample receives
+// the paper's liberal 2x space: 4*buckets rectangles (Section 5.4).
+func (e *Env) buildTechnique(name string, d *dataset.Distribution, buckets, regions int) (core.Estimator, time.Duration, error) {
+	start := time.Now()
+	var est core.Estimator
+	var err error
+	switch name {
+	case "Min-Skew":
+		est, err = core.NewMinSkew(d, core.MinSkewConfig{Buckets: buckets, Regions: regions})
+	case "Equi-Area":
+		est, err = core.NewEquiArea(d, buckets)
+	case "Equi-Count":
+		est, err = core.NewEquiCount(d, buckets)
+	case "R-Tree":
+		est, err = core.NewRTreeHist(d, core.RTreeHistConfig{Buckets: buckets})
+	case "Sample":
+		est, err = core.NewSample(d, 4*buckets, e.Opts.Seed)
+	case "Uniform":
+		est, err = core.NewUniform(d)
+	case "Fractal":
+		est, err = core.NewFractal(d, 2, 8)
+	case "AVI":
+		// 1-D buckets cost 3 words vs the spatial bucket's 8: same
+		// byte budget.
+		est, err = core.NewAVI(d, buckets*8/3, core.AVIEquiDepth)
+	default:
+		return nil, 0, fmt.Errorf("experiments: unknown technique %q", name)
+	}
+	return est, time.Since(start), err
+}
+
+// Techniques lists the techniques in the order the paper's graphs
+// present them.
+var Techniques = []string{"Min-Skew", "Equi-Count", "Equi-Area", "R-Tree", "Sample", "Uniform", "Fractal"}

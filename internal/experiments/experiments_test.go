@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testEnv builds a heavily scaled-down environment so the full
+// experiment matrix runs in seconds. The qualitative shapes the tests
+// assert are the ones the paper reports.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(Options{
+		NJRoadSize:    30000,
+		CharminarSize: 10000,
+		Queries:       300,
+		Seed:          7,
+	})
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	d := Defaults()
+	if o != d {
+		t.Fatalf("withDefaults = %+v, want %+v", o, d)
+	}
+	o = Options{Queries: 5}.withDefaults()
+	if o.Queries != 5 || o.NJRoadSize != d.NJRoadSize {
+		t.Fatalf("partial defaults broken: %+v", o)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:    "demo",
+		RowLabel: "row",
+		Columns:  []string{"a", "b"},
+		Rows:     []string{"r1", "r2"},
+		Values:   [][]float64{{1.5, math.NaN()}, {0.25, 100}},
+		Notes:    []string{"hello"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "row", "r1", "1.5", "-", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildTechniqueUnknown(t *testing.T) {
+	e := NewEnv(Options{NJRoadSize: 100, CharminarSize: 100, Queries: 10, Seed: 1})
+	if _, _, err := e.buildTechnique("Nope", e.NJRoad, 10, 100); err == nil {
+		t.Fatal("unknown technique should fail")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	e := testEnv(t)
+	tab, err := e.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 || len(tab.Columns) != len(Techniques) {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	col := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %s", name)
+		return -1
+	}
+	ms, ec, ea, sm := col("Min-Skew"), col("Equi-Count"), col("Equi-Area"), col("Sample")
+	// Min-Skew must beat the equi-partitionings and sampling at every
+	// query size (the paper's headline result).
+	for r := range tab.Rows {
+		v := tab.Values[r]
+		if v[ms] > v[ec] || v[ms] > v[ea] {
+			t.Errorf("row %s: Min-Skew %.3f not best (equi-count %.3f, equi-area %.3f)",
+				tab.Rows[r], v[ms], v[ec], v[ea])
+		}
+		if v[ms] > v[sm] {
+			t.Errorf("row %s: Min-Skew %.3f worse than Sample %.3f", tab.Rows[r], v[ms], v[sm])
+		}
+	}
+	// Errors decrease with query size for Min-Skew (first vs last row).
+	if tab.Values[0][ms] < tab.Values[len(tab.Rows)-1][ms] {
+		t.Errorf("Min-Skew error grew with query size: %.3f -> %.3f",
+			tab.Values[0][ms], tab.Values[len(tab.Rows)-1][ms])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	e := testEnv(t)
+	tabs, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != len(Fig9Buckets) {
+			t.Fatalf("rows = %d", len(tab.Rows))
+		}
+		// Min-Skew (col 0): more buckets should not make things much
+		// worse; compare 50 vs 750 buckets.
+		first, last := tab.Values[0][0], tab.Values[len(tab.Rows)-1][0]
+		if last > first*1.5+0.02 {
+			t.Errorf("%s: Min-Skew error rose from %.3f (50 buckets) to %.3f (750)", tab.Title, first, last)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	e := testEnv(t)
+	ta, err := e.Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := e.Fig10b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{ta, tb} {
+		if len(tab.Rows) != len(Fig10Regions) || len(tab.Columns) != 2 {
+			t.Fatalf("%s: shape %dx%d", tab.Title, len(tab.Rows), len(tab.Columns))
+		}
+		// Few regions are bad for small queries: the first row's 5%
+		// error should exceed the best 5% error in the sweep.
+		best := math.Inf(1)
+		for _, row := range tab.Values {
+			if row[0] < best {
+				best = row[0]
+			}
+		}
+		if tab.Values[0][0] <= best {
+			t.Errorf("%s: coarsest grid is already optimal for small queries", tab.Title)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	e := testEnv(t)
+	tab, err := e.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Fig11Refinements)+1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[len(tab.Rows)-1] != "best-regions" {
+		t.Fatalf("last row = %s", tab.Rows[len(tab.Rows)-1])
+	}
+	// Some refinement count should beat zero refinements.
+	zero := tab.Values[0][0]
+	best := math.Inf(1)
+	for i := 1; i < len(Fig11Refinements); i++ {
+		if tab.Values[i][0] < best {
+			best = tab.Values[i][0]
+		}
+	}
+	if best >= zero {
+		t.Errorf("no refinement count improved on zero: zero=%.3f best=%.3f", zero, best)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction-time table is slow")
+	}
+	e := NewEnv(Options{NJRoadSize: 1000, CharminarSize: 1000, Queries: 10, Seed: 3})
+	// Shrink the matrix for the test.
+	oldSizes, oldBuckets := Table1Sizes, Table1Buckets
+	Table1Sizes = []int{2000, 8000}
+	Table1Buckets = []int{20, 50}
+	defer func() { Table1Sizes, Table1Buckets = oldSizes, oldBuckets }()
+
+	tab, err := e.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 || len(tab.Columns) != 4 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	for r, name := range tab.Rows {
+		for c := range tab.Columns {
+			if tab.Values[r][c] < 0 {
+				t.Fatalf("%s col %d: negative time", name, c)
+			}
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	e := testEnv(t)
+	am, err := e.AblationMarginal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(am.Rows) != 2 {
+		t.Fatalf("marginal ablation rows = %d", len(am.Rows))
+	}
+	ar, err := e.AblationRTreeLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Rows) != 4 {
+		t.Fatalf("rtree ablation rows = %d", len(ar.Rows))
+	}
+	// STR should not be slower than repeated insertion.
+	if ar.Values[1][2] > ar.Values[0][2]*2+0.05 {
+		t.Errorf("STR build %.3fs slower than repeated insert %.3fs", ar.Values[1][2], ar.Values[0][2])
+	}
+	as, err := e.AblationRefinementSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as.Rows) != 4 || len(as.Columns) != 3 {
+		t.Fatalf("refinement sweep shape %dx%d", len(as.Rows), len(as.Columns))
+	}
+	al, err := e.AblationLocalGreedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Rows) != 2 || len(al.Columns) != 4 {
+		t.Fatalf("local-greedy ablation shape %dx%d", len(al.Rows), len(al.Columns))
+	}
+	ao, err := e.AblationOptimal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ao.Rows) != 3 || len(ao.Columns) != 5 {
+		t.Fatalf("optimal ablation shape %dx%d", len(ao.Rows), len(ao.Columns))
+	}
+	for r := range ao.Rows {
+		if ratio := ao.Values[r][2]; ratio < 1-1e-9 {
+			t.Errorf("%s: greedy/optimal skew ratio %g below 1", ao.Rows[r], ratio)
+		}
+	}
+}
+
+func TestSequoiaExperiment(t *testing.T) {
+	e := NewEnv(Options{NJRoadSize: 1000, CharminarSize: 1000, Queries: 200, Seed: 7})
+	tab, err := e.SequoiaPointData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Columns) != 5 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	// Fractal (last column) should beat Uniform (column 3) on point
+	// data for at least one query size — its home turf.
+	better := false
+	for r := range tab.Rows {
+		if tab.Values[r][4] < tab.Values[r][3] {
+			better = true
+		}
+	}
+	if !better {
+		t.Error("fractal never beat uniform on point data")
+	}
+}
+
+func TestFeedbackAdaptationExperiment(t *testing.T) {
+	e := testEnv(t)
+	tab, err := e.FeedbackAdaptation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Columns) != 3 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	// Feedback must not make the weak Uniform base (row 0) worse, and
+	// should improve it meaningfully.
+	if tab.Values[0][1] > tab.Values[0][0] {
+		t.Errorf("feedback made Uniform worse: %.3f -> %.3f", tab.Values[0][0], tab.Values[0][1])
+	}
+	if tab.Values[0][2] < 0.2 {
+		t.Errorf("Uniform improvement only %.2f; expected substantial adaptation", tab.Values[0][2])
+	}
+}
+
+func TestAVIComparisonExperiment(t *testing.T) {
+	e := testEnv(t)
+	tab, err := e.AVIComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Columns) != 4 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	// AVI (column 2) should beat Uniform (column 3) but lose to
+	// Min-Skew (column 0) on skewed road data, at least at small sizes.
+	if tab.Values[0][2] >= tab.Values[0][3] {
+		t.Errorf("AVI %.3f not better than Uniform %.3f at 2%%", tab.Values[0][2], tab.Values[0][3])
+	}
+	if tab.Values[0][0] >= tab.Values[0][2] {
+		t.Errorf("Min-Skew %.3f not better than AVI %.3f at 2%%", tab.Values[0][0], tab.Values[0][2])
+	}
+}
+
+func TestPointQueriesExperiment(t *testing.T) {
+	e := testEnv(t)
+	tab, err := e.PointQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Min-Skew (row 0) should beat Uniform (row 5) on point queries.
+	if tab.Values[0][0] >= tab.Values[5][0] {
+		t.Errorf("point queries: Min-Skew %.3f not better than Uniform %.3f",
+			tab.Values[0][0], tab.Values[5][0])
+	}
+	for r, name := range tab.Rows {
+		v := tab.Values[r][0]
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("%s: bad point-query error %g", name, v)
+		}
+	}
+}
+
+func TestAutoTuneExperiment(t *testing.T) {
+	e := testEnv(t)
+	tab, err := e.AutoTune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Columns) != 5 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	for r := range tab.Rows {
+		if tab.Values[r][0] < 64 {
+			t.Errorf("%s: chose implausibly coarse resolution %g", tab.Rows[r], tab.Values[r][0])
+		}
+		// Auto accuracy within 2.5x of the fixed default at 5%.
+		if tab.Values[r][1] > tab.Values[r][3]*2.5+0.05 {
+			t.Errorf("%s: auto error %.3f far worse than fixed %.3f", tab.Rows[r], tab.Values[r][1], tab.Values[r][3])
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{
+		RowLabel: "row",
+		Columns:  []string{"a", "b,with comma"},
+		Rows:     []string{"r1", "r2"},
+		Values:   [][]float64{{1.5, math.NaN()}, {0.25, 100}},
+	}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != `row,a,"b,with comma"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "r1,1.5," {
+		t.Fatalf("row 1 = %q (NaN should be empty)", lines[1])
+	}
+	if lines[2] != "r2,0.25,100" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// Fig8 reproduces Figure 8: average relative error versus query size
+// on the NJ Road dataset with 100 buckets, for every technique.
+// Min-Skew uses 10,000 grid regions as in the paper.
+func (e *Env) Fig8() (*Table, error) {
+	const buckets = 100
+	t := &Table{
+		Title:    "Figure 8: relative error vs. query size (NJ Road, 100 buckets)",
+		RowLabel: "QSize",
+		Columns:  append([]string(nil), Techniques...),
+	}
+	ests := make(map[string]core.Estimator, len(Techniques))
+	for _, name := range Techniques {
+		est, _, err := e.buildTechnique(name, e.NJRoad, buckets, core.DefaultRegions)
+		if err != nil {
+			return nil, fmt.Errorf("fig8: %s: %v", name, err)
+		}
+		ests[name] = est
+	}
+	for _, qsize := range workload.QSizes {
+		row := make([]float64, len(Techniques))
+		for c, name := range Techniques {
+			rel, err := e.evalError(e.NJRoad, ests[name], qsize)
+			if err != nil {
+				return nil, fmt.Errorf("fig8: %s at %.0f%%: %v", name, qsize*100, err)
+			}
+			row[c] = rel
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%.0f%%", qsize*100))
+		t.Values = append(t.Values, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Min-Skew lowest by >50%; Equi-*/R-Tree mid; Sample/Uniform/Fractal worst (~0.8-0.9 at 2%)",
+		"errors decrease left to right (larger queries cover buckets fully)")
+	return t, nil
+}
+
+// Fig9Buckets is the bucket sweep of Figure 9.
+var Fig9Buckets = []int{50, 100, 200, 350, 500, 750}
+
+// Fig9 reproduces Figure 9: error versus number of buckets on NJ Road
+// for the two query sizes the paper plots (5% and 25%).
+func (e *Env) Fig9() ([]*Table, error) {
+	qsizes := []float64{0.05, 0.25}
+	columns := []string{"Min-Skew", "Equi-Count", "Equi-Area", "R-Tree", "Sample"}
+	out := make([]*Table, len(qsizes))
+	for i, qsize := range qsizes {
+		out[i] = &Table{
+			Title:    fmt.Sprintf("Figure 9: relative error vs. buckets (NJ Road, QSize = %.0f%%)", qsize*100),
+			RowLabel: "Buckets",
+			Columns:  columns,
+			Notes: []string{
+				"paper shape: errors fall with more buckets; technique gaps shrink; Min-Skew lowest throughout",
+			},
+		}
+	}
+	for _, buckets := range Fig9Buckets {
+		rows := make([][]float64, len(qsizes))
+		for i := range rows {
+			rows[i] = make([]float64, len(columns))
+		}
+		for c, name := range columns {
+			// Build each technique once per bucket budget and evaluate
+			// it at every query size.
+			est, _, err := e.buildTechnique(name, e.NJRoad, buckets, core.DefaultRegions)
+			if err != nil {
+				return nil, fmt.Errorf("fig9: %s at %d buckets: %v", name, buckets, err)
+			}
+			for i, qsize := range qsizes {
+				rel, err := e.evalError(e.NJRoad, est, qsize)
+				if err != nil {
+					return nil, err
+				}
+				rows[i][c] = rel
+			}
+		}
+		for i := range qsizes {
+			out[i].Rows = append(out[i].Rows, fmt.Sprintf("%d", buckets))
+			out[i].Values = append(out[i].Values, rows[i])
+		}
+	}
+	return out, nil
+}
+
+// Fig10Regions is the grid-resolution sweep of Figure 10.
+var Fig10Regions = []int{100, 500, 1000, 2500, 5000, 10000, 30000, 90000}
+
+// fig10 runs the region sweep over one dataset.
+func (e *Env) fig10(d *dataset.Distribution, title string, note string) (*Table, error) {
+	const buckets = 100
+	t := &Table{
+		Title:    title,
+		RowLabel: "Regions",
+		Columns:  []string{"QSize 5%", "QSize 25%"},
+	}
+	for _, regions := range Fig10Regions {
+		est, err := e.buildTechniqueMinSkew(d, buckets, regions, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 2)
+		for c, qsize := range []float64{0.05, 0.25} {
+			rel, err := e.evalError(d, est, qsize)
+			if err != nil {
+				return nil, err
+			}
+			row[c] = rel
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", regions))
+		t.Values = append(t.Values, row)
+	}
+	t.Notes = append(t.Notes, note)
+	return t, nil
+}
+
+func (e *Env) buildTechniqueMinSkew(d *dataset.Distribution, buckets, regions, refinements int) (core.Estimator, error) {
+	return core.NewMinSkew(d, core.MinSkewConfig{
+		Buckets: buckets, Regions: regions, Refinements: refinements,
+	})
+}
+
+// Fig10a reproduces Figure 10(a): Min-Skew error versus grid regions
+// on NJ Road — errors fall then flatten.
+func (e *Env) Fig10a() (*Table, error) {
+	return e.fig10(e.NJRoad,
+		"Figure 10(a): Min-Skew error vs. regions (NJ Road, 100 buckets)",
+		"paper shape: error decreases with regions then flattens")
+}
+
+// Fig10b reproduces Figure 10(b): the same sweep on the synthetic
+// Charminar dataset — small queries keep improving but large-query
+// error worsens with too many regions.
+func (e *Env) Fig10b() (*Table, error) {
+	return e.fig10(e.Charminar,
+		"Figure 10(b): Min-Skew error vs. regions (Charminar, 100 buckets)",
+		"paper shape: 5% error falls with regions; 25% error rises beyond a point")
+}
+
+// Fig11Refinements is the refinement sweep of Figure 11.
+var Fig11Refinements = []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+
+// Fig11 reproduces Figure 11: the impact of progressive refinement on
+// the Charminar large-query error at the 30,000-region data point of
+// Figure 10(b). The reference row reports the minimum error achieved
+// anywhere in the Figure 10(b) sweep (the paper's horizontal line).
+func (e *Env) Fig11() (*Table, error) {
+	const buckets = 100
+	const regions = 30000
+	const qsize = 0.25
+	t := &Table{
+		Title:    "Figure 11: progressive refinement (Charminar, 30000 regions, 100 buckets, QSize = 25%)",
+		RowLabel: "Refinements",
+		Columns:  []string{"error"},
+	}
+	for _, refs := range Fig11Refinements {
+		est, err := e.buildTechniqueMinSkew(e.Charminar, buckets, regions, refs)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := e.evalError(e.Charminar, est, qsize)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%d", refs))
+		t.Values = append(t.Values, []float64{rel})
+	}
+	// The paper's horizontal reference: best region count from Fig 10(b).
+	best := math.Inf(1)
+	for _, regions := range Fig10Regions {
+		est, err := e.buildTechniqueMinSkew(e.Charminar, buckets, regions, 0)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := e.evalError(e.Charminar, est, qsize)
+		if err != nil {
+			return nil, err
+		}
+		if rel < best {
+			best = rel
+		}
+	}
+	t.Rows = append(t.Rows, "best-regions")
+	t.Values = append(t.Values, []float64{best})
+	t.Notes = append(t.Notes,
+		"paper shape: refinements cut the error by >55%, approach but not reach the best fixed region count, and too many refinements hurt")
+	return t, nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/tiger"
+)
+
+// Table1Sizes are the input sizes of Table 1 (50K and 400K in the
+// paper).
+var Table1Sizes = []int{50000, 400000}
+
+// Table1Buckets are the bucket budgets of Table 1.
+var Table1Buckets = []int{100, 750}
+
+// Table1 reproduces Table 1: construction time in seconds for each
+// partitioning technique at two input sizes and two bucket budgets.
+// The datasets are NJ-Road-like networks scaled to the requested sizes.
+// Absolute times depend on the machine; the reproduction target is the
+// shape — Min-Skew nearly flat in N and beta, Equi-*/R-Tree growing
+// steeply with N.
+func (e *Env) Table1() (*Table, error) {
+	techniques := []string{"Min-Skew", "Equi-Area", "Equi-Count", "R-Tree", "Uniform"}
+	t := &Table{
+		Title:    "Table 1: construction time in seconds",
+		RowLabel: "Technique",
+		Rows:     techniques,
+	}
+	for _, n := range Table1Sizes {
+		for _, buckets := range Table1Buckets {
+			t.Columns = append(t.Columns, fmt.Sprintf("N=%dK b=%d", n/1000, buckets))
+		}
+	}
+	t.Values = make([][]float64, len(techniques))
+	for i := range t.Values {
+		t.Values[i] = make([]float64, len(t.Columns))
+	}
+
+	col := 0
+	for _, n := range Table1Sizes {
+		d := tiger.NJRoad(n)
+		for _, buckets := range Table1Buckets {
+			for row, name := range techniques {
+				_, elapsed, err := e.buildTechnique(name, d, buckets, 10000)
+				if err != nil {
+					return nil, fmt.Errorf("table1: %s N=%d b=%d: %v", name, n, buckets, err)
+				}
+				t.Values[row][col] = elapsed.Seconds()
+			}
+			col++
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Min-Skew grows mildly with N (one density sweep); Equi-Area/Equi-Count/R-Tree grow steeply; Uniform is trivial",
+		"absolute seconds are machine-dependent (paper used a Sparc ULTRA-30)")
+	return t, nil
+}

@@ -1,0 +1,217 @@
+// Package feedback implements adaptive selectivity estimation driven
+// by query feedback, the approach of Chen and Roussopoulos [CR94] that
+// the paper lists among the relational techniques (Section 1): after a
+// query executes, the system knows the true result size and can fold
+// the observed error back into its statistics. The adapter here wraps
+// any base Estimator with a grid of learned multiplicative correction
+// factors, in the spirit of self-tuning histograms.
+//
+// Feedback learning is complementary to Min-Skew: the base histogram
+// captures the built-time distribution, and the correction grid tracks
+// drift and systematic bias in the regions queries actually visit.
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Config controls the correction grid.
+type Config struct {
+	// GridX, GridY are the correction-grid dimensions (default 16x16).
+	GridX, GridY int
+	// LearningRate in (0, 1] scales each observation's pull on the
+	// affected cells (default 0.2).
+	LearningRate float64
+	// MinFactor and MaxFactor clamp the learned multipliers so sparse
+	// feedback cannot drive corrections to extremes (defaults 0.1 and
+	// 10).
+	MinFactor, MaxFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.GridX == 0 {
+		c.GridX = 16
+	}
+	if c.GridY == 0 {
+		c.GridY = 16
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.2
+	}
+	if c.MinFactor == 0 {
+		c.MinFactor = 0.1
+	}
+	if c.MaxFactor == 0 {
+		c.MaxFactor = 10
+	}
+	return c
+}
+
+// Estimator wraps a base estimator with a learned correction surface.
+// All methods are safe for concurrent use.
+type Estimator struct {
+	base   core.Estimator
+	bounds geom.Rect
+	cfg    Config
+
+	mu      sync.RWMutex
+	factors []float64 // row-major GridY x GridX, multiplicative
+	fed     int
+}
+
+// New wraps base. bounds is the region the correction grid covers
+// (normally the dataset MBR).
+func New(base core.Estimator, bounds geom.Rect, cfg Config) (*Estimator, error) {
+	if base == nil {
+		return nil, fmt.Errorf("feedback: nil base estimator")
+	}
+	if !bounds.Valid() {
+		return nil, fmt.Errorf("feedback: invalid bounds %v", bounds)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.GridX < 1 || cfg.GridY < 1 {
+		return nil, fmt.Errorf("feedback: bad grid %dx%d", cfg.GridX, cfg.GridY)
+	}
+	if cfg.LearningRate <= 0 || cfg.LearningRate > 1 {
+		return nil, fmt.Errorf("feedback: learning rate %g outside (0,1]", cfg.LearningRate)
+	}
+	if cfg.MinFactor <= 0 || cfg.MaxFactor < cfg.MinFactor {
+		return nil, fmt.Errorf("feedback: bad factor clamp [%g,%g]", cfg.MinFactor, cfg.MaxFactor)
+	}
+	f := &Estimator{base: base, bounds: bounds, cfg: cfg}
+	f.factors = make([]float64, cfg.GridX*cfg.GridY)
+	for i := range f.factors {
+		f.factors[i] = 1
+	}
+	return f, nil
+}
+
+// cellRange returns the correction cells the query touches.
+func (f *Estimator) cellRange(q geom.Rect) (x0, y0, x1, y1 int, ok bool) {
+	inter, has := q.Intersection(f.bounds)
+	if !has {
+		return 0, 0, 0, 0, false
+	}
+	cw := f.bounds.Width() / float64(f.cfg.GridX)
+	ch := f.bounds.Height() / float64(f.cfg.GridY)
+	cell := func(v, lo, size float64, n int) int {
+		if size <= 0 {
+			return 0
+		}
+		i := int((v - lo) / size)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	x0 = cell(inter.MinX, f.bounds.MinX, cw, f.cfg.GridX)
+	x1 = cell(inter.MaxX, f.bounds.MinX, cw, f.cfg.GridX)
+	y0 = cell(inter.MinY, f.bounds.MinY, ch, f.cfg.GridY)
+	y1 = cell(inter.MaxY, f.bounds.MinY, ch, f.cfg.GridY)
+	return x0, y0, x1, y1, true
+}
+
+// correction returns the average learned factor over the query's cells.
+func (f *Estimator) correction(q geom.Rect) float64 {
+	x0, y0, x1, y1, ok := f.cellRange(q)
+	if !ok {
+		return 1
+	}
+	var sum float64
+	cells := 0
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			sum += f.factors[y*f.cfg.GridX+x]
+			cells++
+		}
+	}
+	if cells == 0 {
+		return 1
+	}
+	return sum / float64(cells)
+}
+
+// Estimate implements core.Estimator: the base estimate scaled by the
+// learned correction for the query's region.
+func (f *Estimator) Estimate(q geom.Rect) float64 {
+	base := f.base.Estimate(q)
+	f.mu.RLock()
+	c := f.correction(q)
+	f.mu.RUnlock()
+	return base * c
+}
+
+// Observe folds one executed query's true result size back into the
+// correction surface: cells covered by the query move toward the
+// factor that would have made the estimate exact.
+func (f *Estimator) Observe(q geom.Rect, actual int) {
+	base := f.base.Estimate(q)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fed++
+	x0, y0, x1, y1, ok := f.cellRange(q)
+	if !ok {
+		return
+	}
+	var target float64
+	switch {
+	case base > 0:
+		target = float64(actual) / base
+	case actual > 0:
+		// Base said zero but rows exist: push factors up hard.
+		target = f.cfg.MaxFactor
+	default:
+		return // both zero: nothing to learn
+	}
+	if target < f.cfg.MinFactor {
+		target = f.cfg.MinFactor
+	}
+	if target > f.cfg.MaxFactor {
+		target = f.cfg.MaxFactor
+	}
+	lr := f.cfg.LearningRate
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			i := y*f.cfg.GridX + x
+			// Geometric interpolation keeps factors positive and
+			// symmetric in log space.
+			f.factors[i] = clampFactor(
+				math.Exp((1-lr)*math.Log(f.factors[i])+lr*math.Log(target)),
+				f.cfg.MinFactor, f.cfg.MaxFactor)
+		}
+	}
+}
+
+func clampFactor(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Name implements core.Estimator.
+func (f *Estimator) Name() string { return f.base.Name() + "+feedback" }
+
+// SpaceBuckets implements core.Estimator: the correction grid costs
+// one word per cell, an eighth of a bucket each.
+func (f *Estimator) SpaceBuckets() float64 {
+	return f.base.SpaceBuckets() + float64(f.cfg.GridX*f.cfg.GridY)/8
+}
+
+// Observations returns how many feedback observations were absorbed.
+func (f *Estimator) Observations() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.fed
+}

@@ -1,0 +1,165 @@
+package feedback
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	u, err := core.NewUniform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, _ := d.MBR()
+	if _, err := New(nil, bounds, Config{}); err == nil {
+		t.Fatal("nil base should fail")
+	}
+	if _, err := New(u, geom.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}, Config{}); err == nil {
+		t.Fatal("invalid bounds should fail")
+	}
+	if _, err := New(u, bounds, Config{LearningRate: 2}); err == nil {
+		t.Fatal("bad learning rate should fail")
+	}
+	if _, err := New(u, bounds, Config{MinFactor: 5, MaxFactor: 1}); err == nil {
+		t.Fatal("inverted clamp should fail")
+	}
+	f, err := New(u, bounds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "Uniform+feedback" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if f.SpaceBuckets() <= u.SpaceBuckets() {
+		t.Fatal("correction grid must be charged space")
+	}
+}
+
+func TestNoFeedbackIsIdentity(t *testing.T) {
+	d := synthetic.Clusters(3000, 4, 1000, 0.04, 2, 12, 2)
+	base, err := core.NewMinSkew(d, core.MinSkewConfig{Buckets: 30, Regions: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, _ := d.MBR()
+	f, err := New(base, bounds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 400, 500)
+	if f.Estimate(q) != base.Estimate(q) {
+		t.Fatal("fresh wrapper must match the base estimator")
+	}
+}
+
+func TestFeedbackReducesSystematicBias(t *testing.T) {
+	// The base estimator is Uniform over heavily clustered data, so it
+	// is systematically wrong region by region. A feedback pass over a
+	// training workload must cut the error on a held-out workload.
+	d := synthetic.Clusters(20000, 5, 1000, 0.03, 2, 10, 3)
+	base, err := core.NewUniform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, _ := d.MBR()
+	f, err := New(base, bounds, Config{GridX: 24, GridY: 24, LearningRate: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := exact.NewAuto(d)
+
+	train, err := workload.Generate(d, workload.Config{Count: 3000, QSize: 0.08, Seed: 5, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range train {
+		f.Observe(q, oracle.Count(q))
+	}
+	if f.Observations() != len(train) {
+		t.Fatalf("Observations = %d", f.Observations())
+	}
+
+	test, err := workload.Generate(d, workload.Config{Count: 800, QSize: 0.08, Seed: 99, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := make([]int, len(test))
+	baseEst := make([]float64, len(test))
+	fbEst := make([]float64, len(test))
+	for i, q := range test {
+		actual[i] = oracle.Count(q)
+		baseEst[i] = base.Estimate(q)
+		fbEst[i] = f.Estimate(q)
+	}
+	baseErr, err := metrics.AvgRelativeError(actual, baseEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbErr, err := metrics.AvgRelativeError(actual, fbEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fbErr >= baseErr*0.8 {
+		t.Fatalf("feedback error %.3f not clearly better than base %.3f", fbErr, baseErr)
+	}
+}
+
+func TestObserveEdgeCases(t *testing.T) {
+	d := synthetic.Uniform(500, 100, 1, 5, 7)
+	base, _ := core.NewUniform(d)
+	bounds, _ := d.MBR()
+	f, _ := New(base, bounds, Config{})
+	// Query outside the bounds: no panic, no learning.
+	f.Observe(geom.NewRect(1000, 1000, 1100, 1100), 50)
+	q := geom.NewRect(10, 10, 50, 50)
+	if f.Estimate(q) != base.Estimate(q) {
+		t.Fatal("outside observation should not change estimates")
+	}
+	// Zero base and zero actual: nothing to learn.
+	f.Observe(geom.NewRect(0, 0, 0, 0), 0)
+	// Factors stay clamped even under absurd feedback.
+	for i := 0; i < 50; i++ {
+		f.Observe(q, 1e9)
+	}
+	got := f.Estimate(q)
+	if got > base.Estimate(q)*10.001 {
+		t.Fatalf("factor clamp failed: %g vs base %g", got, base.Estimate(q))
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("estimate = %g", got)
+	}
+}
+
+func TestConcurrentObserveEstimate(t *testing.T) {
+	d := synthetic.Uniform(2000, 1000, 5, 20, 9)
+	base, _ := core.NewMinSkew(d, core.MinSkewConfig{Buckets: 20, Regions: 400})
+	bounds, _ := d.MBR()
+	f, _ := New(base, bounds, Config{})
+	oracle := exact.NewAuto(d)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := geom.NewRect(float64(g*100), 100, float64(g*100+200), 400)
+			for i := 0; i < 200; i++ {
+				if i%2 == 0 {
+					f.Observe(q, oracle.Count(q))
+				} else if v := f.Estimate(q); v < 0 || math.IsNaN(v) {
+					t.Errorf("estimate = %g", v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,159 @@
+// Package fractal implements the box-counting machinery behind the
+// parametric selectivity technique of Belussi and Faloutsos (VLDB
+// 1995), which the paper evaluates as a baseline (Section 5.3). Real
+// point sets frequently behave like fractals; their correlation
+// fractal dimension D2 governs the average number of points inside a
+// query region through a power law, so a single exponent summarizes
+// the whole distribution.
+//
+// D2 is measured by imposing grids of side r = L/2^k over the data,
+// summing the squared cell occupancies S2(r) = sum n_i^2, and fitting
+// the slope of log S2 against log r. The box-counting dimension D0
+// (slope of the log count of occupied cells) is computed alongside for
+// diagnostics.
+package fractal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Dimension holds the fitted fractal dimensions of a point set.
+type Dimension struct {
+	// D0 is the box-counting (Hausdorff) dimension.
+	D0 float64
+	// D2 is the correlation dimension used for selectivity estimation
+	// over biased query workloads (query centers drawn from the data).
+	D2 float64
+	// Scales is the number of grid scales used in the fit.
+	Scales int
+}
+
+// BoxCounting measures the fractal dimensions of the points over the
+// given bounding rectangle using grid exponents minExp..maxExp (grid
+// side 2^k cells). The paper's datasets are well served by exponents
+// 2..8. It returns an error when fewer than two usable scales remain
+// or the input is degenerate.
+func BoxCounting(points []geom.Point, bounds geom.Rect, minExp, maxExp int) (Dimension, error) {
+	if len(points) == 0 {
+		return Dimension{}, fmt.Errorf("fractal: no points")
+	}
+	if minExp < 0 || maxExp < minExp {
+		return Dimension{}, fmt.Errorf("fractal: bad exponent range [%d,%d]", minExp, maxExp)
+	}
+	if maxExp > 12 {
+		return Dimension{}, fmt.Errorf("fractal: maxExp %d too large (grid would need 4^%d cells)", maxExp, maxExp)
+	}
+	side := math.Max(bounds.Width(), bounds.Height())
+	if side <= 0 {
+		return Dimension{}, fmt.Errorf("fractal: degenerate bounds %v", bounds)
+	}
+
+	var logR, logS2, logN0 []float64
+	for k := minExp; k <= maxExp; k++ {
+		n := 1 << k
+		counts := make(map[uint64]int, len(points))
+		cell := side / float64(n)
+		for _, p := range points {
+			cx := int((p.X - bounds.MinX) / cell)
+			cy := int((p.Y - bounds.MinY) / cell)
+			if cx >= n {
+				cx = n - 1
+			}
+			if cy >= n {
+				cy = n - 1
+			}
+			if cx < 0 {
+				cx = 0
+			}
+			if cy < 0 {
+				cy = 0
+			}
+			counts[uint64(cy)<<32|uint64(uint32(cx))]++
+		}
+		var s2 float64
+		for _, c := range counts {
+			s2 += float64(c) * float64(c)
+		}
+		// Normalize to occupancy probabilities so the slope is D2.
+		total := float64(len(points))
+		s2 /= total * total
+		logR = append(logR, math.Log(cell))
+		logS2 = append(logS2, math.Log(s2))
+		logN0 = append(logN0, math.Log(float64(len(counts))))
+	}
+	if len(logR) < 2 {
+		return Dimension{}, fmt.Errorf("fractal: need at least two scales")
+	}
+	d2 := slope(logR, logS2)
+	d0 := -slope(logR, logN0)
+	return Dimension{D0: d0, D2: d2, Scales: len(logR)}, nil
+}
+
+// slope returns the least-squares slope of y against x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Model is the fitted power-law selectivity model: for a biased square
+// query of side eps over a dataset of N points in a space of side L,
+// the expected result size is N * (eps/L)^D2.
+type Model struct {
+	Dim    Dimension
+	N      int
+	Bounds geom.Rect
+	side   float64
+}
+
+// Fit measures the fractal dimension of the points and returns the
+// selectivity model.
+func Fit(points []geom.Point, bounds geom.Rect, minExp, maxExp int) (*Model, error) {
+	dim, err := BoxCounting(points, bounds, minExp, maxExp)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Dim:    dim,
+		N:      len(points),
+		Bounds: bounds,
+		side:   math.Max(bounds.Width(), bounds.Height()),
+	}, nil
+}
+
+// EstimateRange returns the expected number of points in a w x h query
+// region whose center follows the data distribution. Non-square
+// queries use the side of the equal-area square, eps = sqrt(w*h).
+func (m *Model) EstimateRange(w, h float64) float64 {
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	eps := math.Sqrt(w * h)
+	if eps <= 0 {
+		return 0
+	}
+	if m.side <= 0 {
+		return float64(m.N)
+	}
+	frac := eps / m.side
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(m.N) * math.Pow(frac, m.Dim.D2)
+}

@@ -1,0 +1,126 @@
+package fractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBoxCountingErrors(t *testing.T) {
+	b := geom.NewRect(0, 0, 1, 1)
+	if _, err := BoxCounting(nil, b, 2, 8); err == nil {
+		t.Fatal("no points should fail")
+	}
+	pts := []geom.Point{{X: 0.5, Y: 0.5}}
+	if _, err := BoxCounting(pts, b, -1, 8); err == nil {
+		t.Fatal("negative exponent should fail")
+	}
+	if _, err := BoxCounting(pts, b, 5, 4); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+	if _, err := BoxCounting(pts, b, 2, 20); err == nil {
+		t.Fatal("huge exponent should fail")
+	}
+	if _, err := BoxCounting(pts, geom.NewRect(1, 1, 1, 1), 2, 8); err == nil {
+		t.Fatal("degenerate bounds should fail")
+	}
+}
+
+func TestUniformPointsDimensionNearTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pts := make([]geom.Point, 50000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	dim, err := BoxCounting(pts, geom.NewRect(0, 0, 1, 1), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dim.D2-2) > 0.3 {
+		t.Fatalf("uniform 2-D points: D2 = %g, want ~2", dim.D2)
+	}
+	if math.Abs(dim.D0-2) > 0.3 {
+		t.Fatalf("uniform 2-D points: D0 = %g, want ~2", dim.D0)
+	}
+}
+
+func TestLinePointsDimensionNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	pts := make([]geom.Point, 20000)
+	for i := range pts {
+		x := rng.Float64()
+		pts[i] = geom.Point{X: x, Y: x} // points on the diagonal
+	}
+	dim, err := BoxCounting(pts, geom.NewRect(0, 0, 1, 1), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dim.D2-1) > 0.25 {
+		t.Fatalf("diagonal points: D2 = %g, want ~1", dim.D2)
+	}
+	if math.Abs(dim.D0-1) > 0.25 {
+		t.Fatalf("diagonal points: D0 = %g, want ~1", dim.D0)
+	}
+}
+
+func TestSinglePointCluster(t *testing.T) {
+	// All points identical: D2 should be ~0 (S2 constant across scales).
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: 0.3, Y: 0.7}
+	}
+	dim, err := BoxCounting(pts, geom.NewRect(0, 0, 1, 1), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dim.D2) > 0.05 {
+		t.Fatalf("identical points: D2 = %g, want ~0", dim.D2)
+	}
+}
+
+func TestModelEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	pts := make([]geom.Point, 20000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	m, err := Fit(pts, geom.NewRect(0, 0, 100, 100), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For uniform data the power law is near-exact: a 10x10 query over
+	// a 100x100 space should capture ~1% of the points.
+	got := m.EstimateRange(10, 10)
+	want := float64(len(pts)) * 0.01
+	if got < want/2 || got > want*2 {
+		t.Fatalf("EstimateRange(10,10) = %g, want ~%g", got, want)
+	}
+	// Monotone in query size.
+	if m.EstimateRange(5, 5) >= m.EstimateRange(20, 20) {
+		t.Fatal("estimate should grow with query size")
+	}
+	// Degenerate queries.
+	if m.EstimateRange(0, 10) != 0 {
+		t.Fatal("zero-width query should estimate 0")
+	}
+	if m.EstimateRange(-5, 10) != 0 {
+		t.Fatal("negative width treated as empty")
+	}
+	// A query covering the whole space cannot exceed N.
+	if got := m.EstimateRange(1000, 1000); got > float64(len(pts))+1e-9 {
+		t.Fatalf("whole-space estimate %g exceeds N %d", got, len(pts))
+	}
+}
+
+func TestSlope(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // slope 2
+	if got := slope(x, y); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("slope = %g, want 2", got)
+	}
+	if got := slope([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Fatalf("degenerate slope = %g, want 0", got)
+	}
+}

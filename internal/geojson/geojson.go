@@ -1,0 +1,203 @@
+// Package geojson ingests GeoJSON (RFC 7946) geometries, reducing each
+// to its minimum bounding rectangle — the representation the
+// estimators and the R-tree consume. FeatureCollections, Features,
+// bare geometries and GeometryCollections are supported; coordinates
+// beyond the second (elevation) are ignored per the 2-D scope of the
+// library.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// object is the superset of the GeoJSON shapes we traverse.
+type object struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+	Geometries  []object        `json:"geometries"`
+	Geometry    *object         `json:"geometry"`
+	Features    []object        `json:"features"`
+}
+
+var geometryTypes = map[string]bool{
+	"Point": true, "MultiPoint": true,
+	"LineString": true, "MultiLineString": true,
+	"Polygon": true, "MultiPolygon": true,
+	"GeometryCollection": true,
+}
+
+// ParseMBR parses one GeoJSON document (a geometry, Feature or
+// FeatureCollection) and returns the MBR of everything in it. ok is
+// false when the document contains no coordinates (e.g. an empty
+// collection or a Feature with null geometry).
+func ParseMBR(data []byte) (geom.Rect, bool, error) {
+	var obj object
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return geom.Rect{}, false, fmt.Errorf("geojson: %v", err)
+	}
+	return objectMBR(&obj)
+}
+
+// ReadDataset parses a GeoJSON document from r and returns one MBR per
+// geometry: each Feature of a FeatureCollection (and each member of a
+// GeometryCollection) becomes one rectangle. A bare geometry yields a
+// single-rectangle dataset.
+func ReadDataset(r io.Reader) (*dataset.Distribution, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 1<<30))
+	if err != nil {
+		return nil, fmt.Errorf("geojson: read: %v", err)
+	}
+	var obj object
+	if err := json.Unmarshal(data, &obj); err != nil {
+		return nil, fmt.Errorf("geojson: %v", err)
+	}
+	d := &dataset.Distribution{}
+	if err := collectRects(&obj, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// collectRects appends one MBR per leaf geometry group.
+func collectRects(obj *object, d *dataset.Distribution) error {
+	switch obj.Type {
+	case "FeatureCollection":
+		for i := range obj.Features {
+			if err := collectRects(&obj.Features[i], d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "Feature":
+		if obj.Geometry == nil {
+			return nil // null geometry is legal
+		}
+		return collectRects(obj.Geometry, d)
+	case "GeometryCollection":
+		for i := range obj.Geometries {
+			if err := collectRects(&obj.Geometries[i], d); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		r, ok, err := objectMBR(obj)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return d.Add(r)
+	}
+}
+
+// objectMBR computes the MBR of one object, recursing through
+// containers.
+func objectMBR(obj *object) (geom.Rect, bool, error) {
+	switch obj.Type {
+	case "":
+		return geom.Rect{}, false, fmt.Errorf("geojson: missing \"type\"")
+	case "FeatureCollection":
+		return unionChildren(obj.Features)
+	case "Feature":
+		if obj.Geometry == nil {
+			return geom.Rect{}, false, nil
+		}
+		return objectMBR(obj.Geometry)
+	case "GeometryCollection":
+		return unionChildren(obj.Geometries)
+	default:
+		if !geometryTypes[obj.Type] {
+			return geom.Rect{}, false, fmt.Errorf("geojson: unsupported type %q", obj.Type)
+		}
+		if len(obj.Coordinates) == 0 {
+			return geom.Rect{}, false, nil
+		}
+		var raw interface{}
+		if err := json.Unmarshal(obj.Coordinates, &raw); err != nil {
+			return geom.Rect{}, false, fmt.Errorf("geojson: coordinates: %v", err)
+		}
+		acc := &mbrAccum{}
+		if err := walkCoordinates(raw, acc); err != nil {
+			return geom.Rect{}, false, err
+		}
+		if !acc.any {
+			return geom.Rect{}, false, nil
+		}
+		return acc.mbr, true, nil
+	}
+}
+
+func unionChildren(children []object) (geom.Rect, bool, error) {
+	var mbr geom.Rect
+	any := false
+	for i := range children {
+		r, ok, err := objectMBR(&children[i])
+		if err != nil {
+			return geom.Rect{}, false, err
+		}
+		if !ok {
+			continue
+		}
+		if !any {
+			mbr, any = r, true
+		} else {
+			mbr = mbr.Union(r)
+		}
+	}
+	return mbr, any, nil
+}
+
+type mbrAccum struct {
+	mbr geom.Rect
+	any bool
+}
+
+func (a *mbrAccum) add(x, y float64) {
+	p := geom.PointRect(geom.Point{X: x, Y: y})
+	if !a.any {
+		a.mbr, a.any = p, true
+	} else {
+		a.mbr = a.mbr.Union(p)
+	}
+}
+
+// walkCoordinates descends arbitrarily nested coordinate arrays. A
+// position is an array whose first two elements are numbers.
+func walkCoordinates(v interface{}, acc *mbrAccum) error {
+	arr, ok := v.([]interface{})
+	if !ok {
+		return fmt.Errorf("geojson: coordinates must be arrays, got %T", v)
+	}
+	if len(arr) == 0 {
+		return nil
+	}
+	if x, isNum := arr[0].(float64); isNum {
+		// A position: [x, y, (z...)].
+		if len(arr) < 2 {
+			return fmt.Errorf("geojson: position with %d coordinates", len(arr))
+		}
+		y, isNum := arr[1].(float64)
+		if !isNum {
+			return fmt.Errorf("geojson: non-numeric y coordinate %v", arr[1])
+		}
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return fmt.Errorf("geojson: non-finite coordinate (%v, %v)", x, y)
+		}
+		acc.add(x, y)
+		return nil
+	}
+	for _, child := range arr {
+		if err := walkCoordinates(child, acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

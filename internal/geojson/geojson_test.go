@@ -1,0 +1,170 @@
+package geojson
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mustMBR(t *testing.T, doc string) geom.Rect {
+	t.Helper()
+	r, ok, err := ParseMBR([]byte(doc))
+	if err != nil {
+		t.Fatalf("ParseMBR(%s): %v", doc, err)
+	}
+	if !ok {
+		t.Fatalf("ParseMBR(%s): unexpectedly empty", doc)
+	}
+	return r
+}
+
+func TestParsePoint(t *testing.T) {
+	r := mustMBR(t, `{"type":"Point","coordinates":[3,4]}`)
+	if r != geom.NewRect(3, 4, 3, 4) {
+		t.Fatalf("MBR = %v", r)
+	}
+	// Elevation is ignored.
+	r = mustMBR(t, `{"type":"Point","coordinates":[1,2,999]}`)
+	if r != geom.NewRect(1, 2, 1, 2) {
+		t.Fatalf("3-D point MBR = %v", r)
+	}
+}
+
+func TestParseLineAndPolygon(t *testing.T) {
+	r := mustMBR(t, `{"type":"LineString","coordinates":[[0,0],[10,5],[-2,3]]}`)
+	if r != geom.NewRect(-2, 0, 10, 5) {
+		t.Fatalf("LineString MBR = %v", r)
+	}
+	r = mustMBR(t, `{"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]],[[2,2],[3,2],[3,3],[2,2]]]}`)
+	if r != geom.NewRect(0, 0, 10, 10) {
+		t.Fatalf("Polygon MBR = %v", r)
+	}
+	r = mustMBR(t, `{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1],[0,0]]],[[[5,5],[6,5],[6,6],[5,5]]]]}`)
+	if r != geom.NewRect(0, 0, 6, 6) {
+		t.Fatalf("MultiPolygon MBR = %v", r)
+	}
+}
+
+func TestParseFeatureAndCollections(t *testing.T) {
+	r := mustMBR(t, `{"type":"Feature","properties":{"name":"x"},"geometry":{"type":"Point","coordinates":[7,8]}}`)
+	if r != geom.NewRect(7, 8, 7, 8) {
+		t.Fatalf("Feature MBR = %v", r)
+	}
+	fc := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[0,0]}},
+		{"type":"Feature","geometry":null},
+		{"type":"Feature","geometry":{"type":"LineString","coordinates":[[5,5],[9,2]]}}
+	]}`
+	r = mustMBR(t, fc)
+	if r != geom.NewRect(0, 0, 9, 5) {
+		t.Fatalf("FeatureCollection MBR = %v", r)
+	}
+	gc := `{"type":"GeometryCollection","geometries":[
+		{"type":"Point","coordinates":[1,1]},
+		{"type":"Point","coordinates":[4,9]}
+	]}`
+	r = mustMBR(t, gc)
+	if r != geom.NewRect(1, 1, 4, 9) {
+		t.Fatalf("GeometryCollection MBR = %v", r)
+	}
+}
+
+func TestParseEmptyAndNull(t *testing.T) {
+	for _, doc := range []string{
+		`{"type":"FeatureCollection","features":[]}`,
+		`{"type":"Feature","geometry":null}`,
+		`{"type":"GeometryCollection","geometries":[]}`,
+		`{"type":"MultiPoint","coordinates":[]}`,
+	} {
+		_, ok, err := ParseMBR([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		if ok {
+			t.Fatalf("%s: should be empty", doc)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`{"coordinates":[1,2]}`,
+		`{"type":"Circle","coordinates":[1,2]}`,
+		`{"type":"Point","coordinates":[1]}`,
+		`{"type":"Point","coordinates":[1,"a"]}`,
+		`{"type":"Point","coordinates":"x"}`,
+		`{"type":"LineString","coordinates":[[0,0],"x"]}`,
+	}
+	for _, doc := range bad {
+		if _, _, err := ParseMBR([]byte(doc)); err == nil {
+			t.Errorf("ParseMBR(%s) should fail", doc)
+		}
+	}
+}
+
+func TestReadDataset(t *testing.T) {
+	fc := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[1,1]}},
+		{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,0]]]}},
+		{"type":"Feature","geometry":null},
+		{"type":"Feature","geometry":{"type":"GeometryCollection","geometries":[
+			{"type":"Point","coordinates":[10,10]},
+			{"type":"Point","coordinates":[12,12]}
+		]}}
+	]}`
+	d, err := ReadDataset(strings.NewReader(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point + polygon + two collection members = 4 rectangles.
+	if d.N() != 4 {
+		t.Fatalf("N = %d, want 4", d.N())
+	}
+	mbr, _ := d.MBR()
+	if mbr != geom.NewRect(0, 0, 12, 12) {
+		t.Fatalf("MBR = %v", mbr)
+	}
+	// A bare geometry document.
+	d, err = ReadDataset(strings.NewReader(`{"type":"Point","coordinates":[5,5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 1 {
+		t.Fatalf("bare geometry N = %d", d.N())
+	}
+	// Errors propagate.
+	if _, err := ReadDataset(strings.NewReader(`{"type":"Bogus"}`)); err == nil {
+		t.Fatal("unsupported type should fail")
+	}
+}
+
+func FuzzParseMBR(f *testing.F) {
+	seeds := []string{
+		`{"type":"Point","coordinates":[3,4]}`,
+		`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":[0,0]}}]}`,
+		`{"type":"GeometryCollection","geometries":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}`,
+		`{"type":"Point","coordinates":[1e308,-1e308]}`,
+		`{]`,
+		`[]`,
+		`123`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		r, ok, err := ParseMBR(data)
+		if err != nil {
+			return
+		}
+		if ok && !r.Valid() {
+			t.Fatalf("accepted invalid rect %v", r)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package geom provides the two-dimensional geometric primitives used
+// throughout the library: points, axis-aligned rectangles, and the
+// operations on them that spatial selectivity estimation needs
+// (intersection tests, minimum bounding rectangles, areas, clamping).
+//
+// All coordinates are float64. Rectangles are closed regions
+// [MinX,MaxX] x [MinY,MaxY]; rectangles that share only a boundary are
+// considered intersecting, matching the paper's definition of a
+// "non-empty intersection".
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle given by its lower-left (MinX, MinY)
+// and upper-right (MaxX, MaxY) corners. A Rect with MinX == MaxX or
+// MinY == MaxY is degenerate (a segment or a point) but still valid: the
+// paper's point queries are rectangles with zero extent.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle with the given corner coordinates,
+// normalizing the corners so that Min <= Max on both axes.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+// RectAround returns the rectangle of the given width and height centered
+// at c.
+func RectAround(c Point, width, height float64) Rect {
+	hw, hh := width/2, height/2
+	return Rect{MinX: c.X - hw, MinY: c.Y - hh, MaxX: c.X + hw, MaxY: c.Y + hh}
+}
+
+// PointRect returns the degenerate rectangle covering exactly p. It is
+// how point queries are expressed.
+func PointRect(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// Valid reports whether r is a well-formed rectangle: finite coordinates
+// with MinX <= MaxX and MinY <= MaxY.
+func (r Rect) Valid() bool {
+	if math.IsNaN(r.MinX) || math.IsNaN(r.MinY) || math.IsNaN(r.MaxX) || math.IsNaN(r.MaxY) {
+		return false
+	}
+	if math.IsInf(r.MinX, 0) || math.IsInf(r.MinY, 0) || math.IsInf(r.MaxX, 0) || math.IsInf(r.MaxY, 0) {
+		return false
+	}
+	return r.MinX <= r.MaxX && r.MinY <= r.MaxY
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r. Degenerate rectangles have zero area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Margin returns half the perimeter of r (the R*-tree "margin" measure).
+func (r Rect) Margin() float64 { return r.Width() + r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Intersects reports whether r and s share at least one point. Touching
+// boundaries count as intersection.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Contains reports whether s lies entirely inside r (boundaries
+// inclusive).
+func (r Rect) Contains(s Rect) bool {
+	return r.MinX <= s.MinX && s.MaxX <= r.MaxX &&
+		r.MinY <= s.MinY && s.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether p lies inside r (boundaries inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// Intersection returns the overlap of r and s and whether it is
+// non-empty. When the rectangles do not intersect the zero Rect is
+// returned with ok == false.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	out := Rect{
+		MinX: maxf(r.MinX, s.MinX),
+		MinY: maxf(r.MinY, s.MinY),
+		MaxX: minf(r.MaxX, s.MaxX),
+		MaxY: minf(r.MaxY, s.MaxY),
+	}
+	if out.MinX > out.MaxX || out.MinY > out.MaxY {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// minf and maxf are branchy float min/max without math.Min/Max's NaN
+// handling; rectangle coordinates are validated finite, and these sit
+// on the hottest paths of the R*-tree and the estimators.
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// IntersectionArea returns the area of the overlap of r and s, zero when
+// they do not overlap.
+func (r Rect) IntersectionArea(s Rect) float64 {
+	w := minf(r.MaxX, s.MaxX) - maxf(r.MinX, s.MinX)
+	if w <= 0 {
+		return 0
+	}
+	h := minf(r.MaxY, s.MaxY) - maxf(r.MinY, s.MinY)
+	if h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: minf(r.MinX, s.MinX),
+		MinY: minf(r.MinY, s.MinY),
+		MaxX: maxf(r.MaxX, s.MaxX),
+		MaxY: maxf(r.MaxY, s.MaxY),
+	}
+}
+
+// Enlargement returns the increase in area required for r to contain s.
+// It is the classic R-tree insertion cost.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// Clamp returns r restricted to lie inside bound. If r does not
+// intersect bound, the result is the degenerate rectangle at the nearest
+// boundary point of bound.
+func (r Rect) Clamp(bound Rect) Rect {
+	out := Rect{
+		MinX: clamp(r.MinX, bound.MinX, bound.MaxX),
+		MinY: clamp(r.MinY, bound.MinY, bound.MaxY),
+		MaxX: clamp(r.MaxX, bound.MinX, bound.MaxX),
+		MaxY: clamp(r.MaxY, bound.MinY, bound.MaxY),
+	}
+	return out
+}
+
+// Expand returns r grown by dx on the left and right and dy on the top
+// and bottom. Negative growth is permitted; the result is normalized so
+// it remains valid.
+func (r Rect) Expand(dx, dy float64) Rect {
+	out := Rect{MinX: r.MinX - dx, MinY: r.MinY - dy, MaxX: r.MaxX + dx, MaxY: r.MaxY + dy}
+	if out.MinX > out.MaxX {
+		m := (out.MinX + out.MaxX) / 2
+		out.MinX, out.MaxX = m, m
+	}
+	if out.MinY > out.MaxY {
+		m := (out.MinY + out.MaxY) / 2
+		out.MinY, out.MaxY = m, m
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[(%g,%g),(%g,%g)]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%g,%g)", p.X, p.Y)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MBR returns the minimum bounding rectangle of the given rectangles and
+// whether the input was non-empty.
+func MBR(rects []Rect) (Rect, bool) {
+	if len(rects) == 0 {
+		return Rect{}, false
+	}
+	out := rects[0]
+	for _, r := range rects[1:] {
+		out = out.Union(r)
+	}
+	return out, true
+}
+
+// MBRPoints returns the minimum bounding rectangle of the given points
+// and whether the input was non-empty.
+func MBRPoints(pts []Point) (Rect, bool) {
+	if len(pts) == 0 {
+		return Rect{}, false
+	}
+	out := PointRect(pts[0])
+	for _, p := range pts[1:] {
+		if p.X < out.MinX {
+			out.MinX = p.X
+		}
+		if p.X > out.MaxX {
+			out.MaxX = p.X
+		}
+		if p.Y < out.MinY {
+			out.MinY = p.Y
+		}
+		if p.Y > out.MaxY {
+			out.MaxY = p.Y
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,303 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	want := Rect{MinX: 1, MinY: 2, MaxX: 5, MaxY: 7}
+	if r != want {
+		t.Fatalf("NewRect(5,7,1,2) = %v, want %v", r, want)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(0, 0, 4, 2)
+	if got := r.Width(); got != 4 {
+		t.Errorf("Width = %g, want 4", got)
+	}
+	if got := r.Height(); got != 2 {
+		t.Errorf("Height = %g, want 2", got)
+	}
+	if got := r.Area(); got != 8 {
+		t.Errorf("Area = %g, want 8", got)
+	}
+	if got := r.Margin(); got != 6 {
+		t.Errorf("Margin = %g, want 6", got)
+	}
+	if got := r.Center(); got != (Point{2, 1}) {
+		t.Errorf("Center = %v, want (2,1)", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{Rect{0, 0, 1, 1}, true},
+		{Rect{1, 1, 1, 1}, true}, // degenerate point is valid
+		{Rect{2, 0, 1, 1}, false},
+		{Rect{0, 2, 1, 1}, false},
+		{Rect{math.NaN(), 0, 1, 1}, false},
+		{Rect{0, 0, math.Inf(1), 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(1, 1, 3, 3), true},
+		{NewRect(2, 2, 3, 3), true}, // touch at a corner counts
+		{NewRect(2, 0, 4, 2), true}, // shared edge counts
+		{NewRect(3, 3, 4, 4), false},
+		{NewRect(-1, -1, -0.5, -0.5), false},
+		{NewRect(0.5, 0.5, 1.5, 1.5), true}, // contained
+		{NewRect(-1, -1, 3, 3), true},       // contains a
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestPointQueryIsDegenerateRect(t *testing.T) {
+	q := PointRect(Point{1, 1})
+	if q.Area() != 0 {
+		t.Fatalf("point rect area = %g, want 0", q.Area())
+	}
+	r := NewRect(0, 0, 2, 2)
+	if !r.Intersects(q) {
+		t.Fatal("rect should intersect interior point query")
+	}
+	out := PointRect(Point{5, 5})
+	if r.Intersects(out) {
+		t.Fatal("rect should not intersect exterior point query")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(1, 1, 3, 3)
+	got, ok := a.Intersection(b)
+	if !ok || got != NewRect(1, 1, 2, 2) {
+		t.Fatalf("Intersection = %v, %v; want [(1,1),(2,2)], true", got, ok)
+	}
+	if _, ok := a.Intersection(NewRect(5, 5, 6, 6)); ok {
+		t.Fatal("disjoint rects should have no intersection")
+	}
+}
+
+func TestIntersectionArea(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	if got := a.IntersectionArea(NewRect(1, 1, 3, 3)); got != 1 {
+		t.Errorf("IntersectionArea = %g, want 1", got)
+	}
+	if got := a.IntersectionArea(NewRect(2, 2, 3, 3)); got != 0 {
+		t.Errorf("touching rects intersection area = %g, want 0", got)
+	}
+	if got := a.IntersectionArea(NewRect(9, 9, 10, 10)); got != 0 {
+		t.Errorf("disjoint rects intersection area = %g, want 0", got)
+	}
+}
+
+func TestUnionAndEnlargement(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	b := NewRect(2, 2, 3, 3)
+	u := a.Union(b)
+	if u != NewRect(0, 0, 3, 3) {
+		t.Fatalf("Union = %v, want [(0,0),(3,3)]", u)
+	}
+	if got := a.Enlargement(b); got != 8 {
+		t.Errorf("Enlargement = %g, want 8", got)
+	}
+	if got := a.Enlargement(NewRect(0.2, 0.2, 0.8, 0.8)); got != 0 {
+		t.Errorf("Enlargement of contained rect = %g, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	bound := NewRect(0, 0, 10, 10)
+	if got := NewRect(-5, -5, 5, 5).Clamp(bound); got != NewRect(0, 0, 5, 5) {
+		t.Errorf("Clamp = %v, want [(0,0),(5,5)]", got)
+	}
+	// Fully outside rect clamps to boundary.
+	got := NewRect(20, 20, 30, 30).Clamp(bound)
+	if got != NewRect(10, 10, 10, 10) {
+		t.Errorf("Clamp outside = %v, want degenerate at (10,10)", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := NewRect(2, 2, 4, 4)
+	if got := r.Expand(1, 2); got != NewRect(1, 0, 5, 6) {
+		t.Errorf("Expand = %v, want [(1,0),(5,6)]", got)
+	}
+	// Excessive shrink collapses to center, stays valid.
+	got := r.Expand(-5, -5)
+	if !got.Valid() {
+		t.Errorf("Expand shrink produced invalid rect %v", got)
+	}
+	if got.Width() != 0 || got.Height() != 0 {
+		t.Errorf("over-shrunk rect should be degenerate, got %v", got)
+	}
+}
+
+func TestMBR(t *testing.T) {
+	if _, ok := MBR(nil); ok {
+		t.Fatal("MBR(nil) should report empty")
+	}
+	rects := []Rect{NewRect(1, 1, 2, 2), NewRect(0, 3, 1, 4), NewRect(5, 0, 6, 1)}
+	got, ok := MBR(rects)
+	if !ok || got != NewRect(0, 0, 6, 4) {
+		t.Fatalf("MBR = %v, %v; want [(0,0),(6,4)]", got, ok)
+	}
+}
+
+func TestMBRPoints(t *testing.T) {
+	if _, ok := MBRPoints(nil); ok {
+		t.Fatal("MBRPoints(nil) should report empty")
+	}
+	pts := []Point{{1, 5}, {-2, 0}, {3, 3}}
+	got, ok := MBRPoints(pts)
+	if !ok || got != NewRect(-2, 0, 3, 5) {
+		t.Fatalf("MBRPoints = %v, %v; want [(-2,0),(3,5)]", got, ok)
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(Point{5, 5}, 4, 2)
+	if r != NewRect(3, 4, 7, 6) {
+		t.Fatalf("RectAround = %v, want [(3,4),(7,6)]", r)
+	}
+	if r.Center() != (Point{5, 5}) {
+		t.Fatalf("center moved: %v", r.Center())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := NewRect(0, 0, 1, 2).String(); s != "[(0,0),(1,2)]" {
+		t.Errorf("Rect.String = %q", s)
+	}
+	if s := (Point{1, 2}).String(); s != "(1,2)" {
+		t.Errorf("Point.String = %q", s)
+	}
+}
+
+// randRect produces rectangles with coordinates in [-100, 100] for
+// property tests.
+func randRect(r *rand.Rand) Rect {
+	x1 := r.Float64()*200 - 100
+	y1 := r.Float64()*200 - 100
+	x2 := x1 + r.Float64()*50
+	y2 := y1 + r.Float64()*50
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+func TestPropertyIntersectionSymmetricAndContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("Intersects not symmetric for %v, %v", a, b)
+		}
+		inter, ok := a.Intersection(b)
+		if ok != a.Intersects(b) {
+			t.Fatalf("Intersection ok=%v disagrees with Intersects=%v for %v, %v", ok, a.Intersects(b), a, b)
+		}
+		if ok {
+			if !a.Contains(inter) || !b.Contains(inter) {
+				t.Fatalf("intersection %v not contained in both %v and %v", inter, a, b)
+			}
+			if inter.Area()-a.IntersectionArea(b) > 1e-9 || a.IntersectionArea(b)-inter.Area() > 1e-9 {
+				t.Fatalf("IntersectionArea mismatch: %g vs %g", a.IntersectionArea(b), inter.Area())
+			}
+		}
+	}
+}
+
+func TestPropertyUnionContainsBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+		if u.Area() < a.Area()-1e-9 || u.Area() < b.Area()-1e-9 {
+			t.Fatalf("union area %g smaller than inputs %g, %g", u.Area(), a.Area(), b.Area())
+		}
+		if a.Enlargement(b) < -1e-9 {
+			t.Fatalf("negative enlargement %g", a.Enlargement(b))
+		}
+	}
+}
+
+func TestPropertyMBRContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(20)
+		rects := make([]Rect, n)
+		for j := range rects {
+			rects[j] = randRect(rng)
+		}
+		m, ok := MBR(rects)
+		if !ok {
+			t.Fatal("MBR of non-empty input reported empty")
+		}
+		for _, r := range rects {
+			if !m.Contains(r) {
+				t.Fatalf("MBR %v does not contain %v", m, r)
+			}
+		}
+	}
+}
+
+func TestQuickNewRectAlwaysValid(t *testing.T) {
+	f := func(x1, y1, x2, y2 float64) bool {
+		if math.IsNaN(x1) || math.IsNaN(y1) || math.IsNaN(x2) || math.IsNaN(y2) {
+			return true // NaN inputs are out of contract
+		}
+		if math.IsInf(x1, 0) || math.IsInf(y1, 0) || math.IsInf(x2, 0) || math.IsInf(y2, 0) {
+			return true
+		}
+		return NewRect(x1, y1, x2, y2).Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClampInsideBound(t *testing.T) {
+	bound := NewRect(-50, -50, 50, 50)
+	f := func(x1, y1, w, h float64) bool {
+		if math.IsNaN(x1) || math.IsNaN(y1) || math.IsNaN(w) || math.IsNaN(h) {
+			return true
+		}
+		r := NewRect(x1, y1, x1+math.Mod(math.Abs(w), 100), y1+math.Mod(math.Abs(h), 100))
+		if !r.Valid() {
+			return true
+		}
+		c := r.Clamp(bound)
+		return c.Valid() && bound.Contains(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package grid implements the uniform grid of rectangular regions and
+// their spatial densities described in Section 4 of the paper. The
+// spatial density of a grid cell is the number of input rectangles that
+// intersect the cell; the grid is the compact approximation of the input
+// that the Min-Skew construction algorithm partitions.
+//
+// The grid maintains two-dimensional prefix sums of the densities and of
+// their squares, so that the sum, mean, and spatial skew (count-weighted
+// variance, Definition 4.1) of any axis-aligned block of cells can be
+// computed in O(1), and marginal frequency distributions of a block in
+// O(side length).
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Grid is a uniform partitioning of a bounding rectangle into NX x NY
+// cells, each holding its spatial density.
+type Grid struct {
+	bounds geom.Rect
+	nx, ny int
+	cellW  float64
+	cellH  float64
+
+	dens []float64 // row-major: dens[y*nx+x]
+	// prefix sums over (nx+1) x (ny+1): ps[y*(nx+1)+x] is the sum of
+	// dens over cells [0,x) x [0,y). ps2 is the same for squares.
+	ps  []float64
+	ps2 []float64
+}
+
+// Dims chooses grid dimensions (nx, ny) whose product approximates the
+// requested number of regions while keeping the cells as close to
+// square as possible for the given bounds. Both dimensions are at
+// least 1.
+func Dims(regions int, bounds geom.Rect) (nx, ny int) {
+	if regions < 1 {
+		regions = 1
+	}
+	w, h := bounds.Width(), bounds.Height()
+	if w <= 0 || h <= 0 {
+		// Degenerate bounds: fall back to a square grid.
+		n := int(math.Round(math.Sqrt(float64(regions))))
+		if n < 1 {
+			n = 1
+		}
+		return n, n
+	}
+	aspect := w / h
+	fx := math.Sqrt(float64(regions) * aspect)
+	nx = int(math.Round(fx))
+	if nx < 1 {
+		nx = 1
+	}
+	ny = int(math.Round(float64(regions) / float64(nx)))
+	if ny < 1 {
+		ny = 1
+	}
+	return nx, ny
+}
+
+// Build sweeps the distribution once and returns the density grid with
+// the given dimensions over the distribution's MBR. It returns an error
+// for an empty distribution or non-positive dimensions.
+func Build(d *dataset.Distribution, nx, ny int) (*Grid, error) {
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, fmt.Errorf("grid: cannot build over an empty distribution")
+	}
+	return BuildOver(d.Rects(), mbr, nx, ny)
+}
+
+// BuildOver builds the density grid with the given dimensions over an
+// explicit bounding rectangle. Rectangles outside bounds contribute to
+// the boundary cells they would be clamped into, which keeps the total
+// mass consistent when callers pass a bound smaller than the data MBR.
+func BuildOver(rects []geom.Rect, bounds geom.Rect, nx, ny int) (*Grid, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("grid: dimensions must be positive, got %dx%d", nx, ny)
+	}
+	if !bounds.Valid() {
+		return nil, fmt.Errorf("grid: invalid bounds %v", bounds)
+	}
+	g := &Grid{
+		bounds: bounds,
+		nx:     nx,
+		ny:     ny,
+		cellW:  bounds.Width() / float64(nx),
+		cellH:  bounds.Height() / float64(ny),
+		dens:   make([]float64, nx*ny),
+	}
+	for _, r := range rects {
+		x0, y0 := g.cellOf(r.MinX, r.MinY)
+		x1, y1 := g.cellOf(r.MaxX, r.MaxY)
+		for y := y0; y <= y1; y++ {
+			row := y * nx
+			for x := x0; x <= x1; x++ {
+				g.dens[row+x]++
+			}
+		}
+	}
+	g.buildPrefixSums()
+	return g, nil
+}
+
+// cellOf maps a coordinate to the cell indices containing it, clamped to
+// the grid.
+func (g *Grid) cellOf(x, y float64) (cx, cy int) {
+	if g.cellW > 0 {
+		cx = int((x - g.bounds.MinX) / g.cellW)
+	}
+	if g.cellH > 0 {
+		cy = int((y - g.bounds.MinY) / g.cellH)
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+func (g *Grid) buildPrefixSums() {
+	w := g.nx + 1
+	g.ps = make([]float64, w*(g.ny+1))
+	g.ps2 = make([]float64, w*(g.ny+1))
+	for y := 0; y < g.ny; y++ {
+		var rowSum, rowSum2 float64
+		for x := 0; x < g.nx; x++ {
+			v := g.dens[y*g.nx+x]
+			rowSum += v
+			rowSum2 += v * v
+			g.ps[(y+1)*w+x+1] = g.ps[y*w+x+1] + rowSum
+			g.ps2[(y+1)*w+x+1] = g.ps2[y*w+x+1] + rowSum2
+		}
+	}
+}
+
+// NX returns the number of columns.
+func (g *Grid) NX() int { return g.nx }
+
+// NY returns the number of rows.
+func (g *Grid) NY() int { return g.ny }
+
+// Regions returns the total number of grid cells.
+func (g *Grid) Regions() int { return g.nx * g.ny }
+
+// Bounds returns the rectangle the grid covers.
+func (g *Grid) Bounds() geom.Rect { return g.bounds }
+
+// CellWidth returns the width of one cell.
+func (g *Grid) CellWidth() float64 { return g.cellW }
+
+// CellHeight returns the height of one cell.
+func (g *Grid) CellHeight() float64 { return g.cellH }
+
+// Density returns the spatial density of cell (x, y).
+func (g *Grid) Density(x, y int) float64 { return g.dens[y*g.nx+x] }
+
+// CellRect returns the spatial extent of cell (x, y).
+func (g *Grid) CellRect(x, y int) geom.Rect {
+	return geom.Rect{
+		MinX: g.bounds.MinX + float64(x)*g.cellW,
+		MinY: g.bounds.MinY + float64(y)*g.cellH,
+		MaxX: g.bounds.MinX + float64(x+1)*g.cellW,
+		MaxY: g.bounds.MinY + float64(y+1)*g.cellH,
+	}
+}
+
+// Block is an inclusive range of grid cells [X0,X1] x [Y0,Y1]. It is the
+// unit the Min-Skew BSP splits.
+type Block struct {
+	X0, Y0, X1, Y1 int
+}
+
+// FullBlock returns the block covering the entire grid.
+func (g *Grid) FullBlock() Block {
+	return Block{X0: 0, Y0: 0, X1: g.nx - 1, Y1: g.ny - 1}
+}
+
+// Cells returns the number of cells in the block.
+func (b Block) Cells() int { return (b.X1 - b.X0 + 1) * (b.Y1 - b.Y0 + 1) }
+
+// Valid reports whether b is a non-empty block.
+func (b Block) Valid() bool { return b.X0 <= b.X1 && b.Y0 <= b.Y1 }
+
+// BlockRect returns the spatial extent of a block.
+func (g *Grid) BlockRect(b Block) geom.Rect {
+	return geom.Rect{
+		MinX: g.bounds.MinX + float64(b.X0)*g.cellW,
+		MinY: g.bounds.MinY + float64(b.Y0)*g.cellH,
+		MaxX: g.bounds.MinX + float64(b.X1+1)*g.cellW,
+		MaxY: g.bounds.MinY + float64(b.Y1+1)*g.cellH,
+	}
+}
+
+// Sum returns the total density over the block in O(1).
+func (g *Grid) Sum(b Block) float64 {
+	w := g.nx + 1
+	return g.ps[(b.Y1+1)*w+b.X1+1] - g.ps[b.Y0*w+b.X1+1] -
+		g.ps[(b.Y1+1)*w+b.X0] + g.ps[b.Y0*w+b.X0]
+}
+
+// SumSq returns the total squared density over the block in O(1).
+func (g *Grid) SumSq(b Block) float64 {
+	w := g.nx + 1
+	return g.ps2[(b.Y1+1)*w+b.X1+1] - g.ps2[b.Y0*w+b.X1+1] -
+		g.ps2[(b.Y1+1)*w+b.X0] + g.ps2[b.Y0*w+b.X0]
+}
+
+// Skew returns the spatial skew of a block per Definition 4.1: the
+// number of regions in the block times the statistical variance of
+// their densities, i.e. the sum of squared deviations from the block
+// mean. It is never negative.
+func (g *Grid) Skew(b Block) float64 {
+	n := float64(b.Cells())
+	if n == 0 {
+		return 0
+	}
+	s := g.Sum(b)
+	sse := g.SumSq(b) - s*s/n
+	if sse < 0 {
+		// Floating point cancellation can produce a tiny negative.
+		return 0
+	}
+	return sse
+}
+
+// MarginalX fills dst with the column sums of the block's densities
+// (the marginal frequency distribution along the x dimension) and
+// returns it. dst is grown if needed; pass nil to allocate.
+func (g *Grid) MarginalX(b Block, dst []float64) []float64 {
+	n := b.X1 - b.X0 + 1
+	dst = resize(dst, n)
+	w := g.nx + 1
+	top, bot := (b.Y1+1)*w, b.Y0*w
+	for i := 0; i < n; i++ {
+		x := b.X0 + i
+		dst[i] = g.ps[top+x+1] - g.ps[bot+x+1] - g.ps[top+x] + g.ps[bot+x]
+	}
+	return dst
+}
+
+// MarginalY fills dst with the row sums of the block's densities (the
+// marginal frequency distribution along the y dimension) and returns
+// it.
+func (g *Grid) MarginalY(b Block, dst []float64) []float64 {
+	n := b.Y1 - b.Y0 + 1
+	dst = resize(dst, n)
+	w := g.nx + 1
+	for i := 0; i < n; i++ {
+		y := b.Y0 + i
+		dst[i] = g.ps[(y+1)*w+b.X1+1] - g.ps[y*w+b.X1+1] -
+			g.ps[(y+1)*w+b.X0] + g.ps[y*w+b.X0]
+	}
+	return dst
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// TotalMass returns the sum of all cell densities. Because a rectangle
+// increments every cell it touches, the total mass is at least the
+// number of input rectangles.
+func (g *Grid) TotalMass() float64 { return g.Sum(g.FullBlock()) }
+
+// MaxDensity returns the largest cell density in the grid.
+func (g *Grid) MaxDensity() float64 {
+	max := 0.0
+	for _, v := range g.dens {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

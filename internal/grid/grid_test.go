@@ -1,0 +1,298 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func buildTest(t *testing.T, rects []geom.Rect, nx, ny int) *Grid {
+	t.Helper()
+	g, err := Build(dataset.New(rects), nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(dataset.New(nil), 4, 4); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	if _, err := BuildOver([]geom.Rect{geom.NewRect(0, 0, 1, 1)}, geom.NewRect(0, 0, 1, 1), 0, 4); err == nil {
+		t.Fatal("zero dimension should fail")
+	}
+	if _, err := BuildOver(nil, geom.Rect{MinX: 2, MaxX: 1, MinY: 0, MaxY: 1}, 2, 2); err == nil {
+		t.Fatal("invalid bounds should fail")
+	}
+}
+
+func TestDims(t *testing.T) {
+	nx, ny := Dims(10000, geom.NewRect(0, 0, 100, 100))
+	if nx != 100 || ny != 100 {
+		t.Errorf("Dims(10000, square) = %dx%d, want 100x100", nx, ny)
+	}
+	nx, ny = Dims(100, geom.NewRect(0, 0, 400, 100))
+	if nx < ny {
+		t.Errorf("wide bounds should get more columns: %dx%d", nx, ny)
+	}
+	if nx*ny < 80 || nx*ny > 125 {
+		t.Errorf("Dims(100) product too far off: %d", nx*ny)
+	}
+	nx, ny = Dims(0, geom.NewRect(0, 0, 1, 1))
+	if nx < 1 || ny < 1 {
+		t.Errorf("Dims must return at least 1x1, got %dx%d", nx, ny)
+	}
+	// Degenerate bounds fall back to a square grid.
+	nx, ny = Dims(16, geom.NewRect(0, 0, 0, 0))
+	if nx != 4 || ny != 4 {
+		t.Errorf("Dims(16, degenerate) = %dx%d, want 4x4", nx, ny)
+	}
+}
+
+func TestDensityCountsIntersections(t *testing.T) {
+	// 2x2 grid over [0,10]^2; one rect covering the lower-left quadrant
+	// only, one spanning all four cells.
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 4, 4),
+		geom.NewRect(1, 1, 9, 9),
+		geom.NewRect(0, 0, 10, 10), // forces the MBR
+	}
+	g := buildTest(t, rects, 2, 2)
+	if got := g.Density(0, 0); got != 3 {
+		t.Errorf("Density(0,0) = %g, want 3", got)
+	}
+	if got := g.Density(1, 0); got != 2 {
+		t.Errorf("Density(1,0) = %g, want 2", got)
+	}
+	if got := g.Density(0, 1); got != 2 {
+		t.Errorf("Density(0,1) = %g, want 2", got)
+	}
+	if got := g.Density(1, 1); got != 2 {
+		t.Errorf("Density(1,1) = %g, want 2", got)
+	}
+}
+
+func TestRectTouchingBoundaryCellCounted(t *testing.T) {
+	// A rect ending exactly on the grid midline intersects both cells.
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 5, 5),
+		geom.NewRect(0, 0, 10, 10),
+	}
+	g := buildTest(t, rects, 2, 2)
+	// (5,5) lies in cell (1,1) by the floor convention; the small rect
+	// is counted in cells (0,0),(1,0),(0,1),(1,1).
+	if got := g.Density(1, 1); got != 2 {
+		t.Errorf("Density(1,1) = %g, want 2", got)
+	}
+}
+
+func TestCellAndBlockRects(t *testing.T) {
+	g := buildTest(t, []geom.Rect{geom.NewRect(0, 0, 10, 20)}, 5, 4)
+	if got := g.CellRect(0, 0); got != geom.NewRect(0, 0, 2, 5) {
+		t.Errorf("CellRect(0,0) = %v", got)
+	}
+	if got := g.CellRect(4, 3); got != geom.NewRect(8, 15, 10, 20) {
+		t.Errorf("CellRect(4,3) = %v", got)
+	}
+	b := Block{X0: 1, Y0: 1, X1: 3, Y1: 2}
+	if got := g.BlockRect(b); got != geom.NewRect(2, 5, 8, 15) {
+		t.Errorf("BlockRect = %v", got)
+	}
+	if b.Cells() != 6 {
+		t.Errorf("Cells = %d, want 6", b.Cells())
+	}
+	full := g.FullBlock()
+	if g.BlockRect(full) != g.Bounds() {
+		t.Errorf("full block rect %v != bounds %v", g.BlockRect(full), g.Bounds())
+	}
+}
+
+// naiveSum computes block sums directly from cell densities.
+func naiveSum(g *Grid, b Block) (sum, sumsq float64) {
+	for y := b.Y0; y <= b.Y1; y++ {
+		for x := b.X0; x <= b.X1; x++ {
+			v := g.Density(x, y)
+			sum += v
+			sumsq += v * v
+		}
+	}
+	return sum, sumsq
+}
+
+func randBlock(rng *rand.Rand, g *Grid) Block {
+	x0 := rng.Intn(g.NX())
+	x1 := x0 + rng.Intn(g.NX()-x0)
+	y0 := rng.Intn(g.NY())
+	y1 := y0 + rng.Intn(g.NY()-y0)
+	return Block{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+func TestPropertyPrefixSumsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var rects []geom.Rect
+	for i := 0; i < 400; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*20, y+rng.Float64()*20))
+	}
+	g := buildTest(t, rects, 17, 13)
+	for i := 0; i < 500; i++ {
+		b := randBlock(rng, g)
+		wantSum, wantSq := naiveSum(g, b)
+		if got := g.Sum(b); math.Abs(got-wantSum) > 1e-6 {
+			t.Fatalf("Sum(%+v) = %g, want %g", b, got, wantSum)
+		}
+		if got := g.SumSq(b); math.Abs(got-wantSq) > 1e-6 {
+			t.Fatalf("SumSq(%+v) = %g, want %g", b, got, wantSq)
+		}
+	}
+}
+
+func TestSkewDefinition(t *testing.T) {
+	// Grid with known densities: use disjoint point-rects placed in
+	// distinct cells of a 2x1 grid: densities 3 and 1.
+	rects := []geom.Rect{
+		geom.NewRect(1, 1, 1, 1), geom.NewRect(2, 2, 2, 2), geom.NewRect(3, 3, 3, 3),
+		geom.NewRect(12, 2, 12, 2),
+		geom.NewRect(0, 0, 20, 4), // spans both cells: densities become 4 and 2
+	}
+	g := buildTest(t, rects, 2, 1)
+	if g.Density(0, 0) != 4 || g.Density(1, 0) != 2 {
+		t.Fatalf("densities = %g, %g; want 4, 2", g.Density(0, 0), g.Density(1, 0))
+	}
+	// mean = 3, variance = ((4-3)^2 + (2-3)^2)/2 = 1, skew = 2 * 1 = 2.
+	if got := g.Skew(g.FullBlock()); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Skew = %g, want 2", got)
+	}
+	// Single-cell blocks always have zero skew.
+	if got := g.Skew(Block{0, 0, 0, 0}); got != 0 {
+		t.Fatalf("single-cell skew = %g, want 0", got)
+	}
+}
+
+func TestPropertySkewNonNegativeAndSplitReduces(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var rects []geom.Rect
+	for i := 0; i < 300; i++ {
+		x, y := rng.Float64()*50, rng.Float64()*50
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*5, y+rng.Float64()*5))
+	}
+	g := buildTest(t, rects, 10, 10)
+	for i := 0; i < 300; i++ {
+		b := randBlock(rng, g)
+		s := g.Skew(b)
+		if s < 0 {
+			t.Fatalf("negative skew %g for %+v", s, b)
+		}
+		// Any vertical split must not increase total SSE: SSE is
+		// superadditive under partitioning into sub-blocks.
+		if b.X0 < b.X1 {
+			cut := b.X0 + rng.Intn(b.X1-b.X0)
+			left := Block{b.X0, b.Y0, cut, b.Y1}
+			right := Block{cut + 1, b.Y0, b.X1, b.Y1}
+			if g.Skew(left)+g.Skew(right) > s+1e-6 {
+				t.Fatalf("split increased skew: %g + %g > %g for %+v cut %d",
+					g.Skew(left), g.Skew(right), s, b, cut)
+			}
+		}
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 20, 4), // whole area -> MBR
+		geom.NewRect(1, 1, 1, 1),
+		geom.NewRect(12, 3, 12, 3),
+	}
+	g := buildTest(t, rects, 4, 2)
+	full := g.FullBlock()
+	mx := g.MarginalX(full, nil)
+	my := g.MarginalY(full, nil)
+	if len(mx) != 4 || len(my) != 2 {
+		t.Fatalf("marginal lengths = %d, %d", len(mx), len(my))
+	}
+	// Column sums must add up to the total mass, same for rows.
+	var sx, sy float64
+	for _, v := range mx {
+		sx += v
+	}
+	for _, v := range my {
+		sy += v
+	}
+	total := g.TotalMass()
+	if math.Abs(sx-total) > 1e-9 || math.Abs(sy-total) > 1e-9 {
+		t.Fatalf("marginal sums %g, %g != total %g", sx, sy, total)
+	}
+	// Reuse buffer path.
+	buf := make([]float64, 1)
+	mx2 := g.MarginalX(full, buf)
+	for i := range mx {
+		if mx[i] != mx2[i] {
+			t.Fatalf("MarginalX reuse mismatch at %d", i)
+		}
+	}
+}
+
+func TestPropertyMarginalsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var rects []geom.Rect
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*30, rng.Float64()*30
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*8, y+rng.Float64()*8))
+	}
+	g := buildTest(t, rects, 9, 7)
+	for i := 0; i < 200; i++ {
+		b := randBlock(rng, g)
+		mx := g.MarginalX(b, nil)
+		for j, got := range mx {
+			var want float64
+			for y := b.Y0; y <= b.Y1; y++ {
+				want += g.Density(b.X0+j, y)
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("MarginalX[%d] = %g, want %g for %+v", j, got, want, b)
+			}
+		}
+		my := g.MarginalY(b, nil)
+		for j, got := range my {
+			var want float64
+			for x := b.X0; x <= b.X1; x++ {
+				want += g.Density(x, b.Y0+j)
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("MarginalY[%d] = %g, want %g for %+v", j, got, want, b)
+			}
+		}
+	}
+}
+
+func TestTotalMassAtLeastN(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var rects []geom.Rect
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64(), y+rng.Float64()))
+	}
+	g := buildTest(t, rects, 8, 8)
+	if g.TotalMass() < float64(len(rects)) {
+		t.Fatalf("TotalMass %g < N %d", g.TotalMass(), len(rects))
+	}
+	if g.MaxDensity() < 1 {
+		t.Fatalf("MaxDensity %g < 1", g.MaxDensity())
+	}
+}
+
+func TestSingleRectGrid(t *testing.T) {
+	// Degenerate data: one point rectangle. The MBR has zero area but
+	// the grid must still be constructible and consistent.
+	g := buildTest(t, []geom.Rect{geom.NewRect(5, 5, 5, 5)}, 4, 4)
+	if g.TotalMass() != 1 {
+		t.Fatalf("TotalMass = %g, want 1", g.TotalMass())
+	}
+	if g.Skew(g.FullBlock()) < 0 {
+		t.Fatal("negative skew on degenerate grid")
+	}
+}

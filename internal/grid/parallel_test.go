@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var rects []geom.Rect
+	for i := 0; i < 20000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*30, y+rng.Float64()*30))
+	}
+	d := dataset.New(rects)
+	seq, err := Build(d, 37, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 7, 16} {
+		par, err := BuildParallel(d, 37, 29, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for y := 0; y < seq.NY(); y++ {
+			for x := 0; x < seq.NX(); x++ {
+				if seq.Density(x, y) != par.Density(x, y) {
+					t.Fatalf("workers=%d: density(%d,%d) = %g, want %g",
+						workers, x, y, par.Density(x, y), seq.Density(x, y))
+				}
+			}
+		}
+		if seq.TotalMass() != par.TotalMass() {
+			t.Fatalf("workers=%d: mass mismatch", workers)
+		}
+		// Prefix sums must agree too.
+		b := Block{X0: 3, Y0: 2, X1: 30, Y1: 25}
+		if seq.Sum(b) != par.Sum(b) || seq.Skew(b) != par.Skew(b) {
+			t.Fatalf("workers=%d: block aggregates differ", workers)
+		}
+	}
+}
+
+func TestBuildParallelErrors(t *testing.T) {
+	if _, err := BuildParallel(dataset.New(nil), 4, 4, 2); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	if _, err := BuildOverParallel(nil, geom.NewRect(0, 0, 1, 1), 0, 1, 2); err == nil {
+		t.Fatal("bad dims should fail")
+	}
+	if _, err := BuildOverParallel(nil, geom.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}, 2, 2, 2); err == nil {
+		t.Fatal("bad bounds should fail")
+	}
+}
+
+func TestBuildParallelFewRects(t *testing.T) {
+	// More workers than rectangles.
+	d := dataset.New([]geom.Rect{geom.NewRect(0, 0, 1, 1), geom.NewRect(5, 5, 6, 6)})
+	g, err := BuildParallel(d, 8, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalMass() < 2 {
+		t.Fatalf("mass = %g", g.TotalMass())
+	}
+}
+
+func BenchmarkBuildSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var rects []geom.Rect
+	for i := 0; i < 200000; i++ {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		rects = append(rects, geom.NewRect(x, y, x+20, y+20))
+	}
+	d := dataset.New(rects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, 100, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var rects []geom.Rect
+	for i := 0; i < 200000; i++ {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		rects = append(rects, geom.NewRect(x, y, x+20, y+20))
+	}
+	d := dataset.New(rects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildParallel(d, 100, 100, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

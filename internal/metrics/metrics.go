@@ -1,0 +1,93 @@
+// Package metrics implements the evaluation metrics of Section 5 of
+// the paper, principally the average relative error of a set of
+// selectivity estimates: sum over the query set of |actual - estimate|
+// divided by the sum of the actual result sizes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AvgRelativeError returns the paper's error metric
+// (Σ|rᵢ−eᵢ|)/(Σrᵢ) for actual result sizes r and estimates e. It
+// returns an error when the slices differ in length or every query has
+// an empty result (the metric is undefined then, per the paper's
+// footnote).
+func AvgRelativeError(actual []int, estimates []float64) (float64, error) {
+	if len(actual) != len(estimates) {
+		return 0, fmt.Errorf("metrics: %d actuals vs %d estimates", len(actual), len(estimates))
+	}
+	var sumErr, sumActual float64
+	for i, r := range actual {
+		sumErr += math.Abs(float64(r) - estimates[i])
+		sumActual += float64(r)
+	}
+	if sumActual == 0 {
+		return 0, fmt.Errorf("metrics: average relative error undefined: all queries empty")
+	}
+	return sumErr / sumActual, nil
+}
+
+// Summary holds descriptive statistics of per-query absolute errors,
+// useful for deeper analysis than the single paper metric.
+type Summary struct {
+	Queries     int
+	AvgRelError float64 // the paper's metric
+	MeanAbs     float64 // mean |r - e|
+	RMS         float64 // root mean squared error
+	MaxAbs      float64 // worst absolute error
+	P50Abs      float64 // median absolute error
+	P95Abs      float64 // 95th percentile absolute error
+}
+
+// Summarize computes a Summary for the given actual result sizes and
+// estimates.
+func Summarize(actual []int, estimates []float64) (Summary, error) {
+	are, err := AvgRelativeError(actual, estimates)
+	if err != nil {
+		return Summary{}, err
+	}
+	n := len(actual)
+	abs := make([]float64, n)
+	var sumAbs, sumSq float64
+	for i, r := range actual {
+		a := math.Abs(float64(r) - estimates[i])
+		abs[i] = a
+		sumAbs += a
+		sumSq += a * a
+	}
+	sort.Float64s(abs)
+	return Summary{
+		Queries:     n,
+		AvgRelError: are,
+		MeanAbs:     sumAbs / float64(n),
+		RMS:         math.Sqrt(sumSq / float64(n)),
+		MaxAbs:      abs[n-1],
+		P50Abs:      percentile(abs, 0.50),
+		P95Abs:      percentile(abs, 0.95),
+	}, nil
+}
+
+// percentile returns the p-quantile (0 <= p <= 1) of sorted values by
+// nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("relerr=%.3f meanabs=%.2f rms=%.2f p50=%.2f p95=%.2f max=%.2f (n=%d)",
+		s.AvgRelError, s.MeanAbs, s.RMS, s.P50Abs, s.P95Abs, s.MaxAbs, s.Queries)
+}

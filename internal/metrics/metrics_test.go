@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgRelativeError(t *testing.T) {
+	// Paper formula: (sum |r-e|) / (sum r).
+	actual := []int{10, 0, 5}
+	est := []float64{8, 1, 5}
+	got, err := AvgRelativeError(actual, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0 + 1.0 + 0.0) / 15.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AvgRelativeError = %g, want %g", got, want)
+	}
+}
+
+func TestAvgRelativeErrorPerfect(t *testing.T) {
+	got, err := AvgRelativeError([]int{3, 7}, []float64{3, 7})
+	if err != nil || got != 0 {
+		t.Fatalf("perfect estimates: %g, %v", got, err)
+	}
+}
+
+func TestAvgRelativeErrorErrors(t *testing.T) {
+	if _, err := AvgRelativeError([]int{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := AvgRelativeError([]int{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("all-empty actuals should fail (metric undefined)")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	actual := []int{10, 20, 30, 40}
+	est := []float64{12, 20, 25, 50}
+	s, err := Summarize(actual, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Queries != 4 {
+		t.Errorf("Queries = %d", s.Queries)
+	}
+	// abs errors: 2, 0, 5, 10
+	if s.MaxAbs != 10 {
+		t.Errorf("MaxAbs = %g", s.MaxAbs)
+	}
+	if s.MeanAbs != 17.0/4 {
+		t.Errorf("MeanAbs = %g", s.MeanAbs)
+	}
+	wantRMS := math.Sqrt((4 + 0 + 25 + 100) / 4.0)
+	if math.Abs(s.RMS-wantRMS) > 1e-12 {
+		t.Errorf("RMS = %g, want %g", s.RMS, wantRMS)
+	}
+	if s.P50Abs != 2 { // sorted: 0,2,5,10; ceil(0.5*4)-1 = 1
+		t.Errorf("P50Abs = %g", s.P50Abs)
+	}
+	if s.P95Abs != 10 {
+		t.Errorf("P95Abs = %g", s.P95Abs)
+	}
+	if !strings.Contains(s.String(), "relerr=") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeError(t *testing.T) {
+	if _, err := Summarize([]int{0}, []float64{5}); err == nil {
+		t.Fatal("undefined metric should propagate")
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %g", got)
+	}
+	vals := []float64{1, 2, 3}
+	if got := percentile(vals, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := percentile(vals, 1); got != 3 {
+		t.Errorf("p100 = %g", got)
+	}
+}
+
+func TestQuickErrorNonNegativeAndZeroIffExact(t *testing.T) {
+	f := func(vals []uint8, noise []int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		actual := make([]int, len(vals))
+		est := make([]float64, len(vals))
+		anyPositive := false
+		exact := true
+		for i, v := range vals {
+			actual[i] = int(v)
+			if v > 0 {
+				anyPositive = true
+			}
+			var nz float64
+			if i < len(noise) {
+				nz = float64(noise[i])
+			}
+			if nz != 0 {
+				exact = false
+			}
+			est[i] = float64(v) + nz
+		}
+		if !anyPositive {
+			_, err := AvgRelativeError(actual, est)
+			return err != nil
+		}
+		got, err := AvgRelativeError(actual, est)
+		if err != nil {
+			return false
+		}
+		if got < 0 {
+			return false
+		}
+		if exact && got != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package onedim implements classic one-dimensional relational
+// histograms — Equi-Width, Equi-Depth [Koo80, PSC84] and V-Optimal
+// [PIHS96] — over a numeric attribute. They are the relational
+// ancestors the paper's spatial partitionings generalize (Equi-Area
+// and Equi-Count are their two-dimensional analogues, Section 3.3),
+// and combining two of them under the attribute-value-independence
+// assumption yields another baseline spatial estimator: exactly the
+// kind of straightforward one-dimensional transplant the paper argues
+// is insufficient for spatial data.
+package onedim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucket is a half-open value range [Lo, Hi) holding Count values; the
+// last bucket of a histogram is closed on the right.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram approximates the distribution of a numeric attribute.
+type Histogram struct {
+	buckets []Bucket
+	n       int
+}
+
+// Buckets exposes the bucket list (read-only).
+func (h *Histogram) Buckets() []Bucket { return h.buckets }
+
+// N returns the number of summarized values.
+func (h *Histogram) N() int { return h.n }
+
+// EquiWidth builds k buckets of equal value-range width.
+func EquiWidth(vals []float64, k int) (*Histogram, error) {
+	if err := checkInput(vals, k); err != nil {
+		return nil, err
+	}
+	lo, hi := minMax(vals)
+	if lo == hi {
+		return &Histogram{buckets: []Bucket{{Lo: lo, Hi: hi, Count: len(vals)}}, n: len(vals)}, nil
+	}
+	width := (hi - lo) / float64(k)
+	buckets := make([]Bucket, k)
+	for i := range buckets {
+		buckets[i] = Bucket{Lo: lo + float64(i)*width, Hi: lo + float64(i+1)*width}
+	}
+	buckets[k-1].Hi = hi
+	for _, v := range vals {
+		idx := int((v - lo) / width)
+		if idx >= k {
+			idx = k - 1
+		}
+		buckets[idx].Count++
+	}
+	return &Histogram{buckets: buckets, n: len(vals)}, nil
+}
+
+// EquiDepth builds k buckets holding (as nearly as possible) equal
+// numbers of values.
+func EquiDepth(vals []float64, k int) (*Histogram, error) {
+	if err := checkInput(vals, k); err != nil {
+		return nil, err
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if k > n {
+		k = n
+	}
+	var buckets []Bucket
+	start := 0
+	for i := 0; i < k && start < n; i++ {
+		end := (i + 1) * n / k
+		if end <= start {
+			end = start + 1
+		}
+		// Bucket boundaries cannot split equal values; extend to cover
+		// the run.
+		for end < n && sorted[end] == sorted[end-1] {
+			end++
+		}
+		buckets = append(buckets, Bucket{Lo: sorted[start], Hi: sorted[end-1], Count: end - start})
+		start = end
+	}
+	return &Histogram{buckets: buckets, n: n}, nil
+}
+
+// VOptimal builds the k-bucket histogram minimizing the total variance
+// of a density vector over a uniform quantization of the value domain,
+// by the classic O(m^2 k) dynamic program of [PIHS96] (m is the number
+// of quantization cells, capped for tractability).
+func VOptimal(vals []float64, k, cells int) (*Histogram, error) {
+	if err := checkInput(vals, k); err != nil {
+		return nil, err
+	}
+	const maxCells = 2048
+	if cells < 1 {
+		cells = 512
+	}
+	if cells > maxCells {
+		return nil, fmt.Errorf("onedim: %d cells exceeds the cap %d", cells, maxCells)
+	}
+	lo, hi := minMax(vals)
+	if lo == hi {
+		return &Histogram{buckets: []Bucket{{Lo: lo, Hi: hi, Count: len(vals)}}, n: len(vals)}, nil
+	}
+	// Quantize to cell frequencies.
+	freq := make([]float64, cells)
+	width := (hi - lo) / float64(cells)
+	for _, v := range vals {
+		idx := int((v - lo) / width)
+		if idx >= cells {
+			idx = cells - 1
+		}
+		freq[idx]++
+	}
+	if k > cells {
+		k = cells
+	}
+	// Prefix sums for O(1) segment SSE.
+	ps := make([]float64, cells+1)
+	ps2 := make([]float64, cells+1)
+	for i, f := range freq {
+		ps[i+1] = ps[i] + f
+		ps2[i+1] = ps2[i] + f*f
+	}
+	sse := func(a, b int) float64 { // cells [a, b)
+		s := ps[b] - ps[a]
+		v := ps2[b] - ps2[a] - s*s/float64(b-a)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	// dp[j][i]: min cost of covering cells [0, i) with j buckets.
+	// choice[j][i]: start of the last bucket.
+	dp := make([][]float64, k+1)
+	choice := make([][]int, k+1)
+	for j := range dp {
+		dp[j] = make([]float64, cells+1)
+		choice[j] = make([]int, cells+1)
+		for i := range dp[j] {
+			dp[j][i] = math.Inf(1)
+		}
+	}
+	dp[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for i := j; i <= cells; i++ {
+			for s := j - 1; s < i; s++ {
+				if c := dp[j-1][s] + sse(s, i); c < dp[j][i] {
+					dp[j][i] = c
+					choice[j][i] = s
+				}
+			}
+		}
+	}
+	// Pick the bucket count with the lowest cost (fewer buckets can
+	// tie; prefer k for resolution, walking back from infeasible).
+	bestJ := k
+	for bestJ > 1 && math.IsInf(dp[bestJ][cells], 1) {
+		bestJ--
+	}
+	// Reconstruct.
+	var bounds []int
+	i := cells
+	for j := bestJ; j > 0; j-- {
+		s := choice[j][i]
+		bounds = append(bounds, s)
+		i = s
+	}
+	sort.Ints(bounds)
+	buckets := make([]Bucket, 0, bestJ)
+	for bi := range bounds {
+		start := bounds[bi]
+		end := cells
+		if bi+1 < len(bounds) {
+			end = bounds[bi+1]
+		}
+		buckets = append(buckets, Bucket{
+			Lo:    lo + float64(start)*width,
+			Hi:    lo + float64(end)*width,
+			Count: int(ps[end] - ps[start]),
+		})
+	}
+	return &Histogram{buckets: buckets, n: len(vals)}, nil
+}
+
+// EstimateRange returns the estimated number of values in [a, b]
+// (inclusive) under per-bucket uniformity.
+func (h *Histogram) EstimateRange(a, b float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	var total float64
+	for _, bk := range h.buckets {
+		if bk.Count == 0 {
+			continue
+		}
+		width := bk.Hi - bk.Lo
+		if width <= 0 {
+			// Singleton bucket: all mass at Lo.
+			if a <= bk.Lo && bk.Lo <= b {
+				total += float64(bk.Count)
+			}
+			continue
+		}
+		lo := math.Max(a, bk.Lo)
+		hi := math.Min(b, bk.Hi)
+		if hi <= lo {
+			continue
+		}
+		total += float64(bk.Count) * (hi - lo) / width
+	}
+	return total
+}
+
+// Fraction returns EstimateRange normalized by N.
+func (h *Histogram) Fraction(a, b float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.EstimateRange(a, b) / float64(h.n)
+}
+
+func checkInput(vals []float64, k int) error {
+	if len(vals) == 0 {
+		return fmt.Errorf("onedim: no values")
+	}
+	if k < 1 {
+		return fmt.Errorf("onedim: bucket count %d < 1", k)
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("onedim: non-finite value %g", v)
+		}
+	}
+	return nil
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,188 @@
+package onedim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInputValidation(t *testing.T) {
+	if _, err := EquiWidth(nil, 4); err == nil {
+		t.Fatal("empty values should fail")
+	}
+	if _, err := EquiDepth([]float64{1}, 0); err == nil {
+		t.Fatal("zero buckets should fail")
+	}
+	if _, err := VOptimal([]float64{math.NaN()}, 2, 16); err == nil {
+		t.Fatal("NaN should fail")
+	}
+	if _, err := VOptimal([]float64{1, 2}, 2, 1<<20); err == nil {
+		t.Fatal("excessive cells should fail")
+	}
+}
+
+func TestEquiWidthBasics(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}
+	h, err := EquiWidth(vals, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 10 || len(h.Buckets()) != 5 {
+		t.Fatalf("N=%d buckets=%d", h.N(), len(h.Buckets()))
+	}
+	total := 0
+	var prevHi float64
+	for i, b := range h.Buckets() {
+		total += b.Count
+		if i > 0 && b.Lo != prevHi {
+			t.Fatalf("bucket %d not contiguous: Lo=%g prev Hi=%g", i, b.Lo, prevHi)
+		}
+		prevHi = b.Hi
+		if got := b.Hi - b.Lo; math.Abs(got-2) > 1e-9 {
+			t.Fatalf("bucket %d width = %g, want 2", i, got)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestEquiDepthBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	h, err := EquiDepth(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range h.Buckets() {
+		total += b.Count
+		if b.Count < 80 || b.Count > 120 {
+			t.Fatalf("bucket count %d far from 100", b.Count)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestEquiDepthDuplicates(t *testing.T) {
+	// Heavy duplicates: boundaries must not split equal values.
+	vals := make([]float64, 0, 100)
+	for i := 0; i < 90; i++ {
+		vals = append(vals, 5)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, float64(i))
+	}
+	h, err := EquiDepth(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range h.Buckets() {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestSingleValueHistograms(t *testing.T) {
+	vals := []float64{7, 7, 7, 7}
+	for name, build := range map[string]func() (*Histogram, error){
+		"equiwidth": func() (*Histogram, error) { return EquiWidth(vals, 3) },
+		"voptimal":  func() (*Histogram, error) { return VOptimal(vals, 3, 64) },
+	} {
+		h, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(h.Buckets()) != 1 || h.Buckets()[0].Count != 4 {
+			t.Fatalf("%s: %+v", name, h.Buckets())
+		}
+		if got := h.EstimateRange(6, 8); got != 4 {
+			t.Fatalf("%s: EstimateRange = %g", name, got)
+		}
+		if got := h.EstimateRange(8, 9); got != 0 {
+			t.Fatalf("%s: miss EstimateRange = %g", name, got)
+		}
+	}
+}
+
+func TestVOptimalIsolatesStep(t *testing.T) {
+	// A two-level step distribution: V-Optimal with 2 buckets must put
+	// the boundary at the step, achieving ~zero SSE.
+	var vals []float64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 900; i++ {
+		vals = append(vals, rng.Float64()*10) // dense [0,10)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, 10+rng.Float64()*10) // sparse [10,20)
+	}
+	h, err := VOptimal(vals, 2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets()) != 2 {
+		t.Fatalf("buckets = %d", len(h.Buckets()))
+	}
+	boundary := h.Buckets()[0].Hi
+	if math.Abs(boundary-10) > 0.5 {
+		t.Fatalf("V-Optimal boundary = %g, want ~10", boundary)
+	}
+	// The dense bucket holds ~900.
+	if c := h.Buckets()[0].Count; c < 850 || c > 950 {
+		t.Fatalf("dense bucket count = %d", c)
+	}
+}
+
+func TestEstimateRangeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	for name, build := range map[string]func() (*Histogram, error){
+		"equiwidth": func() (*Histogram, error) { return EquiWidth(vals, 50) },
+		"equidepth": func() (*Histogram, error) { return EquiDepth(vals, 50) },
+		"voptimal":  func() (*Histogram, error) { return VOptimal(vals, 50, 512) },
+	} {
+		h, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 50; i++ {
+			a := rng.Float64() * 900
+			b := a + rng.Float64()*100
+			exact := 0
+			for _, v := range vals {
+				if v >= a && v <= b {
+					exact++
+				}
+			}
+			got := h.EstimateRange(a, b)
+			if exact > 100 && math.Abs(got-float64(exact))/float64(exact) > 0.25 {
+				t.Fatalf("%s: range [%g,%g] estimate %g vs exact %d", name, a, b, got, exact)
+			}
+		}
+		if got := h.Fraction(0, 1000); math.Abs(got-1) > 0.01 {
+			t.Fatalf("%s: full-range fraction = %g", name, got)
+		}
+		// Inverted arguments are normalized.
+		if h.EstimateRange(500, 400) != h.EstimateRange(400, 500) {
+			t.Fatalf("%s: inverted range differs", name)
+		}
+	}
+}
+
+func TestFractionEmptyHistogram(t *testing.T) {
+	h := &Histogram{}
+	if h.Fraction(0, 1) != 0 {
+		t.Fatal("empty histogram fraction should be 0")
+	}
+}

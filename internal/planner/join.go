@@ -1,0 +1,132 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Spatial join cardinality estimation. The output size of an
+// intersection join R ⋈ S is estimated from the two relations' bucket
+// histograms: within a bucket pair, centers are uniform in the bucket
+// boxes and rectangle extents equal the bucket averages, so the
+// probability that one rectangle from each bucket intersects has a
+// closed form — per axis, the measure of the band |x1 - x2| <= d
+// inside the box [a1,b1] x [a2,b2], with d half the summed average
+// extents.
+
+// EstimateJoin returns the estimated number of intersecting pairs
+// between the rectangle sets summarized by the two histograms.
+func EstimateJoin(r, s *core.BucketEstimator) (float64, error) {
+	if r == nil || s == nil {
+		return 0, fmt.Errorf("planner: nil histogram")
+	}
+	var total float64
+	for _, br := range r.Buckets() {
+		if br.Count == 0 {
+			continue
+		}
+		for _, bs := range s.Buckets() {
+			if bs.Count == 0 {
+				continue
+			}
+			dx := (br.AvgW + bs.AvgW) / 2
+			dy := (br.AvgH + bs.AvgH) / 2
+			px := axisIntersectProb(br.Box.MinX, br.Box.MaxX, bs.Box.MinX, bs.Box.MaxX, dx)
+			py := axisIntersectProb(br.Box.MinY, br.Box.MaxY, bs.Box.MinY, bs.Box.MaxY, dy)
+			total += float64(br.Count) * float64(bs.Count) * px * py
+		}
+	}
+	return total, nil
+}
+
+// axisIntersectProb returns P(|x1 - x2| <= d) for x1 uniform in
+// [a1,b1] and x2 uniform in [a2,b2], d >= 0. Degenerate intervals
+// (points) are handled as atoms.
+func axisIntersectProb(a1, b1, a2, b2, d float64) float64 {
+	w1, w2 := b1-a1, b2-a2
+	switch {
+	case w1 <= 0 && w2 <= 0:
+		// Two atoms.
+		if abs(a1-a2) <= d {
+			return 1
+		}
+		return 0
+	case w1 <= 0:
+		// x1 is an atom: P = overlap([x1-d, x1+d], [a2,b2]) / w2.
+		return clamp01(overlapLen(a1-d, a1+d, a2, b2) / w2)
+	case w2 <= 0:
+		return clamp01(overlapLen(a2-d, a2+d, a1, b1) / w1)
+	}
+	// General case: integrate len(x) = |[x-d, x+d] ∩ [a2,b2]| for x in
+	// [a1,b1]. len is piecewise linear with breakpoints where the band
+	// edges cross the interval ends.
+	breaks := []float64{a1, b1, a2 - d, a2 + d, b2 - d, b2 + d}
+	// Sort the breakpoints and integrate trapezoids inside [a1,b1].
+	sortSix(breaks)
+	var area float64
+	for i := 0; i+1 < len(breaks); i++ {
+		lo, hi := breaks[i], breaks[i+1]
+		if hi <= a1 || lo >= b1 || hi <= lo {
+			continue
+		}
+		if lo < a1 {
+			lo = a1
+		}
+		if hi > b1 {
+			hi = b1
+		}
+		// len is linear on (lo, hi): trapezoid rule is exact.
+		area += (hi - lo) * (bandLen(lo, a2, b2, d) + bandLen(hi, a2, b2, d)) / 2
+	}
+	return clamp01(area / (w1 * w2))
+}
+
+// bandLen is |[x-d, x+d] ∩ [a,b]|.
+func bandLen(x, a, b, d float64) float64 {
+	return overlapLen(x-d, x+d, a, b)
+}
+
+// overlapLen is the length of [lo1,hi1] ∩ [lo2,hi2].
+func overlapLen(lo1, hi1, lo2, hi2 float64) float64 {
+	lo := lo1
+	if lo2 > lo {
+		lo = lo2
+	}
+	hi := hi1
+	if hi2 < hi {
+		hi = hi2
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// sortSix sorts a six-element slice with insertion sort; the join
+// estimator calls this per bucket pair and per axis, so avoiding
+// sort.Float64s' allocation matters.
+func sortSix(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

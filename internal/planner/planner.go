@@ -1,0 +1,117 @@
+// Package planner shows the estimators doing the job the paper built
+// them for: cost-based access path selection. Given a table's
+// statistics and a cost model, the planner chooses between a
+// sequential scan and an index scan for a spatial range predicate, and
+// estimates the output cardinality of spatial intersection joins from
+// two histograms.
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// CostModel holds the planner's cost constants in abstract cost units
+// (a common choice is "one sequential page read = 1").
+type CostModel struct {
+	// SeqPerTuple is the cost of examining one tuple during a
+	// sequential scan.
+	SeqPerTuple float64
+	// IndexPerResult is the cost of fetching one matching tuple
+	// through the index (random access is more expensive).
+	IndexPerResult float64
+	// IndexFixed is the fixed overhead of descending the index.
+	IndexFixed float64
+}
+
+// DefaultCostModel mirrors the usual ~25x random-versus-sequential
+// penalty.
+func DefaultCostModel() CostModel {
+	return CostModel{SeqPerTuple: 1, IndexPerResult: 25, IndexFixed: 100}
+}
+
+// Access is the chosen access path.
+type Access int
+
+const (
+	// SeqScan reads the whole table.
+	SeqScan Access = iota
+	// IndexScan probes the spatial index.
+	IndexScan
+)
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	switch a {
+	case SeqScan:
+		return "SeqScan"
+	case IndexScan:
+		return "IndexScan"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// Plan is the planner's decision for one range predicate.
+type Plan struct {
+	Access Access
+	// Rows is the estimated number of matching tuples.
+	Rows float64
+	// Selectivity is Rows over the table size.
+	Selectivity float64
+	// Cost is the estimated cost of the chosen path.
+	Cost float64
+	// SeqCost and IndexCost are both candidates' costs.
+	SeqCost   float64
+	IndexCost float64
+}
+
+// String renders the plan like an EXPLAIN line.
+func (p Plan) String() string {
+	return fmt.Sprintf("%v (rows=%.1f sel=%.5f cost=%.0f; seq=%.0f index=%.0f)",
+		p.Access, p.Rows, p.Selectivity, p.Cost, p.SeqCost, p.IndexCost)
+}
+
+// Planner chooses access paths for one table.
+type Planner struct {
+	est   core.Estimator
+	n     int
+	model CostModel
+}
+
+// New creates a planner over a table of n tuples whose spatial
+// attribute is summarized by est.
+func New(est core.Estimator, n int, model CostModel) (*Planner, error) {
+	if est == nil {
+		return nil, fmt.Errorf("planner: nil estimator")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("planner: negative table size %d", n)
+	}
+	return &Planner{est: est, n: n, model: model}, nil
+}
+
+// Choose plans the range predicate q.
+func (p *Planner) Choose(q geom.Rect) Plan {
+	rows := p.est.Estimate(q)
+	if rows < 0 {
+		rows = 0
+	}
+	if rows > float64(p.n) {
+		rows = float64(p.n)
+	}
+	seq := p.model.SeqPerTuple * float64(p.n)
+	idx := p.model.IndexFixed + p.model.IndexPerResult*rows
+	plan := Plan{Rows: rows, SeqCost: seq, IndexCost: idx}
+	if p.n > 0 {
+		plan.Selectivity = rows / float64(p.n)
+	}
+	if idx < seq {
+		plan.Access, plan.Cost = IndexScan, idx
+	} else {
+		plan.Access, plan.Cost = SeqScan, seq
+	}
+	return plan
+}

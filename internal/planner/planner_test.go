@@ -1,0 +1,206 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 10, DefaultCostModel()); err == nil {
+		t.Fatal("nil estimator should fail")
+	}
+	d := synthetic.Uniform(100, 100, 1, 5, 1)
+	u, _ := core.NewUniform(d)
+	if _, err := New(u, -1, DefaultCostModel()); err == nil {
+		t.Fatal("negative size should fail")
+	}
+}
+
+func TestChoosePicksIndexForSelectiveQueries(t *testing.T) {
+	d := synthetic.Uniform(100000, 10000, 10, 30, 2)
+	hist, err := core.NewMinSkew(d, core.MinSkewConfig{Buckets: 50, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(hist, d.N(), DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny query: index.
+	tiny := p.Choose(geom.NewRect(5000, 5000, 5050, 5050))
+	if tiny.Access != IndexScan {
+		t.Fatalf("tiny query plan = %v", tiny)
+	}
+	// Whole-space query: scan.
+	all := p.Choose(geom.NewRect(0, 0, 10000, 10000))
+	if all.Access != SeqScan {
+		t.Fatalf("covering query plan = %v", all)
+	}
+	if all.Rows > float64(d.N())+1e-9 {
+		t.Fatalf("rows %g exceed table size", all.Rows)
+	}
+	if !strings.Contains(all.String(), "SeqScan") {
+		t.Fatalf("String = %q", all.String())
+	}
+	if got := (Access(99)).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown access String = %q", got)
+	}
+}
+
+func TestChooseCostsConsistent(t *testing.T) {
+	d := synthetic.Uniform(1000, 100, 1, 3, 3)
+	u, _ := core.NewUniform(d)
+	p, _ := New(u, d.N(), CostModel{SeqPerTuple: 2, IndexPerResult: 10, IndexFixed: 5})
+	plan := p.Choose(geom.NewRect(0, 0, 50, 50))
+	if plan.SeqCost != 2000 {
+		t.Fatalf("SeqCost = %g", plan.SeqCost)
+	}
+	wantIdx := 5 + 10*plan.Rows
+	if math.Abs(plan.IndexCost-wantIdx) > 1e-9 {
+		t.Fatalf("IndexCost = %g, want %g", plan.IndexCost, wantIdx)
+	}
+	if plan.Cost != math.Min(plan.SeqCost, plan.IndexCost) {
+		t.Fatalf("Cost = %g", plan.Cost)
+	}
+}
+
+// monteCarloAxis estimates P(|x1-x2|<=d) by sampling.
+func monteCarloAxis(rng *rand.Rand, a1, b1, a2, b2, d float64, n int) float64 {
+	hit := 0
+	for i := 0; i < n; i++ {
+		x1 := a1 + rng.Float64()*(b1-a1)
+		x2 := a2 + rng.Float64()*(b2-a2)
+		if math.Abs(x1-x2) <= d {
+			hit++
+		}
+	}
+	return float64(hit) / float64(n)
+}
+
+func TestAxisIntersectProbAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := []struct{ a1, b1, a2, b2, d float64 }{
+		{0, 10, 0, 10, 1},
+		{0, 10, 5, 15, 2},
+		{0, 10, 20, 30, 3},  // disjoint, far
+		{0, 10, 11, 12, 2},  // band reaches partially
+		{0, 1, 0, 100, 0.5}, // very different widths
+		{0, 10, 3, 4, 0},    // zero extent band
+	}
+	for _, c := range cases {
+		got := axisIntersectProb(c.a1, c.b1, c.a2, c.b2, c.d)
+		want := monteCarloAxis(rng, c.a1, c.b1, c.a2, c.b2, c.d, 200000)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("axisIntersectProb(%v) = %g, Monte Carlo %g", c, got, want)
+		}
+	}
+}
+
+func TestAxisIntersectProbDegenerate(t *testing.T) {
+	// Two atoms.
+	if got := axisIntersectProb(5, 5, 7, 7, 1); got != 0 {
+		t.Fatalf("far atoms = %g", got)
+	}
+	if got := axisIntersectProb(5, 5, 6, 6, 2); got != 1 {
+		t.Fatalf("near atoms = %g", got)
+	}
+	// Atom vs interval: band [4,8] over [0,10] -> 0.4.
+	if got := axisIntersectProb(6, 6, 0, 10, 2); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("atom vs interval = %g, want 0.4", got)
+	}
+	if got := axisIntersectProb(0, 10, 6, 6, 2); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("interval vs atom = %g, want 0.4", got)
+	}
+}
+
+func TestEstimateJoinErrors(t *testing.T) {
+	d := synthetic.Uniform(100, 100, 1, 5, 4)
+	u, _ := core.NewUniform(d)
+	if _, err := EstimateJoin(nil, u); err == nil {
+		t.Fatal("nil left should fail")
+	}
+	if _, err := EstimateJoin(u, nil); err == nil {
+		t.Fatal("nil right should fail")
+	}
+}
+
+// bruteJoin counts intersecting pairs exactly.
+func bruteJoin(r, s *dataset.Distribution) int {
+	count := 0
+	for _, a := range r.Rects() {
+		for _, b := range s.Rects() {
+			if a.Intersects(b) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func TestEstimateJoinAccuracy(t *testing.T) {
+	// Two modest uniform sets: the estimate should land within 25% of
+	// the exact join size.
+	r := synthetic.Uniform(2000, 1000, 5, 20, 5)
+	s := synthetic.Uniform(1500, 1000, 5, 20, 6)
+	hr, err := core.NewMinSkew(r, core.MinSkewConfig{Buckets: 60, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := core.NewMinSkew(s, core.MinSkewConfig{Buckets: 60, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateJoin(hr, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(bruteJoin(r, s))
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("join estimate %g vs exact %g", got, want)
+	}
+}
+
+func TestEstimateJoinSkewedBeatsUniform(t *testing.T) {
+	// On skewed data the Min-Skew join estimate should beat the
+	// single-bucket (uniform) join estimate.
+	r := synthetic.Charminar(3000, 1000, 15, 7)
+	s := synthetic.Charminar(2000, 1000, 15, 8)
+	exactJoin := float64(bruteJoin(r, s))
+
+	hr, _ := core.NewMinSkew(r, core.MinSkewConfig{Buckets: 80, Regions: 2500})
+	hs, _ := core.NewMinSkew(s, core.MinSkewConfig{Buckets: 80, Regions: 2500})
+	ur, _ := core.NewUniform(r)
+	us, _ := core.NewUniform(s)
+
+	msEst, err := EstimateJoin(hr, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uEst, err := EstimateJoin(ur, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msErr := math.Abs(msEst - exactJoin)
+	uErr := math.Abs(uEst - exactJoin)
+	if msErr >= uErr {
+		t.Fatalf("Min-Skew join error %g not better than uniform %g (exact %g, est %g vs %g)",
+			msErr, uErr, exactJoin, msEst, uEst)
+	}
+}
+
+func TestSortSix(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 6, 3}
+	sortSix(v)
+	for i := 1; i < len(v); i++ {
+		if v[i-1] > v[i] {
+			t.Fatalf("not sorted: %v", v)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package quadtree implements a point-region quadtree over rectangle
+// centers, the other classic spatial decomposition the paper's
+// background cites (Samet). Unlike the R-tree, a quadtree partitions
+// space by regular recursive quartering, so its leaves form a
+// disjoint tiling — which makes it directly usable both as an index
+// and as yet another index-derived histogram source to compare with
+// the paper's techniques.
+package quadtree
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Tree is a PR quadtree storing rectangles by their center points.
+// Rectangles themselves are kept in the leaves they map to, so range
+// searches must consult neighboring leaves for overhang; the tree
+// keeps the maximum rectangle extents to bound that search.
+type Tree struct {
+	root     *node
+	bounds   geom.Rect
+	size     int
+	leafCap  int
+	maxDepth int
+	// maxW, maxH bound the extent of any stored rectangle; range
+	// queries are expanded by half of these so center-based placement
+	// still finds every intersecting rectangle.
+	maxW, maxH float64
+}
+
+type node struct {
+	box geom.Rect
+	// Leaf storage; nil children means leaf.
+	entries  []entry
+	children *[4]*node
+	depth    int
+	// count is the number of entries in this subtree.
+	count int
+	// Aggregates for histogram extraction.
+	sumW, sumH, sumA float64
+}
+
+type entry struct {
+	rect geom.Rect
+	id   int
+}
+
+// Config controls tree shape.
+type Config struct {
+	// LeafCap is the number of entries a leaf holds before splitting
+	// (default 32).
+	LeafCap int
+	// MaxDepth bounds recursion for pathological inputs (default 16).
+	MaxDepth int
+}
+
+// New creates an empty tree over the given bounds.
+func New(bounds geom.Rect, cfg Config) (*Tree, error) {
+	if !bounds.Valid() {
+		return nil, fmt.Errorf("quadtree: invalid bounds %v", bounds)
+	}
+	if cfg.LeafCap <= 0 {
+		cfg.LeafCap = 32
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 16
+	}
+	return &Tree{
+		root:     &node{box: bounds},
+		bounds:   bounds,
+		leafCap:  cfg.LeafCap,
+		maxDepth: cfg.MaxDepth,
+	}, nil
+}
+
+// Build constructs a quadtree over a distribution.
+func Build(d *dataset.Distribution, cfg Config) (*Tree, error) {
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, fmt.Errorf("quadtree: empty distribution")
+	}
+	t, err := New(mbr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range d.Rects() {
+		if err := t.Insert(r, i); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the tree's coverage rectangle.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// Insert stores a rectangle under its center. Centers outside the
+// tree bounds are rejected.
+func (t *Tree) Insert(r geom.Rect, id int) error {
+	if !r.Valid() {
+		return fmt.Errorf("quadtree: invalid rectangle %v", r)
+	}
+	c := r.Center()
+	if !t.bounds.ContainsPoint(c) {
+		return fmt.Errorf("quadtree: center %v outside bounds %v", c, t.bounds)
+	}
+	if w := r.Width(); w > t.maxW {
+		t.maxW = w
+	}
+	if h := r.Height(); h > t.maxH {
+		t.maxH = h
+	}
+	t.insert(t.root, entry{rect: r, id: id})
+	t.size++
+	return nil
+}
+
+func (t *Tree) insert(n *node, e entry) {
+	n.count++
+	n.sumW += e.rect.Width()
+	n.sumH += e.rect.Height()
+	n.sumA += e.rect.Area()
+	if n.children == nil {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.leafCap && n.depth < t.maxDepth {
+			t.split(n)
+		}
+		return
+	}
+	child := n.children[quadrant(n.box, e.rect.Center())]
+	t.insert(child, e)
+}
+
+// split converts a leaf into an internal node, redistributing entries.
+func (t *Tree) split(n *node) {
+	cx, cy := n.box.Center().X, n.box.Center().Y
+	var kids [4]*node
+	boxes := [4]geom.Rect{
+		{MinX: n.box.MinX, MinY: n.box.MinY, MaxX: cx, MaxY: cy}, // SW
+		{MinX: cx, MinY: n.box.MinY, MaxX: n.box.MaxX, MaxY: cy}, // SE
+		{MinX: n.box.MinX, MinY: cy, MaxX: cx, MaxY: n.box.MaxY}, // NW
+		{MinX: cx, MinY: cy, MaxX: n.box.MaxX, MaxY: n.box.MaxY}, // NE
+	}
+	for i := range kids {
+		kids[i] = &node{box: boxes[i], depth: n.depth + 1}
+	}
+	n.children = &kids
+	entries := n.entries
+	n.entries = nil
+	for _, e := range entries {
+		child := kids[quadrant(n.box, e.rect.Center())]
+		// Insert without re-propagating the parent aggregates (they
+		// already include these entries).
+		t.insertChildOnly(child, e)
+	}
+}
+
+func (t *Tree) insertChildOnly(n *node, e entry) {
+	n.count++
+	n.sumW += e.rect.Width()
+	n.sumH += e.rect.Height()
+	n.sumA += e.rect.Area()
+	if n.children == nil {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.leafCap && n.depth < t.maxDepth {
+			t.split(n)
+		}
+		return
+	}
+	t.insertChildOnly(n.children[quadrant(n.box, e.rect.Center())], e)
+}
+
+// quadrant maps a point to the child index (SW, SE, NW, NE).
+func quadrant(box geom.Rect, p geom.Point) int {
+	c := box.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	return i
+}
+
+// Search invokes fn for every stored rectangle intersecting q; fn
+// returning false stops early.
+func (t *Tree) Search(q geom.Rect, fn func(r geom.Rect, id int) bool) {
+	if t.size == 0 {
+		return
+	}
+	// A rectangle's center can be up to half its extent away from any
+	// point it covers; widen the probe so leaf pruning stays sound.
+	probe := q.Expand(t.maxW/2, t.maxH/2)
+	t.search(t.root, probe, q, fn)
+}
+
+func (t *Tree) search(n *node, probe, q geom.Rect, fn func(geom.Rect, int) bool) bool {
+	if !n.box.Intersects(probe) {
+		return true
+	}
+	if n.children == nil {
+		for _, e := range n.entries {
+			if e.rect.Intersects(q) {
+				if !fn(e.rect, e.id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, child := range n.children {
+		if !t.search(child, probe, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of stored rectangles intersecting q.
+func (t *Tree) Count(q geom.Rect) int {
+	c := 0
+	t.Search(q, func(geom.Rect, int) bool { c++; return true })
+	return c
+}
+
+// LeafSummary describes one leaf tile for histogram extraction.
+type LeafSummary struct {
+	Box   geom.Rect
+	Count int
+	SumW  float64
+	SumH  float64
+	SumA  float64
+}
+
+// Leaves returns a summary per leaf, a disjoint tiling of the bounds.
+func (t *Tree) Leaves() []LeafSummary {
+	var out []LeafSummary
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.children == nil {
+			out = append(out, LeafSummary{
+				Box: n.box, Count: n.count, SumW: n.sumW, SumH: n.sumH, SumA: n.sumA,
+			})
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Depth returns the maximum leaf depth.
+func (t *Tree) Depth() int {
+	max := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.children == nil {
+			if n.depth > max {
+				max = n.depth
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return max
+}

@@ -1,0 +1,170 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func randRects(rng *rand.Rand, n int, space, maxSide float64) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x, y := rng.Float64()*space, rng.Float64()*space
+		w, h := rng.Float64()*maxSide, rng.Float64()*maxSide
+		out[i] = geom.NewRect(x, y, math.Min(x+w, space), math.Min(y+h, space))
+	}
+	return out
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(geom.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}, Config{}); err == nil {
+		t.Fatal("invalid bounds should fail")
+	}
+	if _, err := Build(dataset.New(nil), Config{}); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, err := New(geom.NewRect(0, 0, 100, 100), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geom.Rect{MinX: 5, MinY: 5, MaxX: 1, MaxY: 1}, 0); err == nil {
+		t.Fatal("invalid rect should fail")
+	}
+	if err := tr.Insert(geom.NewRect(500, 500, 510, 510), 0); err == nil {
+		t.Fatal("center outside bounds should fail")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("failed inserts must not count")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rects := randRects(rng, 3000, 1000, 40)
+	d := dataset.New(rects)
+	tr, err := Build(d, Config{LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(rects) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 300; i++ {
+		x, y := rng.Float64()*1100-50, rng.Float64()*1100-50
+		q := geom.NewRect(x, y, x+rng.Float64()*300, y+rng.Float64()*300)
+		want := 0
+		for _, r := range rects {
+			if r.Intersects(q) {
+				want++
+			}
+		}
+		if got := tr.Count(q); got != want {
+			t.Fatalf("query %v: Count = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr, _ := New(geom.NewRect(0, 0, 10, 10), Config{LeafCap: 4})
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(geom.NewRect(1, 1, 2, 2), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	tr.Search(geom.NewRect(0, 0, 10, 10), func(geom.Rect, int) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Fatalf("early stop made %d calls", calls)
+	}
+}
+
+func TestLeavesTileBounds(t *testing.T) {
+	d := synthetic.Charminar(5000, 1000, 10, 3)
+	tr, err := Build(d, Config{LeafCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.Leaves()
+	var area float64
+	total := 0
+	var sumW float64
+	for _, l := range leaves {
+		area += l.Box.Area()
+		total += l.Count
+		sumW += l.SumW
+	}
+	bounds := tr.Bounds()
+	if math.Abs(area-bounds.Area())/bounds.Area() > 1e-9 {
+		t.Fatalf("leaf areas %g != bounds area %g", area, bounds.Area())
+	}
+	if total != d.N() {
+		t.Fatalf("leaf counts %d != N %d", total, d.N())
+	}
+	var wantW float64
+	for _, r := range d.Rects() {
+		wantW += r.Width()
+	}
+	if math.Abs(sumW-wantW) > 1e-6 {
+		t.Fatalf("leaf sumW %g != %g", sumW, wantW)
+	}
+	// Pairwise disjoint (spot check first 50).
+	n := len(leaves)
+	if n > 50 {
+		n = 50
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if leaves[i].Box.IntersectionArea(leaves[j].Box) > 1e-9 {
+				t.Fatalf("leaves %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestAdaptiveDepth(t *testing.T) {
+	// Clustered data splits deeper where the data is.
+	d := synthetic.Clusters(20000, 2, 1000, 0.01, 1, 3, 5)
+	tr, err := Build(d, Config{LeafCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() < 4 {
+		t.Fatalf("Depth = %d; clusters should force deep splits", tr.Depth())
+	}
+	// Uniform sparse data stays shallow.
+	sparse := synthetic.Uniform(50, 1000, 1, 3, 6)
+	tr2, err := Build(sparse, Config{LeafCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Depth() != 0 {
+		t.Fatalf("sparse Depth = %d, want 0 (single leaf)", tr2.Depth())
+	}
+}
+
+func TestMaxDepthBoundsPathologicalInput(t *testing.T) {
+	// Identical centers cannot be separated: depth must respect the
+	// cap and not recurse forever.
+	tr, _ := New(geom.NewRect(0, 0, 100, 100), Config{LeafCap: 2, MaxDepth: 6})
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(geom.NewRect(50, 50, 50, 50), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Depth() > 6 {
+		t.Fatalf("Depth = %d exceeds cap", tr.Depth())
+	}
+	if got := tr.Count(geom.PointRect(geom.Point{X: 50, Y: 50})); got != 100 {
+		t.Fatalf("Count = %d", got)
+	}
+}

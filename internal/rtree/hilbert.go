@@ -1,0 +1,121 @@
+package rtree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Hilbert-packed bulk loading (Kamel and Faloutsos, VLDB 1994): sort
+// the rectangles by the Hilbert value of their centers and pack them
+// sequentially into leaves. Hilbert ordering preserves spatial
+// locality better than a plain tile sweep for some distributions,
+// giving tighter node MBRs — a useful ablation against STR both as an
+// index and as a histogram source.
+
+// hilbertOrder is the curve resolution: centers are quantized onto a
+// 2^hilbertOrder square grid.
+const hilbertOrder = 16
+
+// hilbertValue returns the Hilbert curve index of cell (x, y) on the
+// 2^order grid, using the classic iterative rotate-and-flip
+// formulation.
+func hilbertValue(order uint, x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// HilbertLoad builds an R-tree by Hilbert-sorting the rectangle
+// centers and packing nodes sequentially. Entry i receives data
+// identifier i.
+func HilbertLoad(rcts []geom.Rect, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(rcts) == 0 {
+		return t
+	}
+	world, _ := geom.MBR(rcts)
+	scaleX, scaleY := 0.0, 0.0
+	grid := float64(uint32(1)<<hilbertOrder - 1)
+	if w := world.Width(); w > 0 {
+		scaleX = grid / w
+	}
+	if h := world.Height(); h > 0 {
+		scaleY = grid / h
+	}
+
+	type keyed struct {
+		key uint64
+		e   entry
+	}
+	items := make([]keyed, len(rcts))
+	for i, r := range rcts {
+		c := r.Center()
+		x := uint32((c.X - world.MinX) * scaleX)
+		y := uint32((c.Y - world.MinY) * scaleY)
+		items[i] = keyed{key: hilbertValue(hilbertOrder, x, y), e: entry{rect: r, id: i}}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].key < items[b].key })
+
+	entries := make([]entry, len(items))
+	for i, it := range items {
+		entries[i] = it.e
+	}
+	nodes := packSequential(entries, t.maxE, t.minE, true)
+	height := 1
+	for len(nodes) > 1 {
+		parents := make([]entry, len(nodes))
+		for i, n := range nodes {
+			parents[i] = entry{rect: n.mbr(), child: n}
+		}
+		nodes = packSequential(parents, t.maxE, t.minE, false)
+		height++
+	}
+	t.root = nodes[0]
+	t.height = height
+	t.size = len(rcts)
+	return t
+}
+
+// packSequential cuts the already-ordered entries into nodes of maxE,
+// rebalancing the trailing node to honor the minimum fill.
+func packSequential(entries []entry, maxE, minE int, leaf bool) []*node {
+	var nodes []*node
+	for s := 0; s < len(entries); s += maxE {
+		e := s + maxE
+		if e > len(entries) {
+			e = len(entries)
+		}
+		nodes = append(nodes, &node{leaf: leaf, entries: append([]entry(nil), entries[s:e]...)})
+	}
+	if len(nodes) >= 2 {
+		last, prev := nodes[len(nodes)-1], nodes[len(nodes)-2]
+		if need := minE - len(last.entries); need > 0 && len(prev.entries)-need >= minE {
+			cut := len(prev.entries) - need
+			last.entries = append(last.entries, prev.entries[cut:]...)
+			prev.entries = prev.entries[:cut]
+		}
+	}
+	return nodes
+}

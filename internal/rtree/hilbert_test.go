@@ -1,0 +1,85 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHilbertValueBijective(t *testing.T) {
+	const order = 5
+	n := uint32(1) << order
+	seen := make(map[uint64]bool, n*n)
+	for y := uint32(0); y < n; y++ {
+		for x := uint32(0); x < n; x++ {
+			d := hilbertValue(order, x, y)
+			if d >= uint64(n)*uint64(n) {
+				t.Fatalf("hilbert(%d,%d) = %d out of range", x, y, d)
+			}
+			if seen[d] {
+				t.Fatalf("hilbert(%d,%d) = %d collides", x, y, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHilbertValueContinuity(t *testing.T) {
+	// Successive curve positions must be 4-adjacent cells: that is the
+	// defining property of the Hilbert curve.
+	const order = 5
+	n := uint32(1) << order
+	pos := make(map[uint64][2]uint32, n*n)
+	for y := uint32(0); y < n; y++ {
+		for x := uint32(0); x < n; x++ {
+			pos[hilbertValue(order, x, y)] = [2]uint32{x, y}
+		}
+	}
+	for d := uint64(0); d+1 < uint64(n)*uint64(n); d++ {
+		a, b := pos[d], pos[d+1]
+		dx := int64(a[0]) - int64(b[0])
+		dy := int64(a[1]) - int64(b[1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jump between d=%d (%v) and d=%d (%v)", d, a, d+1, b)
+		}
+	}
+}
+
+func TestHilbertLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rects := randRects(rng, 5000, 2000, 25)
+	tr := HilbertLoad(rects, 32)
+	if tr.Len() != len(rects) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		q := randRects(rng, 1, 2000, 300)[0]
+		want := bruteCount(rects, q)
+		if got := tr.Count(q); got != want {
+			t.Fatalf("Hilbert query: Count = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHilbertLoadEmptyAndDegenerate(t *testing.T) {
+	if got := HilbertLoad(nil, 16).Len(); got != 0 {
+		t.Fatalf("empty Len = %d", got)
+	}
+	// All-identical rectangles: degenerate world, scale zero.
+	pts := randRects(rand.New(rand.NewSource(1)), 1, 10, 1)
+	for i := 0; i < 100; i++ {
+		pts = append(pts, pts[0])
+	}
+	tr := HilbertLoad(pts, 8)
+	if tr.Len() != len(pts) {
+		t.Fatalf("degenerate Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Count(pts[0]); got != len(pts) {
+		t.Fatalf("degenerate Count = %d", got)
+	}
+}

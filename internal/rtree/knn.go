@@ -1,0 +1,86 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// k-nearest-neighbor search by best-first branch-and-bound (Hjaltason
+// and Samet): a priority queue ordered by minimum possible distance
+// holds both nodes and data entries; popping a data entry yields the
+// next nearest neighbor, so the traversal visits only the nodes it
+// must.
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	Rect geom.Rect
+	ID   int
+	// Dist is the Euclidean distance from the query point to the
+	// rectangle (zero if the point lies inside it).
+	Dist float64
+}
+
+// minDistSq returns the squared minimum distance from p to r.
+func minDistSq(p geom.Point, r geom.Rect) float64 {
+	dx := 0.0
+	if p.X < r.MinX {
+		dx = r.MinX - p.X
+	} else if p.X > r.MaxX {
+		dx = p.X - r.MaxX
+	}
+	dy := 0.0
+	if p.Y < r.MinY {
+		dy = r.MinY - p.Y
+	} else if p.Y > r.MaxY {
+		dy = p.Y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
+type knnItem struct {
+	distSq float64
+	node   *node // nil for data entries
+	rect   geom.Rect
+	id     int
+}
+
+type knnQueue []knnItem
+
+func (q knnQueue) Len() int            { return len(q) }
+func (q knnQueue) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnItem)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// NearestNeighbors returns the k indexed rectangles closest to p in
+// ascending distance order (fewer if the tree holds fewer entries).
+func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := &knnQueue{{distSq: 0, node: t.root}}
+	out := make([]Neighbor, 0, k)
+	for q.Len() > 0 && len(out) < k {
+		item := heap.Pop(q).(knnItem)
+		if item.node == nil {
+			out = append(out, Neighbor{Rect: item.rect, ID: item.id, Dist: math.Sqrt(item.distSq)})
+			continue
+		}
+		for _, e := range item.node.entries {
+			child := knnItem{distSq: minDistSq(p, e.rect), rect: e.rect, id: e.id}
+			if !item.node.leaf {
+				child.node = e.child
+			}
+			heap.Push(q, child)
+		}
+	}
+	return out
+}

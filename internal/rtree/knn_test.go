@@ -1,0 +1,119 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// bruteKNN is the reference implementation.
+func bruteKNN(rects []geom.Rect, p geom.Point, k int) []Neighbor {
+	out := make([]Neighbor, len(rects))
+	for i, r := range rects {
+		out[i] = Neighbor{Rect: r, ID: i, Dist: math.Sqrt(minDistSq(p, r))}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestMinDistSq(t *testing.T) {
+	r := geom.NewRect(2, 2, 4, 4)
+	cases := []struct {
+		p    geom.Point
+		want float64
+	}{
+		{geom.Point{X: 3, Y: 3}, 0}, // inside
+		{geom.Point{X: 2, Y: 3}, 0}, // on boundary
+		{geom.Point{X: 0, Y: 3}, 4}, // left
+		{geom.Point{X: 3, Y: 7}, 9}, // above
+		{geom.Point{X: 0, Y: 0}, 8}, // corner: 2^2 + 2^2
+		{geom.Point{X: 6, Y: 6}, 8}, // opposite corner
+	}
+	for _, c := range cases {
+		if got := minDistSq(c.p, r); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("minDistSq(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	rects := randRects(rng, 2000, 1000, 20)
+	for _, build := range []struct {
+		name string
+		tree *Tree
+	}{
+		{"insert", func() *Tree {
+			tr := New(16)
+			for i, r := range rects {
+				tr.Insert(r, i)
+			}
+			return tr
+		}()},
+		{"str", STRLoad(rects, 16)},
+	} {
+		for trial := 0; trial < 50; trial++ {
+			p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			k := 1 + rng.Intn(20)
+			got := build.tree.NearestNeighbors(k, p)
+			want := bruteKNN(rects, p, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %d neighbors, want %d", build.name, len(got), len(want))
+			}
+			for i := range got {
+				// Distances must match exactly in order (ties may swap
+				// IDs, so compare distances).
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("%s: neighbor %d dist %g, want %g", build.name, i, got[i].Dist, want[i].Dist)
+				}
+			}
+			// Ascending order.
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist < got[i-1].Dist-1e-12 {
+					t.Fatalf("%s: results not sorted", build.name)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsEdgeCases(t *testing.T) {
+	tr := New(8)
+	if got := tr.NearestNeighbors(3, geom.Point{}); got != nil {
+		t.Fatalf("empty tree kNN = %v", got)
+	}
+	tr.Insert(geom.NewRect(0, 0, 1, 1), 0)
+	if got := tr.NearestNeighbors(0, geom.Point{}); got != nil {
+		t.Fatalf("k=0 kNN = %v", got)
+	}
+	// k larger than the tree returns everything.
+	got := tr.NearestNeighbors(10, geom.Point{X: 5, Y: 5})
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("kNN = %v", got)
+	}
+	// Query point inside a rectangle: distance 0.
+	if got[0].Dist != math.Sqrt(minDistSq(geom.Point{X: 5, Y: 5}, geom.NewRect(0, 0, 1, 1))) {
+		t.Fatalf("distance mismatch")
+	}
+	inside := tr.NearestNeighbors(1, geom.Point{X: 0.5, Y: 0.5})
+	if inside[0].Dist != 0 {
+		t.Fatalf("inside distance = %g", inside[0].Dist)
+	}
+}
+
+func BenchmarkNearestNeighbors(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := randRects(rng, 100000, 10000, 30)
+	tr := STRLoad(rects, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{X: float64(i%10000) + 0.5, Y: float64((i*7)%10000) + 0.5}
+		tr.NearestNeighbors(10, p)
+	}
+}

@@ -1,0 +1,652 @@
+// Package rtree implements the R*-tree of Beckmann, Kriegel, Schneider
+// and Seeger (SIGMOD 1990), the spatial index the paper uses both as a
+// query-processing substrate and as the source of its index-based
+// histogram buckets (Section 3.4).
+//
+// The implementation is a complete dynamic index: insertion with the
+// R* ChooseSubtree and forced-reinsertion heuristics, the topological
+// margin/overlap split, deletion with tree condensation, rectangle
+// range search, and Sort-Tile-Recursive (STR) bulk loading. The
+// LevelNodes method exposes per-node aggregate statistics (MBR, entry
+// count, summed widths and heights) so a histogram can be extracted
+// from any level of the tree.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+const (
+	// DefaultMaxEntries is the node capacity used by New when the
+	// caller passes a non-positive capacity.
+	DefaultMaxEntries = 32
+	// minFillRatio is the R* minimum node fill (40% of capacity).
+	minFillRatio = 0.4
+	// reinsertRatio is the fraction of entries force-reinserted on the
+	// first overflow of a level (30% in the R*-tree paper).
+	reinsertRatio = 0.3
+	// nearMinimumOverlapCandidates bounds the overlap-enlargement scan
+	// in ChooseSubtree for large node capacities, as recommended by the
+	// R*-tree paper (it uses 32).
+	nearMinimumOverlapCandidates = 32
+)
+
+// entry is a slot in a node: a rectangle plus either a child pointer
+// (internal nodes) or a data identifier (leaves).
+type entry struct {
+	rect  geom.Rect
+	child *node
+	id    int
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+func (n *node) mbr() geom.Rect {
+	out := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		out = out.Union(e.rect)
+	}
+	return out
+}
+
+// Tree is an R*-tree over rectangles with integer data identifiers.
+// The zero value is not usable; construct trees with New or STRLoad.
+type Tree struct {
+	root   *node
+	size   int
+	height int // number of levels; 1 when the root is a leaf
+	maxE   int
+	minE   int
+}
+
+// New returns an empty R*-tree with the given node capacity. A
+// capacity below 4 (or non-positive) is raised to DefaultMaxEntries
+// or 4 respectively so the R* split always has room to work.
+func New(maxEntries int) *Tree {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	minEntries := int(math.Floor(float64(maxEntries) * minFillRatio))
+	if minEntries < 2 {
+		minEntries = 2
+	}
+	return &Tree{
+		root:   &node{leaf: true},
+		height: 1,
+		maxE:   maxEntries,
+		minE:   minEntries,
+	}
+}
+
+// Len returns the number of data entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels in the tree (1 for a leaf root).
+func (t *Tree) Height() int { return t.height }
+
+// MaxEntries returns the node capacity the tree was built with.
+func (t *Tree) MaxEntries() int { return t.maxE }
+
+// Bounds returns the MBR of all indexed rectangles and whether the tree
+// is non-empty.
+func (t *Tree) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return t.root.mbr(), true
+}
+
+// Insert adds a rectangle with its data identifier to the tree. It
+// panics on invalid rectangles (NaN/Inf coordinates or inverted
+// corners): silently indexing them would corrupt every ancestor MBR
+// comparison, so this is treated as programmer error, matching the
+// package's no-error-return API.
+func (t *Tree) Insert(r geom.Rect, id int) {
+	if !r.Valid() {
+		panic(fmt.Sprintf("rtree: Insert of invalid rectangle %v", r))
+	}
+	// reinserted tracks which levels have already performed a forced
+	// reinsert during this insertion (OverflowTreatment is applied only
+	// once per level per data insertion).
+	reinserted := make([]bool, t.height+1)
+	t.insertAtLevel(entry{rect: r, id: id}, 0, reinserted)
+	t.size++
+}
+
+// insertAtLevel places e at the given level (0 = leaf). It handles
+// overflow by forced reinsertion or splitting, propagating splits to
+// the root.
+func (t *Tree) insertAtLevel(e entry, level int, reinserted []bool) {
+	path := t.choosePath(e.rect, level)
+	n := path[len(path)-1]
+	n.entries = append(n.entries, e)
+	t.adjustPath(path, e.rect)
+
+	// Walk back up handling overflows.
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.maxE {
+			continue
+		}
+		// Level of node n (0 = leaf): the path ends at the insertion
+		// level, so path[i] sits level+(len(path)-1-i) above the leaves.
+		lvl := level + (len(path) - 1 - i)
+		// The tree can gain levels while this insertion is in flight
+		// (root splits during forced reinsertion); levels beyond the
+		// tracking slice simply split.
+		if i > 0 && lvl < len(reinserted) && !reinserted[lvl] {
+			reinserted[lvl] = true
+			t.forcedReinsert(path, i, lvl, reinserted)
+			return
+		}
+		t.splitNode(path, i)
+	}
+}
+
+// choosePath descends from the root to the node at the target level
+// using the R* ChooseSubtree criteria, returning the root-to-node path.
+// Level 0 is the leaf level.
+func (t *Tree) choosePath(r geom.Rect, level int) []*node {
+	path := make([]*node, 0, t.height)
+	n := t.root
+	path = append(path, n)
+	depth := t.height - 1 // level of the current node
+	for depth > level {
+		var idx int
+		if n.entries[0].child.leaf {
+			// Children are leaves: use the R* least-overlap-enlargement
+			// criterion.
+			idx = chooseLeafSubtree(n, r)
+		} else {
+			idx = chooseMinEnlargement(n, r)
+		}
+		n = n.entries[idx].child
+		path = append(path, n)
+		depth--
+	}
+	return path
+}
+
+// chooseLeafSubtree picks the child whose MBR needs the least overlap
+// enlargement to include r, resolving ties by least area enlargement,
+// then least area. For large fanouts only the
+// nearMinimumOverlapCandidates entries with the smallest area
+// enlargement are considered, per the R*-tree paper.
+func chooseLeafSubtree(n *node, r geom.Rect) int {
+	// Overlap enlargement costs O(len(entries)) per candidate. For the
+	// enormous fanouts used when extracting coarse histograms the full
+	// criterion is quadratic per insert; fall back to the area
+	// criterion there.
+	if len(n.entries) > 256 {
+		return chooseMinEnlargement(n, r)
+	}
+	cand := make([]int, len(n.entries))
+	for i := range cand {
+		cand[i] = i
+	}
+	if len(cand) > nearMinimumOverlapCandidates {
+		sort.Slice(cand, func(a, b int) bool {
+			return n.entries[cand[a]].rect.Enlargement(r) < n.entries[cand[b]].rect.Enlargement(r)
+		})
+		cand = cand[:nearMinimumOverlapCandidates]
+	}
+	best := cand[0]
+	bestOverlap := overlapEnlargement(n, best, r)
+	bestEnl := n.entries[best].rect.Enlargement(r)
+	bestArea := n.entries[best].rect.Area()
+	for _, i := range cand[1:] {
+		ov := overlapEnlargement(n, i, r)
+		enl := n.entries[i].rect.Enlargement(r)
+		area := n.entries[i].rect.Area()
+		if ov < bestOverlap ||
+			(ov == bestOverlap && enl < bestEnl) ||
+			(ov == bestOverlap && enl == bestEnl && area < bestArea) {
+			best, bestOverlap, bestEnl, bestArea = i, ov, enl, area
+		}
+	}
+	return best
+}
+
+// overlapEnlargement returns the increase in the total overlap between
+// entry i and its siblings if entry i's rectangle grew to include r.
+func overlapEnlargement(n *node, i int, r geom.Rect) float64 {
+	cur := n.entries[i].rect
+	grown := cur.Union(r)
+	var delta float64
+	for j, e := range n.entries {
+		if j == i {
+			continue
+		}
+		delta += grown.IntersectionArea(e.rect) - cur.IntersectionArea(e.rect)
+	}
+	return delta
+}
+
+// chooseMinEnlargement picks the child whose MBR needs the least area
+// enlargement to include r, resolving ties by smallest area.
+func chooseMinEnlargement(n *node, r geom.Rect) int {
+	best := 0
+	bestEnl := n.entries[0].rect.Enlargement(r)
+	bestArea := n.entries[0].rect.Area()
+	for i := 1; i < len(n.entries); i++ {
+		enl := n.entries[i].rect.Enlargement(r)
+		area := n.entries[i].rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// adjustPath grows the parent entry MBRs along the path to include r.
+func (t *Tree) adjustPath(path []*node, r geom.Rect) {
+	for i := 0; i < len(path)-1; i++ {
+		parent, child := path[i], path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect = parent.entries[j].rect.Union(r)
+				break
+			}
+		}
+	}
+}
+
+// forcedReinsert removes the reinsertRatio fraction of entries of
+// path[i] whose centers are farthest from the node MBR's center and
+// reinserts them (closest first), per the R* OverflowTreatment.
+func (t *Tree) forcedReinsert(path []*node, i, level int, reinserted []bool) {
+	n := path[i]
+	center := n.mbr().Center()
+	type distEntry struct {
+		e entry
+		d float64
+	}
+	des := make([]distEntry, len(n.entries))
+	for j, e := range n.entries {
+		c := e.rect.Center()
+		dx, dy := c.X-center.X, c.Y-center.Y
+		des[j] = distEntry{e: e, d: dx*dx + dy*dy}
+	}
+	sort.Slice(des, func(a, b int) bool { return des[a].d < des[b].d })
+
+	p := int(float64(t.maxE+1) * reinsertRatio)
+	if p < 1 {
+		p = 1
+	}
+	keep := len(des) - p
+	n.entries = n.entries[:0]
+	for _, de := range des[:keep] {
+		n.entries = append(n.entries, de.e)
+	}
+	// Tighten ancestors' MBRs after removal.
+	t.recomputePathMBRs(path, i)
+
+	// Close reinsert: nearest of the removed entries first.
+	for _, de := range des[keep:] {
+		t.insertAtLevel(de.e, level, reinserted)
+	}
+}
+
+// recomputePathMBRs recomputes the parent-entry MBRs from path[i] up to
+// the root after entries were removed.
+func (t *Tree) recomputePathMBRs(path []*node, i int) {
+	for k := i; k > 0; k-- {
+		parent, child := path[k-1], path[k]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].rect = child.mbr()
+				break
+			}
+		}
+	}
+}
+
+// splitNode splits the overflowing node path[i] using the R* split and
+// installs the new sibling in the parent (creating a new root when the
+// root itself splits).
+func (t *Tree) splitNode(path []*node, i int) {
+	n := path[i]
+	left, right := rstarSplit(n.entries, t.minE, n.leaf)
+	n.entries = left.entries
+
+	if i == 0 {
+		// Root split: grow the tree.
+		newRoot := &node{leaf: false, entries: []entry{
+			{rect: n.mbr(), child: n},
+			{rect: right.mbr(), child: right},
+		}}
+		t.root = newRoot
+		t.height++
+		return
+	}
+	parent := path[i-1]
+	for j := range parent.entries {
+		if parent.entries[j].child == n {
+			parent.entries[j].rect = n.mbr()
+			break
+		}
+	}
+	parent.entries = append(parent.entries, entry{rect: right.mbr(), child: right})
+	t.recomputePathMBRs(path, i-1)
+}
+
+// rstarSplit partitions the entries of an overflowing node into two
+// nodes using the R* topological split: the split axis minimizes the
+// total margin over all candidate distributions, and the distribution
+// on that axis minimizes overlap area (ties: total area).
+func rstarSplit(entries []entry, minE int, leaf bool) (*node, *node) {
+	axisX := append([]entry(nil), entries...)
+	axisY := append([]entry(nil), entries...)
+	sort.Slice(axisX, func(a, b int) bool {
+		if axisX[a].rect.MinX != axisX[b].rect.MinX {
+			return axisX[a].rect.MinX < axisX[b].rect.MinX
+		}
+		return axisX[a].rect.MaxX < axisX[b].rect.MaxX
+	})
+	sort.Slice(axisY, func(a, b int) bool {
+		if axisY[a].rect.MinY != axisY[b].rect.MinY {
+			return axisY[a].rect.MinY < axisY[b].rect.MinY
+		}
+		return axisY[a].rect.MaxY < axisY[b].rect.MaxY
+	})
+
+	mx := marginSum(axisX, minE)
+	my := marginSum(axisY, minE)
+	chosen := axisX
+	if my < mx {
+		chosen = axisY
+	}
+
+	// Choose the distribution on the chosen axis minimizing overlap.
+	total := len(chosen)
+	bestK := minE
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := minE; k <= total-minE; k++ {
+		l, _ := geom.MBR(rects(chosen[:k]))
+		r, _ := geom.MBR(rects(chosen[k:]))
+		ov := l.IntersectionArea(r)
+		area := l.Area() + r.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	left := &node{leaf: leaf, entries: append([]entry(nil), chosen[:bestK]...)}
+	right := &node{leaf: leaf, entries: append([]entry(nil), chosen[bestK:]...)}
+	return left, right
+}
+
+// marginSum returns the R* goodness value for an axis: the sum of the
+// margins of both groups over every legal distribution of the sorted
+// entries.
+func marginSum(sorted []entry, minE int) float64 {
+	total := len(sorted)
+	// Prefix and suffix MBRs allow O(1) group MBRs per distribution.
+	prefix := make([]geom.Rect, total+1)
+	suffix := make([]geom.Rect, total+1)
+	for i, e := range sorted {
+		if i == 0 {
+			prefix[1] = e.rect
+		} else {
+			prefix[i+1] = prefix[i].Union(e.rect)
+		}
+	}
+	for i := total - 1; i >= 0; i-- {
+		if i == total-1 {
+			suffix[i] = sorted[i].rect
+		} else {
+			suffix[i] = suffix[i+1].Union(sorted[i].rect)
+		}
+	}
+	var sum float64
+	for k := minE; k <= total-minE; k++ {
+		sum += prefix[k].Margin() + suffix[k].Margin()
+	}
+	return sum
+}
+
+func rects(es []entry) []geom.Rect {
+	out := make([]geom.Rect, len(es))
+	for i, e := range es {
+		out[i] = e.rect
+	}
+	return out
+}
+
+// Search invokes fn for every indexed rectangle intersecting q. fn
+// returning false stops the search early.
+func (t *Tree) Search(q geom.Rect, fn func(r geom.Rect, id int) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree) search(n *node, q geom.Rect, fn func(geom.Rect, int) bool) bool {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.id) {
+				return false
+			}
+		} else if !t.search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of indexed rectangles intersecting q.
+func (t *Tree) Count(q geom.Rect) int {
+	count := 0
+	t.Search(q, func(geom.Rect, int) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// Delete removes one entry matching (r, id) exactly and reports whether
+// an entry was removed. Underflowing nodes are dissolved and their
+// entries reinserted (tree condensation).
+func (t *Tree) Delete(r geom.Rect, id int) bool {
+	path, idx := t.findLeaf(t.root, r, id, nil)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if t.size == 0 {
+		t.root = &node{leaf: true}
+		t.height = 1
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, r geom.Rect, id int, path []*node) ([]*node, int) {
+	path = append(path, n)
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == id && e.rect == r {
+				return path, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(r) {
+			if p, i := t.findLeaf(e.child, r, id, path); p != nil {
+				return p, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// condense removes underflowing nodes along the path and reinserts
+// their surviving entries, tightening MBRs on the way up.
+func (t *Tree) condense(path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i > 0; i-- {
+		n := path[i]
+		parent := path[i-1]
+		level := len(path) - 1 - i
+		if len(n.entries) < t.minE {
+			// Remove n from its parent and queue its entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: level})
+			}
+		} else {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					if len(n.entries) > 0 {
+						parent.entries[j].rect = n.mbr()
+					}
+					break
+				}
+			}
+		}
+	}
+	for _, o := range orphans {
+		if o.level == 0 && o.e.child == nil {
+			reinserted := make([]bool, t.height+1)
+			t.insertAtLevel(o.e, 0, reinserted)
+		} else {
+			// Internal orphan: reinsert the whole subtree at its level.
+			reinserted := make([]bool, t.height+1)
+			t.insertAtLevel(o.e, o.level, reinserted)
+		}
+	}
+}
+
+// NodeSummary aggregates one tree node for histogram construction: its
+// MBR and the count and summed dimensions of the data rectangles in its
+// subtree.
+type NodeSummary struct {
+	MBR   geom.Rect
+	Count int
+	SumW  float64
+	SumH  float64
+}
+
+// LevelNodes returns one NodeSummary per node at the given level, where
+// level 0 is the leaves and Height()-1 is the root. It returns an error
+// for an out-of-range level or an empty tree.
+func (t *Tree) LevelNodes(level int) ([]NodeSummary, error) {
+	if t.size == 0 {
+		return nil, fmt.Errorf("rtree: empty tree")
+	}
+	if level < 0 || level >= t.height {
+		return nil, fmt.Errorf("rtree: level %d out of range [0,%d)", level, t.height)
+	}
+	var out []NodeSummary
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if depth == level {
+			s := NodeSummary{MBR: n.mbr()}
+			aggregate(n, &s)
+			out = append(out, s)
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child, depth-1)
+		}
+	}
+	walk(t.root, t.height-1)
+	return out, nil
+}
+
+func aggregate(n *node, s *NodeSummary) {
+	if n.leaf {
+		for _, e := range n.entries {
+			s.Count++
+			s.SumW += e.rect.Width()
+			s.SumH += e.rect.Height()
+		}
+		return
+	}
+	for _, e := range n.entries {
+		aggregate(e.child, s)
+	}
+}
+
+// CheckInvariants verifies structural invariants of the tree: every
+// child MBR is contained in its parent entry rectangle and equals the
+// child's recomputed MBR, node occupancy is within [minE, maxE] (except
+// the root), all leaves are at the same depth, and the entry count
+// matches Len. It is intended for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.size == 0 {
+		return nil
+	}
+	leafDepth := -1
+	count := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n != t.root {
+			if len(n.entries) < t.minE || len(n.entries) > t.maxE {
+				return fmt.Errorf("node occupancy %d outside [%d,%d]", len(n.entries), t.minE, t.maxE)
+			}
+		} else if len(n.entries) > t.maxE {
+			return fmt.Errorf("root occupancy %d above max %d", len(n.entries), t.maxE)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaves at different depths: %d and %d", leafDepth, depth)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for _, e := range n.entries {
+			got := e.child.mbr()
+			if got != e.rect {
+				return fmt.Errorf("stale parent MBR: have %v, child is %v", e.rect, got)
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("entry count %d != size %d", count, t.size)
+	}
+	if leafDepth != t.height-1 {
+		return fmt.Errorf("leaf depth %d != height-1 %d", leafDepth, t.height-1)
+	}
+	return nil
+}

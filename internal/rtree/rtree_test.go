@@ -1,0 +1,379 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randRects(rng *rand.Rand, n int, space, maxSide float64) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x, y := rng.Float64()*space, rng.Float64()*space
+		out[i] = geom.NewRect(x, y, x+rng.Float64()*maxSide, y+rng.Float64()*maxSide)
+	}
+	return out
+}
+
+// bruteCount is the ground truth for Search/Count.
+func bruteCount(rects []geom.Rect, q geom.Rect) int {
+	c := 0
+	for _, r := range rects {
+		if r.Intersects(q) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(16)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Fatal("empty tree should have no bounds")
+	}
+	if got := tr.Count(geom.NewRect(0, 0, 1, 1)); got != 0 {
+		t.Fatalf("Count on empty = %d", got)
+	}
+	if tr.Delete(geom.NewRect(0, 0, 1, 1), 5) {
+		t.Fatal("Delete on empty should report false")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewClampsCapacity(t *testing.T) {
+	if got := New(0).MaxEntries(); got != DefaultMaxEntries {
+		t.Errorf("New(0) capacity = %d", got)
+	}
+	if got := New(2).MaxEntries(); got != 4 {
+		t.Errorf("New(2) capacity = %d, want 4", got)
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := New(4)
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 1, 1),
+		geom.NewRect(2, 2, 3, 3),
+		geom.NewRect(0.5, 0.5, 2.5, 2.5),
+		geom.NewRect(10, 10, 11, 11),
+	}
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Note [(2,2),(3,3)] touches (0,0,2,2) at a corner and would count;
+	// use 1.9 to isolate rects 0 and 2.
+	q := geom.NewRect(0, 0, 1.9, 1.9)
+	got := map[int]bool{}
+	tr.Search(q, func(_ geom.Rect, id int) bool {
+		got[id] = true
+		return true
+	})
+	if len(got) != 2 || !got[0] || !got[2] {
+		t.Fatalf("Search hits = %v, want {0,2}", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(geom.NewRect(0, 0, 1, 1), i)
+	}
+	calls := 0
+	tr.Search(geom.NewRect(0, 0, 1, 1), func(_ geom.Rect, _ int) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop made %d calls, want 5", calls)
+	}
+}
+
+func TestInvariantsAcrossCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rects := randRects(rng, 3000, 1000, 20)
+	for _, capn := range []int{4, 8, 16, 50, 200} {
+		tr := New(capn)
+		for i, r := range rects {
+			tr.Insert(r, i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("capacity %d: %v", capn, err)
+		}
+		if tr.Len() != len(rects) {
+			t.Fatalf("capacity %d: Len = %d", capn, tr.Len())
+		}
+		b, ok := tr.Bounds()
+		want, _ := geom.MBR(rects)
+		if !ok || b != want {
+			t.Fatalf("capacity %d: Bounds = %v, want %v", capn, b, want)
+		}
+	}
+}
+
+func TestPropertySearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rects := randRects(rng, 2000, 1000, 30)
+	tr := New(16)
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	for i := 0; i < 300; i++ {
+		q := randRects(rng, 1, 1000, 200)[0]
+		want := bruteCount(rects, q)
+		if got := tr.Count(q); got != want {
+			t.Fatalf("query %v: Count = %d, brute force = %d", q, got, want)
+		}
+	}
+	// Point queries too.
+	for i := 0; i < 100; i++ {
+		p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		q := geom.PointRect(p)
+		want := bruteCount(rects, q)
+		if got := tr.Count(q); got != want {
+			t.Fatalf("point query %v: Count = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rects := randRects(rng, 1000, 500, 15)
+	tr := New(8)
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	// Delete a random half.
+	perm := rng.Perm(len(rects))
+	deleted := map[int]bool{}
+	for _, i := range perm[:500] {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("Delete(%v, %d) failed", rects[i], i)
+		}
+		deleted[i] = true
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted entries are gone, survivors still found.
+	q, _ := geom.MBR(rects)
+	found := map[int]bool{}
+	tr.Search(q, func(_ geom.Rect, id int) bool {
+		found[id] = true
+		return true
+	})
+	for i := range rects {
+		if deleted[i] && found[i] {
+			t.Fatalf("deleted entry %d still found", i)
+		}
+		if !deleted[i] && !found[i] {
+			t.Fatalf("surviving entry %d missing", i)
+		}
+	}
+	// Deleting again reports false.
+	for _, i := range perm[:10] {
+		if tr.Delete(rects[i], i) {
+			t.Fatalf("double delete of %d succeeded", i)
+		}
+	}
+	// Delete everything: tree returns to empty state.
+	for _, i := range perm[500:] {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("after deleting all: len=%d height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := New(6)
+	live := map[int]geom.Rect{}
+	next := 0
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			r := randRects(rng, 1, 200, 10)[0]
+			tr.Insert(r, next)
+			live[next] = r
+			next++
+		} else {
+			// Delete an arbitrary live entry.
+			for id, r := range live {
+				if !tr.Delete(r, id) {
+					t.Fatalf("delete live %d failed", id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(0, 0, 200, 200)
+	if got := tr.Count(q); got != len(live) {
+		t.Fatalf("Count all = %d, want %d", got, len(live))
+	}
+}
+
+func TestSTRLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	rects := randRects(rng, 5000, 2000, 25)
+	tr := STRLoad(rects, 32)
+	if tr.Len() != len(rects) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		q := randRects(rng, 1, 2000, 300)[0]
+		want := bruteCount(rects, q)
+		if got := tr.Count(q); got != want {
+			t.Fatalf("STR query: Count = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestSTRLoadEmptyAndTiny(t *testing.T) {
+	tr := STRLoad(nil, 16)
+	if tr.Len() != 0 {
+		t.Fatalf("STR empty Len = %d", tr.Len())
+	}
+	tr = STRLoad([]geom.Rect{geom.NewRect(0, 0, 1, 1)}, 16)
+	if tr.Len() != 1 || tr.Count(geom.NewRect(0, 0, 2, 2)) != 1 {
+		t.Fatal("STR single-rect tree broken")
+	}
+}
+
+func TestLevelNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rects := randRects(rng, 2000, 1000, 10)
+	tr := New(16)
+	for i, r := range rects {
+		tr.Insert(r, i)
+	}
+	if _, err := tr.LevelNodes(-1); err == nil {
+		t.Fatal("negative level should error")
+	}
+	if _, err := tr.LevelNodes(tr.Height()); err == nil {
+		t.Fatal("level == height should error")
+	}
+	for level := 0; level < tr.Height(); level++ {
+		sums, err := tr.LevelNodes(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		var sumW float64
+		for _, s := range sums {
+			total += s.Count
+			sumW += s.SumW
+			if s.Count <= 0 {
+				t.Fatalf("level %d summary with zero count", level)
+			}
+		}
+		if total != len(rects) {
+			t.Fatalf("level %d: total count %d != %d", level, total, len(rects))
+		}
+		var wantW float64
+		for _, r := range rects {
+			wantW += r.Width()
+		}
+		if diff := sumW - wantW; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("level %d: sumW %g != %g", level, sumW, wantW)
+		}
+	}
+	// Root level has a single summary covering everything.
+	top, err := tr.LevelNodes(tr.Height() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Count != len(rects) {
+		t.Fatalf("root level summaries = %d nodes, count %d", len(top), top[0].Count)
+	}
+	if _, err := New(8).LevelNodes(0); err == nil {
+		t.Fatal("LevelNodes on empty tree should error")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	tr := New(4)
+	// Many identical zero-area rectangles.
+	pt := geom.NewRect(5, 5, 5, 5)
+	for i := 0; i < 200; i++ {
+		tr.Insert(pt, i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Count(geom.PointRect(geom.Point{X: 5, Y: 5})); got != 200 {
+		t.Fatalf("Count identical = %d", got)
+	}
+	if got := tr.Count(geom.NewRect(6, 6, 7, 7)); got != 0 {
+		t.Fatalf("miss query = %d", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := randRects(rng, b.N, 10000, 50)
+	tr := New(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rects[i], i)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rects := randRects(rng, 100000, 10000, 50)
+	tr := STRLoad(rects, 32)
+	queries := randRects(rng, 1024, 10000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Count(queries[i%len(queries)])
+	}
+}
+
+func TestInsertInvalidPanics(t *testing.T) {
+	tr := New(8)
+	bad := []geom.Rect{
+		{MinX: 5, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 0, MinY: 0, MaxX: math.Inf(1), MaxY: 1},
+	}
+	for _, r := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Insert(%v) should panic", r)
+				}
+			}()
+			tr.Insert(r, 0)
+		}()
+	}
+	if tr.Len() != 0 {
+		t.Fatal("failed inserts must not change the tree")
+	}
+}

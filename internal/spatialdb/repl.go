@@ -1,0 +1,311 @@
+package spatialdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/geojson"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/tiger"
+	"repro/internal/wkt"
+)
+
+// REPL interprets a small command language over a DB. Every command
+// writes its result to the writer; errors are returned, not printed,
+// so callers choose whether to abort or continue.
+type REPL struct {
+	DB *DB
+	// Quit is set once the quit command runs.
+	Quit bool
+}
+
+// Help is the REPL command reference.
+const Help = `commands:
+  gen <table> charminar|njroad|uniform <n>   generate a table
+  load <table> <path>                        load .txt/.bin/.wkt/.geojson file
+  ls                                         list tables
+  analyze <table>                            build Min-Skew statistics
+  explain <table> <x1> <y1> <x2> <y2>        plan a range query
+  count <table> <x1> <y1> <x2> <y2>          exact count via the index
+  select <table> <x1> <y1> <x2> <y2> [k]     fetch up to k matching rows
+  insert <table> <x1> <y1> <x2> <y2>         insert one rectangle
+  delete <table> <x1> <y1> <x2> <y2>         delete exact-match rows
+  feedback <table>                           learn from executed counts
+  knn <table> <x> <y> <k>                    k nearest rows to a point
+  join <table-a> <table-b>                   estimated join cardinality
+  stats <table>                              table and statistics state
+  drop <table>                               drop a table
+  help                                       this text
+  quit                                       exit`
+
+// Exec runs one command line.
+func (r *REPL) Exec(line string, w io.Writer) error {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprintln(w, Help)
+		return nil
+	case "quit", "exit":
+		r.Quit = true
+		return nil
+	case "ls":
+		for _, name := range r.DB.Tables() {
+			s, err := r.DB.Stats(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s: %d rows, %s\n", name, s.Rows, s.IndexInfo)
+		}
+		return nil
+	case "gen":
+		return r.gen(args, w)
+	case "load":
+		return r.load(args, w)
+	case "analyze":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: analyze <table>")
+		}
+		if err := r.DB.Analyze(args[0]); err != nil {
+			return err
+		}
+		s, err := r.DB.Stats(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "analyzed %s: %d buckets\n", args[0], s.Buckets)
+		return nil
+	case "explain":
+		name, q, err := tableAndRect(args)
+		if err != nil {
+			return err
+		}
+		plan, err := r.DB.Explain(name, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, plan)
+		return nil
+	case "count":
+		name, q, err := tableAndRect(args)
+		if err != nil {
+			return err
+		}
+		n, err := r.DB.Count(name, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, n)
+		return nil
+	case "select":
+		return r.sel(args, w)
+	case "insert":
+		name, q, err := tableAndRect(args)
+		if err != nil {
+			return err
+		}
+		if err := r.DB.Insert(name, q); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "inserted 1")
+		return nil
+	case "delete":
+		name, q, err := tableAndRect(args)
+		if err != nil {
+			return err
+		}
+		n, err := r.DB.Delete(name, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "deleted %d\n", n)
+		return nil
+	case "feedback":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: feedback <table>")
+		}
+		if err := r.DB.EnableFeedback(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "feedback learning enabled for %s\n", args[0])
+		return nil
+	case "knn":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: knn <table> <x> <y> <k>")
+		}
+		x, err1 := strconv.ParseFloat(args[1], 64)
+		y, err2 := strconv.ParseFloat(args[2], 64)
+		k, err3 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil || err3 != nil || k < 1 {
+			return fmt.Errorf("bad knn arguments")
+		}
+		nbs, err := r.DB.Nearest(args[0], x, y, k)
+		if err != nil {
+			return err
+		}
+		for _, nb := range nbs {
+			fmt.Fprintf(w, "%v dist=%.3f\n", nb.Rect, nb.Dist)
+		}
+		fmt.Fprintf(w, "(%d rows)\n", len(nbs))
+		return nil
+	case "join":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: join <table-a> <table-b>")
+		}
+		est, err := r.DB.EstimateJoin(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "estimated join cardinality: %.1f\n", est)
+		return nil
+	case "stats":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: stats <table>")
+		}
+		s, err := r.DB.Stats(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: rows=%d deleted=%d index=%s", s.Name, s.Rows, s.Deleted, s.IndexInfo)
+		if s.HasHist {
+			fmt.Fprintf(w, " hist=%d-buckets stale=%.2f rebuild=%v", s.Buckets, s.Stale, s.NeedsScan)
+		} else {
+			fmt.Fprint(w, " hist=none")
+		}
+		fmt.Fprintln(w)
+		return nil
+	case "drop":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: drop <table>")
+		}
+		if err := r.DB.Drop(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "dropped %s\n", args[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (r *REPL) gen(args []string, w io.Writer) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: gen <table> charminar|njroad|uniform <n>")
+	}
+	name, kind := args[0], args[1]
+	n, err := strconv.Atoi(args[2])
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad size %q", args[2])
+	}
+	var d *dataset.Distribution
+	switch kind {
+	case "charminar":
+		d = synthetic.Charminar(n, 10000, 100, 1999)
+	case "njroad":
+		d = tiger.NJRoad(n)
+	case "uniform":
+		d = synthetic.Uniform(n, 10000, 10, 100, 1999)
+	default:
+		return fmt.Errorf("unknown generator %q", kind)
+	}
+	if err := r.DB.Create(name, d); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "created %s with %d rows\n", name, d.N())
+	return nil
+}
+
+func (r *REPL) load(args []string, w io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: load <table> <path>")
+	}
+	name, path := args[0], args[1]
+	var d *dataset.Distribution
+	var err error
+	switch {
+	case strings.HasSuffix(path, ".wkt"):
+		var f *os.File
+		if f, err = os.Open(path); err == nil {
+			d, err = wkt.ReadDataset(f)
+			f.Close()
+		}
+	case strings.HasSuffix(path, ".json"), strings.HasSuffix(path, ".geojson"):
+		var f *os.File
+		if f, err = os.Open(path); err == nil {
+			d, err = geojson.ReadDataset(f)
+			f.Close()
+		}
+	default:
+		d, err = dataset.Load(path)
+	}
+	if err != nil {
+		return err
+	}
+	if err := r.DB.Create(name, d); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "created %s with %d rows\n", name, d.N())
+	return nil
+}
+
+func (r *REPL) sel(args []string, w io.Writer) error {
+	limit := 10
+	if len(args) == 6 {
+		v, err := strconv.Atoi(args[5])
+		if err != nil {
+			return fmt.Errorf("bad limit %q", args[5])
+		}
+		limit = v
+		args = args[:5]
+	}
+	name, q, err := tableAndRect(args)
+	if err != nil {
+		return err
+	}
+	rows, err := r.DB.Select(name, q, limit)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "(%d rows)\n", len(rows))
+	return nil
+}
+
+// tableAndRect parses "<table> x1 y1 x2 y2".
+func tableAndRect(args []string) (string, geom.Rect, error) {
+	if len(args) != 5 {
+		return "", geom.Rect{}, fmt.Errorf("want <table> <x1> <y1> <x2> <y2>")
+	}
+	var vals [4]float64
+	for i := 0; i < 4; i++ {
+		v, err := strconv.ParseFloat(args[i+1], 64)
+		if err != nil {
+			return "", geom.Rect{}, fmt.Errorf("bad coordinate %q", args[i+1])
+		}
+		vals[i] = v
+	}
+	return args[0], geom.NewRect(vals[0], vals[1], vals[2], vals[3]), nil
+}
+
+// Run reads commands until EOF or quit, printing errors to w without
+// stopping (interactive semantics).
+func (r *REPL) Run(in io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(in)
+	for !r.Quit && sc.Scan() {
+		if err := r.Exec(sc.Text(), w); err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,339 @@
+// Package spatialdb is a miniature spatial database engine that ties
+// the library together the way a real system would: tables of
+// rectangles backed by an R*-tree index, a statistics catalog of
+// Min-Skew histograms maintained through inserts and deletes, and a
+// cost-based planner choosing access paths from the estimates. It
+// exists to demonstrate and integration-test the full stack; the
+// spatialdb command wraps it in a REPL.
+package spatialdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feedback"
+	"repro/internal/geom"
+	"repro/internal/planner"
+	"repro/internal/rtree"
+)
+
+// Table is a named set of rectangles with a spatial index.
+type Table struct {
+	name  string
+	rects []geom.Rect
+	index *rtree.Tree
+	// live tracks deletions; len(live) == len(rects), false = deleted.
+	live    []bool
+	deleted int
+	// fb, when non-nil, wraps the table's histogram with query-feedback
+	// learning; executed Counts feed it automatically.
+	fb *feedback.Estimator
+}
+
+// N returns the number of live rows.
+func (t *Table) N() int { return len(t.rects) - t.deleted }
+
+// DB is the engine: tables plus a statistics catalog.
+type DB struct {
+	tables map[string]*Table
+	cat    *catalog.Catalog
+	model  planner.CostModel
+}
+
+// New creates an empty engine with the given statistics policy.
+func New(cfg catalog.Config) *DB {
+	return &DB{
+		tables: make(map[string]*Table),
+		cat:    catalog.New(cfg),
+		model:  planner.DefaultCostModel(),
+	}
+}
+
+// Create registers a table over the given rectangles, building its
+// index with STR packing.
+func (db *DB) Create(name string, d *dataset.Distribution) error {
+	if name == "" {
+		return fmt.Errorf("spatialdb: empty table name")
+	}
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("spatialdb: table %q already exists", name)
+	}
+	rects := append([]geom.Rect(nil), d.Rects()...)
+	t := &Table{
+		name:  name,
+		rects: rects,
+		index: rtree.STRLoad(rects, 64),
+		live:  make([]bool, len(rects)),
+	}
+	for i := range t.live {
+		t.live[i] = true
+	}
+	db.tables[name] = t
+	return nil
+}
+
+// Drop removes a table and its statistics.
+func (db *DB) Drop(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("spatialdb: no table %q", name)
+	}
+	delete(db.tables, name)
+	db.cat.Drop(name)
+	return nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("spatialdb: no table %q", name)
+	}
+	return t, nil
+}
+
+// Analyze builds the table's statistics. Any feedback layer is reset:
+// fresh statistics have no observed bias yet.
+func (db *DB) Analyze(name string) error {
+	t, err := db.table(name)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.Analyze(name, db.liveDistribution(t)); err != nil {
+		return err
+	}
+	t.fb = nil
+	return nil
+}
+
+// EnableFeedback turns on query-feedback learning for a table: every
+// Count executed through the engine trains a correction grid that
+// Explain consults. The table must have statistics.
+func (db *DB) EnableFeedback(name string) error {
+	t, err := db.table(name)
+	if err != nil {
+		return err
+	}
+	hist := db.cat.Histogram(name)
+	if hist == nil {
+		return fmt.Errorf("spatialdb: table %q has no statistics; run ANALYZE first", name)
+	}
+	bounds, ok := db.liveDistribution(t).MBR()
+	if !ok {
+		return fmt.Errorf("spatialdb: table %q is empty", name)
+	}
+	fb, err := feedback.New(hist, bounds, feedback.Config{})
+	if err != nil {
+		return err
+	}
+	t.fb = fb
+	return nil
+}
+
+// liveDistribution materializes the non-deleted rows.
+func (db *DB) liveDistribution(t *Table) *dataset.Distribution {
+	rects := make([]geom.Rect, 0, t.N())
+	for i, r := range t.rects {
+		if t.live[i] {
+			rects = append(rects, r)
+		}
+	}
+	return dataset.FromRects(rects)
+}
+
+// Insert adds a row, updating the index and (incrementally) the
+// statistics.
+func (db *DB) Insert(name string, r geom.Rect) error {
+	t, err := db.table(name)
+	if err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return fmt.Errorf("spatialdb: invalid rectangle %v", r)
+	}
+	id := len(t.rects)
+	t.rects = append(t.rects, r)
+	t.live = append(t.live, true)
+	t.index.Insert(r, id)
+	db.cat.NoteInsert(name, r)
+	return nil
+}
+
+// Delete removes every live row exactly equal to r and returns how
+// many were removed.
+func (db *DB) Delete(name string, r geom.Rect) (int, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	var ids []int
+	t.index.Search(r, func(got geom.Rect, id int) bool {
+		if got == r && t.live[id] {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	for _, id := range ids {
+		if t.index.Delete(r, id) {
+			t.live[id] = false
+			t.deleted++
+			removed++
+			db.cat.NoteDelete(name, r)
+		}
+	}
+	return removed, nil
+}
+
+// Count returns the exact number of live rows intersecting q, via the
+// index.
+func (db *DB) Count(name string, q geom.Rect) (int, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	t.index.Search(q, func(_ geom.Rect, id int) bool {
+		if t.live[id] {
+			count++
+		}
+		return true
+	})
+	// An executed query's true result size is free training signal.
+	if t.fb != nil {
+		t.fb.Observe(q, count)
+	}
+	return count, nil
+}
+
+// Select returns up to limit live rows intersecting q (limit <= 0
+// means no limit).
+func (db *DB) Select(name string, q geom.Rect, limit int) ([]geom.Rect, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []geom.Rect
+	t.index.Search(q, func(r geom.Rect, id int) bool {
+		if !t.live[id] {
+			return true
+		}
+		out = append(out, r)
+		return limit <= 0 || len(out) < limit
+	})
+	return out, nil
+}
+
+// Nearest returns the k live rows nearest to the point.
+func (db *DB) Nearest(name string, x, y float64, k int) ([]rtree.Neighbor, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	// Over-fetch to skip deleted rows, then trim.
+	fetch := k + t.deleted
+	raw := t.index.NearestNeighbors(fetch, geom.Point{X: x, Y: y})
+	out := make([]rtree.Neighbor, 0, k)
+	for _, nb := range raw {
+		if t.live[nb.ID] {
+			out = append(out, nb)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Explain plans the query using the table's statistics.
+func (db *DB) Explain(name string, q geom.Rect) (planner.Plan, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return planner.Plan{}, err
+	}
+	hist := db.cat.Histogram(name)
+	if hist == nil {
+		return planner.Plan{}, fmt.Errorf("spatialdb: table %q has no statistics; run ANALYZE", name)
+	}
+	var est core.Estimator = hist
+	if t.fb != nil {
+		est = t.fb
+	}
+	p, err := planner.New(est, t.N(), db.model)
+	if err != nil {
+		return planner.Plan{}, err
+	}
+	return p.Choose(q), nil
+}
+
+// EstimateJoin returns the estimated intersection-join cardinality of
+// two tables from their statistics.
+func (db *DB) EstimateJoin(a, b string) (float64, error) {
+	ha := db.cat.Histogram(a)
+	hb := db.cat.Histogram(b)
+	if ha == nil || hb == nil {
+		return 0, fmt.Errorf("spatialdb: both tables need statistics; run ANALYZE")
+	}
+	return planner.EstimateJoin(ha, hb)
+}
+
+// Stats describes a table and its statistics state.
+type Stats struct {
+	Name      string
+	Rows      int
+	Deleted   int
+	IndexInfo string
+	HasHist   bool
+	Buckets   int
+	Stale     float64
+	NeedsScan bool
+}
+
+// Stats reports the table's state.
+func (db *DB) Stats(name string) (Stats, error) {
+	t, err := db.table(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		Name:      name,
+		Rows:      t.N(),
+		Deleted:   t.deleted,
+		IndexInfo: fmt.Sprintf("R*-tree height=%d fanout=%d", t.index.Height(), t.index.MaxEntries()),
+	}
+	if hist := db.cat.Histogram(name); hist != nil {
+		s.HasHist = true
+		s.Buckets = len(hist.Buckets())
+		s.Stale = hist.StaleFraction()
+		s.NeedsScan = db.cat.Stale(name)
+	}
+	return s, nil
+}
+
+// Histogram exposes a table's histogram (nil if not analyzed).
+func (db *DB) Histogram(name string) *core.BucketEstimator {
+	return db.cat.Histogram(name)
+}
+
+// SaveStats persists the catalog to a directory.
+func (db *DB) SaveStats(dir string) error { return db.cat.Save(dir) }
+
+// LoadStats loads persisted statistics.
+func (db *DB) LoadStats(dir string) error { return db.cat.Load(dir) }
+
+// String summarizes the engine.
+func (db *DB) String() string {
+	return fmt.Sprintf("spatialdb{%s}", strings.Join(db.Tables(), ", "))
+}

@@ -1,0 +1,455 @@
+package spatialdb
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	return New(catalog.Config{Buckets: 40, Regions: 900})
+}
+
+func TestCreateDropTables(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(1000, 1000, 5, 20, 1)
+	if err := db.Create("roads", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create("roads", d); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	if err := db.Create("", d); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "roads" {
+		t.Fatalf("Tables = %v", got)
+	}
+	if err := db.Drop("nope"); err == nil {
+		t.Fatal("dropping missing table should fail")
+	}
+	if err := db.Drop("roads"); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tables()) != 0 {
+		t.Fatal("table not dropped")
+	}
+}
+
+func TestCountSelectMatchBruteForce(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Clusters(3000, 4, 1000, 0.04, 2, 12, 2)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(200, 200, 600, 600)
+	want := 0
+	for _, r := range d.Rects() {
+		if r.Intersects(q) {
+			want++
+		}
+	}
+	got, err := db.Count("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	rows, err := db.Select("t", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != want {
+		t.Fatalf("Select returned %d rows, want %d", len(rows), want)
+	}
+	limited, err := db.Select("t", q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 5 {
+		t.Fatalf("limited Select returned %d rows", len(limited))
+	}
+	if _, err := db.Count("missing", q); err == nil {
+		t.Fatal("count on missing table should fail")
+	}
+}
+
+func TestInsertDeleteAndStats(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(2000, 1000, 5, 20, 3)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	r := geom.NewRect(100, 100, 120, 120)
+	for i := 0; i < 10; i++ {
+		if err := db.Insert("t", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("t", geom.Rect{MinX: 5, MinY: 5, MaxX: 1, MaxY: 1}); err == nil {
+		t.Fatal("invalid rect should fail")
+	}
+	s, err := db.Stats("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 2010 {
+		t.Fatalf("Rows = %d", s.Rows)
+	}
+	if !s.HasHist || s.Stale == 0 {
+		t.Fatalf("stats not tracking churn: %+v", s)
+	}
+	// The duplicate inserts are all found and deletable.
+	n, err := db.Delete("t", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("Delete removed %d, want 10", n)
+	}
+	s, _ = db.Stats("t")
+	if s.Rows != 2000 || s.Deleted != 10 {
+		t.Fatalf("after delete: %+v", s)
+	}
+	// Deleted rows no longer match queries.
+	got, _ := db.Count("t", r)
+	wantCount := 0
+	for _, rr := range d.Rects() {
+		if rr.Intersects(r) {
+			wantCount++
+		}
+	}
+	if got != wantCount {
+		t.Fatalf("Count after delete = %d, want %d", got, wantCount)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	db := newTestDB(t)
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 1, 1),
+		geom.NewRect(10, 10, 11, 11),
+		geom.NewRect(20, 20, 21, 21),
+		geom.NewRect(100, 100, 101, 101),
+	}
+	if err := db.Create("t", dataset.New(rects)); err != nil {
+		t.Fatal(err)
+	}
+	nbs, err := db.Nearest("t", 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 2 || nbs[0].Rect != rects[0] || nbs[1].Rect != rects[1] {
+		t.Fatalf("Nearest = %v", nbs)
+	}
+	// Deleted rows are skipped.
+	if _, err := db.Delete("t", rects[0]); err != nil {
+		t.Fatal(err)
+	}
+	nbs, err = db.Nearest("t", 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 2 || nbs[0].Rect != rects[1] || nbs[1].Rect != rects[2] {
+		t.Fatalf("Nearest after delete = %v", nbs)
+	}
+	if _, err := db.Nearest("missing", 0, 0, 1); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestExplainUsesEstimates(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(50000, 10000, 10, 40, 4)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Explain("t", geom.NewRect(0, 0, 10, 10)); err == nil {
+		t.Fatal("explain before analyze should fail")
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := db.Explain("t", geom.NewRect(5000, 5000, 5020, 5020))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Access.String() != "IndexScan" {
+		t.Fatalf("tiny query plan = %v", tiny)
+	}
+	big, err := db.Explain("t", geom.NewRect(0, 0, 10000, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Access.String() != "SeqScan" {
+		t.Fatalf("big query plan = %v", big)
+	}
+}
+
+func TestFeedbackIntegration(t *testing.T) {
+	// Clustered data under a Uniform-ish weak summary: use few buckets
+	// so the base statistics are coarse and feedback has bias to fix.
+	weak := New(catalog.Config{Buckets: 2, Regions: 64})
+	d := synthetic.Clusters(20000, 3, 1000, 0.02, 2, 8, 11)
+	if err := weak.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := weak.EnableFeedback("t"); err == nil {
+		t.Fatal("feedback before analyze should fail")
+	}
+	if err := weak.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := weak.EnableFeedback("t"); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 400, 400)
+	before, err := weak.Explain("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := weak.Count("t", q) // observing trains the correction
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := weak.Count("t", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := weak.Explain("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBefore := math.Abs(before.Rows - float64(actual))
+	errAfter := math.Abs(after.Rows - float64(actual))
+	if errAfter >= errBefore {
+		t.Fatalf("feedback did not improve the estimate: |%.1f-%d| -> |%.1f-%d|",
+			before.Rows, actual, after.Rows, actual)
+	}
+	// Re-ANALYZE resets the feedback layer.
+	if err := weak.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	reset, err := weak.Explain("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.Rows != before.Rows {
+		t.Fatalf("re-analyze should drop corrections: %.1f vs %.1f", reset.Rows, before.Rows)
+	}
+	// Unknown table errors.
+	if err := weak.EnableFeedback("missing"); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestEstimateJoinThroughDB(t *testing.T) {
+	db := newTestDB(t)
+	a := synthetic.Uniform(1000, 1000, 5, 20, 5)
+	b := synthetic.Uniform(800, 1000, 5, 20, 6)
+	if err := db.Create("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EstimateJoin("a", "b"); err == nil {
+		t.Fatal("join before analyze should fail")
+	}
+	if err := db.Analyze("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("b"); err != nil {
+		t.Fatal(err)
+	}
+	est, err := db.EstimateJoin("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	for _, ra := range a.Rects() {
+		for _, rb := range b.Rects() {
+			if ra.Intersects(rb) {
+				exact++
+			}
+		}
+	}
+	if math.Abs(est-float64(exact))/float64(exact) > 0.3 {
+		t.Fatalf("join estimate %g vs exact %d", est, exact)
+	}
+}
+
+func TestStatsPersistence(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(1000, 1000, 5, 20, 7)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := db.SaveStats(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2 := newTestDB(t)
+	if err := db2.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.LoadStats(dir); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 400, 400)
+	p1, err := db.Explain("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := db2.Explain("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Rows != p2.Rows {
+		t.Fatalf("persisted stats give different estimate: %g vs %g", p1.Rows, p2.Rows)
+	}
+}
+
+func TestREPLSession(t *testing.T) {
+	db := newTestDB(t)
+	repl := &REPL{DB: db}
+	script := `
+# comment line
+
+gen roads uniform 2000
+ls
+analyze roads
+explain roads 100 100 300 300
+count roads 100 100 300 300
+select roads 100 100 300 300 3
+insert roads 1 1 2 2
+delete roads 1 1 2 2
+stats roads
+join roads roads
+drop roads
+quit
+ls
+`
+	var out bytes.Buffer
+	if err := repl.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"created roads with 2000 rows",
+		"analyzed roads: 40 buckets",
+		"IndexScan",
+		"(3 rows)",
+		"inserted 1",
+		"deleted 1",
+		"stale=",
+		"estimated join cardinality",
+		"dropped roads",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("REPL output missing %q:\n%s", want, text)
+		}
+	}
+	if !repl.Quit {
+		t.Fatal("quit did not stop the REPL")
+	}
+}
+
+func TestREPLErrors(t *testing.T) {
+	repl := &REPL{DB: newTestDB(t)}
+	var out bytes.Buffer
+	bad := []string{
+		"bogus",
+		"gen",
+		"gen t nope 10",
+		"gen t uniform x",
+		"load t",
+		"load t /nonexistent/file.txt",
+		"analyze",
+		"analyze missing",
+		"explain t 1 2 3",
+		"count missing 0 0 1 1",
+		"select t 0 0 1 1 notanumber",
+		"insert t 0 0 1",
+		"join a",
+		"stats",
+		"drop",
+		"drop missing",
+	}
+	for _, cmd := range bad {
+		if err := repl.Exec(cmd, &out); err == nil {
+			t.Errorf("Exec(%q) should fail", cmd)
+		}
+	}
+	// Run continues past errors.
+	var buf bytes.Buffer
+	if err := repl.Run(strings.NewReader("bogus\nhelp\n"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "error:") || !strings.Contains(buf.String(), "commands:") {
+		t.Fatalf("Run error handling broken:\n%s", buf.String())
+	}
+}
+
+func TestREPLLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	d := dataset.New([]geom.Rect{geom.NewRect(0, 0, 1, 1), geom.NewRect(2, 2, 3, 3)})
+	path := dir + "/data.txt"
+	if err := dataset.Save(path, d); err != nil {
+		t.Fatal(err)
+	}
+	wktPath := dir + "/data.wkt"
+	if err := writeFile(wktPath, "POINT (1 1)\nLINESTRING (0 0, 5 5)\n"); err != nil {
+		t.Fatal(err)
+	}
+	repl := &REPL{DB: newTestDB(t)}
+	var out bytes.Buffer
+	if err := repl.Exec("load t1 "+path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.Exec("load t2 "+wktPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	gjPath := dir + "/data.geojson"
+	gj := `{"type":"FeatureCollection","features":[
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[1,1]}},
+		{"type":"Feature","geometry":{"type":"Point","coordinates":[2,2]}}
+	]}`
+	if err := writeFile(gjPath, gj); err != nil {
+		t.Fatal(err)
+	}
+	if err := repl.Exec("load t3 "+gjPath, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := repl.DB.Tables(); len(got) != 3 {
+		t.Fatalf("Tables = %v", got)
+	}
+	n, err := repl.DB.Count("t2", geom.NewRect(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wkt table count = %d", n)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

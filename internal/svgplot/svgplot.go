@@ -1,0 +1,120 @@
+// Package svgplot renders datasets and partitionings as standalone SVG
+// documents, reproducing the paper's illustrations: the Charminar
+// dataset (Figure 1) and the Equi-Area, Equi-Count, R-Tree and
+// Min-Skew partitionings (Figures 2-4 and 7).
+package svgplot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Plot accumulates layers and writes an SVG document.
+type Plot struct {
+	world  geom.Rect
+	width  int
+	height int
+	layers []layer
+	title  string
+}
+
+type layer struct {
+	rects   []geom.Rect
+	fill    string
+	stroke  string
+	opacity float64
+	strokeW float64
+}
+
+// New creates a plot of the given world rectangle rendered at the
+// given pixel width; the height follows from the aspect ratio.
+func New(world geom.Rect, widthPx int) *Plot {
+	if widthPx < 1 {
+		widthPx = 640
+	}
+	h := widthPx
+	if world.Width() > 0 && world.Height() > 0 {
+		h = int(float64(widthPx) * world.Height() / world.Width())
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &Plot{world: world, width: widthPx, height: h}
+}
+
+// Title sets the document title comment.
+func (p *Plot) Title(s string) *Plot {
+	p.title = s
+	return p
+}
+
+// Data adds the distribution's rectangles as a translucent filled
+// layer.
+func (p *Plot) Data(d *dataset.Distribution) *Plot {
+	p.layers = append(p.layers, layer{
+		rects: d.Rects(), fill: "#1f77b4", stroke: "none", opacity: 0.25, strokeW: 0,
+	})
+	return p
+}
+
+// Boxes adds outline rectangles (bucket boundaries).
+func (p *Plot) Boxes(rects []geom.Rect, color string) *Plot {
+	if color == "" {
+		color = "#d62728"
+	}
+	p.layers = append(p.layers, layer{
+		rects: rects, fill: "none", stroke: color, opacity: 1, strokeW: 1,
+	})
+	return p
+}
+
+// Render writes the SVG document.
+func (p *Plot) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		p.width, p.height, p.width, p.height)
+	if p.title != "" {
+		fmt.Fprintf(bw, "<!-- %s -->\n<title>%s</title>\n", p.title, p.title)
+	}
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", p.width, p.height)
+	for _, l := range p.layers {
+		fmt.Fprintf(bw, `<g fill="%s" stroke="%s" fill-opacity="%g" stroke-width="%g">`+"\n",
+			l.fill, l.stroke, l.opacity, l.strokeW)
+		for _, r := range l.rects {
+			x, y, wd, ht := p.transform(r)
+			fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"/>`+"\n", x, y, wd, ht)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// transform maps world coordinates to pixel coordinates (SVG y grows
+// downward, so the world is flipped vertically).
+func (p *Plot) transform(r geom.Rect) (x, y, w, h float64) {
+	sx := float64(p.width)
+	sy := float64(p.height)
+	if p.world.Width() > 0 {
+		sx = float64(p.width) / p.world.Width()
+	}
+	if p.world.Height() > 0 {
+		sy = float64(p.height) / p.world.Height()
+	}
+	x = (r.MinX - p.world.MinX) * sx
+	w = r.Width() * sx
+	h = r.Height() * sy
+	y = float64(p.height) - (r.MaxY-p.world.MinY)*sy
+	// Hairline minimum so degenerate rects remain visible.
+	if w < 0.5 {
+		w = 0.5
+	}
+	if h < 0.5 {
+		h = 0.5
+	}
+	return x, y, w, h
+}

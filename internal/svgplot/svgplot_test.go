@@ -1,0 +1,61 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestRenderBasics(t *testing.T) {
+	d := dataset.New([]geom.Rect{
+		geom.NewRect(0, 0, 10, 10),
+		geom.NewRect(50, 50, 60, 70),
+	})
+	world, _ := d.MBR()
+	var buf bytes.Buffer
+	p := New(world, 600).Title("demo").Data(d).Boxes([]geom.Rect{world}, "")
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<title>demo</title>", "fill-opacity", "stroke=\"#d62728\""} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+	// 2 data rects + 1 box + background = 4 <rect.
+	if got := strings.Count(out, "<rect"); got != 4 {
+		t.Fatalf("rect count = %d, want 4", got)
+	}
+}
+
+func TestAspectRatioAndDegenerates(t *testing.T) {
+	// Wide world: height scales down.
+	p := New(geom.NewRect(0, 0, 200, 100), 600)
+	if p.height != 300 {
+		t.Fatalf("height = %d, want 300", p.height)
+	}
+	// Degenerate world must not panic or produce zero sizes.
+	p = New(geom.NewRect(5, 5, 5, 5), 0)
+	var buf bytes.Buffer
+	if err := p.Boxes([]geom.Rect{geom.NewRect(5, 5, 5, 5)}, "black").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<rect") {
+		t.Fatal("degenerate box not rendered")
+	}
+}
+
+func TestTransformFlipsY(t *testing.T) {
+	p := New(geom.NewRect(0, 0, 100, 100), 100)
+	// A rect at the top of the world maps to the top of the image
+	// (small y).
+	_, yTop, _, _ := p.transform(geom.NewRect(0, 90, 10, 100))
+	_, yBot, _, _ := p.transform(geom.NewRect(0, 0, 10, 10))
+	if yTop >= yBot {
+		t.Fatalf("y not flipped: top=%g bottom=%g", yTop, yBot)
+	}
+}

@@ -1,0 +1,217 @@
+// Package synthetic generates the synthetic rectangle datasets of
+// Section 5.1.2 of the paper: inputs with controlled size, sparsity,
+// placement skew and size skew. Placement skew is modeled with
+// two-dimensional Zipf distributions, size skew with Zipf-distributed
+// widths and heights, and the Charminar dataset concentrates
+// fixed-size rectangles in the four corners of the space at varying
+// densities.
+//
+// All generators are deterministic in their seed.
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Charminar generates the paper's Charminar dataset: n rectangles of
+// identical width and height `size`, in a space x space region, with
+// most rectangles concentrated around the four corners at different
+// densities and a light uniform background in the middle. The paper's
+// instance is Charminar(40000, 10000, 100, seed).
+func Charminar(n int, space, size float64, seed int64) *dataset.Distribution {
+	rng := rand.New(rand.NewSource(seed))
+	rects := make([]geom.Rect, 0, n)
+
+	// Corner cluster weights differ so the corners have varying levels
+	// of spatial density, as in Figure 1. The remainder is spread
+	// uniformly so interior queries are non-empty.
+	corners := []struct {
+		cx, cy float64 // corner position (fractions of space)
+		weight float64 // fraction of n
+		spread float64 // cluster radius as fraction of space
+	}{
+		{0.0, 0.0, 0.30, 0.18},
+		{1.0, 0.0, 0.25, 0.15},
+		{0.0, 1.0, 0.20, 0.13},
+		{1.0, 1.0, 0.15, 0.10},
+	}
+	place := func(cx, cy, spread float64) geom.Point {
+		// Exponential falloff from the corner, clamped inside the space.
+		dx := rng.ExpFloat64() * spread * space / 2
+		dy := rng.ExpFloat64() * spread * space / 2
+		x := cx*space + dx*sign(0.5-cx)
+		y := cy*space + dy*sign(0.5-cy)
+		return geom.Point{X: clampf(x, 0, space), Y: clampf(y, 0, space)}
+	}
+
+	for _, c := range corners {
+		count := int(c.weight * float64(n))
+		for i := 0; i < count; i++ {
+			p := place(c.cx, c.cy, c.spread)
+			rects = append(rects, clampedRect(p, size, size, space))
+		}
+	}
+	// The remaining ~10% (plus rounding shortfall) is a light uniform
+	// background so interior queries are non-empty.
+	for len(rects) < n {
+		p := geom.Point{X: rng.Float64() * space, Y: rng.Float64() * space}
+		rects = append(rects, clampedRect(p, size, size, space))
+	}
+	return dataset.FromRects(rects)
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clampedRect builds a w x h rectangle centered at p, shifted to lie
+// inside [0,space]^2.
+func clampedRect(p geom.Point, w, h, space float64) geom.Rect {
+	x0 := clampf(p.X-w/2, 0, space-w)
+	y0 := clampf(p.Y-h/2, 0, space-h)
+	if w > space {
+		x0, w = 0, space
+	}
+	if h > space {
+		y0, h = 0, space
+	}
+	return geom.NewRect(x0, y0, x0+w, y0+h)
+}
+
+// Uniform generates n rectangles with centers uniform in
+// [0,space]^2 and sides uniform in [minSide, maxSide].
+func Uniform(n int, space, minSide, maxSide float64, seed int64) *dataset.Distribution {
+	rng := rand.New(rand.NewSource(seed))
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		w := minSide + rng.Float64()*(maxSide-minSide)
+		h := minSide + rng.Float64()*(maxSide-minSide)
+		p := geom.Point{X: rng.Float64() * space, Y: rng.Float64() * space}
+		rects[i] = clampedRect(p, w, h, space)
+	}
+	return dataset.FromRects(rects)
+}
+
+// SkewConfig parameterizes the general synthetic generator.
+type SkewConfig struct {
+	N     int     // number of rectangles
+	Space float64 // side of the square input space
+	// PlacementTheta is the Zipf skew of the rectangle centers along
+	// each axis (0 = uniform placement).
+	PlacementTheta float64
+	// SizeTheta is the Zipf skew of widths and heights (0 = all sides
+	// equal to MaxSide).
+	SizeTheta float64
+	// MaxSide is the largest rectangle side; Zipf rank k gets side
+	// MaxSide/k.
+	MaxSide float64
+	Seed    int64
+}
+
+// Skewed generates a dataset with independent two-dimensional Zipf
+// placement skew and Zipf size skew per the paper's synthetic data
+// methodology.
+func Skewed(cfg SkewConfig) *dataset.Distribution {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	placement := NewZipf(rng, 1000, cfg.PlacementTheta)
+	sizeRanks := 100
+	size := NewZipf(rng, sizeRanks, cfg.SizeTheta)
+	rects := make([]geom.Rect, cfg.N)
+	for i := range rects {
+		p := geom.Point{
+			X: placement.DrawFloat() * cfg.Space,
+			Y: placement.DrawFloat() * cfg.Space,
+		}
+		w := cfg.MaxSide / float64(size.Draw())
+		h := cfg.MaxSide / float64(size.Draw())
+		rects[i] = clampedRect(p, w, h, cfg.Space)
+	}
+	return dataset.FromRects(rects)
+}
+
+// SequoiaPoints generates a point dataset (degenerate rectangles)
+// shaped like the Sequoia 2000 benchmark's California sites, the other
+// real-life dataset the paper references: a curved coastal band
+// holding most of the mass, Zipf-weighted inland clusters, and a
+// sparse rural background. Point data is where the fractal technique
+// of [BF95] was designed to operate.
+func SequoiaPoints(n int, space float64, seed int64) *dataset.Distribution {
+	rng := rand.New(rand.NewSource(seed))
+	rects := make([]geom.Rect, 0, n)
+	addPoint := func(x, y float64) {
+		p := geom.Point{X: clampf(x, 0, space), Y: clampf(y, 0, space)}
+		rects = append(rects, geom.PointRect(p))
+	}
+
+	// Coastline: a parametric arc down the left side of the space with
+	// Gaussian cross-shore spread; 60% of the points.
+	coast := int(0.6 * float64(n))
+	for i := 0; i < coast; i++ {
+		t := rng.Float64()
+		// Arc bulging right around mid-latitude.
+		cx := 0.15*space + 0.18*space*math.Sin(t*3.1)
+		cy := t * space
+		addPoint(cx+rng.NormFloat64()*0.03*space, cy+rng.NormFloat64()*0.01*space)
+	}
+	// Inland clusters: 30% of the points across Zipf-weighted towns.
+	towns := 12
+	weights := NewZipf(rng, towns, 1.0)
+	type town struct{ x, y float64 }
+	ts := make([]town, towns)
+	for i := range ts {
+		ts[i] = town{x: 0.3*space + rng.Float64()*0.65*space, y: rng.Float64() * space}
+	}
+	inland := int(0.3 * float64(n))
+	for i := 0; i < inland; i++ {
+		tw := ts[weights.Draw()-1]
+		addPoint(tw.x+rng.NormFloat64()*0.02*space, tw.y+rng.NormFloat64()*0.02*space)
+	}
+	// Background: the rest, uniform.
+	for len(rects) < n {
+		addPoint(rng.Float64()*space, rng.Float64()*space)
+	}
+	return dataset.FromRects(rects)
+}
+
+// Clusters generates n rectangles grouped into k Gaussian clusters with
+// the given standard deviation (as a fraction of space) and side
+// lengths uniform in [minSide, maxSide]. Cluster weights are Zipf
+// distributed so some clusters are much denser than others.
+func Clusters(n, k int, space, stddevFrac, minSide, maxSide float64, seed int64) *dataset.Distribution {
+	rng := rand.New(rand.NewSource(seed))
+	type cluster struct{ cx, cy float64 }
+	cs := make([]cluster, k)
+	for i := range cs {
+		cs[i] = cluster{cx: rng.Float64() * space, cy: rng.Float64() * space}
+	}
+	weights := NewZipf(rng, k, 1.0)
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		c := cs[weights.Draw()-1]
+		p := geom.Point{
+			X: clampf(c.cx+rng.NormFloat64()*stddevFrac*space, 0, space),
+			Y: clampf(c.cy+rng.NormFloat64()*stddevFrac*space, 0, space),
+		}
+		w := minSide + rng.Float64()*(maxSide-minSide)
+		h := minSide + rng.Float64()*(maxSide-minSide)
+		rects[i] = clampedRect(p, w, h, space)
+	}
+	return dataset.FromRects(rects)
+}

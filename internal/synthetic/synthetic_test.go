@@ -1,0 +1,274 @@
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestZipfPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { NewZipf(rng, 0, 1) },
+		func() { NewZipf(rng, 10, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 100, 1.0)
+	counts := make([]int, 101)
+	for i := 0; i < 50000; i++ {
+		k := z.Draw()
+		if k < 1 || k > 100 {
+			t.Fatalf("Draw out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Rank 1 must dominate rank 10 roughly 10:1 under theta=1.
+	ratio := float64(counts[1]) / float64(counts[10]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("Zipf skew ratio rank1/rank10 = %g, want ~10", ratio)
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 10, 0)
+	counts := make([]int, 11)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	for k := 1; k <= 10; k++ {
+		frac := float64(counts[k]) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("rank %d frequency %g, want ~0.1", k, frac)
+		}
+	}
+}
+
+func TestZipfDrawFloatInUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z := NewZipf(rng, 50, 1.5)
+	below := 0
+	for i := 0; i < 10000; i++ {
+		v := z.DrawFloat()
+		if v < 0 || v >= 1 {
+			t.Fatalf("DrawFloat out of [0,1): %g", v)
+		}
+		if v < 0.1 {
+			below++
+		}
+	}
+	// Skew toward zero: far more than 10% of mass below 0.1.
+	if below < 3000 {
+		t.Fatalf("only %d/10000 draws below 0.1; expected heavy skew to 0", below)
+	}
+}
+
+func checkInsideSpace(t *testing.T, d *dataset.Distribution, space float64) {
+	t.Helper()
+	bound := geom.NewRect(0, 0, space, space)
+	for i, r := range d.Rects() {
+		if !r.Valid() || !bound.Contains(r) {
+			t.Fatalf("rect %d = %v escapes space %v", i, r, bound)
+		}
+	}
+}
+
+func TestCharminar(t *testing.T) {
+	const n, space, size = 40000, 10000.0, 100.0
+	d := Charminar(n, space, size, 1)
+	if d.N() != n {
+		t.Fatalf("N = %d, want %d", d.N(), n)
+	}
+	checkInsideSpace(t, d, space)
+	// All rectangles are identical size.
+	for _, r := range d.Rects() {
+		if math.Abs(r.Width()-size) > 1e-9 || math.Abs(r.Height()-size) > 1e-9 {
+			t.Fatalf("rect %v is not %gx%g", r, size, size)
+		}
+	}
+	// Corners must be much denser than the center: compare counts in a
+	// corner box and an equal-size center box.
+	corner := geom.NewRect(0, 0, space/5, space/5)
+	center := geom.NewRect(2*space/5, 2*space/5, 3*space/5, 3*space/5)
+	cc, cm := 0, 0
+	for _, r := range d.Rects() {
+		c := r.Center()
+		if corner.ContainsPoint(c) {
+			cc++
+		}
+		if center.ContainsPoint(c) {
+			cm++
+		}
+	}
+	if cc < 4*cm {
+		t.Fatalf("corner count %d not >> center count %d", cc, cm)
+	}
+	if cm == 0 {
+		t.Fatal("center must have some background rectangles")
+	}
+}
+
+func TestCharminarDeterministic(t *testing.T) {
+	a := Charminar(1000, 1000, 10, 7)
+	b := Charminar(1000, 1000, 10, 7)
+	for i := range a.Rects() {
+		if a.Rect(i) != b.Rect(i) {
+			t.Fatalf("rect %d differs across identical seeds", i)
+		}
+	}
+	c := Charminar(1000, 1000, 10, 8)
+	if a.Rect(0) == c.Rect(0) && a.Rect(1) == c.Rect(1) && a.Rect(2) == c.Rect(2) {
+		t.Fatal("different seeds look identical")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform(5000, 1000, 5, 20, 3)
+	if d.N() != 5000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	checkInsideSpace(t, d, 1000)
+	for _, r := range d.Rects() {
+		if r.Width() < 5-1e-9 || r.Width() > 20+1e-9 {
+			t.Fatalf("width %g outside [5,20]", r.Width())
+		}
+	}
+	// Quadrant counts are roughly balanced.
+	quad := [4]int{}
+	for _, r := range d.Rects() {
+		c := r.Center()
+		i := 0
+		if c.X > 500 {
+			i |= 1
+		}
+		if c.Y > 500 {
+			i |= 2
+		}
+		quad[i]++
+	}
+	for i, q := range quad {
+		if q < 1000 || q > 1500 {
+			t.Fatalf("quadrant %d count %d far from 1250", i, q)
+		}
+	}
+}
+
+func TestSkewedPlacement(t *testing.T) {
+	d := Skewed(SkewConfig{N: 10000, Space: 1000, PlacementTheta: 1.0, SizeTheta: 0, MaxSide: 10, Seed: 5})
+	if d.N() != 10000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	checkInsideSpace(t, d, 1000)
+	// Placement skew concentrates mass near the origin.
+	nearOrigin := 0
+	for _, r := range d.Rects() {
+		c := r.Center()
+		if c.X < 100 && c.Y < 100 {
+			nearOrigin++
+		}
+	}
+	if nearOrigin < 1000 {
+		t.Fatalf("only %d/10000 rects near origin; expected placement skew", nearOrigin)
+	}
+}
+
+func TestSkewedSizes(t *testing.T) {
+	d := Skewed(SkewConfig{N: 10000, Space: 1000, PlacementTheta: 0, SizeTheta: 1.0, MaxSide: 100, Seed: 6})
+	small, large := 0, 0
+	for _, r := range d.Rects() {
+		if r.Width() <= 2 {
+			small++
+		}
+		if r.Width() >= 50 {
+			large++
+		}
+	}
+	if large == 0 || small == 0 {
+		t.Fatalf("size skew should produce both small (%d) and large (%d) widths", small, large)
+	}
+	if large < small/100 {
+		t.Fatalf("rank-1 (largest) widths should be common under Zipf: small=%d large=%d", small, large)
+	}
+}
+
+func TestSequoiaPoints(t *testing.T) {
+	const n, space = 20000, 10000.0
+	d := SequoiaPoints(n, space, 11)
+	if d.N() != n {
+		t.Fatalf("N = %d", d.N())
+	}
+	checkInsideSpace(t, d, space)
+	// All entries are points.
+	for _, r := range d.Rects() {
+		if r.Area() != 0 || r.Width() != 0 {
+			t.Fatalf("non-point entry %v", r)
+		}
+	}
+	// The coastal band (left ~third) must hold most of the mass.
+	coastal := 0
+	for _, r := range d.Rects() {
+		if r.MinX < 0.38*space {
+			coastal++
+		}
+	}
+	if coastal < n/2 {
+		t.Fatalf("coastal mass %d/%d too small", coastal, n)
+	}
+	// Deterministic in the seed.
+	e := SequoiaPoints(n, space, 11)
+	for i := range d.Rects() {
+		if d.Rect(i) != e.Rect(i) {
+			t.Fatalf("rect %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestClusters(t *testing.T) {
+	d := Clusters(8000, 5, 1000, 0.02, 1, 5, 9)
+	if d.N() != 8000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	checkInsideSpace(t, d, 1000)
+	// Clustered data should be far from uniform: the densest 5% x 5%
+	// cell grid cell should hold much more than the uniform share.
+	const g = 20
+	var counts [g * g]int
+	for _, r := range d.Rects() {
+		c := r.Center()
+		x := int(c.X / (1000.0 / g))
+		y := int(c.Y / (1000.0 / g))
+		if x >= g {
+			x = g - 1
+		}
+		if y >= g {
+			y = g - 1
+		}
+		counts[y*g+x]++
+	}
+	max := 0
+	for _, v := range counts {
+		if v > max {
+			max = v
+		}
+	}
+	uniformShare := 8000 / (g * g)
+	if max < 5*uniformShare {
+		t.Fatalf("densest cell %d not >> uniform share %d", max, uniformShare)
+	}
+}

@@ -1,0 +1,61 @@
+package synthetic
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws values in {1, ..., n} with P(k) proportional to 1/k^theta,
+// the distribution the paper uses to model size and placement skew
+// [Zip49]. theta = 0 degenerates to uniform; larger theta is more
+// skewed. Sampling is by inversion over the precomputed CDF, O(log n)
+// per draw.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf creates a Zipf sampler over ranks 1..n with skew theta >= 0.
+// It panics if n < 1 or theta < 0, which indicate programmer error.
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		panic("synthetic: Zipf needs n >= 1")
+	}
+	if theta < 0 {
+		panic("synthetic: Zipf needs theta >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), theta)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw returns a rank in [1, n].
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// DrawFloat returns a value in [0, 1): the drawn rank scaled to the
+// unit interval with uniform jitter within the rank's cell, giving a
+// continuous Zipf-skewed coordinate concentrated near 0.
+func (z *Zipf) DrawFloat() float64 {
+	k := z.Draw()
+	n := float64(len(z.cdf))
+	return (float64(k-1) + z.rng.Float64()) / n
+}

@@ -1,0 +1,40 @@
+package tiger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRT1 asserts the RT1 reader never panics and that accepted
+// inputs produce valid distributions.
+func FuzzReadRT1(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteRT1(&good, []Segment{{X1: -74.5, Y1: 40.25, X2: -74.25, Y2: 40.5}})
+	seeds := []string{
+		good.String(),
+		"",
+		"\n\n",
+		"2 other record type\n",
+		"1 short\n",
+		"1" + strings.Repeat("x", 227) + "\n",
+		"1" + strings.Repeat(" ", 227) + "\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			return
+		}
+		d, err := ReadRT1(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for i := 0; i < d.N(); i++ {
+			if !d.Rect(i).Valid() {
+				t.Fatalf("accepted invalid rect %v", d.Rect(i))
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package tiger
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// RoadNetConfig parameterizes the synthetic state road network that
+// substitutes for the TIGER NJ Road dataset. The defaults of
+// DefaultNJRoad approximate New Jersey's road data: ~414K short
+// segments, heavy placement skew around a handful of urban cores, a
+// sparse rural background, and long thin highway chains.
+type RoadNetConfig struct {
+	// Segments is the approximate number of road segments to generate.
+	Segments int
+	// Space is the side length of the square region in coordinate units.
+	Space float64
+	// Cities is the number of population centers. City weights are
+	// Zipf-distributed (rank-1 city ≈ the metro area).
+	Cities int
+	// UrbanShare is the fraction of segments in city street grids.
+	UrbanShare float64
+	// HighwayShare is the fraction of segments in inter-city highways.
+	HighwayShare float64
+	// The remainder is rural local roads scattered uniformly.
+
+	Seed int64
+}
+
+// DefaultNJRoad returns the configuration used for the paper's NJ Road
+// experiments: 414,442 segments, matching the TIGER count.
+func DefaultNJRoad() RoadNetConfig {
+	return RoadNetConfig{
+		Segments:     414442,
+		Space:        10000,
+		Cities:       24,
+		UrbanShare:   0.70,
+		HighwayShare: 0.12,
+		Seed:         1999,
+	}
+}
+
+// RoadNetwork generates the synthetic road segments and returns their
+// bounding boxes as a Distribution. Determinism follows from the seed.
+func RoadNetwork(cfg RoadNetConfig) *dataset.Distribution {
+	if cfg.Segments <= 0 {
+		return dataset.FromRects(nil)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	segments := make([]Segment, 0, cfg.Segments)
+
+	// Population centers with Zipf weights: the rank-1 city dominates.
+	type city struct {
+		x, y   float64
+		weight float64
+		radius float64
+	}
+	cities := make([]city, cfg.Cities)
+	var wsum float64
+	for i := range cities {
+		w := 1 / math.Pow(float64(i+1), 1.0)
+		cities[i] = city{
+			x:      rng.Float64() * cfg.Space,
+			y:      rng.Float64() * cfg.Space,
+			weight: w,
+			// Larger cities sprawl further.
+			radius: cfg.Space * (0.015 + 0.05*w),
+		}
+		wsum += w
+	}
+
+	clampSeg := func(s Segment) Segment {
+		c := func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			if v > cfg.Space {
+				return cfg.Space
+			}
+			return v
+		}
+		return Segment{X1: c(s.X1), Y1: c(s.Y1), X2: c(s.X2), Y2: c(s.Y2)}
+	}
+
+	// Urban street grids: short axis-aligned blocks laid out in runs
+	// ("streets") radiating through each city with Gaussian falloff.
+	urban := int(cfg.UrbanShare * float64(cfg.Segments))
+	blockLen := cfg.Space / 400 // a city block
+	for len(segments) < urban {
+		// Pick a city by weight.
+		u := rng.Float64() * wsum
+		var ct city
+		for _, c := range cities {
+			if u -= c.weight; u <= 0 {
+				ct = c
+				break
+			}
+		}
+		// A street: a run of consecutive blocks, horizontal or vertical,
+		// anchored at a Gaussian offset from the city center.
+		x := ct.x + rng.NormFloat64()*ct.radius
+		y := ct.y + rng.NormFloat64()*ct.radius
+		run := 3 + rng.Intn(12)
+		horizontal := rng.Intn(2) == 0
+		for b := 0; b < run && len(segments) < urban; b++ {
+			var s Segment
+			if horizontal {
+				s = Segment{X1: x + float64(b)*blockLen, Y1: y, X2: x + float64(b+1)*blockLen, Y2: y}
+			} else {
+				s = Segment{X1: x, Y1: y + float64(b)*blockLen, X2: x, Y2: y + float64(b+1)*blockLen}
+			}
+			segments = append(segments, clampSeg(s))
+		}
+	}
+
+	// Highways: polylines between random city pairs, subdivided into
+	// short segments with lateral jitter (roads are not straight).
+	highway := int(cfg.HighwayShare * float64(cfg.Segments))
+	segLen := cfg.Space / 250
+	for len(segments) < urban+highway {
+		a := cities[rng.Intn(len(cities))]
+		b := cities[rng.Intn(len(cities))]
+		dx, dy := b.x-a.x, b.y-a.y
+		dist := math.Hypot(dx, dy)
+		if dist < cfg.Space/20 {
+			continue
+		}
+		steps := int(dist / segLen)
+		px, py := a.x, a.y
+		for s := 1; s <= steps && len(segments) < urban+highway; s++ {
+			t := float64(s) / float64(steps)
+			jitter := cfg.Space / 500
+			nx := a.x + dx*t + rng.NormFloat64()*jitter
+			ny := a.y + dy*t + rng.NormFloat64()*jitter
+			segments = append(segments, clampSeg(Segment{X1: px, Y1: py, X2: nx, Y2: ny}))
+			px, py = nx, ny
+		}
+	}
+
+	// Rural roads: short segments scattered uniformly.
+	for len(segments) < cfg.Segments {
+		x, y := rng.Float64()*cfg.Space, rng.Float64()*cfg.Space
+		ang := rng.Float64() * 2 * math.Pi
+		l := blockLen * (1 + 2*rng.Float64())
+		segments = append(segments, clampSeg(Segment{
+			X1: x, Y1: y,
+			X2: x + l*math.Cos(ang), Y2: y + l*math.Sin(ang),
+		}))
+	}
+
+	return BoundingBoxes(segments)
+}
+
+// NJRoad generates the default NJ-Road-like dataset scaled to n
+// segments (pass 0 for the full 414,442).
+func NJRoad(n int) *dataset.Distribution {
+	cfg := DefaultNJRoad()
+	if n > 0 {
+		cfg.Segments = n
+	}
+	return RoadNetwork(cfg)
+}

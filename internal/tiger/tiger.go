@@ -1,0 +1,181 @@
+// Package tiger provides the TIGER/Line substrate the paper evaluates
+// on (Section 5.1.1). The U.S. Census TIGER files themselves are not
+// redistributable here, so the package supplies two pieces:
+//
+//   - a reader and writer for the coordinate subset of TIGER/Line
+//     Record Type 1 ("complete chains"), the fixed-width format in
+//     which the 1992 TIGER road data ships. Only the from/to longitude
+//     and latitude fields are interpreted; every segment becomes the
+//     bounding box of the chain, exactly as the paper computes
+//     "bounding boxes of all the line segments";
+//
+//   - a synthetic road-network generator (see roadnet.go) that
+//     reproduces the statistical properties of state road data — dense
+//     urban street grids around Zipf-weighted population centers,
+//     inter-city highways, and sparse rural roads — so the NJ Road
+//     experiments run end to end without census data.
+package tiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// Record Type 1 layout (1992 technical documentation): each record is a
+// fixed-width line of 228 characters. The fields this package reads are
+// the chain endpoints, stored as signed integers with six implied
+// decimal places:
+//
+//	columns 191-200  FRLONG  from-node longitude (10 chars, +/-)
+//	columns 201-209  FRLAT   from-node latitude   (9 chars, +/-)
+//	columns 210-219  TOLONG  to-node longitude   (10 chars, +/-)
+//	columns 220-228  TOLAT   to-node latitude     (9 chars, +/-)
+const (
+	rt1Length  = 228
+	frlongOff  = 190 // zero-based offsets
+	frlongLen  = 10
+	frlatOff   = 200
+	frlatLen   = 9
+	tolongOff  = 209
+	tolongLen  = 10
+	tolatOff   = 219
+	tolatLen   = 9
+	coordScale = 1e6
+)
+
+// ReadRT1 parses TIGER/Line Record Type 1 lines from r and returns the
+// bounding boxes of the chains' from/to endpoints. Records of the
+// wrong length or with unparsable coordinate fields are rejected. The
+// record type indicator (column 1) must be '1'; other record types are
+// skipped so concatenated TIGER files can be fed directly.
+func ReadRT1(r io.Reader) (*dataset.Distribution, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	d := &dataset.Distribution{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] != '1' {
+			continue // other record types (2, 4, 5, ...) carry no chain endpoints
+		}
+		if len(line) < rt1Length {
+			return nil, fmt.Errorf("tiger: line %d: record length %d < %d", lineNo, len(line), rt1Length)
+		}
+		frlong, err := parseCoord(line[frlongOff : frlongOff+frlongLen])
+		if err != nil {
+			return nil, fmt.Errorf("tiger: line %d: FRLONG: %v", lineNo, err)
+		}
+		frlat, err := parseCoord(line[frlatOff : frlatOff+frlatLen])
+		if err != nil {
+			return nil, fmt.Errorf("tiger: line %d: FRLAT: %v", lineNo, err)
+		}
+		tolong, err := parseCoord(line[tolongOff : tolongOff+tolongLen])
+		if err != nil {
+			return nil, fmt.Errorf("tiger: line %d: TOLONG: %v", lineNo, err)
+		}
+		tolat, err := parseCoord(line[tolatOff : tolatOff+tolatLen])
+		if err != nil {
+			return nil, fmt.Errorf("tiger: line %d: TOLAT: %v", lineNo, err)
+		}
+		rect := geom.NewRect(frlong, frlat, tolong, tolat)
+		if err := d.Add(rect); err != nil {
+			return nil, fmt.Errorf("tiger: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tiger: read: %v", err)
+	}
+	return d, nil
+}
+
+// parseCoord converts a fixed-width signed TIGER coordinate field with
+// six implied decimals to degrees.
+func parseCoord(field string) (float64, error) {
+	s := strings.TrimSpace(field)
+	if s == "" {
+		return 0, fmt.Errorf("empty coordinate field")
+	}
+	// TIGER pads with '+' sign and leading zeros, e.g. "+074123456".
+	v, err := strconv.ParseInt(strings.TrimPrefix(s, "+"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad coordinate %q: %v", field, err)
+	}
+	return float64(v) / coordScale, nil
+}
+
+// WriteRT1 writes one Record Type 1 line per segment, representing each
+// rectangle's diagonal as a chain from its lower-left to its
+// upper-right corner. Only the coordinate fields carry data; the rest
+// of the record is space-filled except the record type indicator.
+func WriteRT1(w io.Writer, segments []Segment) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range segments {
+		rec := make([]byte, rt1Length)
+		for i := range rec {
+			rec[i] = ' '
+		}
+		rec[0] = '1'
+		putCoord(rec[frlongOff:frlongOff+frlongLen], s.X1)
+		putCoord(rec[frlatOff:frlatOff+frlatLen], s.Y1)
+		putCoord(rec[tolongOff:tolongOff+tolongLen], s.X2)
+		putCoord(rec[tolatOff:tolatOff+tolatLen], s.Y2)
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// putCoord renders v (degrees) as a signed, zero-padded integer with
+// six implied decimals into the fixed-width field dst.
+func putCoord(dst []byte, v float64) {
+	n := int64(v * coordScale)
+	sign := byte('+')
+	if n < 0 {
+		sign = '-'
+		n = -n
+	}
+	s := strconv.FormatInt(n, 10)
+	// Right-align with zero padding after the sign.
+	dst[0] = sign
+	pad := len(dst) - 1 - len(s)
+	for i := 1; i <= pad; i++ {
+		dst[i] = '0'
+	}
+	copy(dst[1+pad:], s)
+}
+
+// Segment is a line segment in the plane (a degenerate "complete
+// chain" with no shape points).
+type Segment struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Rect returns the bounding box of the segment, the representation the
+// paper's experiments use.
+func (s Segment) Rect() geom.Rect {
+	return geom.NewRect(s.X1, s.Y1, s.X2, s.Y2)
+}
+
+// BoundingBoxes converts segments to their bounding boxes as a
+// Distribution.
+func BoundingBoxes(segments []Segment) *dataset.Distribution {
+	rects := make([]geom.Rect, len(segments))
+	for i, s := range segments {
+		rects[i] = s.Rect()
+	}
+	return dataset.FromRects(rects)
+}

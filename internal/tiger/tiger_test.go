@@ -1,0 +1,212 @@
+package tiger
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRT1RoundTrip(t *testing.T) {
+	segments := []Segment{
+		{X1: -74.123456, Y1: 40.5, X2: -74.1, Y2: 40.6},
+		{X1: 0, Y1: 0, X2: 1, Y2: 1},
+		{X1: -1.000001, Y1: -2.000002, X2: -0.5, Y2: -0.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteRT1(&buf, segments); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadRT1(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != len(segments) {
+		t.Fatalf("N = %d, want %d", d.N(), len(segments))
+	}
+	for i, s := range segments {
+		want := s.Rect()
+		got := d.Rect(i)
+		for _, pair := range [][2]float64{
+			{got.MinX, want.MinX}, {got.MinY, want.MinY},
+			{got.MaxX, want.MaxX}, {got.MaxY, want.MaxY},
+		} {
+			if math.Abs(pair[0]-pair[1]) > 1e-6 {
+				t.Fatalf("segment %d: got %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestRT1RecordFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRT1(&buf, []Segment{{X1: -74.5, Y1: 40.25, X2: -74.25, Y2: 40.5}}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimRight(buf.String(), "\n")
+	if len(line) != 228 {
+		t.Fatalf("record length = %d, want 228", len(line))
+	}
+	if line[0] != '1' {
+		t.Fatalf("record type = %q, want '1'", line[0])
+	}
+	// FRLONG field (cols 191-200, zero-based 190:200).
+	if got := line[190:200]; got != "-074500000" {
+		t.Fatalf("FRLONG field = %q, want -074500000", got)
+	}
+	if got := line[200:209]; got != "+40250000" {
+		t.Fatalf("FRLAT field = %q, want +40250000", got)
+	}
+}
+
+func TestReadRT1SkipsOtherRecordTypes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRT1(&buf, []Segment{{X1: 0, Y1: 0, X2: 1, Y2: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	mixed := "2" + strings.Repeat(" ", 100) + "\n" + buf.String() + "4short\n"
+	d, err := ReadRT1(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 1 {
+		t.Fatalf("N = %d, want 1 (other record types skipped)", d.N())
+	}
+}
+
+func TestReadRT1Errors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"short record", "1 too short\n"},
+		{"garbage coords", "1" + strings.Repeat("x", 227) + "\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadRT1(strings.NewReader(c.in)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	// Blank lines are fine.
+	if d, err := ReadRT1(strings.NewReader("\n\n")); err != nil || d.N() != 0 {
+		t.Fatalf("blank input: %v, N=%d", err, d.N())
+	}
+}
+
+func TestParseCoord(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"+074123456", 74.123456, true},
+		{"-074123456", -74.123456, true},
+		{" +40250000", 40.25, true},
+		{"          ", 0, false},
+		{"+07412345x", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseCoord(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseCoord(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("parseCoord(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoadNetworkProperties(t *testing.T) {
+	cfg := DefaultNJRoad()
+	cfg.Segments = 50000 // scaled for test speed
+	d := RoadNetwork(cfg)
+	if d.N() != cfg.Segments {
+		t.Fatalf("N = %d, want %d", d.N(), cfg.Segments)
+	}
+	bound := geom.NewRect(0, 0, cfg.Space, cfg.Space)
+	for i, r := range d.Rects() {
+		if !r.Valid() || !bound.Contains(r) {
+			t.Fatalf("rect %d = %v escapes space", i, r)
+		}
+	}
+	// Road segments are tiny relative to the space (mild size skew).
+	if d.AvgWidth() > cfg.Space/50 || d.AvgHeight() > cfg.Space/50 {
+		t.Fatalf("segments too large: Wavg=%g Havg=%g", d.AvgWidth(), d.AvgHeight())
+	}
+	// Placement skew: the densest 20x20-cell must hold far more than
+	// the uniform share.
+	const g = 20
+	var counts [g * g]int
+	for _, r := range d.Rects() {
+		c := r.Center()
+		x := int(c.X / (cfg.Space / g))
+		y := int(c.Y / (cfg.Space / g))
+		if x >= g {
+			x = g - 1
+		}
+		if y >= g {
+			y = g - 1
+		}
+		counts[y*g+x]++
+	}
+	max, nonEmpty := 0, 0
+	for _, v := range counts {
+		if v > max {
+			max = v
+		}
+		if v > 0 {
+			nonEmpty++
+		}
+	}
+	uniformShare := cfg.Segments / (g * g)
+	if max < 5*uniformShare {
+		t.Fatalf("densest cell %d not >> uniform share %d: no urban skew", max, uniformShare)
+	}
+	// Rural background keeps most of the state covered.
+	if nonEmpty < g*g/2 {
+		t.Fatalf("only %d/%d cells populated; rural coverage missing", nonEmpty, g*g)
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	cfg := DefaultNJRoad()
+	cfg.Segments = 2000
+	a := RoadNetwork(cfg)
+	b := RoadNetwork(cfg)
+	for i := range a.Rects() {
+		if a.Rect(i) != b.Rect(i) {
+			t.Fatalf("rect %d differs across runs", i)
+		}
+	}
+	cfg.Seed++
+	c := RoadNetwork(cfg)
+	diff := false
+	for i := range a.Rects() {
+		if a.Rect(i) != c.Rect(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical networks")
+	}
+}
+
+func TestRoadNetworkEmpty(t *testing.T) {
+	d := RoadNetwork(RoadNetConfig{Segments: 0})
+	if d.N() != 0 {
+		t.Fatalf("N = %d, want 0", d.N())
+	}
+}
+
+func TestNJRoadScaling(t *testing.T) {
+	d := NJRoad(1000)
+	if d.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", d.N())
+	}
+}

@@ -1,0 +1,137 @@
+// Package trace captures and replays evaluation workloads: a set of
+// queries together with their exact result sizes. Persisting the
+// ground truth makes estimator comparisons reproducible across runs
+// and machines without re-running the (expensive) exact oracle, and
+// lets real production query logs be replayed against candidate
+// statistics configurations.
+//
+// The format is line-oriented text: "minx miny maxx maxy actual",
+// with '#' comments.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+)
+
+// Trace is a workload with ground truth.
+type Trace struct {
+	Queries []geom.Rect
+	Actual  []int
+}
+
+// Capture evaluates the queries against the oracle and records the
+// answers.
+func Capture(oracle exact.Oracle, queries []geom.Rect) *Trace {
+	t := &Trace{
+		Queries: append([]geom.Rect(nil), queries...),
+		Actual:  make([]int, len(queries)),
+	}
+	for i, q := range queries {
+		t.Actual[i] = oracle.Count(q)
+	}
+	return t
+}
+
+// Len returns the number of recorded queries.
+func (t *Trace) Len() int { return len(t.Queries) }
+
+// Evaluate replays the trace against an estimator and summarizes the
+// errors.
+func (t *Trace) Evaluate(est core.Estimator) (metrics.Summary, error) {
+	if len(t.Queries) == 0 {
+		return metrics.Summary{}, fmt.Errorf("trace: empty trace")
+	}
+	ests := make([]float64, len(t.Queries))
+	for i, q := range t.Queries {
+		ests[i] = est.Estimate(q)
+	}
+	return metrics.Summarize(t.Actual, ests)
+}
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# spatialest trace n=%d\n", len(t.Queries)); err != nil {
+		return err
+	}
+	for i, q := range t.Queries {
+		if _, err := fmt.Fprintf(bw, "%g %g %g %g %d\n", q.MinX, q.MinY, q.MaxX, q.MaxY, t.Actual[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(fields))
+		}
+		var coords [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad coordinate %q", lineNo, fields[i])
+			}
+			coords[i] = v
+		}
+		actual, err := strconv.Atoi(fields[4])
+		if err != nil || actual < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad actual %q", lineNo, fields[4])
+		}
+		q := geom.Rect{MinX: coords[0], MinY: coords[1], MaxX: coords[2], MaxY: coords[3]}
+		if !q.Valid() {
+			return nil, fmt.Errorf("trace: line %d: invalid query %v", lineNo, q)
+		}
+		t.Queries = append(t.Queries, q)
+		t.Actual = append(t.Actual, actual)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %v", err)
+	}
+	return t, nil
+}
+
+// Save writes the trace to a file.
+func Save(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+func captureTest(t *testing.T) *Trace {
+	t.Helper()
+	d := synthetic.Clusters(3000, 3, 1000, 0.05, 2, 12, 1)
+	queries, err := workload.Generate(d, workload.Config{Count: 200, QSize: 0.1, Seed: 4, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Capture(exact.NewAuto(d), queries)
+}
+
+func TestCaptureAndEvaluate(t *testing.T) {
+	d := synthetic.Clusters(3000, 3, 1000, 0.05, 2, 12, 1)
+	queries, err := workload.Generate(d, workload.Config{Count: 200, QSize: 0.1, Seed: 4, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Capture(exact.NewAuto(d), queries)
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	ms, err := core.NewMinSkew(d, core.MinSkewConfig{Buckets: 40, Regions: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := tr.Evaluate(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Queries != 200 || sum.AvgRelError < 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if _, err := (&Trace{}).Evaluate(ms); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := captureTest(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Queries {
+		if back.Queries[i] != tr.Queries[i] || back.Actual[i] != tr.Actual[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"1 2 3 4\n",     // missing actual
+		"1 2 3 4 5 6\n", // too many fields
+		"a b c d 5\n",   // bad coords
+		"1 2 3 4 x\n",   // bad actual
+		"1 2 3 4 -5\n",  // negative actual
+		"5 5 1 1 3\n",   // inverted rect
+	}
+	for _, in := range bad {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) should fail", in)
+		}
+	}
+	// Comments and blanks are fine.
+	tr, err := Read(strings.NewReader("# hello\n\n0 0 1 1 7\n"))
+	if err != nil || tr.Len() != 1 || tr.Actual[0] != 7 {
+		t.Fatalf("comment parse: %v, %+v", err, tr)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := captureTest(t)
+	path := filepath.Join(t.TempDir(), "w.trace")
+	if err := Save(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	if _, err := Load(path + ".missing"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

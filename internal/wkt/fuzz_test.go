@@ -1,0 +1,45 @@
+package wkt
+
+import "testing"
+
+// FuzzParseMBR asserts the parser never panics and that every
+// successfully parsed geometry yields a valid rectangle. The seeds run
+// in every normal `go test`; `go test -fuzz=FuzzParseMBR ./internal/wkt`
+// explores further.
+func FuzzParseMBR(f *testing.F) {
+	seeds := []string{
+		"POINT (1 2)",
+		"POINT EMPTY",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"POLYGON ((0 0, 1 0, 1 1, 0 0), (0.2 0.2, 0.4 0.2, 0.4 0.4, 0.2 0.2))",
+		"MULTIPOINT ((1 1), (2 2))",
+		"MULTIPOINT (1 1, 2 2)",
+		"MULTILINESTRING ((0 0, 1 1))",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))",
+		"GEOMETRYCOLLECTION (POINT (1 1), LINESTRING (0 0, 2 2))",
+		"GEOMETRYCOLLECTION EMPTY",
+		"POINT (1e308 -1e308)",
+		"point(((((",
+		"POLYGON ((,,,))",
+		"POINT (1 2) POINT (3 4)",
+		"  \t POINT \n ( 1 \t 2 ) ",
+		"POINT Z (1 2 3)",
+		"",
+		"(((((((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			return // bound worst-case runtime
+		}
+		r, ok, err := ParseMBR(s)
+		if err != nil {
+			return
+		}
+		if ok && !r.Valid() {
+			t.Fatalf("ParseMBR(%q) returned invalid rect %v", s, r)
+		}
+	})
+}

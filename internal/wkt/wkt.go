@@ -1,0 +1,299 @@
+// Package wkt parses the Well-Known Text geometry format that GIS
+// tools exchange (POINT, LINESTRING, POLYGON and their MULTI
+// variants), reducing every geometry to its minimum bounding rectangle
+// — the representation the paper's techniques operate on, and the way
+// spatial database systems approximate objects for query processing.
+//
+// The parser is a hand-written recursive descent over a small
+// tokenizer; it accepts arbitrary whitespace, EMPTY geometries, and
+// nested parentheses, and reports positional errors.
+package wkt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// ParseMBR parses one WKT geometry and returns its minimum bounding
+// rectangle. EMPTY geometries return ok == false with no error.
+func ParseMBR(s string) (r geom.Rect, ok bool, err error) {
+	p := &parser{input: s}
+	r, ok, err = p.geometry()
+	if err != nil {
+		return geom.Rect{}, false, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return geom.Rect{}, false, p.errorf("trailing input after geometry")
+	}
+	return r, ok, nil
+}
+
+// ReadDataset parses one WKT geometry per line from r and returns the
+// MBRs as a Distribution. Blank lines and lines starting with '#' are
+// skipped; EMPTY geometries are ignored.
+func ReadDataset(r io.Reader) (*dataset.Distribution, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	d := &dataset.Distribution{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rect, ok, err := ParseMBR(line)
+		if err != nil {
+			return nil, fmt.Errorf("wkt: line %d: %v", lineNo, err)
+		}
+		if !ok {
+			continue
+		}
+		if err := d.Add(rect); err != nil {
+			return nil, fmt.Errorf("wkt: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wkt: read: %v", err)
+	}
+	return d, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("wkt: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// word consumes an identifier (letters only) and returns it uppercased.
+func (p *parser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.input[start:p.pos])
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.input) || p.input[p.pos] != c {
+		return p.errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+// number consumes a float.
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, p.errorf("expected number")
+	}
+	v, err := strconv.ParseFloat(p.input[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q", p.input[start:p.pos])
+	}
+	return v, nil
+}
+
+// geometry parses any supported geometry tag.
+func (p *parser) geometry() (geom.Rect, bool, error) {
+	tag := p.word()
+	switch tag {
+	case "POINT":
+		return p.taggedBody(p.point)
+	case "LINESTRING":
+		return p.taggedBody(p.pointList)
+	case "POLYGON":
+		return p.taggedBody(p.ringList)
+	case "MULTIPOINT":
+		return p.taggedBody(p.multiPointBody)
+	case "MULTILINESTRING":
+		return p.taggedBody(p.ringList) // same shape: list of point lists
+	case "MULTIPOLYGON":
+		return p.taggedBody(p.polygonList)
+	case "GEOMETRYCOLLECTION":
+		return p.taggedBody(p.collectionBody)
+	case "":
+		return geom.Rect{}, false, p.errorf("expected geometry tag")
+	default:
+		return geom.Rect{}, false, p.errorf("unsupported geometry %q", tag)
+	}
+}
+
+// taggedBody handles the optional EMPTY keyword and the parenthesized
+// body of a geometry.
+func (p *parser) taggedBody(body func() (geom.Rect, bool, error)) (geom.Rect, bool, error) {
+	p.skipSpace()
+	// Optional Z/M/ZM dimension markers: reject explicitly, since the
+	// MBR of higher-dimensional data would silently drop coordinates.
+	save := p.pos
+	if w := p.word(); w != "" {
+		if w == "EMPTY" {
+			return geom.Rect{}, false, nil
+		}
+		if w == "Z" || w == "M" || w == "ZM" {
+			return geom.Rect{}, false, p.errorf("dimension marker %s not supported (2-D only)", w)
+		}
+		p.pos = save
+		return geom.Rect{}, false, p.errorf("unexpected token before geometry body")
+	}
+	if err := p.expect('('); err != nil {
+		return geom.Rect{}, false, err
+	}
+	r, ok, err := body()
+	if err != nil {
+		return geom.Rect{}, false, err
+	}
+	if err := p.expect(')'); err != nil {
+		return geom.Rect{}, false, err
+	}
+	return r, ok, nil
+}
+
+// point parses "x y" and returns its (degenerate) MBR.
+func (p *parser) point() (geom.Rect, bool, error) {
+	x, err := p.number()
+	if err != nil {
+		return geom.Rect{}, false, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return geom.Rect{}, false, err
+	}
+	return geom.PointRect(geom.Point{X: x, Y: y}), true, nil
+}
+
+// pointList parses "x y, x y, ..." returning the MBR of the points.
+func (p *parser) pointList() (geom.Rect, bool, error) {
+	mbr, any, err := p.point()
+	if err != nil {
+		return geom.Rect{}, false, err
+	}
+	for p.peek() == ',' {
+		p.pos++
+		r, _, err := p.point()
+		if err != nil {
+			return geom.Rect{}, false, err
+		}
+		mbr = mbr.Union(r)
+	}
+	return mbr, any, nil
+}
+
+// parenList parses "( inner ), ( inner ), ..." unioning the inner MBRs.
+func (p *parser) parenList(inner func() (geom.Rect, bool, error)) (geom.Rect, bool, error) {
+	var mbr geom.Rect
+	any := false
+	for {
+		if err := p.expect('('); err != nil {
+			return geom.Rect{}, false, err
+		}
+		r, ok, err := inner()
+		if err != nil {
+			return geom.Rect{}, false, err
+		}
+		if err := p.expect(')'); err != nil {
+			return geom.Rect{}, false, err
+		}
+		if ok {
+			if !any {
+				mbr, any = r, true
+			} else {
+				mbr = mbr.Union(r)
+			}
+		}
+		if p.peek() != ',' {
+			return mbr, any, nil
+		}
+		p.pos++
+	}
+}
+
+// ringList parses polygon rings (or multilinestring members): a comma
+// list of parenthesized point lists.
+func (p *parser) ringList() (geom.Rect, bool, error) {
+	return p.parenList(p.pointList)
+}
+
+// polygonList parses multipolygon members: a comma list of
+// parenthesized ring lists.
+func (p *parser) polygonList() (geom.Rect, bool, error) {
+	return p.parenList(p.ringList)
+}
+
+// multiPointBody accepts both MULTIPOINT(1 2, 3 4) and
+// MULTIPOINT((1 2), (3 4)).
+func (p *parser) multiPointBody() (geom.Rect, bool, error) {
+	if p.peek() == '(' {
+		return p.parenList(p.point)
+	}
+	return p.pointList()
+}
+
+// collectionBody parses a comma list of full geometries.
+func (p *parser) collectionBody() (geom.Rect, bool, error) {
+	var mbr geom.Rect
+	any := false
+	for {
+		r, ok, err := p.geometry()
+		if err != nil {
+			return geom.Rect{}, false, err
+		}
+		if ok {
+			if !any {
+				mbr, any = r, true
+			} else {
+				mbr = mbr.Union(r)
+			}
+		}
+		if p.peek() != ',' {
+			return mbr, any, nil
+		}
+		p.pos++
+	}
+}

@@ -1,0 +1,148 @@
+package wkt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mustParse(t *testing.T, s string) geom.Rect {
+	t.Helper()
+	r, ok, err := ParseMBR(s)
+	if err != nil {
+		t.Fatalf("ParseMBR(%q): %v", s, err)
+	}
+	if !ok {
+		t.Fatalf("ParseMBR(%q): unexpectedly empty", s)
+	}
+	return r
+}
+
+func TestParsePoint(t *testing.T) {
+	r := mustParse(t, "POINT (3 4)")
+	if r != geom.NewRect(3, 4, 3, 4) {
+		t.Fatalf("POINT MBR = %v", r)
+	}
+	// Case-insensitive, flexible whitespace, scientific notation.
+	r = mustParse(t, "  point(1e1   -2.5)")
+	if r != geom.NewRect(10, -2.5, 10, -2.5) {
+		t.Fatalf("point MBR = %v", r)
+	}
+}
+
+func TestParseLineString(t *testing.T) {
+	r := mustParse(t, "LINESTRING (0 0, 10 5, -2 3)")
+	if r != geom.NewRect(-2, 0, 10, 5) {
+		t.Fatalf("LINESTRING MBR = %v", r)
+	}
+}
+
+func TestParsePolygon(t *testing.T) {
+	// Outer ring plus a hole; the hole is inside so it doesn't change
+	// the MBR.
+	r := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 3 2, 3 3, 2 2))")
+	if r != geom.NewRect(0, 0, 10, 10) {
+		t.Fatalf("POLYGON MBR = %v", r)
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	r := mustParse(t, "MULTIPOINT (1 1, 5 5)")
+	if r != geom.NewRect(1, 1, 5, 5) {
+		t.Fatalf("MULTIPOINT MBR = %v", r)
+	}
+	r = mustParse(t, "MULTIPOINT ((1 1), (5 5))")
+	if r != geom.NewRect(1, 1, 5, 5) {
+		t.Fatalf("MULTIPOINT paren MBR = %v", r)
+	}
+	r = mustParse(t, "MULTILINESTRING ((0 0, 1 1), (5 5, 9 2))")
+	if r != geom.NewRect(0, 0, 9, 5) {
+		t.Fatalf("MULTILINESTRING MBR = %v", r)
+	}
+	r = mustParse(t, "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))")
+	if r != geom.NewRect(0, 0, 6, 6) {
+		t.Fatalf("MULTIPOLYGON MBR = %v", r)
+	}
+}
+
+func TestParseGeometryCollection(t *testing.T) {
+	r := mustParse(t, "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 4 4))")
+	if r != geom.NewRect(0, 0, 4, 4) {
+		t.Fatalf("GEOMETRYCOLLECTION MBR = %v", r)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, s := range []string{"POINT EMPTY", "POLYGON EMPTY", "GEOMETRYCOLLECTION EMPTY"} {
+		_, ok, err := ParseMBR(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if ok {
+			t.Fatalf("%q should report empty", s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CIRCLE (1 2, 3)",
+		"POINT (1)",
+		"POINT (1 2",
+		"POINT (1 2) garbage",
+		"POINT Z (1 2 3)",
+		"LINESTRING (0 0, )",
+		"POLYGON (0 0, 1 1)", // missing ring parens
+		"POINT (a b)",
+	}
+	for _, s := range bad {
+		if _, _, err := ParseMBR(s); err == nil {
+			t.Errorf("ParseMBR(%q) should fail", s)
+		}
+	}
+}
+
+func TestReadDataset(t *testing.T) {
+	in := `# roads
+POINT (1 1)
+
+LINESTRING (0 0, 10 10)
+POLYGON EMPTY
+POLYGON ((2 2, 4 2, 4 4, 2 2))
+`
+	d, err := ReadDataset(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N = %d, want 3 (EMPTY skipped)", d.N())
+	}
+	mbr, _ := d.MBR()
+	if mbr != geom.NewRect(0, 0, 10, 10) {
+		t.Fatalf("MBR = %v", mbr)
+	}
+}
+
+func TestReadDatasetError(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("POINT (1 1)\nBOGUS (2 2)\n")); err == nil {
+		t.Fatal("bad line should fail")
+	}
+	if err := errContains(t, "POINT(1,2)"); err == "" {
+		t.Fatal("comma inside point should fail with position info")
+	}
+}
+
+// errContains parses and returns the error text (empty if none).
+func errContains(t *testing.T, s string) string {
+	t.Helper()
+	_, _, err := ParseMBR(s)
+	if err == nil {
+		return ""
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error %q lacks position info", err)
+	}
+	return err.Error()
+}

@@ -1,0 +1,107 @@
+// Package workload generates the query sets of Section 5.2 of the
+// paper: rectangles lying within the MBR of the input whose centers are
+// drawn at random from the centers of the input rectangles, and whose
+// average side length is a chosen fraction (QSize) of the corresponding
+// side of the input bounding box. A desired average query area a is
+// achieved by drawing each side uniformly from [0.5*sqrt(a),
+// 1.5*sqrt(a)].
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// CenterMode selects where query centers come from.
+type CenterMode int
+
+const (
+	// CentersFromData draws query centers from the centers of input
+	// rectangles — the paper's "biased" workload (Section 5.2), which
+	// guarantees non-empty answers and models queries issued where the
+	// data is.
+	CentersFromData CenterMode = iota
+	// CentersUniform draws query centers uniformly from the input MBR,
+	// an unbiased workload that also probes empty regions.
+	CentersUniform
+)
+
+// Config describes a query workload.
+type Config struct {
+	// Count is the number of queries to generate (the paper uses 10000).
+	Count int
+	// QSize is the average query side length as a fraction of the input
+	// MBR side (the paper varies it from 0.02 to 0.25). Zero generates
+	// point queries.
+	QSize float64
+	// Seed drives the deterministic pseudo-random generator.
+	Seed int64
+	// Clamp restricts the generated rectangles to the input MBR, as the
+	// paper's queries "lie within the MBR of the input".
+	Clamp bool
+	// Centers selects the center distribution; the zero value is the
+	// paper's data-biased model.
+	Centers CenterMode
+}
+
+// Generate produces a query set over the distribution per the paper's
+// model. It returns an error for an empty distribution or an invalid
+// configuration.
+func Generate(d *dataset.Distribution, cfg Config) ([]geom.Rect, error) {
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, fmt.Errorf("workload: empty distribution")
+	}
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("workload: negative count %d", cfg.Count)
+	}
+	if cfg.QSize < 0 || cfg.QSize > 1 {
+		return nil, fmt.Errorf("workload: QSize %g outside [0,1]", cfg.QSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queries := make([]geom.Rect, 0, cfg.Count)
+
+	// Desired average area: (QSize*W) x (QSize*H).
+	a := cfg.QSize * mbr.Width() * cfg.QSize * mbr.Height()
+	side := math.Sqrt(a)
+
+	for i := 0; i < cfg.Count; i++ {
+		var c geom.Point
+		switch cfg.Centers {
+		case CentersUniform:
+			c = geom.Point{
+				X: mbr.MinX + rng.Float64()*mbr.Width(),
+				Y: mbr.MinY + rng.Float64()*mbr.Height(),
+			}
+		default:
+			c = d.Rect(rng.Intn(d.N())).Center()
+		}
+		var q geom.Rect
+		if cfg.QSize == 0 {
+			q = geom.PointRect(c)
+		} else {
+			w := (0.5 + rng.Float64()) * side
+			h := (0.5 + rng.Float64()) * side
+			q = geom.RectAround(c, w, h)
+		}
+		if cfg.Clamp {
+			q = q.Clamp(mbr)
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+// PointQueries produces count point queries at centers of randomly
+// chosen input rectangles.
+func PointQueries(d *dataset.Distribution, count int, seed int64) ([]geom.Rect, error) {
+	return Generate(d, Config{Count: count, QSize: 0, Seed: seed, Clamp: true})
+}
+
+// QSizes is the sweep of query sizes used in the paper's experiments
+// (2% to 25% of the input bounding box side).
+var QSizes = []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.25}

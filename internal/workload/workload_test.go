@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func testDist(n int) *dataset.Distribution {
+	rng := rand.New(rand.NewSource(99))
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		rects[i] = geom.NewRect(x, y, x+100, y+100)
+	}
+	return dataset.New(rects)
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(dataset.New(nil), Config{Count: 10}); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	d := testDist(10)
+	if _, err := Generate(d, Config{Count: -1}); err == nil {
+		t.Fatal("negative count should fail")
+	}
+	if _, err := Generate(d, Config{Count: 1, QSize: 1.5}); err == nil {
+		t.Fatal("QSize > 1 should fail")
+	}
+	if _, err := Generate(d, Config{Count: 1, QSize: -0.1}); err == nil {
+		t.Fatal("negative QSize should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d := testDist(100)
+	cfg := Config{Count: 50, QSize: 0.1, Seed: 7, Clamp: true}
+	a, err := Generate(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+	c, err := Generate(d, Config{Count: 50, QSize: 0.1, Seed: 8, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateClampAndBounds(t *testing.T) {
+	d := testDist(500)
+	mbr, _ := d.MBR()
+	qs, err := Generate(d, Config{Count: 2000, QSize: 0.25, Seed: 3, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2000 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if !q.Valid() {
+			t.Fatalf("invalid query %v", q)
+		}
+		if !mbr.Contains(q) {
+			t.Fatalf("clamped query %v escapes MBR %v", q, mbr)
+		}
+	}
+}
+
+func TestGenerateSizeDistribution(t *testing.T) {
+	d := testDist(500)
+	mbr, _ := d.MBR()
+	qsize := 0.10
+	qs, err := Generate(d, Config{Count: 5000, QSize: qsize, Seed: 5, Clamp: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := math.Sqrt(qsize * mbr.Width() * qsize * mbr.Height())
+	var sumW float64
+	for _, q := range qs {
+		w := q.Width()
+		// Every side must lie in [0.5*side, 1.5*side].
+		if w < 0.5*side-1e-9 || w > 1.5*side+1e-9 {
+			t.Fatalf("query width %g outside [%g, %g]", w, 0.5*side, 1.5*side)
+		}
+		sumW += w
+	}
+	avg := sumW / float64(len(qs))
+	// Mean of U[0.5s, 1.5s] is s; allow 3% sampling slack.
+	if math.Abs(avg-side)/side > 0.03 {
+		t.Fatalf("average query width %g too far from target %g", avg, side)
+	}
+}
+
+func TestQueryCentersComeFromInput(t *testing.T) {
+	d := testDist(50)
+	qs, err := Generate(d, Config{Count: 500, QSize: 0.05, Seed: 1, Clamp: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centers must coincide with input rectangle centers up to floating
+	// point round-trip error.
+	for _, q := range qs {
+		c := q.Center()
+		best := math.Inf(1)
+		for _, r := range d.Rects() {
+			rc := r.Center()
+			dx, dy := c.X-rc.X, c.Y-rc.Y
+			if d2 := dx*dx + dy*dy; d2 < best {
+				best = d2
+			}
+		}
+		if best > 1e-12 {
+			t.Fatalf("query center %v is %g away from any input center", c, math.Sqrt(best))
+		}
+	}
+}
+
+func TestUniformCenters(t *testing.T) {
+	// Skewed data: all rect centers in one corner. With
+	// CentersFromData all queries cluster there; with CentersUniform
+	// they spread over the MBR.
+	rects := make([]geom.Rect, 200)
+	for i := range rects {
+		rects[i] = geom.NewRect(float64(i%10), float64(i/10), float64(i%10)+1, float64(i/10)+1)
+	}
+	// Pin a wide MBR.
+	rects = append(rects, geom.NewRect(0, 0, 1000, 1000))
+	d := dataset.New(rects)
+
+	uni, err := Generate(d, Config{Count: 2000, QSize: 0.02, Seed: 9, Centers: CentersUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farHalf := 0
+	for _, q := range uni {
+		if q.Center().X > 500 {
+			farHalf++
+		}
+	}
+	// Uniform centers put roughly half the queries in the far half.
+	if farHalf < 700 || farHalf > 1300 {
+		t.Fatalf("uniform centers: %d/2000 in far half, want ~1000", farHalf)
+	}
+	biased, err := Generate(d, Config{Count: 2000, QSize: 0.02, Seed: 9, Centers: CentersFromData})
+	if err != nil {
+		t.Fatal(err)
+	}
+	farBiased := 0
+	for _, q := range biased {
+		if q.Center().X > 500 {
+			farBiased++
+		}
+	}
+	// Data-biased centers almost never land in the far half (only the
+	// MBR-pinning rect's center is out there).
+	if farBiased > 100 {
+		t.Fatalf("biased centers: %d/2000 in far half, want ~0", farBiased)
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	d := testDist(100)
+	qs, err := PointQueries(d, 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Area() != 0 || q.Width() != 0 || q.Height() != 0 {
+			t.Fatalf("point query %v has extent", q)
+		}
+	}
+}
+
+func TestQSizesSweep(t *testing.T) {
+	if len(QSizes) == 0 || QSizes[0] != 0.02 || QSizes[len(QSizes)-1] != 0.25 {
+		t.Fatalf("QSizes = %v; paper sweeps 2%% to 25%%", QSizes)
+	}
+}

@@ -1,0 +1,225 @@
+// Package spatialest is a library for selectivity estimation over
+// two-dimensional spatial (rectangle) data, implementing the
+// techniques of Acharya, Poosala and Ramaswamy, "Selectivity
+// Estimation in Spatial Databases", SIGMOD 1999.
+//
+// The library answers the question a spatial query optimizer asks: how
+// many of the N input rectangles intersect a given query rectangle?
+// Exact answers require scanning the data or an index; the estimators
+// here answer from a summary of a few hundred bytes.
+//
+// # Quick start
+//
+//	data := spatialest.NJRoad(50000) // or LoadDataset / NewDataset
+//	est, err := spatialest.NewMinSkew(data, spatialest.MinSkewOptions{
+//		Buckets: 100,
+//		Regions: 10000,
+//	})
+//	if err != nil { ... }
+//	count := est.Estimate(spatialest.NewRect(x1, y1, x2, y2))
+//	selectivity := count / float64(data.N())
+//
+// # Techniques
+//
+// The paper's headline technique is Min-Skew (NewMinSkew): a binary
+// space partitioning built greedily over a uniform density grid,
+// minimizing the spatial skew — the count-weighted variance of spatial
+// density — within each bucket, optionally with progressive grid
+// refinement. The baselines it was evaluated against are also
+// provided: NewUniform, NewEquiArea, NewEquiCount, NewRTreeHistogram,
+// NewSample and NewFractal.
+//
+// The package also exposes the substrates: an R*-tree (NewRTree,
+// STRLoad), dataset generators (Charminar, RoadNetwork, UniformData,
+// Clusters), query workload generation (GenerateQueries), exact
+// oracles (NewOracle) and the paper's error metric (AvgRelativeError).
+package spatialest
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+	"repro/internal/synthetic"
+	"repro/internal/tiger"
+	"repro/internal/workload"
+)
+
+// Geometry.
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle; see geom.Rect for semantics
+// (closed region; touching boundaries intersect).
+type Rect = geom.Rect
+
+// NewRect builds a rectangle from two corner points, normalizing the
+// corner order.
+func NewRect(x1, y1, x2, y2 float64) Rect { return geom.NewRect(x1, y1, x2, y2) }
+
+// PointQuery returns the degenerate rectangle representing a point
+// query at (x, y).
+func PointQuery(x, y float64) Rect { return geom.PointRect(Point{X: x, Y: y}) }
+
+// Datasets.
+
+// Dataset is a distribution of input rectangles with cached aggregate
+// statistics (N, MBR, total area, average width and height).
+type Dataset = dataset.Distribution
+
+// NewDataset builds a dataset from rectangles (the slice is copied).
+func NewDataset(rects []Rect) *Dataset { return dataset.New(rects) }
+
+// LoadDataset reads a dataset from a file; ".bin" selects the binary
+// format, anything else the text format ("minx miny maxx maxy" per
+// line).
+func LoadDataset(path string) (*Dataset, error) { return dataset.Load(path) }
+
+// SaveDataset writes a dataset to a file, choosing the format by
+// extension as in LoadDataset.
+func SaveDataset(path string, d *Dataset) error { return dataset.Save(path, d) }
+
+// Generators.
+
+// Charminar generates the paper's synthetic corner-skewed dataset: n
+// size x size rectangles in a space x space region concentrated in the
+// four corners.
+func Charminar(n int, space, size float64, seed int64) *Dataset {
+	return synthetic.Charminar(n, space, size, seed)
+}
+
+// UniformData generates n rectangles with uniform placement and sides
+// in [minSide, maxSide].
+func UniformData(n int, space, minSide, maxSide float64, seed int64) *Dataset {
+	return synthetic.Uniform(n, space, minSide, maxSide, seed)
+}
+
+// Clusters generates n rectangles in k Zipf-weighted Gaussian clusters.
+func Clusters(n, k int, space, stddevFrac, minSide, maxSide float64, seed int64) *Dataset {
+	return synthetic.Clusters(n, k, space, stddevFrac, minSide, maxSide, seed)
+}
+
+// SkewedData generates a dataset with Zipf placement and size skew.
+type SkewedDataConfig = synthetic.SkewConfig
+
+// Skewed generates a dataset per SkewedDataConfig.
+func Skewed(cfg SkewedDataConfig) *Dataset { return synthetic.Skewed(cfg) }
+
+// NJRoad generates the synthetic stand-in for the paper's TIGER NJ
+// Road dataset, scaled to n segments (0 selects the full 414,442).
+func NJRoad(n int) *Dataset { return tiger.NJRoad(n) }
+
+// RoadNetworkConfig parameterizes RoadNetwork.
+type RoadNetworkConfig = tiger.RoadNetConfig
+
+// RoadNetwork generates a synthetic state road network and returns the
+// bounding boxes of its segments.
+func RoadNetwork(cfg RoadNetworkConfig) *Dataset { return tiger.RoadNetwork(cfg) }
+
+// Estimators.
+
+// Estimator is the common interface of all selectivity estimation
+// techniques: Estimate returns the expected number of input rectangles
+// intersecting the query.
+type Estimator = core.Estimator
+
+// Histogram is a bucket-based estimator (Uniform, Equi-Area,
+// Equi-Count, R-Tree and Min-Skew all produce one).
+type Histogram = core.BucketEstimator
+
+// Bucket is one histogram bucket: bounding box, rectangle count,
+// average width/height and average spatial density.
+type Bucket = core.Bucket
+
+// MinSkewOptions configures NewMinSkew; see core.MinSkewConfig.
+type MinSkewOptions = core.MinSkewConfig
+
+// NewMinSkew builds the paper's Min-Skew partitioning: a greedy binary
+// space partitioning over a uniform density grid that minimizes
+// spatial skew, with optional progressive refinement.
+func NewMinSkew(d *Dataset, opts MinSkewOptions) (*Histogram, error) {
+	return core.NewMinSkew(d, opts)
+}
+
+// NewUniform builds the single-bucket uniformity-assumption baseline.
+func NewUniform(d *Dataset) (*Histogram, error) { return core.NewUniform(d) }
+
+// NewEquiArea builds the Equi-Area partitioning.
+func NewEquiArea(d *Dataset, buckets int) (*Histogram, error) {
+	return core.NewEquiArea(d, buckets)
+}
+
+// NewEquiCount builds the Equi-Count partitioning.
+func NewEquiCount(d *Dataset, buckets int) (*Histogram, error) {
+	return core.NewEquiCount(d, buckets)
+}
+
+// RTreeHistogramOptions configures NewRTreeHistogram.
+type RTreeHistogramOptions = core.RTreeHistConfig
+
+// NewRTreeHistogram builds buckets from the node MBRs of an R*-tree
+// over the input.
+func NewRTreeHistogram(d *Dataset, opts RTreeHistogramOptions) (*Histogram, error) {
+	return core.NewRTreeHist(d, opts)
+}
+
+// NewSample builds the sampling estimator with the given sample size.
+func NewSample(d *Dataset, size int, seed int64) (*core.SampleEstimator, error) {
+	return core.NewSample(d, size, seed)
+}
+
+// NewFractal builds the Belussi-Faloutsos parametric estimator using
+// box-counting grid exponents minExp..maxExp (2..8 is a good default).
+func NewFractal(d *Dataset, minExp, maxExp int) (*core.FractalEstimator, error) {
+	return core.NewFractal(d, minExp, maxExp)
+}
+
+// Exact answers.
+
+// Oracle answers exact selectivity queries (ground truth).
+type Oracle = exact.Oracle
+
+// NewOracle builds a grid-accelerated exact oracle over the dataset.
+func NewOracle(d *Dataset) Oracle { return exact.NewAuto(d) }
+
+// Workloads and metrics.
+
+// QueryConfig describes a generated query workload (Section 5.2 of the
+// paper).
+type QueryConfig = workload.Config
+
+// GenerateQueries produces a query workload over the dataset.
+func GenerateQueries(d *Dataset, cfg QueryConfig) ([]Rect, error) {
+	return workload.Generate(d, cfg)
+}
+
+// AvgRelativeError computes the paper's error metric
+// (sum |actual-estimate|) / (sum actual).
+func AvgRelativeError(actual []int, estimates []float64) (float64, error) {
+	return metrics.AvgRelativeError(actual, estimates)
+}
+
+// ErrorSummary holds descriptive statistics of estimation errors.
+type ErrorSummary = metrics.Summary
+
+// SummarizeErrors computes an ErrorSummary.
+func SummarizeErrors(actual []int, estimates []float64) (ErrorSummary, error) {
+	return metrics.Summarize(actual, estimates)
+}
+
+// Spatial index.
+
+// RTree is a dynamic R*-tree spatial index over rectangles with
+// integer identifiers.
+type RTree = rtree.Tree
+
+// NewRTree creates an empty R*-tree with the given node capacity (0
+// selects the default).
+func NewRTree(maxEntries int) *RTree { return rtree.New(maxEntries) }
+
+// STRLoad bulk-loads an R-tree over the rectangles with the
+// Sort-Tile-Recursive algorithm; entry i gets identifier i.
+func STRLoad(rects []Rect, maxEntries int) *RTree { return rtree.STRLoad(rects, maxEntries) }

@@ -1,0 +1,155 @@
+package spatialest_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	spatialest "repro"
+)
+
+// TestPublicAPIPipeline walks the full public surface: generate data,
+// persist and reload it, build every estimator, generate a workload,
+// and score the estimates against the exact oracle.
+func TestPublicAPIPipeline(t *testing.T) {
+	data := spatialest.Charminar(8000, 1000, 10, 42)
+	if data.N() != 8000 {
+		t.Fatalf("N = %d", data.N())
+	}
+
+	// Round-trip through both file formats.
+	dir := t.TempDir()
+	for _, name := range []string{"d.txt", "d.bin"} {
+		path := filepath.Join(dir, name)
+		if err := spatialest.SaveDataset(path, data); err != nil {
+			t.Fatal(err)
+		}
+		back, err := spatialest.LoadDataset(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != data.N() {
+			t.Fatalf("%s: N = %d", name, back.N())
+		}
+	}
+
+	ms, err := spatialest.NewMinSkew(data, spatialest.MinSkewOptions{Buckets: 50, Regions: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := spatialest.NewUniform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries, err := spatialest.GenerateQueries(data, spatialest.QueryConfig{
+		Count: 200, QSize: 0.10, Seed: 1, Clamp: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := spatialest.NewOracle(data)
+	actual := make([]int, len(queries))
+	msEst := make([]float64, len(queries))
+	uEst := make([]float64, len(queries))
+	for i, q := range queries {
+		actual[i] = oracle.Count(q)
+		msEst[i] = ms.Estimate(q)
+		uEst[i] = u.Estimate(q)
+	}
+	msErr, err := spatialest.AvgRelativeError(actual, msEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uErr, err := spatialest.AvgRelativeError(actual, uEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msErr >= uErr {
+		t.Fatalf("Min-Skew error %.3f not better than Uniform %.3f", msErr, uErr)
+	}
+	sum, err := spatialest.SummarizeErrors(actual, msEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Queries != len(queries) {
+		t.Fatalf("summary queries = %d", sum.Queries)
+	}
+}
+
+func TestPublicAPIEstimators(t *testing.T) {
+	data := spatialest.UniformData(3000, 500, 2, 10, 7)
+	q := spatialest.NewRect(100, 100, 250, 250)
+	oracle := spatialest.NewOracle(data)
+	want := float64(oracle.Count(q))
+
+	build := []struct {
+		name string
+		est  func() (spatialest.Estimator, error)
+	}{
+		{"minskew", func() (spatialest.Estimator, error) {
+			return spatialest.NewMinSkew(data, spatialest.MinSkewOptions{Buckets: 40})
+		}},
+		{"equiarea", func() (spatialest.Estimator, error) { return spatialest.NewEquiArea(data, 40) }},
+		{"equicount", func() (spatialest.Estimator, error) { return spatialest.NewEquiCount(data, 40) }},
+		{"rtree", func() (spatialest.Estimator, error) {
+			return spatialest.NewRTreeHistogram(data, spatialest.RTreeHistogramOptions{Buckets: 40})
+		}},
+		{"sample", func() (spatialest.Estimator, error) { return spatialest.NewSample(data, 160, 1) }},
+		{"fractal", func() (spatialest.Estimator, error) { return spatialest.NewFractal(data, 2, 6) }},
+		{"uniform", func() (spatialest.Estimator, error) { return spatialest.NewUniform(data) }},
+	}
+	for _, b := range build {
+		est, err := b.est()
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		got := est.Estimate(q)
+		// On uniform data every technique should be within 2x of truth.
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s: estimate %.1f vs exact %.0f", b.name, got, want)
+		}
+	}
+}
+
+func TestPublicAPIRTree(t *testing.T) {
+	data := spatialest.Clusters(2000, 3, 1000, 0.05, 1, 8, 5)
+	tr := spatialest.NewRTree(16)
+	for i, r := range data.Rects() {
+		tr.Insert(r, i)
+	}
+	str := spatialest.STRLoad(data.Rects(), 16)
+	q := spatialest.NewRect(0, 0, 500, 500)
+	if tr.Count(q) != str.Count(q) {
+		t.Fatalf("dynamic (%d) and STR (%d) trees disagree", tr.Count(q), str.Count(q))
+	}
+	oracle := spatialest.NewOracle(data)
+	if tr.Count(q) != oracle.Count(q) {
+		t.Fatalf("index count %d != oracle %d", tr.Count(q), oracle.Count(q))
+	}
+}
+
+func TestPointQueryHelper(t *testing.T) {
+	q := spatialest.PointQuery(3, 4)
+	if q.Width() != 0 || q.Height() != 0 || q.MinX != 3 || q.MinY != 4 {
+		t.Fatalf("PointQuery = %v", q)
+	}
+}
+
+func TestRoadNetworkPublic(t *testing.T) {
+	cfg := spatialest.RoadNetworkConfig{Segments: 500, Space: 100, Cities: 3, UrbanShare: 0.5, HighwayShare: 0.2, Seed: 2}
+	d := spatialest.RoadNetwork(cfg)
+	if d.N() != 500 {
+		t.Fatalf("N = %d", d.N())
+	}
+	s := spatialest.Skewed(spatialest.SkewedDataConfig{N: 100, Space: 50, PlacementTheta: 1, MaxSide: 5, Seed: 3})
+	if s.N() != 100 {
+		t.Fatalf("skewed N = %d", s.N())
+	}
+	if got := spatialest.NJRoad(100).N(); got != 100 {
+		t.Fatalf("njroad N = %d", got)
+	}
+	if math.IsNaN(d.AvgWidth()) {
+		t.Fatal("NaN stats")
+	}
+}

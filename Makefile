@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments figures examples cover clean
+.PHONY: all build lint test race bench experiments figures examples cover clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# spatialvet: the repo's own analyzers (floatcmp, globalrand, locksafe,
+# errdrop, ctxfirst) enforcing numeric, concurrency and determinism
+# invariants. See DESIGN.md "Static analysis & invariants".
+lint:
+	$(GO) run ./cmd/spatialvet ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,142 @@
+// Command spatialvet is the repository's multichecker: it runs the
+// internal/analysis suite over the module and fails the build on any
+// finding. The analyzers enforce invariants go vet cannot see:
+//
+//	floatcmp    no raw ==/!= on floating-point geometry
+//	            (internal/geom, internal/core, internal/grid)
+//	globalrand  no math/rand global source in library code
+//	locksafe    no by-value lock copies, no Lock without Unlock
+//	errdrop     no silently dropped error results in library code
+//	ctxfirst    context.Context is always the first parameter
+//
+// Usage:
+//
+//	spatialvet [-list] [-only a,b] [packages...]
+//
+// With no package arguments it analyzes ./....
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/locksafe"
+)
+
+// scope decides which packages an analyzer applies to; path is the
+// import path relative to the module root ("" for the module's root
+// package).
+type scope func(rel string) bool
+
+func all(string) bool { return true }
+
+// library excludes binaries and runnable examples, where global rand
+// seeding and console error drops are conventional.
+func library(rel string) bool {
+	return !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/")
+}
+
+// numericCore is the floatcmp audit surface: the geometry primitives
+// and the estimator/grid hot paths whose numerics the paper's results
+// depend on.
+func numericCore(rel string) bool {
+	switch rel {
+	case "internal/geom", "internal/core", "internal/grid":
+		return true
+	}
+	return false
+}
+
+// suite is the analyzer registry with per-analyzer package scopes.
+var suite = []struct {
+	analyzer *analysis.Analyzer
+	applies  scope
+}{
+	{floatcmp.Analyzer, numericCore},
+	{globalrand.Analyzer, library},
+	{locksafe.Analyzer, all},
+	{errdrop.Analyzer, library},
+	{ctxfirst.Analyzer, all},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range suite {
+			fmt.Printf("%-12s %s\n", s.analyzer.Name, s.analyzer.Doc)
+		}
+		return
+	}
+
+	known := map[string]bool{}
+	for _, s := range suite {
+		known[s.analyzer.Name] = true
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if !known[name] {
+				// A typo'd -only must not silently run zero analyzers.
+				fmt.Fprintf(os.Stderr, "spatialvet: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			selected[name] = true
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modPath, err := analysis.ModulePath("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatialvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatialvet:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, modPath), "/")
+		var analyzers []*analysis.Analyzer
+		for _, s := range suite {
+			if len(selected) > 0 && !selected[s.analyzer.Name] {
+				continue
+			}
+			if s.applies(rel) {
+				analyzers = append(analyzers, s.analyzer)
+			}
+		}
+		if len(analyzers) == 0 {
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatialvet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "spatialvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

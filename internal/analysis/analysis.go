@@ -1,0 +1,146 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis. The repository
+// cannot vendor x/tools, so this package provides the minimal subset
+// the spatialvet analyzers need: an Analyzer descriptor, a per-package
+// Pass carrying syntax and type information, and Diagnostic reporting.
+//
+// Type information comes from the go toolchain itself: packages are
+// loaded with `go list -deps -export`, which yields compiler export
+// data for every dependency, and each analyzed package is parsed and
+// type-checked from source against those export files — the same
+// architecture as cmd/vet's unitchecker, without the vettool protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name is the analyzer identifier used in diagnostics, e.g.
+	// "floatcmp".
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces. The first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries everything an Analyzer needs to inspect one package.
+type Pass struct {
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files is the package's parsed syntax, test files excluded.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Path returns the package import path.
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the collected
+// diagnostics sorted by position, minus any suppressed by
+// //spatialvet:ignore directives. Analyzer errors (not findings) are
+// returned immediately.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	ignored := ignoreDirectives(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ignoreKey identifies one suppressed (file, line, analyzer) triple.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreDirectives scans the package's comments for
+//
+//	//spatialvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// directives. A directive suppresses the named analyzers on its own
+// line (trailing comment) and on the following line (directive on the
+// line above the offense). The reason is mandatory by convention but
+// not enforced.
+func ignoreDirectives(pkg *Package) map[ignoreKey]bool {
+	const prefix = "spatialvet:ignore"
+	ignored := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, prefix) {
+					continue
+				}
+				fields := strings.Fields(text[len(prefix):])
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					ignored[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return ignored
+}

@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over a testdata fixture
+// directory and checks its diagnostics against `// want "regexp"`
+// comments in the fixture source, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches the expectation comment tail: one or more Go-quoted
+// regular expressions after `// want`.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory, applies the analyzer, and reports
+// any mismatch between actual diagnostics and the fixture's want
+// comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, e.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation matching msg.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans every fixture file for want comments, keyed by
+// "file.go:line".
+func parseWants(dir string) (map[string][]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants := make(map[string][]*expectation)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, q := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want %s: %v", key, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+				}
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted extracts the double-quoted strings from a want comment
+// tail, e.g. `"a" "b"` -> ["\"a\"", "\"b\""].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+end+2])
+		s = rest[end+1:]
+	}
+}

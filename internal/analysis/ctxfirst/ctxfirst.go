@@ -1,0 +1,65 @@
+// Package ctxfirst enforces the Go convention that context.Context is
+// a function's first parameter. The roadmap's concurrent service work
+// threads cancellation through the estimator stack; a buried context
+// parameter is how deadlines get dropped.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxfirst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "flag functions whose context.Context parameter is not first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft = fn.Type
+			case *ast.FuncLit:
+				ft = fn.Type
+			default:
+				return true
+			}
+			check(pass, ft)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContext(pass.TypesInfo.TypeOf(field.Type)) && pos > 0 {
+			pass.Reportf(field.Type.Pos(),
+				"context.Context should be the first parameter of a function")
+		}
+		pos += width
+	}
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

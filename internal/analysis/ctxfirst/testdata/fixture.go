@@ -1,0 +1,29 @@
+// Fixture for the ctxfirst analyzer: buried context parameters are
+// flagged; context-first and context-free signatures are clean.
+package fixture
+
+import "context"
+
+func flagged(name string, ctx context.Context) { // want "first parameter"
+	_ = name
+	_ = ctx
+}
+
+type server struct{}
+
+func (s *server) flaggedMethod(id int, ctx context.Context) { // want "first parameter"
+	_ = id
+	_ = ctx
+}
+
+var flaggedLit = func(n int, ctx context.Context) { // want "first parameter"
+	_ = n
+	_ = ctx
+}
+
+func clean(ctx context.Context, name string) {
+	_ = ctx
+	_ = name
+}
+
+func noContext(a, b int) int { return a + b }

@@ -1,0 +1,157 @@
+// Package errdrop is an errcheck-lite: it flags call statements that
+// silently discard an error result in library code. Selectivity
+// estimates that survive a failed histogram write are worse than a
+// loud failure, so errors must be handled, propagated, or explicitly
+// discarded with `_ =`.
+//
+// Conventional no-fail sinks are exempt: fmt printing to stdout/stderr
+// or to in-memory/sticky-error writers (strings.Builder, bytes.Buffer,
+// bufio.Writer — whose Flush, which surfaces the latched error, is
+// still checked), and methods of those writers. Deferred calls
+// (`defer f.Close()`) are statements of cleanup intent, not dropped
+// results, and are not flagged. The spatialvet driver exempts cmd/
+// and examples/ packages; test files are never analyzed.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flag statements that discard an error result; handle it or assign to _",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || allowed(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s contains an unchecked error; handle it or discard with _ =",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// allowed reports whether the dropped error is conventional.
+func allowed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := callee(pass, call)
+	if fn == nil {
+		return false
+	}
+	pkg := fn.Pkg()
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Methods on in-memory / sticky-error writers never need per-call
+	// checks; their Flush (bufio) surfaces the latched error and is not
+	// exempt.
+	if sig != nil && sig.Recv() != nil {
+		if n := recvTypeName(sig.Recv().Type()); bufferedWriters[n] && fn.Name() != "Flush" {
+			return true
+		}
+		return false
+	}
+
+	// fmt printing to conventional sinks.
+	if pkg != nil && pkg.Path() == "fmt" {
+		name := fn.Name()
+		if name == "Print" || name == "Printf" || name == "Println" {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return writerAllowed(pass, call.Args[0])
+		}
+	}
+	return false
+}
+
+// bufferedWriters are receiver types whose write methods cannot
+// meaningfully fail per call.
+var bufferedWriters = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"bufio.Writer":    true,
+}
+
+// callee resolves the called function object, if statically known.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// recvTypeName renders a receiver type as "pkg.Name" regardless of
+// pointerness.
+func recvTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// writerAllowed reports whether the Fprint destination is a
+// conventional sink: stdout/stderr or an in-memory/sticky writer.
+func writerAllowed(pass *analysis.Pass, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	t := pass.TypesInfo.TypeOf(w)
+	if t == nil {
+		return false
+	}
+	return bufferedWriters[recvTypeName(t)]
+}

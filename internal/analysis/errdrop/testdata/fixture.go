@@ -1,0 +1,42 @@
+// Fixture for the errdrop analyzer: silently dropped errors are
+// flagged; handled, deferred, explicitly discarded, and conventional
+// no-fail sinks are clean.
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func flagged(f *os.File, bw *bufio.Writer) {
+	f.Close()           // want "unchecked error"
+	fmt.Fprintf(f, "x") // want "unchecked error"
+	os.Remove("gone")   // want "unchecked error"
+	bw.Flush()          // want "unchecked error"
+}
+
+func clean(f *os.File) error {
+	defer f.Close() // deferred cleanup is intent, not a dropped result
+
+	var sb strings.Builder
+	sb.WriteString("x")
+	fmt.Fprintf(&sb, "y")
+
+	var buf bytes.Buffer
+	buf.WriteByte('z')
+	fmt.Fprintln(&buf, "w")
+
+	bw := bufio.NewWriter(f)
+	fmt.Fprintf(bw, "sticky errors surface at Flush")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println(sb.String())
+	fmt.Fprintln(os.Stderr, "status")
+	_ = os.Remove("gone") // explicit discard acknowledges the error
+	return nil
+}

@@ -1,0 +1,75 @@
+// Package floatcmp flags raw == and != comparisons whose operands are
+// (or contain) floating-point values. The estimators' numeric
+// invariants — densities, count-weighted variances, MBR containment —
+// must not depend on exact float equality; the geom package provides
+// epsilon helpers (geom.FloatEq, geom.IsZero, geom.RectEq) instead.
+//
+// The NaN self-comparison idiom (x != x) is permitted, as are
+// comparisons folded at compile time (both operands constant).
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag raw ==/!= on floating-point expressions; use the geom epsilon helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt := pass.TypesInfo.Types[be.X]
+			yt := pass.TypesInfo.Types[be.Y]
+			// Both operands constant: folded at compile time.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			if !containsFloat(xt.Type, 0) && !containsFloat(yt.Type, 0) {
+				return true
+			}
+			// The NaN test idiom (x != x, x == x) is exact by design.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point equality: %s %s %s; use geom.FloatEq/geom.IsZero or an explicit tolerance",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+// containsFloat reports whether a value of type t involves a
+// floating-point component under comparison: a float basic type, or a
+// struct/array whose elements do.
+func containsFloat(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsFloat(u.Elem(), depth+1)
+	}
+	return false
+}

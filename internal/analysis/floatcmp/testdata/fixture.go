@@ -1,0 +1,46 @@
+// Fixture for the floatcmp analyzer: raw float equality is flagged,
+// epsilon/ordered/integer comparisons and the NaN idiom are clean.
+package fixture
+
+import "math"
+
+type vec struct{ x, y float64 }
+
+type pair struct{ a, b int }
+
+func flagged(a, b float64, v, w vec, f32 float32) bool {
+	if a == b { // want "floating-point equality"
+		return true
+	}
+	if a != 0 { // want "floating-point equality"
+		return true
+	}
+	if f32 == 1.5 { // want "floating-point equality"
+		return true
+	}
+	return v == w // want "floating-point equality"
+}
+
+func clean(a, b float64, i, j int, p, q pair) bool {
+	if i == j || p == q {
+		return false
+	}
+	if math.Abs(a-b) < 1e-9 {
+		return true
+	}
+	if a != a { // NaN self-test idiom is exact by design
+		return false
+	}
+	const c, d = 1.0, 2.0
+	if c == d { // both operands constant: folded at compile time
+		return false
+	}
+	if a == 1 { //spatialvet:ignore floatcmp suppression directive is honored
+		return true
+	}
+	//spatialvet:ignore floatcmp directive on the line above also counts
+	if b == 2 {
+		return false
+	}
+	return a < b
+}

@@ -1,0 +1,61 @@
+// Package globalrand flags use of math/rand's process-global source
+// in library code. Experiments must be reproducible from a seed: all
+// randomness flows through an injected *rand.Rand (constructed with
+// rand.New(rand.NewSource(seed))), never through the shared global
+// generator, which other packages and tests can perturb.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) and methods on
+// *rand.Rand are allowed; only the package-level sampling functions
+// that draw from the global source are flagged. The spatialvet driver
+// exempts cmd/ and examples/ packages, and test files are never
+// analyzed.
+package globalrand
+
+import (
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the globalrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "flag math/rand global-source draws in library code; inject a seeded *rand.Rand",
+	Run:  run,
+}
+
+// globalFns are the package-level math/rand (and math/rand/v2)
+// functions that consume the global source.
+var globalFns = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true, "N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			continue
+		}
+		// Methods on *rand.Rand are the injected, reproducible path.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue
+		}
+		if !globalFns[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"rand.%s draws from math/rand's global source; inject a seeded *rand.Rand for reproducibility",
+			fn.Name())
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Fixture for the globalrand analyzer: global-source draws are
+// flagged, injected *rand.Rand construction and use are clean.
+package fixture
+
+import "math/rand"
+
+func flagged() float64 {
+	rand.Seed(42)                      // want "global source"
+	_ = rand.Intn(10)                  // want "global source"
+	_ = rand.Perm(5)                   // want "global source"
+	_ = rand.NormFloat64()             // want "global source"
+	rand.Shuffle(2, func(i, j int) {}) // want "global source"
+	return rand.Float64()              // want "global source"
+}
+
+func clean(rng *rand.Rand) float64 {
+	local := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(local, 1.1, 1, 100)
+	_ = z.Uint64()
+	_ = local.Intn(10)
+	return rng.Float64()
+}

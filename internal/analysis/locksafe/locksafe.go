@@ -1,0 +1,153 @@
+// Package locksafe flags the two mutex mistakes that matter most for
+// the concurrent packages (catalog, feedback, grid): sync primitives
+// copied by value (a copied mutex guards nothing), and Lock/RLock
+// calls in functions that contain no matching Unlock/RUnlock on the
+// same lock expression (a structural leak that deadlocks under load).
+//
+// The pairing check is intra-procedural and textual: a function that
+// calls mu.Lock() must somewhere — deferred or inline, on any path —
+// call mu.Unlock(). Lock handoff across functions is not used in this
+// codebase and is reported so it stays that way.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag sync primitives copied by value and Lock calls without a matching Unlock",
+	Run:  run,
+}
+
+// lockTypes are the sync types that must never be copied once used.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkCopies(pass, fn.Recv, "receiver")
+				if fn.Type != nil {
+					checkCopies(pass, fn.Type.Params, "parameter")
+					checkCopies(pass, fn.Type.Results, "result")
+				}
+				if fn.Body != nil {
+					checkBalance(pass, fn)
+				}
+			case *ast.FuncLit:
+				checkCopies(pass, fn.Type.Params, "parameter")
+				checkCopies(pass, fn.Type.Results, "result")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCopies reports fields whose (non-pointer) type contains a sync
+// primitive.
+func checkCopies(pass *analysis.Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if name := lockIn(t, 0); name != "" {
+			pass.Reportf(field.Type.Pos(),
+				"%s passes %s by value; locks must be shared by pointer", kind, name)
+		}
+	}
+}
+
+// lockIn returns the description of a sync primitive reachable by
+// value inside t, or "".
+func lockIn(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockIn(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// checkBalance verifies every Lock/RLock in fn has a matching
+// Unlock/RUnlock on the same expression somewhere in the function
+// (closures included: a deferred closure that unlocks counts).
+func checkBalance(pass *analysis.Pass, fn *ast.FuncDecl) {
+	type acquire struct {
+		pos  token.Pos
+		name string
+	}
+	locks := make(map[string]acquire)
+	released := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || method.Pkg() == nil || method.Pkg().Path() != "sync" {
+			return true
+		}
+		root := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Lock":
+			key := root + ":w"
+			if _, seen := locks[key]; !seen {
+				locks[key] = acquire{pos: sel.Pos(), name: root + ".Lock"}
+			}
+		case "RLock":
+			key := root + ":r"
+			if _, seen := locks[key]; !seen {
+				locks[key] = acquire{pos: sel.Pos(), name: root + ".RLock"}
+			}
+		case "Unlock":
+			released[root+":w"] = true
+		case "RUnlock":
+			released[root+":r"] = true
+		}
+		return true
+	})
+	for key, acq := range locks {
+		if !released[key] {
+			pass.Reportf(acq.pos,
+				"%s() without a matching %s in the same function; use defer or release on every path",
+				acq.name, unlockName(key))
+		}
+	}
+}
+
+func unlockName(key string) string {
+	if key[len(key)-1] == 'r' {
+		return "RUnlock"
+	}
+	return "Unlock"
+}

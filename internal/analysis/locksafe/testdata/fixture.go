@@ -1,0 +1,66 @@
+// Fixture for the locksafe analyzer: by-value lock copies and
+// unreleased Locks are flagged; defer/inline release patterns are
+// clean.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // want "parameter passes sync.Mutex by value"
+	return g.n
+}
+
+func (g guarded) byValueReceiver() int { // want "receiver passes sync.Mutex by value"
+	return g.n
+}
+
+func byValueResult() (m sync.RWMutex) { // want "result passes sync.RWMutex by value"
+	return
+}
+
+func wgByValue(wg sync.WaitGroup) { // want "parameter passes sync.WaitGroup by value"
+	wg.Wait()
+}
+
+func leak(g *guarded) {
+	g.mu.Lock() // want "without a matching Unlock"
+	g.n++
+}
+
+func leakRead(mu *sync.RWMutex, g *guarded) int {
+	mu.RLock() // want "without a matching RUnlock"
+	return g.n
+}
+
+func cleanDefer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func cleanInline(g *guarded, mu *sync.RWMutex) int {
+	mu.RLock()
+	n := g.n
+	mu.RUnlock()
+
+	g.mu.Lock()
+	g.n = n + 1
+	g.mu.Unlock()
+	return n
+}
+
+func cleanClosure(g *guarded) {
+	g.mu.Lock()
+	defer func() { g.mu.Unlock() }()
+	g.n++
+}
+
+func cleanPointers(g *guarded, mu *sync.Mutex, wg *sync.WaitGroup) {
+	wg.Wait()
+	_ = g
+	_ = mu
+}

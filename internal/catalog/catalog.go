@@ -85,9 +85,13 @@ func (c *Catalog) Analyze(name string, d *dataset.Distribution) error {
 // Estimate returns the estimated result size of q against the named
 // attribute's statistics.
 func (c *Catalog) Estimate(name string, q geom.Rect) (float64, error) {
+	// The read lock must cover the histogram walk itself, not just the
+	// map lookup: NoteInsert/NoteDelete mutate bucket state under the
+	// write lock, and BucketEstimator's maintenance contract requires
+	// external synchronization against concurrent Estimates.
 	c.mu.RLock()
+	defer c.mu.RUnlock()
 	hist, ok := c.stats[name]
-	c.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("catalog: no statistics for %q", name)
 	}
@@ -173,7 +177,7 @@ func (c *Catalog) Save(dir string) error {
 			return fmt.Errorf("catalog: save %q: %v", name, err)
 		}
 		if _, err := hist.WriteTo(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return fmt.Errorf("catalog: save %q: %v", name, err)
 		}
 		if err := f.Close(); err != nil {
@@ -204,7 +208,7 @@ func (c *Catalog) Load(dir string) error {
 			return fmt.Errorf("catalog: load %q: %v", name, err)
 		}
 		hist, err := core.ReadHistogram(f)
-		f.Close()
+		_ = f.Close() // read-only file; the parse error is what matters
 		if err != nil {
 			return fmt.Errorf("catalog: load %q: %v", name, err)
 		}

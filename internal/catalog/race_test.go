@@ -1,0 +1,114 @@
+package catalog
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+// TestCatalogRaceStress drives every catalog entry point from
+// concurrent goroutines: estimators and staleness probes read while
+// churn notes, re-analyzes, drops, and save/load cycles write. Under
+// -race this exercises the catalog's lock discipline across every
+// reader/writer pairing, including Estimate (which must hold the read
+// lock across the histogram walk, not just the map lookup).
+func TestCatalogRaceStress(t *testing.T) {
+	d := synthetic.Uniform(2000, 1000, 1, 20, 7)
+	c := New(Config{Buckets: 40, Regions: 400})
+	if err := c.Analyze("roads", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze("rivers", d); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	var wg sync.WaitGroup
+
+	// Readers: estimates, staleness probes, listings.
+	for p := 0; p < 6; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				x, y := rng.Float64()*1000, rng.Float64()*1000
+				q := geom.NewRect(x, y, x+50, y+50)
+				if est, err := c.Estimate("roads", q); err == nil && est < 0 {
+					t.Errorf("negative estimate %g", est)
+					return
+				}
+				c.Stale("roads")
+				c.Names()
+				c.Histogram("rivers")
+			}
+		}(int64(p))
+	}
+
+	// Churn writers: inserts and deletes against both attributes.
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < 400; i++ {
+				x, y := rng.Float64()*1000, rng.Float64()*1000
+				r := geom.NewRect(x, y, x+rng.Float64()*20, y+rng.Float64()*20)
+				if i%3 == 0 {
+					c.NoteDelete("roads", r)
+				} else {
+					c.NoteInsert("roads", r)
+				}
+				c.NoteInsert("rivers", r)
+			}
+		}(int64(p))
+	}
+
+	// Rebuilder: re-analyzes and drops/recreates a third attribute.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := c.Analyze("roads", d); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.Analyze("parcels", d); err != nil {
+				t.Error(err)
+				return
+			}
+			c.Drop("parcels")
+		}
+	}()
+
+	// Persister: save/load cycles against a temp directory.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := c.Save(dir); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.Load(dir); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The catalog must still answer coherently after the storm.
+	names := c.Names()
+	if len(names) < 2 || names[0] != "parcels" && !strings.HasPrefix(names[0], "r") {
+		t.Fatalf("unexpected names after stress: %v", names)
+	}
+	if _, err := c.Estimate("roads", geom.NewRect(0, 0, 1000, 1000)); err != nil {
+		t.Fatalf("whole-space estimate after stress: %v", err)
+	}
+}

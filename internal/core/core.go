@@ -71,7 +71,7 @@ func (b Bucket) Estimate(q geom.Rect) float64 {
 	if b.Count == 0 {
 		return 0
 	}
-	if q.Area() == 0 && q.Width() == 0 && q.Height() == 0 {
+	if geom.IsZero(q.Area()) && geom.IsZero(q.Width()) && geom.IsZero(q.Height()) {
 		// Point query: the expected number of rectangles covering a
 		// point equals the average spatial density (Section 3.1).
 		if b.Box.ContainsPoint(geom.Point{X: q.MinX, Y: q.MinY}) {
@@ -87,7 +87,7 @@ func (b Bucket) Estimate(q geom.Rect) float64 {
 		return 0
 	}
 	boxArea := b.Box.Area()
-	if boxArea == 0 {
+	if geom.IsZero(boxArea) {
 		// Degenerate bucket (all centers collinear or identical): every
 		// rectangle is assumed to intersect any query whose extended
 		// region touches the box.

@@ -63,7 +63,7 @@ func distinctProjected(d *dataset.Distribution, members []int32, xAxis bool) int
 	sort.Float64s(vals)
 	n := 0
 	for i, v := range vals {
-		if i == 0 || v != vals[i-1] {
+		if i == 0 || !geom.FloatEq(v, vals[i-1]) {
 			n++
 		}
 	}
@@ -105,14 +105,14 @@ func medianCut(d *dataset.Distribution, members []int32, xAxis bool) (float64, b
 		}
 	}
 	sort.Float64s(vals)
-	if vals[0] == vals[len(vals)-1] {
+	if geom.FloatEq(vals[0], vals[len(vals)-1]) {
 		return 0, false
 	}
 	// The ideal cut is after the midpoint; move it to the nearest value
 	// boundary so both sides are non-empty.
 	mid := len(vals) / 2
 	cut := vals[mid-1]
-	if cut == vals[len(vals)-1] {
+	if geom.FloatEq(cut, vals[len(vals)-1]) {
 		// Everything from mid-1 up is the same value; cut below it.
 		for i := mid - 1; i >= 0; i-- {
 			if vals[i] < cut {

@@ -22,6 +22,13 @@ type SampleEstimator struct {
 // replacement) from d using the given seed. A size of at least the
 // input keeps everything, making the estimator exact.
 func NewSample(d *dataset.Distribution, size int, seed int64) (*SampleEstimator, error) {
+	return NewSampleRand(d, size, rand.New(rand.NewSource(seed)))
+}
+
+// NewSampleRand is NewSample drawing from an injected generator, so a
+// single seeded *rand.Rand can drive a whole experiment pipeline
+// reproducibly.
+func NewSampleRand(d *dataset.Distribution, size int, rng *rand.Rand) (*SampleEstimator, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("core: sample size %d < 1", size)
 	}
@@ -31,7 +38,6 @@ func NewSample(d *dataset.Distribution, size int, seed int64) (*SampleEstimator,
 	if size > d.N() {
 		size = d.N()
 	}
-	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(d.N())
 	sample := make([]geom.Rect, size)
 	for i := 0; i < size; i++ {

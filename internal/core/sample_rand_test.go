@@ -1,0 +1,31 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/synthetic"
+)
+
+// NewSampleRand with a generator seeded like the seed argument must
+// reproduce NewSample exactly.
+func TestNewSampleRandMatchesSeeded(t *testing.T) {
+	d := synthetic.Uniform(1000, 1000, 1, 20, 5)
+
+	seeded, err := NewSample(d, 100, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := NewSampleRand(d, 100, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Size() != injected.Size() {
+		t.Fatalf("sample sizes differ: %d vs %d", seeded.Size(), injected.Size())
+	}
+	for i := range seeded.sample {
+		if seeded.sample[i] != injected.sample[i] {
+			t.Fatalf("sample %d differs: %v != %v", i, seeded.sample[i], injected.sample[i])
+		}
+	}
+}

@@ -34,7 +34,9 @@ type Distribution struct {
 func New(rects []geom.Rect) *Distribution {
 	d := &Distribution{rects: make([]geom.Rect, 0, len(rects))}
 	for _, r := range rects {
-		d.Add(r)
+		// Invalid rectangles are skipped; callers that need loud
+		// validation use Add directly.
+		_ = d.Add(r)
 	}
 	return d
 }

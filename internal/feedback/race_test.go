@@ -1,0 +1,81 @@
+package feedback
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+// TestFeedbackRaceStress interleaves Estimate, Observe, and
+// Observations from concurrent goroutines. Under -race this covers the
+// correction-grid lock discipline: observations rewrite factors under
+// the write lock while estimators average them under the read lock.
+func TestFeedbackRaceStress(t *testing.T) {
+	d := synthetic.Charminar(3000, 1000, 10, 5)
+	base, err := core.NewMinSkew(d, core.MinSkewConfig{Buckets: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbr, ok := d.MBR()
+	if !ok {
+		t.Fatal("empty dataset MBR")
+	}
+	f, err := New(base, mbr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.Generate(d, workload.Config{Count: 200, QSize: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+
+	// Estimators: read the correction surface continuously.
+	for p := 0; p < 6; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 600; i++ {
+				q := queries[rng.Intn(len(queries))]
+				if est := f.Estimate(q); est < 0 {
+					t.Errorf("negative estimate %g for %v", est, q)
+					return
+				}
+				f.Observations()
+			}
+		}(int64(p))
+	}
+
+	// Observers: fold synthetic feedback into the surface.
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			for i := 0; i < 300; i++ {
+				q := queries[rng.Intn(len(queries))]
+				f.Observe(q, rng.Intn(500))
+			}
+		}(int64(p))
+	}
+
+	wg.Wait()
+
+	if got := f.Observations(); got != 4*300 {
+		t.Fatalf("Observations() = %d, want %d", got, 4*300)
+	}
+	// Factors must have stayed within the configured clamp.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for i, v := range f.factors {
+		if v < f.cfg.MinFactor || v > f.cfg.MaxFactor {
+			t.Fatalf("factor %d = %g escaped clamp [%g,%g]", i, v, f.cfg.MinFactor, f.cfg.MaxFactor)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package geom
+
+import "math"
+
+// Tolerances for approximate floating-point comparison. The estimators
+// never need exact float equality: query/bucket boundaries coincide
+// only up to rounding in coordinate transforms, and densities are sums
+// of many terms. EpsAbs decides closeness to zero (degenerate extents,
+// zero areas); EpsRel scales with magnitude for large coordinates.
+// Both are far below any meaningful geometric resolution, so switching
+// a raw == to these helpers never changes a correct comparison — it
+// only stops last-bit rounding from flipping a boundary decision.
+const (
+	EpsAbs = 1e-12
+	EpsRel = 1e-12
+)
+
+// FloatEq reports whether a and b are equal within the combined
+// absolute/relative tolerance. NaN equals nothing; infinities equal
+// themselves.
+func FloatEq(a, b float64) bool {
+	if a == b { //spatialvet:ignore floatcmp exact fast path anchors the epsilon helpers
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) || math.IsNaN(diff) {
+		// Distinct infinities, or NaN operands: never equal (equal
+		// infinities took the fast path above).
+		return false
+	}
+	if diff <= EpsAbs {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= m*EpsRel
+}
+
+// IsZero reports whether v is zero within the absolute tolerance.
+func IsZero(v float64) bool {
+	return math.Abs(v) <= EpsAbs
+}
+
+// PointEq reports whether p and q coincide within tolerance.
+func PointEq(p, q Point) bool {
+	return FloatEq(p.X, q.X) && FloatEq(p.Y, q.Y)
+}
+
+// RectEq reports whether r and s have the same corners within
+// tolerance.
+func RectEq(r, s Rect) bool {
+	return FloatEq(r.MinX, s.MinX) && FloatEq(r.MinY, s.MinY) &&
+		FloatEq(r.MaxX, s.MaxX) && FloatEq(r.MaxY, s.MaxY)
+}

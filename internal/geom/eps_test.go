@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloatEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{0.1 + 0.2, 0.3, true},                // classic rounding
+		{1e16, 1e16 + 2, true},                // relative tolerance at scale
+		{1, 1 + 1e-6, false},                  // a real difference
+		{0, 1e-13, true},                      // absolute tolerance near zero
+		{0, 1e-9, false},                      // beyond absolute tolerance
+		{math.Inf(1), math.Inf(1), true},      // infinities equal themselves
+		{math.Inf(1), math.Inf(-1), false},    //
+		{math.Inf(1), math.MaxFloat64, false}, //
+		{math.NaN(), math.NaN(), false},       // NaN equals nothing
+		{math.NaN(), 0, false},                //
+		{-0.0, 0.0, true},                     // signed zero
+		{1.0 / 3.0, (1.0 - 2.0/3.0), true},    // algebraically equal
+		{10000.0, 10000.0 + 2e-9, true},       // rounding at dataset scale
+		{10000.0, 10001.0, false},             //
+	}
+	for _, c := range cases {
+		if got := FloatEq(c.a, c.b); got != c.want {
+			t.Errorf("FloatEq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	for _, v := range []float64{0, 1e-13, -1e-13} {
+		if !IsZero(v) {
+			t.Errorf("IsZero(%g) = false, want true", v)
+		}
+	}
+	for _, v := range []float64{1e-9, -1e-9, 1, math.Inf(1), math.NaN()} {
+		if IsZero(v) {
+			t.Errorf("IsZero(%g) = true, want false", v)
+		}
+	}
+}
+
+// Degenerate rectangles — points and segments — must classify as
+// zero-area under the epsilon helpers, exactly as the paper's point
+// queries require.
+func TestIsZeroDegenerateRects(t *testing.T) {
+	pt := PointRect(Point{X: 3, Y: 4})
+	if !IsZero(pt.Area()) || !IsZero(pt.Width()) || !IsZero(pt.Height()) {
+		t.Errorf("point rectangle %v should have zero area/extent", pt)
+	}
+	seg := NewRect(0, 2, 10, 2) // horizontal segment
+	if !IsZero(seg.Area()) || !IsZero(seg.Height()) {
+		t.Errorf("segment %v should have zero area and height", seg)
+	}
+	if IsZero(seg.Width()) {
+		t.Errorf("segment %v has nonzero width", seg)
+	}
+	// A sliver below tolerance is zero; above tolerance it is not.
+	sliver := NewRect(0, 0, 1, 1e-13)
+	if !IsZero(sliver.Area()) {
+		t.Errorf("sliver %v area should be ~0", sliver)
+	}
+	thin := NewRect(0, 0, 1, 1e-6)
+	if IsZero(thin.Area()) {
+		t.Errorf("thin %v area should not be ~0", thin)
+	}
+}
+
+// Touching edges: rectangles sharing only a boundary intersect (the
+// paper's closed-region definition) with zero intersection area, and
+// the shared coordinate compares equal under FloatEq even when it is
+// reached by different arithmetic.
+func TestTouchingEdges(t *testing.T) {
+	left := NewRect(0, 0, 1, 1)
+	right := NewRect(1, 0, 2, 1)
+	if !left.Intersects(right) {
+		t.Fatalf("%v and %v share an edge and must intersect", left, right)
+	}
+	if !IsZero(left.IntersectionArea(right)) {
+		t.Errorf("edge-touching intersection area = %g, want ~0", left.IntersectionArea(right))
+	}
+	inter, ok := left.Intersection(right)
+	if !ok {
+		t.Fatalf("edge-touching Intersection reported empty")
+	}
+	if !IsZero(inter.Area()) || !FloatEq(inter.MinX, 1) || !FloatEq(inter.MaxX, 1) {
+		t.Errorf("edge intersection = %v, want degenerate at x=1", inter)
+	}
+
+	// The same boundary computed two ways (0.1*10 vs 1.0) differs in
+	// the last bits; FloatEq must still identify it.
+	b := 0.0
+	for i := 0; i < 10; i++ {
+		b += 0.1
+	}
+	if b == 1.0 { //spatialvet:ignore floatcmp demonstrating the rounding this package guards against
+		t.Logf("platform happened to round 10*0.1 to exactly 1")
+	}
+	if !FloatEq(b, 1.0) {
+		t.Errorf("FloatEq(%.17g, 1) = false, want true", b)
+	}
+	shifted := NewRect(b, 0, 2, 1)
+	if !left.Intersects(shifted) {
+		t.Errorf("rectangle at accumulated boundary %v should touch %v", shifted, left)
+	}
+
+	// Corner touching: a single shared point still intersects.
+	corner := NewRect(1, 1, 2, 2)
+	if !left.Intersects(corner) {
+		t.Errorf("%v and %v share a corner and must intersect", left, corner)
+	}
+}
+
+func TestRectPointEq(t *testing.T) {
+	r := NewRect(0, 0, 1, 1)
+	s := NewRect(0, 0, 1, 1+5e-13)
+	if !RectEq(r, s) {
+		t.Errorf("RectEq(%v, %v) = false, want true", r, s)
+	}
+	if RectEq(r, NewRect(0, 0, 1, 1.1)) {
+		t.Errorf("RectEq should reject a real difference")
+	}
+	if !PointEq(Point{1, 2}, Point{1 + 1e-13, 2}) {
+		t.Errorf("PointEq should tolerate sub-epsilon drift")
+	}
+	if PointEq(Point{1, 2}, Point{1.01, 2}) {
+		t.Errorf("PointEq should reject a real difference")
+	}
+}

@@ -225,10 +225,10 @@ func (g *Grid) SumSq(b Block) float64 {
 // their densities, i.e. the sum of squared deviations from the block
 // mean. It is never negative.
 func (g *Grid) Skew(b Block) float64 {
-	n := float64(b.Cells())
-	if n == 0 {
+	if b.Cells() == 0 {
 		return 0
 	}
+	n := float64(b.Cells())
 	s := g.Sum(b)
 	sse := g.SumSq(b) - s*s/n
 	if sse < 0 {

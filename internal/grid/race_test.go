@@ -1,0 +1,98 @@
+package grid
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// TestBuildParallelRaceStress hammers BuildOverParallel from many
+// goroutines with varying worker counts over shared input, checking
+// every result against the sequential build. Run under -race this
+// exercises the worker sharding and the partial-sum merge.
+func TestBuildParallelRaceStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	rects := make([]geom.Rect, 0, 8000)
+	for i := 0; i < 8000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*15, y+rng.Float64()*15))
+	}
+	d := dataset.New(rects)
+	mbr, ok := d.MBR()
+	if !ok {
+		t.Fatal("empty dataset MBR")
+	}
+	want, err := BuildOver(d.Rects(), mbr, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 1; w <= 8; w++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				g, err := BuildOverParallel(d.Rects(), mbr, 48, 48, workers)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for c := range g.dens {
+					// Densities are rectangle counts, so the parallel
+					// merge must agree with the sequential sweep exactly.
+					if g.dens[c] != want.dens[c] { //spatialvet:ignore floatcmp integer-valued counts
+						t.Errorf("workers=%d cell %d: got %g, want %g", workers, c, g.dens[c], want.dens[c])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGridConcurrentEstimates checks that a built grid is safe for
+// concurrent read-only estimation (the query-time contract).
+func TestGridConcurrentEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	rects := make([]geom.Rect, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		rects = append(rects, geom.NewRect(x, y, x+1, y+1))
+	}
+	g := buildTest(t, rects, 32, 32)
+
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(seed))
+			full := g.FullBlock()
+			for i := 0; i < 500; i++ {
+				x0, y0 := local.Intn(g.NX()), local.Intn(g.NY())
+				b := Block{X0: x0, Y0: y0, X1: x0 + local.Intn(g.NX()-x0), Y1: y0 + local.Intn(g.NY()-y0)}
+				if s := g.Sum(b); s < 0 || s > g.Sum(full) {
+					t.Errorf("block sum %g out of range for %+v", s, b)
+					return
+				}
+				if sk := g.Skew(b); sk < -1e-9 {
+					t.Errorf("negative skew %g for %+v", sk, b)
+					return
+				}
+				g.MarginalX(b, nil)
+				g.MarginalY(b, nil)
+			}
+		}(int64(p))
+	}
+	wg.Wait()
+}

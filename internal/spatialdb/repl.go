@@ -25,6 +25,32 @@ type REPL struct {
 	Quit bool
 }
 
+// errWriter wraps the command output writer and latches the first
+// write error, so command code can print freely and surface the
+// failure once at the end.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...interface{}) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	}
+}
+
+func (ew *errWriter) println(args ...interface{}) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintln(ew.w, args...)
+	}
+}
+
+func (ew *errWriter) print(args ...interface{}) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprint(ew.w, args...)
+	}
+}
+
 // Help is the REPL command reference.
 const Help = `commands:
   gen <table> charminar|njroad|uniform <n>   generate a table
@@ -46,31 +72,32 @@ const Help = `commands:
 
 // Exec runs one command line.
 func (r *REPL) Exec(line string, w io.Writer) error {
+	ew := &errWriter{w: w}
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-		return nil
+		return ew.err
 	}
 	cmd, args := strings.ToLower(fields[0]), fields[1:]
 	switch cmd {
 	case "help":
-		fmt.Fprintln(w, Help)
-		return nil
+		ew.println(Help)
+		return ew.err
 	case "quit", "exit":
 		r.Quit = true
-		return nil
+		return ew.err
 	case "ls":
 		for _, name := range r.DB.Tables() {
 			s, err := r.DB.Stats(name)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%s: %d rows, %s\n", name, s.Rows, s.IndexInfo)
+			ew.printf("%s: %d rows, %s\n", name, s.Rows, s.IndexInfo)
 		}
-		return nil
+		return ew.err
 	case "gen":
-		return r.gen(args, w)
+		return r.gen(args, ew)
 	case "load":
-		return r.load(args, w)
+		return r.load(args, ew)
 	case "analyze":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: analyze <table>")
@@ -82,8 +109,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "analyzed %s: %d buckets\n", args[0], s.Buckets)
-		return nil
+		ew.printf("analyzed %s: %d buckets\n", args[0], s.Buckets)
+		return ew.err
 	case "explain":
 		name, q, err := tableAndRect(args)
 		if err != nil {
@@ -93,8 +120,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(w, plan)
-		return nil
+		ew.println(plan)
+		return ew.err
 	case "count":
 		name, q, err := tableAndRect(args)
 		if err != nil {
@@ -104,10 +131,10 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(w, n)
-		return nil
+		ew.println(n)
+		return ew.err
 	case "select":
-		return r.sel(args, w)
+		return r.sel(args, ew)
 	case "insert":
 		name, q, err := tableAndRect(args)
 		if err != nil {
@@ -116,8 +143,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err := r.DB.Insert(name, q); err != nil {
 			return err
 		}
-		fmt.Fprintln(w, "inserted 1")
-		return nil
+		ew.println("inserted 1")
+		return ew.err
 	case "delete":
 		name, q, err := tableAndRect(args)
 		if err != nil {
@@ -127,8 +154,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "deleted %d\n", n)
-		return nil
+		ew.printf("deleted %d\n", n)
+		return ew.err
 	case "feedback":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: feedback <table>")
@@ -136,8 +163,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err := r.DB.EnableFeedback(args[0]); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "feedback learning enabled for %s\n", args[0])
-		return nil
+		ew.printf("feedback learning enabled for %s\n", args[0])
+		return ew.err
 	case "knn":
 		if len(args) != 4 {
 			return fmt.Errorf("usage: knn <table> <x> <y> <k>")
@@ -153,10 +180,10 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 			return err
 		}
 		for _, nb := range nbs {
-			fmt.Fprintf(w, "%v dist=%.3f\n", nb.Rect, nb.Dist)
+			ew.printf("%v dist=%.3f\n", nb.Rect, nb.Dist)
 		}
-		fmt.Fprintf(w, "(%d rows)\n", len(nbs))
-		return nil
+		ew.printf("(%d rows)\n", len(nbs))
+		return ew.err
 	case "join":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: join <table-a> <table-b>")
@@ -165,8 +192,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "estimated join cardinality: %.1f\n", est)
-		return nil
+		ew.printf("estimated join cardinality: %.1f\n", est)
+		return ew.err
 	case "stats":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: stats <table>")
@@ -175,14 +202,14 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s: rows=%d deleted=%d index=%s", s.Name, s.Rows, s.Deleted, s.IndexInfo)
+		ew.printf("%s: rows=%d deleted=%d index=%s", s.Name, s.Rows, s.Deleted, s.IndexInfo)
 		if s.HasHist {
-			fmt.Fprintf(w, " hist=%d-buckets stale=%.2f rebuild=%v", s.Buckets, s.Stale, s.NeedsScan)
+			ew.printf(" hist=%d-buckets stale=%.2f rebuild=%v", s.Buckets, s.Stale, s.NeedsScan)
 		} else {
-			fmt.Fprint(w, " hist=none")
+			ew.print(" hist=none")
 		}
-		fmt.Fprintln(w)
-		return nil
+		ew.println()
+		return ew.err
 	case "drop":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: drop <table>")
@@ -190,14 +217,14 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 		if err := r.DB.Drop(args[0]); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "dropped %s\n", args[0])
-		return nil
+		ew.printf("dropped %s\n", args[0])
+		return ew.err
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
 }
 
-func (r *REPL) gen(args []string, w io.Writer) error {
+func (r *REPL) gen(args []string, ew *errWriter) error {
 	if len(args) != 3 {
 		return fmt.Errorf("usage: gen <table> charminar|njroad|uniform <n>")
 	}
@@ -220,11 +247,11 @@ func (r *REPL) gen(args []string, w io.Writer) error {
 	if err := r.DB.Create(name, d); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "created %s with %d rows\n", name, d.N())
-	return nil
+	ew.printf("created %s with %d rows\n", name, d.N())
+	return ew.err
 }
 
-func (r *REPL) load(args []string, w io.Writer) error {
+func (r *REPL) load(args []string, ew *errWriter) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: load <table> <path>")
 	}
@@ -236,13 +263,17 @@ func (r *REPL) load(args []string, w io.Writer) error {
 		var f *os.File
 		if f, err = os.Open(path); err == nil {
 			d, err = wkt.ReadDataset(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	case strings.HasSuffix(path, ".json"), strings.HasSuffix(path, ".geojson"):
 		var f *os.File
 		if f, err = os.Open(path); err == nil {
 			d, err = geojson.ReadDataset(f)
-			f.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
 	default:
 		d, err = dataset.Load(path)
@@ -253,11 +284,11 @@ func (r *REPL) load(args []string, w io.Writer) error {
 	if err := r.DB.Create(name, d); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "created %s with %d rows\n", name, d.N())
-	return nil
+	ew.printf("created %s with %d rows\n", name, d.N())
+	return ew.err
 }
 
-func (r *REPL) sel(args []string, w io.Writer) error {
+func (r *REPL) sel(args []string, ew *errWriter) error {
 	limit := 10
 	if len(args) == 6 {
 		v, err := strconv.Atoi(args[5])
@@ -276,10 +307,10 @@ func (r *REPL) sel(args []string, w io.Writer) error {
 		return err
 	}
 	for _, row := range rows {
-		fmt.Fprintln(w, row)
+		ew.println(row)
 	}
-	fmt.Fprintf(w, "(%d rows)\n", len(rows))
-	return nil
+	ew.printf("(%d rows)\n", len(rows))
+	return ew.err
 }
 
 // tableAndRect parses "<table> x1 y1 x2 y2".
@@ -301,11 +332,15 @@ func tableAndRect(args []string) (string, geom.Rect, error) {
 // Run reads commands until EOF or quit, printing errors to w without
 // stopping (interactive semantics).
 func (r *REPL) Run(in io.Reader, w io.Writer) error {
+	ew := &errWriter{w: w}
 	sc := bufio.NewScanner(in)
 	for !r.Quit && sc.Scan() {
 		if err := r.Exec(sc.Text(), w); err != nil {
-			fmt.Fprintf(w, "error: %v\n", err)
+			ew.printf("error: %v\n", err)
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return ew.err
 }

@@ -23,7 +23,11 @@ import (
 // densities and a light uniform background in the middle. The paper's
 // instance is Charminar(40000, 10000, 100, seed).
 func Charminar(n int, space, size float64, seed int64) *dataset.Distribution {
-	rng := rand.New(rand.NewSource(seed))
+	return CharminarRand(rand.New(rand.NewSource(seed)), n, space, size)
+}
+
+// CharminarRand is Charminar drawing from an injected generator.
+func CharminarRand(rng *rand.Rand, n int, space, size float64) *dataset.Distribution {
 	rects := make([]geom.Rect, 0, n)
 
 	// Corner cluster weights differ so the corners have varying levels
@@ -98,7 +102,11 @@ func clampedRect(p geom.Point, w, h, space float64) geom.Rect {
 // Uniform generates n rectangles with centers uniform in
 // [0,space]^2 and sides uniform in [minSide, maxSide].
 func Uniform(n int, space, minSide, maxSide float64, seed int64) *dataset.Distribution {
-	rng := rand.New(rand.NewSource(seed))
+	return UniformRand(rand.New(rand.NewSource(seed)), n, space, minSide, maxSide)
+}
+
+// UniformRand is Uniform drawing from an injected generator.
+func UniformRand(rng *rand.Rand, n int, space, minSide, maxSide float64) *dataset.Distribution {
 	rects := make([]geom.Rect, n)
 	for i := range rects {
 		w := minSide + rng.Float64()*(maxSide-minSide)
@@ -129,7 +137,12 @@ type SkewConfig struct {
 // placement skew and Zipf size skew per the paper's synthetic data
 // methodology.
 func Skewed(cfg SkewConfig) *dataset.Distribution {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return SkewedRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// SkewedRand is Skewed drawing from an injected generator; cfg.Seed is
+// ignored in favor of the generator's state.
+func SkewedRand(rng *rand.Rand, cfg SkewConfig) *dataset.Distribution {
 	placement := NewZipf(rng, 1000, cfg.PlacementTheta)
 	sizeRanks := 100
 	size := NewZipf(rng, sizeRanks, cfg.SizeTheta)
@@ -153,7 +166,12 @@ func Skewed(cfg SkewConfig) *dataset.Distribution {
 // sparse rural background. Point data is where the fractal technique
 // of [BF95] was designed to operate.
 func SequoiaPoints(n int, space float64, seed int64) *dataset.Distribution {
-	rng := rand.New(rand.NewSource(seed))
+	return SequoiaPointsRand(rand.New(rand.NewSource(seed)), n, space)
+}
+
+// SequoiaPointsRand is SequoiaPoints drawing from an injected
+// generator.
+func SequoiaPointsRand(rng *rand.Rand, n int, space float64) *dataset.Distribution {
 	rects := make([]geom.Rect, 0, n)
 	addPoint := func(x, y float64) {
 		p := geom.Point{X: clampf(x, 0, space), Y: clampf(y, 0, space)}
@@ -195,7 +213,11 @@ func SequoiaPoints(n int, space float64, seed int64) *dataset.Distribution {
 // lengths uniform in [minSide, maxSide]. Cluster weights are Zipf
 // distributed so some clusters are much denser than others.
 func Clusters(n, k int, space, stddevFrac, minSide, maxSide float64, seed int64) *dataset.Distribution {
-	rng := rand.New(rand.NewSource(seed))
+	return ClustersRand(rand.New(rand.NewSource(seed)), n, k, space, stddevFrac, minSide, maxSide)
+}
+
+// ClustersRand is Clusters drawing from an injected generator.
+func ClustersRand(rng *rand.Rand, n, k int, space, stddevFrac, minSide, maxSide float64) *dataset.Distribution {
 	type cluster struct{ cx, cy float64 }
 	cs := make([]cluster, k)
 	for i := range cs {

@@ -1,0 +1,24 @@
+package tiger
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// RoadNetworkRand with a generator seeded like cfg.Seed must reproduce
+// RoadNetwork exactly.
+func TestRoadNetworkRandMatchesSeeded(t *testing.T) {
+	cfg := DefaultNJRoad()
+	cfg.Segments = 2000
+
+	seeded := RoadNetwork(cfg)
+	injected := RoadNetworkRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+	if seeded.N() != injected.N() {
+		t.Fatalf("got %d vs %d segments", seeded.N(), injected.N())
+	}
+	for i := 0; i < seeded.N(); i++ {
+		if seeded.Rect(i) != injected.Rect(i) {
+			t.Fatalf("segment %d: %v != %v", i, seeded.Rect(i), injected.Rect(i))
+		}
+	}
+}

@@ -45,10 +45,15 @@ func DefaultNJRoad() RoadNetConfig {
 // RoadNetwork generates the synthetic road segments and returns their
 // bounding boxes as a Distribution. Determinism follows from the seed.
 func RoadNetwork(cfg RoadNetConfig) *dataset.Distribution {
+	return RoadNetworkRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// RoadNetworkRand is RoadNetwork drawing from an injected generator;
+// cfg.Seed is ignored in favor of the generator's state.
+func RoadNetworkRand(rng *rand.Rand, cfg RoadNetConfig) *dataset.Distribution {
 	if cfg.Segments <= 0 {
 		return dataset.FromRects(nil)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	segments := make([]Segment, 0, cfg.Segments)
 
 	// Population centers with Zipf weights: the rank-1 city dominates.

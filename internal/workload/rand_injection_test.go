@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/synthetic"
+)
+
+// GenerateRand with a generator seeded like cfg.Seed must reproduce
+// Generate exactly, and identically seeded runs must agree.
+func TestGenerateRandMatchesSeeded(t *testing.T) {
+	d := synthetic.Uniform(500, 1000, 1, 20, 7)
+	cfg := Config{Count: 200, QSize: 0.1, Seed: 99, Clamp: true}
+
+	seeded, err := Generate(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := GenerateRand(d, cfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeded) != len(injected) {
+		t.Fatalf("got %d vs %d queries", len(seeded), len(injected))
+	}
+	for i := range seeded {
+		if seeded[i] != injected[i] {
+			t.Fatalf("query %d: %v != %v", i, seeded[i], injected[i])
+		}
+	}
+}

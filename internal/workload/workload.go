@@ -52,6 +52,13 @@ type Config struct {
 // model. It returns an error for an empty distribution or an invalid
 // configuration.
 func Generate(d *dataset.Distribution, cfg Config) ([]geom.Rect, error) {
+	return GenerateRand(d, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// GenerateRand is Generate drawing from an injected generator, so one
+// seeded *rand.Rand can drive datasets and workloads reproducibly;
+// cfg.Seed is ignored in favor of the generator's state.
+func GenerateRand(d *dataset.Distribution, cfg Config, rng *rand.Rand) ([]geom.Rect, error) {
 	mbr, ok := d.MBR()
 	if !ok {
 		return nil, fmt.Errorf("workload: empty distribution")
@@ -62,7 +69,6 @@ func Generate(d *dataset.Distribution, cfg Config) ([]geom.Rect, error) {
 	if cfg.QSize < 0 || cfg.QSize > 1 {
 		return nil, fmt.Errorf("workload: QSize %g outside [0,1]", cfg.QSize)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	queries := make([]geom.Rect, 0, cfg.Count)
 
 	// Desired average area: (QSize*W) x (QSize*H).

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench experiments figures examples cover clean
+.PHONY: all build lint test race bench bench-json experiments figures examples cover clean
 
 all: build lint test
 
@@ -25,6 +25,11 @@ race:
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate BENCH_estimate.json (estimation ns/op per estimator and
+# bucket budget) at full benchtime.
+bench-json:
+	$(GO) test -run '^$$' -bench BenchmarkEstimateSuite .
 
 # Regenerate every table and figure of the paper at full scale.
 experiments:

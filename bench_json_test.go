@@ -1,0 +1,129 @@
+// BenchmarkEstimateSuite measures per-query estimation latency for
+// the estimators a running system would deploy — Uniform, Min-Skew,
+// and the R-tree histogram — across bucket budgets, and writes the
+// results to BENCH_estimate.json so CI and regression tooling can
+// diff ns/op across commits without parsing `go test -bench` output.
+//
+// The file is rewritten after every sub-benchmark completes, so a
+// cheap CI smoke run is just:
+//
+//	go test -run '^$' -bench BenchmarkEstimateSuite -benchtime=1x .
+package spatialest_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	spatialest "repro"
+)
+
+// benchRow is one line of BENCH_estimate.json.
+type benchRow struct {
+	Estimator string  `json:"estimator"`
+	Buckets   int     `json:"buckets"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	N         int     `json:"iterations"`
+}
+
+// benchJSON accumulates rows across sub-benchmark runs. The harness
+// re-invokes each sub-benchmark with growing b.N until -benchtime is
+// satisfied; keying by configuration keeps only the final (highest-N,
+// most accurate) measurement per estimator.
+var benchJSON struct {
+	mu   sync.Mutex
+	rows map[string]benchRow
+}
+
+// recordBenchRow stores the row and rewrites BENCH_estimate.json with
+// everything measured so far, sorted for deterministic diffs.
+func recordBenchRow(b *testing.B, row benchRow) {
+	b.Helper()
+	benchJSON.mu.Lock()
+	defer benchJSON.mu.Unlock()
+	if benchJSON.rows == nil {
+		benchJSON.rows = make(map[string]benchRow)
+	}
+	benchJSON.rows[row.Estimator+"/"+strconv.Itoa(row.Buckets)] = row
+	keys := make([]string, 0, len(benchJSON.rows))
+	for k := range benchJSON.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]benchRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, benchJSON.rows[k])
+	}
+	f, err := os.Create("BENCH_estimate.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		_ = f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEstimateSuite(b *testing.B) {
+	d := spatialest.NJRoad(50000)
+	queries, err := spatialest.GenerateQueries(d, spatialest.QueryConfig{
+		Count: 1024, QSize: 0.10, Seed: 11, Clamp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	build := func(b *testing.B, name string, buckets int) spatialest.Estimator {
+		b.Helper()
+		var est spatialest.Estimator
+		var err error
+		switch name {
+		case "Uniform":
+			est, err = spatialest.NewUniform(d)
+		case "Min-Skew":
+			est, err = spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: buckets, Regions: 10000})
+		case "R-Tree":
+			est, err = spatialest.NewRTreeHistogram(d, spatialest.RTreeHistogramOptions{Buckets: buckets})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	}
+
+	run := func(name string, buckets int) {
+		label := name
+		if buckets > 0 {
+			label += "/" + benchName("b", buckets)
+		}
+		b.Run(label, func(b *testing.B) {
+			est := build(b, name, buckets)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est.Estimate(queries[i%len(queries)])
+			}
+			b.StopTimer()
+			recordBenchRow(b, benchRow{
+				Estimator: name,
+				Buckets:   buckets,
+				NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				N:         b.N,
+			})
+		})
+	}
+
+	// Uniform has no buckets; record it once with buckets=0.
+	run("Uniform", 0)
+	for _, buckets := range []int{100, 1000, 10000} {
+		run("Min-Skew", buckets)
+		run("R-Tree", buckets)
+	}
+}

@@ -8,27 +8,48 @@
 //	spatialdb                 # interactive session on stdin
 //	spatialdb < script.sdb    # batch mode
 //
+// With -metrics-addr, an admin HTTP endpoint serves runtime telemetry:
+// /metrics (Prometheus text format), /debug/vars (expvar-style JSON),
+// and /debug/pprof/* (Go runtime profiles).
+//
 // Type "help" for the command reference.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/spatialdb"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		buckets = flag.Int("buckets", 100, "statistics buckets per table")
-		regions = flag.Int("regions", 10000, "Min-Skew grid regions")
-		stats   = flag.String("stats", "", "directory to load/save persisted statistics")
+		buckets     = flag.Int("buckets", 100, "statistics buckets per table")
+		regions     = flag.Int("regions", 10000, "Min-Skew grid regions")
+		stats       = flag.String("stats", "", "directory to load/save persisted statistics")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	db := spatialdb.New(catalog.Config{Buckets: *buckets, Regions: *regions})
+	reg := telemetry.NewRegistry()
+	db.EnableTelemetry(reg)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "spatialdb: metrics on http://%s/metrics\n", ln.Addr())
+		go serveMetrics(ln, reg)
+	}
 	if *stats != "" {
 		if err := db.LoadStats(*stats); err != nil {
 			fmt.Fprintf(os.Stderr, "spatialdb: loading stats: %v (continuing)\n", err)
@@ -45,5 +66,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spatialdb: saving stats: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// serveMetrics runs the admin endpoint on ln until the process exits.
+func serveMetrics(ln net.Listener, reg *telemetry.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: /metrics: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: /debug/vars: %v\n", err)
+		}
+	})
+	// The default pprof handlers register on http.DefaultServeMux; wire
+	// them explicitly so this mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "spatialdb: metrics server: %v\n", err)
 	}
 }

@@ -15,10 +15,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 // Config sets the catalog's statistics policy.
@@ -53,13 +55,63 @@ func (c Config) withDefaults() Config {
 type Catalog struct {
 	cfg Config
 
-	mu    sync.RWMutex
-	stats map[string]*core.BucketEstimator
+	mu     sync.RWMutex
+	stats  map[string]*core.BucketEstimator
+	traces map[string]*telemetry.BuildTrace
+
+	// Telemetry (nil until EnableTelemetry; all no-ops then). The
+	// metric fields are read and written only under mu.
+	reg            *telemetry.Registry
+	analyzeSeconds *telemetry.Histogram
+	analyzes       *telemetry.Counter
+	buildSplits    *telemetry.Counter
+	churn          *telemetry.Counter
+	histograms     *telemetry.Gauge
 }
 
 // New creates an empty catalog.
 func New(cfg Config) *Catalog {
-	return &Catalog{cfg: cfg.withDefaults(), stats: make(map[string]*core.BucketEstimator)}
+	return &Catalog{
+		cfg:    cfg.withDefaults(),
+		stats:  make(map[string]*core.BucketEstimator),
+		traces: make(map[string]*telemetry.BuildTrace),
+	}
+}
+
+// EnableTelemetry registers the catalog's metrics in reg: ANALYZE
+// durations and counts, per-statistic staleness gauges, churn totals,
+// and build-split counters. Analyze additionally starts retaining a
+// structured Min-Skew construction trace per attribute (see
+// BuildTrace). A nil reg leaves telemetry disabled.
+func (c *Catalog) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+	c.analyzeSeconds = reg.Histogram("catalog_analyze_seconds",
+		"Duration of ANALYZE statistics builds.", telemetry.DefaultLatencyBuckets)
+	c.analyzes = reg.Counter("catalog_analyze_total",
+		"Statistics builds and rebuilds.")
+	c.buildSplits = reg.Counter("catalog_build_splits_total",
+		"Min-Skew greedy splits performed across all builds.")
+	c.churn = reg.Counter("catalog_churn_total",
+		"Inserts and deletes absorbed by live statistics.")
+	c.histograms = reg.Gauge("catalog_histograms",
+		"Attributes with live statistics.")
+}
+
+// staleGaugeLocked returns the per-statistic staleness gauge; callers
+// hold c.mu (the registry has its own lock, acquired strictly after
+// c.mu everywhere in this package).
+func (c *Catalog) staleGaugeLocked(name string) *telemetry.Gauge {
+	if c.reg == nil {
+		return nil
+	}
+	return c.reg.Gauge("catalog_stale_fraction",
+		"Churn absorbed since the last ANALYZE, relative to the row count.",
+		telemetry.Label{Key: "stat", Value: name})
 }
 
 // Analyze builds (or rebuilds) the statistics for the named attribute
@@ -68,18 +120,44 @@ func (c *Catalog) Analyze(name string, d *dataset.Distribution) error {
 	if name == "" {
 		return fmt.Errorf("catalog: empty statistics name")
 	}
+	c.mu.RLock()
+	enabled := c.reg != nil
+	c.mu.RUnlock()
+	var tr *telemetry.BuildTrace
+	if enabled {
+		tr = &telemetry.BuildTrace{}
+	}
+	start := time.Now()
 	hist, err := core.NewMinSkew(d, core.MinSkewConfig{
 		Buckets:     c.cfg.Buckets,
 		Regions:     c.cfg.Regions,
 		Refinements: c.cfg.Refinements,
+		Trace:       tr,
 	})
 	if err != nil {
 		return fmt.Errorf("catalog: analyze %q: %v", name, err)
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats[name] = hist
-	c.mu.Unlock()
+	if tr != nil {
+		c.traces[name] = tr
+	}
+	c.analyzeSeconds.ObserveSince(start)
+	c.analyzes.Inc()
+	c.buildSplits.Add(uint64(tr.Splits()))
+	c.histograms.Set(float64(len(c.stats)))
+	c.staleGaugeLocked(name).Set(hist.StaleFraction())
 	return nil
+}
+
+// BuildTrace returns the structured construction trace of the named
+// attribute's last Analyze, or nil when telemetry is disabled or the
+// attribute was never analyzed (loaded statistics carry no trace).
+func (c *Catalog) BuildTrace(name string) *telemetry.BuildTrace {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.traces[name]
 }
 
 // Estimate returns the estimated result size of q against the named
@@ -104,6 +182,8 @@ func (c *Catalog) NoteInsert(name string, r geom.Rect) {
 	c.mu.Lock()
 	if hist, ok := c.stats[name]; ok {
 		hist.Insert(r)
+		c.churn.Inc()
+		c.staleGaugeLocked(name).Set(hist.StaleFraction())
 	}
 	c.mu.Unlock()
 }
@@ -113,6 +193,8 @@ func (c *Catalog) NoteDelete(name string, r geom.Rect) {
 	c.mu.Lock()
 	if hist, ok := c.stats[name]; ok {
 		hist.Delete(r)
+		c.churn.Inc()
+		c.staleGaugeLocked(name).Set(hist.StaleFraction())
 	}
 	c.mu.Unlock()
 }
@@ -155,6 +237,10 @@ func (c *Catalog) Drop(name string) bool {
 	defer c.mu.Unlock()
 	_, ok := c.stats[name]
 	delete(c.stats, name)
+	delete(c.traces, name)
+	if ok {
+		c.histograms.Set(float64(len(c.stats)))
+	}
 	return ok
 }
 
@@ -214,6 +300,7 @@ func (c *Catalog) Load(dir string) error {
 		}
 		c.mu.Lock()
 		c.stats[name] = hist
+		c.histograms.Set(float64(len(c.stats)))
 		c.mu.Unlock()
 	}
 	return nil

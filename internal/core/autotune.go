@@ -85,7 +85,7 @@ func NewMinSkewAuto(d *dataset.Distribution, cfg AutoMinSkewConfig) (*BucketEsti
 	allBlocks := make([][]*msBlock, len(grids))
 	for i, g := range grids {
 		blocks := []*msBlock{newMSBlock(g, g.FullBlock(), cfg.FullSplitSearch)}
-		growTo(g, &blocks, cfg.Buckets, cfg.FullSplitSearch)
+		growTo(g, &blocks, cfg.Buckets, cfg.FullSplitSearch, nil, 0)
 		allBlocks[i] = blocks
 
 		// Score on the finest grid: scale the block coordinates up.

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/telemetry"
+)
+
+func instrumentTestData(t *testing.T) *dataset.Distribution {
+	t.Helper()
+	rects := make([]geom.Rect, 0, 64)
+	for i := 0; i < 64; i++ {
+		x := float64(i%8) * 10
+		y := float64(i/8) * 10
+		rects = append(rects, geom.NewRect(x, y, x+5, y+5))
+	}
+	return dataset.New(rects)
+}
+
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	d := instrumentTestData(t)
+	est, err := NewMinSkew(d, MinSkewConfig{Buckets: 8, Regions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Instrument(est, nil); got != Estimator(est) {
+		t.Fatal("nil registry must return the base estimator unchanged")
+	}
+	if got := Instrument(nil, telemetry.NewRegistry()); got != nil {
+		t.Fatal("nil base must pass through")
+	}
+}
+
+func TestInstrumentRecordsAndPreservesEstimates(t *testing.T) {
+	d := instrumentTestData(t)
+	base, err := NewMinSkew(d, MinSkewConfig{Buckets: 8, Regions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	wrapped := Instrument(base, reg, telemetry.Label{Key: "table", Value: "t"})
+
+	if wrapped.Name() != base.Name() {
+		t.Errorf("Name = %q, want %q", wrapped.Name(), base.Name())
+	}
+	if wrapped.SpaceBuckets() != base.SpaceBuckets() {
+		t.Errorf("SpaceBuckets = %g, want %g", wrapped.SpaceBuckets(), base.SpaceBuckets())
+	}
+
+	queries := []geom.Rect{
+		geom.NewRect(0, 0, 40, 40),
+		geom.NewRect(10, 10, 20, 20),
+		geom.NewRect(-5, -5, 100, 100),
+	}
+	for _, q := range queries {
+		if got, want := wrapped.Estimate(q), base.Estimate(q); got != want {
+			t.Errorf("Estimate(%v) = %g, want %g", q, got, want)
+		}
+	}
+
+	labels := []telemetry.Label{
+		{Key: "table", Value: "t"},
+		{Key: "estimator", Value: base.Name()},
+	}
+	if got := reg.Counter("spatialest_estimates_total", "", labels...).Value(); got != uint64(len(queries)) {
+		t.Errorf("estimates_total = %d, want %d", got, len(queries))
+	}
+	if got := reg.Histogram("spatialest_estimate_seconds", "", nil, labels...).Count(); got != uint64(len(queries)) {
+		t.Errorf("estimate_seconds count = %d, want %d", got, len(queries))
+	}
+	wantVisits := uint64(len(queries)) * uint64(len(base.Buckets()))
+	if got := reg.Counter("spatialest_bucket_visits_total", "", labels...).Value(); got != wantVisits {
+		t.Errorf("bucket_visits_total = %d, want %d", got, wantVisits)
+	}
+}
+
+func TestMinSkewBuildTrace(t *testing.T) {
+	d := instrumentTestData(t)
+	tr := &telemetry.BuildTrace{}
+	est, err := NewMinSkew(d, MinSkewConfig{Buckets: 6, Regions: 64, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully splittable input yields exactly buckets-1 splits.
+	if got, want := tr.Splits(), len(est.Buckets())-1; got != want {
+		t.Errorf("splits = %d, want %d", got, want)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 || evs[len(evs)-1].Kind != telemetry.EventFinalize {
+		t.Fatalf("last event must be finalize, got %+v", evs)
+	}
+	buckets := 1
+	for _, e := range evs {
+		switch e.Kind {
+		case telemetry.EventSplit:
+			buckets++
+			if e.Buckets != buckets {
+				t.Errorf("split event reports %d buckets, want %d", e.Buckets, buckets)
+			}
+			if e.Axis != 0 && e.Axis != 1 {
+				t.Errorf("split axis = %d", e.Axis)
+			}
+			// Splitting can only reduce (never increase) spatial skew.
+			if e.SkewAfter > e.SkewBefore+1e-9 {
+				t.Errorf("skew grew on split: before=%g after=%g", e.SkewBefore, e.SkewAfter)
+			}
+		case telemetry.EventFinalize:
+			if e.Buckets != len(est.Buckets()) {
+				t.Errorf("finalize reports %d buckets, want %d", e.Buckets, len(est.Buckets()))
+			}
+		}
+	}
+}
+
+func TestMinSkewBuildTraceRefinement(t *testing.T) {
+	d := instrumentTestData(t)
+	tr := &telemetry.BuildTrace{}
+	_, err := NewMinSkew(d, MinSkewConfig{Buckets: 8, Regions: 256, Refinements: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refines := 0
+	var lastCells int
+	for _, e := range tr.Events() {
+		if e.Kind != telemetry.EventRefine {
+			continue
+		}
+		refines++
+		cells := e.GridNX * e.GridNY
+		if lastCells > 0 && cells != 4*lastCells {
+			t.Errorf("refinement did not quadruple the grid: %d -> %d cells", lastCells, cells)
+		}
+		lastCells = cells
+	}
+	if refines != 2 {
+		t.Errorf("refine events = %d, want 2", refines)
+	}
+}
+
+func TestMinSkewBuildTraceLocalGreedy(t *testing.T) {
+	d := instrumentTestData(t)
+	tr := &telemetry.BuildTrace{}
+	est, err := NewMinSkew(d, MinSkewConfig{Buckets: 6, Regions: 64, LocalGreedy: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Splits(), len(est.Buckets())-1; got != want {
+		t.Errorf("local-greedy splits = %d, want %d", got, want)
+	}
+}

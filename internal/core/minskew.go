@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/grid"
+	"repro/internal/telemetry"
 )
 
 // MinSkewConfig controls construction of the Min-Skew partitioning
@@ -31,6 +32,11 @@ type MinSkewConfig struct {
 	// the two halves in proportion to their skew. Ablation knob; not
 	// compatible with progressive refinement.
 	LocalGreedy bool
+	// Trace, when non-nil, receives one structured build event per
+	// greedy split (chosen bucket, axis, position, skew before/after),
+	// per progressive-refinement step, and for the final statistics
+	// pass. A nil trace costs nothing.
+	Trace *telemetry.BuildTrace
 }
 
 // DefaultRegions is the grid size the paper uses for its headline
@@ -78,7 +84,11 @@ func NewMinSkew(d *dataset.Distribution, cfg MinSkewConfig) (*BucketEstimator, e
 		if cfg.Refinements > 0 {
 			return nil, fmt.Errorf("core: LocalGreedy does not support progressive refinement")
 		}
-		blocks := splitLocal(g, g.FullBlock(), cfg.Buckets, cfg.FullSplitSearch)
+		blocks := splitLocal(g, g.FullBlock(), cfg.Buckets, cfg.FullSplitSearch, cfg.Trace)
+		cfg.Trace.Record(telemetry.BuildEvent{
+			Kind: telemetry.EventFinalize, Bucket: -1, Axis: -1,
+			Buckets: len(blocks), GridNX: g.NX(), GridNY: g.NY(),
+		})
 		return NewBucketEstimator("Min-Skew", finalizeBuckets(d, g, blocks)), nil
 	}
 
@@ -86,7 +96,7 @@ func NewMinSkew(d *dataset.Distribution, cfg MinSkewConfig) (*BucketEstimator, e
 	stages := cfg.Refinements + 1
 	for stage := 0; stage < stages; stage++ {
 		target := cfg.Buckets * (stage + 1) / stages
-		growTo(g, &blocks, target, cfg.FullSplitSearch)
+		growTo(g, &blocks, target, cfg.FullSplitSearch, cfg.Trace, stage)
 		if stage < stages-1 {
 			// Refine: quadruple the grid and remap the blocks onto it.
 			g, err = grid.Build(d, g.NX()*2, g.NY()*2)
@@ -100,16 +110,25 @@ func NewMinSkew(d *dataset.Distribution, cfg MinSkewConfig) (*BucketEstimator, e
 				}
 				blocks[i] = newMSBlock(g, refined, cfg.FullSplitSearch)
 			}
+			cfg.Trace.Record(telemetry.BuildEvent{
+				Kind: telemetry.EventRefine, Stage: stage + 1, Bucket: -1, Axis: -1,
+				Buckets: len(blocks), GridNX: g.NX(), GridNY: g.NY(),
+			})
 		}
 	}
 
+	cfg.Trace.Record(telemetry.BuildEvent{
+		Kind: telemetry.EventFinalize, Stage: stages - 1, Bucket: -1, Axis: -1,
+		Buckets: len(blocks), GridNX: g.NX(), GridNY: g.NY(),
+	})
 	return NewBucketEstimator("Min-Skew", finalizeBuckets(d, g, blocks)), nil
 }
 
 // growTo splits blocks greedily — always the block whose best split
 // yields the largest reduction in spatial skew — until the target
-// count is reached or nothing can be split.
-func growTo(g *grid.Grid, blocks *[]*msBlock, target int, full bool) {
+// count is reached or nothing can be split. Each split is recorded in
+// tr (nil drops the records).
+func growTo(g *grid.Grid, blocks *[]*msBlock, target int, full bool, tr *telemetry.BuildTrace, stage int) {
 	for len(*blocks) < target {
 		best, bestRed := -1, -1.0
 		for i, mb := range *blocks {
@@ -124,6 +143,17 @@ func growTo(g *grid.Grid, blocks *[]*msBlock, target int, full bool) {
 		left, right := splitBlock(mb.blk, mb.axis, mb.pos)
 		(*blocks)[best] = newMSBlock(g, left, full)
 		*blocks = append(*blocks, newMSBlock(g, right, full))
+		if tr != nil {
+			// The exact 2-D skews are O(1) prefix-sum queries; only
+			// computed when tracing.
+			tr.Record(telemetry.BuildEvent{
+				Kind: telemetry.EventSplit, Stage: stage,
+				Bucket: best, Axis: mb.axis, Pos: mb.pos,
+				SkewBefore: g.Skew(mb.blk),
+				SkewAfter:  g.Skew(left) + g.Skew(right),
+				Buckets:    len(*blocks), GridNX: g.NX(), GridNY: g.NY(),
+			})
+		}
 	}
 }
 
@@ -131,13 +161,19 @@ func growTo(g *grid.Grid, blocks *[]*msBlock, target int, full bool) {
 // bucket budget between the halves in proportion to their spatial
 // skew (plus one guaranteed bucket each). It is the local alternative
 // to the paper's global greedy loop.
-func splitLocal(g *grid.Grid, b grid.Block, budget int, full bool) []*msBlock {
+func splitLocal(g *grid.Grid, b grid.Block, budget int, full bool, tr *telemetry.BuildTrace) []*msBlock {
 	mb := newMSBlock(g, b, full)
 	if budget <= 1 || mb.axis < 0 {
 		return []*msBlock{mb}
 	}
 	left, right := splitBlock(b, mb.axis, mb.pos)
 	ls, rs := g.Skew(left), g.Skew(right)
+	// The local recursion has no global bucket index; record -1.
+	tr.Record(telemetry.BuildEvent{
+		Kind: telemetry.EventSplit, Bucket: -1, Axis: mb.axis, Pos: mb.pos,
+		SkewBefore: g.Skew(b), SkewAfter: ls + rs,
+		GridNX: g.NX(), GridNY: g.NY(),
+	})
 	// Budget for the left half: proportional to skew share, with each
 	// side keeping at least one bucket.
 	remaining := budget - 2
@@ -148,8 +184,8 @@ func splitLocal(g *grid.Grid, b grid.Block, budget int, full bool) []*msBlock {
 		lb += remaining / 2
 	}
 	rb := budget - lb
-	out := splitLocal(g, left, lb, full)
-	return append(out, splitLocal(g, right, rb, full)...)
+	out := splitLocal(g, left, lb, full, tr)
+	return append(out, splitLocal(g, right, rb, full, tr)...)
 }
 
 // splitBlock cuts the block after pos columns (axis 0) or rows (axis 1).

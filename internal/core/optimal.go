@@ -155,7 +155,7 @@ func PartitionSkews(d *dataset.Distribution, cfg OptimalBSPConfig) (greedy, opti
 	}
 
 	blocks := []*msBlock{newMSBlock(g, g.FullBlock(), true)}
-	growTo(g, &blocks, cfg.Buckets, true)
+	growTo(g, &blocks, cfg.Buckets, true, nil, 0)
 	for _, mb := range blocks {
 		greedy += g.Skew(mb.blk)
 	}

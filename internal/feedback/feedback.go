@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 // Config controls the correction grid.
@@ -62,7 +63,18 @@ type Estimator struct {
 	mu      sync.RWMutex
 	factors []float64 // row-major GridY x GridX, multiplicative
 	fed     int
+
+	// Telemetry (nil until EnableTelemetry; all no-ops then). Guarded
+	// by mu alongside the state they describe.
+	observations *telemetry.Counter
+	lastRelErr   *telemetry.Gauge
+	drift        *telemetry.Gauge
+	targets      *telemetry.Histogram
 }
+
+// factorBuckets are histogram bounds for observed correction targets,
+// spanning the default clamp range [0.1, 10].
+var factorBuckets = []float64{0.1, 0.25, 0.5, 0.8, 1, 1.25, 2, 4, 10}
 
 // New wraps base. bounds is the region the correction grid covers
 // (normally the dataset MBR).
@@ -89,6 +101,27 @@ func New(base core.Estimator, bounds geom.Rect, cfg Config) (*Estimator, error) 
 		f.factors[i] = 1
 	}
 	return f, nil
+}
+
+// EnableTelemetry registers the wrapper's drift metrics in reg:
+// observation counts, the relative error of the last corrected
+// estimate, a drift gauge (mean |log factor| over the grid — 0 means
+// the base histogram still matches the data), and a histogram of
+// observed correction targets. A nil reg leaves telemetry disabled.
+func (f *Estimator) EnableTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.observations = reg.Counter("feedback_observations_total",
+		"Executed-query observations folded into the correction grid.", labels...)
+	f.lastRelErr = reg.Gauge("feedback_last_rel_error",
+		"Relative error of the corrected estimate at the last observation.", labels...)
+	f.drift = reg.Gauge("feedback_drift",
+		"Mean absolute log correction factor; 0 means no learned bias.", labels...)
+	f.targets = reg.Histogram("feedback_target_factor",
+		"Correction-factor targets observed (actual/estimate, clamped).", factorBuckets, labels...)
 }
 
 // cellRange returns the correction cells the query touches.
@@ -157,6 +190,13 @@ func (f *Estimator) Observe(q geom.Rect, actual int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.fed++
+	f.observations.Inc()
+	if f.lastRelErr != nil {
+		// Estimate-vs-feedback error: the corrected estimate (what
+		// Estimate would have returned) against the executed truth.
+		corrected := base * f.correction(q)
+		f.lastRelErr.Set(math.Abs(float64(actual)-corrected) / math.Max(float64(actual), 1))
+	}
 	x0, y0, x1, y1, ok := f.cellRange(q)
 	if !ok {
 		return
@@ -177,6 +217,7 @@ func (f *Estimator) Observe(q geom.Rect, actual int) {
 	if target > f.cfg.MaxFactor {
 		target = f.cfg.MaxFactor
 	}
+	f.targets.Observe(target)
 	lr := f.cfg.LearningRate
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {
@@ -187,6 +228,14 @@ func (f *Estimator) Observe(q geom.Rect, actual int) {
 				math.Exp((1-lr)*math.Log(f.factors[i])+lr*math.Log(target)),
 				f.cfg.MinFactor, f.cfg.MaxFactor)
 		}
+	}
+	if f.drift != nil {
+		// O(grid) log pass, only paid when telemetry is enabled.
+		var sum float64
+		for _, v := range f.factors {
+			sum += math.Abs(math.Log(v))
+		}
+		f.drift.Set(sum / float64(len(f.factors)))
 	}
 }
 

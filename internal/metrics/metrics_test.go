@@ -88,6 +88,81 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+// TestSummarizeSingleQuery pins down the degenerate n=1 case: every
+// statistic collapses to the one absolute error.
+func TestSummarizeSingleQuery(t *testing.T) {
+	s, err := Summarize([]int{10}, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Queries != 1 {
+		t.Errorf("Queries = %d", s.Queries)
+	}
+	for label, got := range map[string]float64{
+		"MeanAbs": s.MeanAbs, "RMS": s.RMS, "MaxAbs": s.MaxAbs,
+		"P50Abs": s.P50Abs, "P95Abs": s.P95Abs,
+	} {
+		if got != 3 {
+			t.Errorf("%s = %g, want 3", label, got)
+		}
+	}
+	if want := 3.0 / 10.0; math.Abs(s.AvgRelError-want) > 1e-12 {
+		t.Errorf("AvgRelError = %g, want %g", s.AvgRelError, want)
+	}
+}
+
+// TestSummarizeAllEqualErrors checks that identical per-query errors
+// make every percentile and moment agree.
+func TestSummarizeAllEqualErrors(t *testing.T) {
+	actual := []int{10, 10, 10, 10, 10}
+	est := []float64{14, 6, 14, 6, 14} // |err| = 4 everywhere
+	s, err := Summarize(actual, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, got := range map[string]float64{
+		"MeanAbs": s.MeanAbs, "RMS": s.RMS, "MaxAbs": s.MaxAbs,
+		"P50Abs": s.P50Abs, "P95Abs": s.P95Abs,
+	} {
+		if got != 4 {
+			t.Errorf("%s = %g, want 4", label, got)
+		}
+	}
+}
+
+// TestPercentileTinyN exercises nearest-rank p95 at small n, where
+// ceil(p*n) rounds hard: any n <= 20 makes p95 the maximum.
+func TestPercentileTinyN(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{[]float64{7}, 0.95, 7},             // n=1: the only value
+		{[]float64{1, 9}, 0.95, 9},          // n=2: ceil(1.9)-1 = 1
+		{[]float64{1, 5, 9}, 0.95, 9},       // n=3: ceil(2.85)-1 = 2
+		{[]float64{1, 5, 9}, 0.5, 5},        // n=3 median is exact middle
+		{[]float64{1, 2, 3, 4}, 0.95, 4},    // n=4
+		{[]float64{1, 9}, 0.0, 1},           // p=0 clamps to the minimum
+		{[]float64{1, 9}, 0.5, 1},           // n=2 median = lower of the two
+		{[]float64{2, 4, 6, 8, 10}, 0.2, 2}, // ceil(1)-1 = 0
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v, %g) = %g, want %g", c.sorted, c.p, got, c.want)
+		}
+	}
+	// 20 equal-spaced values: p95 is the 19th order statistic
+	// (nearest-rank), not an interpolation.
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	if got := percentile(vals, 0.95); got != 19 {
+		t.Errorf("p95 of 1..20 = %g, want 19", got)
+	}
+}
+
 func TestQuickErrorNonNegativeAndZeroIffExact(t *testing.T) {
 	f := func(vals []uint8, noise []int8) bool {
 		if len(vals) == 0 {

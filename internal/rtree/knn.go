@@ -74,6 +74,7 @@ func (t *Tree) NearestNeighbors(k int, p geom.Point) []Neighbor {
 			out = append(out, Neighbor{Rect: item.rect, ID: item.id, Dist: math.Sqrt(item.distSq)})
 			continue
 		}
+		t.tel.nodeAccesses.Inc()
 		for _, e := range item.node.entries {
 			child := knnItem{distSq: minDistSq(p, e.rect), rect: e.rect, id: e.id}
 			if !item.node.leaf {

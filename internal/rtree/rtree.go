@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -56,6 +57,16 @@ func (n *node) mbr() geom.Rect {
 	return out
 }
 
+// treeTelemetry holds the tree's counters; the zero value (all nil)
+// is fully disabled and each increment then costs one nil check.
+type treeTelemetry struct {
+	nodeAccesses *telemetry.Counter
+	inserts      *telemetry.Counter
+	deletes      *telemetry.Counter
+	splits       *telemetry.Counter
+	reinserts    *telemetry.Counter
+}
+
 // Tree is an R*-tree over rectangles with integer data identifiers.
 // The zero value is not usable; construct trees with New or STRLoad.
 type Tree struct {
@@ -64,6 +75,31 @@ type Tree struct {
 	height int // number of levels; 1 when the root is a leaf
 	maxE   int
 	minE   int
+	tel    treeTelemetry
+}
+
+// EnableTelemetry registers the tree's counters in reg under the given
+// labels: node accesses during searches and nearest-neighbor scans,
+// inserts, deletes, node splits, and entries force-reinserted by the
+// R* overflow treatment. A nil reg leaves the counters disabled.
+// Telemetry does not make the tree safe for concurrent mutation; it
+// follows the tree's existing synchronization contract.
+func (t *Tree) EnableTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	t.tel = treeTelemetry{
+		nodeAccesses: reg.Counter("rtree_node_accesses_total",
+			"R*-tree nodes visited by searches and nearest-neighbor scans.", labels...),
+		inserts: reg.Counter("rtree_inserts_total",
+			"Rectangles inserted.", labels...),
+		deletes: reg.Counter("rtree_deletes_total",
+			"Rectangles deleted.", labels...),
+		splits: reg.Counter("rtree_splits_total",
+			"Node splits performed.", labels...),
+		reinserts: reg.Counter("rtree_reinserts_total",
+			"Entries force-reinserted by the R* overflow treatment.", labels...),
+	}
 }
 
 // New returns an empty R*-tree with the given node capacity. A
@@ -121,6 +157,7 @@ func (t *Tree) Insert(r geom.Rect, id int) {
 	reinserted := make([]bool, t.height+1)
 	t.insertAtLevel(entry{rect: r, id: id}, 0, reinserted)
 	t.size++
+	t.tel.inserts.Inc()
 }
 
 // insertAtLevel places e at the given level (0 = leaf). It handles
@@ -283,6 +320,7 @@ func (t *Tree) forcedReinsert(path []*node, i, level int, reinserted []bool) {
 	if p < 1 {
 		p = 1
 	}
+	t.tel.reinserts.Add(uint64(p))
 	keep := len(des) - p
 	n.entries = n.entries[:0]
 	for _, de := range des[:keep] {
@@ -315,6 +353,7 @@ func (t *Tree) recomputePathMBRs(path []*node, i int) {
 // installs the new sibling in the parent (creating a new root when the
 // root itself splits).
 func (t *Tree) splitNode(path []*node, i int) {
+	t.tel.splits.Inc()
 	n := path[i]
 	left, right := rstarSplit(n.entries, t.minE, n.leaf)
 	n.entries = left.entries
@@ -433,6 +472,7 @@ func (t *Tree) Search(q geom.Rect, fn func(r geom.Rect, id int) bool) {
 }
 
 func (t *Tree) search(n *node, q geom.Rect, fn func(geom.Rect, int) bool) bool {
+	t.tel.nodeAccesses.Inc()
 	for _, e := range n.entries {
 		if !e.rect.Intersects(q) {
 			continue
@@ -469,6 +509,7 @@ func (t *Tree) Delete(r geom.Rect, id int) bool {
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--
+	t.tel.deletes.Inc()
 	t.condense(path)
 	// Shrink the root if it has a single child.
 	for !t.root.leaf && len(t.root.entries) == 1 {

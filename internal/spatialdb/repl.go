@@ -66,6 +66,7 @@ const Help = `commands:
   knn <table> <x> <y> <k>                    k nearest rows to a point
   join <table-a> <table-b>                   estimated join cardinality
   stats <table>                              table and statistics state
+  metrics [json]                             dump telemetry (Prometheus or JSON)
   drop <table>                               drop a table
   help                                       this text
   quit                                       exit`
@@ -209,6 +210,25 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 			ew.print(" hist=none")
 		}
 		ew.println()
+		return ew.err
+	case "metrics", ".metrics":
+		reg := r.DB.Telemetry()
+		if reg == nil {
+			ew.println("telemetry disabled (enable with DB.EnableTelemetry)")
+			return ew.err
+		}
+		if len(args) == 1 && strings.EqualFold(args[0], "json") {
+			if err := reg.WriteJSON(ew.w); err != nil {
+				return err
+			}
+			return ew.err
+		}
+		if len(args) != 0 {
+			return fmt.Errorf("usage: metrics [json]")
+		}
+		if err := reg.WritePrometheus(ew.w); err != nil {
+			return err
+		}
 		return ew.err
 	case "drop":
 		if len(args) != 1 {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/planner"
 	"repro/internal/rtree"
+	"repro/internal/telemetry"
 )
 
 // Table is a named set of rectangles with a spatial index.
@@ -42,6 +44,11 @@ type DB struct {
 	tables map[string]*Table
 	cat    *catalog.Catalog
 	model  planner.CostModel
+	// reg, when non-nil, receives runtime telemetry from every layer:
+	// per-operation query counters and latencies here, estimator
+	// latencies via core.Instrument, catalog ANALYZE metrics, feedback
+	// drift, and R*-tree node-access counters.
+	reg *telemetry.Registry
 }
 
 // New creates an empty engine with the given statistics policy.
@@ -51,6 +58,52 @@ func New(cfg catalog.Config) *DB {
 		cat:    catalog.New(cfg),
 		model:  planner.DefaultCostModel(),
 	}
+}
+
+// EnableTelemetry threads the registry through every layer of the
+// engine: the statistics catalog, the spatial indexes of all current
+// and future tables, any feedback learners, and the engine's own
+// per-operation counters and latency histograms. Estimator wrappers
+// are installed lazily by Explain. A nil reg leaves telemetry
+// disabled; every instrumentation point is then a no-op.
+func (db *DB) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	db.reg = reg
+	db.cat.EnableTelemetry(reg)
+	for name, t := range db.tables {
+		t.index.EnableTelemetry(reg, telemetry.Label{Key: "table", Value: name})
+		if t.fb != nil {
+			t.fb.EnableTelemetry(reg, telemetry.Label{Key: "table", Value: name})
+		}
+	}
+}
+
+// Telemetry returns the engine's registry (nil when disabled).
+func (db *DB) Telemetry() *telemetry.Registry { return db.reg }
+
+// opCounter counts one engine operation; nil-safe when disabled.
+func (db *DB) opCounter(op, table string) *telemetry.Counter {
+	if db.reg == nil {
+		return nil
+	}
+	return db.reg.Counter("spatialdb_queries_total",
+		"Engine operations executed, by operation and table.",
+		telemetry.Label{Key: "op", Value: op},
+		telemetry.Label{Key: "table", Value: table})
+}
+
+// opSeconds times one engine operation; nil-safe when disabled.
+func (db *DB) opSeconds(op, table string) *telemetry.Histogram {
+	if db.reg == nil {
+		return nil
+	}
+	return db.reg.Histogram("spatialdb_op_seconds",
+		"Latency of engine operations, by operation and table.",
+		telemetry.DefaultLatencyBuckets,
+		telemetry.Label{Key: "op", Value: op},
+		telemetry.Label{Key: "table", Value: table})
 }
 
 // Create registers a table over the given rectangles, building its
@@ -71,6 +124,9 @@ func (db *DB) Create(name string, d *dataset.Distribution) error {
 	}
 	for i := range t.live {
 		t.live[i] = true
+	}
+	if db.reg != nil {
+		t.index.EnableTelemetry(db.reg, telemetry.Label{Key: "table", Value: name})
 	}
 	db.tables[name] = t
 	return nil
@@ -111,6 +167,7 @@ func (db *DB) Analyze(name string) error {
 	if err != nil {
 		return err
 	}
+	db.opCounter("analyze", name).Inc()
 	if err := db.cat.Analyze(name, db.liveDistribution(t)); err != nil {
 		return err
 	}
@@ -138,6 +195,9 @@ func (db *DB) EnableFeedback(name string) error {
 	if err != nil {
 		return err
 	}
+	if db.reg != nil {
+		fb.EnableTelemetry(db.reg, telemetry.Label{Key: "table", Value: name})
+	}
 	t.fb = fb
 	return nil
 }
@@ -163,6 +223,7 @@ func (db *DB) Insert(name string, r geom.Rect) error {
 	if !r.Valid() {
 		return fmt.Errorf("spatialdb: invalid rectangle %v", r)
 	}
+	db.opCounter("insert", name).Inc()
 	id := len(t.rects)
 	t.rects = append(t.rects, r)
 	t.live = append(t.live, true)
@@ -178,6 +239,7 @@ func (db *DB) Delete(name string, r geom.Rect) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	db.opCounter("delete", name).Inc()
 	removed := 0
 	var ids []int
 	t.index.Search(r, func(got geom.Rect, id int) bool {
@@ -204,6 +266,12 @@ func (db *DB) Count(name string, q geom.Rect) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	db.opCounter("count", name).Inc()
+	lat := db.opSeconds("count", name)
+	var start time.Time
+	if lat != nil {
+		start = time.Now()
+	}
 	count := 0
 	t.index.Search(q, func(_ geom.Rect, id int) bool {
 		if t.live[id] {
@@ -211,6 +279,7 @@ func (db *DB) Count(name string, q geom.Rect) (int, error) {
 		}
 		return true
 	})
+	lat.ObserveSince(start)
 	// An executed query's true result size is free training signal.
 	if t.fb != nil {
 		t.fb.Observe(q, count)
@@ -225,6 +294,7 @@ func (db *DB) Select(name string, q geom.Rect, limit int) ([]geom.Rect, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.opCounter("select", name).Inc()
 	var out []geom.Rect
 	t.index.Search(q, func(r geom.Rect, id int) bool {
 		if !t.live[id] {
@@ -242,6 +312,7 @@ func (db *DB) Nearest(name string, x, y float64, k int) ([]rtree.Neighbor, error
 	if err != nil {
 		return nil, err
 	}
+	db.opCounter("nearest", name).Inc()
 	// Over-fetch to skip deleted rows, then trim.
 	fetch := k + t.deleted
 	raw := t.index.NearestNeighbors(fetch, geom.Point{X: x, Y: y})
@@ -267,10 +338,14 @@ func (db *DB) Explain(name string, q geom.Rect) (planner.Plan, error) {
 	if hist == nil {
 		return planner.Plan{}, fmt.Errorf("spatialdb: table %q has no statistics; run ANALYZE", name)
 	}
+	db.opCounter("explain", name).Inc()
 	var est core.Estimator = hist
 	if t.fb != nil {
 		est = t.fb
 	}
+	// Instrument is identity when telemetry is disabled, so the planner
+	// sees the raw estimator unless metrics were asked for.
+	est = core.Instrument(est, db.reg, telemetry.Label{Key: "table", Value: name})
 	p, err := planner.New(est, t.N(), db.model)
 	if err != nil {
 		return planner.Plan{}, err

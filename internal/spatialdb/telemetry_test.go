@@ -1,0 +1,155 @@
+package spatialdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryEndToEnd drives a full session — create, analyze,
+// count, explain, feedback, insert, delete — with telemetry enabled
+// and asserts every layer's metrics show up non-zero in the
+// Prometheus exposition.
+func TestTelemetryEndToEnd(t *testing.T) {
+	db := New(catalog.Config{Buckets: 40, Regions: 900})
+	reg := telemetry.NewRegistry()
+	db.EnableTelemetry(reg)
+	if db.Telemetry() != reg {
+		t.Fatal("Telemetry() should return the enabled registry")
+	}
+
+	d := synthetic.Uniform(2000, 1000, 5, 20, 7)
+	if err := db.Create("roads", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("roads"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableFeedback("roads"); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 400, 400)
+	if _, err := db.Count("roads", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Explain("roads", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("roads", geom.NewRect(1, 1, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete("roads", geom.NewRect(1, 1, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`spatialdb_queries_total{op="count",table="roads"} 1`,
+		`spatialdb_queries_total{op="analyze",table="roads"} 1`,
+		`spatialdb_op_seconds_count{op="count",table="roads"} 1`,
+		`catalog_analyze_total 1`,
+		`catalog_analyze_seconds_count 1`,
+		`spatialest_estimates_total{`,
+		`spatialest_estimate_seconds_count{`,
+		`rtree_node_accesses_total{table="roads"}`,
+		`rtree_inserts_total{table="roads"} 1`,
+		`rtree_deletes_total{table="roads"} 1`,
+		`feedback_observations_total{table="roads"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// The index search for Count must have touched at least the root.
+	if strings.Contains(out, `rtree_node_accesses_total{table="roads"} 0`) {
+		t.Error("node accesses should be non-zero after Count")
+	}
+
+	// The catalog retained a structured build trace for the analyze.
+	tr := db.cat.BuildTrace("roads")
+	if tr == nil {
+		t.Fatal("no build trace retained")
+	}
+	if tr.Splits() == 0 {
+		t.Error("build trace recorded no splits")
+	}
+}
+
+// TestTelemetryDisabledIsInert checks the nil-registry path: no
+// metrics anywhere, estimators unwrapped, zero allocations of
+// telemetry state.
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	db := New(catalog.Config{Buckets: 40, Regions: 900})
+	db.EnableTelemetry(nil) // explicit nil is a no-op
+	if db.Telemetry() != nil {
+		t.Fatal("registry should stay nil")
+	}
+	d := synthetic.Uniform(500, 1000, 5, 20, 7)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Count("t", geom.NewRect(0, 0, 500, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Explain("t", geom.NewRect(0, 0, 500, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if tr := db.cat.BuildTrace("t"); tr != nil {
+		t.Error("build trace should not be retained when telemetry is off")
+	}
+}
+
+// TestREPLMetricsCommand exercises the metrics REPL command in both
+// formats and the disabled case.
+func TestREPLMetricsCommand(t *testing.T) {
+	db := New(catalog.Config{Buckets: 40, Regions: 900})
+	r := &REPL{DB: db}
+	var buf bytes.Buffer
+	if err := r.Exec("metrics", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "telemetry disabled") {
+		t.Fatalf("want disabled notice, got %q", buf.String())
+	}
+
+	db.EnableTelemetry(telemetry.NewRegistry())
+	script := []string{
+		"gen roads uniform 500",
+		"analyze roads",
+		"count roads 0 0 500 500",
+	}
+	for _, line := range script {
+		if err := r.Exec(line, &bytes.Buffer{}); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	buf.Reset()
+	if err := r.Exec("metrics", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE spatialdb_queries_total counter") {
+		t.Errorf("prometheus output missing TYPE line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := r.Exec("metrics json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"catalog_analyze_total": 1`) {
+		t.Errorf("json output missing analyze counter:\n%s", buf.String())
+	}
+	if err := r.Exec("metrics bogus", &bytes.Buffer{}); err == nil {
+		t.Error("metrics with bad argument should error")
+	}
+}

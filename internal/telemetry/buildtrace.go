@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Build-event kinds recorded by Min-Skew construction.
+const (
+	// EventSplit is one greedy split of a bucket into two.
+	EventSplit = "split"
+	// EventRefine is one progressive-refinement step: the grid is
+	// quadrupled and the blocks are remapped onto it.
+	EventRefine = "refine"
+	// EventFinalize is the final bucket-statistics pass.
+	EventFinalize = "finalize"
+)
+
+// BuildEvent is one structured record of histogram construction. Not
+// every field is meaningful for every kind: splits carry the chosen
+// bucket, axis, position and skew before/after; refinement steps carry
+// the new grid dimensions; finalize carries the final bucket count.
+type BuildEvent struct {
+	// Seq is the 0-based event sequence number, assigned by Record.
+	Seq int `json:"seq"`
+	// Stage is the progressive-refinement stage (0 for plain Min-Skew).
+	Stage int `json:"stage"`
+	// Kind is one of EventSplit, EventRefine, EventFinalize.
+	Kind string `json:"kind"`
+	// Bucket is the index of the split bucket (-1 when not applicable,
+	// e.g. the local-greedy recursion has no global bucket index).
+	Bucket int `json:"bucket"`
+	// Axis is the split axis: 0 = x, 1 = y (-1 when not applicable).
+	Axis int `json:"axis"`
+	// Pos is the split offset in grid cells along the axis.
+	Pos int `json:"pos"`
+	// SkewBefore and SkewAfter are the spatial skew of the split bucket
+	// and the summed skew of the two halves.
+	SkewBefore float64 `json:"skew_before"`
+	SkewAfter  float64 `json:"skew_after"`
+	// Buckets is the bucket count after the event.
+	Buckets int `json:"buckets"`
+	// GridNX and GridNY are the grid dimensions at the event.
+	GridNX int `json:"grid_nx"`
+	GridNY int `json:"grid_ny"`
+}
+
+// BuildTrace accumulates the structured events of one histogram
+// construction. The zero value is ready to use; a nil *BuildTrace
+// drops every record, so construction code can thread a trace
+// unconditionally. Safe for concurrent use.
+type BuildTrace struct {
+	mu     sync.Mutex
+	events []BuildEvent
+}
+
+// Record appends one event, assigning its sequence number. No-op on a
+// nil receiver.
+func (t *BuildTrace) Record(e BuildEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Seq = len(t.events)
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (t *BuildTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *BuildTrace) Events() []BuildEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]BuildEvent(nil), t.events...)
+}
+
+// Splits returns the number of recorded split events.
+func (t *BuildTrace) Splits() int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == EventSplit {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON writes the events as a JSON array, one event object per
+// element, in recording order.
+func (t *BuildTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t.Events()); err != nil {
+		return fmt.Errorf("telemetry: write build trace: %w", err)
+	}
+	return nil
+}
+
+// String summarizes the trace.
+func (t *BuildTrace) String() string {
+	if t == nil {
+		return "BuildTrace(nil)"
+	}
+	return fmt.Sprintf("BuildTrace{%d events, %d splits}", t.Len(), t.Splits())
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// stickyWriter latches the first write error so the exposition code
+// can print freely and report the failure once. (The io.Writer may be
+// a network connection; every write can fail.)
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (sw *stickyWriter) printf(format string, args ...interface{}) {
+	if sw.err == nil {
+		_, sw.err = fmt.Fprintf(sw.w, format, args...)
+	}
+}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4): # HELP and # TYPE lines per
+// metric name, one sample line per series, and the conventional
+// _bucket/_sum/_count expansion with cumulative le buckets for
+// histograms. Series are sorted by name then labels, so output is
+// deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	sw := &stickyWriter{w: w}
+	prevName := ""
+	for _, m := range r.snapshot() {
+		if m.name != prevName {
+			if m.help != "" {
+				sw.printf("# HELP %s %s\n", m.name, m.help)
+			}
+			sw.printf("# TYPE %s %s\n", m.name, m.kind)
+			prevName = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			sw.printf("%s %d\n", seriesKey(m.name, m.labels), m.counter.Value())
+		case kindGauge:
+			sw.printf("%s %s\n", seriesKey(m.name, m.labels), formatFloat(m.gauge.Value()))
+		case kindHistogram:
+			writePromHistogram(sw, m)
+		}
+	}
+	return sw.err
+}
+
+// writePromHistogram emits the cumulative bucket series plus _sum and
+// _count for one histogram series.
+func writePromHistogram(sw *stickyWriter, m *metric) {
+	h := m.hist
+	bounds := h.bounds
+	cells := h.BucketCounts()
+	var cum uint64
+	for i, c := range cells {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		ls := append(append([]Label(nil), m.labels...), Label{Key: "le", Value: le})
+		sw.printf("%s %d\n", seriesKey(m.name+"_bucket", ls), cum)
+	}
+	sw.printf("%s %s\n", seriesKey(m.name+"_sum", m.labels), formatFloat(h.Sum()))
+	sw.printf("%s %d\n", seriesKey(m.name+"_count", m.labels), h.Count())
+}
+
+// WriteJSON writes every registered metric as one flat JSON object in
+// the spirit of expvar's /debug/vars: keys are the full series names
+// (base name plus rendered labels), counters and gauges map to
+// numbers, histograms to {"count", "sum", "buckets"} objects whose
+// buckets are cumulative keyed by upper bound. Keys are sorted, so
+// output is deterministic. A nil registry writes "{}".
+func (r *Registry) WriteJSON(w io.Writer) error {
+	sw := &stickyWriter{w: w}
+	sw.printf("{")
+	for i, m := range r.snapshot() {
+		if i > 0 {
+			sw.printf(",")
+		}
+		sw.printf("\n  %s: ", strconv.Quote(seriesKey(m.name, m.labels)))
+		switch m.kind {
+		case kindCounter:
+			sw.printf("%d", m.counter.Value())
+		case kindGauge:
+			sw.printf("%s", jsonFloat(m.gauge.Value()))
+		case kindHistogram:
+			writeJSONHistogram(sw, m.hist)
+		}
+	}
+	sw.printf("\n}\n")
+	return sw.err
+}
+
+// writeJSONHistogram emits one histogram value object.
+func writeJSONHistogram(sw *stickyWriter, h *Histogram) {
+	sw.printf("{\"count\": %d, \"sum\": %s, \"buckets\": {", h.Count(), jsonFloat(h.Sum()))
+	cells := h.BucketCounts()
+	var cum uint64
+	for i, c := range cells {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		if i > 0 {
+			sw.printf(", ")
+		}
+		sw.printf("%s: %d", strconv.Quote(le), cum)
+	}
+	sw.printf("}}")
+}
+
+// formatFloat renders a float64 in the shortest exact form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonFloat renders a float64 as a JSON value; NaN and the infinities
+// are not representable as JSON numbers and become quoted strings.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.Quote(formatFloat(v))
+	}
+	return formatFloat(v)
+}

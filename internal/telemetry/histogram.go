@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are exponential-ish upper bounds in seconds
+// suitable for estimate and query latencies, from one microsecond to
+// ten seconds (anything slower lands in the implicit +Inf bucket).
+var DefaultLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-boundary value histogram: observation v is
+// counted in the first bucket whose upper bound satisfies v <= bound,
+// with an implicit +Inf overflow bucket. Observe is lock-free: one
+// binary search over the (immutable) bounds plus three atomic updates.
+// A nil *Histogram is a no-op.
+//
+// The cells are updated independently, so a concurrent reader can see
+// a bucket increment before the matching count/sum update; exposition
+// is monitoring-grade, not transactional.
+type Histogram struct {
+	bounds  []float64       // strictly increasing upper bounds
+	cells   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// newHistogram validates the bounds and allocates the cells.
+func newHistogram(bounds []float64) (*Histogram, error) {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("histogram bound %d is %v; bounds must be finite", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("histogram bounds must be strictly increasing: bound %d (%g) <= bound %d (%g)", i, b, i-1, bounds[i-1])
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		cells:  make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and fit no bucket). No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bound >= v, i.e. the "le" bucket v belongs to; values above
+	// every bound land at len(bounds), the +Inf cell.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.cells[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed wall time since t0, in seconds.
+// No-op on a nil receiver (time is not even read).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns a copy of the bucket upper bounds (without the
+// implicit +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) observation
+// counts; the last element is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.cells))
+	for i := range h.cells {
+		out[i] = h.cells[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers every metric kind from many
+// goroutines while exposition runs concurrently; run with -race. The
+// final totals must be exact: the hot path is atomic, not racy.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Exercise get-or-create from every goroutine too: the
+			// registry must hand back the same series under contention.
+			c := r.Counter("race_total", "h")
+			gauge := r.Gauge("race_gauge", "h")
+			h := r.Histogram("race_seconds", "h", []float64{0.25, 0.5, 0.75})
+			tr := &BuildTrace{}
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				gauge.Add(1)
+				h.Observe(float64(i%4) / 4.0)
+				if i%100 == 0 {
+					tr.Record(BuildEvent{Kind: EventSplit})
+				}
+			}
+		}(g)
+	}
+	// Concurrent exposition must not race with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if err := r.WriteJSON(io.Discard); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = goroutines * perG
+	if got := r.Counter("race_total", "h").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("race_gauge", "h").Value(); got != float64(total) {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	h := r.Histogram("race_seconds", "h", nil)
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var cells uint64
+	for _, c := range h.BucketCounts() {
+		cells += c
+	}
+	if cells != total {
+		t.Errorf("summed cells = %d, want %d", cells, total)
+	}
+}

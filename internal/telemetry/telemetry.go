@@ -1,0 +1,302 @@
+// Package telemetry is the zero-dependency instrumentation core of the
+// system: atomic counters and gauges, fixed-boundary histograms with a
+// lock-free hot path, a named metric registry with labels, exposition
+// writers in the Prometheus text format and an expvar-style JSON
+// format, and structured build-event tracing for histogram
+// construction (BuildTrace).
+//
+// # Nil-safety (the no-op contract)
+//
+// Every metric type in this package treats a nil receiver as a
+// disabled metric: Counter.Add, Gauge.Set, Histogram.Observe and the
+// BuildTrace recorders are all no-ops on nil. A nil *Registry returns
+// nil metrics from its constructors. Instrumented code therefore never
+// branches on an "enabled" flag — it unconditionally calls the metric
+// methods, and a disabled (nil) path costs a single pointer comparison.
+// Enabled hot paths pay one atomic add (counters) or an atomic load
+// plus store (gauges, histogram cells); no metric operation takes a
+// lock after registration.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair distinguishing a metric series, e.g.
+// {Key: "table", Value: "nj"}. Keys must be valid metric identifiers;
+// values may be any string (exposition writers escape them).
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down. The zero value
+// reads 0; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge. No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// metricKind discriminates the registry's metric table.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// metric is one registered series: immutable identity plus exactly one
+// live value of the matching kind.
+type metric struct {
+	name   string // base metric name
+	labels []Label
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is a named collection of metrics. Constructors are
+// get-or-create: asking twice for the same (name, labels) series
+// returns the same metric, so callers on dynamic paths (per-table
+// series) need not cache. All methods are safe for concurrent use; a
+// nil *Registry returns nil (no-op) metrics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it if needed. It panics if the series exists with a
+// different kind or the name is invalid. Nil registries return nil.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindCounter, nil, labels)
+	return m.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// if needed. Nil registries return nil.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindGauge, nil, labels)
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it with the given bucket upper bounds if needed (bounds are
+// ignored on later lookups of an existing series). Bounds must be
+// strictly increasing and finite; an implicit +Inf bucket is always
+// appended. Nil registries return nil.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, kindHistogram, bounds, labels)
+	return m.hist
+}
+
+// lookup implements get-or-create for all kinds.
+func (r *Registry) lookup(name, help string, kind metricKind, bounds []float64, labels []Label) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for _, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label key %q on metric %q", l.Key, name))
+		}
+	}
+	key := seriesKey(name, ls)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s already registered as %s, requested %s", key, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: ls, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		h, err := newHistogram(bounds)
+		if err != nil {
+			panic(fmt.Sprintf("telemetry: metric %s: %v", key, err))
+		}
+		m.hist = h
+	}
+	r.metrics[key] = m
+	return m
+}
+
+// snapshot returns the registered metrics sorted by (name, labels).
+// The metric structs are immutable after creation; their values are
+// read through atomics by the exposition writers, so the lock is held
+// only for the copy.
+func (r *Registry) snapshot() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesKey("", out[i].labels) < seriesKey("", out[j].labels)
+	})
+	return out
+}
+
+// seriesKey renders the unique identity of a series: the base name
+// plus the sorted, escaped label pairs.
+func seriesKey(name string, sorted []Label) string {
+	if len(sorted) == 0 {
+		return name
+	}
+	out := name + "{"
+	for i, l := range sorted {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return out + "}"
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// Prometheus text exposition format.
+func escapeLabelValue(v string) string {
+	needs := false
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return v
+	}
+	out := make([]byte, 0, len(v)+4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// validName reports whether s is a legal metric or label-key
+// identifier: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

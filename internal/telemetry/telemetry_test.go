@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on nil metrics and registries must be a no-op,
+	// never a panic: this is the disabled-telemetry hot path.
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", DefaultLatencyBuckets)
+	var tr *BuildTrace
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	tr.Record(BuildEvent{Kind: EventSplit})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || tr.Len() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil || tr.Events() != nil {
+		t.Fatal("nil metrics must return nil slices")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if sb.String() != "" {
+		t.Fatalf("nil registry wrote %q", sb.String())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", Label{Key: "table", Value: "nj"})
+	b := r.Counter("dup_total", "h", Label{Key: "table", Value: "nj"})
+	if a != b {
+		t.Fatal("same series must return the same counter")
+	}
+	other := r.Counter("dup_total", "h", Label{Key: "table", Value: "ch"})
+	if a == other {
+		t.Fatal("different labels must return distinct counters")
+	}
+	other.Inc()
+	if a.Value() != 0 || other.Value() != 1 {
+		t.Fatal("series must count independently")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mixed", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("mixed", "h")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed", `brace{`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bounds_test", "h", []float64{1, 2, 5})
+	// Underflow: below the first bound lands in the first bucket.
+	h.Observe(-100)
+	h.Observe(0.5)
+	// Exactly on a bound: the le semantics put it in that bound's
+	// bucket, not the next.
+	h.Observe(1)
+	h.Observe(2)
+	// Interior.
+	h.Observe(3)
+	// Overflow: above every bound lands in the +Inf cell.
+	h.Observe(5.01)
+	h.Observe(math.Inf(1))
+	// NaN is dropped entirely.
+	h.Observe(math.NaN())
+
+	want := []uint64{3, 1, 1, 2} // le=1, le=2, le=5, +Inf
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d = %d, want %d (cells %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7 (NaN dropped)", h.Count())
+	}
+	if !math.IsInf(h.Sum(), 1) {
+		t.Fatalf("sum = %g, want +Inf", h.Sum())
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bounds := range [][]float64{
+		{1, 1},
+		{2, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v must panic", bounds)
+				}
+			}()
+			r.Histogram("bad_bounds", "h", bounds)
+		}()
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", DefaultLatencyBuckets)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() <= 0 || h.Sum() > 1 {
+		t.Fatalf("sum = %g, want a small positive duration", h.Sum())
+	}
+}
+
+// promLine matches a valid Prometheus text sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? ([0-9.eE+-]+|\+Inf|NaN)$`)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests served.", Label{Key: "table", Value: `weird"nj\x`}).Add(3)
+	r.Gauge("temperature", "Current temperature.").Set(-1.5)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP requests_total Requests served.",
+		"# TYPE requests_total counter",
+		`requests_total{table="weird\"nj\\x"} 3`,
+		"# TYPE temperature gauge",
+		"temperature -1.5",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 10.55",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment, non-blank line must be a well-formed sample.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+	// Deterministic output.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "h", Label{Key: "op", Value: "count"}).Add(7)
+	r.Gauge("drift", "h").Set(0.25)
+	h := r.Histogram("latency_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON %q: %v", sb.String(), err)
+	}
+	if got := decoded[`requests_total{op="count"}`]; got != float64(7) {
+		t.Errorf("counter = %v, want 7", got)
+	}
+	if got := decoded["drift"]; got != 0.25 {
+		t.Errorf("gauge = %v, want 0.25", got)
+	}
+	hist, ok := decoded["latency_seconds"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("histogram value = %v", decoded["latency_seconds"])
+	}
+	if hist["count"] != float64(2) || hist["sum"] != 3.5 {
+		t.Errorf("histogram = %v, want count=2 sum=3.5", hist)
+	}
+	buckets := hist["buckets"].(map[string]interface{})
+	if buckets["1"] != float64(1) || buckets["+Inf"] != float64(2) {
+		t.Errorf("buckets = %v, want cumulative {1:1, +Inf:2}", buckets)
+	}
+}
+
+func TestBuildTrace(t *testing.T) {
+	tr := &BuildTrace{}
+	tr.Record(BuildEvent{Kind: EventSplit, Bucket: 0, Axis: 1, SkewBefore: 10, SkewAfter: 4, Buckets: 2})
+	tr.Record(BuildEvent{Kind: EventRefine, Stage: 1, GridNX: 100, GridNY: 100})
+	tr.Record(BuildEvent{Kind: EventFinalize, Buckets: 2})
+	if tr.Len() != 3 || tr.Splits() != 1 {
+		t.Fatalf("len=%d splits=%d, want 3/1", tr.Len(), tr.Splits())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	// The returned slice is a copy.
+	evs[0].Kind = "mutated"
+	if tr.Events()[0].Kind != EventSplit {
+		t.Error("Events must return a copy")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []BuildEvent
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(decoded) != 3 || decoded[0].SkewBefore != 10 {
+		t.Fatalf("round-trip mismatch: %+v", decoded)
+	}
+}

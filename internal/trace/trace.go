@@ -117,21 +117,29 @@ func Read(r io.Reader) (*Trace, error) {
 func Save(path string, t *Trace) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("trace: save %s: %v", path, err)
 	}
-	defer f.Close()
 	if err := t.Write(f); err != nil {
-		return err
+		// The write error is what matters; Close can only add noise.
+		_ = f.Close()
+		return fmt.Errorf("trace: save %s: %v", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: save %s: %v", path, err)
+	}
+	return nil
 }
 
 // Load reads a trace from a file.
 func Load(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: load %s: %v", path, err)
 	}
 	defer f.Close()
-	return Read(f)
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load %s: %v", path, err)
+	}
+	return tr, nil
 }

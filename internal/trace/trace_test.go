@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -104,5 +105,27 @@ func TestSaveLoad(t *testing.T) {
 	}
 	if _, err := Load(path + ".missing"); err == nil {
 		t.Fatal("missing file should fail")
+	}
+}
+
+// TestSaveLoadErrorsCarryPath asserts file-level failures name the
+// offending path, so multi-file workflows can tell which file broke.
+func TestSaveLoadErrorsCarryPath(t *testing.T) {
+	tr := captureTest(t)
+	badDir := filepath.Join(t.TempDir(), "missing-dir", "w.trace")
+	if err := Save(badDir, tr); err == nil || !strings.Contains(err.Error(), badDir) {
+		t.Fatalf("Save error should contain path %q, got: %v", badDir, err)
+	}
+	missing := filepath.Join(t.TempDir(), "nope.trace")
+	if _, err := Load(missing); err == nil || !strings.Contains(err.Error(), missing) {
+		t.Fatalf("Load error should contain path %q, got: %v", missing, err)
+	}
+	// Parse errors surface the path too, not just the line number.
+	corrupt := filepath.Join(t.TempDir(), "corrupt.trace")
+	if err := os.WriteFile(corrupt, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(corrupt); err == nil || !strings.Contains(err.Error(), corrupt) {
+		t.Fatalf("Load parse error should contain path %q, got: %v", corrupt, err)
 	}
 }

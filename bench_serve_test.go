@@ -1,0 +1,171 @@
+// BenchmarkServeSuite measures per-query latency of the serving stack
+// — the monolithic histogram, scatter-gather over K shards, and the
+// HTTP service's cache hit and miss paths — and writes the results to
+// BENCH_serve.json, the same regression-diff contract as
+// BENCH_estimate.json.
+//
+// The file is rewritten after every sub-benchmark completes, so a
+// cheap CI smoke run is just:
+//
+//	go test -run '^$' -bench BenchmarkServeSuite -benchtime=1x .
+package spatialest_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	spatialest "repro"
+	"repro/internal/catalog"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/spatialdb"
+)
+
+// serveBenchRow is one line of BENCH_serve.json.
+type serveBenchRow struct {
+	Path    string  `json:"path"`
+	Shards  int     `json:"shards"`
+	NsPerOp float64 `json:"ns_per_op"`
+	N       int     `json:"iterations"`
+}
+
+var serveBenchJSON struct {
+	mu   sync.Mutex
+	rows map[string]serveBenchRow
+}
+
+// recordServeBenchRow stores the row and rewrites BENCH_serve.json
+// with everything measured so far, sorted for deterministic diffs.
+func recordServeBenchRow(b *testing.B, row serveBenchRow) {
+	b.Helper()
+	serveBenchJSON.mu.Lock()
+	defer serveBenchJSON.mu.Unlock()
+	if serveBenchJSON.rows == nil {
+		serveBenchJSON.rows = make(map[string]serveBenchRow)
+	}
+	serveBenchJSON.rows[row.Path+"/"+strconv.Itoa(row.Shards)] = row
+	keys := make([]string, 0, len(serveBenchJSON.rows))
+	for k := range serveBenchJSON.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]serveBenchRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, serveBenchJSON.rows[k])
+	}
+	f, err := os.Create("BENCH_serve.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		_ = f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkServeSuite(b *testing.B) {
+	d := spatialest.NJRoad(50000)
+	queries, err := spatialest.GenerateQueries(d, spatialest.QueryConfig{
+		Count: 1024, QSize: 0.10, Seed: 11, Clamp: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	record := func(b *testing.B, path string, shards int) {
+		b.Helper()
+		recordServeBenchRow(b, serveBenchRow{
+			Path:    path,
+			Shards:  shards,
+			NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			N:       b.N,
+		})
+	}
+
+	// Monolithic: one Min-Skew histogram walked in-process, the
+	// baseline every sharded configuration is compared against.
+	b.Run("Direct/Monolithic", func(b *testing.B) {
+		est, err := spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: 100, Regions: 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			est.Estimate(queries[i%len(queries)])
+		}
+		b.StopTimer()
+		record(b, "Direct/Monolithic", 1)
+	})
+
+	// Scatter-gather over K shards; K=1 isolates the dispatch overhead.
+	for _, k := range []int{1, 4, 8} {
+		b.Run("Direct/Sharded/K="+strconv.Itoa(k), func(b *testing.B) {
+			sc := shard.New(shard.Config{Shards: k, Buckets: 100, Regions: 10000})
+			if err := sc.AnalyzeContext(ctx, d); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.EstimateContext(ctx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			record(b, "Direct/Sharded", k)
+		})
+	}
+
+	// The service paths run the full admission + singleflight + cache
+	// stack over a sharded engine backend.
+	newServer := func(b *testing.B, cfg serve.Config) *serve.Server {
+		b.Helper()
+		db := spatialdb.New(catalog.Config{Buckets: 100, Regions: 10000})
+		if err := db.Create("roads", d); err != nil {
+			b.Fatal(err)
+		}
+		db.SetShardPolicy(shard.Config{Shards: 4, Buckets: 100, Regions: 10000})
+		if err := db.Analyze("roads"); err != nil {
+			b.Fatal(err)
+		}
+		return serve.New(db, cfg)
+	}
+
+	b.Run("Server/CacheMiss", func(b *testing.B) {
+		srv := newServer(b, serve.Config{CacheSize: -1}) // cache disabled: every call is the miss path
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Estimate(ctx, "roads", queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		record(b, "Server/CacheMiss", 4)
+	})
+
+	b.Run("Server/CacheHit", func(b *testing.B) {
+		srv := newServer(b, serve.Config{})
+		q := queries[0]
+		if _, err := srv.Estimate(ctx, "roads", q); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.Estimate(ctx, "roads", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		record(b, "Server/CacheHit", 4)
+	})
+}

@@ -12,22 +12,39 @@
 // /metrics (Prometheus text format), /debug/vars (expvar-style JSON),
 // and /debug/pprof/* (Go runtime profiles).
 //
+// With -serve-addr, an estimation service exposes /estimate, /analyze
+// and /healthz over HTTP JSON, backed by the same engine the REPL
+// drives; -shards > 1 additionally builds sharded statistics at each
+// ANALYZE so /estimate scatter-gathers them with graceful degradation.
+//
+// SIGINT and SIGTERM shut both HTTP servers down gracefully before the
+// process exits; statistics are persisted (with -stats) either way.
+//
 // Type "help" for the command reference.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/spatialdb"
 	"repro/internal/telemetry"
 )
+
+// shutdownGrace bounds how long in-flight HTTP requests may run after
+// a termination signal before the listeners are torn down hard.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	var (
@@ -35,12 +52,24 @@ func main() {
 		regions     = flag.Int("regions", 10000, "Min-Skew grid regions")
 		stats       = flag.String("stats", "", "directory to load/save persisted statistics")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		serveAddr   = flag.String("serve-addr", "", "serve the /estimate HTTP JSON API on this address (e.g. localhost:8080)")
+		shards      = flag.Int("shards", 0, "build sharded statistics with this many shards at ANALYZE (0 or 1 = monolithic)")
 	)
 	flag.Parse()
+
+	// ctx ends on SIGINT/SIGTERM; both HTTP servers drain against a
+	// fresh deadline derived afterwards (ctx itself is already done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	db := spatialdb.New(catalog.Config{Buckets: *buckets, Regions: *regions})
 	reg := telemetry.NewRegistry()
 	db.EnableTelemetry(reg)
+	if *shards > 1 {
+		db.SetShardPolicy(shard.Config{Shards: *shards})
+	}
+
+	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -48,29 +77,83 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "spatialdb: metrics on http://%s/metrics\n", ln.Addr())
-		go serveMetrics(ln, reg)
+		metricsSrv = &http.Server{Handler: metricsMux(reg), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "spatialdb: metrics server: %v\n", err)
+			}
+		}()
 	}
+
+	var estSrv *serve.Server
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: serve listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "spatialdb: estimation API on http://%s/estimate\n", ln.Addr())
+		estSrv = serve.New(db, serve.Config{})
+		estSrv.EnableTelemetry(reg)
+		go func() {
+			if err := estSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "spatialdb: estimation server: %v\n", err)
+			}
+		}()
+	}
+
 	if *stats != "" {
 		if err := db.LoadStats(*stats); err != nil {
 			fmt.Fprintf(os.Stderr, "spatialdb: loading stats: %v (continuing)\n", err)
 		}
 	}
+
+	// The REPL owns stdin; a termination signal must not wait for the
+	// next line of input, so it runs in its own goroutine and the main
+	// goroutine selects between "input done" and "signalled".
 	fmt.Println("spatialdb — type 'help' for commands, 'quit' to exit")
-	repl := &spatialdb.REPL{DB: db}
-	if err := repl.Run(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "spatialdb: %v\n", err)
-		os.Exit(1)
+	replErr := make(chan error, 1)
+	go func() {
+		repl := &spatialdb.REPL{DB: db}
+		replErr <- repl.Run(os.Stdin, os.Stdout)
+	}()
+
+	exit := 0
+	select {
+	case err := <-replErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: %v\n", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "spatialdb: shutting down")
 	}
+	stop()
+
+	grace, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if estSrv != nil {
+		if err := estSrv.Shutdown(grace); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: estimation shutdown: %v\n", err)
+		}
+	}
+	if metricsSrv != nil {
+		if err := metricsSrv.Shutdown(grace); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: metrics shutdown: %v\n", err)
+		}
+	}
+
 	if *stats != "" {
 		if err := db.SaveStats(*stats); err != nil {
 			fmt.Fprintf(os.Stderr, "spatialdb: saving stats: %v\n", err)
-			os.Exit(1)
+			exit = 1
 		}
 	}
+	os.Exit(exit)
 }
 
-// serveMetrics runs the admin endpoint on ln until the process exits.
-func serveMetrics(ln net.Listener, reg *telemetry.Registry) {
+// metricsMux builds the self-contained admin mux.
+func metricsMux(reg *telemetry.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -91,8 +174,5 @@ func serveMetrics(ln net.Listener, reg *telemetry.Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintf(os.Stderr, "spatialdb: metrics server: %v\n", err)
-	}
+	return mux
 }

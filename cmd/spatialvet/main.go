@@ -3,7 +3,8 @@
 // finding. The analyzers enforce invariants go vet cannot see:
 //
 //	floatcmp    no raw ==/!= on floating-point geometry
-//	            (internal/geom, internal/core, internal/grid)
+//	            (internal/geom, internal/core, internal/grid,
+//	            internal/shard)
 //	globalrand  no math/rand global source in library code
 //	locksafe    no by-value lock copies, no Lock without Unlock
 //	errdrop     no silently dropped error results in library code
@@ -45,10 +46,14 @@ func library(rel string) bool {
 
 // numericCore is the floatcmp audit surface: the geometry primitives
 // and the estimator/grid hot paths whose numerics the paper's results
-// depend on.
+// depend on, plus the sharded tier that merges their partial counts.
+// internal/serve is deliberately excluded: its cache keys compare
+// quantized lattice coordinates, where exact float equality is the
+// point (equal keys = same cache line); the other four analyzers
+// still cover it via ./....
 func numericCore(rel string) bool {
 	switch rel {
-	case "internal/geom", "internal/core", "internal/grid":
+	case "internal/geom", "internal/core", "internal/grid", "internal/shard":
 		return true
 	}
 	return false

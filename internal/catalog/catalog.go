@@ -9,6 +9,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -115,10 +116,24 @@ func (c *Catalog) staleGaugeLocked(name string) *telemetry.Gauge {
 }
 
 // Analyze builds (or rebuilds) the statistics for the named attribute
-// from the given data using the configured Min-Skew policy.
+// from the given data using the configured Min-Skew policy. It is
+// AnalyzeContext without a deadline.
 func (c *Catalog) Analyze(name string, d *dataset.Distribution) error {
+	return c.AnalyzeContext(context.Background(), name, d)
+}
+
+// AnalyzeContext is Analyze under a context: a long statistics build
+// is abandoned as soon as ctx is cancelled or its deadline expires,
+// returning the context's error. The Min-Skew sweep itself cannot be
+// torn down mid-split, so on cancellation the build goroutine runs to
+// completion in the background and its result is discarded — the
+// caller gets control back immediately and the catalog is unchanged.
+func (c *Catalog) AnalyzeContext(ctx context.Context, name string, d *dataset.Distribution) error {
 	if name == "" {
 		return fmt.Errorf("catalog: empty statistics name")
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("catalog: analyze %q: %w", name, err)
 	}
 	c.mu.RLock()
 	enabled := c.reg != nil
@@ -128,14 +143,30 @@ func (c *Catalog) Analyze(name string, d *dataset.Distribution) error {
 		tr = &telemetry.BuildTrace{}
 	}
 	start := time.Now()
-	hist, err := core.NewMinSkew(d, core.MinSkewConfig{
-		Buckets:     c.cfg.Buckets,
-		Regions:     c.cfg.Regions,
-		Refinements: c.cfg.Refinements,
-		Trace:       tr,
-	})
-	if err != nil {
-		return fmt.Errorf("catalog: analyze %q: %v", name, err)
+	type buildResult struct {
+		hist *core.BucketEstimator
+		err  error
+	}
+	// Buffered so an abandoned build can deliver and exit.
+	ch := make(chan buildResult, 1)
+	go func() {
+		hist, err := core.NewMinSkew(d, core.MinSkewConfig{
+			Buckets:     c.cfg.Buckets,
+			Regions:     c.cfg.Regions,
+			Refinements: c.cfg.Refinements,
+			Trace:       tr,
+		})
+		ch <- buildResult{hist: hist, err: err}
+	}()
+	var hist *core.BucketEstimator
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("catalog: analyze %q: %w", name, ctx.Err())
+	case res := <-ch:
+		if res.err != nil {
+			return fmt.Errorf("catalog: analyze %q: %v", name, res.err)
+		}
+		hist = res.hist
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

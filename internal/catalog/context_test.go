@@ -1,0 +1,74 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func TestAnalyzeContextCancelledUpFront(t *testing.T) {
+	c := New(Config{Buckets: 40, Regions: 900})
+	d := synthetic.Charminar(1000, 1000, 10, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.AnalyzeContext(ctx, "roads", d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := c.Estimate("roads", geom.NewRect(0, 0, 1, 1)); err == nil {
+		t.Fatal("cancelled analyze must not install statistics")
+	}
+}
+
+func TestAnalyzeContextDeadlinePreservesOldStats(t *testing.T) {
+	c := New(Config{Buckets: 40, Regions: 900})
+	d := synthetic.Charminar(1000, 1000, 10, 3)
+	if err := c.Analyze("roads", d); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Estimate("roads", geom.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An already-expired deadline abandons the rebuild; the live
+	// statistics must be untouched.
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	if err := c.AnalyzeContext(ctx, "roads", d); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	after, err := c.Estimate("roads", geom.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.FloatEq(before, after) {
+		t.Fatalf("abandoned rebuild changed estimates: %g -> %g", before, after)
+	}
+}
+
+func TestAnalyzeContextBackgroundMatchesAnalyze(t *testing.T) {
+	d := synthetic.Charminar(1000, 1000, 10, 4)
+	c1 := New(Config{Buckets: 40, Regions: 900})
+	c2 := New(Config{Buckets: 40, Regions: 900})
+	if err := c1.Analyze("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AnalyzeContext(context.Background(), "t", d); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 600, 600)
+	e1, err := c1.Estimate("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c2.Estimate("t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.FloatEq(e1, e2) {
+		t.Fatalf("Analyze %g != AnalyzeContext %g", e1, e2)
+	}
+}

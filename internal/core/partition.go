@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// MinSkewPartition returns the first k top-level blocks of a Min-Skew
+// build over the distribution as rectangles tiling the input MBR: the
+// greedy loop of Section 4.1 run until exactly k buckets exist, with
+// no statistics pass. It is how a sharding layer obtains skew-aware
+// shard regions — the splits that reduce spatial skew the most are
+// exactly the boundaries along which the data divides into
+// internally-uniform pieces, so per-region histograms start from the
+// best possible coarse partitioning.
+//
+// The regions argument bounds the grid used to evaluate splits; it can
+// be far coarser than a full build's grid (a few thousand cells
+// suffice to place k splits). When the distribution cannot support k
+// splits (fewer occupied cells than k), fewer rectangles are returned.
+func MinSkewPartition(d *dataset.Distribution, k, regions int) ([]geom.Rect, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: partition needs at least one piece, got %d", k)
+	}
+	mbr, ok := d.MBR()
+	if !ok {
+		return nil, fmt.Errorf("core: partition over empty distribution")
+	}
+	if regions < 1 {
+		regions = DefaultRegions
+	}
+	nx, ny := grid.Dims(regions, mbr)
+	g, err := grid.Build(d, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	blocks := []*msBlock{newMSBlock(g, g.FullBlock(), false)}
+	growTo(g, &blocks, k, false, nil, 0)
+	out := make([]geom.Rect, len(blocks))
+	for i, mb := range blocks {
+		out[i] = g.BlockRect(mb.blk)
+	}
+	return out, nil
+}

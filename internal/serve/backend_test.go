@@ -1,0 +1,6 @@
+package serve
+
+import "repro/internal/spatialdb"
+
+// The engine is the production backend; keep the interface honest.
+var _ Backend = (*spatialdb.DB)(nil)

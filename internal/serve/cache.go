@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// cacheKey identifies a cached estimate: the table plus the query
+// rectangle snapped to the quantization lattice. Keys hold the
+// quantized float64 lattice indices directly, so arbitrary coordinate
+// magnitudes never overflow an integer conversion.
+type cacheKey struct {
+	table          string
+	x0, y0, x1, y1 float64
+}
+
+// quantizeKey snaps q to multiples of quantum. Queries within the same
+// lattice cell share one cache entry; estimates vary smoothly below
+// the lattice scale, so collisions answer with a neighbour's estimate,
+// which is the deliberate trade the cache makes (see DESIGN.md).
+func quantizeKey(table string, q geom.Rect, quantum float64) cacheKey {
+	if quantum <= 0 {
+		return cacheKey{table: table, x0: q.MinX, y0: q.MinY, x1: q.MaxX, y1: q.MaxY}
+	}
+	return cacheKey{
+		table: table,
+		x0:    math.Round(q.MinX / quantum),
+		y0:    math.Round(q.MinY / quantum),
+		x1:    math.Round(q.MaxX / quantum),
+		y1:    math.Round(q.MaxY / quantum),
+	}
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key cacheKey
+	res shard.Result
+}
+
+// lruCache is a mutex-guarded fixed-capacity LRU of query results.
+// Exposition-grade estimates are tiny (a Result struct), so the cache
+// is value-based and copy-out; entries never alias caller memory.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *cacheEntry
+	m   map[cacheKey]*list.Element
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result and whether it was present, promoting
+// the entry to most-recently-used.
+func (c *lruCache) get(k cacheKey) (shard.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return shard.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts or refreshes an entry, evicting the least-recently-used
+// slot when full.
+func (c *lruCache) add(k cacheKey, res shard.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidateTable drops every entry of the named table (after an
+// ANALYZE its estimates are stale).
+func (c *lruCache) invalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if e := el.Value.(*cacheEntry); e.key.table == table {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+		}
+	}
+}
+
+// len returns the live entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// net_Listen opens a loopback listener for server tests.
+func net_Listen(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	k := func(i float64) cacheKey {
+		return quantizeKey("t", geom.NewRect(i, i, i+1, i+1), 1)
+	}
+	c.add(k(1), shard.Result{Estimate: 1})
+	c.add(k(2), shard.Result{Estimate: 2})
+	// Touch k1 so k2 is the eviction victim.
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("k1 should be present")
+	}
+	c.add(k(3), shard.Result{Estimate: 3})
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("k2 should have been evicted (LRU)")
+	}
+	if _, ok := c.get(k(1)); !ok {
+		t.Fatal("k1 should have survived (recently used)")
+	}
+	if _, ok := c.get(k(3)); !ok {
+		t.Fatal("k3 should be present")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRURefreshExisting(t *testing.T) {
+	c := newLRUCache(2)
+	k := quantizeKey("t", geom.NewRect(0, 0, 1, 1), 1)
+	c.add(k, shard.Result{Estimate: 1})
+	c.add(k, shard.Result{Estimate: 9})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (refresh, not duplicate)", c.len())
+	}
+	res, ok := c.get(k)
+	if !ok || res.Estimate != 9 {
+		t.Fatalf("get = %+v %v, want refreshed estimate 9", res, ok)
+	}
+}
+
+func TestInvalidateTableSelective(t *testing.T) {
+	c := newLRUCache(8)
+	ka := quantizeKey("a", geom.NewRect(0, 0, 1, 1), 1)
+	kb := quantizeKey("b", geom.NewRect(0, 0, 1, 1), 1)
+	c.add(ka, shard.Result{Estimate: 1})
+	c.add(kb, shard.Result{Estimate: 2})
+	c.invalidateTable("a")
+	if _, ok := c.get(ka); ok {
+		t.Fatal("table a should be invalidated")
+	}
+	if _, ok := c.get(kb); !ok {
+		t.Fatal("table b must survive a's invalidation")
+	}
+}
+
+func TestQuantizeKeySnapsNeighbours(t *testing.T) {
+	q1 := geom.NewRect(0.10, 0.20, 10.10, 10.20)
+	q2 := geom.NewRect(0.12, 0.18, 10.08, 10.22) // within 0.5 lattice
+	if quantizeKey("t", q1, 0.5) != quantizeKey("t", q2, 0.5) {
+		t.Error("nearby rects should share a key at quantum 0.5")
+	}
+	q3 := geom.NewRect(5, 5, 15, 15)
+	if quantizeKey("t", q1, 0.5) == quantizeKey("t", q3, 0.5) {
+		t.Error("distant rects must not share a key")
+	}
+	// Quantum <= 0 keys on the exact rectangle.
+	if quantizeKey("t", q1, -1) == quantizeKey("t", q2, -1) {
+		t.Error("negative quantum must use exact keys")
+	}
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errShed reports an admission rejection: every backend slot stayed
+// busy for the whole queue timeout. Handlers map it to 503.
+var errShed = errors.New("serve: overloaded, request shed after queue timeout")
+
+// gate is a counting-semaphore admission controller with a bounded
+// queue wait: a request either gets a slot within queueTimeout or is
+// shed. Shedding early under overload keeps served latency bounded
+// instead of letting every request crawl (the classic admission-control
+// argument).
+type gate struct {
+	sem          chan struct{}
+	queueTimeout time.Duration
+}
+
+func newGate(slots int, queueTimeout time.Duration) *gate {
+	return &gate{sem: make(chan struct{}, slots), queueTimeout: queueTimeout}
+}
+
+// acquire obtains a slot, failing with errShed after the queue timeout
+// or the context error if ctx dies first. The fast path (free slot) is
+// a single non-blocking channel send.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(g.queueTimeout)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot.
+func (g *gate) release() { <-g.sem }
+
+// inFlight returns the currently held slots (for telemetry).
+func (g *gate) inFlight() int { return len(g.sem) }

@@ -1,0 +1,375 @@
+// Package serve is the scale-out serving tier over the estimation
+// stack: an HTTP JSON API (/estimate, /analyze, /healthz) fronted by
+// an LRU cache of quantized query results, singleflight deduplication
+// of concurrent identical misses, and a semaphore admission gate that
+// sheds excess load after a bounded queue wait. It exists so that the
+// heavy-traffic path of the ROADMAP — millions of cheap estimate
+// lookups against statistics that rebuild rarely — hits the histograms
+// only when it must.
+//
+// The layering per request is: parse → cache lookup → singleflight
+// (leader only: admission gate → backend with a per-request deadline)
+// → cache fill. Partial (degraded) results are returned to the caller
+// but never cached: a deadline hiccup must not poison the cache until
+// the next ANALYZE.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// Backend is the estimation engine the server fronts. Implementations
+// must be safe for concurrent use; *spatialdb.DB satisfies this.
+type Backend interface {
+	// EstimateContext estimates q against the named table's
+	// statistics, degrading gracefully under ctx pressure.
+	EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error)
+	// AnalyzeContext (re)builds the named table's statistics.
+	AnalyzeContext(ctx context.Context, table string) error
+	// Tables lists the tables that can be estimated against.
+	Tables() []string
+}
+
+// Config tunes the serving tier. The zero value serves with sensible
+// defaults.
+type Config struct {
+	// MaxInFlight bounds concurrent backend estimates (the admission
+	// gate width). Default 64.
+	MaxInFlight int
+	// QueueTimeout is how long an admitted-over-capacity request may
+	// wait for a slot before being shed with 503. Default 100ms.
+	QueueTimeout time.Duration
+	// EstimateTimeout is the per-request scatter-gather deadline; when
+	// it expires the backend degrades to a Partial result. Default
+	// 250ms.
+	EstimateTimeout time.Duration
+	// AnalyzeTimeout bounds an /analyze rebuild. Default 2m.
+	AnalyzeTimeout time.Duration
+	// CacheSize is the LRU capacity in entries. Default 4096;
+	// negative disables caching.
+	CacheSize int
+	// CacheQuantum is the query-coordinate quantization step: queries
+	// snapped to the same lattice cell share a cache entry. Default
+	// 1e-6 (far below any meaningful geometric resolution; see
+	// DESIGN.md "cache key quantization"). Zero keeps the default;
+	// negative disables quantization (exact-rect keys).
+	CacheQuantum float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.EstimateTimeout == 0 {
+		c.EstimateTimeout = 250 * time.Millisecond
+	}
+	if c.AnalyzeTimeout == 0 {
+		c.AnalyzeTimeout = 2 * time.Minute
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.CacheQuantum == 0 {
+		c.CacheQuantum = 1e-6
+	}
+	return c
+}
+
+// Server is the serving tier. Create with New, mount Handler on any
+// mux or serve directly with Serve, and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	backend Backend
+	cache   *lruCache
+	flights *flightGroup
+	gate    *gate
+	httpSrv *http.Server
+
+	// Telemetry (nil-safe when EnableTelemetry was never called).
+	reg            *telemetry.Registry
+	hits           *telemetry.Counter
+	misses         *telemetry.Counter
+	suppressed     *telemetry.Counter
+	shed           *telemetry.Counter
+	queueTimeouts  *telemetry.Counter
+	partials       *telemetry.Counter
+	requestSeconds *telemetry.Histogram
+	cacheEntries   *telemetry.Gauge
+	inFlight       *telemetry.Gauge
+}
+
+// New creates a server over the backend.
+func New(backend Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		backend: backend,
+		flights: newFlightGroup(),
+		gate:    newGate(cfg.MaxInFlight, cfg.QueueTimeout),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	// The http.Server is created up front so Serve and Shutdown can be
+	// called from different goroutines without racing on the field.
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// EnableTelemetry registers the serving metrics in reg: cache
+// hit/miss/singleflight-suppression counters, shed and queue-timeout
+// counters, request latencies, and live cache/in-flight gauges. A nil
+// reg leaves telemetry disabled. Call before Serve: the metric fields
+// are written plainly and must not race with request handling.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.reg = reg
+	s.hits = reg.Counter("serve_cache_hits_total", "Estimate cache hits.")
+	s.misses = reg.Counter("serve_cache_misses_total", "Estimate cache misses (backend consulted).")
+	s.suppressed = reg.Counter("serve_singleflight_suppressed_total",
+		"Duplicate concurrent estimates answered by another caller's flight.")
+	s.shed = reg.Counter("serve_shed_total",
+		"Requests shed by the admission gate after the queue timeout.")
+	s.queueTimeouts = reg.Counter("serve_queue_timeout_total",
+		"Admission waits that hit the queue timeout (same events as serve_shed_total).")
+	s.partials = reg.Counter("serve_partial_results_total",
+		"Estimates served degraded (deadline expired mid-scatter).")
+	s.requestSeconds = reg.Histogram("serve_request_seconds",
+		"End-to-end estimate latency including cache and admission.",
+		telemetry.DefaultLatencyBuckets)
+	s.cacheEntries = reg.Gauge("serve_cache_entries", "Live estimate cache entries.")
+	s.inFlight = reg.Gauge("serve_in_flight", "Backend estimates currently executing.")
+}
+
+// EstimateResponse is the JSON body of /estimate and the return of
+// Estimate.
+type EstimateResponse struct {
+	Table    string  `json:"table"`
+	Query    [4]float64 `json:"query"` // minx, miny, maxx, maxy
+	Estimate float64 `json:"estimate"`
+	// Partial reports graceful degradation: part of the answer came
+	// from the uniformity fallback because the deadline expired.
+	Partial bool `json:"partial"`
+	// Cached reports the answer came from the LRU without touching the
+	// backend.
+	Cached bool `json:"cached"`
+	// Shared reports the answer was computed by a concurrent identical
+	// request's flight.
+	Shared        bool `json:"shared,omitempty"`
+	ShardsQueried int  `json:"shards_queried"`
+	ShardsMissed  int  `json:"shards_missed,omitempty"`
+}
+
+// Estimate runs the full serving path — cache, singleflight, gate,
+// backend — for one query. It is the engine behind the /estimate
+// handler and is exported for in-process callers and benchmarks.
+func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (EstimateResponse, error) {
+	start := time.Now()
+	defer s.requestSeconds.ObserveSince(start)
+	if !q.Valid() {
+		return EstimateResponse{}, fmt.Errorf("serve: invalid query rectangle %v", q)
+	}
+	resp := EstimateResponse{Table: table, Query: [4]float64{q.MinX, q.MinY, q.MaxX, q.MaxY}}
+	key := quantizeKey(table, q, s.cfg.CacheQuantum)
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			s.hits.Inc()
+			resp.Estimate, resp.Partial, resp.Cached = res.Estimate, res.Partial, true
+			resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
+			return resp, nil
+		}
+	}
+	s.misses.Inc()
+	res, err, shared := s.flights.do(ctx, key, func() (shard.Result, error) {
+		if err := s.gate.acquire(ctx); err != nil {
+			return shard.Result{}, err
+		}
+		defer s.gate.release()
+		s.inFlight.Set(float64(s.gate.inFlight()))
+		ectx, cancel := context.WithTimeout(ctx, s.cfg.EstimateTimeout)
+		defer cancel()
+		return s.backend.EstimateContext(ectx, table, q)
+	})
+	if shared {
+		s.suppressed.Inc()
+	}
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.shed.Inc()
+			s.queueTimeouts.Inc()
+		}
+		return EstimateResponse{}, err
+	}
+	if res.Partial {
+		s.partials.Inc()
+	} else if s.cache != nil && !shared {
+		// Only complete results enter the cache, and only once per
+		// flight (the leader writes; followers would be re-writes).
+		s.cache.add(key, res)
+		s.cacheEntries.Set(float64(s.cache.len()))
+	}
+	resp.Estimate, resp.Partial, resp.Shared = res.Estimate, res.Partial, shared
+	resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
+	return resp, nil
+}
+
+// AnalyzeResponse is the JSON body of /analyze.
+type AnalyzeResponse struct {
+	Table   string  `json:"table"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Analyze rebuilds the named table's statistics and invalidates its
+// cached estimates.
+func (s *Server) Analyze(ctx context.Context, table string) (AnalyzeResponse, error) {
+	actx, cancel := context.WithTimeout(ctx, s.cfg.AnalyzeTimeout)
+	defer cancel()
+	start := time.Now()
+	if err := s.backend.AnalyzeContext(actx, table); err != nil {
+		return AnalyzeResponse{}, err
+	}
+	if s.cache != nil {
+		s.cache.invalidateTable(table)
+		s.cacheEntries.Set(float64(s.cache.len()))
+	}
+	return AnalyzeResponse{Table: table, Seconds: time.Since(start).Seconds()}, nil
+}
+
+// Handler returns the API mux: /estimate, /analyze, /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// requestCounter counts one API request by endpoint and status code.
+func (s *Server) requestCounter(endpoint string, code int) *telemetry.Counter {
+	if s.reg == nil {
+		return nil
+	}
+	return s.reg.Counter("serve_requests_total",
+		"API requests by endpoint and status code.",
+		telemetry.Label{Key: "endpoint", Value: endpoint},
+		telemetry.Label{Key: "code", Value: strconv.Itoa(code)})
+}
+
+// writeJSON writes v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	s.requestCounter(endpoint, code).Inc()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v) // client gone is the only failure; nothing to do
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps an error to a status code and JSON body.
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errShed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	}
+	s.writeJSON(w, endpoint, code, errorBody{Error: err.Error()})
+}
+
+// parseRectParams reads minx/miny/maxx/maxy query parameters.
+func parseRectParams(r *http.Request) (geom.Rect, error) {
+	var vals [4]float64
+	for i, name := range [...]string{"minx", "miny", "maxx", "maxy"} {
+		raw := r.URL.Query().Get(name)
+		if raw == "" {
+			return geom.Rect{}, fmt.Errorf("missing parameter %q", name)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("bad parameter %q: %v", name, err)
+		}
+		vals[i] = v
+	}
+	q := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if !q.Valid() {
+		return geom.Rect{}, fmt.Errorf("invalid rectangle %v", q)
+	}
+	return q, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		s.writeJSON(w, "estimate", http.StatusBadRequest, errorBody{Error: "missing parameter \"table\""})
+		return
+	}
+	q, err := parseRectParams(r)
+	if err != nil {
+		s.writeJSON(w, "estimate", http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	resp, err := s.Estimate(r.Context(), table, q)
+	if err != nil {
+		s.writeError(w, "estimate", err)
+		return
+	}
+	s.writeJSON(w, "estimate", http.StatusOK, resp)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeJSON(w, "analyze", http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		s.writeJSON(w, "analyze", http.StatusBadRequest, errorBody{Error: "missing parameter \"table\""})
+		return
+	}
+	resp, err := s.Analyze(r.Context(), table)
+	if err != nil {
+		s.writeError(w, "analyze", err)
+		return
+	}
+	s.writeJSON(w, "analyze", http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "healthz", http.StatusOK, struct {
+		Status string   `json:"status"`
+		Tables []string `json:"tables"`
+	}{Status: "ok", Tables: s.backend.Tables()})
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after a clean Shutdown that error is
+// http.ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: in-flight requests get until
+// ctx's deadline to finish, then connections are closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}

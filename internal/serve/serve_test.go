@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// stubBackend is a controllable Backend: per-call delay, failure
+// injection, and call counting.
+type stubBackend struct {
+	mu        sync.Mutex
+	estimates atomic.Int64
+	analyzes  atomic.Int64
+	delay     time.Duration
+	block     chan struct{} // when non-nil, estimates wait here
+	err       error
+	partial   bool
+}
+
+func (b *stubBackend) EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error) {
+	b.estimates.Add(1)
+	b.mu.Lock()
+	delay, block, err, partial := b.delay, b.block, b.err, b.partial
+	b.mu.Unlock()
+	if block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return shard.Result{Estimate: 1, Partial: true, ShardsQueried: 1, ShardsMissed: 1}, nil
+		}
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return shard.Result{Estimate: 1, Partial: true, ShardsQueried: 1, ShardsMissed: 1}, nil
+		}
+	}
+	if err != nil {
+		return shard.Result{}, err
+	}
+	return shard.Result{Estimate: q.Area(), Partial: partial, ShardsTotal: 2, ShardsQueried: 2}, nil
+}
+
+func (b *stubBackend) AnalyzeContext(ctx context.Context, table string) error {
+	b.analyzes.Add(1)
+	b.mu.Lock()
+	err := b.err
+	b.mu.Unlock()
+	return err
+}
+
+func (b *stubBackend) Tables() []string { return []string{"roads"} }
+
+func q(x0, y0, x1, y1 float64) geom.Rect { return geom.NewRect(x0, y0, x1, y1) }
+
+func TestEstimateCacheHit(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{})
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(reg)
+	ctx := context.Background()
+
+	r1, err := s.Estimate(ctx, "roads", q(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first lookup cannot be cached")
+	}
+	r2, err := s.Estimate(ctx, "roads", q(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("identical second lookup must hit the cache")
+	}
+	if r2.Estimate != r1.Estimate {
+		t.Fatalf("cached estimate %v != original %v", r2.Estimate, r1.Estimate)
+	}
+	if got := b.estimates.Load(); got != 1 {
+		t.Fatalf("backend consulted %d times, want 1", got)
+	}
+	if reg.Counter("serve_cache_hits_total", "").Value() != 1 {
+		t.Error("hit counter should be 1")
+	}
+	if reg.Counter("serve_cache_misses_total", "").Value() != 1 {
+		t.Error("miss counter should be 1")
+	}
+}
+
+func TestEstimateCacheQuantization(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{CacheQuantum: 0.5})
+	ctx := context.Background()
+	if _, err := s.Estimate(ctx, "roads", q(0, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Within half a quantum of the first query: same lattice cell.
+	r2, err := s.Estimate(ctx, "roads", q(0.1, 0.1, 10.1, 10.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("query within the same lattice cell should hit")
+	}
+	// A different table must not share entries.
+	r3, err := s.Estimate(ctx, "other", q(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Fatal("different table must miss")
+	}
+}
+
+func TestPartialResultsNotCached(t *testing.T) {
+	b := &stubBackend{partial: true}
+	s := New(b, Config{})
+	ctx := context.Background()
+	r1, err := s.Estimate(ctx, "roads", q(0, 0, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Partial {
+		t.Fatal("stub should have produced a partial result")
+	}
+	r2, err := s.Estimate(ctx, "roads", q(0, 0, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Fatal("partial results must not be cached")
+	}
+	if b.estimates.Load() != 2 {
+		t.Fatalf("backend consulted %d times, want 2", b.estimates.Load())
+	}
+}
+
+func TestAnalyzeInvalidatesCache(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{})
+	ctx := context.Background()
+	if _, err := s.Estimate(ctx, "roads", q(0, 0, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(ctx, "roads"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Estimate(ctx, "roads", q(0, 0, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatal("analyze must invalidate the table's cached estimates")
+	}
+}
+
+func TestSingleflightSuppressesDuplicates(t *testing.T) {
+	block := make(chan struct{})
+	b := &stubBackend{block: block}
+	s := New(b, Config{})
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(reg)
+	ctx := context.Background()
+
+	const racers = 8
+	var wg sync.WaitGroup
+	results := make([]EstimateResponse, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Estimate(ctx, "roads", q(0, 0, 7, 7))
+		}(i)
+	}
+	// Let the leader reach the backend and the followers pile up, then
+	// release everyone.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.estimates.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers join the flight
+	close(block)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	if got := b.estimates.Load(); got != 1 {
+		t.Fatalf("backend consulted %d times, want 1 (singleflight)", got)
+	}
+	shared := 0
+	for _, r := range results {
+		if r.Shared {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no racer reported a shared flight")
+	}
+	if got := reg.Counter("serve_singleflight_suppressed_total", "").Value(); got == 0 {
+		t.Error("suppression counter should be > 0")
+	}
+}
+
+func TestAdmissionGateSheds(t *testing.T) {
+	block := make(chan struct{})
+	b := &stubBackend{block: block}
+	s := New(b, Config{MaxInFlight: 1, QueueTimeout: 30 * time.Millisecond, CacheSize: -1})
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(reg)
+	ctx := context.Background()
+
+	// Occupy the only slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Estimate(ctx, "roads", q(0, 0, 1, 1))
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.estimates.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A different query (different flight) must shed after the queue
+	// timeout.
+	_, err := s.Estimate(ctx, "roads", q(5, 5, 6, 6))
+	if !errors.Is(err, errShed) {
+		t.Fatalf("want errShed, got %v", err)
+	}
+	if got := reg.Counter("serve_shed_total", "").Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{})
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(reg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// /healthz
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string   `json:"status"`
+		Tables []string `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("/healthz: %d %+v", resp.StatusCode, health)
+	}
+	if len(health.Tables) != 1 || health.Tables[0] != "roads" {
+		t.Fatalf("/healthz tables: %v", health.Tables)
+	}
+
+	// /estimate
+	resp, err = http.Get(ts.URL + "/estimate?table=roads&minx=0&miny=0&maxx=10&maxy=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/estimate: status %d", resp.StatusCode)
+	}
+	if est.Estimate != 100 { // stub returns q.Area()
+		t.Fatalf("/estimate: got %v, want 100", est.Estimate)
+	}
+
+	// /estimate parameter validation
+	for _, bad := range []string{
+		"/estimate?minx=0&miny=0&maxx=1&maxy=1",       // no table
+		"/estimate?table=roads&minx=0",                // missing coords
+		"/estimate?table=roads&minx=a&miny=0&maxx=1&maxy=1", // non-numeric
+		"/estimate?table=roads&minx=5&miny=0&maxx=1&maxy=1", // inverted
+	} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// /analyze requires POST
+	resp, err = http.Get(ts.URL + "/analyze?table=roads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("/analyze GET: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/analyze?table=roads", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var an AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&an); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || an.Table != "roads" {
+		t.Fatalf("/analyze POST: %d %+v", resp.StatusCode, an)
+	}
+	if b.analyzes.Load() != 1 {
+		t.Fatalf("backend analyzes = %d, want 1", b.analyzes.Load())
+	}
+
+	// Request counters carried endpoint/code labels.
+	if got := reg.Counter("serve_requests_total", "",
+		telemetry.Label{Key: "endpoint", Value: "healthz"},
+		telemetry.Label{Key: "code", Value: "200"}).Value(); got != 1 {
+		t.Errorf("healthz 200 counter = %d, want 1", got)
+	}
+}
+
+func TestHTTPBackendError(t *testing.T) {
+	b := &stubBackend{err: fmt.Errorf("no such table")}
+	s := New(b, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/estimate?table=nope&minx=0&miny=0&maxx=1&maxy=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || body.Error == "" {
+		t.Fatalf("backend error: %d %+v", resp.StatusCode, body)
+	}
+}
+
+func TestServeAndGracefulShutdown(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{})
+	ln, err := net_Listen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	// The endpoint must answer while serving.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}

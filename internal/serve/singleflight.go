@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/shard"
+)
+
+// flightGroup deduplicates concurrent identical estimate misses: the
+// first caller for a key becomes the leader and computes; followers
+// block until the leader finishes and share its result. Unlike the
+// x/sync implementation this one is specialized to (Result, error) and
+// lets a follower abandon the wait when its own context dies — the
+// leader keeps computing for the remaining waiters.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done chan struct{} // closed when res/err are final
+	res  shard.Result
+	err  error
+	dups int // followers that joined
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[cacheKey]*flightCall)}
+}
+
+// do returns the result of fn for key, running fn exactly once across
+// concurrent callers. shared reports whether this caller joined an
+// existing flight (true) or led it (false). A follower whose ctx ends
+// first returns ctx.Err(); the flight itself is unaffected.
+func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() (shard.Result, error)) (res shard.Result, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err, true
+		case <-ctx.Done():
+			return shard.Result{}, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, c.err, false
+}

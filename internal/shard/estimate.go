@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Result is a scatter-gather estimate. When Partial is false the
+// estimate is exactly the sum of every relevant shard's histogram
+// contribution — equal (up to float summation order) to walking the
+// union of all shard buckets in one thread. When Partial is true the
+// context expired mid-scatter: Estimate sums the shards that completed
+// plus the single-bucket uniformity fallback for each missed shard,
+// a degraded but well-defined answer (never an error).
+type Result struct {
+	// Estimate is the estimated number of input rectangles
+	// intersecting the query.
+	Estimate float64
+	// Partial reports that at least one shard was approximated by its
+	// uniformity fallback because the context was done first.
+	Partial bool
+	// ShardsTotal is the number of live shards.
+	ShardsTotal int
+	// ShardsQueried is the scatter fan-out: shards whose padded MBR
+	// intersects the query.
+	ShardsQueried int
+	// ShardsMissed is how many of the queried shards were answered by
+	// the fallback (0 unless Partial).
+	ShardsMissed int
+}
+
+// shardAnswer carries one shard's partial count back to the gatherer.
+type shardAnswer struct {
+	idx int
+	est float64
+}
+
+// Estimate scatter-gathers without a deadline; it never degrades.
+func (sc *ShardedCatalog) Estimate(q geom.Rect) (Result, error) {
+	return sc.EstimateContext(context.Background(), q)
+}
+
+// EstimateContext estimates the result size of q by scatter-gathering
+// the shards whose padded MBRs intersect q and merging their partial
+// counts. If ctx is cancelled or its deadline expires mid-scatter, the
+// missed shards are approximated by their uniformity fallback and the
+// result is flagged Partial — degradation is graceful, not an error.
+// The only errors are structural: no statistics yet, or an invalid
+// query rectangle.
+func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Result, error) {
+	if !q.Valid() {
+		return Result{}, fmt.Errorf("shard: invalid query rectangle %v", q)
+	}
+	sc.mu.RLock()
+	shards := sc.shards
+	hook := sc.estimateHook
+	fanout, estimates, partials, missedCtr := sc.fanout, sc.estimates, sc.partials, sc.missedShards
+	sc.mu.RUnlock()
+	if shards == nil {
+		return Result{}, fmt.Errorf("shard: no statistics; run AnalyzeContext first")
+	}
+
+	// Route: only shards whose padded MBR the query can reach. The
+	// padding makes pruning exact (see shardStat.routeBox), so the
+	// pruned shards would have contributed zero anyway.
+	relevant := make([]int, 0, len(shards))
+	for i, s := range shards {
+		if s.routeBox.Intersects(q) {
+			relevant = append(relevant, i)
+		}
+	}
+	estimates.Inc()
+	fanout.Observe(float64(len(relevant)))
+	res := Result{ShardsTotal: len(shards), ShardsQueried: len(relevant)}
+	if len(relevant) == 0 {
+		return res, nil
+	}
+
+	// Fast path: a single relevant shard with a live context needs no
+	// goroutine — the estimate is a pure in-memory bucket walk. (A test
+	// hook forces the scatter path so degradation stays exercisable.)
+	if len(relevant) == 1 && hook == nil && ctx.Err() == nil {
+		res.Estimate = shards[relevant[0]].hist.Estimate(q)
+		return res, nil
+	}
+
+	// Scatter. The answer channel is buffered to the fan-out so late
+	// finishers never block after the gatherer has bailed out; they
+	// write their answer and exit, and the channel is garbage.
+	answers := make(chan shardAnswer, len(relevant))
+	for _, idx := range relevant {
+		go func(idx int) {
+			if hook != nil {
+				hook(idx)
+			}
+			answers <- shardAnswer{idx: idx, est: shards[idx].hist.Estimate(q)}
+		}(idx)
+	}
+
+	// Gather until every shard reported or the context is done.
+	done := make(map[int]bool, len(relevant))
+	var total float64
+	for len(done) < len(relevant) {
+		select {
+		case a := <-answers:
+			total += a.est
+			done[a.idx] = true
+		case <-ctx.Done():
+			// Degrade: uniformity fallback for every shard still out.
+			// Drain anything that raced in first — a real partial count
+			// beats the fallback.
+			for drained := true; drained && len(done) < len(relevant); {
+				select {
+				case a := <-answers:
+					total += a.est
+					done[a.idx] = true
+				default:
+					drained = false
+				}
+			}
+			for _, idx := range relevant {
+				if !done[idx] {
+					total += shards[idx].fallback.Estimate(q)
+					res.ShardsMissed++
+				}
+			}
+			res.Estimate = total
+			res.Partial = true
+			partials.Inc()
+			missedCtr.Add(uint64(res.ShardsMissed))
+			return res, nil
+		}
+	}
+	res.Estimate = total
+	return res, nil
+}

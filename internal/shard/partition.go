@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// piece is one partition cell before its histogram is built: the
+// region rectangle the partitioner assigned and the member rectangles
+// (those whose centers fall in the region).
+type piece struct {
+	region geom.Rect
+	rects  []geom.Rect
+}
+
+func (p piece) n() int { return len(p.rects) }
+
+// partition divides the distribution into at most cfg.Shards non-empty
+// pieces using the configured strategy. Assignment is by rectangle
+// center, mirroring the bucket-membership rule of Algorithm Min-Skew;
+// pieces that receive no centers are dropped (an empty shard has
+// nothing to estimate).
+func partition(d *dataset.Distribution, cfg Config) ([]piece, error) {
+	if cfg.Shards <= 1 || d.N() <= 1 {
+		mbr, _ := d.MBR()
+		return []piece{{region: mbr, rects: append([]geom.Rect(nil), d.Rects()...)}}, nil
+	}
+	switch cfg.Strategy {
+	case StrategySTR:
+		return partitionSTR(d, cfg.Shards), nil
+	default:
+		return partitionMinSkew(d, cfg)
+	}
+}
+
+// partitionMinSkew obtains shard regions from the first K-1 greedy
+// Min-Skew splits over a coarse grid and assigns each rectangle to the
+// region containing its center (ties go to the first region, the same
+// first-match rule BucketEstimator uses).
+func partitionMinSkew(d *dataset.Distribution, cfg Config) ([]piece, error) {
+	// A coarse grid suffices to place K-1 splits; cap it well below the
+	// per-shard build grids so partitioning stays a small fraction of
+	// the total ANALYZE cost.
+	regions := cfg.Regions / cfg.Shards
+	if regions > 4096 {
+		regions = 4096
+	}
+	if regions < 256 {
+		regions = 256
+	}
+	cells, err := core.MinSkewPartition(d, cfg.Shards, regions)
+	if err != nil {
+		return nil, err
+	}
+	pieces := make([]piece, len(cells))
+	for i, r := range cells {
+		pieces[i].region = r
+	}
+	for _, r := range d.Rects() {
+		c := r.Center()
+		target := -1
+		for i := range pieces {
+			if pieces[i].region.ContainsPoint(c) {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			// The regions tile the MBR, but a center sitting exactly on a
+			// block boundary can miss every closed region by one ulp of
+			// the boundary arithmetic. Losing the rectangle would bias
+			// every estimate; route it to the nearest region instead.
+			target = nearestRegion(pieces, c)
+		}
+		pieces[target].rects = append(pieces[target].rects, r)
+	}
+	return compact(pieces), nil
+}
+
+// partitionSTR tiles the centers Sort-Tile-Recursive style into
+// exactly k cardinality-balanced tiles: ceil(sqrt(k)) vertical slices,
+// each cut into a near-equal share of k horizontal tiles.
+func partitionSTR(d *dataset.Distribution, k int) []piece {
+	rects := append([]geom.Rect(nil), d.Rects()...)
+	if k > len(rects) {
+		k = len(rects)
+	}
+	sort.Slice(rects, func(i, j int) bool {
+		ci, cj := rects[i].Center(), rects[j].Center()
+		if ci.X != cj.X { //spatialvet:ignore floatcmp exact sort tiebreak, equality only picks the secondary key
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+	slices := isqrtCeil(k)
+	base, extra := k/slices, k%slices
+	var pieces []piece
+	offset := 0
+	for s := 0; s < slices; s++ {
+		tiles := base
+		if s < extra {
+			tiles++
+		}
+		// Rows for this slice: proportional share of what remains.
+		slicesLeft := slices - s
+		rows := (len(rects) - offset + slicesLeft - 1) / slicesLeft
+		sl := rects[offset : offset+rows]
+		offset += rows
+		sort.Slice(sl, func(i, j int) bool {
+			ci, cj := sl[i].Center(), sl[j].Center()
+			if ci.Y != cj.Y { //spatialvet:ignore floatcmp exact sort tiebreak, equality only picks the secondary key
+				return ci.Y < cj.Y
+			}
+			return ci.X < cj.X
+		})
+		for t := 0; t < tiles; t++ {
+			tilesLeft := tiles - t
+			n := (len(sl) + tilesLeft - 1) / tilesLeft
+			tile := sl[:n]
+			sl = sl[n:]
+			if len(tile) == 0 {
+				continue
+			}
+			region, _ := geom.MBR(tile)
+			pieces = append(pieces, piece{region: region, rects: tile})
+		}
+	}
+	return compact(pieces)
+}
+
+// nearestRegion returns the index of the piece whose region is
+// closest to p (squared axis distance; 0 inside).
+func nearestRegion(pieces []piece, p geom.Point) int {
+	best, bestD := 0, -1.0
+	for i := range pieces {
+		r := pieces[i].region
+		dx := axisDist(p.X, r.MinX, r.MaxX)
+		dy := axisDist(p.Y, r.MinY, r.MaxY)
+		d := dx*dx + dy*dy
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// axisDist is the distance from v to the interval [lo, hi] (0 inside).
+func axisDist(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
+}
+
+// compact drops empty pieces.
+func compact(pieces []piece) []piece {
+	out := pieces[:0]
+	for _, p := range pieces {
+		if p.n() > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// isqrtCeil returns ceil(sqrt(k)) for small positive k without
+// floating-point round-trips.
+func isqrtCeil(k int) int {
+	s := 1
+	for s*s < k {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,203 @@
+package shard
+
+// Sharded-vs-monolithic equivalence properties. Three statements, in
+// decreasing strength:
+//
+//  P1 (scatter-gather losslessness, exact): for any K and any query, a
+//     complete (non-partial) EstimateContext equals a single-threaded
+//     walk over the union of all shard buckets within geom.FloatEq.
+//     Routing, concurrency and merging add zero estimation error; only
+//     float summation order differs.
+//
+//  P2 (K=1 degeneracy, exact): with one shard the sharded catalog IS
+//     the monolithic catalog — same Min-Skew build over the same data
+//     and budgets — so estimates match within geom.FloatEq everywhere.
+//
+//  P3 (cross-partitioning consistency, bounded): for K>1 the per-shard
+//     histograms partition the budget differently than one global
+//     build, so estimates differ — but both approximate the same
+//     ground truth under the same uniformity assumption. On queries
+//     fully inside a single shard region the deviation is bounded by
+//     the per-bucket approximation error of the coarser build; on the
+//     deterministic workloads here the observed worst case is under
+//     0.10·N_exact + 10, and the test enforces the documented bound of
+//     0.25·N_exact + 15 (comfortable headroom, deterministic seeds).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+// flatten builds a single monolithic BucketEstimator over the union of
+// every live shard's buckets.
+func flatten(sc *ShardedCatalog) *core.BucketEstimator {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	var all []core.Bucket
+	for _, s := range sc.shards {
+		all = append(all, s.hist.Buckets()...)
+	}
+	return core.NewBucketEstimator("flat", all)
+}
+
+// randQueries returns count random valid query rectangles across the
+// distribution's MBR, a mix of small, large and degenerate (point)
+// queries.
+func randQueries(rng *rand.Rand, d *dataset.Distribution, count int) []geom.Rect {
+	mbr, _ := d.MBR()
+	w, h := mbr.Width(), mbr.Height()
+	out := make([]geom.Rect, 0, count)
+	for i := 0; i < count; i++ {
+		cx := mbr.MinX + rng.Float64()*w
+		cy := mbr.MinY + rng.Float64()*h
+		var qw, qh float64
+		switch i % 3 {
+		case 0: // small range query
+			qw, qh = w*0.02*rng.Float64(), h*0.02*rng.Float64()
+		case 1: // large range query
+			qw, qh = w*0.5*rng.Float64(), h*0.5*rng.Float64()
+		default: // point query
+		}
+		out = append(out, geom.RectAround(geom.Point{X: cx, Y: cy}, qw, qh))
+	}
+	return out
+}
+
+func TestPropertyScatterGatherLossless(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		d := synthetic.Charminar(2500, 1000, 10, seed)
+		for _, k := range []int{1, 2, 4, 8} {
+			for _, strategy := range []Strategy{StrategyMinSkew, StrategySTR} {
+				sc := buildSharded(t, d, Config{
+					Shards: k, Buckets: 64, Regions: 2048, Strategy: strategy,
+				})
+				flat := flatten(sc)
+				rng := rand.New(rand.NewSource(seed * 100))
+				for _, q := range randQueries(rng, d, 60) {
+					res, err := sc.Estimate(q)
+					if err != nil {
+						t.Fatalf("seed=%d K=%d %v: %v", seed, k, strategy, err)
+					}
+					if res.Partial {
+						t.Fatalf("seed=%d K=%d %v: unexpected partial", seed, k, strategy)
+					}
+					want := flat.Estimate(q)
+					if !geom.FloatEq(res.Estimate, want) {
+						t.Errorf("seed=%d K=%d %v q=%v: scatter %.10g != flat %.10g",
+							seed, k, strategy, q, res.Estimate, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyK1EqualsMonolithicCatalog(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		d := synthetic.Charminar(2500, 1000, 10, seed)
+		sc := buildSharded(t, d, Config{Shards: 1, Buckets: 64, Regions: 2048})
+		cat := catalog.New(catalog.Config{Buckets: 64, Regions: 2048})
+		if err := cat.Analyze("t", d); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 100))
+		for _, q := range randQueries(rng, d, 80) {
+			res, err := sc.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cat.Estimate("t", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !geom.FloatEq(res.Estimate, want) {
+				t.Errorf("seed=%d q=%v: sharded(K=1) %.10g != monolithic %.10g",
+					seed, q, res.Estimate, want)
+			}
+		}
+	}
+}
+
+// exactCount is the ground truth: input rectangles intersecting q.
+func exactCount(d *dataset.Distribution, q geom.Rect) int {
+	n := 0
+	for _, r := range d.Rects() {
+		if r.Intersects(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// insideOneShard reports whether q lies inside exactly one live shard
+// region.
+func insideOneShard(sc *ShardedCatalog, q geom.Rect) bool {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	n := 0
+	for _, s := range sc.shards {
+		if s.region.Contains(q) {
+			n++
+		}
+	}
+	return n == 1
+}
+
+func TestPropertyStraddleFreeQueriesNearMonolithic(t *testing.T) {
+	// The documented cross-partitioning bound (see the package comment
+	// at the top of this file): on queries fully inside one shard,
+	// |sharded - monolithic| <= 0.25*exact + 15.
+	const relBound, absBound = 0.25, 15.0
+	seeds := []int64{6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		d := synthetic.Charminar(2500, 1000, 10, seed)
+		cat := catalog.New(catalog.Config{Buckets: 64, Regions: 2048})
+		if err := cat.Analyze("t", d); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 4, 8} {
+			sc := buildSharded(t, d, Config{Shards: k, Buckets: 64, Regions: 2048})
+			rng := rand.New(rand.NewSource(seed * 1000))
+			checked := 0
+			for _, q := range randQueries(rng, d, 200) {
+				if !insideOneShard(sc, q) {
+					continue
+				}
+				checked++
+				res, err := sc.Estimate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mono, err := cat.Estimate("t", q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact := float64(exactCount(d, q))
+				diff := res.Estimate - mono
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > relBound*exact+absBound {
+					t.Errorf("seed=%d K=%d q=%v: |sharded %.2f - mono %.2f| = %.2f exceeds %.2f (exact %.0f)",
+						seed, k, q, res.Estimate, mono, diff, relBound*exact+absBound, exact)
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("seed=%d K=%d: no straddle-free queries generated", seed, k)
+			}
+		}
+	}
+}

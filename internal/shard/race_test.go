@@ -1,0 +1,64 @@
+package shard
+
+// Concurrency stress: estimates, rebuilds and telemetry enablement
+// race against each other. Run with -race (CI does); the assertions
+// here are secondary to the detector.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/telemetry"
+)
+
+func TestRaceEstimateDuringRebuild(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 31)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	sc.EnableTelemetry(telemetry.NewRegistry())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := geom.RectAround(geom.Point{
+					X: rng.Float64() * 1000, Y: rng.Float64() * 1000,
+				}, rng.Float64()*200, rng.Float64()*200)
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if g%2 == 0 {
+					// Half the readers carry tight deadlines so the
+					// degradation path races too.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(50))*time.Microsecond)
+				}
+				_, err := sc.EstimateContext(ctx, q)
+				cancel()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sc.Analyze(d); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

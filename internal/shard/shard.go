@@ -1,0 +1,399 @@
+// Package shard scales the statistics catalog out horizontally: a
+// ShardedCatalog spatially partitions one distribution into K shards,
+// builds an independent Min-Skew histogram per shard concurrently on a
+// bounded worker pool, and answers estimates by scatter-gathering only
+// the shards a query can touch, merging the partial counts.
+//
+// The paper's construction-cost results (Table 1) are the motivation
+// on the build side: Min-Skew construction is dominated by the grid
+// sweep and the greedy split loop, both of which shrink superlinearly
+// with the per-shard data and grid size, so K parallel builds over
+// K-th sized inputs finish far sooner than one monolithic build. On
+// the query side, sharding bounds tail latency: a context deadline
+// expiring mid-scatter degrades the answer (uniformity fallback for
+// the missed shards, flagged Partial) instead of failing it.
+//
+// # Concurrency and immutability
+//
+// A built shard set is immutable: AnalyzeContext assembles a complete
+// new shard slice and swaps it in under the write lock, and
+// EstimateContext snapshots the slice under the read lock and then
+// scatters without holding any lock. Goroutines that outlive a
+// deadline therefore never race with a rebuild — they read the old
+// snapshot until they finish and the garbage collector reclaims it.
+// Churn (NoteInsert/NoteDelete) is intentionally not absorbed at this
+// layer; the serving tier rebuilds via AnalyzeContext instead.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/telemetry"
+)
+
+// Strategy selects how the input is divided into shard regions.
+type Strategy int
+
+const (
+	// StrategyMinSkew derives shard regions from the first K-1 greedy
+	// Min-Skew splits over a coarse grid (core.MinSkewPartition): shard
+	// boundaries follow the skew structure of the data, so each shard's
+	// histogram models an internally more uniform piece.
+	StrategyMinSkew Strategy = iota
+	// StrategySTR tiles the rectangle centers Sort-Tile-Recursive
+	// style: sort by center x, cut into vertical slices of equal
+	// cardinality, sort each slice by center y and cut again. Shards
+	// are balanced in row count regardless of skew.
+	StrategySTR
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMinSkew:
+		return "minskew"
+	case StrategySTR:
+		return "str"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config sets the sharding and per-shard statistics policy.
+type Config struct {
+	// Shards is K, the number of spatial shards. Default 4.
+	Shards int
+	// Buckets is the total bucket budget across all shards, divided
+	// among shards in proportion to their row counts (each shard keeps
+	// at least one bucket). Default 100, matching the monolithic
+	// catalog default so sharded and monolithic configurations occupy
+	// the same space.
+	Buckets int
+	// Regions is the total Min-Skew grid budget, divided like Buckets
+	// (each shard gets at least 64 cells). Default core.DefaultRegions.
+	Regions int
+	// Refinements is the per-shard progressive refinement count.
+	Refinements int
+	// Workers bounds the concurrent per-shard builds during
+	// AnalyzeContext. Default runtime.GOMAXPROCS(0).
+	Workers int
+	// Strategy selects the partitioner. Default StrategyMinSkew.
+	Strategy Strategy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 100
+	}
+	if c.Regions == 0 {
+		c.Regions = core.DefaultRegions
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// shardStat is one built shard: the routing geometry, the histogram,
+// and the single-bucket uniformity fallback used when a deadline
+// expires before the shard's partial count arrives. All fields are
+// immutable after construction.
+type shardStat struct {
+	// region is the partition cell the shard was assigned (tiles the
+	// input MBR); it is retained for inspection and visualization.
+	region geom.Rect
+	// mbr bounds the shard's member rectangles themselves.
+	mbr geom.Rect
+	// routeBox is mbr padded by half the largest average rectangle
+	// extent of any bucket, so that MBR pruning is exact: a query whose
+	// extension cannot reach routeBox contributes zero in every bucket
+	// of this shard (Bucket.Estimate extends the query by AvgW/2 and
+	// AvgH/2 before clipping).
+	routeBox geom.Rect
+	n        int
+	hist     *core.BucketEstimator
+	// fallback is the shard summarized as one bucket under the
+	// uniformity assumption of Section 3.1 — the degraded answer for a
+	// shard the deadline ran past.
+	fallback core.Bucket
+}
+
+// ShardedCatalog is a spatially sharded statistics catalog for one
+// distribution. All methods are safe for concurrent use.
+type ShardedCatalog struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	shards []*shardStat
+	bounds geom.Rect
+	rows   int
+
+	// estimateHook, when non-nil, runs inside each scattered shard
+	// goroutine before the bucket walk; tests install it to simulate
+	// slow shards and exercise mid-scatter degradation.
+	estimateHook func(shardIdx int)
+
+	// Telemetry (nil until EnableTelemetry; all no-ops then).
+	reg            *telemetry.Registry
+	buildSeconds   *telemetry.Histogram // per-shard build latency
+	analyzeSeconds *telemetry.Histogram // whole-rebuild latency
+	builds         *telemetry.Counter
+	fanout         *telemetry.Histogram
+	estimates      *telemetry.Counter
+	partials       *telemetry.Counter
+	missedShards   *telemetry.Counter
+	shardGauge     *telemetry.Gauge
+}
+
+// New creates an empty sharded catalog; call AnalyzeContext to build.
+func New(cfg Config) *ShardedCatalog {
+	return &ShardedCatalog{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (sc *ShardedCatalog) Config() Config { return sc.cfg }
+
+// fanoutBuckets are upper bounds for the scatter fan-out histogram:
+// how many shards a query touched.
+var fanoutBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// EnableTelemetry registers the sharded catalog's metrics in reg:
+// per-shard build latency, rebuild latency, scatter fan-out, estimate
+// and degradation counters. A nil reg leaves telemetry disabled.
+func (sc *ShardedCatalog) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.reg = reg
+	sc.buildSeconds = reg.Histogram("shard_build_seconds",
+		"Per-shard Min-Skew build latency.", telemetry.DefaultLatencyBuckets)
+	sc.analyzeSeconds = reg.Histogram("shard_analyze_seconds",
+		"End-to-end sharded ANALYZE latency (all shards).", telemetry.DefaultLatencyBuckets)
+	sc.builds = reg.Counter("shard_builds_total",
+		"Individual shard histogram builds completed.")
+	sc.fanout = reg.Histogram("shard_scatter_fanout",
+		"Shards queried per estimate after MBR pruning.", fanoutBuckets)
+	sc.estimates = reg.Counter("shard_estimates_total",
+		"Scatter-gather estimates served.")
+	sc.partials = reg.Counter("shard_partial_results_total",
+		"Estimates degraded by a deadline or cancellation mid-scatter.")
+	sc.missedShards = reg.Counter("shard_fallback_shards_total",
+		"Shards answered by the uniformity fallback instead of their histogram.")
+	sc.shardGauge = reg.Gauge("shard_shards",
+		"Shards in the live partitioning.")
+}
+
+// Analyzed reports whether the catalog has live statistics.
+func (sc *ShardedCatalog) Analyzed() bool {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.shards != nil
+}
+
+// Shards returns the number of live shards (0 before AnalyzeContext).
+func (sc *ShardedCatalog) Shards() int {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return len(sc.shards)
+}
+
+// Rows returns the number of rectangles covered by the live shards.
+func (sc *ShardedCatalog) Rows() int {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.rows
+}
+
+// ShardInfo describes one live shard for inspection.
+type ShardInfo struct {
+	Region  geom.Rect // partition cell assigned by the partitioner
+	MBR     geom.Rect // bounds of the member rectangles
+	Rows    int
+	Buckets int
+}
+
+// Info returns a snapshot describing the live shards, ordered as built.
+func (sc *ShardedCatalog) Info() []ShardInfo {
+	sc.mu.RLock()
+	shards := sc.shards
+	sc.mu.RUnlock()
+	out := make([]ShardInfo, len(shards))
+	for i, s := range shards {
+		out[i] = ShardInfo{Region: s.region, MBR: s.mbr, Rows: s.n, Buckets: len(s.hist.Buckets())}
+	}
+	return out
+}
+
+// Analyze builds the sharded statistics without a deadline. It is a
+// convenience wrapper around AnalyzeContext.
+func (sc *ShardedCatalog) Analyze(d *dataset.Distribution) error {
+	return sc.AnalyzeContext(context.Background(), d)
+}
+
+// AnalyzeContext partitions d into K shards and builds each shard's
+// Min-Skew histogram on a bounded worker pool. The context cancels the
+// build between shards: workers check ctx before starting each shard,
+// so cancellation takes effect within one shard-build granule. On
+// error or cancellation the previous shard set (if any) stays live.
+func (sc *ShardedCatalog) AnalyzeContext(ctx context.Context, d *dataset.Distribution) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("shard: analyze: %w", err)
+	}
+	bounds, ok := d.MBR()
+	if !ok {
+		return fmt.Errorf("shard: analyze over empty distribution")
+	}
+	start := time.Now()
+	// Snapshot the metric pointers: workers must not touch sc fields
+	// while EnableTelemetry could be swapping them under the lock.
+	sc.mu.RLock()
+	buildSeconds, builds := sc.buildSeconds, sc.builds
+	sc.mu.RUnlock()
+	parts, err := partition(d, sc.cfg)
+	if err != nil {
+		return fmt.Errorf("shard: analyze: %v", err)
+	}
+
+	built := make([]*shardStat, len(parts))
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, sc.cfg.Workers)
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := range parts {
+		if err := ctx.Err(); err != nil {
+			errOnce.Do(func() { firstErr = err })
+			break
+		}
+		sem <- struct{}{} // bounded pool: blocks until a worker slot frees
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			t0 := time.Now()
+			s, err := buildShard(parts[i], sc.cfg, len(parts), d.N())
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			buildSeconds.ObserveSince(t0)
+			builds.Inc()
+			built[i] = s
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("shard: analyze: %w", firstErr)
+	}
+
+	sc.mu.Lock()
+	sc.shards = built
+	sc.bounds = bounds
+	sc.rows = d.N()
+	sc.analyzeSeconds.ObserveSince(start)
+	sc.shardGauge.Set(float64(len(built)))
+	sc.mu.Unlock()
+	return nil
+}
+
+// buildShard constructs one shard's histogram and fallback from its
+// partition piece. totalShards and totalRows size the shard's slice of
+// the global bucket and grid budgets.
+func buildShard(p piece, cfg Config, totalShards, totalRows int) (*shardStat, error) {
+	sd := dataset.FromRects(p.rects)
+	buckets := proportional(cfg.Buckets, p.n(), totalRows, 1)
+	regions := proportional(cfg.Regions, p.n(), totalRows, 64)
+	hist, err := core.NewMinSkew(sd, core.MinSkewConfig{
+		Buckets:     buckets,
+		Regions:     regions,
+		Refinements: cfg.Refinements,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mbr, _ := sd.MBR()
+	s := &shardStat{
+		region: p.region,
+		mbr:    mbr,
+		n:      sd.N(),
+		hist:   hist,
+	}
+	s.fallback = uniformBucket(sd, mbr)
+	// Route with the MBR padded by half the largest per-bucket average
+	// extent: beyond that reach, every bucket's extended-query clip is
+	// empty, so pruning the shard cannot change the estimate.
+	var maxW, maxH float64
+	for _, b := range hist.Buckets() {
+		if b.AvgW > maxW {
+			maxW = b.AvgW
+		}
+		if b.AvgH > maxH {
+			maxH = b.AvgH
+		}
+	}
+	if s.fallback.AvgW > maxW {
+		maxW = s.fallback.AvgW
+	}
+	if s.fallback.AvgH > maxH {
+		maxH = s.fallback.AvgH
+	}
+	s.routeBox = s.mbr.Expand(maxW/2, maxH/2)
+	return s, nil
+}
+
+// uniformBucket summarizes the shard as one bucket under the
+// uniformity assumption (the Uniform technique of Section 3.1).
+func uniformBucket(d *dataset.Distribution, box geom.Rect) core.Bucket {
+	b := core.Bucket{Box: box, Count: d.N()}
+	if d.N() == 0 {
+		return b
+	}
+	b.AvgW = d.AvgWidth()
+	b.AvgH = d.AvgHeight()
+	if area := box.Area(); area > 0 {
+		b.AvgDensity = d.TotalArea() / area
+	} else {
+		b.AvgDensity = float64(d.N())
+	}
+	return b
+}
+
+// proportional divides a total budget in proportion to rows/totalRows,
+// never below min.
+func proportional(total, rows, totalRows, min int) int {
+	v := min
+	if totalRows > 0 {
+		if p := total * rows / totalRows; p > v {
+			v = p
+		}
+	}
+	return v
+}
+
+// sortInfoByRegion is a test helper ordering: shards sorted by region
+// MinX then MinY, so assertions are stable across build scheduling.
+func sortInfoByRegion(info []ShardInfo) {
+	sort.Slice(info, func(i, j int) bool {
+		if info[i].Region.MinX != info[j].Region.MinX { //spatialvet:ignore floatcmp exact sort tiebreak on partition boundaries
+			return info[i].Region.MinX < info[j].Region.MinX
+		}
+		return info[i].Region.MinY < info[j].Region.MinY
+	})
+}

@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/telemetry"
+)
+
+// buildSharded analyzes a fresh catalog over d, failing the test on
+// error.
+func buildSharded(t *testing.T, d *dataset.Distribution, cfg Config) *ShardedCatalog {
+	t.Helper()
+	sc := New(cfg)
+	if err := sc.Analyze(d); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return sc
+}
+
+func TestAnalyzePartitionsAllRows(t *testing.T) {
+	d := synthetic.Charminar(3000, 1000, 10, 7)
+	for _, strategy := range []Strategy{StrategyMinSkew, StrategySTR} {
+		for _, k := range []int{1, 3, 8} {
+			sc := buildSharded(t, d, Config{Shards: k, Buckets: 60, Regions: 1024, Strategy: strategy})
+			if sc.Shards() < 1 || sc.Shards() > k {
+				t.Errorf("%v K=%d: got %d shards", strategy, k, sc.Shards())
+			}
+			info := sc.Info()
+			sortInfoByRegion(info)
+			rows := 0
+			for _, s := range info {
+				if s.Rows == 0 {
+					t.Errorf("%v K=%d: empty shard survived", strategy, k)
+				}
+				rows += s.Rows
+			}
+			if rows != d.N() {
+				t.Errorf("%v K=%d: shards cover %d rows, want %d", strategy, k, rows, d.N())
+			}
+		}
+	}
+}
+
+func TestEstimateBeforeAnalyzeFails(t *testing.T) {
+	sc := New(Config{})
+	if _, err := sc.Estimate(geom.NewRect(0, 0, 1, 1)); err == nil {
+		t.Fatal("Estimate before Analyze should error")
+	}
+}
+
+func TestEstimateInvalidQuery(t *testing.T) {
+	sc := buildSharded(t, synthetic.Uniform(200, 100, 1, 5, 1), Config{Shards: 2, Regions: 512})
+	bad := geom.Rect{MinX: 1, MinY: 0, MaxX: 0, MaxY: 1}
+	if _, err := sc.Estimate(bad); err == nil {
+		t.Fatal("invalid rectangle should error")
+	}
+}
+
+func TestEstimateMatchesExactOnUniform(t *testing.T) {
+	// On a uniform distribution the estimate should be in the right
+	// ballpark of the true count (the paper's uniform-case sanity).
+	d := synthetic.Uniform(5000, 1000, 2, 10, 3)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 100, Regions: 2048})
+	q := geom.NewRect(100, 100, 400, 400)
+	exact := 0
+	for _, r := range d.Rects() {
+		if r.Intersects(q) {
+			exact++
+		}
+	}
+	res, err := sc.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatal("no-deadline estimate must not be partial")
+	}
+	if res.Estimate < 0.5*float64(exact) || res.Estimate > 1.5*float64(exact) {
+		t.Errorf("estimate %.1f far from exact %d", res.Estimate, exact)
+	}
+}
+
+func TestRoutingPrunesDistantShards(t *testing.T) {
+	// Two well-separated clusters: a query inside one must not fan out
+	// to the other.
+	rects := make([]geom.Rect, 0, 400)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		rects = append(rects, geom.NewRect(x, y, x+0.5, y+0.5))
+		x, y = 1000+rng.Float64()*10, 1000+rng.Float64()*10
+		rects = append(rects, geom.NewRect(x, y, x+0.5, y+0.5))
+	}
+	d := dataset.New(rects)
+	sc := buildSharded(t, d, Config{Shards: 2, Buckets: 20, Regions: 512})
+	if sc.Shards() != 2 {
+		t.Fatalf("expected 2 shards, got %d", sc.Shards())
+	}
+	res, err := sc.Estimate(geom.NewRect(2, 2, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsQueried != 1 {
+		t.Errorf("fan-out %d, want 1 (distant cluster should be pruned)", res.ShardsQueried)
+	}
+	if res.Estimate <= 0 {
+		t.Errorf("estimate %.1f, want > 0", res.Estimate)
+	}
+}
+
+func TestEstimateContextExpiredUpFront(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 11)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sc.EstimateContext(ctx, geom.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatalf("degradation must not be an error: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("expired context must flag Partial")
+	}
+	if res.ShardsMissed == 0 {
+		t.Fatal("expired context should miss at least one shard")
+	}
+	if res.Estimate <= 0 {
+		t.Errorf("fallback estimate %.1f, want > 0", res.Estimate)
+	}
+}
+
+func TestEstimateContextDeadlineMidScatter(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 13)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	if sc.Shards() < 2 {
+		t.Fatalf("need >= 2 shards, got %d", sc.Shards())
+	}
+	// Shard 0 answers instantly; every other shard blocks until the
+	// deadline has long expired.
+	release := make(chan struct{})
+	defer close(release)
+	sc.estimateHook = func(idx int) {
+		if idx != 0 {
+			<-release
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	full := geom.NewRect(0, 0, 1000, 1000)
+	res, err := sc.EstimateContext(ctx, full)
+	if err != nil {
+		t.Fatalf("mid-scatter expiry must degrade, not error: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("mid-scatter expiry must flag Partial")
+	}
+	if res.ShardsMissed != res.ShardsQueried-1 {
+		t.Errorf("missed %d of %d queried shards, want all but the fast one",
+			res.ShardsMissed, res.ShardsQueried)
+	}
+	// The degraded answer still approximates the total: fallbacks are
+	// full-shard uniform summaries, and the query covers everything, so
+	// the estimate must stay near N.
+	if res.Estimate < 0.5*float64(d.N()) || res.Estimate > 1.5*float64(d.N()) {
+		t.Errorf("degraded estimate %.1f far from N=%d", res.Estimate, d.N())
+	}
+}
+
+func TestAnalyzeContextCancelled(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 17)
+	sc := New(Config{Shards: 4, Buckets: 40, Regions: 1024})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sc.AnalyzeContext(ctx, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sc.Analyzed() {
+		t.Fatal("cancelled analyze must not install statistics")
+	}
+}
+
+func TestAnalyzeContextCancelKeepsPreviousShards(t *testing.T) {
+	d := synthetic.Uniform(1000, 500, 1, 5, 19)
+	sc := buildSharded(t, d, Config{Shards: 2, Buckets: 30, Regions: 512})
+	want := sc.Shards()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sc.AnalyzeContext(ctx, d); err == nil {
+		t.Fatal("cancelled rebuild should report the cancellation")
+	}
+	if sc.Shards() != want {
+		t.Fatalf("cancelled rebuild clobbered live shards: %d != %d", sc.Shards(), want)
+	}
+}
+
+func TestAnalyzeEmptyDistribution(t *testing.T) {
+	sc := New(Config{})
+	if err := sc.Analyze(dataset.New(nil)); err == nil {
+		t.Fatal("empty distribution should error")
+	}
+}
+
+func TestTelemetryCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := New(Config{Shards: 4, Buckets: 40, Regions: 1024})
+	sc.EnableTelemetry(reg)
+	d := synthetic.Charminar(2000, 1000, 10, 23)
+	if err := sc.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("shard_builds_total", "").Value(); got != uint64(sc.Shards()) {
+		t.Errorf("shard_builds_total = %d, want %d", got, sc.Shards())
+	}
+	if got := reg.Gauge("shard_shards", "").Value(); got != float64(sc.Shards()) {
+		t.Errorf("shard_shards gauge = %v, want %d", got, sc.Shards())
+	}
+	if _, err := sc.Estimate(geom.NewRect(0, 0, 1000, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("shard_estimates_total", "").Value(); got != 1 {
+		t.Errorf("shard_estimates_total = %d, want 1", got)
+	}
+	// Degrade once and check the partial counters move.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sc.EstimateContext(ctx, geom.NewRect(0, 0, 1000, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("shard_partial_results_total", "").Value(); got != 1 {
+		t.Errorf("shard_partial_results_total = %d, want 1", got)
+	}
+	if got := reg.Counter("shard_fallback_shards_total", "").Value(); got == 0 {
+		t.Error("shard_fallback_shards_total should be > 0 after degradation")
+	}
+}
+
+func TestWorkerPoolBounded(t *testing.T) {
+	// Workers=1 must serialize builds and still produce a correct
+	// shard set (exercises the semaphore path).
+	d := synthetic.Charminar(2000, 1000, 10, 29)
+	sc := buildSharded(t, d, Config{Shards: 8, Buckets: 80, Regions: 2048, Workers: 1})
+	rows := 0
+	for _, s := range sc.Info() {
+		rows += s.Rows
+	}
+	if rows != d.N() {
+		t.Fatalf("rows %d != N %d", rows, d.N())
+	}
+}

@@ -1,0 +1,179 @@
+package spatialdb
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+)
+
+func TestEstimateContextMonolithicFallback(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(2000, 1000, 5, 20, 7)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 700, 700)
+	res, err := db.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatal("monolithic path can never be partial")
+	}
+	if res.ShardsTotal != 1 || res.ShardsQueried != 1 {
+		t.Fatalf("monolithic path should report one shard, got %+v", res)
+	}
+	want := db.Histogram("t").Estimate(q)
+	if !geom.FloatEq(res.Estimate, want) {
+		t.Fatalf("EstimateContext = %g, histogram = %g", res.Estimate, want)
+	}
+}
+
+func TestShardPolicyEstimateContext(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Clusters(4000, 4, 1000, 0.04, 2, 12, 11)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	db.SetShardPolicy(shard.Config{Shards: 4})
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(0, 0, 1000, 1000)
+	res, err := db.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsTotal != 4 {
+		t.Fatalf("ShardsTotal = %d, want 4", res.ShardsTotal)
+	}
+	if res.Partial {
+		t.Fatalf("unpressured estimate must be complete: %+v", res)
+	}
+	// The whole-space query touches every shard and must sum to ~N.
+	n := float64(d.N())
+	if res.Estimate < 0.9*n || res.Estimate > 1.1*n {
+		t.Fatalf("whole-space estimate %g far from N=%g", res.Estimate, n)
+	}
+
+	// Disabling the policy reverts to the monolithic path.
+	db.SetShardPolicy(shard.Config{})
+	res, err = db.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsTotal != 1 {
+		t.Fatalf("after disabling policy ShardsTotal = %d, want 1", res.ShardsTotal)
+	}
+}
+
+func TestDropRemovesShardedCatalog(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(1000, 1000, 5, 20, 3)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	db.SetShardPolicy(shard.Config{Shards: 2})
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EstimateContext(context.Background(), "t", geom.NewRect(0, 0, 1, 1)); err == nil {
+		t.Fatal("estimate on dropped table must fail")
+	}
+}
+
+func TestAnalyzeContextCancelKeepsServing(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(3000, 1000, 5, 20, 5)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	db.SetShardPolicy(shard.Config{Shards: 4})
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(100, 100, 900, 900)
+	before, err := db.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := db.AnalyzeContext(ctx, "t"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	after, err := db.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.FloatEq(before.Estimate, after.Estimate) {
+		t.Fatalf("abandoned rebuild changed estimates: %g -> %g",
+			before.Estimate, after.Estimate)
+	}
+}
+
+// TestConcurrentOpsDuringRebuild drives reads, writes and estimates
+// while ANALYZE rebuilds both statistics tiers; meaningful under
+// -race, which CI runs for this package.
+func TestConcurrentOpsDuringRebuild(t *testing.T) {
+	db := New(catalog.Config{Buckets: 24, Regions: 400})
+	d := synthetic.Clusters(2000, 3, 1000, 0.05, 2, 12, 9)
+	if err := db.Create("t", d); err != nil {
+		t.Fatal(err)
+	}
+	db.SetShardPolicy(shard.Config{Shards: 4})
+	if err := db.Analyze("t"); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := geom.NewRect(float64(w*50), 0, float64(w*50)+300, 300)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				if _, err := db.EstimateContext(ctx, "t", q); err != nil {
+					cancel()
+					t.Errorf("estimate: %v", err)
+					return
+				}
+				cancel()
+				if _, err := db.Count("t", q); err != nil {
+					t.Errorf("count: %v", err)
+					return
+				}
+				if err := db.Insert("t", geom.NewRect(1, 1, 2, 2)); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Analyze("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

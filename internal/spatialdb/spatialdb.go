@@ -1,16 +1,25 @@
 // Package spatialdb is a miniature spatial database engine that ties
 // the library together the way a real system would: tables of
 // rectangles backed by an R*-tree index, a statistics catalog of
-// Min-Skew histograms maintained through inserts and deletes, and a
-// cost-based planner choosing access paths from the estimates. It
+// Min-Skew histograms maintained through inserts and deletes, an
+// optional sharded statistics tier for scatter-gather estimation, and
+// a cost-based planner choosing access paths from the estimates. It
 // exists to demonstrate and integration-test the full stack; the
-// spatialdb command wraps it in a REPL.
+// spatialdb command wraps it in a REPL and, with -serve-addr, an HTTP
+// estimation service.
+//
+// All DB methods are safe for concurrent use: the REPL and the serving
+// tier share one engine, so table and shard state is guarded by a
+// readers-writer lock while the catalog, indexes and feedback learners
+// keep their own internal synchronization.
 package spatialdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -20,6 +29,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/planner"
 	"repro/internal/rtree"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -39,11 +49,19 @@ type Table struct {
 // N returns the number of live rows.
 func (t *Table) N() int { return len(t.rects) - t.deleted }
 
-// DB is the engine: tables plus a statistics catalog.
+// DB is the engine: tables plus a statistics catalog and an optional
+// sharded statistics tier. All methods are safe for concurrent use.
 type DB struct {
-	tables map[string]*Table
-	cat    *catalog.Catalog
-	model  planner.CostModel
+	// mu guards tables, shards, shardCfg and reg. The catalog and the
+	// per-table indexes synchronize themselves; mu is never held while
+	// a statistics build runs.
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	shards   map[string]*shard.ShardedCatalog
+	shardCfg shard.Config // Shards > 1 enables the sharded tier
+
+	cat   *catalog.Catalog
+	model planner.CostModel
 	// reg, when non-nil, receives runtime telemetry from every layer:
 	// per-operation query counters and latencies here, estimator
 	// latencies via core.Instrument, catalog ANALYZE metrics, feedback
@@ -55,8 +73,24 @@ type DB struct {
 func New(cfg catalog.Config) *DB {
 	return &DB{
 		tables: make(map[string]*Table),
+		shards: make(map[string]*shard.ShardedCatalog),
 		cat:    catalog.New(cfg),
 		model:  planner.DefaultCostModel(),
+	}
+}
+
+// SetShardPolicy enables (Shards > 1) or disables (Shards <= 1) the
+// sharded statistics tier. With a policy set, every ANALYZE also
+// builds a spatially sharded catalog for the table and EstimateContext
+// scatter-gathers it; without one, EstimateContext walks the
+// monolithic histogram. Existing sharded catalogs are dropped when the
+// tier is disabled.
+func (db *DB) SetShardPolicy(cfg shard.Config) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.shardCfg = cfg
+	if cfg.Shards <= 1 {
+		db.shards = make(map[string]*shard.ShardedCatalog)
 	}
 }
 
@@ -70,6 +104,8 @@ func (db *DB) EnableTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.reg = reg
 	db.cat.EnableTelemetry(reg)
 	for name, t := range db.tables {
@@ -78,12 +114,20 @@ func (db *DB) EnableTelemetry(reg *telemetry.Registry) {
 			t.fb.EnableTelemetry(reg, telemetry.Label{Key: "table", Value: name})
 		}
 	}
+	for _, sc := range db.shards {
+		sc.EnableTelemetry(reg)
+	}
 }
 
 // Telemetry returns the engine's registry (nil when disabled).
-func (db *DB) Telemetry() *telemetry.Registry { return db.reg }
+func (db *DB) Telemetry() *telemetry.Registry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.reg
+}
 
 // opCounter counts one engine operation; nil-safe when disabled.
+// Callers hold db.mu (either mode).
 func (db *DB) opCounter(op, table string) *telemetry.Counter {
 	if db.reg == nil {
 		return nil
@@ -95,6 +139,7 @@ func (db *DB) opCounter(op, table string) *telemetry.Counter {
 }
 
 // opSeconds times one engine operation; nil-safe when disabled.
+// Callers hold db.mu (either mode).
 func (db *DB) opSeconds(op, table string) *telemetry.Histogram {
 	if db.reg == nil {
 		return nil
@@ -112,6 +157,8 @@ func (db *DB) Create(name string, d *dataset.Distribution) error {
 	if name == "" {
 		return fmt.Errorf("spatialdb: empty table name")
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, exists := db.tables[name]; exists {
 		return fmt.Errorf("spatialdb: table %q already exists", name)
 	}
@@ -132,18 +179,23 @@ func (db *DB) Create(name string, d *dataset.Distribution) error {
 	return nil
 }
 
-// Drop removes a table and its statistics.
+// Drop removes a table and its statistics, sharded or not.
 func (db *DB) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
 		return fmt.Errorf("spatialdb: no table %q", name)
 	}
 	delete(db.tables, name)
+	delete(db.shards, name)
 	db.cat.Drop(name)
 	return nil
 }
 
 // Tables lists table names, sorted.
 func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -152,6 +204,7 @@ func (db *DB) Tables() []string {
 	return out
 }
 
+// table looks a table up; callers hold db.mu (either mode).
 func (db *DB) table(name string) (*Table, error) {
 	t, ok := db.tables[name]
 	if !ok {
@@ -163,22 +216,95 @@ func (db *DB) table(name string) (*Table, error) {
 // Analyze builds the table's statistics. Any feedback layer is reset:
 // fresh statistics have no observed bias yet.
 func (db *DB) Analyze(name string) error {
+	return db.AnalyzeContext(context.Background(), name)
+}
+
+// AnalyzeContext builds the table's statistics, honoring ctx: an
+// expired or cancelled context abandons the rebuild and leaves the
+// previously installed statistics (monolithic and sharded) live. When
+// a shard policy is set, the sharded catalog is rebuilt alongside the
+// monolithic histogram. db.mu is not held during the builds, so
+// concurrent reads and estimates proceed against the old statistics
+// until the new ones are swapped in.
+func (db *DB) AnalyzeContext(ctx context.Context, name string) error {
+	db.mu.RLock()
 	t, err := db.table(name)
 	if err != nil {
+		db.mu.RUnlock()
 		return err
 	}
 	db.opCounter("analyze", name).Inc()
-	if err := db.cat.Analyze(name, db.liveDistribution(t)); err != nil {
+	dist := db.liveDistribution(t)
+	cfg := db.shardCfg
+	sc := db.shards[name]
+	reg := db.reg
+	db.mu.RUnlock()
+
+	if err := db.cat.AnalyzeContext(ctx, name, dist); err != nil {
 		return err
 	}
-	t.fb = nil
-	return nil
+	var shardErr error
+	if cfg.Shards > 1 {
+		if sc == nil {
+			sc = shard.New(cfg)
+			if reg != nil {
+				sc.EnableTelemetry(reg)
+			}
+		}
+		if err := sc.AnalyzeContext(ctx, dist); err != nil {
+			shardErr = fmt.Errorf("spatialdb: sharded analyze %q: %w", name, err)
+		}
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// The table may have been dropped or the policy changed while the
+	// build ran; install only what is still wanted. Concurrent rebuilds
+	// of the same table are last-writer-wins. The feedback layer is
+	// reset unconditionally: the monolithic histogram it wrapped has
+	// been replaced even if the sharded build was abandoned.
+	if tt, ok := db.tables[name]; ok {
+		tt.fb = nil
+		if shardErr == nil && cfg.Shards > 1 && db.shardCfg.Shards > 1 {
+			db.shards[name] = sc
+		}
+	}
+	return shardErr
+}
+
+// EstimateContext estimates the number of rows of name intersecting q.
+// With a sharded catalog built for the table it scatter-gathers the
+// shards, degrading gracefully under ctx pressure (Result.Partial);
+// otherwise it walks the monolithic histogram, reporting it as a
+// single queried "shard". The table must have been analyzed.
+func (db *DB) EstimateContext(ctx context.Context, name string, q geom.Rect) (shard.Result, error) {
+	db.mu.RLock()
+	sc := db.shards[name]
+	db.opCounter("estimate", name).Inc()
+	lat := db.opSeconds("estimate", name)
+	db.mu.RUnlock()
+	var start time.Time
+	if lat != nil {
+		start = time.Now()
+	}
+	defer lat.ObserveSince(start)
+
+	if sc != nil {
+		return sc.EstimateContext(ctx, q)
+	}
+	est, err := db.cat.Estimate(name, q)
+	if err != nil {
+		return shard.Result{}, err
+	}
+	return shard.Result{Estimate: est, ShardsTotal: 1, ShardsQueried: 1}, nil
 }
 
 // EnableFeedback turns on query-feedback learning for a table: every
 // Count executed through the engine trains a correction grid that
 // Explain consults. The table must have statistics.
 func (db *DB) EnableFeedback(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, err := db.table(name)
 	if err != nil {
 		return err
@@ -202,7 +328,9 @@ func (db *DB) EnableFeedback(name string) error {
 	return nil
 }
 
-// liveDistribution materializes the non-deleted rows.
+// liveDistribution materializes the non-deleted rows. Callers hold
+// db.mu (either mode); the returned distribution owns its slice and
+// stays valid after the lock is released.
 func (db *DB) liveDistribution(t *Table) *dataset.Distribution {
 	rects := make([]geom.Rect, 0, t.N())
 	for i, r := range t.rects {
@@ -216,6 +344,8 @@ func (db *DB) liveDistribution(t *Table) *dataset.Distribution {
 // Insert adds a row, updating the index and (incrementally) the
 // statistics.
 func (db *DB) Insert(name string, r geom.Rect) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, err := db.table(name)
 	if err != nil {
 		return err
@@ -235,6 +365,8 @@ func (db *DB) Insert(name string, r geom.Rect) error {
 // Delete removes every live row exactly equal to r and returns how
 // many were removed.
 func (db *DB) Delete(name string, r geom.Rect) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, err := db.table(name)
 	if err != nil {
 		return 0, err
@@ -262,6 +394,8 @@ func (db *DB) Delete(name string, r geom.Rect) (int, error) {
 // Count returns the exact number of live rows intersecting q, via the
 // index.
 func (db *DB) Count(name string, q geom.Rect) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return 0, err
@@ -290,6 +424,8 @@ func (db *DB) Count(name string, q geom.Rect) (int, error) {
 // Select returns up to limit live rows intersecting q (limit <= 0
 // means no limit).
 func (db *DB) Select(name string, q geom.Rect, limit int) ([]geom.Rect, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return nil, err
@@ -308,6 +444,8 @@ func (db *DB) Select(name string, q geom.Rect, limit int) ([]geom.Rect, error) {
 
 // Nearest returns the k live rows nearest to the point.
 func (db *DB) Nearest(name string, x, y float64, k int) ([]rtree.Neighbor, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return nil, err
@@ -330,6 +468,8 @@ func (db *DB) Nearest(name string, x, y float64, k int) ([]rtree.Neighbor, error
 
 // Explain plans the query using the table's statistics.
 func (db *DB) Explain(name string, q geom.Rect) (planner.Plan, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return planner.Plan{}, err
@@ -378,6 +518,8 @@ type Stats struct {
 
 // Stats reports the table's state.
 func (db *DB) Stats(name string) (Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.table(name)
 	if err != nil {
 		return Stats{}, err

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-json experiments figures examples cover clean
+.PHONY: all build lint test race bench bench-json experiments figures examples cover clean faultsim
 
 all: build lint test
 
@@ -21,6 +21,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault-injection suite: replays seeded workload traces
+# against the sharded serving stack on a simulated clock and checks
+# the serving invariants. See DESIGN.md "Failure model & simulation".
+faultsim:
+	$(GO) test -race -count=1 ./internal/faultsim/ ./internal/vclock/
+	$(GO) run ./cmd/faultsim -seeds 1,42,7 -o faultsim-report.json
+	@echo "report: faultsim-report.json"
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:

@@ -1,0 +1,139 @@
+// Command faultsim runs the deterministic fault-injection scenario
+// suite against an in-process sharded estimation server and emits a
+// JSON report. Every scenario replays a seeded workload trace on a
+// simulated clock — no real sleeps — and checks the serving
+// invariants (no silent degradation, no cached partials, classified
+// errors, no deadlocks, graceful drain, recovery).
+//
+// Usage:
+//
+//	faultsim                          # full suite, default seeds
+//	faultsim -seeds 1,42,7            # explicit seed list
+//	faultsim -scenario chaos -seed 99 # one scenario, one seed
+//	faultsim -o report.json           # write the JSON report to a file
+//	faultsim -list                    # list scenarios and exit
+//
+// Exit status is non-zero if any scenario run violates an invariant —
+// the reported (scenario, seed) pair reproduces the failure exactly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faultsim"
+)
+
+type suiteReport struct {
+	Suite   string            `json:"suite"`
+	Seeds   []int64           `json:"seeds"`
+	Runs    []faultsim.Report `json:"runs"`
+	Passed  bool              `json:"passed"`
+	Failed  int               `json:"failed"`
+	Elapsed string            `json:"elapsed"`
+}
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "run a single named scenario (default: whole suite)")
+		seed     = flag.Int64("seed", 0, "single seed (with -scenario); 0 uses -seeds")
+		seedsCSV = flag.String("seeds", "1,42,7", "comma-separated seed list")
+		out      = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		verbose  = flag.Bool("v", false, "print a progress line per run to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range faultsim.Suite() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	scenarios := faultsim.Suite()
+	if *scenario != "" {
+		sc, ok := faultsim.Lookup(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faultsim: unknown scenario %q (try -list)\n", *scenario)
+			os.Exit(2)
+		}
+		scenarios = []faultsim.Scenario{sc}
+	}
+	seeds, err := parseSeeds(*seedsCSV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		seeds = []int64{*seed}
+	}
+
+	start := time.Now()
+	rep := suiteReport{Suite: "faultsim", Seeds: seeds, Passed: true}
+	for _, s := range seeds {
+		for _, sc := range scenarios {
+			r, err := faultsim.Run(sc, s)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultsim: %s seed=%d: %v\n", sc.Name, s, err)
+				os.Exit(1)
+			}
+			rep.Runs = append(rep.Runs, r)
+			if !r.Passed {
+				rep.Passed = false
+				rep.Failed++
+				fmt.Fprintf(os.Stderr, "FAIL %s seed=%d (%d violations; rerun: faultsim -scenario %s -seed %d)\n",
+					r.Scenario, r.Seed, len(r.Violations), r.Scenario, r.Seed)
+				for _, v := range r.Violations {
+					fmt.Fprintf(os.Stderr, "  [%s] %s\n", v.Invariant, v.Detail)
+				}
+			} else if *verbose {
+				fmt.Fprintf(os.Stderr, "ok   %s seed=%d (%d requests, %d partials, %d errors, sim %dms)\n",
+					r.Scenario, r.Seed, r.Requests, r.Partials, r.ErrorsTotal, r.SimElapsedMillis)
+			}
+		}
+	}
+	rep.Elapsed = time.Since(start).Round(time.Millisecond).String()
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(raw)
+	}
+	if !rep.Passed {
+		os.Exit(1)
+	}
+}
+
+func parseSeeds(csv string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", csv)
+	}
+	return seeds, nil
+}

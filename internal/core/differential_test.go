@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exact"
+	"repro/internal/metrics"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+// Differential suite: every estimator runs against the exact oracle
+// (internal/exact) over paper-style workloads, and its average
+// relative error — the paper's Σ|actual−estimate| / Σactual metric —
+// must stay inside a per-estimator envelope.
+//
+// The envelopes are regression ceilings, not aspirations: they were
+// set at roughly 1.5x the observed error of the current
+// implementation, so an accuracy regression (a broken split search, a
+// mis-clipped extension, a density bug) trips the suite while normal
+// cross-platform float noise does not. The relative ordering asserted
+// in TestDifferentialMinSkewBeatsBaselines is the paper's headline
+// claim and is checked separately from the absolute ceilings.
+type envelope struct {
+	uniform, equiArea, equiCount, rtree, minSkew float64
+}
+
+// differentialCase is one dataset/workload pairing.
+type differentialCase struct {
+	name string
+	data *dataset.Distribution
+	// env holds the per-estimator average-relative-error ceilings for
+	// this dataset (dimensionless fractions; 0.35 means 35%).
+	env envelope
+}
+
+func differentialCases() []differentialCase {
+	return []differentialCase{
+		{
+			// Highly skewed point-like clusters: the regime the paper
+			// built Min-Skew for. Uniform is far off; partitioned
+			// histograms recover most of the error.
+			name: "charminar-skewed",
+			data: synthetic.Charminar(6000, 1000, 10, 41),
+			env:  envelope{uniform: 1.35, equiArea: 0.47, equiCount: 0.30, rtree: 0.12, minSkew: 0.10},
+		},
+		{
+			// Uniform data: every technique must be accurate; this pins
+			// the uniformity-assumption formulas themselves.
+			name: "uniform",
+			data: synthetic.Uniform(6000, 1000, 2, 10, 43),
+			env:  envelope{uniform: 0.15, equiArea: 0.15, equiCount: 0.15, rtree: 0.15, minSkew: 0.15},
+		},
+		{
+			// Mixed clusters over a uniform floor: intermediate skew.
+			name: "clusters",
+			data: synthetic.Clusters(6000, 8, 1000, 0.05, 1, 20, 47),
+			// Equi-Count's ceiling is the loosest: equal-count slabs
+			// straddle cluster boundaries, the failure mode Section 3.3
+			// describes, so its honest error here is ~0.6.
+			env: envelope{uniform: 1.30, equiArea: 0.40, equiCount: 0.95, rtree: 0.30, minSkew: 0.15},
+		},
+	}
+}
+
+// runDifferential builds the five estimators over tc.data, replays a
+// paper-style workload against the exact oracle, and returns each
+// estimator's average relative error.
+func runDifferential(t *testing.T, tc differentialCase, qsize float64) map[string]float64 {
+	t.Helper()
+	queries, err := workload.Generate(tc.data, workload.Config{
+		Count: 400, QSize: qsize, Seed: 4099, Clamp: true,
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	oracle := exact.NewAuto(tc.data)
+	actual := make([]int, len(queries))
+	for i, q := range queries {
+		actual[i] = oracle.Count(q)
+	}
+	ests := buildNamed(t, tc.data, 50)
+	out := make(map[string]float64, len(ests))
+	for name, e := range ests {
+		estimates := make([]float64, len(queries))
+		for i, q := range queries {
+			estimates[i] = e.Estimate(q)
+		}
+		avg, err := metrics.AvgRelativeError(actual, estimates)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = avg
+	}
+	return out
+}
+
+// TestDifferentialErrorEnvelopes checks the absolute ceilings on the
+// paper's 10% query-size workload.
+func TestDifferentialErrorEnvelopes(t *testing.T) {
+	for _, tc := range differentialCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := runDifferential(t, tc, 0.10)
+			bounds := map[string]float64{
+				"Uniform":    tc.env.uniform,
+				"Equi-Area":  tc.env.equiArea,
+				"Equi-Count": tc.env.equiCount,
+				"R-Tree":     tc.env.rtree,
+				"Min-Skew":   tc.env.minSkew,
+			}
+			for name, limit := range bounds {
+				err := got[name]
+				t.Logf("%-10s avg relative error %.4f (ceiling %.2f)", name, err, limit)
+				if err > limit {
+					t.Errorf("%s: avg relative error %.4f exceeds envelope %.2f", name, err, limit)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialMinSkewBeatsBaselines pins the paper's ordering on
+// skewed data: Min-Skew must beat the Uniform baseline by a wide
+// margin and never trail far behind the best partitioned competitor.
+func TestDifferentialMinSkewBeatsBaselines(t *testing.T) {
+	tc := differentialCases()[0] // charminar-skewed
+	got := runDifferential(t, tc, 0.10)
+	if got["Min-Skew"] > 0.5*got["Uniform"] {
+		t.Errorf("Min-Skew error %.4f not well below Uniform %.4f", got["Min-Skew"], got["Uniform"])
+	}
+	best := got["Equi-Count"]
+	for _, name := range []string{"Equi-Area", "R-Tree"} {
+		if got[name] < best {
+			best = got[name]
+		}
+	}
+	if got["Min-Skew"] > 1.5*best {
+		t.Errorf("Min-Skew error %.4f trails best competitor %.4f by more than 50%%",
+			got["Min-Skew"], best)
+	}
+}

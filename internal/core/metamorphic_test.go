@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+// Metamorphic properties of the estimators: relations that must hold
+// between estimates on systematically transformed inputs, with no
+// oracle required. They complement property_test.go (bounds,
+// containment monotonicity, whole-space ≈ N) and the differential
+// suite (differential_test.go).
+
+// latticeDataset quantizes a synthetic distribution onto a 1/64
+// lattice. Every coordinate is then a dyadic rational well inside the
+// double mantissa, so translating by a power of two is exact and a
+// translated build performs bit-identical arithmetic (grid boundaries
+// at multiples of 1000/32 = 31.25 are dyadic too).
+func latticeDataset(n int, seed int64) *dataset.Distribution {
+	raw := synthetic.Charminar(n, 1000, 10, seed)
+	quant := func(v float64) float64 { return math.Round(v*64) / 64 }
+	rects := make([]geom.Rect, 0, n)
+	for _, r := range raw.Rects() {
+		q := geom.Rect{MinX: quant(r.MinX), MinY: quant(r.MinY), MaxX: quant(r.MaxX), MaxY: quant(r.MaxY)}
+		if q.Valid() {
+			rects = append(rects, q)
+		}
+	}
+	return dataset.New(rects)
+}
+
+func translateRects(d *dataset.Distribution, dx, dy float64) *dataset.Distribution {
+	rects := make([]geom.Rect, 0, d.N())
+	for _, r := range d.Rects() {
+		rects = append(rects, geom.Rect{
+			MinX: r.MinX + dx, MinY: r.MinY + dy,
+			MaxX: r.MaxX + dx, MaxY: r.MaxY + dy,
+		})
+	}
+	return dataset.New(rects)
+}
+
+// buildNamed constructs the five paper estimators over d with a shared
+// bucket budget.
+func buildNamed(t *testing.T, d *dataset.Distribution, buckets int) map[string]Estimator {
+	t.Helper()
+	out := map[string]Estimator{}
+	u, err := NewUniform(d)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	out["Uniform"] = u
+	ea, err := NewEquiArea(d, buckets)
+	if err != nil {
+		t.Fatalf("Equi-Area: %v", err)
+	}
+	out["Equi-Area"] = ea
+	ec, err := NewEquiCount(d, buckets)
+	if err != nil {
+		t.Fatalf("Equi-Count: %v", err)
+	}
+	out["Equi-Count"] = ec
+	rt, err := NewRTreeHist(d, RTreeHistConfig{Buckets: buckets})
+	if err != nil {
+		t.Fatalf("R-Tree: %v", err)
+	}
+	out["R-Tree"] = rt
+	ms, err := NewMinSkew(d, MinSkewConfig{Buckets: buckets, Regions: 1024})
+	if err != nil {
+		t.Fatalf("Min-Skew: %v", err)
+	}
+	out["Min-Skew"] = ms
+	return out
+}
+
+// TestMetamorphicTranslationInvariance: selectivity depends only on
+// the relative geometry of data and query, so translating both by the
+// same vector must not change any estimate. The lattice dataset and
+// power-of-two offsets make the transformed build numerically exact,
+// leaving only benign last-bit noise from absorbing the offset.
+func TestMetamorphicTranslationInvariance(t *testing.T) {
+	const dx, dy = 512.0, 256.0
+	d := latticeDataset(4000, 31)
+	dT := translateRects(d, dx, dy)
+	if d.N() != dT.N() {
+		t.Fatalf("translation changed N: %d != %d", d.N(), dT.N())
+	}
+	base := buildNamed(t, d, 40)
+	moved := buildNamed(t, dT, 40)
+
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 300; i++ {
+		q := randQuery(rng)
+		qT := geom.Rect{MinX: q.MinX + dx, MinY: q.MinY + dy, MaxX: q.MaxX + dx, MaxY: q.MaxY + dy}
+		for name := range base {
+			a, b := base[name].Estimate(q), moved[name].Estimate(qT)
+			diff := math.Abs(a - b)
+			if diff > 1e-9*math.Max(1, math.Max(a, b)) {
+				t.Fatalf("%s: estimate changed under translation: %.12g vs %.12g (query %v)",
+					name, a, b, q)
+			}
+		}
+	}
+}
+
+// TestMetamorphicSplitSubadditivity: splitting a query rectangle into
+// two halves can only overcount — a data rectangle intersecting the
+// whole intersects at least one half, and the extended-query region of
+// the whole is covered by the halves' extended regions. So
+// estimate(A) + estimate(B) >= estimate(A ∪ B) for every straight
+// split.
+func TestMetamorphicSplitSubadditivity(t *testing.T) {
+	d := synthetic.Clusters(4000, 5, 1000, 0.04, 1, 20, 77)
+	ests := buildNamed(t, d, 40)
+	rng := rand.New(rand.NewSource(35))
+	for i := 0; i < 300; i++ {
+		q := randQuery(rng)
+		if geom.IsZero(q.Width()) || geom.IsZero(q.Height()) {
+			continue
+		}
+		frac := 0.1 + 0.8*rng.Float64()
+		var a, b geom.Rect
+		if i%2 == 0 {
+			s := q.MinX + frac*q.Width()
+			a = geom.Rect{MinX: q.MinX, MinY: q.MinY, MaxX: s, MaxY: q.MaxY}
+			b = geom.Rect{MinX: s, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}
+		} else {
+			s := q.MinY + frac*q.Height()
+			a = geom.Rect{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: s}
+			b = geom.Rect{MinX: q.MinX, MinY: s, MaxX: q.MaxX, MaxY: q.MaxY}
+		}
+		for name, e := range ests {
+			whole, left, right := e.Estimate(q), e.Estimate(a), e.Estimate(b)
+			if left+right < whole-1e-9*math.Max(1, whole) {
+				t.Fatalf("%s: split halves %g + %g < whole %g (query %v)",
+					name, left, right, whole, q)
+			}
+		}
+	}
+}
+
+// TestMetamorphicFarQueryIsZero: a query far outside the data MBR —
+// beyond any average-extent extension — must estimate exactly zero,
+// for range and point queries alike.
+func TestMetamorphicFarQueryIsZero(t *testing.T) {
+	d := synthetic.Charminar(3000, 1000, 10, 39)
+	ests := buildNamed(t, d, 40)
+	far := []geom.Rect{
+		geom.NewRect(1e5, 1e5, 1e5+50, 1e5+50),
+		geom.NewRect(-1e5, -1e5, -1e5+50, -1e5+50),
+		geom.PointRect(geom.Point{X: 1e5, Y: -1e5}),
+	}
+	for name, e := range ests {
+		for _, q := range far {
+			if got := e.Estimate(q); got != 0 {
+				t.Errorf("%s: far query %v estimated %g, want 0", name, q, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package faultsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// CatalogBackend is a minimal serve.Backend over sharded statistics
+// catalogs: one ShardedCatalog per table plus the distribution it was
+// built from, so AnalyzeContext can rebuild. It is the backend the
+// simulation harness serves — the full spatialdb engine is deliberately
+// not involved, keeping scenarios focused on the shard/serve stack.
+type CatalogBackend struct {
+	mu     sync.RWMutex
+	tables map[string]*backendTable
+}
+
+type backendTable struct {
+	d  *dataset.Distribution
+	sc *shard.ShardedCatalog
+}
+
+// NewCatalogBackend returns an empty backend; add tables with AddTable.
+func NewCatalogBackend() *CatalogBackend {
+	return &CatalogBackend{tables: make(map[string]*backendTable)}
+}
+
+// AddTable registers a built sharded catalog for name. The
+// distribution is retained for rebuilds.
+func (b *CatalogBackend) AddTable(name string, d *dataset.Distribution, sc *shard.ShardedCatalog) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tables[name] = &backendTable{d: d, sc: sc}
+}
+
+// Catalog returns the named table's sharded catalog (nil if absent),
+// so scenarios can install shard-level fault hooks.
+func (b *CatalogBackend) Catalog(name string) *shard.ShardedCatalog {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t := b.tables[name]
+	if t == nil {
+		return nil
+	}
+	return t.sc
+}
+
+// EstimateContext implements serve.Backend.
+func (b *CatalogBackend) EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error) {
+	b.mu.RLock()
+	t := b.tables[table]
+	b.mu.RUnlock()
+	if t == nil {
+		return shard.Result{}, fmt.Errorf("faultsim: no table %q", table)
+	}
+	return t.sc.EstimateContext(ctx, q)
+}
+
+// AnalyzeContext implements serve.Backend by rebuilding the table's
+// sharded statistics from its retained distribution.
+func (b *CatalogBackend) AnalyzeContext(ctx context.Context, table string) error {
+	b.mu.RLock()
+	t := b.tables[table]
+	b.mu.RUnlock()
+	if t == nil {
+		return fmt.Errorf("faultsim: no table %q", table)
+	}
+	return t.sc.AnalyzeContext(ctx, t.d)
+}
+
+// Tables implements serve.Backend.
+func (b *CatalogBackend) Tables() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.tables))
+	for n := range b.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

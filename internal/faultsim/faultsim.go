@@ -1,0 +1,251 @@
+// Package faultsim is the deterministic simulation and fault-injection
+// harness for the sharded estimation service. It exists because the
+// failure paths of internal/shard and internal/serve — deadline expiry
+// mid-scatter, shard build errors, cache/singleflight races, admission
+// shedding, backend panics — are the behaviors a partition-based
+// serving stack lives or dies on, and they deserve systematic,
+// reproducible exercise rather than incidental coverage.
+//
+// Three pieces compose:
+//
+//   - a virtual clock (internal/vclock.Sim) threaded through the serve
+//     and shard configs, so every timeout is simulated time and no test
+//     sleeps for real;
+//   - an Injector wrapping serve.Backend and the shard estimate/build
+//     hooks, injecting delays, errors, panics and slow shards at
+//     per-site probabilities derived from a scenario seed;
+//   - a scenario Runner (scenario.go) that replays workload traces
+//     against an in-process server under an injection schedule and
+//     checks serving invariants, emitting a JSON Report.
+//
+// # Reproducibility
+//
+// Every injection decision is a pure function of (seed, fault site,
+// request identity): the seeded *rand.Rand derives per-site salts once,
+// and each call site hashes its salt with the request's table and
+// query coordinates. Goroutine scheduling therefore cannot change
+// *which* requests are faulted — rerunning a failing scenario with its
+// reported seed replays the same injection schedule.
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/vclock"
+)
+
+// ErrInjected marks a backend failure manufactured by the harness.
+// Scenario invariants treat it as an expected, classified error.
+var ErrInjected = errors.New("faultsim: injected backend error")
+
+// ErrInjectedBuild marks an injected shard-build failure during a
+// rebuild; AnalyzeContext surfaces it and the old shard set stays live.
+var ErrInjectedBuild = errors.New("faultsim: injected shard build error")
+
+// Faults configures the injection schedule. All probabilities are in
+// [0, 1]; zero disables the site. Durations are virtual time.
+type Faults struct {
+	// EstimateDelayProb delays a backend estimate by EstimateDelay
+	// before it runs; a delay at or beyond the serving deadline turns
+	// the request into a full uniformity-fallback Partial.
+	EstimateDelayProb float64       `json:"estimate_delay_prob,omitempty"`
+	EstimateDelay     time.Duration `json:"estimate_delay,omitempty"`
+	// EstimateErrorProb fails a backend estimate with ErrInjected.
+	EstimateErrorProb float64 `json:"estimate_error_prob,omitempty"`
+	// EstimatePanicProb panics inside the backend estimate — the
+	// singleflight layer must contain it (serve.ErrEstimatePanic).
+	EstimatePanicProb float64 `json:"estimate_panic_prob,omitempty"`
+	// AnalyzeErrorProb fails a backend rebuild outright.
+	AnalyzeErrorProb float64 `json:"analyze_error_prob,omitempty"`
+	// SlowShardProb marks each shard index slow for the whole run;
+	// slow shards sleep SlowShardDelay (virtual) per estimate, so a
+	// deadline shorter than the delay degrades exactly those shards to
+	// their uniformity fallback.
+	SlowShardProb  float64       `json:"slow_shard_prob,omitempty"`
+	SlowShardDelay time.Duration `json:"slow_shard_delay,omitempty"`
+	// BuildErrorProb fails individual shard builds during rebuilds.
+	BuildErrorProb float64 `json:"build_error_prob,omitempty"`
+
+	// DropPartialFlag is not a fault but a deliberately seeded BUG: it
+	// clears Result.Partial on degraded results, making silent
+	// degradation observable. It exists to prove the scenario
+	// invariants have teeth — a run with this bug and any degradation
+	// must fail the no-silent-degradation invariant (and, because the
+	// unflagged result becomes cacheable, cached-accurate too).
+	DropPartialFlag bool `json:"drop_partial_flag,omitempty"`
+}
+
+// fault sites, mixed into the per-site salts.
+const (
+	siteEstimateDelay = iota + 1
+	siteEstimateError
+	siteEstimatePanic
+	siteAnalyzeError
+	siteSlowShard
+	siteBuildError
+)
+
+// Injector wraps a serve.Backend, injecting faults per Faults with
+// seed-deterministic decisions. It also installs shard-level hooks
+// (InstallShardFaults). Safe for concurrent use.
+type Injector struct {
+	backend serve.Backend
+	clk     vclock.Clock
+	faults  Faults
+	salt    [8]uint64 // per-site salts, derived from the seed
+
+	disabled atomic.Bool // bypass injection (post-run recovery probes)
+
+	// Injection counters for the report.
+	Delays      atomic.Int64
+	Errors      atomic.Int64
+	Panics      atomic.Int64
+	SlowShards  atomic.Int64
+	BuildFails  atomic.Int64
+	AnalyzeErrs atomic.Int64
+
+	buildAttempt atomic.Int64 // distinguishes successive rebuild attempts
+}
+
+// NewInjector wraps backend with the fault schedule. The seeded
+// *rand.Rand derives one salt per fault site; every later decision is
+// a pure hash of (salt, request identity), so scheduling never changes
+// which requests are faulted.
+func NewInjector(backend serve.Backend, clk vclock.Clock, seed int64, f Faults) *Injector {
+	if clk == nil {
+		clk = vclock.Real()
+	}
+	in := &Injector{backend: backend, clk: clk, faults: f}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range in.salt {
+		in.salt[i] = rng.Uint64() | 1 // never a zero salt
+	}
+	return in
+}
+
+// SetDisabled turns injection off (true) or back on (false); the
+// runner disables faults for its post-run recovery probe.
+func (in *Injector) SetDisabled(v bool) { in.disabled.Store(v) }
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong
+// 64-bit mixer, plenty for fault-decision hashing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll maps (site salt, key parts) to a uniform [0, 1) float.
+func (in *Injector) roll(site int, parts ...uint64) float64 {
+	x := in.salt[site]
+	for _, p := range parts {
+		x = splitmix64(x ^ p)
+	}
+	return float64(x>>11) / float64(1<<53)
+}
+
+// rectKey folds a query rectangle and table into hash parts.
+func rectKey(table string, q geom.Rect) []uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, c := range []byte(table) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return []uint64{
+		h,
+		math.Float64bits(q.MinX), math.Float64bits(q.MinY),
+		math.Float64bits(q.MaxX), math.Float64bits(q.MaxY),
+	}
+}
+
+// EstimateContext implements serve.Backend with injection around the
+// wrapped backend's estimate.
+func (in *Injector) EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error) {
+	if in.disabled.Load() {
+		return in.backend.EstimateContext(ctx, table, q)
+	}
+	key := rectKey(table, q)
+	f := in.faults
+	if f.EstimateDelayProb > 0 && in.roll(siteEstimateDelay, key...) < f.EstimateDelayProb {
+		in.Delays.Add(1)
+		// A slow backend does not watch the caller's deadline — but the
+		// injector wakes on ctx so simulated goroutines drain promptly;
+		// the estimate below then runs against the already-dead context
+		// and degrades exactly as a real overrun would.
+		select {
+		case <-in.clk.After(f.EstimateDelay):
+		case <-ctx.Done():
+		}
+	}
+	if f.EstimateErrorProb > 0 && in.roll(siteEstimateError, key...) < f.EstimateErrorProb {
+		in.Errors.Add(1)
+		return shard.Result{}, fmt.Errorf("%w: estimate %q %v", ErrInjected, table, q)
+	}
+	if f.EstimatePanicProb > 0 && in.roll(siteEstimatePanic, key...) < f.EstimatePanicProb {
+		in.Panics.Add(1)
+		panic(fmt.Sprintf("faultsim: injected panic: estimate %q %v", table, q))
+	}
+	res, err := in.backend.EstimateContext(ctx, table, q)
+	if err == nil && f.DropPartialFlag && res.Partial {
+		// Seeded bug: silent degradation.
+		res.Partial = false
+		res.ShardsMissed = 0
+	}
+	return res, err
+}
+
+// AnalyzeContext implements serve.Backend with rebuild-failure
+// injection.
+func (in *Injector) AnalyzeContext(ctx context.Context, table string) error {
+	attempt := in.buildAttempt.Add(1)
+	if !in.disabled.Load() && in.faults.AnalyzeErrorProb > 0 &&
+		in.roll(siteAnalyzeError, uint64(attempt)) < in.faults.AnalyzeErrorProb {
+		in.AnalyzeErrs.Add(1)
+		return fmt.Errorf("%w: analyze %q (attempt %d)", ErrInjected, table, attempt)
+	}
+	return in.backend.AnalyzeContext(ctx, table)
+}
+
+// Tables implements serve.Backend.
+func (in *Injector) Tables() []string { return in.backend.Tables() }
+
+// InstallShardFaults installs slow-shard and build-failure hooks on
+// sc. Slowness is decided once per shard index — a fixed subset of
+// shards is slow for the whole run, modeling degraded replicas — and
+// build failures are decided per (shard, rebuild attempt).
+func (in *Injector) InstallShardFaults(sc *shard.ShardedCatalog) {
+	f := in.faults
+	if f.SlowShardProb > 0 && f.SlowShardDelay > 0 {
+		sc.SetEstimateHook(func(idx int) {
+			if in.disabled.Load() {
+				return
+			}
+			if in.roll(siteSlowShard, uint64(idx)) < f.SlowShardProb {
+				in.SlowShards.Add(1)
+				in.clk.Sleep(f.SlowShardDelay)
+			}
+		})
+	}
+	if f.BuildErrorProb > 0 {
+		sc.SetBuildHook(func(idx int) error {
+			if in.disabled.Load() {
+				return nil
+			}
+			attempt := in.buildAttempt.Load()
+			if in.roll(siteBuildError, uint64(idx), uint64(attempt)) < f.BuildErrorProb {
+				in.BuildFails.Add(1)
+				return fmt.Errorf("%w: shard %d (attempt %d)", ErrInjectedBuild, idx, attempt)
+			}
+			return nil
+		})
+	}
+}

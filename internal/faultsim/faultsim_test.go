@@ -1,0 +1,230 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// suiteSeeds are the fixed seeds CI replays the whole suite under.
+var suiteSeeds = []int64{1, 42, 7}
+
+// effectChecks asserts each scenario actually produced the disturbance
+// it advertises — a passing run that injected nothing proves nothing.
+var effectChecks = map[string]func(Report) error{
+	"baseline": func(r Report) error {
+		if r.ErrorsTotal != 0 || r.Partials != 0 {
+			return fmt.Errorf("baseline not clean: %d errors, %d partials", r.ErrorsTotal, r.Partials)
+		}
+		if r.CacheHits == 0 {
+			return fmt.Errorf("round 2 of a clean run should hit the cache")
+		}
+		return nil
+	},
+	"slow-shards": func(r Report) error {
+		if r.InjectedSlowShards == 0 {
+			return fmt.Errorf("no slow-shard faults fired")
+		}
+		if r.Partials == 0 {
+			return fmt.Errorf("slow shards beyond the deadline must degrade some requests")
+		}
+		return nil
+	},
+	"backend-errors": func(r Report) error {
+		if r.InjectedErrors == 0 || r.ErrorsTotal == 0 {
+			return fmt.Errorf("no backend errors surfaced (injected %d, seen %d)",
+				r.InjectedErrors, r.ErrorsTotal)
+		}
+		return nil
+	},
+	"panic-storm": func(r Report) error {
+		if r.InjectedPanics == 0 || r.PanicErrors == 0 {
+			return fmt.Errorf("no panics contained (injected %d, classified %d)",
+				r.InjectedPanics, r.PanicErrors)
+		}
+		return nil
+	},
+	"overload": func(r Report) error {
+		if r.Shed == 0 {
+			return fmt.Errorf("overload run shed nothing")
+		}
+		return nil
+	},
+	"rebuild-failures": func(r Report) error {
+		if r.InjectedAnalyzeErrs+r.InjectedBuildFails == 0 {
+			return fmt.Errorf("no rebuild faults fired")
+		}
+		return nil
+	},
+	"chaos": func(r Report) error {
+		if r.InjectedDelays+r.InjectedErrors+r.InjectedPanics+r.InjectedSlowShards == 0 {
+			return fmt.Errorf("chaos run injected nothing")
+		}
+		return nil
+	},
+}
+
+// TestSuiteAllSeedsPass replays every suite scenario under each fixed
+// seed: all invariants must hold, and each scenario must demonstrably
+// inject its faults. The whole matrix runs on virtual time — wall
+// clock stays in seconds.
+func TestSuiteAllSeedsPass(t *testing.T) {
+	for _, seed := range suiteSeeds {
+		for _, sc := range Suite() {
+			sc, seed := sc, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				rep, err := Run(sc, seed)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				for _, v := range rep.Violations {
+					t.Errorf("invariant %s violated: %s", v.Invariant, v.Detail)
+				}
+				if !rep.Passed {
+					t.Fatalf("scenario failed under seed %d", seed)
+				}
+				if rep.Requests != sc.withDefaults().Queries*sc.withDefaults().Rounds {
+					t.Errorf("replayed %d requests, want %d",
+						rep.Requests, sc.withDefaults().Queries*sc.withDefaults().Rounds)
+				}
+				if check := effectChecks[sc.Name]; check != nil {
+					if err := check(rep); err != nil {
+						t.Errorf("scenario had no teeth: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSeededBugIsCaught is the harness's own regression test: with the
+// deliberately seeded DropPartialFlag bug (degraded results silently
+// unflagged), the run MUST fail — specifically on the invariants that
+// exist to catch it — and must pass again only when exactly those
+// checks are disabled. If this test ever fails, the invariants have
+// lost their teeth.
+func TestSeededBugIsCaught(t *testing.T) {
+	sc := Scenario{
+		Name: "seeded-bug",
+		Faults: Faults{
+			SlowShardProb:   0.75,
+			SlowShardDelay:  400 * time.Millisecond,
+			DropPartialFlag: true,
+		},
+	}
+	rep, err := Run(sc, 42)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Passed {
+		t.Fatal("seeded silent-degradation bug was NOT caught — invariants have no teeth")
+	}
+	caught := map[string]int{}
+	for _, v := range rep.Violations {
+		caught[v.Invariant]++
+	}
+	if caught[InvNoSilentDegradation] == 0 {
+		t.Errorf("bug not attributed to %s; violations: %v", InvNoSilentDegradation, caught)
+	}
+	for inv := range caught {
+		if inv != InvNoSilentDegradation && inv != InvCachedAccurate {
+			t.Errorf("unexpected collateral violation of %s", inv)
+		}
+	}
+
+	// Disabling exactly the two checks that police result fidelity must
+	// make the same buggy run pass — proof the detection lives in those
+	// invariants and nowhere else.
+	sc.DisableInvariants = []string{InvNoSilentDegradation, InvCachedAccurate}
+	rep2, err := Run(sc, 42)
+	if err != nil {
+		t.Fatalf("Run (disabled): %v", err)
+	}
+	if !rep2.Passed {
+		t.Errorf("run still failing with fidelity checks disabled: %+v", rep2.Violations)
+	}
+}
+
+// TestInjectionDeterminism runs a serial, cache-free scenario twice
+// under one seed: every outcome-affecting decision is a pure function
+// of the seed, so the two reports must agree on all counts.
+func TestInjectionDeterminism(t *testing.T) {
+	sc := Scenario{
+		Name:      "determinism",
+		Workers:   1,  // serial: no scheduling freedom at all
+		CacheSize: -1, // no cache: every request reaches the injector
+		Queries:   80,
+		Faults: Faults{
+			EstimateDelayProb: 0.3,
+			EstimateDelay:     400 * time.Millisecond, // > deadline: outcome is schedule-independent
+			EstimateErrorProb: 0.2,
+			EstimatePanicProb: 0.1,
+			SlowShardProb:     0.5,
+			SlowShardDelay:    400 * time.Millisecond,
+		},
+	}
+	a, err := Run(sc, 1234)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := Run(sc, 1234)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	type counts struct {
+		Requests, Completed, Partials, Errors, Panics, Shed int
+		InjDelay, InjErr, InjPanic, InjSlow                 int64
+		Passed                                              bool
+	}
+	ca := counts{a.Requests, a.Completed, a.Partials, a.ErrorsTotal, a.PanicErrors, a.Shed,
+		a.InjectedDelays, a.InjectedErrors, a.InjectedPanics, a.InjectedSlowShards, a.Passed}
+	cb := counts{b.Requests, b.Completed, b.Partials, b.ErrorsTotal, b.PanicErrors, b.Shed,
+		b.InjectedDelays, b.InjectedErrors, b.InjectedPanics, b.InjectedSlowShards, b.Passed}
+	if ca != cb {
+		t.Fatalf("same seed, different runs:\n  A: %+v\n  B: %+v", ca, cb)
+	}
+	// And a different seed must produce a different schedule (sanity
+	// that the seed actually reaches the decisions).
+	c, err := Run(sc, 4321)
+	if err != nil {
+		t.Fatalf("run C: %v", err)
+	}
+	if c.InjectedErrors == a.InjectedErrors && c.InjectedDelays == a.InjectedDelays &&
+		c.InjectedPanics == a.InjectedPanics && c.Partials == a.Partials {
+		t.Error("different seed produced an identical injection schedule (suspicious)")
+	}
+}
+
+// TestReportJSON pins the report's JSON shape: the CLI and CI artifact
+// depend on these fields.
+func TestReportJSON(t *testing.T) {
+	rep, err := Run(Scenario{Name: "json", Queries: 20, Rounds: 1, Workers: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scenario", "seed", "requests", "passed", "violations", "invariants_checked"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON missing %q: %s", key, raw)
+		}
+	}
+}
+
+// TestLookup covers suite lookup by name.
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("chaos"); !ok {
+		t.Error("chaos scenario missing from suite")
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Error("unknown scenario should not resolve")
+	}
+}

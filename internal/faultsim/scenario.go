@@ -1,0 +1,572 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Invariant names. A scenario may disable individual checks
+// (Scenario.DisableInvariants) — the harness's own regression tests do
+// exactly that to prove a seeded bug is caught by the named check and
+// nothing else.
+const (
+	// InvNoSilentDegradation: a response not flagged Partial must equal
+	// the un-faulted reference estimate — no estimate is ever silently
+	// degraded.
+	InvNoSilentDegradation = "no-silent-degradation"
+	// InvNoPartialCached: a response must never report Cached and
+	// Partial together; the cache admits only complete results.
+	InvNoPartialCached = "no-partial-cached"
+	// InvCachedAccurate: every cache hit equals the reference — a
+	// degraded or poisoned value never enters the cache.
+	InvCachedAccurate = "cached-accurate"
+	// InvErrorsClassified: every request error is one of the expected
+	// kinds (injected, shed, contained panic, context expiry) — no
+	// anonymous failures.
+	InvErrorsClassified = "errors-classified"
+	// InvNoDeadlock: every request completes in bounded virtual time;
+	// a request that exhausts its parent timeout, or a run that stops
+	// making progress in real time, is a stuck flight.
+	InvNoDeadlock = "no-deadlock"
+	// InvShutdownDrains: graceful Shutdown completes within its
+	// deadline and Serve returns http.ErrServerClosed.
+	InvShutdownDrains = "shutdown-drains"
+	// InvRecovers: with injection turned off after the storm, a fresh
+	// query is answered completely and accurately — failures never
+	// latch.
+	InvRecovers = "recovers"
+	// InvCleanRun (checked only when Scenario.ExpectClean): a run with
+	// no configured faults must produce no partials, errors or sheds.
+	InvCleanRun = "clean-run"
+)
+
+// AllInvariants lists every check the runner knows, in report order.
+var AllInvariants = []string{
+	InvNoSilentDegradation, InvNoPartialCached, InvCachedAccurate,
+	InvErrorsClassified, InvNoDeadlock, InvShutdownDrains, InvRecovers,
+	InvCleanRun,
+}
+
+// Scenario is one named fault-injection run: a synthetic dataset and
+// workload trace, a serving configuration, and an injection schedule.
+// The zero value of every field takes a sensible default.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Dataset and statistics shape.
+	Rows    int `json:"rows,omitempty"`    // default 2000
+	Shards  int `json:"shards,omitempty"`  // default 4
+	Buckets int `json:"buckets,omitempty"` // default 60
+
+	// Workload trace: Queries queries replayed Rounds times by Workers
+	// concurrent clients (round 2+ exercises the cache).
+	Queries int     `json:"queries,omitempty"` // default 150
+	Rounds  int     `json:"rounds,omitempty"`  // default 2
+	Workers int     `json:"workers,omitempty"` // default 8
+	QSize   float64 `json:"qsize,omitempty"`   // default 0.10
+
+	// Serving tier knobs (virtual durations).
+	MaxInFlight     int           `json:"max_in_flight,omitempty"`    // default 16
+	QueueTimeout    time.Duration `json:"queue_timeout,omitempty"`    // default 20ms
+	EstimateTimeout time.Duration `json:"estimate_timeout,omitempty"` // default 250ms
+	CacheSize       int           `json:"cache_size,omitempty"`       // default 4096; negative disables
+	CacheTTL        time.Duration `json:"cache_ttl,omitempty"`        // default none
+	// RequestTimeout bounds one request end to end (virtual); a
+	// request that needs it is stuck. Default 30s.
+	RequestTimeout time.Duration `json:"request_timeout,omitempty"`
+
+	// MidRunAnalyze issues an ANALYZE between rounds, exercising
+	// rebuild faults against live traffic.
+	MidRunAnalyze bool `json:"mid_run_analyze,omitempty"`
+
+	Faults Faults `json:"faults"`
+
+	// ExpectClean additionally asserts zero partials/errors/sheds —
+	// only meaningful for a scenario with no configured faults.
+	ExpectClean bool `json:"expect_clean,omitempty"`
+
+	// DisableInvariants names checks to skip (see the Inv* constants).
+	DisableInvariants []string `json:"disable_invariants,omitempty"`
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Rows == 0 {
+		s.Rows = 2000
+	}
+	if s.Shards == 0 {
+		s.Shards = 4
+	}
+	if s.Buckets == 0 {
+		s.Buckets = 60
+	}
+	if s.Queries == 0 {
+		s.Queries = 150
+	}
+	if s.Rounds == 0 {
+		s.Rounds = 2
+	}
+	if s.Workers == 0 {
+		s.Workers = 8
+	}
+	if s.QSize == 0 {
+		s.QSize = 0.10
+	}
+	if s.MaxInFlight == 0 {
+		s.MaxInFlight = 16
+	}
+	if s.QueueTimeout == 0 {
+		s.QueueTimeout = 20 * time.Millisecond
+	}
+	if s.EstimateTimeout == 0 {
+		s.EstimateTimeout = 250 * time.Millisecond
+	}
+	if s.CacheSize == 0 {
+		s.CacheSize = 4096
+	}
+	if s.RequestTimeout == 0 {
+		s.RequestTimeout = 30 * time.Second
+	}
+	return s
+}
+
+// Violation is one invariant breach with enough detail to reproduce.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// Report is the JSON result of one scenario run.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+
+	Requests      int `json:"requests"`
+	Completed     int `json:"completed"`
+	Partials      int `json:"partials"`
+	CacheHits     int `json:"cache_hits"`
+	SharedFlights int `json:"shared_flights"`
+	Shed          int `json:"shed"`
+	ErrorsTotal   int `json:"errors_total"`
+	PanicErrors   int `json:"panic_errors"`
+	Timeouts      int `json:"timeouts"`
+
+	InjectedDelays      int64 `json:"injected_delays"`
+	InjectedErrors      int64 `json:"injected_errors"`
+	InjectedPanics      int64 `json:"injected_panics"`
+	InjectedSlowShards  int64 `json:"injected_slow_shards"`
+	InjectedBuildFails  int64 `json:"injected_build_fails"`
+	InjectedAnalyzeErrs int64 `json:"injected_analyze_errs"`
+
+	SimElapsedMillis int64 `json:"sim_elapsed_millis"`
+
+	InvariantsChecked []string    `json:"invariants_checked"`
+	Violations        []Violation `json:"violations"`
+	Passed            bool        `json:"passed"`
+}
+
+// outcome records one replayed request.
+type outcome struct {
+	idx  int // index into the query trace
+	resp serve.EstimateResponse
+	err  error
+	took time.Duration // virtual
+}
+
+// runState carries everything one scenario run touches.
+type runState struct {
+	sc      Scenario
+	seed    int64
+	sim     *vclock.Sim
+	queries []geom.Rect
+	refs    []float64
+	backend *CatalogBackend
+	inj     *Injector
+	srv     *serve.Server
+
+	mu       sync.Mutex
+	outcomes []outcome
+
+	completed  atomic.Int64
+	report     Report
+	disabled   map[string]bool
+	violations []Violation
+}
+
+const simTable = "t"
+
+// relTol is the estimate-match tolerance: scatter-gather sums shard
+// contributions in arrival order, so identical answers may differ by
+// float summation order. 1e-6 relative is far above any reordering
+// noise and far below any real degradation.
+const relTol = 1e-6
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= relTol*scale
+}
+
+// Run executes the scenario under the given seed and returns its
+// report. The error return is reserved for harness setup failures
+// (bad scenario parameters); invariant breaches are reported in
+// Report.Violations with Passed == false.
+func Run(sc Scenario, seed int64) (Report, error) {
+	sc = sc.withDefaults()
+	st := &runState{
+		sc:       sc,
+		seed:     seed,
+		sim:      vclock.NewSim(time.Unix(0, 0)),
+		disabled: make(map[string]bool, len(sc.DisableInvariants)),
+	}
+	for _, name := range sc.DisableInvariants {
+		st.disabled[name] = true
+	}
+	if err := st.setup(); err != nil {
+		return Report{}, err
+	}
+	st.replay()
+	st.checkShutdown()
+	st.checkRecovery()
+	st.finishReport()
+	return st.report, nil
+}
+
+// violate records a breach unless the invariant is disabled.
+func (st *runState) violate(inv, format string, args ...any) {
+	if st.disabled[inv] {
+		return
+	}
+	st.violations = append(st.violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// setup builds the dataset, trace, reference estimates, sharded
+// catalog, injector and server — everything seed-derived.
+func (st *runState) setup() error {
+	rng := rand.New(rand.NewSource(st.seed))
+	d := synthetic.CharminarRand(rng, st.sc.Rows, 1000, 10)
+	queries, err := workload.GenerateRand(d, workload.Config{
+		Count: st.sc.Queries, QSize: st.sc.QSize, Clamp: true,
+	}, rng)
+	if err != nil {
+		return fmt.Errorf("faultsim: workload: %w", err)
+	}
+	st.queries = queries
+
+	cat := shard.New(shard.Config{
+		Shards: st.sc.Shards, Buckets: st.sc.Buckets, Regions: 1024, Clock: st.sim,
+	})
+	if err := cat.Analyze(d); err != nil {
+		return fmt.Errorf("faultsim: analyze: %w", err)
+	}
+
+	// Reference estimates: the un-faulted, deadline-free answers. A
+	// successful mid-run rebuild regenerates an identical shard set
+	// (the build is deterministic in the distribution), so references
+	// stay valid across ANALYZE.
+	st.refs = make([]float64, len(queries))
+	for i, q := range queries {
+		res, err := cat.Estimate(q)
+		if err != nil {
+			return fmt.Errorf("faultsim: reference estimate: %w", err)
+		}
+		st.refs[i] = res.Estimate
+	}
+
+	st.backend = NewCatalogBackend()
+	st.backend.AddTable(simTable, d, cat)
+	st.inj = NewInjector(st.backend, st.sim, st.seed, st.sc.Faults)
+	st.inj.InstallShardFaults(cat)
+
+	// Exact cache keys (negative quantum): every trace entry maps to
+	// its own reference estimate, so cache hits are checkable for
+	// exact fidelity. Quantization collision behavior has its own
+	// table-driven tests in internal/serve.
+	st.srv = serve.New(st.inj, serve.Config{
+		MaxInFlight:     st.sc.MaxInFlight,
+		QueueTimeout:    st.sc.QueueTimeout,
+		EstimateTimeout: st.sc.EstimateTimeout,
+		CacheSize:       st.sc.CacheSize,
+		CacheQuantum:    -1,
+		CacheTTL:        st.sc.CacheTTL,
+		Clock:           st.sim,
+	})
+	return nil
+}
+
+// replay drives the trace through the server: Workers goroutines per
+// round, a clock driver advancing virtual time whenever the run is
+// otherwise idle, and a real-time watchdog that converts a total stall
+// into a no-deadlock violation instead of a hung test.
+func (st *runState) replay() {
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+
+	stopDriver := make(chan struct{})
+	driverDone := make(chan struct{})
+	go st.driveClock(runCancel, stopDriver, driverDone)
+
+	for round := 0; round < st.sc.Rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < st.sc.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(st.queries); i += st.sc.Workers {
+					st.oneRequest(runCtx, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if st.sc.MidRunAnalyze && round == 0 {
+			st.midRunAnalyze(runCtx)
+		}
+	}
+	close(stopDriver)
+	<-driverDone
+	// Release any shard goroutines still parked on injected virtual
+	// sleeps so they drain before the report is cut.
+	st.sim.Advance(st.sc.Faults.SlowShardDelay + st.sc.Faults.EstimateDelay + st.sc.RequestTimeout)
+}
+
+// oneRequest replays trace entry i and records the outcome.
+func (st *runState) oneRequest(runCtx context.Context, i int) {
+	ctx, cancel := vclock.WithTimeout(runCtx, st.sim, st.sc.RequestTimeout)
+	t0 := st.sim.Now()
+	resp, err := st.srv.Estimate(ctx, simTable, st.queries[i])
+	cancel()
+	st.mu.Lock()
+	st.outcomes = append(st.outcomes, outcome{idx: i, resp: resp, err: err, took: st.sim.Since(t0)})
+	st.mu.Unlock()
+	st.completed.Add(1)
+}
+
+// midRunAnalyze rebuilds statistics under injection; failures are
+// expected (and classified), success must leave references intact —
+// both are validated by the next round's estimates.
+func (st *runState) midRunAnalyze(runCtx context.Context) {
+	_, err := st.srv.Analyze(runCtx, simTable)
+	if err != nil && !errors.Is(err, ErrInjected) && !errors.Is(err, ErrInjectedBuild) &&
+		!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		st.violate(InvErrorsClassified, "mid-run analyze failed with unclassified error: %v", err)
+	}
+}
+
+// driveClock advances virtual time while the run makes no progress —
+// the discrete-event engine of the simulation. It never sleeps for
+// real: it yields, and only when several consecutive yields saw no
+// completed request AND virtual events are pending does it advance one
+// quantum. A run with no real-time progress for a full watchdog period
+// is declared deadlocked: the watchdog cancels every request and lets
+// replay collect what it can.
+func (st *runState) driveClock(runCancel context.CancelFunc, stop, done chan struct{}) {
+	defer close(done)
+	const quantum = time.Millisecond
+	const watchdog = 10 * time.Second // real time; only reached on failure
+	lastCount := int64(-1)
+	lastProgress := time.Now()
+	idle := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if c := st.completed.Load(); c != lastCount {
+			lastCount = c
+			lastProgress = time.Now()
+			idle = 0
+			runtime.Gosched()
+			continue
+		}
+		if time.Since(lastProgress) > watchdog {
+			st.mu.Lock()
+			st.violations = append(st.violations, Violation{
+				Invariant: InvNoDeadlock,
+				Detail: fmt.Sprintf("no request completed for %v of real time (%d done); cancelling run",
+					watchdog, lastCount),
+			})
+			st.mu.Unlock()
+			runCancel()
+			lastProgress = time.Now() // let cancellation drain before re-firing
+		}
+		idle++
+		if idle >= 4 && st.sim.Pending() > 0 {
+			st.sim.Advance(quantum)
+			idle = 0
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// checkShutdown serves the real HTTP API on a loopback listener,
+// issues a couple of requests, and verifies graceful Shutdown drains
+// within its deadline. Injection is left enabled until after the
+// requests so the drain happens on a server that just saw faults.
+func (st *runState) checkShutdown() {
+	if st.disabled[InvShutdownDrains] {
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.violate(InvShutdownDrains, "listen: %v", err)
+		return
+	}
+	served := make(chan error, 1)
+	go func() { served <- st.srv.Serve(ln) }()
+
+	// Faults off for the probe requests themselves: the HTTP phase has
+	// no clock driver, so a virtual-delay fault would hang the handler.
+	st.inj.SetDisabled(true)
+	q := st.queries[0]
+	url := fmt.Sprintf("http://%s/estimate?table=%s&minx=%g&miny=%g&maxx=%g&maxy=%g",
+		ln.Addr(), simTable, q.MinX, q.MinY, q.MaxX, q.MaxY)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			st.violate(InvShutdownDrains, "pre-shutdown request: %v", err)
+			break
+		}
+		_ = resp.Body.Close() // probe request; body unused, close error uninteresting
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := st.srv.Shutdown(ctx); err != nil {
+		st.violate(InvShutdownDrains, "Shutdown: %v", err)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		st.violate(InvShutdownDrains, "Serve returned %v, want http.ErrServerClosed", err)
+	}
+}
+
+// checkRecovery proves failures do not latch: with injection disabled,
+// a fresh query (never in the trace, never cached) must be answered
+// completely and match the direct backend answer.
+func (st *runState) checkRecovery() {
+	if st.disabled[InvRecovers] {
+		return
+	}
+	st.inj.SetDisabled(true)
+	// A probe unlike any workload query: offset from the space center
+	// with an odd aspect ratio.
+	probe := geom.NewRect(111.5, 222.25, 613.75, 414.5)
+	want, err := st.backend.EstimateContext(context.Background(), simTable, probe)
+	if err != nil {
+		st.violate(InvRecovers, "reference probe: %v", err)
+		return
+	}
+	resp, err := st.srv.Estimate(context.Background(), simTable, probe)
+	switch {
+	case err != nil:
+		st.violate(InvRecovers, "post-run probe failed: %v", err)
+	case resp.Partial:
+		st.violate(InvRecovers, "post-run probe degraded: %+v", resp)
+	case !closeEnough(resp.Estimate, want.Estimate):
+		st.violate(InvRecovers, "post-run probe estimate %g, want %g", resp.Estimate, want.Estimate)
+	}
+}
+
+// finishReport runs the trace-level invariant checks and assembles the
+// report.
+func (st *runState) finishReport() {
+	r := &st.report
+	r.Scenario = st.sc.Name
+	r.Seed = st.seed
+	r.SimElapsedMillis = st.sim.Since(time.Unix(0, 0)).Milliseconds()
+	r.InjectedDelays = st.inj.Delays.Load()
+	r.InjectedErrors = st.inj.Errors.Load()
+	r.InjectedPanics = st.inj.Panics.Load()
+	r.InjectedSlowShards = st.inj.SlowShards.Load()
+	r.InjectedBuildFails = st.inj.BuildFails.Load()
+	r.InjectedAnalyzeErrs = st.inj.AnalyzeErrs.Load()
+
+	st.mu.Lock()
+	outcomes := st.outcomes
+	st.mu.Unlock()
+	r.Requests = len(outcomes)
+
+	for _, o := range outcomes {
+		ref := st.refs[o.idx]
+		if o.err != nil {
+			r.ErrorsTotal++
+			switch {
+			case errors.Is(o.err, serve.ErrShed):
+				r.Shed++
+			case errors.Is(o.err, serve.ErrEstimatePanic):
+				r.PanicErrors++
+			case errors.Is(o.err, context.DeadlineExceeded):
+				r.Timeouts++
+				// The estimate deadline degrades (Partial), it does not
+				// error; only a stuck flight exhausts the much larger
+				// per-request timeout.
+				st.violate(InvNoDeadlock,
+					"request %d exhausted its %v request timeout (took %v virtual)",
+					o.idx, st.sc.RequestTimeout, o.took)
+			case errors.Is(o.err, ErrInjected), errors.Is(o.err, context.Canceled):
+				// Expected: injected failure, or the watchdog draining a
+				// declared-dead run.
+			default:
+				st.violate(InvErrorsClassified, "request %d: unclassified error %v", o.idx, o.err)
+			}
+			continue
+		}
+		r.Completed++
+		if o.resp.Partial {
+			r.Partials++
+		}
+		if o.resp.Cached {
+			r.CacheHits++
+		}
+		if o.resp.Shared {
+			r.SharedFlights++
+		}
+		if o.resp.Cached && o.resp.Partial {
+			st.violate(InvNoPartialCached, "request %d: cached partial %+v", o.idx, o.resp)
+		}
+		if o.resp.Cached && !closeEnough(o.resp.Estimate, ref) {
+			st.violate(InvCachedAccurate,
+				"request %d: cache served %g, reference %g", o.idx, o.resp.Estimate, ref)
+		}
+		if !o.resp.Partial && !closeEnough(o.resp.Estimate, ref) {
+			st.violate(InvNoSilentDegradation,
+				"request %d: complete response %g diverges from reference %g (silently degraded?)",
+				o.idx, o.resp.Estimate, ref)
+		}
+	}
+
+	if st.sc.ExpectClean && !st.disabled[InvCleanRun] {
+		if n := r.Partials + r.ErrorsTotal; n != 0 {
+			st.violate(InvCleanRun,
+				"fault-free run produced %d partials and %d errors", r.Partials, r.ErrorsTotal)
+		}
+	}
+
+	for _, inv := range AllInvariants {
+		if !st.disabled[inv] && (inv != InvCleanRun || st.sc.ExpectClean) {
+			r.InvariantsChecked = append(r.InvariantsChecked, inv)
+		}
+	}
+	r.Violations = st.violations
+	if r.Violations == nil {
+		r.Violations = []Violation{}
+	}
+	r.Passed = len(r.Violations) == 0
+}

@@ -1,0 +1,88 @@
+package faultsim
+
+import "time"
+
+// Suite returns the standard scenario set, from a fault-free baseline
+// through a combined chaos run. Every scenario is deterministic in
+// (scenario, seed); CI runs the full suite under -race for several
+// fixed seeds (see cmd/faultsim and the Makefile faultsim target).
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "no faults: every response complete, accurate, and clean",
+			ExpectClean: true,
+		},
+		{
+			Name:        "slow-shards",
+			Description: "half the shards exceed the scatter deadline; degraded responses must be flagged Partial and never cached",
+			Faults: Faults{
+				SlowShardProb:  0.5,
+				SlowShardDelay: 400 * time.Millisecond, // > EstimateTimeout
+			},
+		},
+		{
+			Name:        "backend-errors",
+			Description: "estimates fail outright at 30%; errors must stay classified and never poison the cache",
+			Faults: Faults{
+				EstimateErrorProb: 0.3,
+			},
+		},
+		{
+			Name:        "panic-storm",
+			Description: "backend panics mid-estimate; singleflight must contain every panic without stranding followers",
+			Faults: Faults{
+				EstimatePanicProb: 0.2,
+			},
+		},
+		{
+			Name:         "overload",
+			Description:  "tiny admission gate, slow backend, no cache: load shedding under queue pressure",
+			Workers:      16,
+			MaxInFlight:  2,
+			CacheSize:    -1,
+			QueueTimeout: 10 * time.Millisecond,
+			Faults: Faults{
+				EstimateDelayProb: 0.5,
+				EstimateDelay:     30 * time.Millisecond,
+			},
+		},
+		{
+			Name:          "rebuild-failures",
+			Description:   "mid-run ANALYZE with injected analyze and shard-build failures; the old shard set must keep serving",
+			MidRunAnalyze: true,
+			Faults: Faults{
+				AnalyzeErrorProb: 0.5,
+				BuildErrorProb:   0.5,
+			},
+		},
+		{
+			Name:          "chaos",
+			Description:   "delays, errors, panics, slow shards, rebuild failures and queue pressure together",
+			Workers:       12,
+			MaxInFlight:   8,
+			MidRunAnalyze: true,
+			CacheTTL:      2 * time.Second,
+			Faults: Faults{
+				EstimateDelayProb: 0.2,
+				EstimateDelay:     300 * time.Millisecond,
+				EstimateErrorProb: 0.1,
+				EstimatePanicProb: 0.05,
+				SlowShardProb:     0.3,
+				SlowShardDelay:    400 * time.Millisecond,
+				AnalyzeErrorProb:  0.3,
+				BuildErrorProb:    0.3,
+			},
+		},
+	}
+}
+
+// Lookup returns the named suite scenario (ok == false if absent).
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Suite() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

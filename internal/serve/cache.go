@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/shard"
+	"repro/internal/vclock"
 )
 
 // cacheKey identifies a cached estimate: the table plus the query
@@ -35,32 +37,45 @@ func quantizeKey(table string, q geom.Rect, quantum float64) cacheKey {
 	}
 }
 
-// cacheEntry is one LRU slot.
+// cacheEntry is one LRU slot. expires is the zero Time when the cache
+// has no TTL.
 type cacheEntry struct {
-	key cacheKey
-	res shard.Result
+	key     cacheKey
+	res     shard.Result
+	expires time.Time
 }
 
-// lruCache is a mutex-guarded fixed-capacity LRU of query results.
-// Exposition-grade estimates are tiny (a Result struct), so the cache
-// is value-based and copy-out; entries never alias caller memory.
+// lruCache is a mutex-guarded fixed-capacity LRU of query results with
+// an optional TTL measured on the injected clock. Exposition-grade
+// estimates are tiny (a Result struct), so the cache is value-based
+// and copy-out; entries never alias caller memory. Expired entries are
+// dropped lazily on lookup — a stale estimate is never served, but no
+// background sweeper is needed.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
+	ttl time.Duration
+	clk vclock.Clock
 	ll  *list.List // front = most recent; values are *cacheEntry
 	m   map[cacheKey]*list.Element
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(capacity int, ttl time.Duration, clk vclock.Clock) *lruCache {
+	if clk == nil {
+		clk = vclock.Real()
+	}
 	return &lruCache{
 		cap: capacity,
+		ttl: ttl,
+		clk: clk,
 		ll:  list.New(),
 		m:   make(map[cacheKey]*list.Element, capacity),
 	}
 }
 
 // get returns the cached result and whether it was present, promoting
-// the entry to most-recently-used.
+// the entry to most-recently-used. An entry past its TTL is removed
+// and reported as a miss.
 func (c *lruCache) get(k cacheKey) (shard.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -68,8 +83,14 @@ func (c *lruCache) get(k cacheKey) (shard.Result, bool) {
 	if !ok {
 		return shard.Result{}, false
 	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.clk.Now().After(e.expires) {
+		c.ll.Remove(el)
+		delete(c.m, k)
+		return shard.Result{}, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return e.res, true
 }
 
 // add inserts or refreshes an entry, evicting the least-recently-used
@@ -77,12 +98,17 @@ func (c *lruCache) get(k cacheKey) (shard.Result, bool) {
 func (c *lruCache) add(k cacheKey, res shard.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.clk.Now().Add(c.ttl)
+	}
 	if el, ok := c.m[k]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res, e.expires = res, expires
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, res: res, expires: expires})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

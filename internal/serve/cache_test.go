@@ -15,7 +15,7 @@ func net_Listen(t *testing.T) (net.Listener, error) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, 0, nil)
 	k := func(i float64) cacheKey {
 		return quantizeKey("t", geom.NewRect(i, i, i+1, i+1), 1)
 	}
@@ -41,7 +41,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestLRURefreshExisting(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, 0, nil)
 	k := quantizeKey("t", geom.NewRect(0, 0, 1, 1), 1)
 	c.add(k, shard.Result{Estimate: 1})
 	c.add(k, shard.Result{Estimate: 9})
@@ -55,7 +55,7 @@ func TestLRURefreshExisting(t *testing.T) {
 }
 
 func TestInvalidateTableSelective(t *testing.T) {
-	c := newLRUCache(8)
+	c := newLRUCache(8, 0, nil)
 	ka := quantizeKey("a", geom.NewRect(0, 0, 1, 1), 1)
 	kb := quantizeKey("b", geom.NewRect(0, 0, 1, 1), 1)
 	c.add(ka, shard.Result{Estimate: 1})

@@ -4,27 +4,36 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"repro/internal/vclock"
 )
 
-// errShed reports an admission rejection: every backend slot stayed
-// busy for the whole queue timeout. Handlers map it to 503.
-var errShed = errors.New("serve: overloaded, request shed after queue timeout")
+// ErrShed reports an admission rejection: every backend slot stayed
+// busy for the whole queue timeout. Handlers map it to 503. It is
+// exported so out-of-package callers (the fault-simulation harness,
+// in-process clients) can classify shed requests.
+var ErrShed = errors.New("serve: overloaded, request shed after queue timeout")
 
 // gate is a counting-semaphore admission controller with a bounded
 // queue wait: a request either gets a slot within queueTimeout or is
 // shed. Shedding early under overload keeps served latency bounded
 // instead of letting every request crawl (the classic admission-control
-// argument).
+// argument). The queue timeout runs on the injected clock, so the
+// whole shedding behavior is testable under simulated time.
 type gate struct {
 	sem          chan struct{}
 	queueTimeout time.Duration
+	clk          vclock.Clock
 }
 
-func newGate(slots int, queueTimeout time.Duration) *gate {
-	return &gate{sem: make(chan struct{}, slots), queueTimeout: queueTimeout}
+func newGate(slots int, queueTimeout time.Duration, clk vclock.Clock) *gate {
+	if clk == nil {
+		clk = vclock.Real()
+	}
+	return &gate{sem: make(chan struct{}, slots), queueTimeout: queueTimeout, clk: clk}
 }
 
-// acquire obtains a slot, failing with errShed after the queue timeout
+// acquire obtains a slot, failing with ErrShed after the queue timeout
 // or the context error if ctx dies first. The fast path (free slot) is
 // a single non-blocking channel send.
 func (g *gate) acquire(ctx context.Context) error {
@@ -33,13 +42,13 @@ func (g *gate) acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
-	timer := time.NewTimer(g.queueTimeout)
+	timer := g.clk.NewTimer(g.queueTimeout)
 	defer timer.Stop()
 	select {
 	case g.sem <- struct{}{}:
 		return nil
 	case <-timer.C:
-		return errShed
+		return ErrShed
 	case <-ctx.Done():
 		return ctx.Err()
 	}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// panicBackend panics on every estimate until armed is cleared.
+type panicBackend struct {
+	armed   atomic.Bool
+	started chan struct{} // closed once the first estimate is underway
+	release chan struct{} // the panicking estimate waits here
+	once    sync.Once
+}
+
+func (b *panicBackend) EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error) {
+	if b.armed.Load() {
+		if b.started != nil {
+			b.once.Do(func() { close(b.started) })
+			<-b.release
+		}
+		panic("panicBackend: boom")
+	}
+	return shard.Result{Estimate: 7, ShardsQueried: 1}, nil
+}
+
+func (b *panicBackend) AnalyzeContext(ctx context.Context, table string) error { return nil }
+func (b *panicBackend) Tables() []string                                       { return []string{"roads"} }
+
+// TestBackendPanicContained pins the singleflight panic contract: a
+// panicking backend must surface as ErrEstimatePanic to the leader AND
+// to every follower coalesced onto the flight — a stranded follower
+// here is the deadlock the fault-injection harness was built to catch.
+// The poisoned flight must also be fully retired: the next request
+// reaches the backend again and a recovered backend serves normally.
+func TestBackendPanicContained(t *testing.T) {
+	b := &panicBackend{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	b.armed.Store(true)
+	s := New(b, Config{CacheSize: 16})
+	ctx := context.Background()
+	query := q(0, 0, 5, 5)
+
+	// Leader enters the flight and parks inside the backend; followers
+	// pile onto the same key before the panic fires.
+	results := make(chan error, 3)
+	go func() {
+		_, err := s.Estimate(ctx, "roads", query)
+		results <- err
+	}()
+	<-b.started
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := s.Estimate(ctx, "roads", query)
+			results <- err
+		}()
+	}
+	// Give the followers a moment to join the flight, then let the
+	// leader panic.
+	time.Sleep(10 * time.Millisecond)
+	close(b.release)
+
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-results:
+			if !errors.Is(err, ErrEstimatePanic) {
+				t.Fatalf("request %d: got %v, want ErrEstimatePanic", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("request never returned: panic stranded the flight")
+		}
+	}
+
+	// The panic must not be cached and the flight must be gone: a
+	// recovered backend serves the same key fresh.
+	b.armed.Store(false)
+	resp, err := s.Estimate(ctx, "roads", query)
+	if err != nil {
+		t.Fatalf("estimate after recovery: %v", err)
+	}
+	if resp.Cached || resp.Shared {
+		t.Fatalf("post-panic response should be fresh, got %+v", resp)
+	}
+	if resp.Estimate != 7 {
+		t.Fatalf("estimate %v, want 7", resp.Estimate)
+	}
+}

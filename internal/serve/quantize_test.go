@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/vclock"
+)
+
+// Table-driven edge cases for cache-key quantization: lattice-boundary
+// straddling, point queries, coordinates far outside any data MBR, and
+// exact (negative-quantum) keying. The invariant under test is
+// twofold: queries that must share an entry do, queries that must not
+// never do, and no coordinate magnitude panics or overflows the key.
+func TestQuantizeKeyEdgeCases(t *testing.T) {
+	const q5 = 0.5
+	cases := []struct {
+		name    string
+		quantum float64
+		a, b    geom.Rect
+		same    bool
+	}{
+		{
+			// 0.24/0.5 rounds to 0, 0.26/0.5 rounds to 1: the two
+			// queries straddle the lattice-cell boundary at 0.25.
+			name:    "boundary-straddle-splits",
+			quantum: q5,
+			a:       geom.NewRect(0.24, 0, 1, 1),
+			b:       geom.NewRect(0.26, 0, 1, 1),
+			same:    false,
+		},
+		{
+			// Both inside the same cell (round to 0): deliberate
+			// collision, one entry.
+			name:    "same-cell-collides",
+			quantum: q5,
+			a:       geom.NewRect(0.01, 0.01, 1.01, 1.01),
+			b:       geom.NewRect(0.24, 0.24, 1.24, 1.24),
+			same:    true,
+		},
+		{
+			// Exactly on the half-cell boundary: Round is
+			// half-away-from-zero on both sides of zero, so +0.25 and
+			// -0.25 land in different cells, not a shared "cell 0".
+			name:    "half-boundary-signs-split",
+			quantum: q5,
+			a:       geom.NewRect(0.25, 0, 1, 1),
+			b:       geom.NewRect(-0.25, 0, 1, 1),
+			same:    false,
+		},
+		{
+			name:    "point-queries-same-cell",
+			quantum: q5,
+			a:       geom.PointRect(geom.Point{X: 3.01, Y: 3.01}),
+			b:       geom.PointRect(geom.Point{X: 3.02, Y: 3.02}),
+			same:    true,
+		},
+		{
+			name:    "point-queries-different-cells",
+			quantum: q5,
+			a:       geom.PointRect(geom.Point{X: 3.01, Y: 3.01}),
+			b:       geom.PointRect(geom.Point{X: 3.51, Y: 3.01}),
+			same:    false,
+		},
+		{
+			// Far outside any data MBR, at magnitudes where v/quantum
+			// is ~1e306 — must stay finite, keyed, and distinct.
+			name:    "huge-coordinates-distinct",
+			quantum: 1e-6,
+			a:       geom.NewRect(1e300, 1e300, 1e300+1, 1e300+1),
+			b:       geom.NewRect(-1e300, -1e300, -1e300+1, -1e300+1),
+			same:    false,
+		},
+		{
+			// Denormal-scale coordinates collapse into cell 0 at any
+			// sane quantum — a collision, not a crash.
+			name:    "tiny-coordinates-collide",
+			quantum: 1e-6,
+			a:       geom.NewRect(1e-300, 0, 2e-300, 1e-300),
+			b:       geom.NewRect(3e-300, 0, 4e-300, 2e-300),
+			same:    true,
+		},
+		{
+			// Negative quantum disables quantization: nearly-equal but
+			// distinct floats must key separately.
+			name:    "exact-keys-split-nearby",
+			quantum: -1,
+			a:       geom.NewRect(0.1, 0.1, 1, 1),
+			b:       geom.NewRect(0.1+1e-12, 0.1, 1, 1),
+			same:    false,
+		},
+		{
+			name:    "zero-quantum-is-exact",
+			quantum: 0,
+			a:       geom.NewRect(0.1, 0.1, 1, 1),
+			b:       geom.NewRect(0.1+1e-12, 0.1, 1, 1),
+			same:    false,
+		},
+		{
+			// Identical rects always share, whatever the quantum.
+			name:    "identical-share-exact",
+			quantum: -1,
+			a:       geom.NewRect(1e300, -1e300, 1e301, 1e300),
+			b:       geom.NewRect(1e300, -1e300, 1e301, 1e300),
+			same:    true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ka := quantizeKey("roads", tc.a, tc.quantum)
+			kb := quantizeKey("roads", tc.b, tc.quantum)
+			for _, v := range []float64{ka.x0, ka.y0, ka.x1, ka.y1, kb.x0, kb.y0, kb.x1, kb.y1} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite key component %v (keys %+v, %+v)", v, ka, kb)
+				}
+			}
+			if (ka == kb) != tc.same {
+				t.Errorf("keys equal = %v, want %v (a=%+v b=%+v)", ka == kb, tc.same, ka, kb)
+			}
+			// The table is part of the key regardless of quantization.
+			if other := quantizeKey("rivers", tc.a, tc.quantum); other == ka {
+				t.Error("different tables must never share a key")
+			}
+		})
+	}
+}
+
+// TestQuantizedCollisionServesNeighbor pins the documented trade: two
+// distinct queries inside one lattice cell share a cache entry, and
+// the second is answered with the first's estimate — served as a hit,
+// never a panic or a backend call.
+func TestQuantizedCollisionServesNeighbor(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{CacheQuantum: 0.5, CacheSize: 16})
+	ctx := context.Background()
+
+	r1, err := s.Estimate(ctx, "roads", q(0.01, 0.01, 10.01, 10.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Estimate(ctx, "roads", q(0.05, 0.05, 10.05, 10.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("same-cell neighbor should be a cache hit")
+	}
+	if r2.Estimate != r1.Estimate {
+		t.Fatalf("collision must serve the cached estimate: %v != %v", r2.Estimate, r1.Estimate)
+	}
+	if got := b.estimates.Load(); got != 1 {
+		t.Fatalf("backend called %d times, want 1", got)
+	}
+	// The straddling neighbor is a different cell: fresh computation.
+	r3, err := s.Estimate(ctx, "roads", q(0.26, 0.01, 10.26, 10.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Fatal("cross-boundary query must not hit the neighbor's entry")
+	}
+}
+
+// TestCacheTTLExpiresOnVirtualClock drives the cache TTL on the
+// simulated clock: an entry is served before its TTL and dropped
+// after, with no real sleeping.
+func TestCacheTTLExpiresOnVirtualClock(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	b := &stubBackend{}
+	s := New(b, Config{CacheSize: 16, CacheTTL: time.Minute, Clock: sim})
+	ctx := context.Background()
+	query := q(0, 0, 10, 10)
+
+	if _, err := s.Estimate(ctx, "roads", query); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(59 * time.Second)
+	r2, err := s.Estimate(ctx, "roads", query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("entry inside TTL must be served from cache")
+	}
+	sim.Advance(2 * time.Second) // now 61s past insertion
+	r3, err := s.Estimate(ctx, "roads", query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Fatal("entry past TTL must be recomputed")
+	}
+	if got := b.estimates.Load(); got != 2 {
+		t.Fatalf("backend called %d times, want 2 (initial + post-expiry)", got)
+	}
+	// Direct cache check: the expired entry was removed, not retained.
+	c := newLRUCache(4, time.Minute, sim)
+	c.add(cacheKey{table: "t"}, shard.Result{Estimate: 1})
+	sim.Advance(2 * time.Minute)
+	if _, ok := c.get(cacheKey{table: "t"}); ok {
+		t.Fatal("expired entry still served")
+	}
+	if c.len() != 0 {
+		t.Fatalf("expired entry still resident: len=%d", c.len())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
 // Backend is the estimation engine the server fronts. Implementations
@@ -65,6 +66,16 @@ type Config struct {
 	// DESIGN.md "cache key quantization"). Zero keeps the default;
 	// negative disables quantization (exact-rect keys).
 	CacheQuantum float64
+	// CacheTTL bounds the age of a cached estimate, measured on Clock.
+	// Expired entries are treated as misses and dropped lazily. Zero
+	// (the default) keeps entries until eviction or ANALYZE
+	// invalidation.
+	CacheTTL time.Duration
+	// Clock is the time source for deadlines, queue timeouts, cache TTL
+	// and latency metrics. Nil means the system clock; the fault
+	// simulation harness injects a vclock.Sim to test every timing
+	// behavior without real sleeps.
+	Clock vclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheQuantum == 0 {
 		c.CacheQuantum = 1e-6
 	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
 	return c
 }
 
@@ -94,6 +108,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	backend Backend
+	clk     vclock.Clock
 	cache   *lruCache
 	flights *flightGroup
 	gate    *gate
@@ -118,11 +133,12 @@ func New(backend Backend, cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		backend: backend,
+		clk:     cfg.Clock,
 		flights: newFlightGroup(),
-		gate:    newGate(cfg.MaxInFlight, cfg.QueueTimeout),
+		gate:    newGate(cfg.MaxInFlight, cfg.QueueTimeout, cfg.Clock),
 	}
 	if cfg.CacheSize > 0 {
-		s.cache = newLRUCache(cfg.CacheSize)
+		s.cache = newLRUCache(cfg.CacheSize, cfg.CacheTTL, cfg.Clock)
 	}
 	// The http.Server is created up front so Serve and Shutdown can be
 	// called from different goroutines without racing on the field.
@@ -160,9 +176,9 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 // EstimateResponse is the JSON body of /estimate and the return of
 // Estimate.
 type EstimateResponse struct {
-	Table    string  `json:"table"`
+	Table    string     `json:"table"`
 	Query    [4]float64 `json:"query"` // minx, miny, maxx, maxy
-	Estimate float64 `json:"estimate"`
+	Estimate float64    `json:"estimate"`
 	// Partial reports graceful degradation: part of the answer came
 	// from the uniformity fallback because the deadline expired.
 	Partial bool `json:"partial"`
@@ -180,8 +196,8 @@ type EstimateResponse struct {
 // backend — for one query. It is the engine behind the /estimate
 // handler and is exported for in-process callers and benchmarks.
 func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (EstimateResponse, error) {
-	start := time.Now()
-	defer s.requestSeconds.ObserveSince(start)
+	start := s.clk.Now()
+	defer func() { s.requestSeconds.Observe(s.clk.Since(start).Seconds()) }()
 	if !q.Valid() {
 		return EstimateResponse{}, fmt.Errorf("serve: invalid query rectangle %v", q)
 	}
@@ -202,7 +218,7 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 		}
 		defer s.gate.release()
 		s.inFlight.Set(float64(s.gate.inFlight()))
-		ectx, cancel := context.WithTimeout(ctx, s.cfg.EstimateTimeout)
+		ectx, cancel := vclock.WithTimeout(ctx, s.clk, s.cfg.EstimateTimeout)
 		defer cancel()
 		return s.backend.EstimateContext(ectx, table, q)
 	})
@@ -210,7 +226,7 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 		s.suppressed.Inc()
 	}
 	if err != nil {
-		if errors.Is(err, errShed) {
+		if errors.Is(err, ErrShed) {
 			s.shed.Inc()
 			s.queueTimeouts.Inc()
 		}
@@ -238,9 +254,9 @@ type AnalyzeResponse struct {
 // Analyze rebuilds the named table's statistics and invalidates its
 // cached estimates.
 func (s *Server) Analyze(ctx context.Context, table string) (AnalyzeResponse, error) {
-	actx, cancel := context.WithTimeout(ctx, s.cfg.AnalyzeTimeout)
+	actx, cancel := vclock.WithTimeout(ctx, s.clk, s.cfg.AnalyzeTimeout)
 	defer cancel()
-	start := time.Now()
+	start := s.clk.Now()
 	if err := s.backend.AnalyzeContext(actx, table); err != nil {
 		return AnalyzeResponse{}, err
 	}
@@ -248,7 +264,7 @@ func (s *Server) Analyze(ctx context.Context, table string) (AnalyzeResponse, er
 		s.cache.invalidateTable(table)
 		s.cacheEntries.Set(float64(s.cache.len()))
 	}
-	return AnalyzeResponse{Table: table, Seconds: time.Since(start).Seconds()}, nil
+	return AnalyzeResponse{Table: table, Seconds: s.clk.Since(start).Seconds()}, nil
 }
 
 // Handler returns the API mux: /estimate, /analyze, /healthz.
@@ -288,8 +304,10 @@ type errorBody struct {
 func (s *Server) writeError(w http.ResponseWriter, endpoint string, err error) {
 	code := http.StatusBadRequest
 	switch {
-	case errors.Is(err, errShed):
+	case errors.Is(err, ErrShed):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrEstimatePanic):
+		code = http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		code = http.StatusGatewayTimeout
 	}

@@ -242,8 +242,8 @@ func TestAdmissionGateSheds(t *testing.T) {
 	// A different query (different flight) must shed after the queue
 	// timeout.
 	_, err := s.Estimate(ctx, "roads", q(5, 5, 6, 6))
-	if !errors.Is(err, errShed) {
-		t.Fatalf("want errShed, got %v", err)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
 	}
 	if got := reg.Counter("serve_shed_total", "").Value(); got != 1 {
 		t.Errorf("shed counter = %d, want 1", got)
@@ -299,8 +299,8 @@ func TestHTTPEndpoints(t *testing.T) {
 
 	// /estimate parameter validation
 	for _, bad := range []string{
-		"/estimate?minx=0&miny=0&maxx=1&maxy=1",       // no table
-		"/estimate?table=roads&minx=0",                // missing coords
+		"/estimate?minx=0&miny=0&maxx=1&maxy=1",             // no table
+		"/estimate?table=roads&minx=0",                      // missing coords
 		"/estimate?table=roads&minx=a&miny=0&maxx=1&maxy=1", // non-numeric
 		"/estimate?table=roads&minx=5&miny=0&maxx=1&maxy=1", // inverted
 	} {

@@ -2,10 +2,19 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/shard"
 )
+
+// ErrEstimatePanic reports that the backend panicked while computing
+// an estimate. The singleflight layer converts the panic into this
+// error so that the leader and every follower get a clean failure
+// instead of a crashed goroutine and a flight that never completes;
+// handlers map it to 500.
+var ErrEstimatePanic = errors.New("serve: backend panicked during estimate")
 
 // flightGroup deduplicates concurrent identical estimate misses: the
 // first caller for a key becomes the leader and computes; followers
@@ -13,6 +22,12 @@ import (
 // x/sync implementation this one is specialized to (Result, error) and
 // lets a follower abandon the wait when its own context dies — the
 // leader keeps computing for the remaining waiters.
+//
+// A panicking fn is contained: the flight completes with
+// ErrEstimatePanic, the key is released, and followers are woken. The
+// alternative — letting the panic unwind past do — would strand every
+// follower on a done channel that never closes, a deadlock the fault
+// simulation harness (internal/faultsim) exists to catch.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[cacheKey]*flightCall
@@ -50,10 +65,22 @@ func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() (shard.Res
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.res, c.err = fn()
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	// The flight must complete — map entry released, done closed — on
+	// every exit path, including a panic inside fn. The panic is
+	// converted to an error rather than re-raised: estimate requests
+	// are independent, and one poisoned query must not take down the
+	// process serving the others.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.res, c.err = shard.Result{}, fmt.Errorf("%w: %v", ErrEstimatePanic, r)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.res, c.err = fn()
+	}()
 	return c.res, c.err, false
 }

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+// TestEstimateContextZeroShardsComplete pins the deepest degradation
+// the scatter-gather can suffer: the deadline is already gone when the
+// scatter starts and not a single shard reports. The contract is a
+// Partial result computed purely from the per-shard uniformity
+// fallbacks — never an error, never a zero estimate for a query that
+// covers data.
+func TestEstimateContextZeroShardsComplete(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 17)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	if sc.Shards() < 2 {
+		t.Fatalf("need >= 2 shards, got %d", sc.Shards())
+	}
+
+	// Every shard blocks until the test is over, so zero shards can
+	// complete before the (already expired) deadline.
+	release := make(chan struct{})
+	defer close(release)
+	sc.SetEstimateHook(func(int) { <-release })
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	q := geom.NewRect(0, 0, 1000, 1000)
+	res, err := sc.EstimateContext(ctx, q)
+	if err != nil {
+		t.Fatalf("zero completed shards must degrade, not error: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("zero completed shards must flag Partial")
+	}
+	if res.ShardsQueried == 0 {
+		t.Fatal("whole-space query must route to at least one shard")
+	}
+	if res.ShardsMissed != res.ShardsQueried {
+		t.Fatalf("missed %d of %d queried shards, want every one", res.ShardsMissed, res.ShardsQueried)
+	}
+
+	// The degraded answer is exactly the sum of the uniformity
+	// fallbacks of the routed shards — the pure-uniform estimate.
+	sc.mu.RLock()
+	var want float64
+	for _, s := range sc.shards {
+		if s.routeBox.Intersects(q) {
+			want += s.fallback.Estimate(q)
+		}
+	}
+	sc.mu.RUnlock()
+	if diff := res.Estimate - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("degraded estimate %.6f, want pure-uniform sum %.6f", res.Estimate, want)
+	}
+	if res.Estimate <= 0 {
+		t.Fatalf("whole-space fallback estimate %.1f, want > 0", res.Estimate)
+	}
+
+	// A plain cancellation (not a deadline) must degrade identically.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	res2, err := sc.EstimateContext(cctx, q)
+	if err != nil {
+		t.Fatalf("cancelled context must degrade, not error: %v", err)
+	}
+	if !res2.Partial || res2.ShardsMissed != res2.ShardsQueried {
+		t.Fatalf("cancelled scatter: %+v, want fully-missed Partial", res2)
+	}
+}

@@ -31,12 +31,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
 // Strategy selects how the input is divided into shard regions.
@@ -86,6 +86,11 @@ type Config struct {
 	Workers int
 	// Strategy selects the partitioner. Default StrategyMinSkew.
 	Strategy Strategy
+	// Clock is the time source for build and estimate timing
+	// telemetry. Nil means the system clock; the fault simulation
+	// harness injects a vclock.Sim so shard timings advance with
+	// simulated time.
+	Clock vclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
 	}
 	return c
 }
@@ -139,9 +147,14 @@ type ShardedCatalog struct {
 	rows   int
 
 	// estimateHook, when non-nil, runs inside each scattered shard
-	// goroutine before the bucket walk; tests install it to simulate
-	// slow shards and exercise mid-scatter degradation.
+	// goroutine before the bucket walk; tests and the fault simulation
+	// harness install it (SetEstimateHook) to simulate slow shards and
+	// exercise mid-scatter degradation.
 	estimateHook func(shardIdx int)
+	// buildHook, when non-nil, runs at the start of each shard build
+	// during AnalyzeContext; a non-nil return aborts the rebuild,
+	// simulating a shard build failure (SetBuildHook).
+	buildHook func(shardIdx int) error
 
 	// Telemetry (nil until EnableTelemetry; all no-ops then).
 	reg            *telemetry.Registry
@@ -193,6 +206,30 @@ func (sc *ShardedCatalog) EnableTelemetry(reg *telemetry.Registry) {
 		"Shards answered by the uniformity fallback instead of their histogram.")
 	sc.shardGauge = reg.Gauge("shard_shards",
 		"Shards in the live partitioning.")
+}
+
+// SetEstimateHook installs (or, with nil, removes) a callback that
+// runs inside every scattered shard goroutine before the bucket walk.
+// It exists for tests and the fault-injection harness: a hook that
+// sleeps simulates a slow shard, one that blocks until released
+// simulates a stuck one. Installing a hook also forces the scatter
+// path for single-shard fan-outs, so degradation stays exercisable.
+// Must not be called concurrently with EstimateContext.
+func (sc *ShardedCatalog) SetEstimateHook(hook func(shardIdx int)) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.estimateHook = hook
+}
+
+// SetBuildHook installs (or, with nil, removes) a callback that runs
+// at the start of each per-shard histogram build during
+// AnalyzeContext. A non-nil error aborts the rebuild — the previously
+// installed shard set stays live — simulating a partial build failure.
+// Must not be called concurrently with AnalyzeContext.
+func (sc *ShardedCatalog) SetBuildHook(hook func(shardIdx int) error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.buildHook = hook
 }
 
 // Analyzed reports whether the catalog has live statistics.
@@ -255,11 +292,14 @@ func (sc *ShardedCatalog) AnalyzeContext(ctx context.Context, d *dataset.Distrib
 	if !ok {
 		return fmt.Errorf("shard: analyze over empty distribution")
 	}
-	start := time.Now()
-	// Snapshot the metric pointers: workers must not touch sc fields
-	// while EnableTelemetry could be swapping them under the lock.
+	clk := sc.cfg.Clock
+	start := clk.Now()
+	// Snapshot the metric pointers and hook: workers must not touch sc
+	// fields while EnableTelemetry could be swapping them under the
+	// lock.
 	sc.mu.RLock()
 	buildSeconds, builds := sc.buildSeconds, sc.builds
+	buildHook := sc.buildHook
 	sc.mu.RUnlock()
 	parts, err := partition(d, sc.cfg)
 	if err != nil {
@@ -287,13 +327,19 @@ func (sc *ShardedCatalog) AnalyzeContext(ctx context.Context, d *dataset.Distrib
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
-			t0 := time.Now()
+			if buildHook != nil {
+				if err := buildHook(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+			t0 := clk.Now()
 			s, err := buildShard(parts[i], sc.cfg, len(parts), d.N())
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
-			buildSeconds.ObserveSince(t0)
+			buildSeconds.Observe(clk.Since(t0).Seconds())
 			builds.Inc()
 			built[i] = s
 		}(i)
@@ -307,7 +353,7 @@ func (sc *ShardedCatalog) AnalyzeContext(ctx context.Context, d *dataset.Distrib
 	sc.shards = built
 	sc.bounds = bounds
 	sc.rows = d.N()
-	sc.analyzeSeconds.ObserveSince(start)
+	sc.analyzeSeconds.Observe(clk.Since(start).Seconds())
 	sc.shardGauge.Set(float64(len(built)))
 	sc.mu.Unlock()
 	return nil

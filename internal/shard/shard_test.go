@@ -145,11 +145,11 @@ func TestEstimateContextDeadlineMidScatter(t *testing.T) {
 	// deadline has long expired.
 	release := make(chan struct{})
 	defer close(release)
-	sc.estimateHook = func(idx int) {
+	sc.SetEstimateHook(func(idx int) {
 		if idx != 0 {
 			<-release
 		}
-	}
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	full := geom.NewRect(0, 0, 1000, 1000)

@@ -1,0 +1,78 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WithTimeout derives a context that is cancelled when d elapses on c.
+// On the real clock it is exactly context.WithTimeout. On a Sim clock
+// the deadline is virtual: the context's Done channel closes when a
+// driver advances the clock past the deadline, and Err reports
+// context.DeadlineExceeded just as a real deadline would. The returned
+// CancelFunc must be called to release the timer, as with the context
+// package.
+func WithTimeout(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if _, ok := c.(realClock); ok || c == nil {
+		return context.WithTimeout(parent, d)
+	}
+	dc := &deadlineCtx{
+		parent:   parent,
+		deadline: c.Now().Add(d),
+		done:     make(chan struct{}),
+	}
+	dc.timer = c.AfterFunc(d, func() { dc.cancel(context.DeadlineExceeded) })
+	// Propagate parent cancellation. Background/TODO have a nil Done
+	// channel and need no watcher.
+	if pdone := parent.Done(); pdone != nil {
+		go func() {
+			select {
+			case <-pdone:
+				dc.cancel(parent.Err())
+			case <-dc.done:
+			}
+		}()
+	}
+	return dc, func() { dc.cancel(context.Canceled) }
+}
+
+// deadlineCtx is a context whose deadline lives on a virtual clock.
+type deadlineCtx struct {
+	parent   context.Context
+	deadline time.Time
+	timer    *Timer
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+// cancel finalizes the context with err; only the first cause wins.
+func (dc *deadlineCtx) cancel(err error) {
+	dc.mu.Lock()
+	if dc.err != nil {
+		dc.mu.Unlock()
+		return
+	}
+	dc.err = err
+	close(dc.done)
+	dc.mu.Unlock()
+	dc.timer.Stop()
+}
+
+// Deadline implements context.Context with the virtual deadline.
+func (dc *deadlineCtx) Deadline() (time.Time, bool) { return dc.deadline, true }
+
+// Done implements context.Context.
+func (dc *deadlineCtx) Done() <-chan struct{} { return dc.done }
+
+// Err implements context.Context.
+func (dc *deadlineCtx) Err() error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.err
+}
+
+// Value implements context.Context by delegating to the parent.
+func (dc *deadlineCtx) Value(key any) any { return dc.parent.Value(key) }

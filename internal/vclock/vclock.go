@@ -1,0 +1,278 @@
+// Package vclock abstracts time behind an injectable Clock so that
+// every duration-sensitive behavior of the serving stack — scatter
+// deadlines, admission-queue timeouts, cache TTLs — can be driven by a
+// deterministic simulated clock in tests instead of real sleeps.
+//
+// Two implementations are provided. Real() is a thin veneer over the
+// time package for production. Sim is a virtual clock for the
+// fault-injection harness (internal/faultsim): time stands still until
+// a driver calls Advance, at which point every timer and sleeper whose
+// virtual deadline has been reached fires in deadline order. A test
+// that arranges work on a Sim clock and advances it in small quanta
+// observes exactly the same timeout orderings as wall-clock execution
+// — deadlines shorter than injected delays always expire first —
+// without a single real time.Sleep on the assertion path.
+//
+// WithTimeout is the bridge to the context package: it behaves exactly
+// like context.WithTimeout on the real clock and produces a
+// virtual-deadline context on a Sim clock.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source injected through the serving stack. All
+// implementations are safe for concurrent use.
+type Clock interface {
+	// Now returns the current (real or virtual) time.
+	Now() time.Time
+	// Since returns the elapsed time from t to Now.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d (virtual d on a Sim).
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires on its channel C after d.
+	NewTimer(d time.Duration) *Timer
+	// AfterFunc runs f in its own goroutine (real clock) or inside the
+	// advancing driver (Sim) once d has elapsed, unless stopped first.
+	AfterFunc(d time.Duration, f func()) *Timer
+}
+
+// Timer is a stoppable pending event on either clock. C is non-nil
+// only for timers created with NewTimer or After.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending. A
+// stopped timer never fires and never delivers on C.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// realClock implements Clock with the time package.
+type realClock struct{}
+
+// Real returns the system clock. Callers that receive a nil Clock in a
+// config should substitute Real().
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (realClock) AfterFunc(d time.Duration, f func()) *Timer {
+	t := time.AfterFunc(d, f)
+	return &Timer{stop: t.Stop}
+}
+
+// simEvent is one pending virtual-time event: either a channel send
+// (NewTimer, After, Sleep) or a callback (AfterFunc).
+type simEvent struct {
+	when time.Time
+	seq  uint64 // creation order; ties on when fire in creation order
+	ch   chan time.Time
+	fn   func()
+	done bool // fired or stopped
+}
+
+// Sim is a deterministic virtual clock. It starts at the time given to
+// NewSim and moves only when Advance (or AdvanceTo) is called; pending
+// events fire in (deadline, creation) order as the clock sweeps past
+// them. The zero value is not usable; call NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     uint64
+	events  []*simEvent
+	waiters *sync.Cond // broadcast whenever the pending-event set grows
+}
+
+// NewSim returns a virtual clock reading start. A common choice is
+// time.Unix(0, 0): absolute values never matter, only differences.
+func NewSim(start time.Time) *Sim {
+	s := &Sim{now: start}
+	s.waiters = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// schedule registers an event at now+d and returns it. Events with
+// non-positive d fire on the next Advance (or immediately for channel
+// events, matching time.After's prompt delivery for d <= 0).
+func (s *Sim) schedule(d time.Duration, ch chan time.Time, fn func()) *simEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &simEvent{when: s.now.Add(d), seq: s.seq, ch: ch, fn: fn}
+	s.seq++
+	if d <= 0 && ch != nil {
+		// Already due: deliver without waiting for a driver tick.
+		ev.done = true
+		ch <- s.now // buffered, never blocks
+		return ev
+	}
+	s.events = append(s.events, ev)
+	s.waiters.Broadcast()
+	return ev
+}
+
+// stopEvent cancels ev, reporting whether it was still pending.
+func (s *Sim) stopEvent(ev *simEvent) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev.done {
+		return false
+	}
+	ev.done = true
+	return true
+}
+
+// Sleep implements Clock: it blocks until the virtual clock has been
+// advanced past now+d. Sleep(0) and negative sleeps return immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan time.Time, 1)
+	s.schedule(d, ch, nil)
+	<-ch
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.schedule(d, ch, nil)
+	return ch
+}
+
+// NewTimer implements Clock.
+func (s *Sim) NewTimer(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	ev := s.schedule(d, ch, nil)
+	return &Timer{C: ch, stop: func() bool { return s.stopEvent(ev) }}
+}
+
+// AfterFunc implements Clock. f runs synchronously inside the Advance
+// call that sweeps past its deadline, with the clock unlocked.
+func (s *Sim) AfterFunc(d time.Duration, f func()) *Timer {
+	ev := s.schedule(d, nil, f)
+	return &Timer{stop: func() bool { return s.stopEvent(ev) }}
+}
+
+// Pending returns the number of undelivered events (armed timers plus
+// blocked sleepers). Drivers use it to decide whether advancing can
+// unblock anything.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.events {
+		if !ev.done {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockUntil waits until at least n events are pending on the clock —
+// the rendezvous a test driver uses to know every worker has reached
+// its sleep or timer before advancing.
+func (s *Sim) BlockUntil(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		pending := 0
+		for _, ev := range s.events {
+			if !ev.done {
+				pending++
+			}
+		}
+		if pending >= n {
+			return
+		}
+		s.waiters.Wait()
+	}
+}
+
+// Advance moves the clock forward by d, firing every pending event
+// whose deadline is reached, in (deadline, creation) order. Callbacks
+// run with the clock unlocked and observe Now at their own deadline,
+// exactly as a real timer would.
+func (s *Sim) Advance(d time.Duration) { s.AdvanceTo(s.Now().Add(d)) }
+
+// AdvanceTo moves the clock forward to t (no-op if t is not after the
+// current virtual time), firing due events as Advance does.
+func (s *Sim) AdvanceTo(t time.Time) {
+	for {
+		s.mu.Lock()
+		if !t.After(s.now) {
+			s.compactLocked()
+			s.mu.Unlock()
+			return
+		}
+		// Find the earliest (when, seq) pending event at or before t.
+		var next *simEvent
+		for _, ev := range s.events {
+			if ev.done || ev.when.After(t) {
+				continue
+			}
+			if next == nil || ev.when.Before(next.when) ||
+				(ev.when.Equal(next.when) && ev.seq < next.seq) {
+				next = ev
+			}
+		}
+		if next == nil {
+			s.now = t
+			s.compactLocked()
+			s.mu.Unlock()
+			return
+		}
+		if next.when.After(s.now) {
+			s.now = next.when
+		}
+		next.done = true
+		fireAt, ch, fn := s.now, next.ch, next.fn
+		s.mu.Unlock()
+		if ch != nil {
+			ch <- fireAt // buffered, never blocks
+		}
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+// compactLocked drops delivered/stopped events so long simulations do
+// not accumulate garbage. Callers hold s.mu.
+func (s *Sim) compactLocked() {
+	live := s.events[:0]
+	for _, ev := range s.events {
+		if !ev.done {
+			live = append(live, ev)
+		}
+	}
+	s.events = live
+}

@@ -1,0 +1,251 @@
+package vclock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(0, 0)
+
+func TestSimNowAdvances(t *testing.T) {
+	s := NewSim(epoch)
+	if !s.Now().Equal(epoch) {
+		t.Fatalf("fresh sim reads %v, want %v", s.Now(), epoch)
+	}
+	s.Advance(250 * time.Millisecond)
+	if got := s.Since(epoch); got != 250*time.Millisecond {
+		t.Fatalf("Since = %v, want 250ms", got)
+	}
+	// AdvanceTo into the past is a no-op.
+	s.AdvanceTo(epoch)
+	if got := s.Since(epoch); got != 250*time.Millisecond {
+		t.Fatalf("AdvanceTo(past) moved the clock to %v", got)
+	}
+}
+
+func TestSimTimerFiresAtDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	tm := s.NewTimer(100 * time.Millisecond)
+	select {
+	case <-tm.C:
+		t.Fatal("timer fired before any advance")
+	default:
+	}
+	s.Advance(99 * time.Millisecond)
+	select {
+	case <-tm.C:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	s.Advance(time.Millisecond)
+	got := <-tm.C
+	if !got.Equal(epoch.Add(100 * time.Millisecond)) {
+		t.Fatalf("timer delivered %v, want deadline time", got)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(epoch)
+	tm := s.NewTimer(50 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("first Stop of a pending timer must report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop must report false")
+	}
+	s.Advance(time.Second)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestSimEventsFireInDeadlineOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var mu sync.Mutex
+	var order []int
+	s.AfterFunc(30*time.Millisecond, func() { mu.Lock(); order = append(order, 3); mu.Unlock() })
+	s.AfterFunc(10*time.Millisecond, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+	s.AfterFunc(20*time.Millisecond, func() { mu.Lock(); order = append(order, 2); mu.Unlock() })
+	// Ties at one deadline fire in creation order.
+	s.AfterFunc(40*time.Millisecond, func() { mu.Lock(); order = append(order, 4); mu.Unlock() })
+	s.AfterFunc(40*time.Millisecond, func() { mu.Lock(); order = append(order, 5); mu.Unlock() })
+	s.Advance(time.Second)
+	want := []int{1, 2, 3, 4, 5}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimAfterFuncSeesDeadlineTime(t *testing.T) {
+	s := NewSim(epoch)
+	var at atomic.Int64
+	s.AfterFunc(70*time.Millisecond, func() { at.Store(s.Now().UnixNano()) })
+	s.Advance(time.Second) // one big sweep, not 70 small ones
+	if got := time.Unix(0, at.Load()); !got.Equal(epoch.Add(70 * time.Millisecond)) {
+		t.Fatalf("callback observed %v, want its own deadline", got)
+	}
+}
+
+func TestSimSleepBlocksUntilAdvance(t *testing.T) {
+	s := NewSim(epoch)
+	woke := make(chan time.Duration, 1)
+	go func() {
+		start := s.Now()
+		s.Sleep(40 * time.Millisecond)
+		woke <- s.Since(start)
+	}()
+	s.BlockUntil(1) // sleeper registered
+	s.Advance(40 * time.Millisecond)
+	if slept := <-woke; slept != 40*time.Millisecond {
+		t.Fatalf("slept %v of virtual time, want 40ms", slept)
+	}
+	// Zero and negative sleeps return immediately with no driver.
+	s.Sleep(0)
+	s.Sleep(-time.Second)
+}
+
+func TestSimAfterZeroDeliversImmediately(t *testing.T) {
+	s := NewSim(epoch)
+	select {
+	case <-s.After(0):
+	default:
+		t.Fatal("After(0) must deliver without an Advance")
+	}
+}
+
+func TestSimPendingAndCompaction(t *testing.T) {
+	s := NewSim(epoch)
+	s.NewTimer(10 * time.Millisecond)
+	tm := s.NewTimer(20 * time.Millisecond)
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	tm.Stop()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after Stop = %d, want 1", got)
+	}
+	s.Advance(time.Second)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after sweep = %d, want 0", got)
+	}
+}
+
+func TestWithTimeoutSimDeadline(t *testing.T) {
+	s := NewSim(epoch)
+	ctx, cancel := WithTimeout(context.Background(), s, 250*time.Millisecond)
+	defer cancel()
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(epoch.Add(250*time.Millisecond)) {
+		t.Fatalf("Deadline = %v %v, want virtual deadline", dl, ok)
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before the deadline")
+	default:
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("premature Err %v", ctx.Err())
+	}
+	s.Advance(250 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context not done after the deadline passed")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestWithTimeoutSimCancel(t *testing.T) {
+	s := NewSim(epoch)
+	ctx, cancel := WithTimeout(context.Background(), s, time.Hour)
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", ctx.Err())
+	}
+	// The timer was released: nothing pending, and a later sweep must
+	// not disturb the recorded cause.
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after cancel = %d, want 0", got)
+	}
+	s.Advance(2 * time.Hour)
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("Err flipped to %v after sweep", ctx.Err())
+	}
+}
+
+func TestWithTimeoutSimParentCancellation(t *testing.T) {
+	s := NewSim(epoch)
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, cancel := WithTimeout(parent, s, time.Hour)
+	defer cancel()
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second): // watchdog only; never sleeps on success
+		t.Fatal("parent cancellation did not propagate")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", ctx.Err())
+	}
+}
+
+func TestWithTimeoutRealClockDelegates(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), Real(), time.Hour)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("real-clock context must carry a deadline")
+	}
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", ctx.Err())
+	}
+}
+
+func TestBlockUntilManySleepers(t *testing.T) {
+	s := NewSim(epoch)
+	const n = 8
+	var done sync.WaitGroup
+	for i := 0; i < n; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			s.Sleep(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	s.BlockUntil(n)
+	s.Advance(n * time.Millisecond)
+	done.Wait()
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatal("real Since went backwards")
+	}
+	tm := c.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("pending real timer Stop must report true")
+	}
+	af := c.AfterFunc(time.Hour, func() { t.Error("must never run") })
+	if !af.Stop() {
+		t.Fatal("pending real AfterFunc Stop must report true")
+	}
+	if (&Timer{}).Stop() {
+		t.Fatal("zero Timer Stop must report false")
+	}
+}

@@ -24,9 +24,10 @@ race:
 
 # Deterministic fault-injection suite: replays seeded workload traces
 # against the sharded serving stack on a simulated clock and checks
-# the serving invariants. See DESIGN.md "Failure model & simulation".
+# the serving invariants. See DESIGN.md "Failure model & simulation"
+# and "Degradation ladder & resilience".
 faultsim:
-	$(GO) test -race -count=1 ./internal/faultsim/ ./internal/vclock/
+	$(GO) test -race -count=1 ./internal/faultsim/ ./internal/vclock/ ./internal/resilience/
 	$(GO) run ./cmd/faultsim -seeds 1,42,7 -o faultsim-report.json
 	@echo "report: faultsim-report.json"
 
@@ -35,9 +36,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate BENCH_estimate.json (estimation ns/op per estimator and
-# bucket budget) at full benchtime.
+# bucket budget) and BENCH_resilience.json (virtual-time p50/p99 with
+# and without hedging) at full benchtime.
 bench-json:
 	$(GO) test -run '^$$' -bench BenchmarkEstimateSuite .
+	$(GO) test -run '^$$' -bench BenchmarkResilienceSuite .
 
 # Regenerate every table and figure of the paper at full scale.
 experiments:

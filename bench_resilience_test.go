@@ -1,0 +1,121 @@
+// BenchmarkResilienceSuite measures what the resilience layer buys:
+// it replays the hedged-slow-shard fault scenario with hedging on and
+// off and records the virtual-time p50/p99 request latencies to
+// BENCH_resilience.json — the same regression-diff contract as
+// BENCH_estimate.json and BENCH_serve.json. The p99 gap between the
+// two rows IS the hedge: the slow shard's 120ms first attempt versus
+// the ~hedge-delay dodge.
+//
+// The scenario runs on a simulated clock, so a cheap CI smoke run is:
+//
+//	go test -run '^$' -bench BenchmarkResilienceSuite -benchtime=1x .
+package spatialest_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/faultsim"
+)
+
+// resilienceBenchRow is one line of BENCH_resilience.json.
+type resilienceBenchRow struct {
+	Scenario  string  `json:"scenario"`
+	Hedging   bool    `json:"hedging"`
+	P50Ms     float64 `json:"p50_ms"`  // virtual-time median request latency
+	P99Ms     float64 `json:"p99_ms"`  // virtual-time tail request latency
+	Hedges    int64   `json:"hedges"`
+	HedgeWins int64   `json:"hedge_wins"`
+	NsPerOp   float64 `json:"ns_per_op"` // real time per full scenario replay
+}
+
+var resilienceBenchJSON struct {
+	mu   sync.Mutex
+	rows map[string]resilienceBenchRow
+}
+
+// recordResilienceBenchRow stores the row and rewrites
+// BENCH_resilience.json with everything measured so far, sorted for
+// deterministic diffs.
+func recordResilienceBenchRow(b *testing.B, row resilienceBenchRow) {
+	b.Helper()
+	resilienceBenchJSON.mu.Lock()
+	defer resilienceBenchJSON.mu.Unlock()
+	if resilienceBenchJSON.rows == nil {
+		resilienceBenchJSON.rows = make(map[string]resilienceBenchRow)
+	}
+	key := row.Scenario + "/hedged"
+	if !row.Hedging {
+		key = row.Scenario + "/unhedged"
+	}
+	resilienceBenchJSON.rows[key] = row
+	keys := make([]string, 0, len(resilienceBenchJSON.rows))
+	for k := range resilienceBenchJSON.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]resilienceBenchRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, resilienceBenchJSON.rows[k])
+	}
+	f, err := os.Create("BENCH_resilience.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		_ = f.Close()
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkResilienceSuite(b *testing.B) {
+	base, ok := faultsim.Lookup("hedged-slow-shard")
+	if !ok {
+		b.Fatal("hedged-slow-shard scenario missing from the faultsim suite")
+	}
+	variants := []struct {
+		name    string
+		hedging bool
+	}{
+		{"hedged", true},
+		{"unhedged", false},
+	}
+	for _, v := range variants {
+		sc := base
+		sc.Resilience.Hedge.Disable = !v.hedging
+		b.Run(v.name, func(b *testing.B) {
+			var last faultsim.Report
+			for i := 0; i < b.N; i++ {
+				rep, err := faultsim.Run(sc, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Passed {
+					b.Fatalf("invariants violated: %v", rep.Violations)
+				}
+				last = rep
+			}
+			// The interesting numbers are virtual-time latencies, not
+			// wall time: surface them in the bench output and the JSON.
+			b.ReportMetric(last.P50Millis, "p50-virt-ms")
+			b.ReportMetric(last.P99Millis, "p99-virt-ms")
+			recordResilienceBenchRow(b, resilienceBenchRow{
+				Scenario:  base.Name,
+				Hedging:   v.hedging,
+				P50Ms:     last.P50Millis,
+				P99Ms:     last.P99Millis,
+				Hedges:    last.Hedges,
+				HedgeWins: last.HedgeWins,
+				NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			})
+		})
+	}
+}

@@ -93,8 +93,9 @@ func main() {
 					fmt.Fprintf(os.Stderr, "  [%s] %s\n", v.Invariant, v.Detail)
 				}
 			} else if *verbose {
-				fmt.Fprintf(os.Stderr, "ok   %s seed=%d (%d requests, %d partials, %d errors, sim %dms)\n",
-					r.Scenario, r.Seed, r.Requests, r.Partials, r.ErrorsTotal, r.SimElapsedMillis)
+				fmt.Fprintf(os.Stderr, "ok   %s seed=%d (%d requests, %d partials, %d errors, quality %d/%d/%d full/coarse/uniform, p99 %.1fms, sim %dms)\n",
+					r.Scenario, r.Seed, r.Requests, r.Partials, r.ErrorsTotal,
+					r.QualityFull, r.QualityCoarse, r.QualityUniform, r.P99Millis, r.SimElapsedMillis)
 			}
 		}
 	}

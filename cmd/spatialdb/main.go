@@ -13,9 +13,12 @@
 // and /debug/pprof/* (Go runtime profiles).
 //
 // With -serve-addr, an estimation service exposes /estimate, /analyze
-// and /healthz over HTTP JSON, backed by the same engine the REPL
-// drives; -shards > 1 additionally builds sharded statistics at each
-// ANALYZE so /estimate scatter-gathers them with graceful degradation.
+// and /healthz (plus /healthz/live and /healthz/ready split probes)
+// over HTTP JSON, backed by the same engine the REPL drives;
+// -shards > 1 additionally builds sharded statistics at each ANALYZE
+// so /estimate scatter-gathers them with circuit breakers, retries,
+// hedged shard calls and ladder-based graceful degradation
+// (tunable via -ladder-rungs, -no-resilience).
 //
 // SIGINT and SIGTERM shut both HTTP servers down gracefully before the
 // process exits; statistics are persisted (with -stats) either way.
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/spatialdb"
@@ -54,6 +58,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		serveAddr   = flag.String("serve-addr", "", "serve the /estimate HTTP JSON API on this address (e.g. localhost:8080)")
 		shards      = flag.Int("shards", 0, "build sharded statistics with this many shards at ANALYZE (0 or 1 = monolithic)")
+		ladderRungs = flag.Int("ladder-rungs", 0, "coarser Min-Skew fallback summaries per shard for degraded answers (0 = default)")
+		noResil     = flag.Bool("no-resilience", false, "disable circuit breakers, retries and hedged shard calls in the sharded tier")
 	)
 	flag.Parse()
 
@@ -66,7 +72,11 @@ func main() {
 	reg := telemetry.NewRegistry()
 	db.EnableTelemetry(reg)
 	if *shards > 1 {
-		db.SetShardPolicy(shard.Config{Shards: *shards})
+		db.SetShardPolicy(shard.Config{
+			Shards:      *shards,
+			LadderRungs: *ladderRungs,
+			Resilience:  resilience.Config{Disable: *noResil},
+		})
 	}
 
 	var metricsSrv *http.Server

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
@@ -72,6 +73,25 @@ func (b *CatalogBackend) AnalyzeContext(ctx context.Context, table string) error
 		return fmt.Errorf("faultsim: no table %q", table)
 	}
 	return t.sc.AnalyzeContext(ctx, t.d)
+}
+
+// Status implements serve.StatusReporter: every table's analyzed
+// state, shard count and per-shard breaker states, feeding the
+// /healthz/ready endpoint.
+func (b *CatalogBackend) Status() []serve.TableStatus {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]serve.TableStatus, 0, len(b.tables))
+	for n, t := range b.tables {
+		out = append(out, serve.TableStatus{
+			Table:    n,
+			Analyzed: t.sc.Analyzed(),
+			Shards:   t.sc.Shards(),
+			Breakers: t.sc.BreakerStates(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
 }
 
 // Tables implements serve.Backend.

@@ -51,6 +51,12 @@ var ErrInjected = errors.New("faultsim: injected backend error")
 // rebuild; AnalyzeContext surfaces it and the old shard set stays live.
 var ErrInjectedBuild = errors.New("faultsim: injected shard build error")
 
+// ErrInjectedShard marks an injected per-shard estimate failure. It
+// fails individual shard-call attempts inside the scatter, feeding the
+// retry policy and the shard's circuit breaker rather than the whole
+// request.
+var ErrInjectedShard = errors.New("faultsim: injected shard estimate error")
+
 // Faults configures the injection schedule. All probabilities are in
 // [0, 1]; zero disables the site. Durations are virtual time.
 type Faults struct {
@@ -72,6 +78,19 @@ type Faults struct {
 	// their uniformity fallback.
 	SlowShardProb  float64       `json:"slow_shard_prob,omitempty"`
 	SlowShardDelay time.Duration `json:"slow_shard_delay,omitempty"`
+	// SlowShards lists explicit shard indices that are slow for the
+	// whole run (in addition to any SlowShardProb selections); they
+	// sleep SlowShardDelay per estimate attempt.
+	SlowShards []int `json:"slow_shards,omitempty"`
+	// SlowShardFirstAttemptOnly restricts slowness to attempt 0 of each
+	// shard call: retries and the hedge dodge it, modeling a hedge that
+	// lands on a healthy replica. This is the knob behind the
+	// hedging-caps-tail-latency scenario.
+	SlowShardFirstAttemptOnly bool `json:"slow_shard_first_attempt_only,omitempty"`
+	// ShardErrors lists shard indices whose estimate attempts all fail
+	// with ErrInjectedShard, driving that shard's circuit breaker open
+	// while the rest of the scatter keeps working.
+	ShardErrors []int `json:"shard_errors,omitempty"`
 	// BuildErrorProb fails individual shard builds during rebuilds.
 	BuildErrorProb float64 `json:"build_error_prob,omitempty"`
 
@@ -110,6 +129,7 @@ type Injector struct {
 	Errors      atomic.Int64
 	Panics      atomic.Int64
 	SlowShards  atomic.Int64
+	ShardErrs   atomic.Int64
 	BuildFails  atomic.Int64
 	AnalyzeErrs atomic.Int64
 
@@ -196,9 +216,13 @@ func (in *Injector) EstimateContext(ctx context.Context, table string, q geom.Re
 	}
 	res, err := in.backend.EstimateContext(ctx, table, q)
 	if err == nil && f.DropPartialFlag && res.Partial {
-		// Seeded bug: silent degradation.
+		// Seeded bug: silent degradation. Scrubbing every degradation
+		// marker (not just Partial) is what makes the bug silent — and
+		// makes the degraded result cacheable.
 		res.Partial = false
 		res.ShardsMissed = 0
+		res.Quality = shard.QualityFull
+		res.FallbackShards = nil
 	}
 	return res, err
 }
@@ -218,21 +242,38 @@ func (in *Injector) AnalyzeContext(ctx context.Context, table string) error {
 // Tables implements serve.Backend.
 func (in *Injector) Tables() []string { return in.backend.Tables() }
 
-// InstallShardFaults installs slow-shard and build-failure hooks on
-// sc. Slowness is decided once per shard index — a fixed subset of
-// shards is slow for the whole run, modeling degraded replicas — and
-// build failures are decided per (shard, rebuild attempt).
+// InstallShardFaults installs slow-shard, shard-error and
+// build-failure hooks on sc. Slowness is decided once per shard index —
+// a fixed subset of shards is slow for the whole run, modeling degraded
+// replicas — and build failures are decided per (shard, rebuild
+// attempt). The estimate hook sees the resilience attempt number, so
+// first-attempt-only slowness lets retries and hedges dodge the fault.
 func (in *Injector) InstallShardFaults(sc *shard.ShardedCatalog) {
 	f := in.faults
-	if f.SlowShardProb > 0 && f.SlowShardDelay > 0 {
-		sc.SetEstimateHook(func(idx int) {
+	probSlow := f.SlowShardProb > 0 && f.SlowShardDelay > 0
+	if probSlow || (len(f.SlowShards) > 0 && f.SlowShardDelay > 0) || len(f.ShardErrors) > 0 {
+		slowIdx := make(map[int]bool, len(f.SlowShards))
+		for _, i := range f.SlowShards {
+			slowIdx[i] = true
+		}
+		errIdx := make(map[int]bool, len(f.ShardErrors))
+		for _, i := range f.ShardErrors {
+			errIdx[i] = true
+		}
+		sc.SetEstimateHook(func(idx, attempt int) error {
 			if in.disabled.Load() {
-				return
+				return nil
 			}
-			if in.roll(siteSlowShard, uint64(idx)) < f.SlowShardProb {
+			if errIdx[idx] {
+				in.ShardErrs.Add(1)
+				return fmt.Errorf("%w: shard %d (attempt %d)", ErrInjectedShard, idx, attempt)
+			}
+			slow := slowIdx[idx] || (probSlow && in.roll(siteSlowShard, uint64(idx)) < f.SlowShardProb)
+			if slow && (!f.SlowShardFirstAttemptOnly || attempt == 0) {
 				in.SlowShards.Add(1)
 				in.clk.Sleep(f.SlowShardDelay)
 			}
+			return nil
 		})
 	}
 	if f.BuildErrorProb > 0 {

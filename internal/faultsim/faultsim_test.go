@@ -51,6 +51,51 @@ var effectChecks = map[string]func(Report) error{
 		}
 		return nil
 	},
+	"hedged-slow-shard": func(r Report) error {
+		if r.InjectedSlowShards == 0 {
+			return fmt.Errorf("no slow-shard faults fired")
+		}
+		if r.Hedges == 0 || r.HedgeWins == 0 {
+			return fmt.Errorf("hedging never engaged (launched %d, won %d)", r.Hedges, r.HedgeWins)
+		}
+		if r.Partials != 0 {
+			return fmt.Errorf("slow-but-within-deadline shard should never degrade, got %d partials", r.Partials)
+		}
+		return nil
+	},
+	"breaker-trip": func(r Report) error {
+		if r.InjectedShardErrs == 0 {
+			return fmt.Errorf("no shard errors fired")
+		}
+		if r.BreakerOpens == 0 {
+			return fmt.Errorf("sustained shard errors never opened the breaker")
+		}
+		if r.QualityCoarse == 0 {
+			return fmt.Errorf("breaker-gated requests should degrade to coarse ladder answers")
+		}
+		if r.QualityUniform != 0 {
+			return fmt.Errorf("%d responses fell to uniform; the ladder should absorb breaker degradation", r.QualityUniform)
+		}
+		if r.QualityFull == 0 {
+			return fmt.Errorf("no full-quality responses after recovery")
+		}
+		return nil
+	},
+	"ladder-recovery": func(r Report) error {
+		if r.InjectedSlowShards == 0 {
+			return fmt.Errorf("no slow-shard faults fired")
+		}
+		if r.QualityCoarse == 0 {
+			return fmt.Errorf("deadline-missed shards should degrade to coarse ladder answers")
+		}
+		if r.QualityUniform != 0 {
+			return fmt.Errorf("%d responses fell to uniform; the ladder should absorb deadline degradation", r.QualityUniform)
+		}
+		if r.QualityFull == 0 {
+			return fmt.Errorf("no full-quality responses after recovery")
+		}
+		return nil
+	},
 	"rebuild-failures": func(r Report) error {
 		if r.InjectedAnalyzeErrs+r.InjectedBuildFails == 0 {
 			return fmt.Errorf("no rebuild faults fired")

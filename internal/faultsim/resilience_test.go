@@ -1,0 +1,225 @@
+package faultsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/shard"
+)
+
+// mustScenario pulls a named scenario out of the suite.
+func mustScenario(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q missing from suite", name)
+	}
+	return sc
+}
+
+// TestHedgingCapsTailLatency runs the hedged-slow-shard scenario twice
+// per seed — hedging on, hedging off — and asserts on virtual time that
+// the hedge caps the tail: the slow shard sleeps 120ms only on first
+// attempts, so a hedged request finishes at roughly the hedge delay
+// while an unhedged one eats the full sleep. No real sleeps anywhere.
+func TestHedgingCapsTailLatency(t *testing.T) {
+	base := mustScenario(t, "hedged-slow-shard")
+	for _, seed := range suiteSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			hedged, err := Run(base, seed)
+			if err != nil {
+				t.Fatalf("hedged run: %v", err)
+			}
+			unhedgedScenario := base
+			unhedgedScenario.Resilience.Hedge.Disable = true
+			unhedged, err := Run(unhedgedScenario, seed)
+			if err != nil {
+				t.Fatalf("unhedged run: %v", err)
+			}
+			if !hedged.Passed || !unhedged.Passed {
+				t.Fatalf("runs must pass invariants: hedged=%v unhedged=%v",
+					hedged.Violations, unhedged.Violations)
+			}
+			if hedged.Hedges == 0 || hedged.HedgeWins == 0 {
+				t.Fatalf("hedging never engaged: launched %d, won %d", hedged.Hedges, hedged.HedgeWins)
+			}
+			if unhedged.Hedges != 0 {
+				t.Fatalf("disabled hedging still launched %d hedges", unhedged.Hedges)
+			}
+			// The slow shard sleeps 120ms (virtual) on unhedged requests;
+			// the hedge dodges it after at most Hedge.Max (50ms in the
+			// scenario) plus scheduling quanta.
+			if unhedged.P99Millis < 100 {
+				t.Errorf("unhedged p99 = %.1fms, expected the 120ms slow shard to dominate", unhedged.P99Millis)
+			}
+			if hedged.P99Millis >= unhedged.P99Millis {
+				t.Errorf("hedging did not cap the tail: hedged p99 %.1fms >= unhedged p99 %.1fms",
+					hedged.P99Millis, unhedged.P99Millis)
+			}
+			if hedged.P99Millis > 60 {
+				t.Errorf("hedged p99 = %.1fms, want <= 60ms (hedge delay cap 50ms plus slack)",
+					hedged.P99Millis)
+			}
+		})
+	}
+}
+
+// perRoundQuality tallies completed responses by quality per round.
+func perRoundQuality(st *runState, rounds int) (full, coarse, uniform []int) {
+	full = make([]int, rounds)
+	coarse = make([]int, rounds)
+	uniform = make([]int, rounds)
+	for _, o := range st.outcomes {
+		if o.err != nil {
+			continue
+		}
+		switch o.resp.Quality {
+		case shard.QualityFull.String():
+			full[o.round]++
+		case shard.QualityCoarse.String():
+			coarse[o.round]++
+		case shard.QualityUniform.String():
+			uniform[o.round]++
+		}
+	}
+	return full, coarse, uniform
+}
+
+// TestResilienceUnderConcurrentChaos re-runs the chaos scenario with
+// the full resilience layer enabled. The suite keeps resilience off in
+// multi-worker scenarios so the JSON report stays byte-identical run
+// to run — breaker and adaptive-hedge decisions depend on the order
+// concurrent workers record outcomes. This test supplies the coverage
+// that trade-off gives up: twelve workers hammering shared breaker
+// windows and latency histograms under -race, asserted against the
+// serving invariants alone (never against schedule-dependent
+// counters).
+func TestResilienceUnderConcurrentChaos(t *testing.T) {
+	sc := mustScenario(t, "chaos")
+	sc.Name = "chaos-resilient"
+	sc.Resilience = resilience.Config{}
+	for _, seed := range suiteSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(sc, seed)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !rep.Passed {
+				t.Fatalf("invariants violated: %v", rep.Violations)
+			}
+		})
+	}
+}
+
+// TestBreakerTripAndRecovery white-boxes the breaker-trip scenario:
+// during the fault rounds the failing shard's breaker opens and its
+// requests degrade to coarse ladder answers (never uniform); once the
+// faults stop and the cooldown elapses, half-open probes succeed, the
+// breaker closes, and the final round serves nothing below full
+// quality.
+func TestBreakerTripAndRecovery(t *testing.T) {
+	sc := mustScenario(t, "breaker-trip")
+	for _, seed := range suiteSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			st, err := run(sc, seed)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			rep := st.report
+			if !rep.Passed {
+				t.Fatalf("invariants violated: %v", rep.Violations)
+			}
+			if rep.BreakerOpens == 0 {
+				t.Fatal("breaker never opened under sustained shard errors")
+			}
+			rounds := st.sc.Rounds
+			full, coarse, uniform := perRoundQuality(st, rounds)
+			for r := 0; r < rounds; r++ {
+				if uniform[r] != 0 {
+					t.Errorf("round %d: %d uniform responses; the ladder must absorb breaker degradation",
+						r, uniform[r])
+				}
+			}
+			faultCoarse := 0
+			for r := 0; r < st.sc.FaultRounds; r++ {
+				faultCoarse += coarse[r]
+			}
+			if faultCoarse == 0 {
+				t.Error("fault rounds produced no coarse responses: the failing shard never degraded")
+			}
+			last := rounds - 1
+			if coarse[last] != 0 || full[last] == 0 {
+				t.Errorf("final round must be fully recovered: %d full, %d coarse", full[last], coarse[last])
+			}
+			// Some fault-round response must have observed the open breaker.
+			sawOpen := false
+			for _, o := range st.outcomes {
+				if o.err != nil || o.round >= st.sc.FaultRounds {
+					continue
+				}
+				for _, b := range o.resp.Breakers {
+					if b == "open" {
+						sawOpen = true
+					}
+				}
+			}
+			if !sawOpen {
+				t.Error("no fault-round response reported an open breaker state")
+			}
+		})
+	}
+}
+
+// TestLadderRecoveryMonotonic white-boxes the ladder-recovery scenario:
+// a shard slower than the scatter deadline degrades its requests to
+// coarse ladder answers during the fault rounds, never to uniform, and
+// quality climbs monotonically back — the final round is entirely full
+// quality.
+func TestLadderRecoveryMonotonic(t *testing.T) {
+	sc := mustScenario(t, "ladder-recovery")
+	for _, seed := range suiteSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			st, err := run(sc, seed)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			rep := st.report
+			if !rep.Passed {
+				t.Fatalf("invariants violated: %v", rep.Violations)
+			}
+			rounds := st.sc.Rounds
+			full, coarse, uniform := perRoundQuality(st, rounds)
+			for r := 0; r < rounds; r++ {
+				if uniform[r] != 0 {
+					t.Errorf("round %d: %d uniform responses; the ladder must absorb deadline degradation",
+						r, uniform[r])
+				}
+			}
+			if coarse[0] == 0 {
+				t.Error("round 0 produced no coarse responses: the slow shard never degraded")
+			}
+			// Quality recovers monotonically once the faults stop: the
+			// coarse share never grows from one post-fault round to the
+			// next, and the final round is all full.
+			for r := st.sc.FaultRounds; r+1 < rounds; r++ {
+				if coarse[r+1] > coarse[r] {
+					t.Errorf("coarse responses grew from round %d (%d) to round %d (%d) after faults stopped",
+						r, coarse[r], r+1, coarse[r+1])
+				}
+			}
+			last := rounds - 1
+			if coarse[last] != 0 || full[last] == 0 {
+				t.Errorf("final round must be fully recovered: %d full, %d coarse", full[last], coarse[last])
+			}
+		})
+	}
+}

@@ -9,14 +9,17 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/synthetic"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 	"repro/internal/workload"
 )
@@ -96,6 +99,26 @@ type Scenario struct {
 	// rebuild faults against live traffic.
 	MidRunAnalyze bool `json:"mid_run_analyze,omitempty"`
 
+	// FaultRounds limits injection to the first N rounds: after round
+	// FaultRounds completes the injector is disabled and the virtual
+	// clock advanced by PostFaultAdvance, so later rounds observe
+	// recovery (breaker cooldown, quality climbing back to full). Zero
+	// keeps faults on for the whole trace.
+	FaultRounds int `json:"fault_rounds,omitempty"`
+	// PostFaultAdvance is the virtual time advanced when FaultRounds
+	// disables injection. Default 3s — past the default breaker
+	// OpenTimeout, so the next round's calls reach half-open probes.
+	PostFaultAdvance time.Duration `json:"post_fault_advance,omitempty"`
+
+	// LadderRungs forwards to shard.Config.LadderRungs for the serving
+	// catalog (0 takes the shard default; negative disables the
+	// degradation ladder).
+	LadderRungs int `json:"ladder_rungs,omitempty"`
+	// Resilience configures the serving catalog's breakers, retries and
+	// hedging. The zero value enables the whole layer with defaults;
+	// the reference catalog always runs with resilience disabled.
+	Resilience resilience.Config `json:"resilience"`
+
 	Faults Faults `json:"faults"`
 
 	// ExpectClean additionally asserts zero partials/errors/sheds —
@@ -143,6 +166,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.RequestTimeout == 0 {
 		s.RequestTimeout = 30 * time.Second
 	}
+	if s.PostFaultAdvance == 0 {
+		s.PostFaultAdvance = 3 * time.Second
+	}
 	return s
 }
 
@@ -167,10 +193,26 @@ type Report struct {
 	PanicErrors   int `json:"panic_errors"`
 	Timeouts      int `json:"timeouts"`
 
+	// Completed responses by answer quality.
+	QualityFull    int `json:"quality_full"`
+	QualityCoarse  int `json:"quality_coarse"`
+	QualityUniform int `json:"quality_uniform"`
+
+	// Virtual end-to-end latency percentiles over completed requests.
+	P50Millis float64 `json:"p50_millis"`
+	P99Millis float64 `json:"p99_millis"`
+
+	// Resilience activity, read from the serving catalog's telemetry.
+	Retries      int64 `json:"retries"`
+	Hedges       int64 `json:"hedges"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	BreakerOpens int64 `json:"breaker_opens"`
+
 	InjectedDelays      int64 `json:"injected_delays"`
 	InjectedErrors      int64 `json:"injected_errors"`
 	InjectedPanics      int64 `json:"injected_panics"`
 	InjectedSlowShards  int64 `json:"injected_slow_shards"`
+	InjectedShardErrs   int64 `json:"injected_shard_errs"`
 	InjectedBuildFails  int64 `json:"injected_build_fails"`
 	InjectedAnalyzeErrs int64 `json:"injected_analyze_errs"`
 
@@ -183,10 +225,11 @@ type Report struct {
 
 // outcome records one replayed request.
 type outcome struct {
-	idx  int // index into the query trace
-	resp serve.EstimateResponse
-	err  error
-	took time.Duration // virtual
+	idx   int // index into the query trace
+	round int
+	resp  serve.EstimateResponse
+	err   error
+	took  time.Duration // virtual
 }
 
 // runState carries everything one scenario run touches.
@@ -199,6 +242,7 @@ type runState struct {
 	backend *CatalogBackend
 	inj     *Injector
 	srv     *serve.Server
+	reg     *telemetry.Registry
 
 	mu       sync.Mutex
 	outcomes []outcome
@@ -228,6 +272,16 @@ func closeEnough(a, b float64) bool {
 // (bad scenario parameters); invariant breaches are reported in
 // Report.Violations with Passed == false.
 func Run(sc Scenario, seed int64) (Report, error) {
+	st, err := run(sc, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	return st.report, nil
+}
+
+// run is Run with the whole run state exposed, so the harness's own
+// tests can assert on per-round outcomes, not just the report totals.
+func run(sc Scenario, seed int64) (*runState, error) {
 	sc = sc.withDefaults()
 	st := &runState{
 		sc:       sc,
@@ -239,13 +293,13 @@ func Run(sc Scenario, seed int64) (Report, error) {
 		st.disabled[name] = true
 	}
 	if err := st.setup(); err != nil {
-		return Report{}, err
+		return nil, err
 	}
 	st.replay()
 	st.checkShutdown()
 	st.checkRecovery()
 	st.finishReport()
-	return st.report, nil
+	return st, nil
 }
 
 // violate records a breach unless the invariant is disabled.
@@ -269,24 +323,40 @@ func (st *runState) setup() error {
 	}
 	st.queries = queries
 
-	cat := shard.New(shard.Config{
+	// Reference estimates come from a separate catalog with resilience
+	// disabled: the shard build is deterministic in the distribution, so
+	// it yields the exact full-quality answers, and keeping it apart
+	// means reference traffic never touches the serving catalog's
+	// breaker windows or latency histograms.
+	refCat := shard.New(shard.Config{
 		Shards: st.sc.Shards, Buckets: st.sc.Buckets, Regions: 1024, Clock: st.sim,
+		LadderRungs: st.sc.LadderRungs,
+		Resilience:  resilience.Config{Disable: true},
 	})
-	if err := cat.Analyze(d); err != nil {
-		return fmt.Errorf("faultsim: analyze: %w", err)
+	if err := refCat.Analyze(d); err != nil {
+		return fmt.Errorf("faultsim: reference analyze: %w", err)
 	}
-
-	// Reference estimates: the un-faulted, deadline-free answers. A
-	// successful mid-run rebuild regenerates an identical shard set
-	// (the build is deterministic in the distribution), so references
-	// stay valid across ANALYZE.
 	st.refs = make([]float64, len(queries))
 	for i, q := range queries {
-		res, err := cat.Estimate(q)
+		res, err := refCat.Estimate(q)
 		if err != nil {
 			return fmt.Errorf("faultsim: reference estimate: %w", err)
 		}
 		st.refs[i] = res.Estimate
+	}
+
+	// The serving catalog runs the scenario's resilience policy. A
+	// successful mid-run rebuild regenerates an identical shard set, so
+	// references stay valid across ANALYZE.
+	cat := shard.New(shard.Config{
+		Shards: st.sc.Shards, Buckets: st.sc.Buckets, Regions: 1024, Clock: st.sim,
+		LadderRungs: st.sc.LadderRungs,
+		Resilience:  st.sc.Resilience,
+	})
+	st.reg = telemetry.NewRegistry()
+	cat.EnableTelemetry(st.reg)
+	if err := cat.Analyze(d); err != nil {
+		return fmt.Errorf("faultsim: analyze: %w", err)
 	}
 
 	st.backend = NewCatalogBackend()
@@ -307,6 +377,7 @@ func (st *runState) setup() error {
 		CacheTTL:        st.sc.CacheTTL,
 		Clock:           st.sim,
 	})
+	st.srv.EnableTelemetry(st.reg)
 	return nil
 }
 
@@ -329,13 +400,19 @@ func (st *runState) replay() {
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < len(st.queries); i += st.sc.Workers {
-					st.oneRequest(runCtx, i)
+					st.oneRequest(runCtx, round, i)
 				}
 			}(w)
 		}
 		wg.Wait()
 		if st.sc.MidRunAnalyze && round == 0 {
 			st.midRunAnalyze(runCtx)
+		}
+		if st.sc.FaultRounds > 0 && round+1 == st.sc.FaultRounds {
+			// The storm is over: stop injecting and let the breaker
+			// cooldowns elapse, so the remaining rounds replay recovery.
+			st.inj.SetDisabled(true)
+			st.sim.Advance(st.sc.PostFaultAdvance)
 		}
 	}
 	close(stopDriver)
@@ -346,13 +423,13 @@ func (st *runState) replay() {
 }
 
 // oneRequest replays trace entry i and records the outcome.
-func (st *runState) oneRequest(runCtx context.Context, i int) {
+func (st *runState) oneRequest(runCtx context.Context, round, i int) {
 	ctx, cancel := vclock.WithTimeout(runCtx, st.sim, st.sc.RequestTimeout)
 	t0 := st.sim.Now()
 	resp, err := st.srv.Estimate(ctx, simTable, st.queries[i])
 	cancel()
 	st.mu.Lock()
-	st.outcomes = append(st.outcomes, outcome{idx: i, resp: resp, err: err, took: st.sim.Since(t0)})
+	st.outcomes = append(st.outcomes, outcome{idx: i, round: round, resp: resp, err: err, took: st.sim.Since(t0)})
 	st.mu.Unlock()
 	st.completed.Add(1)
 }
@@ -477,11 +554,32 @@ func (st *runState) checkRecovery() {
 	switch {
 	case err != nil:
 		st.violate(InvRecovers, "post-run probe failed: %v", err)
-	case resp.Partial:
+	case resp.Partial || resp.Quality != shard.QualityFull.String():
 		st.violate(InvRecovers, "post-run probe degraded: %+v", resp)
 	case !closeEnough(resp.Estimate, want.Estimate):
 		st.violate(InvRecovers, "post-run probe estimate %g, want %g", resp.Estimate, want.Estimate)
 	}
+}
+
+// counterValue reads one labeled counter from the run's registry.
+func (st *runState) counterValue(name string, labels ...telemetry.Label) int64 {
+	return int64(st.reg.Counter(name, "", labels...).Value())
+}
+
+// percentileMillis returns the q-quantile of the sorted virtual
+// latencies, in milliseconds (nearest-rank).
+func percentileMillis(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / float64(time.Millisecond)
 }
 
 // finishReport runs the trace-level invariant checks and assembles the
@@ -495,8 +593,14 @@ func (st *runState) finishReport() {
 	r.InjectedErrors = st.inj.Errors.Load()
 	r.InjectedPanics = st.inj.Panics.Load()
 	r.InjectedSlowShards = st.inj.SlowShards.Load()
+	r.InjectedShardErrs = st.inj.ShardErrs.Load()
 	r.InjectedBuildFails = st.inj.BuildFails.Load()
 	r.InjectedAnalyzeErrs = st.inj.AnalyzeErrs.Load()
+	r.Retries = st.counterValue("resilience_retries_total")
+	r.Hedges = st.counterValue("resilience_hedges_total")
+	r.HedgeWins = st.counterValue("resilience_hedge_wins_total")
+	r.BreakerOpens = st.counterValue("resilience_breaker_transitions_total",
+		telemetry.Label{Key: "to", Value: resilience.StateOpen.String()})
 
 	st.mu.Lock()
 	outcomes := st.outcomes
@@ -532,18 +636,30 @@ func (st *runState) finishReport() {
 		if o.resp.Partial {
 			r.Partials++
 		}
+		switch o.resp.Quality {
+		case shard.QualityFull.String():
+			r.QualityFull++
+		case shard.QualityCoarse.String():
+			r.QualityCoarse++
+		case shard.QualityUniform.String():
+			r.QualityUniform++
+		}
 		if o.resp.Cached {
 			r.CacheHits++
 		}
 		if o.resp.Shared {
 			r.SharedFlights++
 		}
-		if o.resp.Cached && o.resp.Partial {
-			st.violate(InvNoPartialCached, "request %d: cached partial %+v", o.idx, o.resp)
+		if o.resp.Cached && (o.resp.Partial || o.resp.Quality != shard.QualityFull.String()) {
+			st.violate(InvNoPartialCached, "request %d: cached degraded response %+v", o.idx, o.resp)
 		}
 		if o.resp.Cached && !closeEnough(o.resp.Estimate, ref) {
 			st.violate(InvCachedAccurate,
 				"request %d: cache served %g, reference %g", o.idx, o.resp.Estimate, ref)
+		}
+		if !o.resp.Partial && o.resp.Quality != shard.QualityFull.String() {
+			st.violate(InvNoSilentDegradation,
+				"request %d: quality %q response not flagged Partial", o.idx, o.resp.Quality)
 		}
 		if !o.resp.Partial && !closeEnough(o.resp.Estimate, ref) {
 			st.violate(InvNoSilentDegradation,
@@ -551,6 +667,16 @@ func (st *runState) finishReport() {
 				o.idx, o.resp.Estimate, ref)
 		}
 	}
+
+	var tooks []time.Duration
+	for _, o := range outcomes {
+		if o.err == nil {
+			tooks = append(tooks, o.took)
+		}
+	}
+	sort.Slice(tooks, func(i, j int) bool { return tooks[i] < tooks[j] })
+	r.P50Millis = percentileMillis(tooks, 0.50)
+	r.P99Millis = percentileMillis(tooks, 0.99)
 
 	if st.sc.ExpectClean && !st.disabled[InvCleanRun] {
 		if n := r.Partials + r.ErrorsTotal; n != 0 {

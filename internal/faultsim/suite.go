@@ -1,6 +1,31 @@
 package faultsim
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// resilienceWithHedgeMax is the default resilience policy with the
+// hedge delay capped, keeping the hedged scenario's tail bound tight
+// even once the latency histogram has absorbed slow samples.
+func resilienceWithHedgeMax(max time.Duration) resilience.Config {
+	var c resilience.Config
+	c.Hedge.Max = max
+	return c
+}
+
+// noResilience turns the resilience layer off. The legacy multi-worker
+// scenarios run without it: breaker trips and adaptive hedge delays
+// depend on the order concurrent workers record outcomes, which
+// Workers > 1 does not pin, and the suite report must stay
+// byte-identical across runs of the same (scenario, seed). The
+// dedicated Workers == 1 scenarios assert the resilience layer on a
+// schedule-free trace instead, and TestResilienceUnderConcurrentChaos
+// exercises it under real concurrency against the invariants alone.
+func noResilience() resilience.Config {
+	return resilience.Config{Disable: true}
+}
 
 // Suite returns the standard scenario set, from a fault-free baseline
 // through a combined chaos run. Every scenario is deterministic in
@@ -12,10 +37,12 @@ func Suite() []Scenario {
 			Name:        "baseline",
 			Description: "no faults: every response complete, accurate, and clean",
 			ExpectClean: true,
+			Resilience:  noResilience(),
 		},
 		{
 			Name:        "slow-shards",
 			Description: "half the shards exceed the scatter deadline; degraded responses must be flagged Partial and never cached",
+			Resilience:  noResilience(),
 			Faults: Faults{
 				SlowShardProb:  0.5,
 				SlowShardDelay: 400 * time.Millisecond, // > EstimateTimeout
@@ -24,6 +51,7 @@ func Suite() []Scenario {
 		{
 			Name:        "backend-errors",
 			Description: "estimates fail outright at 30%; errors must stay classified and never poison the cache",
+			Resilience:  noResilience(),
 			Faults: Faults{
 				EstimateErrorProb: 0.3,
 			},
@@ -31,6 +59,7 @@ func Suite() []Scenario {
 		{
 			Name:        "panic-storm",
 			Description: "backend panics mid-estimate; singleflight must contain every panic without stranding followers",
+			Resilience:  noResilience(),
 			Faults: Faults{
 				EstimatePanicProb: 0.2,
 			},
@@ -42,15 +71,52 @@ func Suite() []Scenario {
 			MaxInFlight:  2,
 			CacheSize:    -1,
 			QueueTimeout: 10 * time.Millisecond,
+			Resilience:   noResilience(),
 			Faults: Faults{
 				EstimateDelayProb: 0.5,
 				EstimateDelay:     30 * time.Millisecond,
 			},
 		},
 		{
+			Name: "hedged-slow-shard",
+			Description: "one shard slow on first attempts only; hedged calls dodge it and cap the tail latency " +
+				"(compare p99 against the same scenario with hedging disabled)",
+			Workers: 1, // sequential: virtual latencies are schedule-free
+			Faults: Faults{
+				SlowShards:                []int{1},
+				SlowShardDelay:            120 * time.Millisecond, // < EstimateTimeout: unhedged runs stay full quality
+				SlowShardFirstAttemptOnly: true,
+			},
+			Resilience: resilienceWithHedgeMax(50 * time.Millisecond),
+		},
+		{
+			Name: "breaker-trip",
+			Description: "one shard fails every attempt for two rounds; its breaker must open, requests must degrade " +
+				"to coarse ladder answers (never uniform), and quality must return to full after the faults stop",
+			Workers:     1, // sequential: half-open probes are not contended
+			Rounds:      4,
+			FaultRounds: 2,
+			Faults: Faults{
+				ShardErrors: []int{1},
+			},
+		},
+		{
+			Name: "ladder-recovery",
+			Description: "one shard slower than the scatter deadline for two rounds; answers step down the degradation " +
+				"ladder (coarse, not uniform) and climb back to full once the shard recovers",
+			Workers:     1,
+			Rounds:      4,
+			FaultRounds: 2,
+			Faults: Faults{
+				SlowShards:     []int{1},
+				SlowShardDelay: 400 * time.Millisecond, // > EstimateTimeout
+			},
+		},
+		{
 			Name:          "rebuild-failures",
 			Description:   "mid-run ANALYZE with injected analyze and shard-build failures; the old shard set must keep serving",
 			MidRunAnalyze: true,
+			Resilience:    noResilience(),
 			Faults: Faults{
 				AnalyzeErrorProb: 0.5,
 				BuildErrorProb:   0.5,
@@ -63,6 +129,7 @@ func Suite() []Scenario {
 			MaxInFlight:   8,
 			MidRunAnalyze: true,
 			CacheTTL:      2 * time.Second,
+			Resilience:    noResilience(),
 			Faults: Faults{
 				EstimateDelayProb: 0.2,
 				EstimateDelay:     300 * time.Millisecond,

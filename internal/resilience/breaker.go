@@ -1,0 +1,306 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// State is a circuit breaker state.
+type State int
+
+const (
+	// StateClosed admits every call (the healthy state).
+	StateClosed State = iota
+	// StateHalfOpen admits a bounded number of probe calls after the
+	// open cooldown; their outcomes decide between Closed and Open.
+	StateHalfOpen
+	// StateOpen rejects every call until the cooldown elapses.
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half_open"
+	case StateOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes one circuit breaker. The zero value takes every
+// default below.
+type BreakerConfig struct {
+	// Disable turns breakers off (Allow always admits).
+	Disable bool
+	// Window is the rolling failure-rate window. Default 10s.
+	Window time.Duration
+	// WindowBuckets is the number of time cells the window is divided
+	// into; old cells age out wholesale. Default 10.
+	WindowBuckets int
+	// MinRequests is the minimum number of calls inside the window
+	// before the failure rate is evaluated at all. Default 10.
+	MinRequests int
+	// FailureRate opens the breaker when failures/total inside the
+	// window reaches it. Default 0.5.
+	FailureRate float64
+	// OpenTimeout is the cooldown before an open breaker admits
+	// half-open probes. Default 2s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes bounds the concurrently admitted probe calls while
+	// half-open. Default 1.
+	HalfOpenProbes int
+	// SuccessesToClose is how many consecutive probe successes close
+	// the breaker again. Default 2.
+	SuccessesToClose int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window == 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.WindowBuckets == 0 {
+		c.WindowBuckets = 10
+	}
+	if c.MinRequests == 0 {
+		c.MinRequests = 10
+	}
+	if c.FailureRate == 0 {
+		c.FailureRate = 0.5
+	}
+	if c.OpenTimeout == 0 {
+		c.OpenTimeout = 2 * time.Second
+	}
+	if c.HalfOpenProbes == 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose == 0 {
+		c.SuccessesToClose = 2
+	}
+	return c
+}
+
+// Token ties a Record back to the Allow that admitted the call. A
+// record whose token predates a state transition is discarded, so a
+// straggler call finishing after the breaker already tripped cannot
+// corrupt the half-open probe accounting.
+type Token struct {
+	gen   uint64
+	probe bool
+}
+
+// windowCell is one time slice of the rolling failure window.
+type windowCell struct {
+	epoch      int64 // absolute cell index since the breaker's origin
+	succ, fail int
+}
+
+// Breaker is a circuit breaker over an injected clock. All methods are
+// safe for concurrent use; a nil *Breaker admits everything and
+// records nothing, so disabled-breaker call sites need no branches.
+//
+// Transitions are lazy: an open breaker flips to half-open when Allow
+// first runs after the cooldown, not on a timer — the breaker owns no
+// goroutines.
+type Breaker struct {
+	cfg      BreakerConfig
+	clk      vclock.Clock
+	onChange func(from, to State)
+
+	mu        sync.Mutex
+	state     State
+	gen       uint64 // bumped on every transition; stale tokens are dropped
+	origin    time.Time
+	cells     []windowCell
+	openedAt  time.Time
+	probes    int // half-open probes currently in flight
+	probeSucc int // consecutive probe successes this half-open phase
+}
+
+// NewBreaker builds a breaker on clk (nil means real time). onChange,
+// when non-nil, observes every state transition; it is called without
+// the breaker lock held, so it may call back into the breaker.
+func NewBreaker(cfg BreakerConfig, clk vclock.Clock, onChange func(from, to State)) *Breaker {
+	if clk == nil {
+		clk = vclock.Real()
+	}
+	return &Breaker{cfg: cfg.withDefaults(), clk: clk, onChange: onChange, origin: clk.Now()}
+}
+
+// State returns the current state (StateClosed for nil), applying any
+// due lazy open→half-open transition first.
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	st, notify := b.state, b.maybeCooldownLocked(b.clk.Now())
+	if notify != nil {
+		st = b.state
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return st
+}
+
+// Allow reports whether a call may proceed, returning the token the
+// caller must pass to Record. Nil breakers always admit.
+func (b *Breaker) Allow() (Token, bool) {
+	if b == nil {
+		return Token{}, true
+	}
+	b.mu.Lock()
+	now := b.clk.Now()
+	notify := b.maybeCooldownLocked(now)
+	var (
+		tok Token
+		ok  bool
+	)
+	switch b.state {
+	case StateClosed:
+		tok, ok = Token{gen: b.gen}, true
+	case StateHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			tok, ok = Token{gen: b.gen, probe: true}, true
+		}
+	case StateOpen:
+		// still cooling down
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return tok, ok
+}
+
+// Record reports the outcome of a call admitted by Allow. Records
+// carrying a stale token (the breaker transitioned since Allow) are
+// discarded. Nil breakers ignore everything.
+func (b *Breaker) Record(tok Token, success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	now := b.clk.Now()
+	var notify func()
+	if tok.gen != b.gen {
+		b.mu.Unlock()
+		return
+	}
+	switch b.state {
+	case StateClosed:
+		cell := b.cellLocked(now)
+		if success {
+			cell.succ++
+		} else {
+			cell.fail++
+			if succ, fail := b.windowTotalsLocked(now); succ+fail >= b.cfg.MinRequests &&
+				float64(fail) >= b.cfg.FailureRate*float64(succ+fail) {
+				notify = b.transitionLocked(StateOpen, now)
+			}
+		}
+	case StateHalfOpen:
+		if !tok.probe {
+			break
+		}
+		if b.probes > 0 {
+			b.probes--
+		}
+		if success {
+			b.probeSucc++
+			if b.probeSucc >= b.cfg.SuccessesToClose {
+				notify = b.transitionLocked(StateClosed, now)
+			}
+		} else {
+			notify = b.transitionLocked(StateOpen, now)
+		}
+	case StateOpen:
+		// A record can only reach here with a current-gen token, which
+		// Open never hands out; nothing to do.
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// maybeCooldownLocked applies the lazy open→half-open transition once
+// the cooldown has elapsed, returning the deferred onChange call (nil
+// if no transition happened). Callers hold b.mu.
+func (b *Breaker) maybeCooldownLocked(now time.Time) func() {
+	if b.state != StateOpen || now.Sub(b.openedAt) < b.cfg.OpenTimeout {
+		return nil
+	}
+	return b.transitionLocked(StateHalfOpen, now)
+}
+
+// transitionLocked moves to the new state, bumps the token generation,
+// and resets per-state bookkeeping. It returns the onChange callback
+// to run after unlocking (nil when there is none or no change).
+func (b *Breaker) transitionLocked(to State, now time.Time) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	b.gen++
+	b.probes = 0
+	b.probeSucc = 0
+	switch to {
+	case StateOpen:
+		b.openedAt = now
+	case StateClosed:
+		b.cells = b.cells[:0] // a fresh window: old failures are forgiven
+	}
+	if b.onChange == nil {
+		return nil
+	}
+	cb := b.onChange
+	return func() { cb(from, to) }
+}
+
+// cellLocked returns the window cell for now, recycling its slot if
+// the slot's previous epoch has aged out.
+func (b *Breaker) cellLocked(now time.Time) *windowCell {
+	if len(b.cells) < b.cfg.WindowBuckets {
+		b.cells = append(b.cells, make([]windowCell, b.cfg.WindowBuckets-len(b.cells))...)
+	}
+	epoch := b.epochAt(now)
+	c := &b.cells[int(epoch%int64(b.cfg.WindowBuckets))]
+	if c.epoch != epoch {
+		*c = windowCell{epoch: epoch}
+	}
+	return c
+}
+
+// windowTotalsLocked sums successes and failures over the cells still
+// inside the rolling window.
+func (b *Breaker) windowTotalsLocked(now time.Time) (succ, fail int) {
+	epoch := b.epochAt(now)
+	oldest := epoch - int64(b.cfg.WindowBuckets) + 1
+	for i := range b.cells {
+		if c := &b.cells[i]; c.epoch >= oldest && c.epoch <= epoch {
+			succ += c.succ
+			fail += c.fail
+		}
+	}
+	return succ, fail
+}
+
+// epochAt maps a time to its absolute window-cell index.
+func (b *Breaker) epochAt(now time.Time) int64 {
+	cell := b.cfg.Window / time.Duration(b.cfg.WindowBuckets)
+	if cell <= 0 {
+		cell = time.Nanosecond
+	}
+	return int64(now.Sub(b.origin) / cell)
+}

@@ -1,0 +1,260 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// transitions records breaker state changes for assertions.
+type transitions struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (tr *transitions) note(from, to State) {
+	tr.mu.Lock()
+	tr.log = append(tr.log, fmt.Sprintf("%s->%s", from, to))
+	tr.mu.Unlock()
+}
+
+func (tr *transitions) snapshot() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.log...)
+}
+
+// testBreakerConfig is small enough to drive through every state by
+// hand: 4 requests minimum, 50% failure rate, 2s cooldown, 1 probe,
+// 2 successes to close.
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           10 * time.Second,
+		WindowBuckets:    10,
+		MinRequests:      4,
+		FailureRate:      0.5,
+		OpenTimeout:      2 * time.Second,
+		HalfOpenProbes:   1,
+		SuccessesToClose: 2,
+	}
+}
+
+// fail records one admitted failure, failing the test if the breaker
+// refused the call.
+func fail(t *testing.T, b *Breaker) {
+	t.Helper()
+	tok, ok := b.Allow()
+	if !ok {
+		t.Fatal("closed/half-open breaker refused a call it should admit")
+	}
+	b.Record(tok, false)
+}
+
+func succeed(t *testing.T, b *Breaker) {
+	t.Helper()
+	tok, ok := b.Allow()
+	if !ok {
+		t.Fatal("breaker refused a call it should admit")
+	}
+	b.Record(tok, true)
+}
+
+// TestBreakerLifecycle walks the full state machine on virtual time:
+// closed → open on failure rate, cooldown → half-open, probe failure →
+// open again, probe successes → closed with a forgiven window.
+func TestBreakerLifecycle(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	var tr transitions
+	b := NewBreaker(testBreakerConfig(), sim, tr.note)
+
+	// Closed admits; below MinRequests nothing trips even at 100% failures.
+	fail(t, b)
+	fail(t, b)
+	fail(t, b)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("3 failures < MinRequests=4 must not trip, state %v", got)
+	}
+	// The 4th failure reaches MinRequests at 100% failure rate: open.
+	fail(t, b)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("failure rate 4/4 must open, state %v", got)
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+
+	// Cooldown elapses on the virtual clock: next Allow flips half-open
+	// and admits exactly HalfOpenProbes concurrent probes.
+	sim.Advance(2 * time.Second)
+	tok1, ok := b.Allow()
+	if !ok {
+		t.Fatal("cooled-down breaker must admit a half-open probe")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cooldown Allow = %v, want half-open", got)
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second concurrent probe admitted beyond HalfOpenProbes=1")
+	}
+
+	// Probe failure: straight back to open.
+	b.Record(tok1, false)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("failed probe must reopen, state %v", got)
+	}
+
+	// Cooldown again; this time the probes succeed and close the breaker.
+	sim.Advance(2 * time.Second)
+	succeed(t, b) // probe 1 of SuccessesToClose=2
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("one probe success of two must stay half-open, state %v", got)
+	}
+	succeed(t, b) // probe 2: closes
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("two probe successes must close, state %v", got)
+	}
+
+	// Closing forgave the window: a single new failure is 1/1 — above
+	// the rate but below MinRequests — so the breaker stays closed.
+	fail(t, b)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("fresh window must absorb one failure, state %v", got)
+	}
+
+	want := []string{"closed->open", "open->half_open", "half_open->open", "open->half_open", "half_open->closed"}
+	got := tr.snapshot()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("transition log %v, want %v", got, want)
+	}
+}
+
+// TestBreakerFailureRateThreshold pins the rate arithmetic: below the
+// configured rate the breaker holds, at it the breaker opens.
+func TestBreakerFailureRateThreshold(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+
+	// 3 failures / 7 successes = 30% < 50%: stays closed.
+	b := NewBreaker(testBreakerConfig(), sim, nil)
+	for i := 0; i < 7; i++ {
+		succeed(t, b)
+	}
+	for i := 0; i < 3; i++ {
+		fail(t, b)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("30%% failures opened the breaker (state %v)", got)
+	}
+
+	// 5 failures / 5 successes = 50%: trips exactly at the threshold.
+	b2 := NewBreaker(testBreakerConfig(), sim, nil)
+	for i := 0; i < 5; i++ {
+		succeed(t, b2)
+	}
+	for i := 0; i < 5; i++ {
+		fail(t, b2)
+	}
+	if got := b2.State(); got != StateOpen {
+		t.Fatalf("50%% failures must open at the threshold (state %v)", got)
+	}
+}
+
+// TestBreakerWindowAges proves old outcomes age out: failures recorded
+// more than Window ago cannot contribute to tripping.
+func TestBreakerWindowAges(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	b := NewBreaker(testBreakerConfig(), sim, nil)
+
+	// 3 failures now; then the whole window slides past them.
+	for i := 0; i < 3; i++ {
+		fail(t, b)
+	}
+	sim.Advance(11 * time.Second) // > Window=10s
+
+	// 3 fresh failures: in-window total is 3 < MinRequests=4, so the
+	// aged-out failures must not combine with them.
+	for i := 0; i < 3; i++ {
+		fail(t, b)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("aged-out failures contributed to tripping (state %v)", got)
+	}
+	// One more makes 4 in-window at 100%: now it opens.
+	fail(t, b)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("4 in-window failures must open (state %v)", got)
+	}
+}
+
+// TestBreakerStaleTokenDropped proves a straggler call finishing after
+// a state transition cannot corrupt the new state's accounting: its
+// token generation is stale and the record is discarded.
+func TestBreakerStaleTokenDropped(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	b := NewBreaker(testBreakerConfig(), sim, nil)
+
+	// An in-flight call admitted while closed...
+	staleTok, ok := b.Allow()
+	if !ok {
+		t.Fatal("closed breaker must admit")
+	}
+	// ...then the breaker trips on other calls and cools into half-open.
+	for i := 0; i < 4; i++ {
+		fail(t, b)
+	}
+	sim.Advance(2 * time.Second)
+	probeTok, ok := b.Allow()
+	if !ok {
+		t.Fatal("cooled-down breaker must admit a probe")
+	}
+
+	// The straggler reports failure with its stale token: must be
+	// ignored — the breaker stays half-open with the probe in flight.
+	b.Record(staleTok, false)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("stale record moved the state to %v", got)
+	}
+	// And the probe accounting still works: two successes close. The
+	// stale record must not have consumed the probe slot either.
+	b.Record(probeTok, true)
+	succeed(t, b)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("probe successes after stale record must close, state %v", got)
+	}
+}
+
+// TestBreakerNilSafe pins the nil-receiver contract disabled-breaker
+// call sites rely on.
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	tok, ok := b.Allow()
+	if !ok {
+		t.Fatal("nil breaker must admit everything")
+	}
+	b.Record(tok, false) // must not panic
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("nil breaker state %v, want closed", got)
+	}
+}
+
+// TestBreakerDisabledConfig: a catalog-level disable means no breaker
+// is constructed at all; this pins the helper predicates.
+func TestConfigEnablePredicates(t *testing.T) {
+	var c Config
+	c = c.WithDefaults()
+	if !c.BreakersEnabled() || !c.RetriesEnabled() || !c.HedgingEnabled() {
+		t.Fatal("zero config must enable the whole layer")
+	}
+	c.Disable = true
+	if c.BreakersEnabled() || c.RetriesEnabled() || c.HedgingEnabled() {
+		t.Fatal("layer Disable must turn every component off")
+	}
+	var c2 Config
+	c2.Breaker.Disable = true
+	c2.Hedge.Disable = true
+	if c2.BreakersEnabled() || c2.HedgingEnabled() || !c2.RetriesEnabled() {
+		t.Fatal("component Disable flags must act independently")
+	}
+}

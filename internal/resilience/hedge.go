@@ -1,0 +1,76 @@
+package resilience
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// HedgeConfig tunes the hedged-call trigger: how long the primary
+// attempt may run before a second attempt is raced against it. The
+// delay adapts to the observed latency distribution — the classic
+// tail-at-scale recipe of hedging at a high percentile, so hedges are
+// rare on the healthy path and prompt when a shard is slow.
+type HedgeConfig struct {
+	// Disable turns hedging off.
+	Disable bool
+	// Quantile of the observed latency histogram used as the hedge
+	// delay. Default 0.95.
+	Quantile float64
+	// Default is the delay used before MinSamples observations exist.
+	// Default 25ms.
+	Default time.Duration
+	// Min and Max clamp the adaptive delay. Defaults 1ms and 100ms.
+	Min time.Duration
+	Max time.Duration
+	// MinSamples is how many latency observations must exist before
+	// the quantile is trusted over Default. Default 32.
+	MinSamples int
+}
+
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.Quantile == 0 {
+		c.Quantile = 0.95
+	}
+	if c.Default == 0 {
+		c.Default = 25 * time.Millisecond
+	}
+	if c.Min == 0 {
+		c.Min = time.Millisecond
+	}
+	if c.Max == 0 {
+		c.Max = 100 * time.Millisecond
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 32
+	}
+	return c
+}
+
+// DelayFrom computes the hedge delay from a latency histogram whose
+// observations are in seconds: the configured quantile, clamped to
+// [Min, Max]; the Default (clamped the same way) while the histogram
+// is nil or has fewer than MinSamples observations. Returns 0 when
+// hedging is disabled — callers treat 0 as "no hedge".
+func (c HedgeConfig) DelayFrom(h *telemetry.Histogram) time.Duration {
+	if c.Disable {
+		return 0
+	}
+	c = c.withDefaults()
+	d := c.Default
+	if h.Count() >= uint64(c.MinSamples) {
+		if q, ok := h.Quantile(c.Quantile); ok {
+			d = time.Duration(q * float64(time.Second))
+		}
+	}
+	if d < c.Min {
+		d = c.Min
+	}
+	if d > c.Max {
+		d = c.Max
+	}
+	return d
+}

@@ -1,0 +1,237 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// latencyHist builds a histogram with the given bounds (seconds) and
+// observations.
+func latencyHist(t *testing.T, bounds []float64, obs []float64) *telemetry.Histogram {
+	t.Helper()
+	h, err := telemetry.NewHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return h
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestHedgeDelayFrom pins the adaptive-delay ladder: disabled → 0,
+// too few samples → Default, enough samples → the configured quantile,
+// always clamped to [Min, Max].
+func TestHedgeDelayFrom(t *testing.T) {
+	bounds := []float64{0.010, 0.100, 1.0}
+
+	t.Run("disabled", func(t *testing.T) {
+		c := HedgeConfig{Disable: true}
+		if d := c.DelayFrom(latencyHist(t, bounds, repeat(0.05, 100))); d != 0 {
+			t.Fatalf("disabled hedging delay = %v, want 0", d)
+		}
+	})
+
+	t.Run("nil-histogram-uses-default", func(t *testing.T) {
+		var c HedgeConfig
+		if d := c.DelayFrom(nil); d != 25*time.Millisecond {
+			t.Fatalf("delay = %v, want the 25ms default", d)
+		}
+	})
+
+	t.Run("below-min-samples-uses-default", func(t *testing.T) {
+		var c HedgeConfig // MinSamples defaults to 32
+		h := latencyHist(t, bounds, repeat(0.05, 31))
+		if d := c.DelayFrom(h); d != 25*time.Millisecond {
+			t.Fatalf("31 samples: delay = %v, want the 25ms default", d)
+		}
+	})
+
+	t.Run("default-is-clamped-too", func(t *testing.T) {
+		c := HedgeConfig{Default: 500 * time.Millisecond} // above the 100ms Max
+		if d := c.DelayFrom(nil); d != 100*time.Millisecond {
+			t.Fatalf("oversized default delay = %v, want clamped to 100ms", d)
+		}
+	})
+
+	t.Run("quantile-once-warm", func(t *testing.T) {
+		var c HedgeConfig // quantile 0.95
+		// 100 observations of 50ms land in the (10ms, 100ms] bucket; the
+		// p95 interpolates to 10ms + 90ms*95/100 = 95.5ms.
+		h := latencyHist(t, bounds, repeat(0.05, 100))
+		d := c.DelayFrom(h)
+		if d < 94*time.Millisecond || d > 97*time.Millisecond {
+			t.Fatalf("warm delay = %v, want ~95.5ms (interpolated p95)", d)
+		}
+	})
+
+	t.Run("min-clamp", func(t *testing.T) {
+		c := HedgeConfig{Min: 10 * time.Millisecond}
+		// 64 sub-millisecond observations: the p95 is far below Min.
+		h := latencyHist(t, []float64{0.001, 1.0}, repeat(0.0005, 64))
+		if d := c.DelayFrom(h); d != 10*time.Millisecond {
+			t.Fatalf("delay = %v, want clamped up to the 10ms Min", d)
+		}
+	})
+
+	t.Run("max-clamp-via-overflow", func(t *testing.T) {
+		var c HedgeConfig
+		// Every observation overflows into +Inf: the quantile reports the
+		// largest finite bound (1s), which Max clamps to 100ms.
+		h := latencyHist(t, bounds, repeat(10.0, 64))
+		if d := c.DelayFrom(h); d != 100*time.Millisecond {
+			t.Fatalf("delay = %v, want clamped down to the 100ms Max", d)
+		}
+	})
+}
+
+// TestDoHedgeWins races a primary stuck in a 200ms virtual sleep
+// against a hedge launched after 5ms: the hedge must win, the stats
+// must say so, and the win must land at roughly the hedge delay —
+// that is the whole point of hedging. Virtual time only.
+func TestDoHedgeWins(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	t0 := sim.Now()
+	var (
+		mu      sync.Mutex
+		hedgeAt time.Time
+	)
+	fn := func(ctx context.Context, attempt int) (int, error) {
+		if attempt == 0 {
+			sim.Sleep(200 * time.Millisecond) // slow shard
+			return 1, nil
+		}
+		mu.Lock()
+		hedgeAt = sim.Now()
+		mu.Unlock()
+		return 99, nil
+	}
+
+	var (
+		v     int
+		stats Stats
+		err   error
+	)
+	done := make(chan struct{})
+	go func() {
+		v, stats, err = Do(context.Background(), CallPolicy{Clock: sim, HedgeDelay: 5 * time.Millisecond}, fn)
+		close(done)
+	}()
+	driveRetries(sim, done) // primary's sleep + hedge timer = 2 pending events
+	<-done
+	sim.Advance(300 * time.Millisecond) // release the sleeping primary
+
+	if err != nil || v != 99 {
+		t.Fatalf("Do = (%d, %v), want the hedge's 99", v, err)
+	}
+	if stats.Hedges != 1 || !stats.HedgeWon || stats.Attempts != 2 || stats.Retries != 0 {
+		t.Fatalf("stats = %+v, want one winning hedge and no retries", stats)
+	}
+	elapsed := hedgeAt.Sub(t0)
+	if elapsed < 5*time.Millisecond || elapsed > 7*time.Millisecond {
+		t.Fatalf("hedge launched %v after start, want ~5ms (the hedge delay)", elapsed)
+	}
+}
+
+// TestDoFastPrimaryNeverHedges: a primary that answers before the
+// hedge delay leaves the hedge unlaunched — hedges must be free on the
+// healthy path.
+func TestDoFastPrimaryNeverHedges(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	v, stats, err := Do(context.Background(), CallPolicy{Clock: sim, HedgeDelay: 5 * time.Millisecond},
+		func(ctx context.Context, attempt int) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("Do = (%d, %v), want (7, nil)", v, err)
+	}
+	if stats.Hedges != 0 || stats.HedgeWon || stats.Attempts != 1 {
+		t.Fatalf("stats = %+v, want a single unhedged attempt", stats)
+	}
+}
+
+// TestDoHedgeLosesToPrimary: when the hedge fires but the primary still
+// answers first, the primary's value wins and HedgeWon stays false.
+func TestDoHedgeLosesToPrimary(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	fn := func(ctx context.Context, attempt int) (int, error) {
+		if attempt == 0 {
+			sim.Sleep(10 * time.Millisecond) // slower than the hedge delay...
+			return 1, nil
+		}
+		sim.Sleep(50 * time.Millisecond) // ...but faster than the hedge
+		return 99, nil
+	}
+	var (
+		v     int
+		stats Stats
+		err   error
+	)
+	done := make(chan struct{})
+	go func() {
+		v, stats, err = Do(context.Background(), CallPolicy{Clock: sim, HedgeDelay: 5 * time.Millisecond}, fn)
+		close(done)
+	}()
+	driveRetries(sim, done)
+	<-done
+	sim.Advance(100 * time.Millisecond) // release the losing hedge
+
+	if err != nil || v != 1 {
+		t.Fatalf("Do = (%d, %v), want the primary's 1", v, err)
+	}
+	if stats.Hedges != 1 || stats.HedgeWon {
+		t.Fatalf("stats = %+v, want a launched-but-losing hedge", stats)
+	}
+}
+
+// TestDoHedgeAfterFailureStillCounts: hedging and retries compose — a
+// failing primary plus a winning hedge reports both truthfully.
+func TestDoHedgedRetryComposition(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	ctx, cancel := vclock.WithTimeout(context.Background(), sim, 80*time.Millisecond)
+	defer cancel()
+	retrier := NewRetrier(RetryConfig{}, sim, nil)
+	fn := func(ctx context.Context, attempt int) (int, error) {
+		switch attempt {
+		case 0:
+			return 0, errors.New("primary fails instantly")
+		case 1: // hedge (launched at 5ms, before the first ~2ms+ backoff expires… or retry; either way it blocks)
+			sim.Sleep(30 * time.Millisecond)
+			return 50, nil
+		default: // whichever of retry/hedge launched later
+			sim.Sleep(30 * time.Millisecond)
+			return 60, nil
+		}
+	}
+	var (
+		stats Stats
+		err   error
+	)
+	done := make(chan struct{})
+	go func() {
+		_, stats, err = Do(ctx, CallPolicy{Clock: sim, Retry: retrier, HedgeDelay: 5 * time.Millisecond}, fn)
+		close(done)
+	}()
+	driveRetries(sim, done)
+	<-done
+	sim.Advance(200 * time.Millisecond)
+
+	if err != nil {
+		t.Fatalf("Do err = %v, want a late attempt to succeed", err)
+	}
+	if stats.Retries != 1 || stats.Hedges != 1 || stats.Attempts != 3 {
+		t.Fatalf("stats = %+v, want 3 attempts: failed primary + retry + hedge", stats)
+	}
+}

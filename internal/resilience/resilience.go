@@ -1,0 +1,191 @@
+// Package resilience is the failure-containment layer of the sharded
+// estimation service: per-shard circuit breakers, deadline-budgeted
+// retries with decorrelated-jitter backoff, and hedged calls that
+// launch a second attempt once the first overstays an adaptive
+// latency percentile.
+//
+// The package exists because one bad shard must not poison a whole
+// scatter-gather: a shard that errors repeatedly should be walled off
+// (breaker) and answered from a coarser summary, a transiently failing
+// shard should be retried while the deadline still affords it, and a
+// merely slow shard should be raced against a hedge attempt instead of
+// dragging the whole request to its deadline. The degradation target —
+// the multi-resolution Min-Skew ladder — lives in internal/shard; this
+// package only decides *when* to stop trying for the full answer.
+//
+// Everything is deterministic under test: time comes from an injected
+// vclock.Clock and jitter from an injected *rand.Rand, so the fault
+// simulation harness replays identical schedules from a seed.
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Config bundles the whole layer's tuning. The zero value enables
+// breakers, retries and hedging with the component defaults; each
+// component has its own Disable flag, and Disable here turns the whole
+// layer off.
+type Config struct {
+	// Disable turns the entire resilience layer off: no breakers, no
+	// retries, no hedging.
+	Disable bool
+	// Breaker tunes the per-shard circuit breakers.
+	Breaker BreakerConfig
+	// Retry tunes the per-call retry policy.
+	Retry RetryConfig
+	// Hedge tunes the hedged-call trigger.
+	Hedge HedgeConfig
+	// Seed seeds the jitter generator. Default 1; the same seed and
+	// schedule reproduce the same backoffs.
+	Seed int64
+}
+
+// WithDefaults resolves every zero field to its documented default.
+func (c Config) WithDefaults() Config {
+	c.Breaker = c.Breaker.withDefaults()
+	c.Retry = c.Retry.withDefaults()
+	c.Hedge = c.Hedge.withDefaults()
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BreakersEnabled reports whether per-shard breakers should be built.
+func (c Config) BreakersEnabled() bool { return !c.Disable && !c.Breaker.Disable }
+
+// RetriesEnabled reports whether the retry policy is active.
+func (c Config) RetriesEnabled() bool { return !c.Disable && !c.Retry.Disable }
+
+// HedgingEnabled reports whether hedged calls are active.
+func (c Config) HedgingEnabled() bool { return !c.Disable && !c.Hedge.Disable }
+
+// Stats reports what one Do invocation actually did.
+type Stats struct {
+	// Attempts is the total number of attempts launched (primary,
+	// retries and hedge).
+	Attempts int
+	// Retries is how many attempts were launched because an earlier one
+	// failed.
+	Retries int
+	// Hedges is 1 if the hedge attempt was launched.
+	Hedges int
+	// HedgeWon reports that the hedge attempt produced the winning
+	// result.
+	HedgeWon bool
+}
+
+// CallPolicy configures one Do invocation.
+type CallPolicy struct {
+	// Clock times the backoff and hedge triggers; nil means real time.
+	Clock vclock.Clock
+	// Retry, when non-nil, relaunches failed attempts within the
+	// deadline budget.
+	Retry *Retrier
+	// HedgeDelay, when positive, launches one extra concurrent attempt
+	// after this long without a result.
+	HedgeDelay time.Duration
+}
+
+// attemptResult carries one attempt's outcome back to the Do loop.
+type attemptResult[T any] struct {
+	v     T
+	err   error
+	hedge bool
+}
+
+// Do runs fn with retries and hedging per the policy and returns the
+// first successful result. fn receives a child context that is
+// cancelled as soon as Do returns, so losing attempts stop promptly,
+// and the attempt's sequence number (0 = primary; retries and the
+// hedge get successive numbers in launch order).
+//
+// Do returns when an attempt succeeds, when ctx is done, or when every
+// launched attempt has failed and the retry budget (count or deadline)
+// affords no further one. The error is then ctx.Err() or the last
+// attempt error.
+func Do[T any](ctx context.Context, p CallPolicy, fn func(ctx context.Context, attempt int) (T, error)) (T, Stats, error) {
+	var zero T
+	clk := p.Clock
+	if clk == nil {
+		clk = vclock.Real()
+	}
+	maxAttempts := 1
+	if p.Retry != nil {
+		maxAttempts = p.Retry.MaxAttempts()
+	}
+	attemptCtx, cancelAttempts := context.WithCancel(ctx)
+	defer cancelAttempts()
+
+	// Buffered to every attempt that could ever launch, so losers
+	// deliver without blocking after Do has returned.
+	results := make(chan attemptResult[T], maxAttempts+1)
+	var stats Stats
+	launch := func(hedge bool) {
+		seq := stats.Attempts
+		stats.Attempts++
+		go func() {
+			v, err := fn(attemptCtx, seq)
+			results <- attemptResult[T]{v: v, err: err, hedge: hedge}
+		}()
+	}
+	launch(false)
+	errAttempts := 1 // attempts consumed from the retry budget
+	pending := 1     // attempts in flight
+
+	var hedgeCh <-chan time.Time
+	if p.HedgeDelay > 0 {
+		t := clk.NewTimer(p.HedgeDelay)
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+	var (
+		retryTimer *vclock.Timer
+		retryCh    <-chan time.Time
+		prev       time.Duration
+		lastErr    error
+	)
+	defer func() { retryTimer.Stop() }()
+
+	for {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				stats.HedgeWon = r.hedge
+				return r.v, stats, nil
+			}
+			lastErr = r.err
+			// Schedule a retry if the budget — both the attempt count and
+			// the remaining deadline — still affords one.
+			if p.Retry != nil && errAttempts < maxAttempts && retryCh == nil {
+				d := p.Retry.NextBackoff(prev)
+				prev = d
+				if p.Retry.FitsBudget(ctx, d) {
+					retryTimer = clk.NewTimer(d)
+					retryCh = retryTimer.C
+				}
+			}
+			if retryCh == nil && pending == 0 {
+				return zero, stats, lastErr
+			}
+		case <-retryCh:
+			retryTimer, retryCh = nil, nil
+			errAttempts++
+			pending++
+			stats.Retries++
+			launch(false)
+		case <-hedgeCh:
+			hedgeCh = nil
+			pending++
+			stats.Hedges++
+			launch(true)
+		case <-ctx.Done():
+			return zero, stats, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// RetryConfig tunes the retry policy. The zero value takes every
+// default below.
+type RetryConfig struct {
+	// Disable turns retries off.
+	Disable bool
+	// MaxAttempts is the total number of error-driven attempts
+	// (including the first). Default 3.
+	MaxAttempts int
+	// Base is the backoff floor. Default 2ms.
+	Base time.Duration
+	// Cap is the backoff ceiling. Default 100ms.
+	Cap time.Duration
+	// Margin is the minimum useful time an attempt needs: a retry is
+	// scheduled only if backoff+Margin still fits before the context
+	// deadline. Default 1ms.
+	Margin time.Duration
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Base == 0 {
+		c.Base = 2 * time.Millisecond
+	}
+	if c.Cap == 0 {
+		c.Cap = 100 * time.Millisecond
+	}
+	if c.Cap < c.Base {
+		c.Cap = c.Base
+	}
+	if c.Margin == 0 {
+		c.Margin = time.Millisecond
+	}
+	return c
+}
+
+// Retrier draws decorrelated-jitter backoffs and budgets them against
+// the request deadline. Safe for concurrent use: the injected
+// generator is guarded by a mutex (math/rand.Rand is not
+// concurrency-safe).
+type Retrier struct {
+	cfg RetryConfig
+	clk vclock.Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a retrier on clk (nil means real time) drawing
+// jitter from rng (nil seeds a fixed default — callers who care about
+// the schedule inject their own).
+func NewRetrier(cfg RetryConfig, clk vclock.Clock, rng *rand.Rand) *Retrier {
+	if clk == nil {
+		clk = vclock.Real()
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Retrier{cfg: cfg.withDefaults(), clk: clk, rng: rng}
+}
+
+// MaxAttempts returns the total attempt budget.
+func (r *Retrier) MaxAttempts() int { return r.cfg.MaxAttempts }
+
+// NextBackoff draws the decorrelated-jitter delay that follows a
+// previous backoff of prev (0 for the first retry): uniform in
+// [Base, min(Cap, 3*max(prev, Base))]. The result is always within
+// [Base, Cap].
+func (r *Retrier) NextBackoff(prev time.Duration) time.Duration {
+	lo := r.cfg.Base
+	anchor := prev
+	if anchor < lo {
+		anchor = lo
+	}
+	hi := 3 * anchor
+	if hi > r.cfg.Cap {
+		hi = r.cfg.Cap
+	}
+	if hi <= lo {
+		return lo
+	}
+	r.mu.Lock()
+	d := lo + time.Duration(r.rng.Int63n(int64(hi-lo)+1))
+	r.mu.Unlock()
+	return d
+}
+
+// FitsBudget reports whether sleeping backoff and then running an
+// attempt of at least Margin still fits before ctx's deadline. A
+// context without a deadline always fits.
+func (r *Retrier) FitsBudget(ctx context.Context, backoff time.Duration) bool {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return r.clk.Now().Add(backoff + r.cfg.Margin).Before(deadline)
+}

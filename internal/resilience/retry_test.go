@@ -1,0 +1,240 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+var errBoom = errors.New("boom")
+
+// TestNextBackoffProperty: thousands of decorrelated-jitter draws under
+// several seeds, every one within [Base, min(Cap, 3*max(prev, Base))]
+// — and therefore always within [Base, Cap].
+func TestNextBackoffProperty(t *testing.T) {
+	cfg := RetryConfig{Base: 2 * time.Millisecond, Cap: 100 * time.Millisecond}
+	for _, seed := range []int64{1, 7, 42, 99, 12345} {
+		r := NewRetrier(cfg, nil, rand.New(rand.NewSource(seed)))
+		prev := time.Duration(0)
+		for i := 0; i < 5000; i++ {
+			d := r.NextBackoff(prev)
+			anchor := prev
+			if anchor < cfg.Base {
+				anchor = cfg.Base
+			}
+			hi := 3 * anchor
+			if hi > cfg.Cap {
+				hi = cfg.Cap
+			}
+			if hi < cfg.Base {
+				hi = cfg.Base
+			}
+			if d < cfg.Base || d > hi {
+				t.Fatalf("seed %d draw %d: backoff %v outside [%v, %v] (prev %v)",
+					seed, i, d, cfg.Base, hi, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestFitsBudget pins the deadline arithmetic on a virtual clock: a
+// backoff fits only if backoff+Margin still precedes the deadline from
+// the clock's current reading.
+func TestFitsBudget(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	ctx, cancel := vclock.WithTimeout(context.Background(), sim, 10*time.Millisecond)
+	defer cancel()
+	r := NewRetrier(RetryConfig{Margin: time.Millisecond}, sim, nil)
+
+	if !r.FitsBudget(ctx, 5*time.Millisecond) {
+		t.Error("5ms backoff + 1ms margin fits a 10ms budget")
+	}
+	if r.FitsBudget(ctx, 9*time.Millisecond) {
+		t.Error("9ms backoff + 1ms margin overruns a 10ms budget")
+	}
+	sim.Advance(6 * time.Millisecond)
+	if r.FitsBudget(ctx, 4*time.Millisecond) {
+		t.Error("4ms backoff no longer fits with 4ms of budget left")
+	}
+	if !r.FitsBudget(ctx, 2*time.Millisecond) {
+		t.Error("2ms backoff + 1ms margin fits 4ms of remaining budget")
+	}
+	if !r.FitsBudget(context.Background(), time.Hour) {
+		t.Error("a context without a deadline always fits")
+	}
+}
+
+// driveRetries advances the virtual clock only while more than one
+// event is pending — the request deadline is always registered, so a
+// second event means Do armed a backoff (or hedge) timer and is
+// genuinely waiting. Stopping at one pending event keeps the driver
+// from racing past the deadline while an instant attempt's result is
+// still in flight, which makes the Do tests below deterministic.
+func driveRetries(sim *vclock.Sim, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if sim.Pending() > 1 {
+			sim.Advance(100 * time.Microsecond)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestDoBudgetNeverSchedulesPastDeadline is the retry-budget property
+// test: an always-failing call under a 10ms virtual deadline and a
+// huge attempt allowance must stop because the budget says so — Do
+// returns the attempt error, never context.DeadlineExceeded — and no
+// attempt may launch at or after the deadline. Entirely on virtual
+// time; no real sleeps.
+func TestDoBudgetNeverSchedulesPastDeadline(t *testing.T) {
+	const deadline = 10 * time.Millisecond
+	for _, seed := range []int64{1, 7, 42, 99, 12345} {
+		sim := vclock.NewSim(time.Unix(0, 0))
+		ctx, cancel := vclock.WithTimeout(context.Background(), sim, deadline)
+		retrier := NewRetrier(RetryConfig{
+			MaxAttempts: 100, // far beyond what the deadline affords
+			Base:        2 * time.Millisecond,
+			Cap:         6 * time.Millisecond,
+			Margin:      time.Millisecond,
+		}, sim, rand.New(rand.NewSource(seed)))
+
+		var mu sync.Mutex
+		var starts []time.Time
+		fn := func(ctx context.Context, attempt int) (int, error) {
+			mu.Lock()
+			starts = append(starts, sim.Now())
+			mu.Unlock()
+			return 0, errBoom
+		}
+
+		var (
+			stats Stats
+			err   error
+		)
+		done := make(chan struct{})
+		go func() {
+			_, stats, err = Do(ctx, CallPolicy{Clock: sim, Retry: retrier}, fn)
+			close(done)
+		}()
+		driveRetries(sim, done)
+		<-done
+		cancel()
+
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("seed %d: err = %v, want the attempt error — budget exhaustion, not deadline overrun", seed, err)
+		}
+		if stats.Retries == 0 {
+			t.Errorf("seed %d: a 10ms budget with 2ms backoffs afforded no retry at all", seed)
+		}
+		if stats.Attempts > retrier.MaxAttempts() {
+			t.Errorf("seed %d: %d attempts exceed MaxAttempts %d", seed, stats.Attempts, retrier.MaxAttempts())
+		}
+		dl := time.Unix(0, 0).Add(deadline)
+		for i, st := range starts {
+			if !st.Before(dl) {
+				t.Errorf("seed %d: attempt %d launched at +%v, at/after the %v deadline",
+					seed, i, st.Sub(time.Unix(0, 0)), deadline)
+			}
+		}
+	}
+}
+
+// TestDoBudgetRejectsImmediately: when even the first backoff cannot
+// fit before the deadline, Do fails fast with the attempt error — no
+// timer is armed, no clock driving needed.
+func TestDoBudgetRejectsImmediately(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	ctx, cancel := vclock.WithTimeout(context.Background(), sim, 2*time.Millisecond)
+	defer cancel()
+	// Base 2ms + Margin 1ms can never fit a 2ms budget.
+	retrier := NewRetrier(RetryConfig{}, sim, rand.New(rand.NewSource(1)))
+
+	_, stats, err := Do(ctx, CallPolicy{Clock: sim, Retry: retrier},
+		func(ctx context.Context, attempt int) (int, error) { return 0, errBoom })
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want immediate attempt error", err)
+	}
+	if stats.Attempts != 1 || stats.Retries != 0 {
+		t.Fatalf("stats = %+v, want exactly one attempt and no retries", stats)
+	}
+}
+
+// TestDoRetrySucceeds: first attempt fails, the backoff timer fires on
+// virtual time, the second attempt wins.
+func TestDoRetrySucceeds(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	ctx, cancel := vclock.WithTimeout(context.Background(), sim, 50*time.Millisecond)
+	defer cancel()
+	retrier := NewRetrier(RetryConfig{}, sim, rand.New(rand.NewSource(1)))
+
+	var (
+		v     int
+		stats Stats
+		err   error
+	)
+	done := make(chan struct{})
+	go func() {
+		v, stats, err = Do(ctx, CallPolicy{Clock: sim, Retry: retrier},
+			func(ctx context.Context, attempt int) (int, error) {
+				if attempt == 0 {
+					return 0, errBoom
+				}
+				return 41 + attempt, nil
+			})
+		close(done)
+	}()
+	driveRetries(sim, done)
+	<-done
+
+	if err != nil || v != 42 {
+		t.Fatalf("Do = (%d, %v), want (42, nil)", v, err)
+	}
+	if stats.Attempts != 2 || stats.Retries != 1 || stats.Hedges != 0 || stats.HedgeWon {
+		t.Fatalf("stats = %+v, want 2 attempts / 1 retry / no hedge", stats)
+	}
+}
+
+// TestDoNoRetryPolicy: without a Retrier a failure is final after one
+// attempt.
+func TestDoNoRetryPolicy(t *testing.T) {
+	_, stats, err := Do(context.Background(), CallPolicy{},
+		func(ctx context.Context, attempt int) (int, error) { return 0, errBoom })
+	if !errors.Is(err, errBoom) || stats.Attempts != 1 {
+		t.Fatalf("Do = (%+v, %v), want one failed attempt", stats, err)
+	}
+}
+
+// TestDoContextCancelled: cancelling the request context unblocks Do
+// with ctx.Err() even while an attempt is still running.
+func TestDoContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, _, err = Do(ctx, CallPolicy{},
+			func(ctx context.Context, attempt int) (int, error) {
+				close(started)
+				<-ctx.Done() // attempt blocks until Do's child context dies
+				return 0, ctx.Err()
+			})
+		close(done)
+	}()
+	<-started
+	cancel()
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// qualityBackend returns a scripted sequence of shard.Results.
+type qualityBackend struct {
+	mu      sync.Mutex
+	results []shard.Result
+	calls   int
+}
+
+func (b *qualityBackend) EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res := b.results[0]
+	if len(b.results) > 1 {
+		b.results = b.results[1:]
+	}
+	b.calls++
+	return res, nil
+}
+
+func (b *qualityBackend) AnalyzeContext(ctx context.Context, table string) error { return nil }
+func (b *qualityBackend) Tables() []string                                       { return []string{"roads"} }
+
+// TestDegradedQualityNotCachedThroughQuantizedKey is the regression
+// the quality gate exists for: a coarse answer and a full answer can
+// share one quantized cache key, and the coarse one must never be the
+// entry that later queries in the cell are served from. The backend is
+// scripted to answer coarse first — if the gate only looked at Partial
+// (here deliberately false, the silent-degradation shape), the coarse
+// estimate would be cached and poison the neighbor.
+func TestDegradedQualityNotCachedThroughQuantizedKey(t *testing.T) {
+	b := &qualityBackend{results: []shard.Result{
+		// Below-full quality but unflagged: the exact shape a buggy
+		// upstream would produce; the cache gate must still refuse it.
+		{Estimate: 10, Partial: false, Quality: shard.QualityCoarse, ShardsQueried: 2,
+			ShardsMissed: 1, FallbackShards: []int{1}},
+		{Estimate: 42, Partial: false, Quality: shard.QualityFull, ShardsQueried: 2},
+	}}
+	reg := telemetry.NewRegistry()
+	s := New(b, Config{CacheQuantum: 1.0})
+	s.EnableTelemetry(reg)
+	ctx := context.Background()
+
+	r1, err := s.Estimate(ctx, "roads", q(0, 0, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Quality != shard.QualityCoarse.String() {
+		t.Fatalf("first response quality %q, want coarse", r1.Quality)
+	}
+	if len(r1.FallbackShards) != 1 || r1.FallbackShards[0] != 1 {
+		t.Fatalf("FallbackShards = %v, want [1]", r1.FallbackShards)
+	}
+
+	// Same lattice cell (within the 1.0 quantum): a cached coarse entry
+	// would serve 10 here; the backend's full answer is 42.
+	r2, err := s.Estimate(ctx, "roads", q(0.1, 0.1, 10.1, 10.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Fatal("coarse result leaked into the cache and served a neighbor")
+	}
+	if r2.Estimate != 42 || r2.Quality != shard.QualityFull.String() {
+		t.Fatalf("second response %+v, want the backend's full answer 42", r2)
+	}
+
+	// The full answer IS cacheable: a third neighbor hits it.
+	r3, err := s.Estimate(ctx, "roads", q(0.2, 0.2, 10.2, 10.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached || r3.Estimate != 42 || r3.Quality != shard.QualityFull.String() {
+		t.Fatalf("third response %+v, want cached full 42", r3)
+	}
+	if b.calls != 2 {
+		t.Fatalf("backend consulted %d times, want 2", b.calls)
+	}
+	if got := reg.Counter("serve_quality_total", "",
+		telemetry.Label{Key: "level", Value: "coarse"}).Value(); got != 1 {
+		t.Errorf("serve_quality_total{level=coarse} = %d, want 1", got)
+	}
+	if got := reg.Counter("serve_quality_total", "",
+		telemetry.Label{Key: "level", Value: "full"}).Value(); got != 2 {
+		t.Errorf("serve_quality_total{level=full} = %d, want 2", got)
+	}
+}
+
+// statusBackend is a stub Backend with a scripted Status.
+type statusBackend struct {
+	stubBackend
+	status []TableStatus
+}
+
+func (b *statusBackend) Status() []TableStatus { return b.status }
+
+// TestLivenessAlwaysOK pins /healthz/live: 200 whenever the process
+// answers HTTP, regardless of table or breaker health.
+func TestLivenessAlwaysOK(t *testing.T) {
+	b := &statusBackend{status: []TableStatus{{Table: "roads", Analyzed: false}}}
+	srv := httptest.NewServer(New(b, Config{}).Handler())
+	defer srv.Close()
+	resp := mustGet(t, srv.URL+"/healthz/live")
+	if resp.code != 200 {
+		t.Fatalf("liveness = %d, want 200", resp.code)
+	}
+	if resp.body["status"] != "live" {
+		t.Fatalf("liveness body %v", resp.body)
+	}
+}
+
+// TestReadinessGates pins /healthz/ready: 503 while any table is
+// unanalyzed or any breaker is open; 200 once everything serves full
+// answers; 200 for backends that don't report status at all.
+func TestReadinessGates(t *testing.T) {
+	cases := []struct {
+		name   string
+		status []TableStatus
+		want   int
+	}{
+		{"ready", []TableStatus{
+			{Table: "roads", Analyzed: true, Shards: 4, Breakers: []string{"closed", "closed", "closed", "closed"}},
+		}, 200},
+		{"unanalyzed-table", []TableStatus{
+			{Table: "roads", Analyzed: true, Shards: 4},
+			{Table: "rails", Analyzed: false},
+		}, 503},
+		{"open-breaker", []TableStatus{
+			{Table: "roads", Analyzed: true, Shards: 4, Breakers: []string{"closed", "open", "closed", "closed"}},
+		}, 503},
+		{"half-open-is-ready", []TableStatus{
+			{Table: "roads", Analyzed: true, Shards: 2, Breakers: []string{"half_open", "closed"}},
+		}, 200},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b := &statusBackend{status: tc.status}
+			srv := httptest.NewServer(New(b, Config{}).Handler())
+			defer srv.Close()
+			resp := mustGet(t, srv.URL+"/healthz/ready")
+			if resp.code != tc.want {
+				t.Fatalf("readiness = %d (%v), want %d", resp.code, resp.body, tc.want)
+			}
+			wantStatus := "ready"
+			if tc.want == 503 {
+				wantStatus = "degraded"
+			}
+			if resp.body["status"] != wantStatus {
+				t.Fatalf("readiness body status %v, want %q", resp.body["status"], wantStatus)
+			}
+			if tc.want == 503 {
+				if reasons, ok := resp.body["reasons"].([]any); !ok || len(reasons) == 0 {
+					t.Fatalf("degraded readiness must name reasons, got %v", resp.body)
+				}
+			}
+		})
+	}
+
+	t.Run("no-status-reporter", func(t *testing.T) {
+		srv := httptest.NewServer(New(&stubBackend{}, Config{}).Handler())
+		defer srv.Close()
+		resp := mustGet(t, srv.URL+"/healthz/ready")
+		if resp.code != 200 || resp.body["status"] != "ready" {
+			t.Fatalf("backend without StatusReporter: %d %v, want 200 ready", resp.code, resp.body)
+		}
+	})
+}
+
+// TestEstimateResponseCarriesQuality pins the HTTP response shape: the
+// quality grade, fallback shard list and breaker states all surface in
+// the /estimate JSON.
+func TestEstimateResponseCarriesQuality(t *testing.T) {
+	b := &qualityBackend{results: []shard.Result{{
+		Estimate: 7, Partial: true, Quality: shard.QualityCoarse,
+		ShardsQueried: 3, ShardsMissed: 1, FallbackShards: []int{2},
+		Breakers: []string{"closed", "closed", "open"},
+	}}}
+	srv := httptest.NewServer(New(b, Config{}).Handler())
+	defer srv.Close()
+	resp := mustGet(t, srv.URL+"/estimate?table=roads&minx=0&miny=0&maxx=5&maxy=5")
+	if resp.code != 200 {
+		t.Fatalf("estimate = %d: %v", resp.code, resp.body)
+	}
+	if resp.body["quality"] != "coarse" {
+		t.Errorf("quality = %v, want coarse", resp.body["quality"])
+	}
+	if fb, ok := resp.body["fallback_shards"].([]any); !ok || len(fb) != 1 || fb[0] != float64(2) {
+		t.Errorf("fallback_shards = %v, want [2]", resp.body["fallback_shards"])
+	}
+	if br, ok := resp.body["breakers"].([]any); !ok || len(br) != 3 || br[2] != "open" {
+		t.Errorf("breakers = %v, want [closed closed open]", resp.body["breakers"])
+	}
+}
+
+// httpResult is a decoded JSON response plus its status code.
+type httpResult struct {
+	code int
+	body map[string]any
+}
+
+func mustGet(t *testing.T, url string) httpResult {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return httpResult{code: resp.StatusCode, body: body}
+}

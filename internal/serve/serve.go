@@ -9,9 +9,16 @@
 //
 // The layering per request is: parse → cache lookup → singleflight
 // (leader only: admission gate → backend with a per-request deadline)
-// → cache fill. Partial (degraded) results are returned to the caller
-// but never cached: a deadline hiccup must not poison the cache until
-// the next ANALYZE.
+// → cache fill. Degraded results — anything below full Quality, such
+// as answers from the shard degradation ladder or the uniformity
+// fallback — are returned to the caller but never cached: a deadline
+// hiccup or an open breaker must not poison the cache until the next
+// ANALYZE.
+//
+// Health is split: /healthz/live answers 200 whenever the process
+// serves, /healthz/ready degrades to 503 while any table is
+// unanalyzed or any shard circuit breaker is open (backends opt in via
+// StatusReporter), and the legacy /healthz keeps its original shape.
 package serve
 
 import (
@@ -40,6 +47,24 @@ type Backend interface {
 	AnalyzeContext(ctx context.Context, table string) error
 	// Tables lists the tables that can be estimated against.
 	Tables() []string
+}
+
+// TableStatus describes one table's serving health for readiness.
+type TableStatus struct {
+	Table    string `json:"table"`
+	Analyzed bool   `json:"analyzed"`
+	Shards   int    `json:"shards,omitempty"`
+	// Breakers is the per-shard circuit-breaker state ("closed",
+	// "half_open", "open"); empty when the backend runs no breakers.
+	Breakers []string `json:"breakers,omitempty"`
+}
+
+// StatusReporter is the optional Backend extension feeding the
+// readiness endpoint. Backends that cannot report health simply don't
+// implement it and readiness reduces to liveness.
+type StatusReporter interface {
+	// Status reports every table's health.
+	Status() []TableStatus
 }
 
 // Config tunes the serving tier. The zero value serves with sensible
@@ -122,6 +147,7 @@ type Server struct {
 	shed           *telemetry.Counter
 	queueTimeouts  *telemetry.Counter
 	partials       *telemetry.Counter
+	qualityCtr     [3]*telemetry.Counter
 	requestSeconds *telemetry.Histogram
 	cacheEntries   *telemetry.Gauge
 	inFlight       *telemetry.Gauge
@@ -165,7 +191,12 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 	s.queueTimeouts = reg.Counter("serve_queue_timeout_total",
 		"Admission waits that hit the queue timeout (same events as serve_shed_total).")
 	s.partials = reg.Counter("serve_partial_results_total",
-		"Estimates served degraded (deadline expired mid-scatter).")
+		"Estimates served degraded (below full quality; never cached).")
+	for _, q := range []shard.Quality{shard.QualityFull, shard.QualityCoarse, shard.QualityUniform} {
+		s.qualityCtr[q] = reg.Counter("serve_quality_total",
+			"Estimates served by answer quality level.",
+			telemetry.Label{Key: "level", Value: q.String()})
+	}
 	s.requestSeconds = reg.Histogram("serve_request_seconds",
 		"End-to-end estimate latency including cache and admission.",
 		telemetry.DefaultLatencyBuckets)
@@ -180,8 +211,14 @@ type EstimateResponse struct {
 	Query    [4]float64 `json:"query"` // minx, miny, maxx, maxy
 	Estimate float64    `json:"estimate"`
 	// Partial reports graceful degradation: part of the answer came
-	// from the uniformity fallback because the deadline expired.
+	// from a shard's degradation ladder (a coarser Min-Skew rung or
+	// the uniformity fallback) instead of its full histogram.
 	Partial bool `json:"partial"`
+	// Quality grades the answer: "full", "coarse" (some shard answered
+	// from a coarser Min-Skew rung) or "uniform" (some shard fell all
+	// the way to the uniformity assumption). Cached answers are always
+	// "full" — nothing below full quality enters the cache.
+	Quality string `json:"quality"`
 	// Cached reports the answer came from the LRU without touching the
 	// backend.
 	Cached bool `json:"cached"`
@@ -190,6 +227,12 @@ type EstimateResponse struct {
 	Shared        bool `json:"shared,omitempty"`
 	ShardsQueried int  `json:"shards_queried"`
 	ShardsMissed  int  `json:"shards_missed,omitempty"`
+	// FallbackShards lists the shard indices answered below full
+	// quality.
+	FallbackShards []int `json:"fallback_shards,omitempty"`
+	// Breakers is the per-shard circuit-breaker state observed by this
+	// estimate; empty when breakers are disabled.
+	Breakers []string `json:"breakers,omitempty"`
 }
 
 // Estimate runs the full serving path — cache, singleflight, gate,
@@ -207,7 +250,9 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 		if res, ok := s.cache.get(key); ok {
 			s.hits.Inc()
 			resp.Estimate, resp.Partial, resp.Cached = res.Estimate, res.Partial, true
+			resp.Quality = res.Quality.String()
 			resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
+			s.noteQuality(res.Quality)
 			return resp, nil
 		}
 	}
@@ -232,17 +277,31 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 		}
 		return EstimateResponse{}, err
 	}
-	if res.Partial {
+	if res.Partial || res.Quality != shard.QualityFull {
+		// Degraded answers are served but never cached: a deadline
+		// hiccup or open breaker must not pin a coarse estimate until
+		// the next ANALYZE.
 		s.partials.Inc()
 	} else if s.cache != nil && !shared {
-		// Only complete results enter the cache, and only once per
-		// flight (the leader writes; followers would be re-writes).
+		// Only complete full-quality results enter the cache, and only
+		// once per flight (the leader writes; followers would be
+		// re-writes).
 		s.cache.add(key, res)
 		s.cacheEntries.Set(float64(s.cache.len()))
 	}
 	resp.Estimate, resp.Partial, resp.Shared = res.Estimate, res.Partial, shared
+	resp.Quality = res.Quality.String()
 	resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
+	resp.FallbackShards, resp.Breakers = res.FallbackShards, res.Breakers
+	s.noteQuality(res.Quality)
 	return resp, nil
+}
+
+// noteQuality counts one served estimate at its quality level.
+func (s *Server) noteQuality(q shard.Quality) {
+	if q >= 0 && int(q) < len(s.qualityCtr) {
+		s.qualityCtr[q].Inc()
+	}
 }
 
 // AnalyzeResponse is the JSON body of /analyze.
@@ -267,12 +326,15 @@ func (s *Server) Analyze(ctx context.Context, table string) (AnalyzeResponse, er
 	return AnalyzeResponse{Table: table, Seconds: s.clk.Since(start).Seconds()}, nil
 }
 
-// Handler returns the API mux: /estimate, /analyze, /healthz.
+// Handler returns the API mux: /estimate, /analyze, /healthz (legacy),
+// /healthz/live and /healthz/ready.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	return mux
 }
 
@@ -377,6 +439,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status string   `json:"status"`
 		Tables []string `json:"tables"`
 	}{Status: "ok", Tables: s.backend.Tables()})
+}
+
+// handleLive is the liveness probe: 200 whenever the process can
+// answer HTTP at all. Restart-worthy failures only.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "live", http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "live"})
+}
+
+// readyBody is the JSON body of /healthz/ready.
+type readyBody struct {
+	Status  string        `json:"status"`
+	Tables  []TableStatus `json:"tables,omitempty"`
+	Reasons []string      `json:"reasons,omitempty"`
+}
+
+// handleReady is the readiness probe: 503 while any table is
+// unanalyzed or any shard circuit breaker is open, so load balancers
+// route around a degraded replica without restarting it. Backends that
+// don't implement StatusReporter are always ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	sr, ok := s.backend.(StatusReporter)
+	if !ok {
+		s.writeJSON(w, "ready", http.StatusOK, readyBody{Status: "ready"})
+		return
+	}
+	tables := sr.Status()
+	var reasons []string
+	for _, t := range tables {
+		if !t.Analyzed {
+			reasons = append(reasons, fmt.Sprintf("table %q not analyzed", t.Table))
+			continue
+		}
+		for i, b := range t.Breakers {
+			if b == "open" {
+				reasons = append(reasons, fmt.Sprintf("table %q shard %d breaker open", t.Table, i))
+			}
+		}
+	}
+	body := readyBody{Status: "ready", Tables: tables, Reasons: reasons}
+	if len(reasons) > 0 {
+		body.Status = "degraded"
+		s.writeJSON(w, "ready", http.StatusServiceUnavailable, body)
+		return
+	}
+	s.writeJSON(w, "ready", http.StatusOK, body)
 }
 
 // Serve accepts connections on ln until Shutdown. It always returns a

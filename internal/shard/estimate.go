@@ -3,136 +3,375 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/geom"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
-// Result is a scatter-gather estimate. When Partial is false the
-// estimate is exactly the sum of every relevant shard's histogram
+// Quality grades how an estimate was produced. Larger is worse, and
+// the zero value is QualityFull, so results built without the
+// resilience layer in mind (the monolithic path) read as full quality.
+type Quality int
+
+const (
+	// QualityFull: every relevant shard answered from its full
+	// Min-Skew histogram.
+	QualityFull Quality = iota
+	// QualityCoarse: at least one shard answered from a coarser
+	// degradation-ladder rung (still skew-aware), none from the
+	// uniformity fallback.
+	QualityCoarse
+	// QualityUniform: at least one shard answered from the
+	// single-bucket uniformity fallback, the worst estimator.
+	QualityUniform
+
+	qualityLevels = 3
+)
+
+func (q Quality) String() string {
+	switch q {
+	case QualityFull:
+		return "full"
+	case QualityCoarse:
+		return "coarse"
+	case QualityUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Quality(%d)", int(q))
+	}
+}
+
+// worseQuality returns the lower of the two grades (larger value).
+func worseQuality(a, b Quality) Quality {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// minScatterBudget is the remaining-deadline floor below which the
+// scatter is not worth starting: the request steps straight down the
+// degradation ladder instead of launching goroutines it will only
+// abandon.
+const minScatterBudget = 500 * time.Microsecond
+
+// Result is a scatter-gather estimate. When Quality is QualityFull
+// the estimate is exactly the sum of every relevant shard's histogram
 // contribution — equal (up to float summation order) to walking the
-// union of all shard buckets in one thread. When Partial is true the
-// context expired mid-scatter: Estimate sums the shards that completed
-// plus the single-bucket uniformity fallback for each missed shard,
-// a degraded but well-defined answer (never an error).
+// union of all shard buckets in one thread. Otherwise some shards
+// were answered from the degradation ladder: a coarser Min-Skew rung
+// (QualityCoarse) or the single-bucket uniformity fallback
+// (QualityUniform) — a degraded but well-defined answer, never an
+// error.
 type Result struct {
 	// Estimate is the estimated number of input rectangles
 	// intersecting the query.
 	Estimate float64
-	// Partial reports that at least one shard was approximated by its
-	// uniformity fallback because the context was done first.
+	// Partial reports any degradation: at least one shard did not
+	// answer from its full histogram. Equivalent to
+	// Quality != QualityFull.
 	Partial bool
+	// Quality is the worst grade any relevant shard answered at.
+	Quality Quality
 	// ShardsTotal is the number of live shards.
 	ShardsTotal int
 	// ShardsQueried is the scatter fan-out: shards whose padded MBR
 	// intersects the query.
 	ShardsQueried int
-	// ShardsMissed is how many of the queried shards were answered by
-	// the fallback (0 unless Partial).
+	// ShardsMissed is how many of the queried shards were answered
+	// below full quality (== len(FallbackShards)).
 	ShardsMissed int
+	// FallbackShards lists the exact shard indices answered below full
+	// quality, ascending — so clients and tests can assert precisely
+	// what degraded.
+	FallbackShards []int
+	// Breakers is the circuit-breaker state per shard index at the
+	// time of the estimate ("closed", "half_open", "open"); nil when
+	// breakers are disabled.
+	Breakers []string
 }
 
-// shardAnswer carries one shard's partial count back to the gatherer.
+// shardAnswer carries one shard's partial count and its quality back
+// to the gatherer.
 type shardAnswer struct {
-	idx int
-	est float64
+	idx     int
+	est     float64
+	quality Quality
 }
 
-// Estimate scatter-gathers without a deadline; it never degrades.
+// scatterSnap is the immutable view of the catalog one estimate works
+// against, taken under the read lock so scatter goroutines never touch
+// catalog fields.
+type scatterSnap struct {
+	shards  []*shardStat
+	breaker []*resilience.Breaker
+	hook    func(shardIdx, attempt int) error
+	retrier *resilience.Retrier
+	clk     vclock.Clock
+
+	fanout       *telemetry.Histogram
+	estimates    *telemetry.Counter
+	partials     *telemetry.Counter
+	missedShards *telemetry.Counter
+	retries      *telemetry.Counter
+	hedges       *telemetry.Counter
+	hedgeWins    *telemetry.Counter
+	qualityCtr   [qualityLevels]*telemetry.Counter
+	walkLatency  *telemetry.Histogram
+}
+
+// breakerAt returns the shard's breaker (nil when disabled).
+func (sn *scatterSnap) breakerAt(idx int) *resilience.Breaker {
+	if idx < len(sn.breaker) {
+		return sn.breaker[idx]
+	}
+	return nil
+}
+
+// Estimate scatter-gathers without a deadline; it never degrades
+// unless a breaker is already open or a shard call fails outright.
 func (sc *ShardedCatalog) Estimate(q geom.Rect) (Result, error) {
 	return sc.EstimateContext(context.Background(), q)
 }
 
 // EstimateContext estimates the result size of q by scatter-gathering
 // the shards whose padded MBRs intersect q and merging their partial
-// counts. If ctx is cancelled or its deadline expires mid-scatter, the
-// missed shards are approximated by their uniformity fallback and the
-// result is flagged Partial — degradation is graceful, not an error.
-// The only errors are structural: no statistics yet, or an invalid
-// query rectangle.
+// counts. Degradation is graceful and explicit, never an error: a
+// shard whose circuit breaker is open, whose retry budget is spent, or
+// whose answer the deadline ran past is answered from its degradation
+// ladder — a coarser Min-Skew summary when one exists, else the
+// uniformity fallback — and the Result reports exactly which shards
+// degraded and to what overall Quality. The only errors are
+// structural: no statistics yet, or an invalid query rectangle.
 func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Result, error) {
 	if !q.Valid() {
 		return Result{}, fmt.Errorf("shard: invalid query rectangle %v", q)
 	}
 	sc.mu.RLock()
-	shards := sc.shards
-	hook := sc.estimateHook
-	fanout, estimates, partials, missedCtr := sc.fanout, sc.estimates, sc.partials, sc.missedShards
+	snap := &scatterSnap{
+		shards:  sc.shards,
+		breaker: sc.breakers,
+		hook:    sc.estimateHook,
+		retrier: sc.retrier,
+		clk:     sc.cfg.Clock,
+
+		fanout:       sc.fanout,
+		estimates:    sc.estimates,
+		partials:     sc.partials,
+		missedShards: sc.missedShards,
+		retries:      sc.retries,
+		hedges:       sc.hedges,
+		hedgeWins:    sc.hedgeWins,
+		qualityCtr:   sc.qualityCtr,
+		walkLatency:  sc.walkLatency,
+	}
 	sc.mu.RUnlock()
-	if shards == nil {
+	if snap.shards == nil {
 		return Result{}, fmt.Errorf("shard: no statistics; run AnalyzeContext first")
 	}
 
 	// Route: only shards whose padded MBR the query can reach. The
 	// padding makes pruning exact (see shardStat.routeBox), so the
 	// pruned shards would have contributed zero anyway.
-	relevant := make([]int, 0, len(shards))
-	for i, s := range shards {
+	relevant := make([]int, 0, len(snap.shards))
+	for i, s := range snap.shards {
 		if s.routeBox.Intersects(q) {
 			relevant = append(relevant, i)
 		}
 	}
-	estimates.Inc()
-	fanout.Observe(float64(len(relevant)))
-	res := Result{ShardsTotal: len(shards), ShardsQueried: len(relevant)}
+	snap.estimates.Inc()
+	snap.fanout.Observe(float64(len(relevant)))
+	res := Result{ShardsTotal: len(snap.shards), ShardsQueried: len(relevant)}
 	if len(relevant) == 0 {
-		return res, nil
+		return sc.finish(snap, res, nil, nil), nil
 	}
 
-	// Fast path: a single relevant shard with a live context needs no
-	// goroutine — the estimate is a pure in-memory bucket walk. (A test
-	// hook forces the scatter path so degradation stays exercisable.)
-	if len(relevant) == 1 && hook == nil && ctx.Err() == nil {
-		res.Estimate = shards[relevant[0]].hist.Estimate(q)
-		return res, nil
+	// Deadline nearly spent (or already gone): don't start a scatter
+	// the context will only abandon — answer every shard from the
+	// cheapest skew-aware rung immediately.
+	if deadline, ok := ctx.Deadline(); ctx.Err() != nil ||
+		(ok && deadline.Sub(snap.clk.Now()) < minScatterBudget) {
+		quality := make(map[int]Quality, len(relevant))
+		var total float64
+		for _, idx := range relevant {
+			s := snap.shards[idx]
+			est, ql := s.degraded(q, s.coarsestRung())
+			total += est
+			quality[idx] = ql
+		}
+		res.Estimate = total
+		return sc.finish(snap, res, relevant, quality), nil
+	}
+
+	// Fast path: a single relevant shard with no hook installed is a
+	// pure in-memory bucket walk — no goroutine, no hedge, no retry (an
+	// in-process walk cannot transiently fail). The breaker still
+	// gates and records, so its state stays live. A test hook forces
+	// the scatter path so degradation stays exercisable.
+	if len(relevant) == 1 && snap.hook == nil {
+		idx := relevant[0]
+		a := snap.walkOne(idx, q)
+		res.Estimate = a.est
+		quality := map[int]Quality{idx: a.quality}
+		return sc.finish(snap, res, relevant, quality), nil
 	}
 
 	// Scatter. The answer channel is buffered to the fan-out so late
 	// finishers never block after the gatherer has bailed out; they
 	// write their answer and exit, and the channel is garbage.
+	hedgeDelay := sc.hedgeDelay(snap)
 	answers := make(chan shardAnswer, len(relevant))
 	for _, idx := range relevant {
-		go func(idx int) {
-			if hook != nil {
-				hook(idx)
-			}
-			answers <- shardAnswer{idx: idx, est: shards[idx].hist.Estimate(q)}
-		}(idx)
+		go func(idx int) { answers <- snap.callShard(ctx, idx, q, hedgeDelay) }(idx)
 	}
 
 	// Gather until every shard reported or the context is done.
-	done := make(map[int]bool, len(relevant))
+	quality := make(map[int]Quality, len(relevant))
 	var total float64
-	for len(done) < len(relevant) {
+	for len(quality) < len(relevant) {
 		select {
 		case a := <-answers:
 			total += a.est
-			done[a.idx] = true
+			quality[a.idx] = a.quality
 		case <-ctx.Done():
-			// Degrade: uniformity fallback for every shard still out.
-			// Drain anything that raced in first — a real partial count
-			// beats the fallback.
-			for drained := true; drained && len(done) < len(relevant); {
+			// Deadline or cancellation mid-scatter. Drain anything that
+			// raced in first — a real answer beats any fallback — then
+			// step the missing shards down the ladder.
+			for drained := true; drained && len(quality) < len(relevant); {
 				select {
 				case a := <-answers:
 					total += a.est
-					done[a.idx] = true
+					quality[a.idx] = a.quality
 				default:
 					drained = false
 				}
 			}
 			for _, idx := range relevant {
-				if !done[idx] {
-					total += shards[idx].fallback.Estimate(q)
-					res.ShardsMissed++
+				if _, ok := quality[idx]; ok {
+					continue
 				}
+				s := snap.shards[idx]
+				est, ql := s.degraded(q, s.coarsestRung())
+				total += est
+				quality[idx] = ql
 			}
 			res.Estimate = total
-			res.Partial = true
-			partials.Inc()
-			missedCtr.Add(uint64(res.ShardsMissed))
-			return res, nil
+			return sc.finish(snap, res, relevant, quality), nil
 		}
 	}
 	res.Estimate = total
-	return res, nil
+	return sc.finish(snap, res, relevant, quality), nil
+}
+
+// hedgeDelay resolves the adaptive hedge trigger for this request: 0
+// (no hedging) unless hedging is enabled and a hook is installed — a
+// pure in-memory walk has no tail worth hedging, so production scatter
+// paths skip the extra timer entirely.
+func (sc *ShardedCatalog) hedgeDelay(snap *scatterSnap) time.Duration {
+	if snap.hook == nil || !sc.cfg.Resilience.HedgingEnabled() {
+		return 0
+	}
+	return sc.cfg.Resilience.Hedge.DelayFrom(snap.walkLatency)
+}
+
+// walkOne runs the direct, attempt-free shard call used by the
+// single-shard fast path: breaker-gated full walk, degrading to the
+// first ladder rung when the breaker is open.
+func (sn *scatterSnap) walkOne(idx int, q geom.Rect) shardAnswer {
+	s := sn.shards[idx]
+	br := sn.breakerAt(idx)
+	tok, ok := br.Allow()
+	if !ok {
+		est, ql := s.degraded(q, 0)
+		return shardAnswer{idx: idx, est: est, quality: ql}
+	}
+	t0 := sn.clk.Now()
+	est := s.hist.Estimate(q)
+	sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
+	br.Record(tok, true)
+	return shardAnswer{idx: idx, est: est, quality: QualityFull}
+}
+
+// callShard produces one shard's answer on the scatter path: breaker
+// admission, then the full histogram walk under the retry/hedge
+// policy, stepping down the degradation ladder when the breaker is
+// open or every attempt failed.
+func (sn *scatterSnap) callShard(ctx context.Context, idx int, q geom.Rect, hedgeDelay time.Duration) shardAnswer {
+	s := sn.shards[idx]
+	br := sn.breakerAt(idx)
+	tok, ok := br.Allow()
+	if !ok {
+		est, ql := s.degraded(q, 0)
+		return shardAnswer{idx: idx, est: est, quality: ql}
+	}
+	if sn.hook == nil {
+		// No hook: the walk cannot fail or stall; skip the attempt
+		// machinery (see hedgeDelay).
+		t0 := sn.clk.Now()
+		est := s.hist.Estimate(q)
+		sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
+		br.Record(tok, true)
+		return shardAnswer{idx: idx, est: est, quality: QualityFull}
+	}
+	est, stats, err := resilience.Do(ctx, resilience.CallPolicy{
+		Clock:      sn.clk,
+		Retry:      sn.retrier,
+		HedgeDelay: hedgeDelay,
+	}, func(actx context.Context, attempt int) (float64, error) {
+		t0 := sn.clk.Now()
+		if err := sn.hook(idx, attempt); err != nil {
+			return 0, err
+		}
+		if err := actx.Err(); err != nil {
+			return 0, err
+		}
+		v := s.hist.Estimate(q)
+		sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
+		return v, nil
+	})
+	sn.retries.Add(uint64(stats.Retries))
+	sn.hedges.Add(uint64(stats.Hedges))
+	if stats.HedgeWon {
+		sn.hedgeWins.Inc()
+	}
+	if err != nil {
+		// Breaker-visible failure: retry budget spent or deadline hit
+		// while this shard still owed its answer.
+		br.Record(tok, false)
+		dest, ql := s.degraded(q, 0)
+		return shardAnswer{idx: idx, est: dest, quality: ql}
+	}
+	br.Record(tok, true)
+	return shardAnswer{idx: idx, est: est, quality: QualityFull}
+}
+
+// finish grades the result from the per-shard qualities, fills the
+// fallback index list and breaker states, and bumps the telemetry.
+func (sc *ShardedCatalog) finish(snap *scatterSnap, res Result, relevant []int, quality map[int]Quality) Result {
+	for _, idx := range relevant {
+		ql := quality[idx]
+		res.Quality = worseQuality(res.Quality, ql)
+		if ql != QualityFull {
+			res.FallbackShards = append(res.FallbackShards, idx)
+		}
+	}
+	sort.Ints(res.FallbackShards)
+	res.ShardsMissed = len(res.FallbackShards)
+	res.Partial = res.Quality != QualityFull
+	if len(snap.breaker) > 0 {
+		res.Breakers = make([]string, len(snap.breaker))
+		for i, b := range snap.breaker {
+			res.Breakers[i] = b.State().String()
+		}
+	}
+	if res.Partial {
+		snap.partials.Inc()
+		snap.missedShards.Add(uint64(res.ShardsMissed))
+	}
+	snap.qualityCtr[res.Quality].Inc()
+	return res
 }

@@ -12,9 +12,10 @@ import (
 // TestEstimateContextZeroShardsComplete pins the deepest degradation
 // the scatter-gather can suffer: the deadline is already gone when the
 // scatter starts and not a single shard reports. The contract is a
-// Partial result computed purely from the per-shard uniformity
-// fallbacks — never an error, never a zero estimate for a query that
-// covers data.
+// Partial result computed purely from each shard's degradation ladder
+// — the coarsest Min-Skew rung, never an error, never a zero estimate
+// for a query that covers data — with FallbackShards naming exactly
+// the shards that degraded.
 func TestEstimateContextZeroShardsComplete(t *testing.T) {
 	d := synthetic.Charminar(2000, 1000, 10, 17)
 	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
@@ -26,7 +27,7 @@ func TestEstimateContextZeroShardsComplete(t *testing.T) {
 	// complete before the (already expired) deadline.
 	release := make(chan struct{})
 	defer close(release)
-	sc.SetEstimateHook(func(int) { <-release })
+	sc.SetEstimateHook(func(int, int) error { <-release; return nil })
 
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
@@ -39,25 +40,47 @@ func TestEstimateContextZeroShardsComplete(t *testing.T) {
 	if !res.Partial {
 		t.Fatal("zero completed shards must flag Partial")
 	}
+	if res.Quality != QualityCoarse {
+		t.Fatalf("ladder-enabled degradation must be coarse, got %v", res.Quality)
+	}
 	if res.ShardsQueried == 0 {
 		t.Fatal("whole-space query must route to at least one shard")
 	}
 	if res.ShardsMissed != res.ShardsQueried {
 		t.Fatalf("missed %d of %d queried shards, want every one", res.ShardsMissed, res.ShardsQueried)
 	}
+	if len(res.FallbackShards) != res.ShardsMissed {
+		t.Fatalf("FallbackShards lists %d shards, ShardsMissed says %d",
+			len(res.FallbackShards), res.ShardsMissed)
+	}
 
-	// The degraded answer is exactly the sum of the uniformity
-	// fallbacks of the routed shards — the pure-uniform estimate.
+	// FallbackShards must name exactly the routed shards, and the
+	// degraded answer must be exactly the sum of each listed shard's
+	// coarsest ladder rung.
 	sc.mu.RLock()
+	var wantIdx []int
 	var want float64
-	for _, s := range sc.shards {
+	for i, s := range sc.shards {
 		if s.routeBox.Intersects(q) {
-			want += s.fallback.Estimate(q)
+			wantIdx = append(wantIdx, i)
+			est, ql := s.degraded(q, s.coarsestRung())
+			if ql != QualityCoarse {
+				t.Errorf("shard %d: expected a coarse ladder rung, got %v", i, ql)
+			}
+			want += est
 		}
 	}
 	sc.mu.RUnlock()
+	if len(res.FallbackShards) != len(wantIdx) {
+		t.Fatalf("FallbackShards = %v, want %v", res.FallbackShards, wantIdx)
+	}
+	for i := range wantIdx {
+		if res.FallbackShards[i] != wantIdx[i] {
+			t.Fatalf("FallbackShards = %v, want %v", res.FallbackShards, wantIdx)
+		}
+	}
 	if diff := res.Estimate - want; diff > 1e-9 || diff < -1e-9 {
-		t.Fatalf("degraded estimate %.6f, want pure-uniform sum %.6f", res.Estimate, want)
+		t.Fatalf("degraded estimate %.6f, want coarse-ladder sum %.6f", res.Estimate, want)
 	}
 	if res.Estimate <= 0 {
 		t.Fatalf("whole-space fallback estimate %.1f, want > 0", res.Estimate)
@@ -72,5 +95,47 @@ func TestEstimateContextZeroShardsComplete(t *testing.T) {
 	}
 	if !res2.Partial || res2.ShardsMissed != res2.ShardsQueried {
 		t.Fatalf("cancelled scatter: %+v, want fully-missed Partial", res2)
+	}
+}
+
+// TestEstimateContextLadderDisabledFallsToUniform pins the pre-ladder
+// behavior behind LadderRungs < 0: with no coarser rungs built, total
+// degradation lands on the single-bucket uniformity fallback and the
+// result says so (QualityUniform).
+func TestEstimateContextLadderDisabledFallsToUniform(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 17)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024, LadderRungs: -1})
+
+	release := make(chan struct{})
+	defer close(release)
+	sc.SetEstimateHook(func(int, int) error { <-release; return nil })
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	q := geom.NewRect(0, 0, 1000, 1000)
+	res, err := sc.EstimateContext(ctx, q)
+	if err != nil {
+		t.Fatalf("degradation must not error: %v", err)
+	}
+	if !res.Partial || res.Quality != QualityUniform {
+		t.Fatalf("ladder-disabled degradation must be uniform Partial, got %+v", res)
+	}
+
+	// The estimate is the pure-uniform sum over exactly the shards in
+	// FallbackShards.
+	sc.mu.RLock()
+	var want float64
+	for _, idx := range res.FallbackShards {
+		want += sc.shards[idx].fallback.Estimate(q)
+	}
+	for _, s := range sc.shards {
+		if len(s.ladder) != 0 {
+			t.Error("LadderRungs < 0 must build no ladder rungs")
+		}
+	}
+	sc.mu.RUnlock()
+	if diff := res.Estimate - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("degraded estimate %.6f, want pure-uniform sum %.6f", res.Estimate, want)
 	}
 }

@@ -28,13 +28,16 @@ package shard
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
@@ -91,6 +94,19 @@ type Config struct {
 	// harness injects a vclock.Sim so shard timings advance with
 	// simulated time.
 	Clock vclock.Clock
+	// LadderRungs is how many progressively coarser Min-Skew summaries
+	// each shard builds beside its full histogram — the degradation
+	// ladder. Rung r gets the shard's bucket budget divided by 4^(r+1)
+	// (β/4, β/16, ...), so stepping down trades accuracy for an answer
+	// that is still skew-aware, per the paper's §5 result that even a
+	// coarse Min-Skew histogram beats the uniformity assumption.
+	// Default 2; negative disables the ladder (degradation falls
+	// straight to the uniformity fallback, the pre-ladder behavior).
+	LadderRungs int
+	// Resilience tunes the per-shard circuit breakers, retry policy and
+	// hedged calls on the scatter path. The zero value enables all of
+	// them with defaults; set Resilience.Disable to turn the layer off.
+	Resilience resilience.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +125,13 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
+	if c.LadderRungs == 0 {
+		c.LadderRungs = 2
+	}
+	if c.LadderRungs < 0 {
+		c.LadderRungs = 0 // normalized: 0 rungs after defaulting means disabled
+	}
+	c.Resilience = c.Resilience.WithDefaults()
 	return c
 }
 
@@ -130,11 +153,32 @@ type shardStat struct {
 	routeBox geom.Rect
 	n        int
 	hist     *core.BucketEstimator
+	// ladder holds the progressively coarser Min-Skew summaries of the
+	// same subdistribution, finest first (β/4 buckets, then β/16, ...).
+	// Degradation steps down the ladder before ever reaching the
+	// uniformity fallback. Empty when Config.LadderRungs is negative or
+	// the shard's budget is too small for a strictly coarser rung.
+	ladder []*core.BucketEstimator
 	// fallback is the shard summarized as one bucket under the
-	// uniformity assumption of Section 3.1 — the degraded answer for a
-	// shard the deadline ran past.
+	// uniformity assumption of Section 3.1 — the last rung of the
+	// degradation ladder.
 	fallback core.Bucket
 }
+
+// degraded answers q from rung r of the degradation ladder, falling
+// through to the uniformity fallback when the ladder has no rung r.
+// The returned Quality tells which it was.
+func (s *shardStat) degraded(q geom.Rect, rung int) (float64, Quality) {
+	if rung >= 0 && rung < len(s.ladder) {
+		return s.ladder[rung].Estimate(q), QualityCoarse
+	}
+	return s.fallback.Estimate(q), QualityUniform
+}
+
+// coarsestRung is the cheapest still-skew-aware rung index (the last
+// ladder entry); shards with no ladder return -1, selecting the
+// uniformity fallback in degraded.
+func (s *shardStat) coarsestRung() int { return len(s.ladder) - 1 }
 
 // ShardedCatalog is a spatially sharded statistics catalog for one
 // distribution. All methods are safe for concurrent use.
@@ -146,15 +190,29 @@ type ShardedCatalog struct {
 	bounds geom.Rect
 	rows   int
 
-	// estimateHook, when non-nil, runs inside each scattered shard
-	// goroutine before the bucket walk; tests and the fault simulation
-	// harness install it (SetEstimateHook) to simulate slow shards and
-	// exercise mid-scatter degradation.
-	estimateHook func(shardIdx int)
+	// estimateHook, when non-nil, runs inside every shard-call attempt
+	// before the bucket walk; tests and the fault simulation harness
+	// install it (SetEstimateHook) to simulate slow or failing shards.
+	// attempt is the resilience attempt number (0 = primary; retries
+	// and the hedge get successive numbers), and a non-nil error fails
+	// the attempt, feeding the retry policy and the breaker.
+	estimateHook func(shardIdx, attempt int) error
 	// buildHook, when non-nil, runs at the start of each shard build
 	// during AnalyzeContext; a non-nil return aborts the rebuild,
 	// simulating a shard build failure (SetBuildHook).
 	buildHook func(shardIdx int) error
+
+	// breakers holds one circuit breaker per shard index, aligned with
+	// shards. Breakers survive rebuilds (a rebuilt shard keeps its
+	// failure history); the slice is resized under the write lock when
+	// the shard count changes. Nil when breakers are disabled.
+	breakers []*resilience.Breaker
+	// retrier is the shared retry policy (nil when retries disabled).
+	retrier *resilience.Retrier
+	// walkLatency is the always-on bucket-walk latency histogram
+	// feeding the adaptive hedge delay; independent of EnableTelemetry
+	// so hedging adapts even with exposition off.
+	walkLatency *telemetry.Histogram
 
 	// Telemetry (nil until EnableTelemetry; all no-ops then).
 	reg            *telemetry.Registry
@@ -166,11 +224,23 @@ type ShardedCatalog struct {
 	partials       *telemetry.Counter
 	missedShards   *telemetry.Counter
 	shardGauge     *telemetry.Gauge
+	retries        *telemetry.Counter
+	hedges         *telemetry.Counter
+	hedgeWins      *telemetry.Counter
+	qualityCtr     [qualityLevels]*telemetry.Counter
 }
 
 // New creates an empty sharded catalog; call AnalyzeContext to build.
 func New(cfg Config) *ShardedCatalog {
-	return &ShardedCatalog{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	sc := &ShardedCatalog{cfg: cfg}
+	// Bounds are the package defaults, which are valid by construction.
+	sc.walkLatency, _ = telemetry.NewHistogram(telemetry.DefaultLatencyBuckets)
+	if cfg.Resilience.RetriesEnabled() {
+		sc.retrier = resilience.NewRetrier(cfg.Resilience.Retry, cfg.Clock,
+			rand.New(rand.NewSource(cfg.Resilience.Seed)))
+	}
+	return sc
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -203,19 +273,68 @@ func (sc *ShardedCatalog) EnableTelemetry(reg *telemetry.Registry) {
 	sc.partials = reg.Counter("shard_partial_results_total",
 		"Estimates degraded by a deadline or cancellation mid-scatter.")
 	sc.missedShards = reg.Counter("shard_fallback_shards_total",
-		"Shards answered by the uniformity fallback instead of their histogram.")
+		"Shards answered by a degradation-ladder rung or the uniformity fallback instead of their full histogram.")
 	sc.shardGauge = reg.Gauge("shard_shards",
 		"Shards in the live partitioning.")
+	sc.retries = reg.Counter("resilience_retries_total",
+		"Shard-call attempts relaunched after a failed attempt.")
+	sc.hedges = reg.Counter("resilience_hedges_total",
+		"Hedged shard-call attempts launched.")
+	sc.hedgeWins = reg.Counter("resilience_hedge_wins_total",
+		"Hedged attempts that produced the winning result.")
+	for lvl := Quality(0); lvl < qualityLevels; lvl++ {
+		sc.qualityCtr[lvl] = reg.Counter("shard_quality_total",
+			"Scatter-gather estimates served at each quality level.",
+			telemetry.Label{Key: "level", Value: lvl.String()})
+	}
+}
+
+// noteBreakerTransition records one breaker state change in telemetry:
+// the per-shard state gauge and the transition counter labeled by the
+// destination state. Always called outside the breaker's lock.
+func (sc *ShardedCatalog) noteBreakerTransition(shardIdx int, to resilience.State) {
+	sc.mu.RLock()
+	reg := sc.reg
+	sc.mu.RUnlock()
+	if reg == nil {
+		return
+	}
+	reg.Gauge("shard_breaker_state",
+		"Per-shard circuit breaker state (0 closed, 1 half-open, 2 open).",
+		telemetry.Label{Key: "shard", Value: strconv.Itoa(shardIdx)}).Set(float64(to))
+	reg.Counter("resilience_breaker_transitions_total",
+		"Circuit breaker state transitions by destination state.",
+		telemetry.Label{Key: "to", Value: to.String()}).Inc()
+}
+
+// BreakerStates returns the current circuit-breaker state per shard
+// index, or nil when breakers are disabled (or nothing is built yet).
+func (sc *ShardedCatalog) BreakerStates() []string {
+	sc.mu.RLock()
+	breakers := sc.breakers
+	sc.mu.RUnlock()
+	if len(breakers) == 0 {
+		return nil
+	}
+	out := make([]string, len(breakers))
+	for i, b := range breakers {
+		out[i] = b.State().String()
+	}
+	return out
 }
 
 // SetEstimateHook installs (or, with nil, removes) a callback that
-// runs inside every scattered shard goroutine before the bucket walk.
-// It exists for tests and the fault-injection harness: a hook that
-// sleeps simulates a slow shard, one that blocks until released
-// simulates a stuck one. Installing a hook also forces the scatter
-// path for single-shard fan-outs, so degradation stays exercisable.
-// Must not be called concurrently with EstimateContext.
-func (sc *ShardedCatalog) SetEstimateHook(hook func(shardIdx int)) {
+// runs inside every shard-call attempt before the bucket walk. It
+// exists for tests and the fault-injection harness: a hook that sleeps
+// simulates a slow shard, one that blocks until released simulates a
+// stuck one, and one that returns an error simulates a failing shard
+// (the attempt fails, feeding the retry policy and circuit breaker).
+// attempt is the resilience attempt number — 0 for the primary call,
+// higher for retries and the hedge — so a hook can model faults that
+// clear on re-issue. Installing a hook also forces the scatter path
+// for single-shard fan-outs, so degradation stays exercisable. Must
+// not be called concurrently with EstimateContext.
+func (sc *ShardedCatalog) SetEstimateHook(hook func(shardIdx, attempt int) error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	sc.estimateHook = hook
@@ -259,6 +378,10 @@ type ShardInfo struct {
 	MBR     geom.Rect // bounds of the member rectangles
 	Rows    int
 	Buckets int
+	// Ladder lists the bucket counts of the degradation-ladder rungs,
+	// finest first (empty when the ladder is disabled or the shard is
+	// too small for a coarser rung).
+	Ladder []int
 }
 
 // Info returns a snapshot describing the live shards, ordered as built.
@@ -268,7 +391,11 @@ func (sc *ShardedCatalog) Info() []ShardInfo {
 	sc.mu.RUnlock()
 	out := make([]ShardInfo, len(shards))
 	for i, s := range shards {
-		out[i] = ShardInfo{Region: s.region, MBR: s.mbr, Rows: s.n, Buckets: len(s.hist.Buckets())}
+		info := ShardInfo{Region: s.region, MBR: s.mbr, Rows: s.n, Buckets: len(s.hist.Buckets())}
+		for _, rung := range s.ladder {
+			info.Ladder = append(info.Ladder, len(rung.Buckets()))
+		}
+		out[i] = info
 	}
 	return out
 }
@@ -353,15 +480,27 @@ func (sc *ShardedCatalog) AnalyzeContext(ctx context.Context, d *dataset.Distrib
 	sc.shards = built
 	sc.bounds = bounds
 	sc.rows = d.N()
+	if sc.cfg.Resilience.BreakersEnabled() {
+		// Size the breaker slice to the new shard count, preserving the
+		// failure history of surviving indices: a rebuilt shard is the
+		// same replica, so its breaker state carries over.
+		for len(sc.breakers) < len(built) {
+			idx := len(sc.breakers)
+			sc.breakers = append(sc.breakers, resilience.NewBreaker(
+				sc.cfg.Resilience.Breaker, clk,
+				func(_, to resilience.State) { sc.noteBreakerTransition(idx, to) }))
+		}
+		sc.breakers = sc.breakers[:len(built)]
+	}
 	sc.analyzeSeconds.Observe(clk.Since(start).Seconds())
 	sc.shardGauge.Set(float64(len(built)))
 	sc.mu.Unlock()
 	return nil
 }
 
-// buildShard constructs one shard's histogram and fallback from its
-// partition piece. totalShards and totalRows size the shard's slice of
-// the global bucket and grid budgets.
+// buildShard constructs one shard's histogram, degradation ladder and
+// fallback from its partition piece. totalShards and totalRows size
+// the shard's slice of the global bucket and grid budgets.
 func buildShard(p piece, cfg Config, totalShards, totalRows int) (*shardStat, error) {
 	sd := dataset.FromRects(p.rects)
 	buckets := proportional(cfg.Buckets, p.n(), totalRows, 1)
@@ -381,6 +520,32 @@ func buildShard(p piece, cfg Config, totalShards, totalRows int) (*shardStat, er
 		n:      sd.N(),
 		hist:   hist,
 	}
+	// Degradation ladder: the same subdistribution summarized at β/4,
+	// β/16, ... buckets (grid budget shrinking alongside). Rungs that
+	// cannot be strictly coarser than the one above are skipped — a
+	// one-bucket shard gets no ladder and degrades straight to the
+	// uniformity fallback.
+	prev := buckets
+	for r := 0; r < cfg.LadderRungs; r++ {
+		div := 1 << (2 * uint(r+1)) // 4, 16, 64, ...
+		rb := buckets / div
+		if rb < 1 {
+			rb = 1
+		}
+		if rb >= prev {
+			break
+		}
+		rg := regions / div
+		if rg < 64 {
+			rg = 64
+		}
+		rung, err := core.NewMinSkew(sd, core.MinSkewConfig{Buckets: rb, Regions: rg})
+		if err != nil {
+			return nil, err
+		}
+		s.ladder = append(s.ladder, rung)
+		prev = rb
+	}
 	s.fallback = uniformBucket(sd, mbr)
 	// Route with the MBR padded by half the largest per-bucket average
 	// extent: beyond that reach, every bucket's extended-query clip is
@@ -392,6 +557,19 @@ func buildShard(p piece, cfg Config, totalShards, totalRows int) (*shardStat, er
 		}
 		if b.AvgH > maxH {
 			maxH = b.AvgH
+		}
+	}
+	// Ladder rungs group rects differently, so their per-bucket average
+	// extents can exceed the full histogram's; include them so pruning
+	// stays conservative for degraded answers too.
+	for _, rung := range s.ladder {
+		for _, b := range rung.Buckets() {
+			if b.AvgW > maxW {
+				maxW = b.AvgW
+			}
+			if b.AvgH > maxH {
+				maxH = b.AvgH
+			}
 		}
 	}
 	if s.fallback.AvgW > maxW {

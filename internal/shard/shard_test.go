@@ -145,10 +145,11 @@ func TestEstimateContextDeadlineMidScatter(t *testing.T) {
 	// deadline has long expired.
 	release := make(chan struct{})
 	defer close(release)
-	sc.SetEstimateHook(func(idx int) {
+	sc.SetEstimateHook(func(idx, _ int) error {
 		if idx != 0 {
 			<-release
 		}
+		return nil
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()

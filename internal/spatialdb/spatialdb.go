@@ -29,6 +29,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/planner"
 	"repro/internal/rtree"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
@@ -68,6 +69,13 @@ type DB struct {
 	// drift, and R*-tree node-access counters.
 	reg *telemetry.Registry
 }
+
+// The engine is the production serving backend; keep both interfaces
+// honest at compile time.
+var (
+	_ serve.Backend        = (*DB)(nil)
+	_ serve.StatusReporter = (*DB)(nil)
+)
 
 // New creates an empty engine with the given statistics policy.
 func New(cfg catalog.Config) *DB {
@@ -297,6 +305,28 @@ func (db *DB) EstimateContext(ctx context.Context, name string, q geom.Rect) (sh
 		return shard.Result{}, err
 	}
 	return shard.Result{Estimate: est, ShardsTotal: 1, ShardsQueried: 1}, nil
+}
+
+// Status reports per-table serving health for the readiness probe:
+// whether usable statistics exist and, for sharded tables, the
+// per-shard circuit-breaker states. It implements serve.StatusReporter
+// so /healthz/ready can distinguish "process up" from "serving full
+// answers".
+func (db *DB) Status() []serve.TableStatus {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]serve.TableStatus, 0, len(db.tables))
+	for name := range db.tables {
+		st := serve.TableStatus{Table: name, Analyzed: db.cat.Histogram(name) != nil}
+		if sc := db.shards[name]; sc != nil {
+			st.Analyzed = st.Analyzed && sc.Analyzed()
+			st.Shards = sc.Shards()
+			st.Breakers = sc.BreakerStates()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
 }
 
 // EnableFeedback turns on query-feedback learning for a table: every

@@ -1,0 +1,63 @@
+package spatialdb
+
+import (
+	"testing"
+
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+)
+
+// TestStatusReportsReadiness covers the readiness surface: unanalyzed
+// tables report Analyzed=false, analyzed monolithic tables report no
+// shard detail, and sharded tables expose shard counts plus per-shard
+// breaker states.
+func TestStatusReportsReadiness(t *testing.T) {
+	db := newTestDB(t)
+	d := synthetic.Uniform(2000, 1000, 5, 20, 1)
+	if err := db.Create("roads", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Create("rails", d); err != nil {
+		t.Fatal(err)
+	}
+
+	st := db.Status()
+	if len(st) != 2 || st[0].Table != "rails" || st[1].Table != "roads" {
+		t.Fatalf("Status = %+v, want rails and roads sorted", st)
+	}
+	for _, s := range st {
+		if s.Analyzed {
+			t.Errorf("table %q reports analyzed before ANALYZE", s.Table)
+		}
+	}
+
+	// Monolithic analyze: ready, no shard detail.
+	if err := db.Analyze("roads"); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Status()
+	if !st[1].Analyzed || st[1].Shards != 0 || len(st[1].Breakers) != 0 {
+		t.Fatalf("monolithic roads status = %+v, want analyzed with no shard detail", st[1])
+	}
+	if st[0].Analyzed {
+		t.Fatalf("rails became analyzed without ANALYZE: %+v", st[0])
+	}
+
+	// Sharded analyze: shard count and breaker states appear.
+	db.SetShardPolicy(shard.Config{Shards: 4})
+	if err := db.Analyze("rails"); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Status()
+	if !st[0].Analyzed || st[0].Shards != 4 {
+		t.Fatalf("sharded rails status = %+v, want 4 analyzed shards", st[0])
+	}
+	if len(st[0].Breakers) != 4 {
+		t.Fatalf("rails breakers = %v, want one state per shard", st[0].Breakers)
+	}
+	for _, b := range st[0].Breakers {
+		if b != "closed" {
+			t.Errorf("fresh breaker state %q, want closed", b)
+		}
+	}
+}

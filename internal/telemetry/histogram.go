@@ -37,6 +37,15 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits of the running sum
 }
 
+// NewHistogram builds a standalone histogram with the given bucket
+// upper bounds (strictly increasing, finite; an implicit +Inf bucket
+// is always appended). It exists for callers that need a histogram
+// outside any Registry — e.g. internal latency trackers that feed
+// adaptive policies rather than exposition.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	return newHistogram(bounds)
+}
+
 // newHistogram validates the bounds and allocates the cells.
 func newHistogram(bounds []float64) (*Histogram, error) {
 	for i, b := range bounds {
@@ -106,6 +115,55 @@ func (h *Histogram) Bounds() []float64 {
 		return nil
 	}
 	return append([]float64(nil), h.bounds...)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// values by locating the bucket holding the target rank and
+// interpolating linearly inside it (values in a bucket are assumed
+// uniform, the same model Prometheus's histogram_quantile uses). Ranks
+// landing in the +Inf overflow bucket return the largest finite bound.
+// ok is false when the histogram is nil, empty, or q is out of range.
+//
+// Like BucketCounts, the read is monitoring-grade under concurrent
+// observation, not transactional.
+func (h *Histogram) Quantile(q float64) (v float64, ok bool) {
+	if h == nil || q <= 0 || q > 1 {
+		return 0, false
+	}
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			if len(h.bounds) == 0 {
+				return 0, false
+			}
+			return h.bounds[len(h.bounds)-1], true
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := float64(rank-cum) / float64(c)
+		return lo + (hi-lo)*frac, true
+	}
+	return 0, false // unreachable: rank <= total
 }
 
 // BucketCounts returns the per-bucket (non-cumulative) observation

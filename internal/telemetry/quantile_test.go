@@ -1,0 +1,88 @@
+package telemetry
+
+import "testing"
+
+// TestHistogramQuantile pins the interpolation model the adaptive
+// hedge delay depends on: Prometheus-style linear interpolation inside
+// the bucket holding the target rank, with overflow ranks reporting
+// the largest finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram([]float64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty histogram: no quantile.
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram must report ok=false")
+	}
+
+	// One observation per interesting bucket: 5 → (0,10], 15 and 18 →
+	// (10,20], 30 → (20,40].
+	for _, v := range []float64{5, 15, 18, 30} {
+		h.Observe(v)
+	}
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		// rank 1 of 4 lands in (0,10] with count 1: 0 + 10*1/1.
+		{0.25, 10},
+		// rank 2 of 4 lands in (10,20] with count 2: 10 + 10*(2-1)/2.
+		{0.5, 15},
+		// rank 3 of 4: 10 + 10*(3-1)/2.
+		{0.75, 20},
+		// rank 4 of 4 lands in (20,40] with count 1: 20 + 20*1/1.
+		{1.0, 40},
+	}
+	for _, tc := range cases {
+		got, ok := h.Quantile(tc.q)
+		if !ok || got != tc.want {
+			t.Errorf("Quantile(%g) = (%g, %v), want (%g, true)", tc.q, got, ok, tc.want)
+		}
+	}
+
+	// Out-of-range q is rejected.
+	for _, q := range []float64{0, -0.5, 1.5} {
+		if _, ok := h.Quantile(q); ok {
+			t.Errorf("Quantile(%g) accepted an out-of-range quantile", q)
+		}
+	}
+
+	// Nil receiver: no quantile, no panic.
+	var nilH *Histogram
+	if _, ok := nilH.Quantile(0.5); ok {
+		t.Error("nil histogram must report ok=false")
+	}
+}
+
+// TestHistogramQuantileOverflow: ranks landing in the +Inf overflow
+// bucket cannot interpolate toward infinity; they report the largest
+// finite bound as the best lower estimate.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h, err := NewHistogram([]float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(5)
+	h.Observe(1000) // overflows past every bound
+
+	if got, ok := h.Quantile(1.0); !ok || got != 20 {
+		t.Fatalf("overflow quantile = (%g, %v), want the largest finite bound (20, true)", got, ok)
+	}
+	// The non-overflow rank still interpolates normally.
+	if got, ok := h.Quantile(0.5); !ok || got != 10 {
+		t.Fatalf("Quantile(0.5) = (%g, %v), want (10, true)", got, ok)
+	}
+
+	// A histogram with no finite bounds at all has nothing to report.
+	h2, err := NewHistogram(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Observe(1)
+	if _, ok := h2.Quantile(0.5); ok {
+		t.Error("bound-less histogram must report ok=false")
+	}
+}

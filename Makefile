@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race bench bench-json experiments figures examples cover clean faultsim
+.PHONY: all build lint vet-strict test race bench bench-json experiments figures examples cover clean faultsim determinism
 
 all: build lint test
 
@@ -11,10 +11,18 @@ build:
 	$(GO) vet ./...
 
 # spatialvet: the repo's own analyzers (floatcmp, globalrand, locksafe,
-# errdrop, ctxfirst) enforcing numeric, concurrency and determinism
-# invariants. See DESIGN.md "Static analysis & invariants".
+# errdrop, ctxfirst, walltime, nilrecv, mapiter, lockhold) enforcing
+# numeric, concurrency and determinism invariants. See DESIGN.md
+# "Static analysis & invariants".
 lint:
 	$(GO) run ./cmd/spatialvet ./...
+
+# lint plus go vet, with machine-readable output — the full static
+# gate CI runs. Suppress an intentional violation with
+# `//spatialvet:ignore <analyzer> <reason>` on the preceding line.
+vet-strict:
+	$(GO) vet ./...
+	$(GO) run ./cmd/spatialvet -json ./...
 
 test:
 	$(GO) test ./...
@@ -30,6 +38,17 @@ faultsim:
 	$(GO) test -race -count=1 ./internal/faultsim/ ./internal/vclock/ ./internal/resilience/
 	$(GO) run ./cmd/faultsim -seeds 1,42,7 -o faultsim-report.json
 	@echo "report: faultsim-report.json"
+
+# Replay determinism gate: the same seeds must produce byte-identical
+# reports on consecutive runs. Catches wall-clock or map-order leaks
+# into anything the report aggregates. -sequential pins Workers=1 so
+# the virtual clock only advances at quiescence; multi-worker queue
+# contention is covered by the faultsim target instead.
+determinism:
+	$(GO) run ./cmd/faultsim -sequential -seeds 1,42 -o /tmp/faultsim-det-1.json
+	$(GO) run ./cmd/faultsim -sequential -seeds 1,42 -o /tmp/faultsim-det-2.json
+	diff /tmp/faultsim-det-1.json /tmp/faultsim-det-2.json
+	@echo "determinism: reports byte-identical"
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:

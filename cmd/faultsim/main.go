@@ -10,11 +10,21 @@
 //	faultsim                          # full suite, default seeds
 //	faultsim -seeds 1,42,7            # explicit seed list
 //	faultsim -scenario chaos -seed 99 # one scenario, one seed
+//	faultsim -sequential              # Workers=1: byte-reproducible reports
 //	faultsim -o report.json           # write the JSON report to a file
 //	faultsim -list                    # list scenarios and exit
 //
 // Exit status is non-zero if any scenario run violates an invariant —
 // the reported (scenario, seed) pair reproduces the failure exactly.
+//
+// The invariant verdicts are schedule-independent, but a multi-worker
+// scenario's aggregate counters (sheds under queue contention, hits in
+// a TTL'd cache, total virtual elapsed) depend on how the goroutine
+// scheduler interleaves workers with the virtual-clock driver.
+// -sequential forces every scenario to one worker, making the clock
+// advance only at true quiescence — the same (seeds, -sequential)
+// invocation then emits a byte-identical report on every run, which is
+// what CI's determinism gate diffs.
 package main
 
 import (
@@ -29,13 +39,16 @@ import (
 	"repro/internal/faultsim"
 )
 
+// suiteReport is the JSON report. It deliberately carries no wall
+// time: CI's determinism gate runs the suite twice with the same seeds
+// and diffs the reports byte-for-byte, so everything here must be a
+// pure function of (scenario, seed). Wall-clock elapsed goes to stderr.
 type suiteReport struct {
-	Suite   string            `json:"suite"`
-	Seeds   []int64           `json:"seeds"`
-	Runs    []faultsim.Report `json:"runs"`
-	Passed  bool              `json:"passed"`
-	Failed  int               `json:"failed"`
-	Elapsed string            `json:"elapsed"`
+	Suite  string            `json:"suite"`
+	Seeds  []int64           `json:"seeds"`
+	Runs   []faultsim.Report `json:"runs"`
+	Passed bool              `json:"passed"`
+	Failed int               `json:"failed"`
 }
 
 func main() {
@@ -46,6 +59,7 @@ func main() {
 		out      = flag.String("o", "", "write the JSON report to this file (default stdout)")
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		verbose  = flag.Bool("v", false, "print a progress line per run to stderr")
+		seq      = flag.Bool("sequential", false, "force Workers=1 for schedule-free, byte-reproducible reports")
 	)
 	flag.Parse()
 
@@ -73,6 +87,11 @@ func main() {
 	if *seed != 0 {
 		seeds = []int64{*seed}
 	}
+	if *seq {
+		for i := range scenarios {
+			scenarios[i].Workers = 1
+		}
+	}
 
 	start := time.Now()
 	rep := suiteReport{Suite: "faultsim", Seeds: seeds, Passed: true}
@@ -99,7 +118,10 @@ func main() {
 			}
 		}
 	}
-	rep.Elapsed = time.Since(start).Round(time.Millisecond).String()
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "faultsim: suite elapsed %s\n",
+			time.Since(start).Round(time.Millisecond))
+	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -9,18 +9,37 @@
 //	locksafe    no by-value lock copies, no Lock without Unlock
 //	errdrop     no silently dropped error results in library code
 //	ctxfirst    context.Context is always the first parameter
+//	walltime    no wall-clock reads (time.Now & friends,
+//	            context.WithTimeout) outside vclock in the serving
+//	            stack — transitive, via serialized call-graph facts
+//	nilrecv     nil-receiver guards on nil-safe contract types
+//	            (internal/telemetry and //spatialvet:nilsafe types)
+//	mapiter     no map iteration feeding encoders/reports/slices
+//	            without an intervening sort
+//	lockhold    no blocking operations (channel ops, sleeps, net
+//	            I/O, nested locks) while a mutex is held
+//
+// Packages load in `go list -deps` dependency order so walltime's
+// facts — "this function transitively reaches time.Now" — are always
+// computed before the packages that call it are analyzed.
 //
 // Usage:
 //
-//	spatialvet [-list] [-only a,b] [packages...]
+//	spatialvet [-list] [-only a,b] [-json] [packages...]
 //
-// With no package arguments it analyzes ./....
+// With no package arguments it analyzes ./.... Exit status: 0 clean,
+// 1 findings, 2 load or type-check failure. With -json each finding
+// is one JSON object per line on stdout:
+//
+//	{"file":"internal/serve/serve.go","line":42,"col":9,"analyzer":"walltime","message":"..."}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -28,7 +47,11 @@ import (
 	"repro/internal/analysis/errdrop"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/globalrand"
+	"repro/internal/analysis/lockhold"
 	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/nilrecv"
+	"repro/internal/analysis/walltime"
 )
 
 // scope decides which packages an analyzer applies to; path is the
@@ -49,11 +72,24 @@ func library(rel string) bool {
 // depend on, plus the sharded tier that merges their partial counts.
 // internal/serve is deliberately excluded: its cache keys compare
 // quantized lattice coordinates, where exact float equality is the
-// point (equal keys = same cache line); the other four analyzers
-// still cover it via ./....
+// point (equal keys = same cache line); the other analyzers still
+// cover it via ./....
 func numericCore(rel string) bool {
 	switch rel {
 	case "internal/geom", "internal/core", "internal/grid", "internal/shard":
+		return true
+	}
+	return false
+}
+
+// determinismCore is the walltime report surface: the packages whose
+// behavior must replay byte-identically under faultsim. The analyzer
+// still runs everywhere (facts must cover the whole call graph);
+// findings are only raised here.
+func determinismCore(rel string) bool {
+	switch rel {
+	case "internal/serve", "internal/shard", "internal/resilience",
+		"internal/faultsim", "internal/catalog":
 		return true
 	}
 	return false
@@ -69,11 +105,25 @@ var suite = []struct {
 	{locksafe.Analyzer, all},
 	{errdrop.Analyzer, library},
 	{ctxfirst.Analyzer, all},
+	{walltime.Analyzer, determinismCore},
+	{nilrecv.Analyzer, all},
+	{mapiter.Analyzer, all},
+	{lockhold.Analyzer, all},
+}
+
+// jsonDiag is the -json wire format, one object per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line (for CI annotation)")
 	flag.Parse()
 
 	if *list {
@@ -98,6 +148,7 @@ func main() {
 			selected[name] = true
 		}
 	}
+	enabled := func(name string) bool { return len(selected) == 0 || selected[name] }
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -109,39 +160,93 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spatialvet:", err)
 		os.Exit(2)
 	}
+	// Load failures (bad patterns, type-check errors) are exit 2 —
+	// CI must distinguish "the tree has findings" from "the tool
+	// could not analyze the tree".
 	pkgs, err := analysis.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spatialvet:", err)
 		os.Exit(2)
 	}
 
-	findings := 0
+	type located struct {
+		file     string
+		line     int
+		col      int
+		analyzer string
+		message  string
+	}
+	var findings []located
+
+	runner := analysis.NewRunner()
 	for _, pkg := range pkgs {
 		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, modPath), "/")
 		var analyzers []*analysis.Analyzer
+		inScope := map[string]bool{}
 		for _, s := range suite {
-			if len(selected) > 0 && !selected[s.analyzer.Name] {
+			if !enabled(s.analyzer.Name) {
 				continue
 			}
-			if s.applies(rel) {
+			scoped := s.applies(rel) && !pkg.DepOnly
+			// Fact-producing analyzers run everywhere so the call
+			// graph is complete; others only where they report.
+			if scoped || len(s.analyzer.FactTypes) > 0 {
 				analyzers = append(analyzers, s.analyzer)
+				inScope[s.analyzer.Name] = scoped
 			}
 		}
 		if len(analyzers) == 0 {
 			continue
 		}
-		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		diags, err := runner.Run(pkg, analyzers, func(name string) bool { return inScope[name] })
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spatialvet:", err)
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			findings++
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, located{
+				file:     pos.Filename,
+				line:     pos.Line,
+				col:      pos.Column,
+				analyzer: d.Analyzer,
+				message:  d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "spatialvet: %d finding(s)\n", findings)
+
+	// Packages arrive in dependency order (facts demand it); humans
+	// and CI annotations want file order.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(jsonDiag{
+				File: f.file, Line: f.line, Col: f.col,
+				Analyzer: f.analyzer, Message: f.message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "spatialvet:", err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "spatialvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

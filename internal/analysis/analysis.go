@@ -16,7 +16,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -28,6 +27,12 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the analyzer
 	// enforces. The first line is the summary.
 	Doc string
+	// FactTypes lists prototype values of every Fact type this
+	// analyzer exports. An analyzer with FactTypes participates in
+	// cross-package reasoning: the driver runs it over every package
+	// in dependency order (reporting only in scoped packages) so its
+	// facts are available wherever its diagnostics fire.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -44,6 +49,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. The driver installs it.
 	Report func(Diagnostic)
+
+	analyzer *Analyzer
+	facts    *factSet
+	factErr  error
 }
 
 // Path returns the package import path.
@@ -62,6 +71,75 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
+// ObjectOf returns the object denoted by ident id, consulting Defs
+// then Uses — the one resolution path every analyzer shares instead of
+// re-deriving object identity from the AST.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// Callee returns the statically-resolved function or method called by
+// call, or nil when the callee is dynamic (a function value, an
+// interface method through a non-selector, a conversion, …).
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// IsNamedType reports whether t is the named type path.name (pointers
+// are not dereferenced; callers unwrap if they mean to).
+func IsNamedType(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// ExportObjectFact attaches fact to obj for downstream packages. The
+// fact type must appear in the analyzer's FactTypes and obj must be a
+// package-level object or method of this or an imported package. A
+// bad export is an analyzer bug and fails the run.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		p.factErr = fmt.Errorf("%s: ExportObjectFact outside a Runner", p.analyzerName())
+		return
+	}
+	if err := p.facts.export(p.analyzerName(), obj, fact); err != nil && p.factErr == nil {
+		p.factErr = err
+	}
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into
+// ptr, reporting whether one was found. Facts exported by earlier
+// packages in the load order and by this package so far are visible.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.importFact(obj, ptr)
+}
+
+func (p *Pass) analyzerName() string {
+	if p.analyzer != nil {
+		return p.analyzer.Name
+	}
+	return "analysis"
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos     token.Pos
@@ -70,39 +148,13 @@ type Diagnostic struct {
 	Analyzer string
 }
 
-// RunAnalyzers applies each analyzer to pkg and returns the collected
-// diagnostics sorted by position, minus any suppressed by
-// //spatialvet:ignore directives. Analyzer errors (not findings) are
-// returned immediately.
+// RunAnalyzers applies each analyzer to pkg (with a fresh fact store)
+// and returns the collected diagnostics sorted by position, minus any
+// suppressed by //spatialvet:ignore directives. Analyzer errors (not
+// findings) are returned immediately. Multi-package fact propagation
+// needs a shared Runner instead.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-		}
-		name := a.Name
-		pass.Report = func(d Diagnostic) {
-			d.Analyzer = name
-			diags = append(diags, d)
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
-		}
-	}
-	ignored := ignoreDirectives(pkg)
-	kept := diags[:0]
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if !ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
-		}
-	}
-	diags = kept
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return NewRunner().Run(pkg, analyzers, nil)
 }
 
 // ignoreKey identifies one suppressed (file, line, analyzer) triple.

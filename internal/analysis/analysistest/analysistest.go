@@ -30,25 +30,46 @@ type expectation struct {
 // comments as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
-	pkg, err := analysis.LoadFixture(dir)
+	RunDirs(t, a, filepath.Dir(dir), filepath.Base(dir))
+}
+
+// RunDirs loads the named subdirectories of root as one package each —
+// in dependency order, with earlier packages importable by later ones
+// under their base name — and applies the analyzer to all of them
+// through one shared fact store, so facts exported while analyzing an
+// early package are visible in later ones. Diagnostics from every
+// package are checked against the fixtures' want comments.
+func RunDirs(t *testing.T, a *analysis.Analyzer, root string, subdirs ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadFixtureDirs(root, subdirs...)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		t.Fatalf("loading fixtures %s %v: %v", root, subdirs, err)
 	}
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+	wants := make(map[string][]*expectation)
+	for _, sub := range subdirs {
+		ws, err := parseWants(filepath.Join(root, sub))
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", sub, err)
+		}
+		for k, v := range ws {
+			// Keys are file base names; fixture files are uniquely
+			// named across a multi-package fixture by convention.
+			wants[k] = append(wants[k], v...)
+		}
 	}
 
-	wants, err := parseWants(dir)
-	if err != nil {
-		t.Fatalf("parsing want comments: %v", err)
-	}
-
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
-		if !claim(wants[key], d.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+	runner := analysis.NewRunner()
+	for _, pkg := range pkgs {
+		diags, err := runner.Run(pkg, []*analysis.Analyzer{a}, nil)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			if !claim(wants[key], d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+			}
 		}
 	}
 	for key, exps := range wants {

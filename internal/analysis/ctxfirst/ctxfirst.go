@@ -6,7 +6,6 @@ package ctxfirst
 
 import (
 	"go/ast"
-	"go/types"
 
 	"repro/internal/analysis"
 )
@@ -47,19 +46,10 @@ func check(pass *analysis.Pass, ft *ast.FuncType) {
 		if width == 0 {
 			width = 1
 		}
-		if isContext(pass.TypesInfo.TypeOf(field.Type)) && pos > 0 {
+		if analysis.IsNamedType(pass.TypesInfo.TypeOf(field.Type), "context", "Context") && pos > 0 {
 			pass.Reportf(field.Type.Pos(),
 				"context.Context should be the first parameter of a function")
 		}
 		pos += width
 	}
-}
-
-func isContext(t types.Type) bool {
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
 }

@@ -74,7 +74,7 @@ func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
 
 // allowed reports whether the dropped error is conventional.
 func allowed(pass *analysis.Pass, call *ast.CallExpr) bool {
-	fn := callee(pass, call)
+	fn := pass.Callee(call)
 	if fn == nil {
 		return false
 	}
@@ -112,21 +112,6 @@ var bufferedWriters = map[string]bool{
 	"bufio.Writer":    true,
 }
 
-// callee resolves the called function object, if statically known.
-func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
-}
-
 // recvTypeName renders a receiver type as "pkg.Name" regardless of
 // pointerness.
 func recvTypeName(t types.Type) string {
@@ -144,7 +129,7 @@ func recvTypeName(t types.Type) string {
 // conventional sink: stdout/stderr or an in-memory/sticky writer.
 func writerAllowed(pass *analysis.Pass, w ast.Expr) bool {
 	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
-		if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+		if v, ok := pass.ObjectOf(sel.Sel).(*types.Var); ok && v.Pkg() != nil &&
 			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
 			return true
 		}

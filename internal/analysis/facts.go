@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a datum one analyzer attaches to a program object in one
+// package so that the same analyzer can observe it while analyzing a
+// *different* package downstream in the dependency order. It is the
+// minimal analogue of golang.org/x/tools/go/analysis facts: a fact
+// type is a pointer-to-struct with a marker method, declared in the
+// Analyzer's FactTypes, and must survive JSON serialization — every
+// fact crosses an encode/decode boundary between the exporting and the
+// importing package, exactly as vet facts cross between unitchecker
+// processes, so unexported or unserializable state cannot leak
+// through.
+//
+// Facts enable transitive call-graph reasoning across the
+// `go list -deps` load order: the driver analyzes packages
+// dependencies-first, so when package b is analyzed, facts exported on
+// the objects of every package it imports are already available via
+// Pass.ImportObjectFact.
+type Fact interface {
+	// AFact is a marker method; it does nothing.
+	AFact()
+}
+
+// ObjectKey renders a stable identity for a package-level object (or a
+// method) that survives the source-check/export-data split: the same
+// function type-checked from source in its own package and loaded from
+// compiler export data in a dependent package yields the same key.
+// Objects without a stable key (locals, interface method params, …)
+// yield "" and cannot carry facts.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return ""
+			}
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return obj.Pkg().Path() + "." + name
+}
+
+// factKey identifies one stored fact: which object, which fact type.
+type factKey struct {
+	obj string // ObjectKey of the annotated object
+	typ string // fact type name, e.g. "ReachesWallTime"
+}
+
+// factSet holds one analyzer's facts across an entire load. Values are
+// kept JSON-encoded (the serialization boundary); ImportObjectFact
+// decodes on demand into the caller's prototype.
+type factSet struct {
+	declared map[reflect.Type]bool
+	facts    map[factKey]json.RawMessage
+}
+
+func newFactSet(a *Analyzer) *factSet {
+	fs := &factSet{
+		declared: make(map[reflect.Type]bool, len(a.FactTypes)),
+		facts:    make(map[factKey]json.RawMessage),
+	}
+	for _, f := range a.FactTypes {
+		fs.declared[reflect.TypeOf(f)] = true
+	}
+	return fs
+}
+
+// factTypeName is the serialized type tag of a fact value.
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	if t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+func (fs *factSet) export(analyzer string, obj types.Object, f Fact) error {
+	if !fs.declared[reflect.TypeOf(f)] {
+		return fmt.Errorf("%s: fact type %T not declared in Analyzer.FactTypes", analyzer, f)
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return fmt.Errorf("%s: object %v cannot carry facts (no stable key)", analyzer, obj)
+	}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("%s: serializing fact %T on %s: %v", analyzer, f, key, err)
+	}
+	fs.facts[factKey{obj: key, typ: factTypeName(f)}] = raw
+	return nil
+}
+
+func (fs *factSet) importFact(obj types.Object, ptr Fact) bool {
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	raw, ok := fs.facts[factKey{obj: key, typ: factTypeName(ptr)}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, ptr) == nil
+}
+
+// keys returns every annotated object key, sorted, for deterministic
+// iteration in tests and debugging output.
+func (fs *factSet) keys() []string {
+	seen := make(map[string]bool, len(fs.facts))
+	for k := range fs.facts {
+		seen[k.obj] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runner applies analyzers to a sequence of packages, carrying each
+// analyzer's exported facts from one package to the next. Packages
+// must be presented dependencies-first (Load returns them in that
+// order) for cross-package facts to be visible where they matter.
+type Runner struct {
+	sets map[string]*factSet
+}
+
+// NewRunner returns a Runner with empty fact stores.
+func NewRunner() *Runner {
+	return &Runner{sets: make(map[string]*factSet)}
+}
+
+// Run applies the analyzers to pkg. Diagnostics are collected only
+// from analyzers for which report returns true (report == nil keeps
+// everything); fact export happens regardless, so an out-of-scope
+// package still contributes facts that flag its in-scope callers.
+// Results are filtered by //spatialvet:ignore directives and sorted by
+// position.
+func (r *Runner) Run(pkg *Package, analyzers []*Analyzer, report func(name string) bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		fs, ok := r.sets[a.Name]
+		if !ok {
+			fs = newFactSet(a)
+			r.sets[a.Name] = fs
+		}
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			analyzer:  a,
+			facts:     fs,
+		}
+		name := a.Name
+		keep := report == nil || report(name)
+		pass.Report = func(d Diagnostic) {
+			if !keep {
+				return
+			}
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		if pass.factErr != nil {
+			return nil, pass.factErr
+		}
+	}
+	ignored := ignoreDirectives(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// FactKeys lists the object keys carrying facts for the named
+// analyzer, sorted. Intended for tests.
+func (r *Runner) FactKeys(analyzer string) []string {
+	fs, ok := r.sets[analyzer]
+	if !ok {
+		return nil
+	}
+	return fs.keys()
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	Tag string
+}
+
+func (*testFact) AFact() {}
+
+type otherFact struct{ N int }
+
+func (*otherFact) AFact() {}
+
+// fakeObj builds a package-level *types.Func for key tests.
+func fakeFunc(pkgPath, name string) *types.Func {
+	pkg := types.NewPackage(pkgPath, "p")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func fakeMethod(pkgPath, typeName, name string) *types.Func {
+	pkg := types.NewPackage(pkgPath, "p")
+	tn := types.NewTypeName(token.NoPos, pkg, typeName, nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	recv := types.NewVar(token.NoPos, pkg, "r", types.NewPointer(named))
+	sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func TestObjectKeyStability(t *testing.T) {
+	// The same function built twice (as source-check and export-data
+	// load would) must produce identical keys.
+	a1 := fakeFunc("repro/internal/catalog", "Analyze")
+	a2 := fakeFunc("repro/internal/catalog", "Analyze")
+	if ObjectKey(a1) == "" || ObjectKey(a1) != ObjectKey(a2) {
+		t.Fatalf("ObjectKey not stable: %q vs %q", ObjectKey(a1), ObjectKey(a2))
+	}
+	m := fakeMethod("repro/internal/catalog", "Catalog", "Analyze")
+	if got, want := ObjectKey(m), "repro/internal/catalog.Catalog.Analyze"; got != want {
+		t.Fatalf("method key = %q, want %q", got, want)
+	}
+	if ObjectKey(m) == ObjectKey(a1) {
+		t.Fatalf("method and function keys collide: %q", ObjectKey(m))
+	}
+	if ObjectKey(nil) != "" {
+		t.Fatalf("nil object key = %q, want empty", ObjectKey(nil))
+	}
+}
+
+func TestFactRoundTripThroughSerialization(t *testing.T) {
+	a := &Analyzer{Name: "test", FactTypes: []Fact{(*testFact)(nil), (*otherFact)(nil)}}
+	fs := newFactSet(a)
+	obj := fakeFunc("repro/internal/serve", "Estimate")
+
+	if err := fs.export("test", obj, &testFact{Tag: "reaches time.Now"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.export("test", obj, &otherFact{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Import through a fresh object with the same identity, as a
+	// dependent package's export-data view would present it.
+	var tf testFact
+	if !fs.importFact(fakeFunc("repro/internal/serve", "Estimate"), &tf) {
+		t.Fatal("fact not found through a distinct object with the same key")
+	}
+	if tf.Tag != "reaches time.Now" {
+		t.Fatalf("fact did not survive serialization: %+v", tf)
+	}
+	var of otherFact
+	if !fs.importFact(obj, &of) || of.N != 7 {
+		t.Fatalf("second fact type lost: %+v", of)
+	}
+
+	// A different function must not see the fact.
+	var miss testFact
+	if fs.importFact(fakeFunc("repro/internal/serve", "Other"), &miss) {
+		t.Fatal("fact leaked to an unrelated object")
+	}
+}
+
+func TestExportUndeclaredFactFails(t *testing.T) {
+	a := &Analyzer{Name: "test", FactTypes: []Fact{(*testFact)(nil)}}
+	fs := newFactSet(a)
+	if err := fs.export("test", fakeFunc("p", "F"), &otherFact{}); err == nil {
+		t.Fatal("exporting an undeclared fact type must fail")
+	}
+}
+
+func TestRunnerFactKeysSorted(t *testing.T) {
+	a := &Analyzer{Name: "test", FactTypes: []Fact{(*testFact)(nil)}}
+	r := NewRunner()
+	fs := newFactSet(a)
+	r.sets["test"] = fs
+	for _, name := range []string{"Zeta", "Alpha", "Mid"} {
+		if err := fs.export("test", fakeFunc("p", name), &testFact{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := r.FactKeys("test")
+	want := []string{"p.Alpha", "p.Mid", "p.Zeta"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}

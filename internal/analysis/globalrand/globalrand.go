@@ -6,12 +6,14 @@
 //
 // Constructors (rand.New, rand.NewSource, rand.NewZipf) and methods on
 // *rand.Rand are allowed; only the package-level sampling functions
-// that draw from the global source are flagged. The spatialvet driver
-// exempts cmd/ and examples/ packages, and test files are never
-// analyzed.
+// that draw from the global source are flagged. Bare references count
+// like calls: passing rand.Intn as a function value smuggles the
+// global source just as effectively. The spatialvet driver exempts
+// cmd/ and examples/ packages, and test files are never analyzed.
 package globalrand
 
 import (
+	"go/ast"
 	"go/types"
 
 	"repro/internal/analysis"
@@ -38,24 +40,31 @@ var globalFns = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	for id, obj := range pass.TypesInfo.Uses {
-		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil {
-			continue
-		}
-		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
-			continue
-		}
-		// Methods on *rand.Rand are the injected, reproducible path.
-		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-			continue
-		}
-		if !globalFns[fn.Name()] {
-			continue
-		}
-		pass.Reportf(id.Pos(),
-			"rand.%s draws from math/rand's global source; inject a seeded *rand.Rand for reproducibility",
-			fn.Name())
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(id).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are the injected, reproducible path.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if !globalFns[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"rand.%s draws from math/rand's global source; inject a seeded *rand.Rand for reproducibility",
+				fn.Name())
+			return true
+		})
 	}
 	return nil
 }

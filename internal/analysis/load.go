@@ -25,6 +25,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DepOnly marks a module-local package loaded only because a
+	// requested package depends on it: fact-propagating analyzers run
+	// over it (its facts flag callers in requested packages) but its
+	// own diagnostics are not reported.
+	DepOnly bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -83,18 +88,26 @@ func ModulePath(dir string) (string, error) {
 }
 
 // Loader parses and type-checks packages against compiler export data
-// produced by `go list -export`.
+// produced by `go list -export`, optionally chaining in packages it
+// already checked from source (multi-package fixtures).
 type Loader struct {
 	Fset *token.FileSet
 	// exports maps import paths to export-data files.
 	exports map[string]string
-	imp     types.Importer
+	// src maps import paths to already-source-checked packages, tried
+	// before export data so fixture packages can import one another.
+	src map[string]*types.Package
+	imp types.Importer
 }
 
 // NewLoader builds a loader resolving imports through the given
 // export-data map.
 func NewLoader(exports map[string]string) *Loader {
-	l := &Loader{Fset: token.NewFileSet(), exports: exports}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		exports: exports,
+		src:     make(map[string]*types.Package),
+	}
 	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := l.exports[path]
 		if !ok || file == "" {
@@ -104,6 +117,19 @@ func NewLoader(exports map[string]string) *Loader {
 	})
 	return l
 }
+
+// Import implements types.Importer: source-checked packages win, then
+// compiler export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.src[path]; ok {
+		return p, nil
+	}
+	return l.imp.Import(path)
+}
+
+// AddSource registers an already-checked package so later Check calls
+// can import it by path.
+func (l *Loader) AddSource(path string, p *types.Package) { l.src[path] = p }
 
 // Check parses the named files (relative to dir) and type-checks them
 // as the package with the given import path.
@@ -128,7 +154,7 @@ func (l *Loader) Check(path, dir string, fileNames []string) (*Package, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	cfg := &types.Config{Importer: l.imp}
+	cfg := &types.Config{Importer: l}
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
@@ -145,14 +171,21 @@ func (l *Loader) Check(path, dir string, fileNames []string) (*Package, error) {
 
 // Load lists the packages matching patterns below dir (the module
 // root; "" means the current directory), type-checks every non-stdlib
-// root match from source, and returns them sorted by import path.
-// Dependencies are resolved through export data, so only the analyzed
-// packages themselves are re-type-checked.
+// root match from source, and returns them in the `go list -deps`
+// order: dependencies strictly before dependents. Fact-propagating
+// analyzers rely on that order — a package's facts are always computed
+// before any package importing it is analyzed. Dependencies are
+// resolved through export data, so only the analyzed packages
+// themselves are re-type-checked.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := ModulePath(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +198,14 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	loader := NewLoader(exports)
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.Standard {
+		if p.Standard {
+			continue
+		}
+		// Module-local dependencies of the requested packages are
+		// source-checked too (DepOnly) so fact-propagating analyzers
+		// see the whole in-module call graph even under narrowed
+		// patterns; out-of-module deps stay export-data-only.
+		if p.DepOnly && p.ImportPath != modPath && !strings.HasPrefix(p.ImportPath, modPath+"/") {
 			continue
 		}
 		if len(p.CgoFiles) > 0 {
@@ -180,9 +220,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = p.DepOnly
 		out = append(out, pkg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }
 
@@ -190,35 +230,70 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // analyzer's testdata fixture) that imports only packages resolvable
 // by the go toolchain — the standard library for test fixtures.
 func LoadFixture(dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := LoadFixtureDirs(filepath.Dir(dir), filepath.Base(dir))
 	if err != nil {
 		return nil, err
 	}
-	var fileNames []string
+	return pkgs[0], nil
+}
+
+// fixtureFiles lists the .go files of one fixture directory and the
+// import paths they mention.
+func fixtureFiles(dir string) (files []string, imports map[string]bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			fileNames = append(fileNames, e.Name())
+			files = append(files, e.Name())
 		}
 	}
-	if len(fileNames) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
 	}
-	sort.Strings(fileNames)
-
-	// Discover the fixture's imports so their export data can be
-	// requested from the toolchain.
+	sort.Strings(files)
 	fset := token.NewFileSet()
-	imports := make(map[string]bool)
-	pkgName := ""
-	for _, name := range fileNames {
+	imports = make(map[string]bool)
+	for _, name := range files {
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	return files, imports, nil
+}
+
+// LoadFixtureDirs type-checks the named subdirectories of root as one
+// fixture package each, in the given order, with earlier packages
+// importable by later ones under their directory base name — the
+// multi-package shape fact-propagation tests need (package "a" defines
+// a helper, package "b" imports "a" and calls it). Non-sibling imports
+// resolve through toolchain export data; the packages are returned in
+// argument (dependency) order.
+func LoadFixtureDirs(root string, subdirs ...string) ([]*Package, error) {
+	if len(subdirs) == 0 {
+		return nil, fmt.Errorf("no fixture directories given")
+	}
+	sibling := make(map[string]bool, len(subdirs))
+	for _, sub := range subdirs {
+		sibling[filepath.Base(sub)] = true
+	}
+	files := make(map[string][]string, len(subdirs))
+	imports := make(map[string]bool)
+	for _, sub := range subdirs {
+		fs, imps, err := fixtureFiles(filepath.Join(root, sub))
 		if err != nil {
 			return nil, err
 		}
-		pkgName = f.Name.Name
-		for _, imp := range f.Imports {
-			p := strings.Trim(imp.Path.Value, `"`)
-			imports[p] = true
+		files[sub] = fs
+		for p := range imps {
+			if !sibling[p] {
+				imports[p] = true
+			}
 		}
 	}
 	patterns := make([]string, 0, len(imports))
@@ -229,7 +304,7 @@ func LoadFixture(dir string) (*Package, error) {
 
 	exports := make(map[string]string)
 	if len(patterns) > 0 {
-		listed, err := goList(dir, patterns...)
+		listed, err := goList(root, patterns...)
 		if err != nil {
 			return nil, err
 		}
@@ -239,5 +314,16 @@ func LoadFixture(dir string) (*Package, error) {
 			}
 		}
 	}
-	return NewLoader(exports).Check(pkgName, dir, fileNames)
+	loader := NewLoader(exports)
+	out := make([]*Package, 0, len(subdirs))
+	for _, sub := range subdirs {
+		path := filepath.Base(sub)
+		pkg, err := loader.Check(path, filepath.Join(root, sub), files[sub])
+		if err != nil {
+			return nil, err
+		}
+		loader.AddSource(path, pkg.Types)
+		out = append(out, pkg)
+	}
+	return out, nil
 }

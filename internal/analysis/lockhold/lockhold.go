@@ -1,0 +1,312 @@
+// Package lockhold extends locksafe with intra-function dataflow: it
+// flags blocking operations executed while a sync mutex is held — the
+// deadlock class the scatter-gather and circuit-breaker paths are most
+// exposed to. A channel send under a lock that the receiver needs to
+// acquire is a deadlock; a Clock.Sleep under a lock turns one slow
+// shard into a convoy.
+//
+// Blocking operations: channel send/receive (outside a select with a
+// default case), time.Sleep and Clock.Sleep-style method sleeps,
+// WaitGroup.Wait, net and net/http calls, and acquiring a second sync
+// lock (lock-ordering hazard). Cond.Wait is exempt — it releases its
+// mutex by design.
+//
+// Tracking is structural and in source order, like locksafe: a
+// mu.Lock() marks mu held until a mu.Unlock() statement appears;
+// `defer mu.Unlock()` keeps it held to function end (correctly — any
+// blocking call after it runs under the lock). Function literals are
+// not entered: their execution time is unknown. Intentional holds
+// (e.g. a probe that must serialize) use //spatialvet:ignore with a
+// reason.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockhold pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flag blocking operations (channel ops, sleeps, net calls, nested locks) while a mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			w := &walker{pass: pass, held: map[string]bool{}}
+			w.stmts(fd.Body.List)
+			return true
+		})
+	}
+	return nil
+}
+
+// walker carries the set of textually-held lock expressions through a
+// function body in source order.
+type walker struct {
+	pass *analysis.Pass
+	held map[string]bool
+}
+
+func (w *walker) holding() string {
+	// Deterministic pick for the message: the lexicographically first.
+	best := ""
+	for k := range w.held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.expr(st.Cond)
+		w.stmt(st.Body)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond)
+		}
+		w.stmt(st.Body)
+		if st.Post != nil {
+			w.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		// Ranging over a channel blocks per iteration.
+		if w.anyHeld() {
+			if t := w.pass.TypeOf(st.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					w.pass.Reportf(st.Pos(),
+						"range over a channel while %s is held; blocking receive under a lock risks deadlock",
+						w.holding())
+				}
+			}
+		}
+		w.expr(st.X)
+		w.stmt(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		// A select with a default case never blocks; without one, its
+		// communication clauses block like bare channel ops.
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && w.anyHeld() {
+			w.pass.Reportf(st.Pos(),
+				"select without default while %s is held; blocking communication under a lock risks deadlock",
+				w.holding())
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SendStmt:
+		if w.anyHeld() {
+			w.pass.Reportf(st.Pos(),
+				"channel send while %s is held; blocking send under a lock risks deadlock",
+				w.holding())
+		}
+		w.expr(st.Value)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps mu held to function end — by
+		// definition everything after runs under the lock, which is
+		// the convention; blocking ops after it still get flagged.
+		// Other deferred calls run at return time; skip.
+	case *ast.GoStmt:
+		// The spawned goroutine does not block this one.
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	}
+}
+
+// expr scans one expression in evaluation context: lock transitions,
+// blocking calls, channel receives. Function literals are not entered.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && w.anyHeld() {
+				w.pass.Reportf(x.Pos(),
+					"channel receive while %s is held; blocking receive under a lock risks deadlock",
+					w.holding())
+			}
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+// call classifies one call: lock transition, blocking operation, or
+// neither.
+func (w *walker) call(call *ast.CallExpr) {
+	fn := w.pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+
+	if fn.Pkg().Path() == "sync" && sel != nil {
+		root := types.ExprString(sel.X)
+		switch fn.Name() {
+		case "Lock", "RLock":
+			if w.anyHeld() && !w.held[root] {
+				w.pass.Reportf(call.Pos(),
+					"acquires %s.%s while %s is already held; nested sync acquisition risks lock-order deadlock",
+					root, fn.Name(), w.holding())
+			}
+			w.held[root] = true
+		case "Unlock", "RUnlock":
+			delete(w.held, root)
+		case "Wait":
+			// Cond.Wait releases its lock by design; WaitGroup.Wait
+			// blocks for other goroutines.
+			if w.anyHeld() && recvName(fn) == "WaitGroup" {
+				w.pass.Reportf(call.Pos(),
+					"WaitGroup.Wait while %s is held; waiting on other goroutines under a lock risks deadlock",
+					w.holding())
+			}
+		}
+		return
+	}
+
+	if !w.anyHeld() {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		w.pass.Reportf(call.Pos(),
+			"time.Sleep while %s is held; sleeping under a lock convoys every waiter", w.holding())
+	case fn.Name() == "Sleep" && sel != nil && isMethod(fn):
+		w.pass.Reportf(call.Pos(),
+			"%s.Sleep while %s is held; sleeping under a lock convoys every waiter",
+			types.ExprString(sel.X), w.holding())
+	case isNetBlocking(fn):
+		w.pass.Reportf(call.Pos(),
+			"%s.%s while %s is held; network I/O under a lock stalls every waiter on the peer",
+			fn.Pkg().Name(), fn.Name(), w.holding())
+	}
+}
+
+func (w *walker) anyHeld() bool { return len(w.held) > 0 }
+
+// netBlockingMethods are the net / net/http methods that wait on the
+// peer; Close and friends are teardown, not I/O.
+var netBlockingMethods = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+	"Read": true, "Write": true, "RoundTrip": true, "Accept": true,
+}
+
+// isNetBlocking reports whether fn is a network call that can block on
+// the wire: any package-level net / net/http function (Dial, Listen,
+// Get, …) or a known-blocking method of those packages.
+func isNetBlocking(fn *types.Func) bool {
+	p := fn.Pkg().Path()
+	if p != "net" && p != "net/http" {
+		return false
+	}
+	if !isMethod(fn) {
+		return true
+	}
+	return netBlockingMethods[fn.Name()]
+}
+
+// isMethod reports whether fn has a receiver.
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// recvName returns the receiver's named-type name, "" for functions.
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

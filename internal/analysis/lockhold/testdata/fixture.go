@@ -1,0 +1,125 @@
+// Fixture for the lockhold analyzer: blocking operations while a
+// mutex is held.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	wg    sync.WaitGroup
+	cond  *sync.Cond
+	ch    chan int
+	n     int
+}
+
+func (s *server) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while s.mu is held"
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) dialUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conn, err := net.Dial("tcp", "localhost:1") // want "net.Dial while s.mu is held"
+	if err == nil {
+		_ = conn.Close()
+	}
+}
+
+func (s *server) nestedLock() {
+	s.mu.Lock()
+	s.other.Lock() // want "acquires s.other.Lock while s.mu is already held"
+	s.n++
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) waitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want "WaitGroup.Wait while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while s.mu is held"
+	case v := <-s.ch:
+		s.n = v
+	}
+}
+
+// Non-blocking select under a lock is fine.
+func (s *server) trySendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// Blocking between critical sections is fine.
+func (s *server) sequential() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Cond.Wait releases its mutex by design.
+func (s *server) condWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+}
+
+// Reacquiring the same expression is a locksafe problem, not a
+// lockhold one (no second lock object involved).
+func (s *server) reLockSameExpr() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.n--
+	s.mu.Unlock()
+}
+
+// A goroutine launched under the lock does not block the holder.
+func (s *server) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func (s *server) intentionalHold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//spatialvet:ignore lockhold fixture exercises the ignore directive
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,187 @@
+// Package mapiter enforces the byte-identical-output contract: Go map
+// iteration order is deliberately randomized, so ranging over a map
+// while writing to an encoder, report, hash, or order-preserving slice
+// yields different bytes on every run — exactly the failure mode the
+// faultsim per-seed report equality and the Prometheus exposition
+// tests guard against.
+//
+// Flagged: a range over a map whose body (a) calls an order-sensitive
+// sink (Write/WriteString/Fprintf/Print/Encode/Sum/…), or (b) appends
+// to a slice declared outside the loop that is never passed to a
+// sort.* / slices.Sort* call later in the same function. The
+// collect-then-sort idiom — append keys, sort, range the slice — is
+// therefore clean, as are order-insensitive bodies (map writes,
+// counter sums, deletes).
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapiter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration feeding order-sensitive output without an intervening sort",
+	Run:  run,
+}
+
+// sinkNames are method/function names whose call order changes the
+// observable output.
+var sinkNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "EncodeToken": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+	"printf": true, // the repo's stickyWriter convention
+}
+
+// sortCalls recognize sort.* and slices.Sort* consumers.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) (sorted ast.Expr, ok bool) {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil, false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Strings", "Ints", "Float64s", "Sort", "Stable":
+			return call.Args[0], true
+		}
+	case "slices":
+		if strings.HasPrefix(fn.Name(), "Sort") {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fnBody := enclosingBody(n)
+			if fnBody == nil {
+				return true
+			}
+			ast.Inspect(fnBody, func(m ast.Node) bool {
+				rng, ok := m.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkRange(pass, fnBody, rng)
+				return true
+			})
+			return false // enclosingBody recursion handles nesting
+		})
+	}
+	return nil
+}
+
+// enclosingBody returns n's body when n declares a function.
+func enclosingBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkRange inspects one map-range statement inside fnBody.
+func checkRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Sink calls inside the body are order-sensitive, full stop.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		var name string
+		if ok {
+			name = sel.Sel.Name
+		} else if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+			name = id.Name
+		}
+		if sinkNames[name] {
+			pass.Reportf(call.Pos(),
+				"map iteration order is random: %s inside a range over a map emits nondeterministic output; collect keys and sort first",
+				name)
+		}
+		return true
+	})
+
+	// Appends to outer slices must be sorted after the loop.
+	appends := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(target)
+		if obj == nil || obj.Pos() == 0 {
+			return true
+		}
+		// Declared inside the loop body: rebuilt per iteration,
+		// order-irrelevant beyond the element level.
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			return true
+		}
+		if _, seen := appends[obj]; !seen {
+			appends[obj] = call
+		}
+		return true
+	})
+	if len(appends) == 0 {
+		return
+	}
+
+	// A later sort of the same slice object launders the order.
+	sortedObjs := map[types.Object]bool{}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if arg, ok := isSortCall(pass, call); ok {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					sortedObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj, call := range appends {
+		if !sortedObjs[obj] {
+			pass.Reportf(call.Pos(),
+				"map iteration order is random: %s accumulates it and is never sorted afterwards; sort %s (or the keys) before use",
+				obj.Name(), obj.Name())
+		}
+	}
+}

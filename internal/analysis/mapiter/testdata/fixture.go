@@ -1,0 +1,98 @@
+// Fixture for the mapiter analyzer: map ranges feeding
+// order-sensitive sinks are flagged; the collect-then-sort idiom and
+// order-insensitive bodies are clean.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func emitUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want "Fprintf inside a range over a map emits nondeterministic output"
+	}
+}
+
+func buildUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside a range over a map emits nondeterministic output"
+	}
+	return b.String()
+}
+
+func collectNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "keys accumulates it and is never sorted afterwards"
+	}
+	return keys
+}
+
+// collectThenSort is the blessed idiom.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSortSlice uses sort.Slice on struct elements.
+func collectThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Order-insensitive bodies: sums, map writes, deletes.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Per-iteration locals are rebuilt each pass and carry no cross-key
+// order.
+func perIterationLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// Ranging a slice is always fine, sinks and all.
+func sliceRange(keys []string) {
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}
+
+func ignoredEmit(m map[string]int) {
+	for k := range m {
+		//spatialvet:ignore mapiter fixture exercises the ignore directive
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,224 @@
+// Package nilrecv enforces the telemetry nil-receiver contract:
+// every exported pointer-receiver method on a type documented nil-safe
+// must begin with a nil-receiver guard before any receiver field
+// access. Instrumented code calls metric methods unconditionally —
+// `counter.Inc()` on a nil *Counter must be a no-op, never a panic —
+// so a missing guard turns "telemetry disabled" into a crash in the
+// serving path.
+//
+// A type is under the contract when:
+//   - its package path ends in internal/telemetry (the whole package
+//     declares the no-op-on-nil contract in its doc), or
+//   - its declaration carries a `//spatialvet:nilsafe` directive, or
+//   - its doc comment contains "nil-safe" or "no-op on a nil receiver".
+//
+// Methods that never touch receiver state (pure delegations like
+// `func (c *Counter) Inc() { c.Add(1) }`) need no guard: calling a
+// method on a nil pointer is legal; dereferencing a field is not.
+// Contract types additionally export a NilSafe fact so future
+// analyzers can reason about the contract across packages.
+package nilrecv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NilSafe marks a type whose pointer-receiver methods promise no-op
+// behavior on a nil receiver.
+type NilSafe struct{}
+
+// AFact marks NilSafe as a fact type.
+func (*NilSafe) AFact() {}
+
+// Analyzer is the nilrecv pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nilrecv",
+	Doc:       "flag exported methods on nil-safe types lacking a nil-receiver guard before field access",
+	FactTypes: []analysis.Fact{(*NilSafe)(nil)},
+	Run:       run,
+}
+
+// contractPackage reports whether every exported type of the package
+// is under the nil-safe contract.
+func contractPackage(path string) bool {
+	return path == "internal/telemetry" || strings.HasSuffix(path, "/internal/telemetry")
+}
+
+// docMarkers are the doc-comment phrasings that opt a type into the
+// contract. Deliberately positive statements only — "is not nil-safe"
+// must not match — so the wording asserts the behavior, not the topic.
+var docMarkers = []string{
+	"no-op on a nil receiver",
+	"no-ops on a nil receiver",
+	"no-op on nil receivers",
+	"nil receiver is a no-op",
+}
+
+// nilSafeColonRe matches "X is nil-safe:" style contract declarations.
+var nilSafeColonRe = regexp.MustCompile(`(?i)\bis nil-safe\b|\bnil \*?\w+ is a no-op\b`)
+
+func run(pass *analysis.Pass) error {
+	safe := make(map[*types.TypeName]bool)
+
+	// Phase 1: find contract types from package scope, directives and
+	// doc comments.
+	wholePkg := contractPackage(pass.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, _ := pass.ObjectOf(ts.Name).(*types.TypeName)
+				if obj == nil {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if (wholePkg && obj.Exported()) || markedNilSafe(doc) {
+					safe[obj] = true
+					pass.ExportObjectFact(obj, &NilSafe{})
+				}
+			}
+		}
+	}
+	if len(safe) == 0 {
+		return nil
+	}
+
+	// Phase 2: check every exported pointer-receiver method on a
+	// contract type.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, tn := receiver(pass, fd)
+			if tn == nil || !safe[tn] || recvName == "" || recvName == "_" {
+				continue
+			}
+			checkMethod(pass, fd, recvName, tn)
+		}
+	}
+	return nil
+}
+
+// markedNilSafe reports whether the doc comment opts the type into the
+// contract.
+func markedNilSafe(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "spatialvet:nilsafe") {
+			return true
+		}
+	}
+	lower := strings.ToLower(doc.Text())
+	for _, m := range docMarkers {
+		if strings.Contains(lower, m) {
+			return true
+		}
+	}
+	return nilSafeColonRe.MatchString(doc.Text())
+}
+
+// receiver resolves the method's receiver variable name and the named
+// type it points to; tn is nil for value receivers.
+func receiver(pass *analysis.Pass, fd *ast.FuncDecl) (string, *types.TypeName) {
+	if len(fd.Recv.List) != 1 {
+		return "", nil
+	}
+	field := fd.Recv.List[0]
+	ptr, ok := pass.TypeOf(field.Type).(*types.Pointer)
+	if !ok {
+		return "", nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	name := ""
+	if len(field.Names) == 1 {
+		name = field.Names[0].Name
+	}
+	return name, named.Obj()
+}
+
+// checkMethod verifies the first receiver field access is preceded by
+// a `recv == nil` comparison.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, recvName string, tn *types.TypeName) {
+	guardPos := token.Pos(-1)
+	var firstField token.Pos = -1
+	var firstFieldName string
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.EQL || e.Op == token.NEQ {
+				if isRecvIdent(pass, e.X, recvName) && isNil(pass, e.Y) ||
+					isRecvIdent(pass, e.Y, recvName) && isNil(pass, e.X) {
+					if guardPos < 0 || e.Pos() < guardPos {
+						guardPos = e.Pos()
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if !isRecvIdent(pass, e.X, recvName) {
+				return true
+			}
+			if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if firstField < 0 || e.Pos() < firstField {
+					firstField = e.Pos()
+					firstFieldName = e.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+
+	if firstField < 0 {
+		return // no receiver state touched; nil is trivially safe
+	}
+	if guardPos >= 0 && guardPos < firstField {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"exported method (*%s).%s on a nil-safe type accesses %s.%s without a leading nil-receiver guard",
+		tn.Name(), fd.Name.Name, recvName, firstFieldName)
+}
+
+// isRecvIdent reports whether e is the receiver identifier.
+func isRecvIdent(pass *analysis.Pass, e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	return ok && v != nil
+}
+
+// isNil reports whether e is the untyped nil.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}

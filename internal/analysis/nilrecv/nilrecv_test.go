@@ -1,0 +1,12 @@
+package nilrecv_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nilrecv"
+)
+
+func TestNilRecv(t *testing.T) {
+	analysistest.Run(t, nilrecv.Analyzer, "testdata")
+}

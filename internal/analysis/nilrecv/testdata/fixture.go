@@ -1,0 +1,78 @@
+// Fixture for the nilrecv analyzer: nil-safe contract types must
+// guard their exported pointer-receiver methods before touching
+// fields.
+package fixture
+
+import "sync/atomic"
+
+// Counter is nil-safe: all methods are no-ops on a nil receiver.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add guards first: fine.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Inc delegates to a guarded method without touching fields: fine.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value forgets the guard.
+func (c *Counter) Value() uint64 { // want "accesses c.n without a leading nil-receiver guard"
+	return c.n.Load()
+}
+
+//spatialvet:nilsafe
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set guards with an inverted comparison: fine.
+func (g *Gauge) Set(v int64) {
+	if nil == g {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Bump reads the field before the guard.
+func (g *Gauge) Bump() { // want "accesses g.v without a leading nil-receiver guard"
+	g.v.Add(1)
+	if g == nil {
+		return
+	}
+}
+
+// unexported methods are outside the contract (callers inside the
+// package know what they hold).
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// Plain is not documented nil-safe; no guards required.
+type Plain struct {
+	x int
+}
+
+func (p *Plain) X() int { return p.x }
+
+// Sample is nil-safe but uses a value receiver for a read-only view;
+// value receivers are out of scope (the nil pointer is dereferenced at
+// the call site, not in the method).
+type Sample struct {
+	v int
+}
+
+func (s Sample) V() int { return s.v }
+
+// Sink is nil-safe; Drop is ignored with a reason.
+type Sink struct {
+	buf []byte
+}
+
+//spatialvet:ignore nilrecv fixture exercises the ignore directive
+func (s *Sink) Drop(b []byte) {
+	s.buf = append(s.buf, b...)
+}

@@ -1,0 +1,52 @@
+// Fixture for the walltime analyzer: direct wall-clock calls, same
+// package transitivity (direct site flagged once, callers not
+// re-flagged), and the ignore directive.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func directNow() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func directSleep() {
+	time.Sleep(time.Second) // want "time.Sleep reads the wall clock"
+}
+
+func directSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func directTimer() *time.Timer {
+	return time.NewTimer(time.Minute) // want "time.NewTimer reads the wall clock"
+}
+
+func directCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // want "context.WithTimeout reads the wall clock"
+}
+
+// transitiveCaller calls directNow; the direct site above is already
+// flagged, so this same-package call is not re-reported.
+func transitiveCaller() time.Time {
+	return directNow()
+}
+
+// Durations and formatting do not read the clock.
+func pureTime(t time.Time) string {
+	d := 3 * time.Second
+	_ = d
+	return t.Format(time.RFC3339)
+}
+
+// Methods on time.Time are not leaves.
+func timeMath(t time.Time) time.Time {
+	return t.Add(time.Hour)
+}
+
+func ignored() time.Time {
+	//spatialvet:ignore walltime fixture exercises the ignore directive
+	return time.Now()
+}

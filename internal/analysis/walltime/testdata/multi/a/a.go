@@ -1,0 +1,19 @@
+// Package a is the upstream half of the fact-propagation fixture: its
+// exported Deep reaches time.Now only through an unexported helper, so
+// only the fact mechanism can tell a caller in another package.
+package a
+
+import "time"
+
+func helper() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Deep reaches the wall clock transitively; the exported fact carries
+// the chain a.Deep -> a.helper -> time.Now.
+func Deep() time.Time {
+	return helper()
+}
+
+// Pure never touches the clock; no fact, no finding at call sites.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,14 @@
+// Package b imports a and calls its transitively-wall-clocked Deep:
+// the diagnostic must fire here, in the calling package, with the full
+// call chain recovered from the serialized fact.
+package b
+
+import "a"
+
+func UsesDeep() interface{} {
+	return a.Deep() // want "call to a.Deep reaches time.Now .a.Deep -> a.helper -> time.Now."
+}
+
+func UsesPure() int {
+	return a.Pure(21)
+}

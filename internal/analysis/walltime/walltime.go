@@ -1,0 +1,271 @@
+// Package walltime enforces the determinism contract from the vclock
+// work: the serving stack (serve, shard, resilience, faultsim,
+// catalog) must read time only through an injected vclock.Clock, never
+// from the wall clock. One stray time.Now() silently breaks
+// seed-deterministic faultsim replay — the reports stop being
+// byte-identical per seed and every invariant check loses its
+// reproduction value.
+//
+// The analyzer is transitive: it exports a ReachesWallTime fact on
+// every function that directly or indirectly reaches a wall-clock
+// primitive (time.Now/Sleep/After/Tick/NewTimer/NewTicker/AfterFunc/
+// Since/Until, context.WithTimeout/WithDeadline), and flags both
+// direct calls and calls into fact-bearing functions of other
+// packages, printing the full call chain. internal/vclock is the
+// blessed wrapper and internal/telemetry is observability-only (its
+// wall-clock latency observations never feed replayed output), so
+// neither exports facts nor is flagged.
+//
+// The spatialvet driver reports walltime findings only in the
+// contract packages; everywhere else the analyzer runs silently to
+// keep the fact graph complete.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ReachesWallTime marks a function from which a wall-clock primitive
+// is reachable without passing through internal/vclock.
+type ReachesWallTime struct {
+	// Leaf is the wall-clock primitive reached, e.g. "time.Now".
+	Leaf string
+	// Chain is the call path from the annotated function to the leaf,
+	// e.g. ["a.Deep", "a.helper", "time.Now"].
+	Chain []string
+}
+
+// AFact marks ReachesWallTime as a fact type.
+func (*ReachesWallTime) AFact() {}
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "walltime",
+	Doc:       "flag paths that reach wall-clock time without going through vclock.Clock",
+	FactTypes: []analysis.Fact{(*ReachesWallTime)(nil)},
+	Run:       run,
+}
+
+// leaves are the wall-clock primitives, keyed by package path then
+// function name.
+var leaves = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Sleep": true, "After": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+		"Since": true, "Until": true,
+	},
+	"context": {
+		"WithTimeout": true, "WithDeadline": true,
+	},
+}
+
+// exemptSuffixes are packages allowed to touch the wall clock: vclock
+// is the injection seam itself, telemetry is observability-only.
+var exemptSuffixes = []string{"internal/vclock", "internal/telemetry"}
+
+func exempt(path string) bool {
+	for _, s := range exemptSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcInfo accumulates what one function body reaches.
+type funcInfo struct {
+	obj *types.Func
+	// directLeaf is the first wall-clock primitive called directly.
+	directLeaf string
+	// samePkg are statically-resolved callees declared in this package.
+	samePkg []*types.Func
+	// importedFact is the first cross-package fact-bearing callee's fact.
+	importedFact *ReachesWallTime
+	// reach is the computed fact, nil until known.
+	reach *ReachesWallTime
+}
+
+func run(pass *analysis.Pass) error {
+	if exempt(pass.Path()) {
+		return nil
+	}
+
+	infos := make(map[*types.Func]*funcInfo)
+	var order []*funcInfo
+
+	// Pass 1: collect per-function direct reachability.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.ObjectOf(fd.Name).(*types.Func)
+			if obj == nil {
+				continue
+			}
+			info := &funcInfo{obj: obj}
+			infos[obj] = info
+			order = append(order, info)
+			collect(pass, fd.Body, info)
+		}
+	}
+
+	// Pass 2: fixpoint over same-package call edges. Iteration is
+	// deterministic: functions in declaration order, repeated until no
+	// fact changes.
+	for changed := true; changed; {
+		changed = false
+		for _, info := range order {
+			if info.reach != nil {
+				continue
+			}
+			if info.directLeaf != "" {
+				info.reach = &ReachesWallTime{
+					Leaf:  info.directLeaf,
+					Chain: []string{qualName(info.obj), info.directLeaf},
+				}
+				changed = true
+				continue
+			}
+			if info.importedFact != nil {
+				info.reach = &ReachesWallTime{
+					Leaf:  info.importedFact.Leaf,
+					Chain: append([]string{qualName(info.obj)}, info.importedFact.Chain...),
+				}
+				changed = true
+				continue
+			}
+			for _, callee := range info.samePkg {
+				ci := infos[callee]
+				if ci != nil && ci.reach != nil {
+					info.reach = &ReachesWallTime{
+						Leaf:  ci.reach.Leaf,
+						Chain: append([]string{qualName(info.obj)}, ci.reach.Chain...),
+					}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export facts so downstream packages see through this one.
+	for _, info := range order {
+		if info.reach != nil {
+			pass.ExportObjectFact(info.obj, info.reach)
+		}
+	}
+
+	// Pass 3: report. Direct leaf calls are reported at their call
+	// site; calls into fact-bearing functions of *other* packages are
+	// reported with the full chain (intra-package transitive callers
+	// are not re-reported — the direct site already is).
+	report(pass)
+	return nil
+}
+
+// collect records the wall-clock-relevant calls under body.
+func collect(pass *analysis.Pass, body ast.Node, info *funcInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case isLeaf(fn):
+			if info.directLeaf == "" {
+				info.directLeaf = qualName(fn)
+			}
+		case fn.Pkg() == pass.Pkg:
+			info.samePkg = append(info.samePkg, fn)
+		case !exempt(fn.Pkg().Path()):
+			if info.importedFact == nil {
+				var fact ReachesWallTime
+				if pass.ImportObjectFact(fn, &fact) {
+					info.importedFact = &fact
+				}
+			}
+		}
+		return true
+	})
+}
+
+// report emits one diagnostic per offending call site.
+func report(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if isLeaf(fn) {
+				pass.Reportf(call.Pos(),
+					"%s reads the wall clock; inject vclock.Clock so faultsim replay stays seed-deterministic",
+					qualName(fn))
+				return true
+			}
+			if fn.Pkg() == pass.Pkg || exempt(fn.Pkg().Path()) {
+				return true
+			}
+			var fact ReachesWallTime
+			if pass.ImportObjectFact(fn, &fact) {
+				pass.Reportf(call.Pos(),
+					"call to %s reaches %s (%s); thread a vclock.Clock through it",
+					qualName(fn), fact.Leaf, strings.Join(fact.Chain, " -> "))
+			}
+			return true
+		})
+	}
+}
+
+// isLeaf reports whether fn is a wall-clock primitive.
+func isLeaf(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	names := leaves[fn.Pkg().Path()]
+	if names == nil || !names[fn.Name()] {
+		return false
+	}
+	// Methods (e.g. time.Time.Sub) are not leaves; only the
+	// package-level clock readers are.
+	sig, _ := fn.Type().(*types.Signature)
+	return sig == nil || sig.Recv() == nil
+}
+
+// qualName renders "pkg.Func" with the package's base path element —
+// short enough for a message, unique enough for a chain.
+func qualName(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name()
+	}
+	path := pkg.Path()
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return path + "." + name
+}

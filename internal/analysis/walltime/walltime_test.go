@@ -1,0 +1,19 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, walltime.Analyzer, "testdata")
+}
+
+// TestWalltimeFactsAcrossPackages is the fact-mechanism end-to-end
+// test: package a's transitive wall-clock reachability must flag the
+// call site in package b with the full chain in the message.
+func TestWalltimeFactsAcrossPackages(t *testing.T) {
+	analysistest.RunDirs(t, walltime.Analyzer, "testdata", "multi/a", "multi/b")
+}

@@ -16,12 +16,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
 // Config sets the catalog's statistics policy.
@@ -36,6 +36,10 @@ type Config struct {
 	// RebuildAt is the staleness fraction above which Stale reports
 	// a rebuild is due. Default 0.2.
 	RebuildAt float64
+	// Clock times ANALYZE builds for telemetry. Default vclock.Real();
+	// faultsim injects its Sim clock so build-duration observations are
+	// replay-deterministic.
+	Clock vclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +51,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RebuildAt == 0 {
 		c.RebuildAt = 0.2
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
 	}
 	return c
 }
@@ -142,7 +149,7 @@ func (c *Catalog) AnalyzeContext(ctx context.Context, name string, d *dataset.Di
 	if enabled {
 		tr = &telemetry.BuildTrace{}
 	}
-	start := time.Now()
+	start := c.cfg.Clock.Now()
 	type buildResult struct {
 		hist *core.BucketEstimator
 		err  error
@@ -174,7 +181,7 @@ func (c *Catalog) AnalyzeContext(ctx context.Context, name string, d *dataset.Di
 	if tr != nil {
 		c.traces[name] = tr
 	}
-	c.analyzeSeconds.ObserveSince(start)
+	c.analyzeSeconds.Observe(c.cfg.Clock.Since(start).Seconds())
 	c.analyzes.Inc()
 	c.buildSplits.Add(uint64(tr.Splits()))
 	c.histograms.Set(float64(len(c.stats)))

@@ -457,6 +457,7 @@ func (st *runState) driveClock(runCancel context.CancelFunc, stop, done chan str
 	const quantum = time.Millisecond
 	const watchdog = 10 * time.Second // real time; only reached on failure
 	lastCount := int64(-1)
+	//spatialvet:ignore walltime the watchdog must read real time: it detects runs where virtual time itself is wedged
 	lastProgress := time.Now()
 	idle := 0
 	for {
@@ -467,11 +468,13 @@ func (st *runState) driveClock(runCancel context.CancelFunc, stop, done chan str
 		}
 		if c := st.completed.Load(); c != lastCount {
 			lastCount = c
+			//spatialvet:ignore walltime watchdog progress stamp; deliberately real time
 			lastProgress = time.Now()
 			idle = 0
 			runtime.Gosched()
 			continue
 		}
+		//spatialvet:ignore walltime watchdog expiry check; deliberately real time
 		if time.Since(lastProgress) > watchdog {
 			st.mu.Lock()
 			st.violations = append(st.violations, Violation{
@@ -481,6 +484,7 @@ func (st *runState) driveClock(runCancel context.CancelFunc, stop, done chan str
 			})
 			st.mu.Unlock()
 			runCancel()
+			//spatialvet:ignore walltime watchdog re-arm; deliberately real time
 			lastProgress = time.Now() // let cancellation drain before re-firing
 		}
 		idle++
@@ -524,6 +528,7 @@ func (st *runState) checkShutdown() {
 		_ = resp.Body.Close() // probe request; body unused, close error uninteresting
 	}
 
+	//spatialvet:ignore walltime real HTTP drain deadline: the shutdown probe runs against a real listener with no clock driver
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := st.srv.Shutdown(ctx); err != nil {

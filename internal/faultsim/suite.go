@@ -28,9 +28,15 @@ func noResilience() resilience.Config {
 }
 
 // Suite returns the standard scenario set, from a fault-free baseline
-// through a combined chaos run. Every scenario is deterministic in
-// (scenario, seed); CI runs the full suite under -race for several
-// fixed seeds (see cmd/faultsim and the Makefile faultsim target).
+// through a combined chaos run. Every injection decision and invariant
+// verdict is deterministic in (scenario, seed); the aggregate counters
+// of a multi-worker scenario (sheds under queue contention, TTL cache
+// hits, virtual elapsed) additionally depend on goroutine scheduling,
+// so byte-identical reports are guaranteed only for Workers == 1 —
+// `cmd/faultsim -sequential` forces that, and CI's determinism job
+// diffs two such runs. The full concurrent suite runs under -race for
+// several fixed seeds (see cmd/faultsim and the Makefile faultsim
+// target).
 func Suite() []Scenario {
 	return []Scenario{
 		{

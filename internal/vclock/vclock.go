@@ -131,6 +131,7 @@ func (s *Sim) schedule(d time.Duration, ch chan time.Time, fn func()) *simEvent 
 	if d <= 0 && ch != nil {
 		// Already due: deliver without waiting for a driver tick.
 		ev.done = true
+		//spatialvet:ignore lockhold send on a fresh 1-buffered channel with no other sender; cannot block
 		ch <- s.now // buffered, never blocks
 		return ev
 	}

@@ -25,8 +25,8 @@ import (
 type resilienceBenchRow struct {
 	Scenario  string  `json:"scenario"`
 	Hedging   bool    `json:"hedging"`
-	P50Ms     float64 `json:"p50_ms"`  // virtual-time median request latency
-	P99Ms     float64 `json:"p99_ms"`  // virtual-time tail request latency
+	P50Ms     float64 `json:"p50_ms"` // virtual-time median request latency
+	P99Ms     float64 `json:"p99_ms"` // virtual-time tail request latency
 	Hedges    int64   `json:"hedges"`
 	HedgeWins int64   `json:"hedge_wins"`
 	NsPerOp   float64 `json:"ns_per_op"` // real time per full scenario replay

@@ -12,6 +12,8 @@
 //	faultsim -scenario chaos -seed 99 # one scenario, one seed
 //	faultsim -sequential              # Workers=1: byte-reproducible reports
 //	faultsim -o report.json           # write the JSON report to a file
+//	faultsim -trace-out spans.ndjson  # dump every run's span trees (NDJSON)
+//	faultsim -query-log qlog.ndjson   # dump every run's query log (NDJSON)
 //	faultsim -list                    # list scenarios and exit
 //
 // Exit status is non-zero if any scenario run violates an invariant —
@@ -28,9 +30,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -60,6 +64,8 @@ func main() {
 		list     = flag.Bool("list", false, "list scenarios and exit")
 		verbose  = flag.Bool("v", false, "print a progress line per run to stderr")
 		seq      = flag.Bool("sequential", false, "force Workers=1 for schedule-free, byte-reproducible reports")
+		traceOut = flag.String("trace-out", "", "write every run's retained span trees to this NDJSON file")
+		queryLog = flag.String("query-log", "", "write every run's query log to this NDJSON file")
 	)
 	flag.Parse()
 
@@ -93,11 +99,17 @@ func main() {
 		}
 	}
 
+	// The observability sinks collect across every (seed, scenario)
+	// run; under -sequential their bytes are a pure function of the
+	// invocation, so CI diffs them alongside the report.
+	traceW, closeTraces := openSink(*traceOut)
+	qlogW, closeQlog := openSink(*queryLog)
+
 	start := time.Now()
 	rep := suiteReport{Suite: "faultsim", Seeds: seeds, Passed: true}
 	for _, s := range seeds {
 		for _, sc := range scenarios {
-			r, err := faultsim.Run(sc, s)
+			r, err := faultsim.RunTraced(sc, s, traceW, qlogW)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "faultsim: %s seed=%d: %v\n", sc.Name, s, err)
 				os.Exit(1)
@@ -122,6 +134,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "faultsim: suite elapsed %s\n",
 			time.Since(start).Round(time.Millisecond))
 	}
+	closeTraces()
+	closeQlog()
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -138,6 +152,32 @@ func main() {
 		os.Stdout.Write(raw)
 	}
 	if !rep.Passed {
+		os.Exit(1)
+	}
+}
+
+// openSink opens a buffered NDJSON output file, returning a nil
+// writer (observability disabled) for the empty path. The returned
+// close function flushes and closes; failures are fatal — a truncated
+// artifact would silently break the determinism diff.
+func openSink(path string) (io.Writer, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+	bw := bufio.NewWriter(f)
+	return bw, func() {
+		if err := bw.Flush(); err == nil {
+			err = f.Close()
+			if err == nil {
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "faultsim: close %s: flush/close failed\n", path)
 		os.Exit(1)
 	}
 }

@@ -18,7 +18,12 @@
 // -shards > 1 additionally builds sharded statistics at each ANALYZE
 // so /estimate scatter-gathers them with circuit breakers, retries,
 // hedged shard calls and ladder-based graceful degradation
-// (tunable via -ladder-rungs, -no-resilience).
+// (tunable via -ladder-rungs, -no-resilience). The service always
+// records request-scoped span traces into a ring served on
+// /debug/traces (size tunable via -trace-ring), and -query-log
+// additionally appends one NDJSON record per request to a file —
+// replayable against candidate statistics once ground truth is joined
+// (see the REPL's querylog-join command).
 //
 // SIGINT and SIGTERM shut both HTTP servers down gracefully before the
 // process exits; statistics are persisted (with -stats) either way.
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/reqtrace"
 	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -60,6 +66,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "build sharded statistics with this many shards at ANALYZE (0 or 1 = monolithic)")
 		ladderRungs = flag.Int("ladder-rungs", 0, "coarser Min-Skew fallback summaries per shard for degraded answers (0 = default)")
 		noResil     = flag.Bool("no-resilience", false, "disable circuit breakers, retries and hedged shard calls in the sharded tier")
+		traceRing   = flag.Int("trace-ring", 256, "request traces retained for /debug/traces (with -serve-addr)")
+		queryLog    = flag.String("query-log", "", "append one NDJSON record per /estimate request to this file (with -serve-addr)")
 	)
 	flag.Parse()
 
@@ -96,14 +104,24 @@ func main() {
 	}
 
 	var estSrv *serve.Server
+	var qlog *reqtrace.QueryLog
 	if *serveAddr != "" {
 		ln, err := net.Listen("tcp", *serveAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spatialdb: serve listener: %v\n", err)
 			os.Exit(1)
 		}
+		if *queryLog != "" {
+			qlog, err = reqtrace.OpenQueryLog(*queryLog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spatialdb: query log: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		tracer := reqtrace.New(reqtrace.Config{Ring: *traceRing, QueryLog: qlog})
+		tracer.EnableTelemetry(reg)
 		fmt.Fprintf(os.Stderr, "spatialdb: estimation API on http://%s/estimate\n", ln.Addr())
-		estSrv = serve.New(db, serve.Config{})
+		estSrv = serve.New(db, serve.Config{Tracer: tracer})
 		estSrv.EnableTelemetry(reg)
 		go func() {
 			if err := estSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -150,6 +168,18 @@ func main() {
 	if metricsSrv != nil {
 		if err := metricsSrv.Shutdown(grace); err != nil {
 			fmt.Fprintf(os.Stderr, "spatialdb: metrics shutdown: %v\n", err)
+		}
+	}
+	if qlog != nil {
+		// Surface a latched write error now — a silently truncated query
+		// log would be unreplayable.
+		if err := qlog.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: query log: %v\n", err)
+			exit = 1
+		}
+		if err := qlog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: query log close: %v\n", err)
+			exit = 1
 		}
 	}
 

@@ -89,7 +89,7 @@ func numericCore(rel string) bool {
 func determinismCore(rel string) bool {
 	switch rel {
 	case "internal/serve", "internal/shard", "internal/resilience",
-		"internal/faultsim", "internal/catalog":
+		"internal/faultsim", "internal/catalog", "internal/reqtrace":
 		return true
 	}
 	return false

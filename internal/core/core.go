@@ -114,11 +114,31 @@ func NewBucketEstimator(name string, buckets []Bucket) *BucketEstimator {
 
 // Estimate implements Estimator.
 func (e *BucketEstimator) Estimate(q geom.Rect) float64 {
-	var total float64
-	for _, b := range e.buckets {
-		total += b.Estimate(q)
-	}
+	total, _ := e.EstimateStats(q)
 	return total
+}
+
+// WalkStats describes one histogram walk for trace attribution: how
+// many buckets were examined and how many actually contributed to the
+// estimate.
+type WalkStats struct {
+	Buckets      int
+	Contributing int
+}
+
+// EstimateStats is Estimate plus the walk statistics the request
+// tracer attaches to its core.walk span.
+func (e *BucketEstimator) EstimateStats(q geom.Rect) (float64, WalkStats) {
+	var total float64
+	st := WalkStats{Buckets: len(e.buckets)}
+	for _, b := range e.buckets {
+		c := b.Estimate(q)
+		if c > 0 {
+			st.Contributing++
+		}
+		total += c
+	}
+	return total, st
 }
 
 // Name implements Estimator.

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestEstimateStats pins the walk-statistics contract the request
+// tracer depends on: EstimateStats returns the exact Estimate total,
+// Buckets counts every bucket walked, and Contributing counts only
+// those with a positive contribution.
+func TestEstimateStats(t *testing.T) {
+	e := NewBucketEstimator("test", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 100, AvgW: 1, AvgH: 1, AvgDensity: 1},
+		{Box: geom.NewRect(20, 0, 30, 10), Count: 50, AvgW: 1, AvgH: 1, AvgDensity: 0.5},
+		{Box: geom.NewRect(40, 0, 50, 10), Count: 0},
+	})
+
+	q := geom.NewRect(0, 0, 12, 12) // overlaps bucket 0 only
+	total, st := e.EstimateStats(q)
+	if got := e.Estimate(q); got != total {
+		t.Fatalf("Estimate %g != EstimateStats total %g", got, total)
+	}
+	if st.Buckets != 3 {
+		t.Errorf("Buckets = %d, want 3", st.Buckets)
+	}
+	if st.Contributing != 1 {
+		t.Errorf("Contributing = %d, want 1 (one overlapped bucket)", st.Contributing)
+	}
+
+	q = geom.NewRect(0, 0, 50, 10) // overlaps buckets 0 and 1; 2 is empty
+	total, st = e.EstimateStats(q)
+	if total <= 0 {
+		t.Fatalf("total = %g", total)
+	}
+	if st.Contributing != 2 {
+		t.Errorf("Contributing = %d, want 2 (empty bucket contributes zero)", st.Contributing)
+	}
+
+	q = geom.NewRect(100, 100, 110, 110) // disjoint from everything
+	total, st = e.EstimateStats(q)
+	if total != 0 || st.Contributing != 0 {
+		t.Errorf("disjoint query: total %g contributing %d, want 0/0", total, st.Contributing)
+	}
+}

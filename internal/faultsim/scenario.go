@@ -1,20 +1,25 @@
 package faultsim
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/reqtrace"
 	"repro/internal/resilience"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -218,6 +223,13 @@ type Report struct {
 
 	SimElapsedMillis int64 `json:"sim_elapsed_millis"`
 
+	// Request-trace accounting: how many span trees the ring retained,
+	// how many the slow/degraded sampler kept, and how many records the
+	// deterministic query log wrote.
+	TracesRetained  int   `json:"traces_retained"`
+	TracesSampled   int   `json:"traces_sampled"`
+	QueryLogRecords int64 `json:"query_log_records"`
+
 	InvariantsChecked []string    `json:"invariants_checked"`
 	Violations        []Violation `json:"violations"`
 	Passed            bool        `json:"passed"`
@@ -237,12 +249,16 @@ type runState struct {
 	sc      Scenario
 	seed    int64
 	sim     *vclock.Sim
+	dist    *dataset.Distribution
 	queries []geom.Rect
 	refs    []float64
 	backend *CatalogBackend
 	inj     *Injector
 	srv     *serve.Server
 	reg     *telemetry.Registry
+	tracer  *reqtrace.Tracer
+	qlog    *reqtrace.QueryLog
+	qlogBuf *bytes.Buffer
 
 	mu       sync.Mutex
 	outcomes []outcome
@@ -279,6 +295,29 @@ func Run(sc Scenario, seed int64) (Report, error) {
 	return st.report, nil
 }
 
+// RunTraced is Run plus the run's observability artifacts: the
+// retained span trees as NDJSON on traceOut and the deterministic
+// query log on qlogOut (either may be nil). Under Workers == 1 both
+// artifacts are byte-identical across runs of the same scenario and
+// seed — the CI determinism gate diffs them.
+func RunTraced(sc Scenario, seed int64, traceOut, qlogOut io.Writer) (Report, error) {
+	st, err := run(sc, seed)
+	if err != nil {
+		return Report{}, err
+	}
+	if traceOut != nil {
+		if err := reqtrace.WriteNDJSON(traceOut, st.tracer.Recent()); err != nil {
+			return st.report, fmt.Errorf("faultsim: write traces: %w", err)
+		}
+	}
+	if qlogOut != nil {
+		if _, err := qlogOut.Write(st.qlogBuf.Bytes()); err != nil {
+			return st.report, fmt.Errorf("faultsim: write query log: %w", err)
+		}
+	}
+	return st.report, nil
+}
+
 // run is Run with the whole run state exposed, so the harness's own
 // tests can assert on per-round outcomes, not just the report totals.
 func run(sc Scenario, seed int64) (*runState, error) {
@@ -298,6 +337,7 @@ func run(sc Scenario, seed int64) (*runState, error) {
 	st.replay()
 	st.checkShutdown()
 	st.checkRecovery()
+	st.checkSpanTrees()
 	st.finishReport()
 	return st, nil
 }
@@ -315,6 +355,7 @@ func (st *runState) violate(inv, format string, args ...any) {
 func (st *runState) setup() error {
 	rng := rand.New(rand.NewSource(st.seed))
 	d := synthetic.CharminarRand(rng, st.sc.Rows, 1000, 10)
+	st.dist = d
 	queries, err := workload.GenerateRand(d, workload.Config{
 		Count: st.sc.Queries, QSize: st.sc.QSize, Clamp: true,
 	}, rng)
@@ -364,6 +405,20 @@ func (st *runState) setup() error {
 	st.inj = NewInjector(st.backend, st.sim, st.seed, st.sc.Faults)
 	st.inj.InstallShardFaults(cat)
 
+	// The tracer retains every request of the run (ring sized to the
+	// whole trace plus the shutdown and recovery probes), stamps spans
+	// from the virtual clock, and copies each outcome into an in-memory
+	// query log — both artifacts are byte-comparable across same-seed
+	// sequential runs.
+	st.qlogBuf = &bytes.Buffer{}
+	st.qlog = reqtrace.NewQueryLog(st.qlogBuf)
+	st.tracer = reqtrace.New(reqtrace.Config{
+		Clock:    st.sim,
+		Ring:     st.sc.Queries*st.sc.Rounds + 16,
+		QueryLog: st.qlog,
+	})
+	st.tracer.EnableTelemetry(st.reg)
+
 	// Exact cache keys (negative quantum): every trace entry maps to
 	// its own reference estimate, so cache hits are checkable for
 	// exact fidelity. Quantization collision behavior has its own
@@ -376,6 +431,8 @@ func (st *runState) setup() error {
 		CacheQuantum:    -1,
 		CacheTTL:        st.sc.CacheTTL,
 		Clock:           st.sim,
+		Tracer:          st.tracer,
+		RequestIDSeed:   st.seed,
 	})
 	st.srv.EnableTelemetry(st.reg)
 	return nil
@@ -422,9 +479,12 @@ func (st *runState) replay() {
 	st.sim.Advance(st.sc.Faults.SlowShardDelay + st.sc.Faults.EstimateDelay + st.sc.RequestTimeout)
 }
 
-// oneRequest replays trace entry i and records the outcome.
+// oneRequest replays trace entry i and records the outcome. The
+// request ID is the trace coordinate (query index, round), so a span
+// tree or query-log line names the exact replay step it came from.
 func (st *runState) oneRequest(runCtx context.Context, round, i int) {
 	ctx, cancel := vclock.WithTimeout(runCtx, st.sim, st.sc.RequestTimeout)
+	ctx = reqtrace.WithRequestID(ctx, fmt.Sprintf("q%03d-r%d", i, round))
 	t0 := st.sim.Now()
 	resp, err := st.srv.Estimate(ctx, simTable, st.queries[i])
 	cancel()
@@ -566,6 +626,86 @@ func (st *runState) checkRecovery() {
 	}
 }
 
+// checkSpanTrees re-derives the no-partial-cached and
+// no-silent-degradation verdicts from the retained span trees,
+// independently of the response structs: a cached response must have
+// no shard.scatter span (the cache never reaches the backend) and
+// must be full quality; a traced scatter's merge decision — the
+// gatherer's shard_quality attribute — must grade exactly what the
+// response reported, and any below-full merge must be flagged
+// Partial. A response that lies about its provenance is caught here
+// even if the response-level checks were fooled.
+func (st *runState) checkSpanTrees() {
+	for _, tr := range st.tracer.Recent() {
+		o := tr.Outcome()
+		if o.Err != "" {
+			continue
+		}
+		id := tr.RequestID()
+		scatters := tr.Root().Find("shard.scatter")
+		if o.Cached {
+			if len(scatters) != 0 {
+				st.violate(InvNoPartialCached,
+					"trace %s: cached response carries %d shard.scatter span(s) — cache hit reached the backend",
+					id, len(scatters))
+			}
+			if o.Partial || o.Quality != shard.QualityFull.String() {
+				st.violate(InvNoPartialCached,
+					"trace %s: cached response graded %q (partial=%v)", id, o.Quality, o.Partial)
+			}
+			continue
+		}
+		if len(scatters) == 0 {
+			// Shared-flight follower (or a pre-trace fast path): the
+			// scatter ran under the leader's trace, which is checked on
+			// its own.
+			continue
+		}
+		scat := scatters[len(scatters)-1]
+		merge, ok := scat.Attr("shard_quality")
+		if !ok {
+			st.violate(InvNoSilentDegradation, "trace %s: scatter span has no shard_quality merge decision", id)
+			continue
+		}
+		worst := worstQualityIn(merge)
+		if worst.String() != o.Quality {
+			st.violate(InvNoSilentDegradation,
+				"trace %s: span merge %q grades %s, response says %q", id, merge, worst, o.Quality)
+		}
+		if worst != shard.QualityFull && !o.Partial {
+			st.violate(InvNoSilentDegradation,
+				"trace %s: span merge %q is degraded but the response is not flagged Partial", id, merge)
+		}
+	}
+}
+
+// worstQualityIn grades a scatter span's shard_quality merge list
+// ("0:full,2:coarse"): the worst per-shard quality, QualityFull for
+// an empty list (zero relevant shards).
+func worstQualityIn(list string) shard.Quality {
+	worst := shard.QualityFull
+	if list == "" {
+		return worst
+	}
+	for _, part := range strings.Split(list, ",") {
+		_, qs, ok := strings.Cut(part, ":")
+		if !ok {
+			continue
+		}
+		var q shard.Quality
+		switch qs {
+		case shard.QualityCoarse.String():
+			q = shard.QualityCoarse
+		case shard.QualityUniform.String():
+			q = shard.QualityUniform
+		}
+		if q > worst {
+			worst = q
+		}
+	}
+	return worst
+}
+
 // counterValue reads one labeled counter from the run's registry.
 func (st *runState) counterValue(name string, labels ...telemetry.Label) int64 {
 	return int64(st.reg.Counter(name, "", labels...).Value())
@@ -606,6 +746,9 @@ func (st *runState) finishReport() {
 	r.HedgeWins = st.counterValue("resilience_hedge_wins_total")
 	r.BreakerOpens = st.counterValue("resilience_breaker_transitions_total",
 		telemetry.Label{Key: "to", Value: resilience.StateOpen.String()})
+	r.TracesRetained = len(st.tracer.Recent())
+	r.TracesSampled = len(st.tracer.Sampled())
+	r.QueryLogRecords = int64(st.qlog.Records())
 
 	st.mu.Lock()
 	outcomes := st.outcomes

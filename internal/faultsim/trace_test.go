@@ -1,0 +1,153 @@
+package faultsim
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/geom"
+	"repro/internal/reqtrace"
+	"repro/internal/trace"
+)
+
+// runTracedBytes runs the named suite scenario sequentially and
+// returns its report plus both observability artifacts.
+func runTracedBytes(t *testing.T, name string, seed int64) (Report, []byte, []byte) {
+	t.Helper()
+	sc, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("suite scenario %q not found", name)
+	}
+	if sc.Workers > 1 {
+		t.Fatalf("scenario %q is not sequential (Workers=%d); its traces are not byte-reproducible", name, sc.Workers)
+	}
+	var traces, qlog bytes.Buffer
+	rep, err := RunTraced(sc, seed, &traces, &qlog)
+	if err != nil {
+		t.Fatalf("RunTraced(%q): %v", name, err)
+	}
+	return rep, traces.Bytes(), qlog.Bytes()
+}
+
+// TestSpanTreeDeterminism is the golden-trace gate: two runs of the
+// same sequential scenario under the same seed must emit byte-identical
+// span-tree NDJSON and byte-identical query logs. Any nondeterminism —
+// a wall-clock timestamp, a map-ordered attribute, a racing span
+// writer — breaks this immediately.
+func TestSpanTreeDeterminism(t *testing.T) {
+	const seed = 42
+	rep1, tr1, ql1 := runTracedBytes(t, "breaker-trip", seed)
+	rep2, tr2, ql2 := runTracedBytes(t, "breaker-trip", seed)
+
+	if !rep1.Passed {
+		t.Fatalf("breaker-trip run not passed: %+v", rep1.Violations)
+	}
+	if rep1.TracesRetained == 0 || len(tr1) == 0 {
+		t.Fatalf("no traces retained (report %d, bytes %d)", rep1.TracesRetained, len(tr1))
+	}
+	if rep1.QueryLogRecords == 0 || len(ql1) == 0 {
+		t.Fatalf("no query log records (report %d, bytes %d)", rep1.QueryLogRecords, len(ql1))
+	}
+	// The scenario degrades for two rounds, so the sampler must have
+	// kept slow/degraded exemplars and the trees must show fallbacks.
+	if rep1.TracesSampled == 0 {
+		t.Error("degraded run sampled no traces")
+	}
+	if rep1.Partials == 0 {
+		t.Error("breaker-trip produced no partials; the degradation path was not traced")
+	}
+	if !bytes.Contains(tr1, []byte("shard.scatter")) || !bytes.Contains(tr1, []byte("shard_quality")) {
+		t.Error("trace NDJSON lacks scatter spans or merge decisions")
+	}
+	if !bytes.Equal(tr1, tr2) {
+		t.Errorf("span trees differ across same-seed runs:\nrun1 %d bytes, run2 %d bytes\nfirst divergence at byte %d",
+			len(tr1), len(tr2), firstDiff(tr1, tr2))
+	}
+	if !bytes.Equal(ql1, ql2) {
+		t.Errorf("query logs differ across same-seed runs:\nrun1 %d bytes, run2 %d bytes\nfirst divergence at byte %d",
+			len(ql1), len(ql2), firstDiff(ql1, ql2))
+	}
+	if rep2.QueryLogRecords != rep1.QueryLogRecords {
+		t.Errorf("query log record counts differ: %d vs %d", rep1.QueryLogRecords, rep2.QueryLogRecords)
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestQueryLogReplay closes the loop the ISSUE requires: the NDJSON
+// query log a run emits must join against the exact oracle into an
+// internal/trace workload, survive a Save/Load round trip, and lose
+// zero error-free records.
+func TestQueryLogReplay(t *testing.T) {
+	sc, ok := Lookup("breaker-trip")
+	if !ok {
+		t.Fatal("suite scenario breaker-trip not found")
+	}
+	st, err := run(sc, 7)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !st.report.Passed {
+		t.Fatalf("run not passed: %+v", st.report.Violations)
+	}
+
+	recs, err := reqtrace.ReadQueryLog(bytes.NewReader(st.qlogBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadQueryLog: %v", err)
+	}
+	if int64(len(recs)) != st.report.QueryLogRecords {
+		t.Fatalf("read %d records, report says %d", len(recs), st.report.QueryLogRecords)
+	}
+	joinable := 0
+	for _, r := range recs {
+		if r.Err == "" {
+			joinable++
+		}
+	}
+	if joinable == 0 {
+		t.Fatal("no error-free records to join")
+	}
+
+	oracle := exact.NewBruteForce(st.dist)
+	joined, err := reqtrace.JoinTrace(recs, func(q geom.Rect) (int, error) {
+		return oracle.Count(q), nil
+	})
+	if err != nil {
+		t.Fatalf("JoinTrace: %v", err)
+	}
+	if joined.Len() != joinable {
+		t.Fatalf("joined %d queries, want every error-free record (%d): records lost", joined.Len(), joinable)
+	}
+
+	path := filepath.Join(t.TempDir(), "replay.trace")
+	if err := trace.Save(path, joined); err != nil {
+		t.Fatalf("trace.Save: %v", err)
+	}
+	loaded, err := trace.Load(path)
+	if err != nil {
+		t.Fatalf("trace.Load: %v", err)
+	}
+	if loaded.Len() != joined.Len() {
+		t.Fatalf("round trip lost records: saved %d, loaded %d", joined.Len(), loaded.Len())
+	}
+	for i := range joined.Queries {
+		if loaded.Queries[i] != joined.Queries[i] {
+			t.Fatalf("query %d changed in round trip: %v vs %v", i, loaded.Queries[i], joined.Queries[i])
+		}
+		if loaded.Actual[i] != joined.Actual[i] {
+			t.Fatalf("actual %d changed in round trip: %d vs %d", i, loaded.Actual[i], joined.Actual[i])
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// tracesBody is the /debug/traces JSON payload: the recent ring plus
+// the slow/degraded sampler, both oldest first.
+type tracesBody struct {
+	Count   int         `json:"count"`
+	Dropped uint64      `json:"dropped"`
+	Traces  []traceJSON `json:"traces"`
+	Sampled []traceJSON `json:"sampled,omitempty"`
+}
+
+// Handler serves the retained traces as JSON on /debug/traces. A nil
+// receiver serves 404.
+func (t *Tracer) Handler() http.Handler {
+	if t == nil {
+		return http.NotFoundHandler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := tracesBody{Dropped: t.Dropped(), Traces: []traceJSON{}}
+		for _, tr := range t.Recent() {
+			body.Traces = append(body.Traces, tr.snapshot())
+		}
+		for _, tr := range t.Sampled() {
+			body.Sampled = append(body.Sampled, tr.snapshot())
+		}
+		body.Count = len(body.Traces)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(body) // client gone is the only failure; nothing to do
+	})
+}

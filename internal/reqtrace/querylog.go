@@ -1,0 +1,198 @@
+package reqtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// Record is one query-log line: everything needed to replay the
+// request against candidate statistics once ground truth is joined.
+// Field order is fixed by the struct, so serialized logs are
+// byte-deterministic in the recorded data.
+type Record struct {
+	RequestID     string     `json:"request_id"`
+	Table         string     `json:"table"`
+	Query         [4]float64 `json:"query"` // minx, miny, maxx, maxy
+	Estimate      float64    `json:"estimate"`
+	Quality       string     `json:"quality"`
+	Partial       bool       `json:"partial,omitempty"`
+	Cached        bool       `json:"cached,omitempty"`
+	Shared        bool       `json:"shared,omitempty"`
+	ShardsQueried int        `json:"shards_queried"`
+	ShardsMissed  int        `json:"shards_missed,omitempty"`
+	DurationNS    int64      `json:"duration_ns"`
+	Err           string     `json:"error,omitempty"`
+}
+
+// Rect returns the query rectangle.
+func (r Record) Rect() geom.Rect {
+	return geom.Rect{MinX: r.Query[0], MinY: r.Query[1], MaxX: r.Query[2], MaxY: r.Query[3]}
+}
+
+// formatQuery renders a rect attribute the same way the query log
+// stores coordinates: shortest round-trip floats.
+func formatQuery(q [4]float64) string {
+	parts := make([]string, len(q))
+	for i, v := range q {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, " ")
+}
+
+// QueryLog appends NDJSON records to a writer. Records are marshaled
+// outside the lock and written line-atomically (one Write per record,
+// unbuffered), so a log file is readable — and joinable — while the
+// service still runs. A nil *QueryLog is a no-op.
+type QueryLog struct {
+	mu      sync.Mutex
+	w       io.Writer
+	err     error // first write error, latched
+	closer  io.Closer
+	records atomic.Uint64
+}
+
+// NewQueryLog records onto w.
+func NewQueryLog(w io.Writer) *QueryLog { return &QueryLog{w: w} }
+
+// OpenQueryLog opens (appending) or creates an NDJSON log file.
+func OpenQueryLog(path string) (*QueryLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reqtrace: query log %s: %w", path, err)
+	}
+	l := NewQueryLog(f)
+	l.closer = f
+	return l, nil
+}
+
+// Record appends one line. Write errors are latched and surfaced by
+// Err/Close — a failing log disk must not fail serving. No-op on a nil
+// receiver.
+func (l *QueryLog) Record(rec Record) {
+	if l == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		// A fixed-shape struct of strings, floats and bools cannot fail
+		// to marshal; latch defensively rather than panic.
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		l.mu.Unlock()
+		return
+	}
+	raw = append(raw, '\n')
+	l.mu.Lock()
+	if _, werr := l.w.Write(raw); werr != nil && l.err == nil {
+		l.err = werr
+	}
+	l.mu.Unlock()
+	l.records.Add(1)
+}
+
+// Records reports how many records were appended (0 on a nil
+// receiver).
+func (l *QueryLog) Records() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.records.Load()
+}
+
+// Err returns the first write error, if any (nil on a nil receiver).
+func (l *QueryLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close closes the underlying file (when opened by OpenQueryLog) and
+// returns the first latched write error. No-op on a nil receiver.
+func (l *QueryLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	err := l.Err()
+	if l.closer != nil {
+		if cerr := l.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadQueryLog parses an NDJSON query log.
+func ReadQueryLog(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return nil, fmt.Errorf("reqtrace: query log line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reqtrace: query log read: %w", err)
+	}
+	return recs, nil
+}
+
+// ReadQueryLogFile parses an NDJSON query log file.
+func ReadQueryLogFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reqtrace: query log %s: %w", path, err)
+	}
+	defer f.Close()
+	recs, err := ReadQueryLog(f)
+	if err != nil {
+		return nil, fmt.Errorf("reqtrace: query log %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// JoinTrace converts query-log records into an evaluation trace by
+// joining each query with its exact count — the bridge from captured
+// production traffic to internal/trace replay. Records that errored
+// (Err != "") carry no answer and are skipped; everything else joins,
+// so a clean log replays with zero loss. The count callback is
+// typically an exact.Oracle or an indexed COUNT.
+func JoinTrace(recs []Record, count func(q geom.Rect) (int, error)) (*trace.Trace, error) {
+	t := &trace.Trace{}
+	for _, rec := range recs {
+		if rec.Err != "" {
+			continue
+		}
+		q := rec.Rect()
+		n, err := count(q)
+		if err != nil {
+			return nil, fmt.Errorf("reqtrace: join %s: %w", rec.RequestID, err)
+		}
+		t.Queries = append(t.Queries, q)
+		t.Actual = append(t.Actual, n)
+	}
+	return t, nil
+}

@@ -1,0 +1,353 @@
+// Package reqtrace is the request-scoped span tracer of the serving
+// stack: every /estimate request carries a trace through the cache,
+// singleflight, admission gate, scatter-gather and per-shard histogram
+// walks, each layer contributing spans with timings, attributes and
+// events (retries, hedges, breaker refusals, ladder rungs).
+//
+// Three consumers sit on top of the spans:
+//
+//   - a fixed-size lock-free ring (TraceStore) of recent traces served
+//     as JSON on /debug/traces;
+//   - a slow/degraded-query sampler retaining the full span tree of
+//     any request that overstayed a latency threshold, errored, or was
+//     answered below full quality;
+//   - a QueryLog recorder emitting one NDJSON record per request
+//     (rect, estimate, quality, fan-out, duration, request ID) that
+//     JoinTrace converts into internal/trace format once ground truth
+//     is joined — the capture half of replaying production traffic
+//     against candidate statistics configurations.
+//
+// Determinism is a contract, not an accident: every timestamp is read
+// from the injected vclock.Clock as nanoseconds since the trace began,
+// attributes and children are ordered slices (never map iteration),
+// and events are sorted by virtual time at serialization — so two
+// `faultsim -sequential` runs of the same seed emit byte-identical
+// span trees, and the fault-injection invariants can be proven from
+// the trace itself. The spatialvet walltime analyzer runs over this
+// package to keep wall-clock reads out of spans.
+//
+// Everything follows the telemetry nil-safety convention: a nil
+// *Tracer, *Trace, *Span, *TraceStore or *QueryLog is a no-op, so
+// instrumented code paths never check whether tracing is on.
+package reqtrace
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// Config tunes a Tracer. The zero value traces on the real clock with
+// default ring sizes and no query log.
+type Config struct {
+	// Clock stamps every span. Nil means the system clock; the fault
+	// simulation harness injects a vclock.Sim so traces are
+	// seed-deterministic.
+	Clock vclock.Clock
+	// Ring is the recent-trace ring capacity. Default 256.
+	Ring int
+	// SampleRing is the slow/degraded sampler ring capacity. Default 64.
+	SampleRing int
+	// SlowThreshold is the end-to-end latency above which a trace is
+	// retained by the sampler regardless of quality. Default 250ms
+	// (the default scatter deadline: anything slower burned its whole
+	// estimate budget).
+	SlowThreshold time.Duration
+	// QueryLog, when non-nil, receives one Record per finished request.
+	QueryLog *QueryLog
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	if c.Ring <= 0 {
+		c.Ring = 256
+	}
+	if c.SampleRing <= 0 {
+		c.SampleRing = 64
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Tracer creates and retains request traces. Create with New; a nil
+// *Tracer is a no-op everywhere, which is how tracing is disabled.
+type Tracer struct {
+	clk     vclock.Clock
+	slow    time.Duration
+	seq     atomic.Uint64
+	recent  *TraceStore
+	sampled *TraceStore
+	qlog    *QueryLog
+
+	// Telemetry (nil-safe until EnableTelemetry).
+	occupancy   *telemetry.Gauge
+	droppedCtr  *telemetry.Counter
+	slowSampled *telemetry.Counter
+}
+
+// New creates a tracer.
+func New(cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	return &Tracer{
+		clk:     cfg.Clock,
+		slow:    cfg.SlowThreshold,
+		recent:  NewTraceStore(cfg.Ring),
+		sampled: NewTraceStore(cfg.SampleRing),
+		qlog:    cfg.QueryLog,
+	}
+}
+
+// EnableTelemetry registers the ring-occupancy gauge, overwrite-drop
+// counter and slow-sampler hit counter in reg. Call before serving —
+// the fields are written plainly. No-op on a nil receiver or nil reg.
+func (t *Tracer) EnableTelemetry(reg *telemetry.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.occupancy = reg.Gauge("reqtrace_ring_occupancy",
+		"Request traces currently retained in the recent-trace ring.")
+	t.droppedCtr = reg.Counter("reqtrace_dropped_total",
+		"Request traces overwritten (evicted) from the recent-trace ring.")
+	t.slowSampled = reg.Counter("reqtrace_slow_sampled_total",
+		"Traces retained by the slow/degraded-query sampler.")
+}
+
+// StartRequest opens a new trace rooted at a "serve.request" span and
+// returns a context carrying both the root span and the request ID.
+// On a nil receiver it returns ctx unchanged and a nil trace (both
+// no-ops downstream).
+func (t *Tracer) StartRequest(ctx context.Context, requestID string) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	tr := &Trace{tracer: t, requestID: requestID, seq: t.seq.Add(1), start: t.clk.Now(), clk: t.clk}
+	tr.root = &Span{tr: tr, name: "serve.request", endNS: openEnd}
+	return ContextWithSpan(WithRequestID(ctx, requestID), tr.root), tr
+}
+
+// Recent returns the retained traces, oldest first (nil receiver: nil).
+func (t *Tracer) Recent() []*Trace {
+	if t == nil {
+		return nil
+	}
+	return t.recent.Snapshot()
+}
+
+// Sampled returns the slow/degraded traces, oldest first (nil
+// receiver: nil).
+func (t *Tracer) Sampled() []*Trace {
+	if t == nil {
+		return nil
+	}
+	return t.sampled.Snapshot()
+}
+
+// Dropped reports how many traces were overwritten in the recent ring
+// (0 on a nil receiver).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.recent.Dropped()
+}
+
+// record files a finished trace into the ring, the sampler and the
+// query log.
+func (t *Tracer) record(tr *Trace) {
+	if t.recent.Add(tr) {
+		t.droppedCtr.Inc()
+	}
+	t.occupancy.Set(float64(t.recent.Len()))
+	o := tr.outcome
+	degraded := o.Err != "" || (o.Quality != "" && o.Quality != "full")
+	if degraded || tr.durationNS >= int64(t.slow) {
+		t.sampled.Add(tr)
+		t.slowSampled.Inc()
+	}
+	t.qlog.Record(Record{
+		RequestID:     tr.requestID,
+		Table:         o.Table,
+		Query:         o.Query,
+		Estimate:      o.Estimate,
+		Quality:       o.Quality,
+		Partial:       o.Partial,
+		Cached:        o.Cached,
+		Shared:        o.Shared,
+		ShardsQueried: o.ShardsQueried,
+		ShardsMissed:  o.ShardsMissed,
+		DurationNS:    tr.durationNS,
+		Err:           o.Err,
+	})
+}
+
+// Outcome is the per-request summary a serving layer hands to
+// Trace.Finish: it becomes the root span's attributes and the query
+// log record.
+type Outcome struct {
+	Table    string
+	Query    [4]float64 // minx, miny, maxx, maxy
+	Estimate float64
+	// Quality is the answer grade ("full", "coarse", "uniform"; ""
+	// when the request errored before producing one).
+	Quality       string
+	Partial       bool
+	Cached        bool
+	Shared        bool
+	ShardsQueried int
+	ShardsMissed  int
+	// Err classifies a failed request ("shed", "panic", "timeout",
+	// "canceled", "backend"); "" on success.
+	Err string
+}
+
+// Trace is one request's span tree plus identity. A nil *Trace is a
+// no-op. Concurrency: spans lock themselves; the identity fields are
+// written once at StartRequest and the outcome once at Finish, before
+// the trace is published to any ring.
+type Trace struct {
+	tracer    *Tracer
+	requestID string
+	seq       uint64
+	start     time.Time
+	clk       vclock.Clock
+	root      *Span
+
+	// Written by Finish, before publication.
+	outcome    Outcome
+	durationNS int64
+}
+
+// nowNS is the span timestamp source: nanoseconds since the trace
+// began, on the injected clock.
+func (tr *Trace) nowNS() int64 { return int64(tr.clk.Since(tr.start)) }
+
+// Root returns the root span (nil on a nil receiver).
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// RequestID returns the request ID ("" on a nil receiver).
+func (tr *Trace) RequestID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.requestID
+}
+
+// Seq returns the trace's global sequence number (0 on a nil
+// receiver).
+func (tr *Trace) Seq() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.seq
+}
+
+// DurationNS returns the end-to-end virtual duration recorded at
+// Finish (0 on a nil receiver).
+func (tr *Trace) DurationNS() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.durationNS
+}
+
+// Outcome returns the summary recorded at Finish (zero on a nil
+// receiver).
+func (tr *Trace) Outcome() Outcome {
+	if tr == nil {
+		return Outcome{}
+	}
+	return tr.outcome
+}
+
+// Finish seals the trace: the outcome becomes root-span attributes,
+// the root span ends, and the trace is filed into the tracer's rings
+// and query log. Call exactly once per trace. No-op on a nil receiver.
+func (tr *Trace) Finish(o Outcome) {
+	if tr == nil {
+		return
+	}
+	r := tr.root
+	r.SetAttr("table", o.Table)
+	r.SetAttr("query", formatQuery(o.Query))
+	r.SetFloat("estimate", o.Estimate)
+	r.SetAttr("quality", o.Quality)
+	r.SetAttr("partial", boolStr(o.Partial))
+	r.SetAttr("cached", boolStr(o.Cached))
+	r.SetAttr("shared", boolStr(o.Shared))
+	r.SetInt("shards_queried", o.ShardsQueried)
+	r.SetInt("shards_missed", o.ShardsMissed)
+	if o.Err != "" {
+		r.SetAttr("error", o.Err)
+	}
+	r.End()
+	tr.outcome = o
+	r.mu.Lock()
+	tr.durationNS = r.endNS
+	r.mu.Unlock()
+	tr.tracer.record(tr)
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Context plumbing. The span key carries the innermost live span (the
+// trace is reachable through it); the request-ID key is separate so an
+// ID can ride the context before — or without — a trace existing.
+type spanCtxKey struct{}
+type reqIDCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. A nil
+// sp returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFrom returns the current span in ctx, or nil (a no-op span).
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the current span in ctx and returns a
+// context carrying it. Without a current span it returns ctx and nil —
+// both no-ops — so instrumentation never branches on tracing being on.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := SpanFrom(ctx).StartChild(name)
+	if sp == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDCtxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID in ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDCtxKey{}).(string)
+	return id
+}

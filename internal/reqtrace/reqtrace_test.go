@@ -1,0 +1,347 @@
+package reqtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// TestNilSafety is the no-op contract: every exported method on a nil
+// *Tracer, *Trace, *Span, *TraceStore and *QueryLog must be callable —
+// instrumented code paths never guard on tracing being enabled.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, trace := tr.StartRequest(context.Background(), "id")
+	if trace != nil {
+		t.Error("nil tracer returned a non-nil trace")
+	}
+	if ctx == nil {
+		t.Error("nil tracer dropped the context")
+	}
+	tr.EnableTelemetry(telemetry.NewRegistry())
+	if got := tr.Recent(); got != nil {
+		t.Errorf("nil tracer Recent() = %v", got)
+	}
+	if got := tr.Sampled(); got != nil {
+		t.Errorf("nil tracer Sampled() = %v", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Errorf("nil tracer Dropped() = %d", got)
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil tracer handler status %d, want 404", rec.Code)
+	}
+
+	var tc *Trace
+	tc.Finish(Outcome{})
+	if tc.Root() != nil || tc.RequestID() != "" || tc.Seq() != 0 || tc.DurationNS() != 0 {
+		t.Error("nil trace accessors not zero")
+	}
+	if (tc.Outcome() != Outcome{}) {
+		t.Error("nil trace Outcome not zero")
+	}
+
+	var sp *Span
+	if c := sp.StartChild("x"); c != nil {
+		t.Error("nil span StartChild returned non-nil")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1.5)
+	sp.Event("e", Str("a", "b"))
+	sp.End()
+	if sp.Name() != "" {
+		t.Error("nil span has a name")
+	}
+	if _, ok := sp.Attr("k"); ok {
+		t.Error("nil span has an attr")
+	}
+	if sp.Children() != nil || sp.Find("x") != nil {
+		t.Error("nil span has descendants")
+	}
+
+	var st *TraceStore
+	if st.Add(nil) || st.Len() != 0 || st.Dropped() != 0 || st.Snapshot() != nil {
+		t.Error("nil store not a no-op")
+	}
+
+	var ql *QueryLog
+	ql.Record(Record{})
+	if ql.Records() != 0 || ql.Err() != nil {
+		t.Error("nil query log not a no-op")
+	}
+	if err := ql.Close(); err != nil {
+		t.Errorf("nil query log Close: %v", err)
+	}
+
+	// SpanFrom on a bare context is nil, and the whole chain stays
+	// no-op through it.
+	SpanFrom(context.Background()).StartChild("y").SetAttr("k", "v")
+}
+
+// oneScriptedTrace drives a fixed span script against a fresh tracer
+// on its own virtual clock and returns the NDJSON bytes.
+func oneScriptedTrace(t *testing.T) []byte {
+	t.Helper()
+	sim := vclock.NewSim(time.Unix(0, 0))
+	var qbuf bytes.Buffer
+	tracer := New(Config{Clock: sim, Ring: 8, QueryLog: NewQueryLog(&qbuf)})
+	ctx, trace := tracer.StartRequest(context.Background(), "req-1")
+	if got := RequestIDFrom(ctx); got != "req-1" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+	root := SpanFrom(ctx)
+	sim.Advance(time.Millisecond)
+	child := root.StartChild("shard.scatter")
+	child.SetInt("fanout", 2)
+	// Two events at the same virtual instant, added in reverse name
+	// order: serialization must sort them.
+	child.Event("z.second")
+	child.Event("a.first")
+	sim.Advance(2 * time.Millisecond)
+	child.SetFloat("estimate", 12.5)
+	child.End()
+	child.End() // double End keeps the first timestamp
+	sim.Advance(time.Millisecond)
+	trace.Finish(Outcome{Table: "t", Query: [4]float64{0, 0, 1, 1}, Estimate: 12.5, Quality: "full"})
+
+	var out bytes.Buffer
+	if err := WriteNDJSON(&out, tracer.Recent()); err != nil {
+		t.Fatalf("WriteNDJSON: %v", err)
+	}
+	return out.Bytes()
+}
+
+// TestDeterministicSerialization: the same span script on the same
+// virtual clock serializes to the same bytes, timestamps are relative
+// to the trace start, and same-instant events sort by name.
+func TestDeterministicSerialization(t *testing.T) {
+	b1 := oneScriptedTrace(t)
+	b2 := oneScriptedTrace(t)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("serializations differ:\n%s\n%s", b1, b2)
+	}
+
+	var js struct {
+		RequestID  string `json:"request_id"`
+		DurationNS int64  `json:"duration_ns"`
+		Root       struct {
+			Name     string `json:"name"`
+			StartNS  int64  `json:"start_ns"`
+			EndNS    int64  `json:"end_ns"`
+			Children []struct {
+				Name    string `json:"name"`
+				StartNS int64  `json:"start_ns"`
+				EndNS   int64  `json:"end_ns"`
+				Events  []struct {
+					Name string `json:"name"`
+					NS   int64  `json:"ns"`
+				} `json:"events"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(b1, &js); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, b1)
+	}
+	if js.Root.Name != "serve.request" || js.Root.StartNS != 0 {
+		t.Errorf("root = %q start %d, want serve.request at 0", js.Root.Name, js.Root.StartNS)
+	}
+	if js.DurationNS != int64(4*time.Millisecond) || js.Root.EndNS != js.DurationNS {
+		t.Errorf("duration %d, root end %d, want %d", js.DurationNS, js.Root.EndNS, int64(4*time.Millisecond))
+	}
+	if len(js.Root.Children) != 1 {
+		t.Fatalf("children = %d, want 1", len(js.Root.Children))
+	}
+	c := js.Root.Children[0]
+	if c.StartNS != int64(time.Millisecond) || c.EndNS != int64(3*time.Millisecond) {
+		t.Errorf("child [%d,%d], want [1ms,3ms]", c.StartNS, c.EndNS)
+	}
+	if len(c.Events) != 2 || c.Events[0].Name != "a.first" || c.Events[1].Name != "z.second" {
+		t.Errorf("events not name-sorted at equal NS: %+v", c.Events)
+	}
+}
+
+// TestRingEvictionAndSampler: the recent ring overwrites oldest-first
+// and counts drops; the sampler keeps only slow or degraded traces;
+// the telemetry gauges and counters track both.
+func TestRingEvictionAndSampler(t *testing.T) {
+	sim := vclock.NewSim(time.Unix(0, 0))
+	reg := telemetry.NewRegistry()
+	tracer := New(Config{Clock: sim, Ring: 2, SampleRing: 4, SlowThreshold: 10 * time.Millisecond})
+	tracer.EnableTelemetry(reg)
+
+	finish := func(id string, o Outcome, advance time.Duration) {
+		_, tr := tracer.StartRequest(context.Background(), id)
+		sim.Advance(advance)
+		tr.Finish(o)
+	}
+	finish("fast-full", Outcome{Quality: "full"}, time.Millisecond)  // not sampled
+	finish("degraded", Outcome{Quality: "coarse", Partial: true}, 0) // sampled: degraded
+	finish("slow", Outcome{Quality: "full"}, 20*time.Millisecond)    // sampled: slow
+
+	recent := tracer.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("recent = %d traces, want ring size 2", len(recent))
+	}
+	if recent[0].RequestID() != "degraded" || recent[1].RequestID() != "slow" {
+		t.Errorf("ring kept %q,%q; want the two newest oldest-first", recent[0].RequestID(), recent[1].RequestID())
+	}
+	if tracer.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", tracer.Dropped())
+	}
+	sampled := tracer.Sampled()
+	if len(sampled) != 2 || sampled[0].RequestID() != "degraded" || sampled[1].RequestID() != "slow" {
+		ids := make([]string, len(sampled))
+		for i, tr := range sampled {
+			ids[i] = tr.RequestID()
+		}
+		t.Errorf("sampled = %v, want [degraded slow]", ids)
+	}
+	if v := reg.Counter("reqtrace_dropped_total", "").Value(); v != 1 {
+		t.Errorf("reqtrace_dropped_total = %v, want 1", v)
+	}
+	if v := reg.Counter("reqtrace_slow_sampled_total", "").Value(); v != 2 {
+		t.Errorf("reqtrace_slow_sampled_total = %v, want 2", v)
+	}
+	if v := reg.Gauge("reqtrace_ring_occupancy", "").Value(); v != 2 {
+		t.Errorf("reqtrace_ring_occupancy = %v, want 2", v)
+	}
+
+	// The handler serves both rings.
+	rec := httptest.NewRecorder()
+	tracer.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("handler status %d", rec.Code)
+	}
+	var body struct {
+		Count   int               `json:"count"`
+		Dropped uint64            `json:"dropped"`
+		Traces  []json.RawMessage `json:"traces"`
+		Sampled []json.RawMessage `json:"sampled"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("handler body: %v", err)
+	}
+	if body.Count != 2 || body.Dropped != 1 || len(body.Traces) != 2 || len(body.Sampled) != 2 {
+		t.Errorf("handler body count=%d dropped=%d traces=%d sampled=%d",
+			body.Count, body.Dropped, len(body.Traces), len(body.Sampled))
+	}
+}
+
+// TestConcurrentTracing hammers the tracer from many goroutines —
+// spans, events, finishes and ring snapshots all at once — and is run
+// under -race in CI.
+func TestConcurrentTracing(t *testing.T) {
+	tracer := New(Config{Ring: 8, SampleRing: 4})
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, tr := tracer.StartRequest(context.Background(), "r")
+				sp := SpanFrom(ctx).StartChild("shard.scatter")
+				var inner sync.WaitGroup
+				for s := 0; s < 3; s++ {
+					inner.Add(1)
+					go func(s int) {
+						defer inner.Done()
+						c := sp.StartChild("shard.estimate")
+						c.SetInt("shard", s)
+						c.Event("probe")
+						c.End()
+					}(s)
+				}
+				// Snapshot concurrently with the shard goroutines still
+				// writing — the reader must never block or race them.
+				_, _ = tr.MarshalJSON()
+				inner.Wait()
+				sp.End()
+				tr.Finish(Outcome{Quality: "full"})
+			}
+		}(w)
+	}
+	readerStop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+				for _, tr := range tracer.Recent() {
+					_ = tr.Root().Find("shard.estimate")
+				}
+				_ = tracer.Dropped()
+			}
+		}
+	}()
+	wg.Wait()
+	close(readerStop)
+	readerWG.Wait()
+	if got := tracer.recent.Len(); got != 8 {
+		t.Errorf("ring Len = %d, want full ring 8", got)
+	}
+	if tracer.Dropped() != workers*perWorker-8 {
+		t.Errorf("Dropped = %d, want %d", tracer.Dropped(), workers*perWorker-8)
+	}
+}
+
+// TestQueryLogRoundTrip: records round-trip through the NDJSON
+// encoding, and JoinTrace keeps every error-free record while skipping
+// failed requests.
+func TestQueryLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ql := NewQueryLog(&buf)
+	recs := []Record{
+		{RequestID: "a", Table: "t", Query: [4]float64{0, 0, 10, 10}, Estimate: 42.5, Quality: "full", ShardsQueried: 3, DurationNS: 1000},
+		{RequestID: "b", Table: "t", Query: [4]float64{1, 1, 2, 2}, Estimate: 7, Quality: "coarse", Partial: true, ShardsQueried: 3, ShardsMissed: 1, DurationNS: 2000},
+		{RequestID: "c", Table: "t", Err: "shed"},
+	}
+	for _, r := range recs {
+		ql.Record(r)
+	}
+	if ql.Records() != 3 || ql.Err() != nil {
+		t.Fatalf("Records=%d Err=%v", ql.Records(), ql.Err())
+	}
+	got, err := ReadQueryLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadQueryLog: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+
+	joined, err := JoinTrace(got, func(q geom.Rect) (int, error) { return int(q.Area()), nil })
+	if err != nil {
+		t.Fatalf("JoinTrace: %v", err)
+	}
+	if joined.Len() != 2 {
+		t.Fatalf("joined %d queries, want 2 (error record skipped)", joined.Len())
+	}
+	if joined.Actual[0] != 100 || joined.Actual[1] != 1 {
+		t.Errorf("joined actuals %v, want [100 1]", joined.Actual)
+	}
+	if (joined.Queries[0] != geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}) {
+		t.Errorf("joined query 0 = %v", joined.Queries[0])
+	}
+}

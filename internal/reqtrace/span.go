@@ -1,0 +1,220 @@
+package reqtrace
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// openEnd marks a span that has not ended yet; it serializes as
+// end_ns -1 so an abandoned span (a contained panic, a scatter
+// goroutine still draining) is visible in the trace instead of
+// pretending to have finished.
+const openEnd = int64(-1)
+
+// Attr is one key/value annotation on a span or event. Values are
+// always strings, formatted by the caller with strconv — never %v of a
+// float through a map — so serialized traces are byte-deterministic.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// Float builds a float attribute in shortest-round-trip form.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Event is a point-in-time annotation inside a span (a retry fired, a
+// hedge launched, a breaker refused). NS is nanoseconds since the
+// trace started, read from the trace's injected clock.
+type Event struct {
+	NS    int64  `json:"ns"`
+	Name  string `json:"name"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Span is one timed operation in a request's trace tree. Spans are
+// created through Trace.Root and StartChild, annotated with SetAttr
+// and Event, and closed with End. All methods are safe for concurrent
+// use, and every method is a no-op on a nil receiver (a nil *Span is a
+// no-op), so instrumented code never guards on whether tracing is
+// enabled.
+//
+// Timestamps are nanoseconds since the owning trace began, measured on
+// the injected vclock.Clock — never the wall clock — so traces taken
+// under the simulated clock are byte-deterministic in the seed.
+type Span struct {
+	tr   *Trace
+	name string
+
+	mu       sync.Mutex
+	startNS  int64
+	endNS    int64
+	attrs    []Attr
+	events   []Event
+	children []*Span
+}
+
+// StartChild opens a sub-span under s. It returns nil — itself a
+// no-op — when s is nil, so call chains need no guards.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, startNS: s.tr.nowNS(), endNS: openEnd}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr appends one annotation. Later writes win on duplicate keys.
+// No-op on a nil receiver.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt appends one integer annotation. No-op on a nil receiver.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.Itoa(v))
+}
+
+// SetFloat appends one float annotation in shortest-round-trip form.
+// No-op on a nil receiver.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Event records a point-in-time event inside the span. No-op on a nil
+// receiver.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ns := s.tr.nowNS()
+	s.mu.Lock()
+	s.events = append(s.events, Event{NS: ns, Name: name, Attrs: attrs})
+	s.mu.Unlock()
+}
+
+// End closes the span at the current clock reading. Ending twice keeps
+// the first end time. No-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ns := s.tr.nowNS()
+	s.mu.Lock()
+	if s.endNS == openEnd {
+		s.endNS = ns
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on a nil receiver).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Attr returns the value of the named annotation, last write winning;
+// ok is false when absent or the receiver is nil.
+func (s *Span) Attr(key string) (value string, ok bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.attrs) - 1; i >= 0; i-- {
+		if s.attrs[i].Key == key {
+			return s.attrs[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// Children returns a copy of the direct sub-spans (nil on a nil
+// receiver).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns every descendant span (including s itself) with the
+// given name, in depth-first creation order. Nil receiver returns nil.
+func (s *Span) Find(name string) []*Span {
+	if s == nil {
+		return nil
+	}
+	var out []*Span
+	if s.name == name {
+		out = append(out, s)
+	}
+	for _, c := range s.Children() {
+		out = append(out, c.Find(name)...)
+	}
+	return out
+}
+
+// spanJSON is the serialized span. Field order is fixed by the struct,
+// attrs and children keep their creation order, and events are sorted
+// by (ns, name) — all slices, never map iteration — so the bytes are a
+// pure function of the recorded data.
+type spanJSON struct {
+	Name     string     `json:"name"`
+	StartNS  int64      `json:"start_ns"`
+	EndNS    int64      `json:"end_ns"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Events   []Event    `json:"events,omitempty"`
+	Children []spanJSON `json:"children,omitempty"`
+}
+
+// snapshot copies the span tree into its serializable form. The lock
+// is released before recursing so no two span locks are ever held at
+// once.
+func (s *Span) snapshot() spanJSON {
+	if s == nil {
+		return spanJSON{}
+	}
+	s.mu.Lock()
+	js := spanJSON{Name: s.name, StartNS: s.startNS, EndNS: s.endNS}
+	js.Attrs = append([]Attr(nil), s.attrs...)
+	events := append([]Event(nil), s.events...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].NS != events[j].NS {
+			return events[i].NS < events[j].NS
+		}
+		return events[i].Name < events[j].Name
+	})
+	js.Events = events
+	for _, c := range children {
+		js.Children = append(js.Children, c.snapshot())
+	}
+	return js
+}

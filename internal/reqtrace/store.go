@@ -1,0 +1,123 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// TraceStore is a fixed-size lock-free ring of finished traces.
+// Writers claim a slot with one atomic increment and publish with one
+// atomic pointer swap; readers snapshot without blocking writers. A
+// nil *TraceStore is a no-op.
+type TraceStore struct {
+	slots   []atomic.Pointer[Trace]
+	next    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewTraceStore creates a ring holding the last n traces (n < 1 is
+// clamped to 1).
+func NewTraceStore(n int) *TraceStore {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceStore{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Add files a trace, overwriting the oldest slot when full, and
+// reports whether an older trace was evicted. No-op (false) on a nil
+// receiver or nil trace.
+func (s *TraceStore) Add(tr *Trace) (evicted bool) {
+	if s == nil || tr == nil {
+		return false
+	}
+	i := s.next.Add(1) - 1
+	old := s.slots[i%uint64(len(s.slots))].Swap(tr)
+	if old != nil {
+		s.dropped.Add(1)
+		return true
+	}
+	return false
+}
+
+// Len reports how many traces are currently retained (0 on a nil
+// receiver).
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	if n := s.next.Load(); n < uint64(len(s.slots)) {
+		return int(n)
+	}
+	return len(s.slots)
+}
+
+// Dropped reports how many traces have been overwritten (0 on a nil
+// receiver).
+func (s *TraceStore) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Snapshot returns the retained traces ordered by trace sequence
+// number, oldest first (nil on a nil receiver).
+func (s *TraceStore) Snapshot() []*Trace {
+	if s == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(s.slots))
+	for i := range s.slots {
+		if tr := s.slots[i].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// traceJSON is one serialized trace.
+type traceJSON struct {
+	RequestID  string   `json:"request_id"`
+	Seq        uint64   `json:"seq"`
+	DurationNS int64    `json:"duration_ns"`
+	Root       spanJSON `json:"root"`
+}
+
+// snapshot copies the whole trace into its serializable form.
+func (tr *Trace) snapshot() traceJSON {
+	if tr == nil {
+		return traceJSON{}
+	}
+	return traceJSON{
+		RequestID:  tr.requestID,
+		Seq:        tr.seq,
+		DurationNS: tr.durationNS,
+		Root:       tr.root.snapshot(),
+	}
+}
+
+// MarshalJSON serializes the trace's span tree deterministically.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tr.snapshot())
+}
+
+// WriteNDJSON writes one JSON line per trace, in the given order. With
+// traces from TraceStore.Snapshot the bytes are a pure function of the
+// recorded data — the golden determinism test diffs two runs' output.
+func WriteNDJSON(w io.Writer, traces []*Trace) error {
+	for _, tr := range traces {
+		raw, err := json.Marshal(tr.snapshot())
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if _, err := w.Write(raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

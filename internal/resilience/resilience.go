@@ -22,6 +22,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/reqtrace"
 	"repro/internal/vclock"
 )
 
@@ -151,12 +152,21 @@ func Do[T any](ctx context.Context, p CallPolicy, fn func(ctx context.Context, a
 	)
 	defer func() { retryTimer.Stop() }()
 
+	// Retry and hedge decisions are emitted as events on the caller's
+	// span (nil — a no-op — when the request carries no trace). They
+	// fire only in this coordinator goroutine, so event order within
+	// the span is the decision order.
+	sp := reqtrace.SpanFrom(ctx)
+
 	for {
 		select {
 		case r := <-results:
 			pending--
 			if r.err == nil {
 				stats.HedgeWon = r.hedge
+				if r.hedge {
+					sp.Event("resilience.hedge_win")
+				}
 				return r.v, stats, nil
 			}
 			lastErr = r.err
@@ -178,11 +188,13 @@ func Do[T any](ctx context.Context, p CallPolicy, fn func(ctx context.Context, a
 			errAttempts++
 			pending++
 			stats.Retries++
+			sp.Event("resilience.retry", reqtrace.Int("attempt", stats.Attempts))
 			launch(false)
 		case <-hedgeCh:
 			hedgeCh = nil
 			pending++
 			stats.Hedges++
+			sp.Event("resilience.hedge", reqtrace.Int("attempt", stats.Attempts))
 			launch(true)
 		case <-ctx.Done():
 			return zero, stats, ctx.Err()

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/reqtrace"
+)
+
+var errBackendBoom = errors.New("backend boom")
+
+// getErrorBody issues req against the handler and decodes the JSON
+// error envelope, asserting status and Content-Type.
+func getErrorBody(t *testing.T, h http.Handler, req *http.Request, wantCode int) (errorBody, *httptest.ResponseRecorder) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantCode {
+		t.Fatalf("%s %s: status %d, want %d (body %s)", req.Method, req.URL, rec.Code, wantCode, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, rec.Body.String())
+	}
+	if body.Code != wantCode {
+		t.Errorf("body code %d, want %d", body.Code, wantCode)
+	}
+	if body.Error == "" {
+		t.Error("body error message empty")
+	}
+	return body, rec
+}
+
+// TestErrorBodyEveryPath walks every /estimate and /analyze early-exit
+// path and asserts the structured JSON error envelope: message, status
+// code, and the request ID — echoed from X-Request-Id when the caller
+// sent one, minted otherwise, always repeated on the response header.
+func TestErrorBodyEveryPath(t *testing.T) {
+	t.Run("missing table", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate?minx=0&miny=0&maxx=1&maxy=1", nil)
+		req.Header.Set("X-Request-Id", "cli-1")
+		body, rec := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "cli-1" || rec.Header().Get("X-Request-Id") != "cli-1" {
+			t.Errorf("request ID not echoed: body %q header %q", body.RequestID, rec.Header().Get("X-Request-Id"))
+		}
+	})
+	t.Run("missing rect param", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1", nil)
+		req.Header.Set("X-Request-Id", "cli-2")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "cli-2" {
+			t.Errorf("request ID %q", body.RequestID)
+		}
+	})
+	t.Run("bad rect", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate?table=roads&minx=5&miny=0&maxx=1&maxy=1", nil)
+		body, rec := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID == "" || rec.Header().Get("X-Request-Id") != body.RequestID {
+			t.Errorf("minted request ID missing or not echoed: body %q header %q",
+				body.RequestID, rec.Header().Get("X-Request-Id"))
+		}
+	})
+	t.Run("backend error", func(t *testing.T) {
+		b := &stubBackend{err: errBackendBoom}
+		h := New(b, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1&maxy=1", nil)
+		req.Header.Set("X-Request-Id", "cli-3")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "cli-3" {
+			t.Errorf("request ID %q", body.RequestID)
+		}
+	})
+	t.Run("shed 503", func(t *testing.T) {
+		block := make(chan struct{})
+		b := &stubBackend{block: block}
+		s := New(b, Config{MaxInFlight: 1, QueueTimeout: time.Millisecond, CacheSize: -1})
+		h := s.Handler()
+		// Occupy the only gate slot with a blocked in-process estimate,
+		// using a distinct rect so the HTTP request can't join its flight.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = s.Estimate(context.Background(), "roads", q(50, 50, 60, 60))
+		}()
+		waitInFlight(t, s, 1)
+		req := httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1&maxy=1", nil)
+		req.Header.Set("X-Request-Id", "cli-4")
+		body, _ := getErrorBody(t, h, req, http.StatusServiceUnavailable)
+		if body.RequestID != "cli-4" {
+			t.Errorf("request ID %q", body.RequestID)
+		}
+		close(block)
+		<-done
+	})
+	t.Run("panic 500", func(t *testing.T) {
+		b := &panicBackend{}
+		b.armed.Store(true)
+		h := New(b, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1&maxy=1", nil)
+		req.Header.Set("X-Request-Id", "cli-5")
+		body, _ := getErrorBody(t, h, req, http.StatusInternalServerError)
+		if body.RequestID != "cli-5" {
+			t.Errorf("request ID %q", body.RequestID)
+		}
+	})
+	t.Run("timeout 504", func(t *testing.T) {
+		b := &stubBackend{err: context.DeadlineExceeded}
+		h := New(b, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1&maxy=1", nil)
+		req.Header.Set("X-Request-Id", "cli-6")
+		body, _ := getErrorBody(t, h, req, http.StatusGatewayTimeout)
+		if body.RequestID != "cli-6" {
+			t.Errorf("request ID %q", body.RequestID)
+		}
+	})
+	t.Run("analyze needs POST", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/analyze?table=roads", nil)
+		req.Header.Set("X-Request-Id", "cli-7")
+		body, _ := getErrorBody(t, h, req, http.StatusMethodNotAllowed)
+		if body.RequestID != "cli-7" {
+			t.Errorf("request ID %q", body.RequestID)
+		}
+	})
+	t.Run("analyze missing table", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("POST", "/analyze", nil)
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID == "" {
+			t.Error("minted request ID missing")
+		}
+	})
+}
+
+// waitInFlight spins until the gate reports n in-flight estimates.
+func waitInFlight(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.gate.inFlight() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never reached %d in-flight", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSuccessCarriesRequestID: the happy path carries the same request
+// ID in the JSON body and the X-Request-Id response header, and minted
+// IDs are deterministic in RequestIDSeed.
+func TestSuccessCarriesRequestID(t *testing.T) {
+	h := New(&stubBackend{}, Config{RequestIDSeed: 7}).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1&maxy=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp EstimateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.RequestID == "" || resp.RequestID != rec.Header().Get("X-Request-Id") {
+		t.Errorf("request ID body %q header %q", resp.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+
+	// Same seed, fresh server: the first minted ID must repeat.
+	h2 := New(&stubBackend{}, Config{RequestIDSeed: 7}).Handler()
+	rec2 := httptest.NewRecorder()
+	h2.ServeHTTP(rec2, httptest.NewRequest("GET", "/estimate?table=roads&minx=0&miny=0&maxx=1&maxy=1", nil))
+	var resp2 EstimateResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.RequestID != resp.RequestID {
+		t.Errorf("minted IDs differ across same-seed servers: %q vs %q", resp.RequestID, resp2.RequestID)
+	}
+
+	// A context-provided ID (the faultsim path) wins over minting.
+	s := New(&stubBackend{}, Config{})
+	resp3, err := s.Estimate(reqtrace.WithRequestID(context.Background(), "ctx-id"), "roads", q(0, 0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp3.RequestID != "ctx-id" {
+		t.Errorf("context request ID lost: %q", resp3.RequestID)
+	}
+}

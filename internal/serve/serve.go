@@ -26,12 +26,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/reqtrace"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
@@ -101,6 +104,16 @@ type Config struct {
 	// simulation harness injects a vclock.Sim to test every timing
 	// behavior without real sleeps.
 	Clock vclock.Clock
+	// Tracer records request-scoped span traces, the slow/degraded
+	// sampler and the query log (see internal/reqtrace). Nil disables
+	// tracing entirely — every span call becomes a no-op.
+	Tracer *reqtrace.Tracer
+	// RequestIDSeed seeds the generator of request IDs minted when a
+	// caller supplies none (no X-Request-Id header, nothing in the
+	// context). Default 1; with a fixed seed and serial requests the
+	// minted IDs are deterministic, which the fault simulation's
+	// byte-identical trace gate relies on.
+	RequestIDSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
+	if c.RequestIDSeed == 0 {
+		c.RequestIDSeed = 1
+	}
 	return c
 }
 
@@ -138,6 +154,11 @@ type Server struct {
 	flights *flightGroup
 	gate    *gate
 	httpSrv *http.Server
+
+	// idMu guards idRng: request-ID generation must be raceless and,
+	// under serial load, deterministic in RequestIDSeed.
+	idMu  sync.Mutex
+	idRng *rand.Rand
 
 	// Telemetry (nil-safe when EnableTelemetry was never called).
 	reg            *telemetry.Registry
@@ -162,6 +183,7 @@ func New(backend Backend, cfg Config) *Server {
 		clk:     cfg.Clock,
 		flights: newFlightGroup(),
 		gate:    newGate(cfg.MaxInFlight, cfg.QueueTimeout, cfg.Clock),
+		idRng:   rand.New(rand.NewSource(cfg.RequestIDSeed)),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize, cfg.CacheTTL, cfg.Clock)
@@ -233,6 +255,62 @@ type EstimateResponse struct {
 	// Breakers is the per-shard circuit-breaker state observed by this
 	// estimate; empty when breakers are disabled.
 	Breakers []string `json:"breakers,omitempty"`
+	// RequestID identifies the request across the response, the error
+	// body, the X-Request-Id header, the span trace and the query log.
+	// Taken from the caller (X-Request-Id header or context) or minted
+	// from the server's seeded generator.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// newRequestID mints a request ID from the seeded generator.
+func (s *Server) newRequestID() string {
+	s.idMu.Lock()
+	id := s.idRng.Uint64()
+	s.idMu.Unlock()
+	return fmt.Sprintf("%016x", id)
+}
+
+// resolveRequestID returns the caller's request ID from ctx or mints
+// one.
+func (s *Server) resolveRequestID(ctx context.Context) string {
+	if id := reqtrace.RequestIDFrom(ctx); id != "" {
+		return id
+	}
+	return s.newRequestID()
+}
+
+// errClass names an estimate failure for span traces and query logs.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrEstimatePanic):
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "backend"
+	}
+}
+
+// finishTrace seals the request's trace with the response outcome.
+func (s *Server) finishTrace(tr *reqtrace.Trace, resp EstimateResponse, err error) {
+	tr.Finish(reqtrace.Outcome{
+		Table:         resp.Table,
+		Query:         resp.Query,
+		Estimate:      resp.Estimate,
+		Quality:       resp.Quality,
+		Partial:       resp.Partial,
+		Cached:        resp.Cached,
+		Shared:        resp.Shared,
+		ShardsQueried: resp.ShardsQueried,
+		ShardsMissed:  resp.ShardsMissed,
+		Err:           errClass(err),
+	})
 }
 
 // Estimate runs the full serving path — cache, singleflight, gate,
@@ -244,37 +322,63 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 	if !q.Valid() {
 		return EstimateResponse{}, fmt.Errorf("serve: invalid query rectangle %v", q)
 	}
-	resp := EstimateResponse{Table: table, Query: [4]float64{q.MinX, q.MinY, q.MaxX, q.MaxY}}
+	reqID := s.resolveRequestID(ctx)
+	ctx, tr := s.cfg.Tracer.StartRequest(ctx, reqID)
+	resp := EstimateResponse{Table: table, Query: [4]float64{q.MinX, q.MinY, q.MaxX, q.MaxY}, RequestID: reqID}
 	key := quantizeKey(table, q, s.cfg.CacheQuantum)
 	if s.cache != nil {
-		if res, ok := s.cache.get(key); ok {
+		cs := reqtrace.SpanFrom(ctx).StartChild("serve.cache")
+		res, ok := s.cache.get(key)
+		if ok {
+			cs.SetAttr("outcome", "hit")
+			cs.End()
 			s.hits.Inc()
 			resp.Estimate, resp.Partial, resp.Cached = res.Estimate, res.Partial, true
 			resp.Quality = res.Quality.String()
 			resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
 			s.noteQuality(res.Quality)
+			s.finishTrace(tr, resp, nil)
 			return resp, nil
 		}
+		cs.SetAttr("outcome", "miss")
+		cs.End()
 	}
 	s.misses.Inc()
+	// The flight span belongs to this caller's trace; only the leader's
+	// closure runs, so gate and backend spans attach to the leader's
+	// flight while followers' flight spans stay childless with
+	// role=follower.
+	fs := reqtrace.SpanFrom(ctx).StartChild("serve.flight")
 	res, err, shared := s.flights.do(ctx, key, func() (shard.Result, error) {
+		gs := fs.StartChild("serve.gate")
 		if err := s.gate.acquire(ctx); err != nil {
+			gs.SetAttr("outcome", errClass(err))
+			gs.End()
 			return shard.Result{}, err
 		}
+		gs.SetAttr("outcome", "admitted")
+		gs.End()
 		defer s.gate.release()
 		s.inFlight.Set(float64(s.gate.inFlight()))
 		ectx, cancel := vclock.WithTimeout(ctx, s.clk, s.cfg.EstimateTimeout)
 		defer cancel()
-		return s.backend.EstimateContext(ectx, table, q)
+		bs := fs.StartChild("serve.backend")
+		defer bs.End()
+		return s.backend.EstimateContext(reqtrace.ContextWithSpan(ectx, bs), table, q)
 	})
 	if shared {
+		fs.SetAttr("role", "follower")
 		s.suppressed.Inc()
+	} else {
+		fs.SetAttr("role", "leader")
 	}
+	fs.End()
 	if err != nil {
 		if errors.Is(err, ErrShed) {
 			s.shed.Inc()
 			s.queueTimeouts.Inc()
 		}
+		s.finishTrace(tr, resp, err)
 		return EstimateResponse{}, err
 	}
 	if res.Partial || res.Quality != shard.QualityFull {
@@ -294,6 +398,7 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 	resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
 	resp.FallbackShards, resp.Breakers = res.FallbackShards, res.Breakers
 	s.noteQuality(res.Quality)
+	s.finishTrace(tr, resp, nil)
 	return resp, nil
 }
 
@@ -327,7 +432,8 @@ func (s *Server) Analyze(ctx context.Context, table string) (AnalyzeResponse, er
 }
 
 // Handler returns the API mux: /estimate, /analyze, /healthz (legacy),
-// /healthz/live and /healthz/ready.
+// /healthz/live, /healthz/ready, and — when a Tracer is configured —
+// /debug/traces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", s.handleEstimate)
@@ -335,6 +441,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/healthz/live", s.handleLive)
 	mux.HandleFunc("/healthz/ready", s.handleReady)
+	if s.cfg.Tracer != nil {
+		mux.Handle("/debug/traces", s.cfg.Tracer.Handler())
+	}
 	return mux
 }
 
@@ -357,13 +466,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v a
 	_ = json.NewEncoder(w).Encode(v) // client gone is the only failure; nothing to do
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope: every error and shed response
+// carries the message, the status code, and the request ID, so a
+// failed request is joinable against its span trace and query-log
+// record.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Code      int    `json:"code"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeError maps an error to a status code and JSON body.
-func (s *Server) writeError(w http.ResponseWriter, endpoint string, err error) {
+func (s *Server) writeError(w http.ResponseWriter, endpoint, reqID string, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrShed):
@@ -373,7 +487,7 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, err error) {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		code = http.StatusGatewayTimeout
 	}
-	s.writeJSON(w, endpoint, code, errorBody{Error: err.Error()})
+	s.writeJSON(w, endpoint, code, errorBody{Error: err.Error(), Code: code, RequestID: reqID})
 }
 
 // parseRectParams reads minx/miny/maxx/maxy query parameters.
@@ -397,38 +511,56 @@ func parseRectParams(r *http.Request) (geom.Rect, error) {
 	return q, nil
 }
 
+// httpRequestID resolves the request ID for an HTTP request — the
+// client's X-Request-Id or a minted one — and echoes it on the
+// response header.
+func (s *Server) httpRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = s.newRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	return id
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	reqID := s.httpRequestID(w, r)
 	table := r.URL.Query().Get("table")
 	if table == "" {
-		s.writeJSON(w, "estimate", http.StatusBadRequest, errorBody{Error: "missing parameter \"table\""})
+		s.writeJSON(w, "estimate", http.StatusBadRequest,
+			errorBody{Error: "missing parameter \"table\"", Code: http.StatusBadRequest, RequestID: reqID})
 		return
 	}
 	q, err := parseRectParams(r)
 	if err != nil {
-		s.writeJSON(w, "estimate", http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeJSON(w, "estimate", http.StatusBadRequest,
+			errorBody{Error: err.Error(), Code: http.StatusBadRequest, RequestID: reqID})
 		return
 	}
-	resp, err := s.Estimate(r.Context(), table, q)
+	resp, err := s.Estimate(reqtrace.WithRequestID(r.Context(), reqID), table, q)
 	if err != nil {
-		s.writeError(w, "estimate", err)
+		s.writeError(w, "estimate", reqID, err)
 		return
 	}
 	s.writeJSON(w, "estimate", http.StatusOK, resp)
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	reqID := s.httpRequestID(w, r)
 	if r.Method != http.MethodPost {
-		s.writeJSON(w, "analyze", http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		s.writeJSON(w, "analyze", http.StatusMethodNotAllowed,
+			errorBody{Error: "POST required", Code: http.StatusMethodNotAllowed, RequestID: reqID})
 		return
 	}
 	table := r.URL.Query().Get("table")
 	if table == "" {
-		s.writeJSON(w, "analyze", http.StatusBadRequest, errorBody{Error: "missing parameter \"table\""})
+		s.writeJSON(w, "analyze", http.StatusBadRequest,
+			errorBody{Error: "missing parameter \"table\"", Code: http.StatusBadRequest, RequestID: reqID})
 		return
 	}
 	resp, err := s.Analyze(r.Context(), table)
 	if err != nil {
-		s.writeError(w, "analyze", err)
+		s.writeError(w, "analyze", reqID, err)
 		return
 	}
 	s.writeJSON(w, "analyze", http.StatusOK, resp)

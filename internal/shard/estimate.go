@@ -3,10 +3,14 @@ package shard
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/reqtrace"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
@@ -186,8 +190,30 @@ func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Res
 	snap.estimates.Inc()
 	snap.fanout.Observe(float64(len(relevant)))
 	res := Result{ShardsTotal: len(snap.shards), ShardsQueried: len(relevant)}
+
+	// The scatter span (nil — a no-op — when the request carries no
+	// trace). done grades the result and seals the span with the merge
+	// decision: the overall quality plus the per-shard used-quality
+	// list, written by this goroutine only, so the trace-driven
+	// invariant checks read the gatherer's verdict, not a racing shard
+	// goroutine's.
+	scat := reqtrace.SpanFrom(ctx).StartChild("shard.scatter")
+	scat.SetInt("shards_total", len(snap.shards))
+	scat.SetInt("fanout", len(relevant))
+	done := func(relevant []int, quality map[int]Quality) (Result, error) {
+		res = sc.finish(snap, res, relevant, quality)
+		if scat != nil {
+			scat.SetAttr("quality", res.Quality.String())
+			scat.SetAttr("shard_quality", qualityList(relevant, quality))
+			if len(res.FallbackShards) > 0 {
+				scat.SetAttr("fallback_shards", intList(res.FallbackShards))
+			}
+			scat.End()
+		}
+		return res, nil
+	}
 	if len(relevant) == 0 {
-		return sc.finish(snap, res, nil, nil), nil
+		return done(nil, nil)
 	}
 
 	// Deadline nearly spent (or already gone): don't start a scatter
@@ -195,16 +221,19 @@ func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Res
 	// cheapest skew-aware rung immediately.
 	if deadline, ok := ctx.Deadline(); ctx.Err() != nil ||
 		(ok && deadline.Sub(snap.clk.Now()) < minScatterBudget) {
+		scat.Event("deadline.pre_scatter")
 		quality := make(map[int]Quality, len(relevant))
 		var total float64
 		for _, idx := range relevant {
 			s := snap.shards[idx]
+			sp := startShardSpan(scat, idx, s)
 			est, ql := s.degraded(q, s.coarsestRung())
+			endShardSpan(sp, s, s.coarsestRung(), est, ql)
 			total += est
 			quality[idx] = ql
 		}
 		res.Estimate = total
-		return sc.finish(snap, res, relevant, quality), nil
+		return done(relevant, quality)
 	}
 
 	// Fast path: a single relevant shard with no hook installed is a
@@ -214,37 +243,57 @@ func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Res
 	// the scatter path so degradation stays exercisable.
 	if len(relevant) == 1 && snap.hook == nil {
 		idx := relevant[0]
-		a := snap.walkOne(idx, q)
+		a := snap.walkOne(idx, q, startShardSpan(scat, idx, snap.shards[idx]))
 		res.Estimate = a.est
 		quality := map[int]Quality{idx: a.quality}
-		return sc.finish(snap, res, relevant, quality), nil
+		return done(relevant, quality)
 	}
 
 	// Scatter. The answer channel is buffered to the fan-out so late
 	// finishers never block after the gatherer has bailed out; they
-	// write their answer and exit, and the channel is garbage.
+	// write their answer and exit, and the channel is garbage. Shard
+	// spans are pre-created here, in routing order, so the trace's
+	// child order is deterministic regardless of goroutine scheduling;
+	// each span is then written only by its own goroutine. The pprof
+	// labels attribute CPU samples to (request, shard).
 	hedgeDelay := sc.hedgeDelay(snap)
 	answers := make(chan shardAnswer, len(relevant))
+	reqID := reqtrace.RequestIDFrom(ctx)
 	for _, idx := range relevant {
-		go func(idx int) { answers <- snap.callShard(ctx, idx, q, hedgeDelay) }(idx)
+		go func(idx int, sp *reqtrace.Span) {
+			pprof.Do(ctx, pprof.Labels("request_id", reqID, "shard", strconv.Itoa(idx)),
+				func(ctx context.Context) {
+					answers <- snap.callShard(ctx, idx, q, hedgeDelay, sp)
+				})
+		}(idx, startShardSpan(scat, idx, snap.shards[idx]))
 	}
 
 	// Gather until every shard reported or the context is done.
+	// Answers accumulate per shard and are totalled in routing order at
+	// the end: float addition is not associative, so summing in arrival
+	// order would let goroutine scheduling perturb the last bits of the
+	// merged estimate — enough to break the byte-identical trace and
+	// query-log replay gates.
 	quality := make(map[int]Quality, len(relevant))
-	var total float64
+	ests := make(map[int]float64, len(relevant))
 	for len(quality) < len(relevant) {
 		select {
 		case a := <-answers:
-			total += a.est
+			ests[a.idx] = a.est
 			quality[a.idx] = a.quality
 		case <-ctx.Done():
 			// Deadline or cancellation mid-scatter. Drain anything that
 			// raced in first — a real answer beats any fallback — then
-			// step the missing shards down the ladder.
+			// step the missing shards down the ladder. The gatherer's
+			// ladder answers are recorded as scatter-span events, not on
+			// the shard spans: those belong to their still-running
+			// goroutines, which will seal them with the answer that
+			// arrived too late.
+			scat.Event("deadline.mid_scatter")
 			for drained := true; drained && len(quality) < len(relevant); {
 				select {
 				case a := <-answers:
-					total += a.est
+					ests[a.idx] = a.est
 					quality[a.idx] = a.quality
 				default:
 					drained = false
@@ -256,15 +305,87 @@ func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Res
 				}
 				s := snap.shards[idx]
 				est, ql := s.degraded(q, s.coarsestRung())
-				total += est
+				scat.Event("ladder.fallback", reqtrace.Int("shard", idx),
+					reqtrace.Str("rung", rungName(s, s.coarsestRung())),
+					reqtrace.Str("quality", ql.String()))
+				ests[idx] = est
 				quality[idx] = ql
 			}
-			res.Estimate = total
-			return sc.finish(snap, res, relevant, quality), nil
+			res.Estimate = sumInOrder(relevant, ests)
+			return done(relevant, quality)
 		}
 	}
-	res.Estimate = total
-	return sc.finish(snap, res, relevant, quality), nil
+	res.Estimate = sumInOrder(relevant, ests)
+	return done(relevant, quality)
+}
+
+// sumInOrder totals per-shard estimates in routing order, so the merge
+// is a pure function of the answers regardless of which shard finished
+// first.
+func sumInOrder(relevant []int, ests map[int]float64) float64 {
+	var total float64
+	for _, idx := range relevant {
+		total += ests[idx]
+	}
+	return total
+}
+
+// startShardSpan opens one shard's span under the scatter span with
+// its static routing attributes: index, route box and full-histogram
+// bucket count.
+func startShardSpan(scat *reqtrace.Span, idx int, s *shardStat) *reqtrace.Span {
+	sp := scat.StartChild("shard.estimate")
+	sp.SetInt("shard", idx)
+	sp.SetAttr("route_box", s.routeBox.String())
+	sp.SetInt("buckets", len(s.hist.Buckets()))
+	return sp
+}
+
+// endShardSpan seals one shard's span with the answer it produced.
+func endShardSpan(sp *reqtrace.Span, s *shardStat, rung int, est float64, ql Quality) {
+	sp.SetAttr("quality", ql.String())
+	if ql != QualityFull {
+		sp.SetAttr("rung", rungName(s, rung))
+	}
+	sp.SetFloat("estimate", est)
+	sp.End()
+}
+
+// rungName names the degradation-ladder rung a shard answered from:
+// the rung index when the ladder has it, else "uniform".
+func rungName(s *shardStat, rung int) string {
+	if rung >= 0 && rung < len(s.ladder) {
+		return strconv.Itoa(rung)
+	}
+	return "uniform"
+}
+
+// qualityList renders the gatherer's per-shard used qualities in
+// routing order ("0:full,2:coarse"): the merge decision the
+// trace-driven invariant checks grade the response against.
+func qualityList(relevant []int, quality map[int]Quality) string {
+	var b strings.Builder
+	for i, idx := range relevant {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+		b.WriteByte(':')
+		b.WriteString(quality[idx].String())
+	}
+	return b.String()
+}
+
+// intList renders ints as "1,3,7".
+func intList(v []int) string {
+	var b strings.Builder
+	for i, n := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
 }
 
 // hedgeDelay resolves the adaptive hedge trigger for this request: 0
@@ -281,43 +402,60 @@ func (sc *ShardedCatalog) hedgeDelay(snap *scatterSnap) time.Duration {
 // walkOne runs the direct, attempt-free shard call used by the
 // single-shard fast path: breaker-gated full walk, degrading to the
 // first ladder rung when the breaker is open.
-func (sn *scatterSnap) walkOne(idx int, q geom.Rect) shardAnswer {
+func (sn *scatterSnap) walkOne(idx int, q geom.Rect, sp *reqtrace.Span) shardAnswer {
 	s := sn.shards[idx]
 	br := sn.breakerAt(idx)
 	tok, ok := br.Allow()
 	if !ok {
+		sp.SetAttr("breaker", "refused")
 		est, ql := s.degraded(q, 0)
+		endShardSpan(sp, s, 0, est, ql)
 		return shardAnswer{idx: idx, est: est, quality: ql}
 	}
-	t0 := sn.clk.Now()
-	est := s.hist.Estimate(q)
-	sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
+	est := sn.walk(s, q, sp)
 	br.Record(tok, true)
+	endShardSpan(sp, s, -1, est, QualityFull)
 	return shardAnswer{idx: idx, est: est, quality: QualityFull}
+}
+
+// walk runs the full histogram walk with its core.walk span and
+// latency observation.
+func (sn *scatterSnap) walk(s *shardStat, q geom.Rect, sp *reqtrace.Span) float64 {
+	ws := sp.StartChild("core.walk")
+	t0 := sn.clk.Now()
+	est, wst := s.hist.EstimateStats(q)
+	sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
+	ws.SetInt("buckets", wst.Buckets)
+	ws.SetInt("contributing", wst.Contributing)
+	ws.End()
+	return est
 }
 
 // callShard produces one shard's answer on the scatter path: breaker
 // admission, then the full histogram walk under the retry/hedge
 // policy, stepping down the degradation ladder when the breaker is
 // open or every attempt failed.
-func (sn *scatterSnap) callShard(ctx context.Context, idx int, q geom.Rect, hedgeDelay time.Duration) shardAnswer {
+func (sn *scatterSnap) callShard(ctx context.Context, idx int, q geom.Rect, hedgeDelay time.Duration, sp *reqtrace.Span) shardAnswer {
 	s := sn.shards[idx]
 	br := sn.breakerAt(idx)
 	tok, ok := br.Allow()
 	if !ok {
+		sp.SetAttr("breaker", "refused")
 		est, ql := s.degraded(q, 0)
+		endShardSpan(sp, s, 0, est, ql)
 		return shardAnswer{idx: idx, est: est, quality: ql}
 	}
 	if sn.hook == nil {
 		// No hook: the walk cannot fail or stall; skip the attempt
 		// machinery (see hedgeDelay).
-		t0 := sn.clk.Now()
-		est := s.hist.Estimate(q)
-		sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
+		est := sn.walk(s, q, sp)
 		br.Record(tok, true)
+		endShardSpan(sp, s, -1, est, QualityFull)
 		return shardAnswer{idx: idx, est: est, quality: QualityFull}
 	}
-	est, stats, err := resilience.Do(ctx, resilience.CallPolicy{
+	// Carry the shard span to resilience.Do, whose coordinator emits
+	// retry/hedge events onto it.
+	est, stats, err := resilience.Do(reqtrace.ContextWithSpan(ctx, sp), resilience.CallPolicy{
 		Clock:      sn.clk,
 		Retry:      sn.retrier,
 		HedgeDelay: hedgeDelay,
@@ -338,14 +476,18 @@ func (sn *scatterSnap) callShard(ctx context.Context, idx int, q geom.Rect, hedg
 	if stats.HedgeWon {
 		sn.hedgeWins.Inc()
 	}
+	sp.SetInt("attempts", stats.Attempts)
 	if err != nil {
 		// Breaker-visible failure: retry budget spent or deadline hit
 		// while this shard still owed its answer.
 		br.Record(tok, false)
+		sp.SetAttr("breaker", "recorded_failure")
 		dest, ql := s.degraded(q, 0)
+		endShardSpan(sp, s, 0, dest, ql)
 		return shardAnswer{idx: idx, est: dest, quality: ql}
 	}
 	br.Record(tok, true)
+	endShardSpan(sp, s, -1, est, QualityFull)
 	return shardAnswer{idx: idx, est: est, quality: QualityFull}
 }
 

@@ -1,0 +1,71 @@
+package spatialdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/reqtrace"
+	"repro/internal/synthetic"
+	"repro/internal/trace"
+)
+
+// TestREPLQuerylogJoin drives the querylog-join command end to end: a
+// served query log joins against the live index's exact counts into an
+// internal/trace file with zero loss, skipping errored records and
+// other tables' traffic.
+func TestREPLQuerylogJoin(t *testing.T) {
+	db := newTestDB(t)
+	if err := db.Create("roads", synthetic.Uniform(2000, 1000, 5, 20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	repl := &REPL{DB: db}
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "estimates.ndjson")
+	outPath := filepath.Join(dir, "replay.trace")
+	var buf bytes.Buffer
+	ql := reqtrace.NewQueryLog(&buf)
+	ql.Record(reqtrace.Record{RequestID: "a", Table: "roads", Query: [4]float64{0, 0, 200, 200}, Estimate: 80, Quality: "full"})
+	ql.Record(reqtrace.Record{RequestID: "b", Table: "roads", Query: [4]float64{100, 100, 900, 900}, Estimate: 1200, Quality: "coarse", Partial: true})
+	ql.Record(reqtrace.Record{RequestID: "c", Table: "other", Query: [4]float64{0, 0, 1, 1}})
+	ql.Record(reqtrace.Record{RequestID: "d", Table: "roads", Err: "shed"})
+	if err := os.WriteFile(logPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := repl.Exec("querylog-join "+logPath+" roads "+outPath, &out); err != nil {
+		t.Fatalf("querylog-join: %v", err)
+	}
+	if !strings.Contains(out.String(), "joined 2 queries") || !strings.Contains(out.String(), "loss 0") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+
+	loaded, err := trace.Load(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("trace has %d queries, want 2", loaded.Len())
+	}
+	for i, q := range loaded.Queries {
+		want, err := db.Count("roads", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Actual[i] != want {
+			t.Errorf("query %d: joined actual %d, index count %d", i, loaded.Actual[i], want)
+		}
+	}
+
+	// Missing/empty cases fail loudly instead of writing empty traces.
+	if err := repl.Exec("querylog-join "+logPath+" nosuch "+outPath, &out); err == nil {
+		t.Error("join with no matching records should fail")
+	}
+	if err := repl.Exec("querylog-join "+filepath.Join(dir, "missing.ndjson")+" roads "+outPath, &out); err == nil {
+		t.Error("join of a missing file should fail")
+	}
+}

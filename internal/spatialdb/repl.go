@@ -11,8 +11,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geojson"
 	"repro/internal/geom"
+	"repro/internal/reqtrace"
 	"repro/internal/synthetic"
 	"repro/internal/tiger"
+	"repro/internal/trace"
 	"repro/internal/wkt"
 )
 
@@ -67,6 +69,7 @@ const Help = `commands:
   join <table-a> <table-b>                   estimated join cardinality
   stats <table>                              table and statistics state
   metrics [json]                             dump telemetry (Prometheus or JSON)
+  querylog-join <path> <table> <out>         join a served query log with exact counts into a trace file
   drop <table>                               drop a table
   help                                       this text
   quit                                       exit`
@@ -230,6 +233,8 @@ func (r *REPL) Exec(line string, w io.Writer) error {
 			return err
 		}
 		return ew.err
+	case "querylog-join":
+		return r.querylogJoin(args, ew)
 	case "drop":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: drop <table>")
@@ -347,6 +352,53 @@ func tableAndRect(args []string) (string, geom.Rect, error) {
 		vals[i] = v
 	}
 	return args[0], geom.NewRect(vals[0], vals[1], vals[2], vals[3]), nil
+}
+
+// querylogJoin closes the production-replay loop: it reads a query
+// log captured by the serving tier (-query-log), keeps the named
+// table's error-free records, joins each query with its exact count
+// from the live index, and saves the result in internal/trace format —
+// then loads it back and reports the loss, which must be zero.
+func (r *REPL) querylogJoin(args []string, ew *errWriter) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: querylog-join <path> <table> <out>")
+	}
+	path, table, out := args[0], args[1], args[2]
+	recs, err := reqtrace.ReadQueryLogFile(path)
+	if err != nil {
+		return err
+	}
+	matched := make([]reqtrace.Record, 0, len(recs))
+	skipped := 0
+	for _, rec := range recs {
+		switch {
+		case rec.Table != table:
+			// Another table's traffic: not an error, just out of scope.
+		case rec.Err != "":
+			skipped++
+		default:
+			matched = append(matched, rec)
+		}
+	}
+	if len(matched) == 0 {
+		return fmt.Errorf("querylog-join: no joinable records for table %q in %s", table, path)
+	}
+	joined, err := reqtrace.JoinTrace(matched, func(q geom.Rect) (int, error) {
+		return r.DB.Count(table, q)
+	})
+	if err != nil {
+		return err
+	}
+	if err := trace.Save(out, joined); err != nil {
+		return err
+	}
+	loaded, err := trace.Load(out)
+	if err != nil {
+		return err
+	}
+	ew.printf("joined %d queries from %s (skipped %d errored), wrote %s, loss %d\n",
+		joined.Len(), path, skipped, out, joined.Len()-loaded.Len())
+	return ew.err
 }
 
 // Run reads commands until EOF or quit, printing errors to w without

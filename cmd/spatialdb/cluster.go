@@ -1,0 +1,249 @@
+// Cluster node roles. With -role the binary becomes one node of the
+// distributed estimation tier instead of a single-node REPL:
+//
+//	spatialdb -role worker -cluster-addr localhost:7071
+//	spatialdb -role worker -cluster-addr localhost:7072
+//	spatialdb -role coordinator -peers localhost:7071,localhost:7072 \
+//	    -serve-addr localhost:8080 -shards 4 -replicas 2
+//
+// A worker serves per-shard estimates from the Min-Skew snapshots the
+// coordinator ships to it. The coordinator generates the -cluster-gen
+// tables, builds sharded statistics, ships each shard's snapshot to
+// its replica workers, and fronts the cluster with the same /estimate
+// HTTP API (cache, admission control, request tracing) the
+// single-node server exposes — POST /analyze rebuilds and re-ships.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/reqtrace"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/spatialdb"
+	"repro/internal/telemetry"
+)
+
+// nodeOpts carries the flag values a cluster role reads.
+type nodeOpts struct {
+	clusterAddr string
+	peers       string
+	replicas    int
+	gen         string
+	metricsAddr string
+	serveAddr   string
+	shards      int
+	buckets     int
+	regions     int
+	ladderRungs int
+	noResil     bool
+	traceRing   int
+	queryLog    string
+}
+
+// runWorker serves the worker protocol (PUT /cluster/snapshot, GET
+// /cluster/estimate, GET /cluster/status) on -cluster-addr until
+// signalled. A worker starts empty and holds whatever snapshots a
+// coordinator ships to it.
+func runWorker(ctx context.Context, o nodeOpts) int {
+	ln, err := net.Listen("tcp", o.clusterAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: cluster listener: %v\n", err)
+		return 1
+	}
+	reg := telemetry.NewRegistry()
+	tracer := reqtrace.New(reqtrace.Config{Ring: o.traceRing})
+	tracer.EnableTelemetry(reg)
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		ID:     cluster.NodeID(ln.Addr().String()),
+		Tracer: tracer,
+	})
+	w.EnableTelemetry(reg)
+	metricsSrv := startMetricsServer(reg, o.metricsAddr)
+
+	fmt.Fprintf(os.Stderr, "spatialdb: worker %s awaiting snapshots\n", ln.Addr())
+	srv := &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	exit := 0
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "spatialdb: worker server: %v\n", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "spatialdb: shutting down")
+	}
+	grace, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(grace); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: worker shutdown: %v\n", err)
+		exit = 1
+	}
+	shutdownMetrics(grace, metricsSrv)
+	return exit
+}
+
+// runCoordinator builds the cluster coordinator, ships statistics to
+// the -peers workers, and serves the /estimate API until signalled.
+func runCoordinator(ctx context.Context, o nodeOpts) int {
+	if o.serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "spatialdb: -role coordinator needs -serve-addr for the /estimate API")
+		return 2
+	}
+	coord, reg, err := buildCoordinator(ctx, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", o.serveAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: serve listener: %v\n", err)
+		return 1
+	}
+	var qlog *reqtrace.QueryLog
+	if o.queryLog != "" {
+		qlog, err = reqtrace.OpenQueryLog(o.queryLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: query log: %v\n", err)
+			return 1
+		}
+	}
+	tracer := reqtrace.New(reqtrace.Config{Ring: o.traceRing, QueryLog: qlog})
+	tracer.EnableTelemetry(reg)
+	estSrv := serve.New(coord, serve.Config{Tracer: tracer})
+	estSrv.EnableTelemetry(reg)
+	metricsSrv := startMetricsServer(reg, o.metricsAddr)
+
+	fmt.Fprintf(os.Stderr, "spatialdb: coordinator on http://%s/estimate over %d workers\n",
+		ln.Addr(), len(strings.Split(o.peers, ",")))
+	errc := make(chan error, 1)
+	go func() { errc <- estSrv.Serve(ln) }()
+
+	exit := 0
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "spatialdb: coordinator server: %v\n", err)
+			exit = 1
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "spatialdb: shutting down")
+	}
+	grace, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := estSrv.Shutdown(grace); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: coordinator shutdown: %v\n", err)
+		exit = 1
+	}
+	shutdownMetrics(grace, metricsSrv)
+	if qlog != nil {
+		if err := qlog.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: query log: %v\n", err)
+			exit = 1
+		}
+		if err := qlog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: query log close: %v\n", err)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// buildCoordinator wires a coordinator over the -peers workers,
+// generates the -cluster-gen tables, and builds and ships their
+// statistics. A failed ship to an unreachable worker does not fail
+// startup — the coordinator degrades those shards to map summaries
+// until a later /analyze re-ships.
+func buildCoordinator(ctx context.Context, o nodeOpts) (*cluster.Coordinator, *telemetry.Registry, error) {
+	var nodes []cluster.NodeID
+	for _, p := range strings.Split(o.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			nodes = append(nodes, cluster.NodeID(p))
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("-role coordinator needs -peers host:port[,host:port...]")
+	}
+	specs, err := parseGenSpecs(o.gen)
+	if err != nil {
+		return nil, nil, err
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Nodes:     nodes,
+		Transport: &cluster.HTTPTransport{},
+		Replicas:  o.replicas,
+		Shard: shard.Config{
+			Shards:      o.shards,
+			Buckets:     o.buckets,
+			Regions:     o.regions,
+			LadderRungs: o.ladderRungs,
+			Resilience:  resilience.Config{Disable: o.noResil},
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := telemetry.NewRegistry()
+	coord.EnableTelemetry(reg)
+	for _, s := range specs {
+		d, err := spatialdb.Generate(s.kind, s.rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		coord.AddTable(s.table, d)
+		if err := coord.AnalyzeContext(ctx, s.table); err != nil {
+			return nil, nil, fmt.Errorf("analyze %s: %w", s.table, err)
+		}
+		fmt.Fprintf(os.Stderr, "spatialdb: %s: %d rows sharded and shipped at epoch %d\n",
+			s.table, d.N(), coord.Epoch(s.table))
+	}
+	return coord, reg, nil
+}
+
+// genSpec is one parsed -cluster-gen entry.
+type genSpec struct {
+	table string
+	kind  string
+	rows  int
+}
+
+// parseGenSpecs reads "table=kind:rows[,table=kind:rows...]", e.g.
+// "roads=charminar:20000,parks=uniform:5000".
+func parseGenSpecs(s string) ([]genSpec, error) {
+	var out []genSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		table, rest, ok := strings.Cut(part, "=")
+		if !ok || table == "" {
+			return nil, fmt.Errorf("bad -cluster-gen entry %q (want table=kind:rows)", part)
+		}
+		kind, rowsStr, ok := strings.Cut(rest, ":")
+		if !ok || kind == "" {
+			return nil, fmt.Errorf("bad -cluster-gen entry %q (want table=kind:rows)", part)
+		}
+		rows, err := strconv.Atoi(rowsStr)
+		if err != nil || rows < 1 {
+			return nil, fmt.Errorf("bad row count in -cluster-gen entry %q", part)
+		}
+		out = append(out, genSpec{table: table, kind: kind, rows: rows})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cluster-gen names no tables")
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/reqtrace"
+)
+
+func TestParseGenSpecs(t *testing.T) {
+	specs, err := parseGenSpecs("roads=charminar:20000, parks=uniform:5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []genSpec{
+		{table: "roads", kind: "charminar", rows: 20000},
+		{table: "parks", kind: "uniform", rows: 5000},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d: got %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"",
+		"roads",
+		"roads=charminar",
+		"=charminar:100",
+		"roads=:100",
+		"roads=charminar:0",
+		"roads=charminar:x",
+	} {
+		if _, err := parseGenSpecs(bad); err == nil {
+			t.Errorf("parseGenSpecs(%q) should fail", bad)
+		}
+	}
+}
+
+// TestBuildCoordinatorEndToEnd wires the coordinator role against two
+// real HTTP workers exactly as the flags would, and checks snapshots
+// land and estimates come back at full quality.
+func TestBuildCoordinatorEndToEnd(t *testing.T) {
+	var hosts []string
+	var workers []*cluster.Worker
+	for i := 0; i < 2; i++ {
+		w := cluster.NewWorker(cluster.WorkerConfig{Tracer: reqtrace.New(reqtrace.Config{})})
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, u.Host)
+		workers = append(workers, w)
+	}
+
+	o := nodeOpts{
+		peers:    strings.Join(hosts, ","),
+		replicas: 2,
+		gen:      "roads=charminar:2000",
+		shards:   4,
+		buckets:  60,
+	}
+	coord, reg, err := buildCoordinator(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil {
+		t.Fatal("no registry")
+	}
+	if got := coord.Epoch("roads"); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	// Replicas 2 over 2 nodes: every worker holds every shard.
+	for i, w := range workers {
+		if got := len(w.Status()); got != o.shards {
+			t.Errorf("worker %d holds %d snapshots, want %d", i, got, o.shards)
+		}
+	}
+	res, err := coord.EstimateContext(context.Background(), "roads", geom.NewRect(0, 0, 10000, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Errorf("full-space estimate degraded: %+v", res)
+	}
+	if res.Estimate <= 0 {
+		t.Errorf("estimate = %v, want > 0", res.Estimate)
+	}
+}

@@ -25,6 +25,12 @@
 // replayable against candidate statistics once ground truth is joined
 // (see the REPL's querylog-join command).
 //
+// With -role worker or -role coordinator, the binary becomes one node
+// of the distributed estimation tier instead of a REPL: workers serve
+// shard estimates from shipped Min-Skew snapshots, the coordinator
+// builds and ships statistics and fronts the cluster with the same
+// /estimate API (see cluster.go for the wiring and an example).
+//
 // SIGINT and SIGTERM shut both HTTP servers down gracefully before the
 // process exits; statistics are persisted (with -stats) either way.
 //
@@ -68,6 +74,11 @@ func main() {
 		noResil     = flag.Bool("no-resilience", false, "disable circuit breakers, retries and hedged shard calls in the sharded tier")
 		traceRing   = flag.Int("trace-ring", 256, "request traces retained for /debug/traces (with -serve-addr)")
 		queryLog    = flag.String("query-log", "", "append one NDJSON record per /estimate request to this file (with -serve-addr)")
+		role        = flag.String("role", "", "cluster node role: 'worker' or 'coordinator' (empty = single-node REPL)")
+		clusterAddr = flag.String("cluster-addr", "localhost:7070", "worker: listen address for the cluster snapshot/estimate protocol")
+		peers       = flag.String("peers", "", "coordinator: comma-separated worker host:port list")
+		replicas    = flag.Int("replicas", 2, "coordinator: worker replicas holding each shard snapshot")
+		clusterGen  = flag.String("cluster-gen", "roads=charminar:20000", "coordinator: tables to generate and analyze, as table=kind:rows[,...] with kind charminar|njroad|uniform")
 	)
 	flag.Parse()
 
@@ -75,6 +86,36 @@ func main() {
 	// fresh deadline derived afterwards (ctx itself is already done).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *role != "" {
+		opts := nodeOpts{
+			clusterAddr: *clusterAddr,
+			peers:       *peers,
+			replicas:    *replicas,
+			gen:         *clusterGen,
+			metricsAddr: *metricsAddr,
+			serveAddr:   *serveAddr,
+			shards:      *shards,
+			buckets:     *buckets,
+			regions:     *regions,
+			ladderRungs: *ladderRungs,
+			noResil:     *noResil,
+			traceRing:   *traceRing,
+			queryLog:    *queryLog,
+		}
+		exit := 0
+		switch *role {
+		case "worker":
+			exit = runWorker(ctx, opts)
+		case "coordinator":
+			exit = runCoordinator(ctx, opts)
+		default:
+			fmt.Fprintf(os.Stderr, "spatialdb: unknown -role %q (want worker or coordinator)\n", *role)
+			exit = 2
+		}
+		stop()
+		os.Exit(exit)
+	}
 
 	db := spatialdb.New(catalog.Config{Buckets: *buckets, Regions: *regions})
 	reg := telemetry.NewRegistry()
@@ -87,21 +128,7 @@ func main() {
 		})
 	}
 
-	var metricsSrv *http.Server
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spatialdb: metrics listener: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "spatialdb: metrics on http://%s/metrics\n", ln.Addr())
-		metricsSrv = &http.Server{Handler: metricsMux(reg), ReadHeaderTimeout: 5 * time.Second}
-		go func() {
-			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "spatialdb: metrics server: %v\n", err)
-			}
-		}()
-	}
+	metricsSrv := startMetricsServer(reg, *metricsAddr)
 
 	var estSrv *serve.Server
 	var qlog *reqtrace.QueryLog
@@ -165,11 +192,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spatialdb: estimation shutdown: %v\n", err)
 		}
 	}
-	if metricsSrv != nil {
-		if err := metricsSrv.Shutdown(grace); err != nil {
-			fmt.Fprintf(os.Stderr, "spatialdb: metrics shutdown: %v\n", err)
-		}
-	}
+	shutdownMetrics(grace, metricsSrv)
 	if qlog != nil {
 		// Surface a latched write error now — a silently truncated query
 		// log would be unreplayable.
@@ -190,6 +213,38 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// startMetricsServer serves the admin mux on addr in the background,
+// or returns nil when addr is empty. A bad listener is fatal: the
+// operator asked for telemetry they would silently not get.
+func startMetricsServer(reg *telemetry.Registry, addr string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: metrics listener: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "spatialdb: metrics on http://%s/metrics\n", ln.Addr())
+	srv := &http.Server{Handler: metricsMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "spatialdb: metrics server: %v\n", err)
+		}
+	}()
+	return srv
+}
+
+// shutdownMetrics drains the metrics server if one is running.
+func shutdownMetrics(ctx context.Context, srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "spatialdb: metrics shutdown: %v\n", err)
+	}
 }
 
 // metricsMux builds the self-contained admin mux.

@@ -1,0 +1,104 @@
+// Package cluster promotes the in-process sharded catalog
+// (internal/shard) to a distributed estimation tier. Three roles:
+//
+//   - A Coordinator owns a versioned partition map per table — epoch
+//     numbered, spatially derived from the same Min-Skew partitioning
+//     the sharded catalog uses — and fans estimates out to worker
+//     nodes with the existing scatter-gather semantics: route-box
+//     pruning, deadline-aware gather, per-remote-node circuit
+//     breakers, budgeted retries that fail over to the next replica,
+//     p95 hedging, and the degradation ladder.
+//   - Workers serve per-shard estimates from replicated Min-Skew
+//     snapshots. Any worker can serve any shard it holds a snapshot
+//     for, giving N-way read scaling.
+//   - Snapshot shipping moves the statistics: histograms are tiny
+//     relative to the data they summarize (the paper's core economy),
+//     so a rebuild serializes each shard — full histogram, degradation
+//     ladder, uniformity fallback — and ships it to the shard's
+//     replicas before the coordinator swaps in the new map.
+//
+// # Epoch protocol
+//
+// Every partition map carries the build epoch of the shard set it
+// routes to (shard.ShardedCatalog.Epoch). Workers keep the current
+// and previous snapshot per (table, shard), so during a live reshard
+// an in-flight request routed by the old map still gets an
+// exact-epoch answer. A worker's reply always states the epoch it
+// served; the coordinator rejects mismatched replies as stale, fails
+// over to the next replica, and only then degrades — answering from
+// the map-embedded coarse summary, which is epoch-consistent with the
+// map by construction. A response therefore never mixes statistics
+// generations. Map swaps are atomic pointer stores: an estimate loads
+// the map exactly once, so concurrent resharding never tears a
+// request.
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// NodeID identifies a worker node. For the HTTP transport it is the
+// node's host:port address; the in-process transport treats it as an
+// opaque registry key.
+type NodeID string
+
+// Transport-level and protocol-level sentinel errors.
+var (
+	// ErrUnreachable: the transport could not deliver the call (the
+	// cluster analogue of a connection failure). Breakers count it.
+	ErrUnreachable = errors.New("cluster: node unreachable")
+	// ErrNoSnapshot: the worker holds no snapshot for the requested
+	// (table, shard) — it missed the shipping round.
+	ErrNoSnapshot = errors.New("cluster: no snapshot for requested shard")
+	// ErrStaleSnapshot: the worker answered from a different epoch
+	// than the partition map expected. The coordinator treats it as a
+	// failed attempt and fails over to the next replica.
+	ErrStaleSnapshot = errors.New("cluster: snapshot epoch mismatch")
+)
+
+// ShardRoute is one shard's entry in a partition map: the routing
+// geometry, the replicas holding its snapshot, and the coordinator's
+// local degradation summaries. All fields are immutable after the map
+// is published.
+type ShardRoute struct {
+	// Index is the shard's position in routing order.
+	Index int
+	// Region is the partition cell the shard was assigned.
+	Region geom.Rect
+	// RouteBox is the shard MBR padded for exact pruning: a query
+	// that cannot reach it contributes zero in this shard.
+	RouteBox geom.Rect
+	// Rows is the shard's rectangle count.
+	Rows int
+	// Nodes lists the replicas holding this shard's snapshot, primary
+	// first. Attempt n of a shard call goes to Nodes[n mod len], so a
+	// retry or hedge is a failover to the next replica.
+	Nodes []NodeID
+	// Coarse is the shard's coarsest degradation-ladder rung, kept
+	// coordinator-side (it is the smallest skew-aware summary) so a
+	// shard whose every replica is unreachable still gets a
+	// skew-aware, epoch-consistent answer. Nil when the shard has no
+	// ladder.
+	Coarse *core.BucketEstimator
+	// Fallback is the single-bucket uniformity summary — the last
+	// resort, also epoch-consistent with the map.
+	Fallback core.Bucket
+}
+
+// PartitionMap is the versioned routing state for one table. Maps are
+// immutable once published; resharding builds a complete new map and
+// swaps the pointer atomically.
+type PartitionMap struct {
+	// Table is the table the map routes.
+	Table string
+	// Epoch is the statistics build epoch every route in the map —
+	// and every snapshot it points at — belongs to.
+	Epoch uint64
+	// Rows is the total rectangle count across shards.
+	Rows int
+	// Shards holds one route per shard, in routing order.
+	Shards []ShardRoute
+}

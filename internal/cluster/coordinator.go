@@ -1,0 +1,662 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/reqtrace"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// CoordinatorConfig configures the cluster coordinator.
+type CoordinatorConfig struct {
+	// Nodes lists the worker nodes, in a fixed order that replica
+	// assignment and breaker reporting follow.
+	Nodes []NodeID
+	// Transport delivers shard calls and snapshot ships.
+	Transport Transport
+	// Replicas is how many nodes hold each shard's snapshot. Default
+	// 2, capped at len(Nodes).
+	Replicas int
+	// Shard mirrors the in-process sharding policy: the coordinator
+	// builds statistics exactly like a ShardedCatalog (same shards,
+	// buckets, regions, ladder), then ships them. Shard.Resilience is
+	// repurposed per-remote-node: breakers guard nodes, retries fail
+	// over to the next replica, hedging races one.
+	Shard shard.Config
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	c.Shard = func(sc shard.Config) shard.Config {
+		// Reuse shard's defaulting by building a throwaway catalog.
+		return shard.New(sc).Config()
+	}(c.Shard)
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Nodes) {
+		c.Replicas = len(c.Nodes)
+	}
+	return c
+}
+
+// minScatterBudget mirrors shard's: below this remaining deadline the
+// coordinator answers from map summaries instead of launching calls
+// it will abandon.
+const minScatterBudget = 500 * time.Microsecond
+
+// tableState is one table's routing state: the retained distribution
+// (for rebuilds), the local build catalog, and the atomically swapped
+// partition map.
+type tableState struct {
+	d   *dataset.Distribution
+	cat *shard.ShardedCatalog
+	pm  atomic.Pointer[PartitionMap]
+}
+
+// Coordinator owns the partition maps and fans estimates out to
+// worker nodes. It implements serve.Backend and serve.StatusReporter,
+// so the existing HTTP serving tier (cache, singleflight, admission,
+// tracing) fronts a cluster unchanged.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	clk vclock.Clock
+
+	mu     sync.RWMutex
+	tables map[string]*tableState
+
+	// breakers maps each node to its circuit breaker; built once in
+	// NewCoordinator, the map itself is immutable (values lock
+	// themselves). Nil when breakers are disabled.
+	breakers map[NodeID]*resilience.Breaker
+	retrier  *resilience.Retrier
+	// callLatency is the always-on remote-call latency histogram
+	// feeding the adaptive hedge delay.
+	callLatency *telemetry.Histogram
+
+	// Telemetry (nil-safe until EnableTelemetry).
+	reg        *telemetry.Registry
+	estimates  *telemetry.Counter
+	partials   *telemetry.Counter
+	staleCalls *telemetry.Counter
+	retries    *telemetry.Counter
+	hedges     *telemetry.Counter
+	hedgeWins  *telemetry.Counter
+	shipBytes  *telemetry.Histogram
+}
+
+// NewCoordinator builds a coordinator over the given nodes and
+// transport. Statistics are empty until AnalyzeContext.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one node")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a transport")
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		clk:    cfg.Shard.Clock,
+		tables: make(map[string]*tableState),
+	}
+	c.callLatency, _ = telemetry.NewHistogram(telemetry.DefaultLatencyBuckets)
+	res := cfg.Shard.Resilience
+	if res.BreakersEnabled() {
+		c.breakers = make(map[NodeID]*resilience.Breaker, len(cfg.Nodes))
+		for _, n := range cfg.Nodes {
+			node := n
+			c.breakers[n] = resilience.NewBreaker(res.Breaker, c.clk,
+				func(_, to resilience.State) { c.noteBreakerTransition(node, to) })
+		}
+	}
+	if res.RetriesEnabled() {
+		c.retrier = resilience.NewRetrier(res.Retry, c.clk,
+			rand.New(rand.NewSource(res.Seed)))
+	}
+	return c, nil
+}
+
+// EnableTelemetry registers the coordinator's metrics in reg.
+func (c *Coordinator) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+	c.estimates = reg.Counter("cluster_estimates_total",
+		"Cluster scatter-gather estimates served by the coordinator.")
+	c.partials = reg.Counter("cluster_partial_results_total",
+		"Cluster estimates with at least one shard answered from a map summary.")
+	c.staleCalls = reg.Counter("cluster_stale_replies_total",
+		"Worker replies rejected for serving a different epoch than the partition map.")
+	// Same series the in-process catalog uses, so dashboards and the
+	// fault-simulation report read one place regardless of tier.
+	c.retries = reg.Counter("resilience_retries_total",
+		"Shard-call attempts relaunched after a failed attempt.")
+	c.hedges = reg.Counter("resilience_hedges_total",
+		"Hedged shard-call attempts launched.")
+	c.hedgeWins = reg.Counter("resilience_hedge_wins_total",
+		"Hedged attempts that produced the winning result.")
+	c.shipBytes = reg.Histogram("cluster_snapshot_bytes",
+		"Encoded size of shard snapshots shipped to workers.", snapshotBytesBuckets)
+}
+
+// noteBreakerTransition mirrors the shard catalog's: per-node breaker
+// state gauge plus the transition counter.
+func (c *Coordinator) noteBreakerTransition(node NodeID, to resilience.State) {
+	c.mu.RLock()
+	reg := c.reg
+	c.mu.RUnlock()
+	if reg == nil {
+		return
+	}
+	reg.Gauge("cluster_breaker_state",
+		"Per-node circuit breaker state (0 closed, 1 half-open, 2 open).",
+		telemetry.Label{Key: "node", Value: string(node)}).Set(float64(to))
+	reg.Counter("cluster_breaker_transitions_total",
+		"Node circuit breaker state transitions by destination state.",
+		telemetry.Label{Key: "to", Value: to.String()}).Inc()
+}
+
+// noteShip counts one snapshot ship attempt in telemetry.
+func (c *Coordinator) noteShip(node NodeID, bytes int, err error) {
+	c.mu.RLock()
+	reg := c.reg
+	shipBytes := c.shipBytes
+	c.mu.RUnlock()
+	if err == nil {
+		shipBytes.Observe(float64(bytes))
+	}
+	if reg == nil {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = "error"
+	}
+	reg.Counter("cluster_ship_total",
+		"Shard snapshot ships to workers, by node and result.",
+		telemetry.Label{Key: "node", Value: string(node)},
+		telemetry.Label{Key: "result", Value: result}).Inc()
+}
+
+// AddTable registers a distribution under name. Statistics build on
+// the next AnalyzeContext.
+func (c *Coordinator) AddTable(name string, d *dataset.Distribution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = &tableState{d: d, cat: shard.New(c.cfg.Shard)}
+}
+
+func (c *Coordinator) table(name string) *tableState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Tables implements serve.Backend: registered table names, sorted.
+func (c *Coordinator) Tables() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Epoch returns the published partition-map epoch for table (0 before
+// the first successful AnalyzeContext).
+func (c *Coordinator) Epoch(table string) uint64 {
+	ts := c.table(table)
+	if ts == nil {
+		return 0
+	}
+	pm := ts.pm.Load()
+	if pm == nil {
+		return 0
+	}
+	return pm.Epoch
+}
+
+// Map returns the live partition map for table (nil before the first
+// AnalyzeContext). The map is immutable.
+func (c *Coordinator) Map(table string) *PartitionMap {
+	ts := c.table(table)
+	if ts == nil {
+		return nil
+	}
+	return ts.pm.Load()
+}
+
+// replicasFor assigns shard i its replica nodes: Replicas consecutive
+// nodes starting at i mod N, so shards spread evenly and replica sets
+// of adjacent shards overlap minimally.
+func (c *Coordinator) replicasFor(i int) []NodeID {
+	nodes := make([]NodeID, 0, c.cfg.Replicas)
+	for r := 0; r < c.cfg.Replicas; r++ {
+		nodes = append(nodes, c.cfg.Nodes[(i+r)%len(c.cfg.Nodes)])
+	}
+	return nodes
+}
+
+// AnalyzeContext implements serve.Backend: rebuild the table's
+// statistics from the retained distribution, ship every shard's
+// snapshot to its replicas, then publish the new partition map with
+// one atomic swap. In-flight estimates keep the old map — and workers
+// keep the old snapshots one generation deep — so no request is
+// dropped or torn by a reshard. Ship failures do not fail the
+// rebuild: the affected replicas simply serve a stale epoch until the
+// next ship, which the estimate path detects and routes around.
+func (c *Coordinator) AnalyzeContext(ctx context.Context, name string) error {
+	ts := c.table(name)
+	if ts == nil {
+		return fmt.Errorf("cluster: no table %q", name)
+	}
+	if err := ts.cat.AnalyzeContext(ctx, ts.d); err != nil {
+		return err
+	}
+	exports := ts.cat.Export()
+	pm := &PartitionMap{Table: name, Epoch: ts.cat.Epoch(), Rows: ts.cat.Rows()}
+	for _, ex := range exports {
+		route := ShardRoute{
+			Index:    ex.Index,
+			Region:   ex.Region,
+			RouteBox: ex.RouteBox,
+			Rows:     ex.Rows,
+			Nodes:    c.replicasFor(ex.Index),
+			Fallback: ex.Fallback,
+		}
+		if len(ex.Ladder) > 0 {
+			route.Coarse = ex.Ladder[len(ex.Ladder)-1]
+		}
+		snap := FromExport(name, ex)
+		for _, node := range route.Nodes {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cluster: analyze: %w", err)
+			}
+			n, err := c.cfg.Transport.Ship(ctx, node, snap)
+			c.noteShip(node, n, err)
+		}
+		pm.Shards = append(pm.Shards, route)
+	}
+	ts.pm.Store(pm)
+	c.mu.RLock()
+	reg := c.reg
+	c.mu.RUnlock()
+	if reg != nil {
+		reg.Gauge("cluster_map_epoch",
+			"Published partition-map epoch per table.",
+			telemetry.Label{Key: "table", Value: name}).Set(float64(pm.Epoch))
+	}
+	return nil
+}
+
+// Status implements serve.StatusReporter. Breakers are per node, in
+// Nodes order.
+func (c *Coordinator) Status() []serve.TableStatus {
+	names := c.Tables()
+	out := make([]serve.TableStatus, 0, len(names))
+	for _, name := range names {
+		st := serve.TableStatus{Table: name}
+		if pm := c.Map(name); pm != nil {
+			st.Analyzed = true
+			st.Shards = len(pm.Shards)
+			st.Breakers = c.BreakerStates()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// BreakerStates returns the breaker state per node, in Nodes order;
+// nil when breakers are disabled.
+func (c *Coordinator) BreakerStates() []string {
+	if len(c.breakers) == 0 {
+		return nil
+	}
+	out := make([]string, len(c.cfg.Nodes))
+	for i, n := range c.cfg.Nodes {
+		out[i] = c.breakers[n].State().String()
+	}
+	return out
+}
+
+// routeDegraded answers q from the map-embedded summaries: the
+// coarsest ladder rung when the shard has one, else the uniformity
+// fallback. Both are derived from the same build as the map's epoch,
+// so degraded answers never mix statistics generations.
+func routeDegraded(route *ShardRoute, q geom.Rect) (float64, shard.Quality) {
+	if route.Coarse != nil {
+		return route.Coarse.Estimate(q), shard.QualityCoarse
+	}
+	return route.Fallback.Estimate(q), shard.QualityUniform
+}
+
+// clusterAnswer carries one shard call's result to the gatherer.
+type clusterAnswer struct {
+	idx     int
+	est     float64
+	quality shard.Quality
+}
+
+// EstimateContext implements serve.Backend: route by the partition
+// map's shard boxes, fan out to worker nodes, gather with the same
+// deadline-aware merge the in-process catalog uses. The map pointer
+// is loaded exactly once, so a concurrent reshard can never tear one
+// request across epochs. Degradation is graceful and explicit: an
+// unreachable, breaker-open, or stale-answering shard is answered
+// from the map's own coarse summary and flagged, never an error.
+func (c *Coordinator) EstimateContext(ctx context.Context, table string, q geom.Rect) (shard.Result, error) {
+	if !q.Valid() {
+		return shard.Result{}, fmt.Errorf("cluster: invalid query rectangle %v", q)
+	}
+	ts := c.table(table)
+	if ts == nil {
+		return shard.Result{}, fmt.Errorf("cluster: no table %q", table)
+	}
+	pm := ts.pm.Load()
+	if pm == nil {
+		return shard.Result{}, fmt.Errorf("cluster: no statistics for %q; run AnalyzeContext first", table)
+	}
+
+	relevant := make([]int, 0, len(pm.Shards))
+	for i := range pm.Shards {
+		if pm.Shards[i].RouteBox.Intersects(q) {
+			relevant = append(relevant, i)
+		}
+	}
+	c.estimates.Inc()
+	res := shard.Result{ShardsTotal: len(pm.Shards), ShardsQueried: len(relevant), Epoch: pm.Epoch}
+
+	// The cluster scatter span mirrors shard.scatter: the gatherer
+	// alone grades the merge and seals the span, so trace-driven
+	// invariant checks read one goroutine's verdict.
+	scat := reqtrace.SpanFrom(ctx).StartChild("cluster.scatter")
+	scat.SetInt("shards_total", len(pm.Shards))
+	scat.SetInt("fanout", len(relevant))
+	scat.SetInt("epoch", int(pm.Epoch))
+	done := func(relevant []int, quality map[int]shard.Quality) (shard.Result, error) {
+		res = c.finish(res, relevant, quality)
+		if scat != nil {
+			scat.SetAttr("quality", res.Quality.String())
+			scat.SetAttr("shard_quality", qualityList(relevant, quality))
+			if len(res.FallbackShards) > 0 {
+				scat.SetAttr("fallback_shards", intList(res.FallbackShards))
+			}
+			scat.End()
+		}
+		return res, nil
+	}
+	if len(relevant) == 0 {
+		return done(nil, nil)
+	}
+
+	// Deadline nearly spent: answer every shard from map summaries.
+	if deadline, ok := ctx.Deadline(); ctx.Err() != nil ||
+		(ok && deadline.Sub(c.clk.Now()) < minScatterBudget) {
+		scat.Event("deadline.pre_scatter")
+		quality := make(map[int]shard.Quality, len(relevant))
+		var total float64
+		for _, idx := range relevant {
+			route := &pm.Shards[idx]
+			sp := startCallSpan(scat, route)
+			est, ql := routeDegraded(route, q)
+			endCallSpan(sp, est, ql)
+			total += est
+			quality[idx] = ql
+		}
+		res.Estimate = total
+		return done(relevant, quality)
+	}
+
+	// Scatter: one goroutine per relevant shard, spans pre-created in
+	// routing order for deterministic trace shape.
+	hedgeDelay := c.hedgeDelay()
+	answers := make(chan clusterAnswer, len(relevant))
+	reqID := reqtrace.RequestIDFrom(ctx)
+	for _, idx := range relevant {
+		go func(idx int, sp *reqtrace.Span) {
+			pprof.Do(ctx, pprof.Labels("request_id", reqID, "shard", strconv.Itoa(idx)),
+				func(ctx context.Context) {
+					answers <- c.callShard(ctx, pm, idx, q, hedgeDelay, sp)
+				})
+		}(idx, startCallSpan(scat, &pm.Shards[idx]))
+	}
+
+	// Gather, mirroring shard.EstimateContext: accumulate per shard,
+	// total in routing order (float addition is not associative), and
+	// on a mid-scatter deadline drain what raced in, then answer the
+	// rest from map summaries.
+	quality := make(map[int]shard.Quality, len(relevant))
+	ests := make(map[int]float64, len(relevant))
+	for len(quality) < len(relevant) {
+		select {
+		case a := <-answers:
+			ests[a.idx] = a.est
+			quality[a.idx] = a.quality
+		case <-ctx.Done():
+			scat.Event("deadline.mid_scatter")
+			for drained := true; drained && len(quality) < len(relevant); {
+				select {
+				case a := <-answers:
+					ests[a.idx] = a.est
+					quality[a.idx] = a.quality
+				default:
+					drained = false
+				}
+			}
+			for _, idx := range relevant {
+				if _, ok := quality[idx]; ok {
+					continue
+				}
+				route := &pm.Shards[idx]
+				est, ql := routeDegraded(route, q)
+				scat.Event("ladder.fallback", reqtrace.Int("shard", idx),
+					reqtrace.Str("quality", ql.String()))
+				ests[idx] = est
+				quality[idx] = ql
+			}
+			res.Estimate = sumInOrder(relevant, ests)
+			return done(relevant, quality)
+		}
+	}
+	res.Estimate = sumInOrder(relevant, ests)
+	return done(relevant, quality)
+}
+
+// hedgeDelay resolves the adaptive hedge trigger: remote calls always
+// have a tail worth hedging, so unlike the in-process catalog this is
+// gated only on the policy.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if !c.cfg.Shard.Resilience.HedgingEnabled() {
+		return 0
+	}
+	return c.cfg.Shard.Resilience.Hedge.DelayFrom(c.callLatency)
+}
+
+// callShard produces one shard's answer: attempts rotate through the
+// shard's replicas (attempt n → replica n mod R), so a retry or hedge
+// is a failover. Per-node breakers gate each attempt; a reply from
+// the wrong epoch counts as a failed attempt (the node is healthy but
+// its snapshot is stale) and moves to the next replica. When every
+// attempt is spent the shard degrades to the map's own summaries.
+func (c *Coordinator) callShard(ctx context.Context, pm *PartitionMap, idx int, q geom.Rect, hedgeDelay time.Duration, sp *reqtrace.Span) clusterAnswer {
+	route := &pm.Shards[idx]
+	if len(route.Nodes) == 0 {
+		est, ql := routeDegraded(route, q)
+		endCallSpan(sp, est, ql)
+		return clusterAnswer{idx: idx, est: est, quality: ql}
+	}
+	req := EstimateRequest{Table: pm.Table, Shard: route.Index, Epoch: pm.Epoch, Query: q}
+	est, stats, err := resilience.Do(reqtrace.ContextWithSpan(ctx, sp), resilience.CallPolicy{
+		Clock:      c.clk,
+		Retry:      c.retrier,
+		HedgeDelay: hedgeDelay,
+		JitterKey:  jitterKey(pm.Table, route.Index, pm.Epoch, q),
+	}, func(actx context.Context, attempt int) (float64, error) {
+		node := route.Nodes[attempt%len(route.Nodes)]
+		br := c.breakers[node]
+		tok, ok := br.Allow()
+		if !ok {
+			return 0, fmt.Errorf("cluster: node %s breaker open", node)
+		}
+		t0 := c.clk.Now()
+		reply, err := c.cfg.Transport.Estimate(actx, node, req)
+		c.callLatency.Observe(c.clk.Since(t0).Seconds())
+		if err != nil {
+			br.Record(tok, false)
+			return 0, err
+		}
+		br.Record(tok, true)
+		if reply.Epoch != pm.Epoch {
+			// The node answered, so its breaker stays healthy — but the
+			// answer is from another statistics generation and must not
+			// be merged into this map's response.
+			c.staleCalls.Inc()
+			return 0, fmt.Errorf("%w: node %s served epoch %d, map epoch %d",
+				ErrStaleSnapshot, node, reply.Epoch, pm.Epoch)
+		}
+		return reply.Estimate, nil
+	})
+	c.retries.Add(uint64(stats.Retries))
+	c.hedges.Add(uint64(stats.Hedges))
+	if stats.HedgeWon {
+		c.hedgeWins.Inc()
+	}
+	sp.SetInt("attempts", stats.Attempts)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		dest, ql := routeDegraded(route, q)
+		endCallSpan(sp, dest, ql)
+		return clusterAnswer{idx: idx, est: dest, quality: ql}
+	}
+	endCallSpan(sp, est, shard.QualityFull)
+	return clusterAnswer{idx: idx, est: est, quality: shard.QualityFull}
+}
+
+// jitterKey folds one shard call's identity into the key that pins
+// its retry-backoff jitter (see resilience.CallPolicy.JitterKey).
+func jitterKey(table string, shardIdx int, epoch uint64, q geom.Rect) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(v uint64) { h = (h ^ v) * 1099511628211 }
+	for _, c := range []byte(table) {
+		mix(uint64(c))
+	}
+	mix(uint64(shardIdx))
+	mix(epoch)
+	mix(math.Float64bits(q.MinX))
+	mix(math.Float64bits(q.MinY))
+	mix(math.Float64bits(q.MaxX))
+	mix(math.Float64bits(q.MaxY))
+	if h == 0 {
+		h = 1 // zero disables keyed jitter; keep the key always-on
+	}
+	return h
+}
+
+// finish grades the merged result, mirroring the in-process catalog.
+func (c *Coordinator) finish(res shard.Result, relevant []int, quality map[int]shard.Quality) shard.Result {
+	for _, idx := range relevant {
+		ql := quality[idx]
+		if ql > res.Quality {
+			res.Quality = ql
+		}
+		if ql != shard.QualityFull {
+			res.FallbackShards = append(res.FallbackShards, idx)
+		}
+	}
+	sort.Ints(res.FallbackShards)
+	res.ShardsMissed = len(res.FallbackShards)
+	res.Partial = res.Quality != shard.QualityFull
+	res.Breakers = c.BreakerStates()
+	if res.Partial {
+		c.partials.Inc()
+	}
+	return res
+}
+
+// sumInOrder totals per-shard estimates in routing order.
+func sumInOrder(relevant []int, ests map[int]float64) float64 {
+	var total float64
+	for _, idx := range relevant {
+		total += ests[idx]
+	}
+	return total
+}
+
+// startCallSpan opens one shard call's span with its static routing
+// attributes.
+func startCallSpan(scat *reqtrace.Span, route *ShardRoute) *reqtrace.Span {
+	sp := scat.StartChild("cluster.call")
+	sp.SetInt("shard", route.Index)
+	sp.SetAttr("route_box", route.RouteBox.String())
+	sp.SetAttr("nodes", nodeList(route.Nodes))
+	return sp
+}
+
+// endCallSpan seals one shard call's span with its answer.
+func endCallSpan(sp *reqtrace.Span, est float64, ql shard.Quality) {
+	sp.SetAttr("quality", ql.String())
+	sp.SetFloat("estimate", est)
+	sp.End()
+}
+
+// qualityList renders the gatherer's per-shard qualities in routing
+// order ("0:full,2:coarse") — the same convention shard.scatter uses,
+// so the trace-driven invariant checks grade cluster responses with
+// identical logic.
+func qualityList(relevant []int, quality map[int]shard.Quality) string {
+	var b strings.Builder
+	for i, idx := range relevant {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+		b.WriteByte(':')
+		b.WriteString(quality[idx].String())
+	}
+	return b.String()
+}
+
+// intList renders ints as "1,3,7".
+func intList(v []int) string {
+	var b strings.Builder
+	for i, n := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
+}
+
+// nodeList renders node IDs as "a,b".
+func nodeList(v []NodeID) string {
+	var b strings.Builder
+	for i, n := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(n))
+	}
+	return b.String()
+}

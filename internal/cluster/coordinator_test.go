@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// newLocalCluster wires a coordinator over n in-process workers.
+func newLocalCluster(t *testing.T, n, replicas int, scfg shard.Config) (*Coordinator, *Local, []NodeID) {
+	t.Helper()
+	local := NewLocal()
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = NodeID(string(rune('a'+i)) + "-node")
+		local.Register(nodes[i], NewWorker(WorkerConfig{ID: nodes[i]}))
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Nodes:     nodes,
+		Transport: local,
+		Replicas:  replicas,
+		Shard:     scfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, local, nodes
+}
+
+// TestCoordinatorMatchesInProcessCatalog: a cluster estimate over
+// replicated snapshots equals the in-process sharded catalog built
+// with the same policy, bit for bit — routing, per-shard walks and
+// merge order are all identical.
+func TestCoordinatorMatchesInProcessCatalog(t *testing.T) {
+	d := synthetic.Charminar(2500, 1000, 10, 21)
+	scfg := shard.Config{Shards: 4, Buckets: 80, Resilience: resilience.Config{Disable: true}}
+	ref := shard.New(scfg)
+	if err := ref.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+	coord, _, _ := newLocalCluster(t, 3, 2, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Epoch("t"); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	queries, err := workload.Generate(d, workload.Config{Count: 120, QSize: 0.1, Seed: 5, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err := ref.EstimateContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.EstimateContext(context.Background(), "t", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Quality != shard.QualityFull || got.Partial {
+			t.Fatalf("query %v degraded: %+v", q, got)
+		}
+		if math.Float64bits(got.Estimate) != math.Float64bits(want.Estimate) {
+			t.Fatalf("query %v: cluster %g != in-process %g", q, got.Estimate, want.Estimate)
+		}
+		if got.ShardsQueried != want.ShardsQueried {
+			t.Fatalf("query %v: fanout %d != %d", q, got.ShardsQueried, want.ShardsQueried)
+		}
+		if got.Epoch != 1 {
+			t.Fatalf("query %v: epoch %d, want 1", q, got.Epoch)
+		}
+	}
+}
+
+// TestCoordinatorDegradedNotFailed: with a single replica on an
+// unreachable node, estimates still answer — degraded and flagged —
+// from the map-embedded summaries.
+func TestCoordinatorDegradedNotFailed(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 3, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	coord, local, nodes := newLocalCluster(t, 3, 1, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	// Unregister one node: every shard whose only replica it was is now
+	// unreachable.
+	gone := nodes[1]
+	local.mu.Lock()
+	delete(local.workers, gone)
+	local.mu.Unlock()
+
+	pm := coord.Map("t")
+	wantDegraded := make(map[int]bool)
+	for _, route := range pm.Shards {
+		if route.Nodes[0] == gone {
+			wantDegraded[route.Index] = true
+		}
+	}
+	if len(wantDegraded) == 0 {
+		t.Skip("no shard assigned to the removed node")
+	}
+	q := geom.NewRect(0, 0, 1000, 1000) // touches everything
+	res, err := coord.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatalf("estimate must degrade, not fail: %v", err)
+	}
+	if !res.Partial || res.Quality == shard.QualityFull {
+		t.Fatalf("want degraded result, got %+v", res)
+	}
+	for _, idx := range res.FallbackShards {
+		if !wantDegraded[idx] {
+			t.Fatalf("shard %d degraded but its replica is alive", idx)
+		}
+	}
+	if res.Estimate <= 0 {
+		t.Fatalf("degraded estimate %g, want > 0", res.Estimate)
+	}
+}
+
+// TestCoordinatorReplicaFailover: with two replicas and retries
+// enabled, losing the primary keeps answers at full quality — the
+// retry fails over to the surviving replica.
+func TestCoordinatorReplicaFailover(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 3, Buckets: 60}
+	coord, local, nodes := newLocalCluster(t, 3, 2, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	local.mu.Lock()
+	delete(local.workers, nodes[0])
+	local.mu.Unlock()
+
+	q := geom.NewRect(0, 0, 1000, 1000)
+	res, err := coord.EstimateContext(context.Background(), "t", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != shard.QualityFull {
+		t.Fatalf("failover should hold full quality, got %+v", res)
+	}
+}
+
+// TestPartitionMapHotReload is the hot-reload race check: concurrent
+// estimates during repeated map swaps observe either the old or the
+// new epoch — never a torn mix — and full-quality answers always
+// match the reference for that data. Run under -race.
+func TestPartitionMapHotReload(t *testing.T) {
+	d := synthetic.Charminar(1200, 1000, 10, 31)
+	clk := vclock.NewSim(time.Unix(0, 0))
+	scfg := shard.Config{Shards: 4, Buckets: 60, Clock: clk,
+		Resilience: resilience.Config{Disable: true}}
+	ref := shard.New(scfg)
+	if err := ref.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+	coord, _, _ := newLocalCluster(t, 3, 2, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.Generate(d, workload.Config{Count: 40, QSize: 0.15, Seed: 11, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const swaps = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g*13+i)%len(queries)]
+				res, err := coord.EstimateContext(context.Background(), "t", q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Epoch < 1 || res.Epoch > swaps+1 {
+					errs <- errTornEpoch(res.Epoch)
+					return
+				}
+				if res.Quality == shard.QualityFull {
+					want, err := ref.EstimateContext(context.Background(), q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					// The data never changes across swaps, so every full
+					// answer — whatever epoch served it — is the reference
+					// value exactly.
+					if math.Float64bits(res.Estimate) != math.Float64bits(want.Estimate) {
+						errs <- errMixedEstimate{got: res.Estimate, want: want.Estimate}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < swaps; i++ {
+		if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := coord.Epoch("t"); got != swaps+1 {
+		t.Fatalf("final epoch = %d, want %d", got, swaps+1)
+	}
+}
+
+type errTornEpoch uint64
+
+func (e errTornEpoch) Error() string { return "estimate observed epoch out of range" }
+
+type errMixedEstimate struct{ got, want float64 }
+
+func (e errMixedEstimate) Error() string { return "full-quality estimate does not match reference" }

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// Snapshot is one shard's complete serving state, shipped from the
+// coordinator to the shard's replicas: identity (table, shard index,
+// epoch), routing geometry, the full Min-Skew histogram, the
+// degradation ladder, and the uniformity fallback. A worker holding a
+// snapshot can answer the shard's estimates byte-identically to the
+// node that built it — the histograms round-trip through the
+// checksummed core v2 format with exact float bits.
+type Snapshot struct {
+	Table string
+	Shard int
+	Epoch uint64
+	Rows  int
+	// Region, MBR, RouteBox mirror shard.Export.
+	Region   geom.Rect
+	MBR      geom.Rect
+	RouteBox geom.Rect
+	// Hist is the shard's full histogram; Ladder its coarser rungs,
+	// finest first.
+	Hist   *core.BucketEstimator
+	Ladder []*core.BucketEstimator
+	// Fallback is the single-bucket uniformity summary.
+	Fallback core.Bucket
+}
+
+// FromExport lifts a shard.Export into a shippable snapshot.
+func FromExport(table string, ex shard.Export) *Snapshot {
+	return &Snapshot{
+		Table:    table,
+		Shard:    ex.Index,
+		Epoch:    ex.Epoch,
+		Rows:     ex.Rows,
+		Region:   ex.Region,
+		MBR:      ex.MBR,
+		RouteBox: ex.RouteBox,
+		Hist:     ex.Hist,
+		Ladder:   ex.Ladder,
+		Fallback: ex.Fallback,
+	}
+}
+
+// Snapshot wire format, versioned and checksummed like the core
+// histogram format it embeds:
+//
+//	magic "SPSNAP1\n"
+//	uint16 format version (currently 1)
+//	uint16 table length, table bytes
+//	uint32 shard index
+//	uint64 epoch
+//	uint64 rows
+//	region, mbr, routeBox: 4 float64 each
+//	fallback bucket: 4 float64 box, uint64 count, 3 float64 stats
+//	uint16 histogram count (full + ladder rungs, ≥ 1)
+//	per histogram: uint32 byte length, core v2 histogram bytes
+//	uint32 CRC-32C of everything after the magic
+const (
+	snapMagic   = "SPSNAP1\n"
+	snapVersion = 1
+	// maxSnapHistograms bounds the histogram count field; the ladder
+	// is a handful of rungs, never dozens.
+	maxSnapHistograms = 16
+	// maxSnapHistBytes bounds one embedded histogram's length prefix.
+	maxSnapHistBytes = 1 << 28
+)
+
+// Snapshot decode sentinels, mirroring the core serializer's.
+var (
+	ErrSnapshotMagic    = errors.New("cluster: unrecognized snapshot magic")
+	ErrSnapshotVersion  = errors.New("cluster: unsupported snapshot version")
+	ErrSnapshotChecksum = errors.New("cluster: snapshot checksum mismatch")
+	ErrSnapshotCorrupt  = errors.New("cluster: corrupt snapshot")
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() ([]byte, error) {
+	if s.Hist == nil {
+		return nil, fmt.Errorf("cluster: encode snapshot without histogram")
+	}
+	if len(s.Table) > math.MaxUint16 {
+		return nil, fmt.Errorf("cluster: table name too long (%d bytes)", len(s.Table))
+	}
+	var body bytes.Buffer
+	var buf [8]byte
+	binary.BigEndian.PutUint16(buf[:2], snapVersion)
+	body.Write(buf[:2])
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(s.Table)))
+	body.Write(buf[:2])
+	body.WriteString(s.Table)
+	binary.BigEndian.PutUint32(buf[:4], uint32(s.Shard))
+	body.Write(buf[:4])
+	binary.BigEndian.PutUint64(buf[:], s.Epoch)
+	body.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(s.Rows))
+	body.Write(buf[:])
+	for _, r := range [...]geom.Rect{s.Region, s.MBR, s.RouteBox} {
+		writeRect(&body, r)
+	}
+	writeRect(&body, s.Fallback.Box)
+	binary.BigEndian.PutUint64(buf[:], uint64(s.Fallback.Count))
+	body.Write(buf[:])
+	for _, v := range [...]float64{s.Fallback.AvgW, s.Fallback.AvgH, s.Fallback.AvgDensity} {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		body.Write(buf[:])
+	}
+	hists := append([]*core.BucketEstimator{s.Hist}, s.Ladder...)
+	if len(hists) > maxSnapHistograms {
+		return nil, fmt.Errorf("cluster: too many histograms (%d)", len(hists))
+	}
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(hists)))
+	body.Write(buf[:2])
+	for _, h := range hists {
+		raw, err := h.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encode histogram: %w", err)
+		}
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(raw)))
+		body.Write(buf[:4])
+		body.Write(raw)
+	}
+
+	out := make([]byte, 0, len(snapMagic)+body.Len()+4)
+	out = append(out, snapMagic...)
+	out = append(out, body.Bytes()...)
+	binary.BigEndian.PutUint32(buf[:4], crc32.Checksum(body.Bytes(), snapCRC))
+	return append(out, buf[:4]...), nil
+}
+
+func writeRect(b *bytes.Buffer, r geom.Rect) {
+	var buf [8]byte
+	for _, v := range [...]float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		b.Write(buf[:])
+	}
+}
+
+// Decode deserializes a snapshot written by Encode, verifying the
+// checksum before interpreting the payload. Failures wrap
+// ErrSnapshotMagic, ErrSnapshotVersion, ErrSnapshotChecksum, or
+// ErrSnapshotCorrupt (embedded histogram failures wrap the core
+// sentinels too).
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrSnapshotCorrupt, len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: %q", ErrSnapshotMagic, data[:len(snapMagic)])
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, snapCRC); got != want {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrSnapshotChecksum, want, got)
+	}
+	d := &snapDecoder{b: body}
+	version := d.u16()
+	if d.err == nil && version != snapVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrSnapshotVersion, version, snapVersion)
+	}
+	s := &Snapshot{}
+	s.Table = d.str(int(d.u16()))
+	s.Shard = int(d.u32())
+	s.Epoch = d.u64()
+	rows := d.u64()
+	s.Region = d.rect()
+	s.MBR = d.rect()
+	s.RouteBox = d.rect()
+	s.Fallback.Box = d.rect()
+	cnt := d.u64()
+	s.Fallback.AvgW = d.f64()
+	s.Fallback.AvgH = d.f64()
+	s.Fallback.AvgDensity = d.f64()
+	nHists := int(d.u16())
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, d.err)
+	}
+	if rows > math.MaxInt32 || cnt > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible row count", ErrSnapshotCorrupt)
+	}
+	s.Rows = int(rows)
+	s.Fallback.Count = int(cnt)
+	if nHists < 1 || nHists > maxSnapHistograms {
+		return nil, fmt.Errorf("%w: implausible histogram count %d", ErrSnapshotCorrupt, nHists)
+	}
+	for i := 0; i < nHists; i++ {
+		hlen := int(d.u32())
+		if d.err == nil && (hlen <= 0 || hlen > maxSnapHistBytes) {
+			return nil, fmt.Errorf("%w: implausible histogram length %d", ErrSnapshotCorrupt, hlen)
+		}
+		raw := d.bytes(hlen)
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: histogram %d: %v", ErrSnapshotCorrupt, i, d.err)
+		}
+		h, err := core.ReadHistogram(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshot histogram %d: %w", i, err)
+		}
+		if i == 0 {
+			s.Hist = h
+		} else {
+			s.Ladder = append(s.Ladder, h)
+		}
+	}
+	if d.rem() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, d.rem())
+	}
+	return s, nil
+}
+
+// snapDecoder is a cursor over the checksummed body with a latched
+// error, so the happy path reads straight through.
+type snapDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) rem() int { return len(d.b) - d.off }
+
+func (d *snapDecoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.rem() < n {
+		d.err = fmt.Errorf("truncated at offset %d (want %d bytes, have %d)", d.off, n, d.rem())
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *snapDecoder) u16() uint16 {
+	p := d.bytes(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (d *snapDecoder) u32() uint32 {
+	p := d.bytes(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (d *snapDecoder) u64() uint64 {
+	p := d.bytes(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (d *snapDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *snapDecoder) str(n int) string {
+	p := d.bytes(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+func (d *snapDecoder) rect() geom.Rect {
+	return geom.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+}

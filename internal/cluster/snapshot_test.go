@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+// buildCatalog is the shared fixture: a sharded catalog over a skewed
+// synthetic distribution, plus a query workload.
+func buildCatalog(t *testing.T, cfg shard.Config) (*shard.ShardedCatalog, []geom.Rect) {
+	t.Helper()
+	d := synthetic.Charminar(2000, 1000, 10, 7)
+	sc := shard.New(cfg)
+	if err := sc.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.Generate(d, workload.Config{Count: 60, QSize: 0.12, Seed: 3, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, queries
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	sc, _ := buildCatalog(t, shard.Config{Shards: 4, Buckets: 80})
+	for _, ex := range sc.Export() {
+		snap := FromExport("t", ex)
+		data, err := snap.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("shard %d: %v", ex.Index, err)
+		}
+		if back.Table != "t" || back.Shard != ex.Index || back.Epoch != ex.Epoch || back.Rows != ex.Rows {
+			t.Fatalf("shard %d identity lost: %+v", ex.Index, back)
+		}
+		if back.Region != ex.Region || back.MBR != ex.MBR || back.RouteBox != ex.RouteBox {
+			t.Fatalf("shard %d geometry lost", ex.Index)
+		}
+		if back.Fallback != ex.Fallback {
+			t.Fatalf("shard %d fallback lost: %+v != %+v", ex.Index, back.Fallback, ex.Fallback)
+		}
+		if len(back.Ladder) != len(ex.Ladder) {
+			t.Fatalf("shard %d ladder: %d rungs, want %d", ex.Index, len(back.Ladder), len(ex.Ladder))
+		}
+		wantBuckets := ex.Hist.Buckets()
+		gotBuckets := back.Hist.Buckets()
+		if len(gotBuckets) != len(wantBuckets) {
+			t.Fatalf("shard %d buckets: %d, want %d", ex.Index, len(gotBuckets), len(wantBuckets))
+		}
+		for i := range wantBuckets {
+			if gotBuckets[i] != wantBuckets[i] {
+				t.Fatalf("shard %d bucket %d: %+v != %+v", ex.Index, i, gotBuckets[i], wantBuckets[i])
+			}
+		}
+	}
+}
+
+// TestReplicatedSnapshotByteIdenticalEstimates is the acceptance
+// check: a worker serving a replicated snapshot must return
+// byte-identical estimates to the node that built the histogram.
+func TestReplicatedSnapshotByteIdenticalEstimates(t *testing.T) {
+	sc, queries := buildCatalog(t, shard.Config{Shards: 4, Buckets: 80})
+	w := NewWorker(WorkerConfig{ID: "n0"})
+	exports := sc.Export()
+	for _, ex := range exports {
+		snap := FromExport("t", ex)
+		data, err := snap.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.InstallEncoded(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		for _, ex := range exports {
+			want := ex.Hist.Estimate(q)
+			reply, err := w.Estimate(context.Background(), EstimateRequest{
+				Table: "t", Shard: ex.Index, Epoch: ex.Epoch, Query: q,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(reply.Estimate) != math.Float64bits(want) {
+				t.Fatalf("shard %d query %v: replica %g != builder %g",
+					ex.Index, q, reply.Estimate, want)
+			}
+			if reply.Epoch != ex.Epoch {
+				t.Fatalf("shard %d: replica epoch %d, want %d", ex.Index, reply.Epoch, ex.Epoch)
+			}
+		}
+	}
+}
+
+func TestSnapshotDecodeErrors(t *testing.T) {
+	sc, _ := buildCatalog(t, shard.Config{Shards: 2, Buckets: 40})
+	snap := FromExport("t", sc.Export()[0])
+	raw, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		sentinel error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrSnapshotCorrupt},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, ErrSnapshotMagic},
+		{"flipped payload bit", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[20] ^= 0x40
+			return c
+		}, ErrSnapshotChecksum},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, ErrSnapshotChecksum},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode(c.mutate(raw))
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, c.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, c.sentinel)
+			}
+		})
+	}
+
+	// Future version: re-checksum a body with a bumped version field so
+	// the version check, not the checksum, rejects it.
+	future := append([]byte(nil), raw...)
+	future[9] = 0x63
+	refreshChecksum(future)
+	if _, err := Decode(future); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version error = %v", err)
+	}
+
+	// Corrupt embedded histogram: the core sentinel surfaces through.
+	badHist := append([]byte(nil), raw...)
+	// The first embedded histogram starts after the fixed header; its
+	// magic "SPHIST2\n" is findable by scan.
+	idx := indexOf(badHist, []byte("SPHIST2\n"))
+	if idx < 0 {
+		t.Fatal("no embedded histogram magic found")
+	}
+	badHist[idx] = 'X'
+	refreshChecksum(badHist)
+	if _, err := Decode(badHist); !errors.Is(err, core.ErrSnapshotMagic) {
+		t.Fatalf("embedded histogram error = %v", err)
+	}
+}
+
+// refreshChecksum recomputes the trailing CRC over a mutated payload.
+func refreshChecksum(b []byte) {
+	body := b[len(snapMagic) : len(b)-4]
+	sum := crc32.Checksum(body, snapCRC)
+	b[len(b)-4] = byte(sum >> 24)
+	b[len(b)-3] = byte(sum >> 16)
+	b[len(b)-2] = byte(sum >> 8)
+	b[len(b)-1] = byte(sum)
+}
+
+func indexOf(b, sub []byte) int {
+	for i := 0; i+len(sub) <= len(b); i++ {
+		match := true
+		for j := range sub {
+			if b[i+j] != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"repro/internal/reqtrace"
+)
+
+// Transport delivers coordinator→worker calls. Two implementations:
+// HTTP for real deployments, Local for in-process clusters (tests and
+// the fault simulation harness). Ship returns the encoded snapshot
+// size in bytes, feeding the shipping telemetry.
+type Transport interface {
+	Estimate(ctx context.Context, node NodeID, req EstimateRequest) (EstimateReply, error)
+	Ship(ctx context.Context, node NodeID, snap *Snapshot) (int, error)
+}
+
+// Local is an in-process transport: a registry of workers addressed
+// by NodeID, called directly. Ship still round-trips the snapshot
+// through Encode/Decode, so the wire format is exercised even in
+// simulation.
+type Local struct {
+	mu      sync.RWMutex
+	workers map[NodeID]*Worker
+}
+
+// NewLocal returns an empty in-process transport.
+func NewLocal() *Local {
+	return &Local{workers: make(map[NodeID]*Worker)}
+}
+
+// Register adds (or replaces) a worker under id.
+func (l *Local) Register(id NodeID, w *Worker) {
+	l.mu.Lock()
+	l.workers[id] = w
+	l.mu.Unlock()
+}
+
+// Worker returns the registered worker (nil if absent).
+func (l *Local) Worker(id NodeID) *Worker {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.workers[id]
+}
+
+// Estimate implements Transport by calling the worker directly. The
+// context — and with it the request ID and calling span — crosses the
+// "hop" intact, so worker spans nest under the coordinator's call
+// span in one trace.
+func (l *Local) Estimate(ctx context.Context, node NodeID, req EstimateRequest) (EstimateReply, error) {
+	w := l.Worker(node)
+	if w == nil {
+		return EstimateReply{}, fmt.Errorf("%w: %s", ErrUnreachable, node)
+	}
+	return w.Estimate(ctx, req)
+}
+
+// Ship implements Transport: encode, decode, install — the same bytes
+// a real wire would carry.
+func (l *Local) Ship(ctx context.Context, node NodeID, snap *Snapshot) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	w := l.Worker(node)
+	if w == nil {
+		return 0, fmt.Errorf("%w: %s", ErrUnreachable, node)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		return 0, err
+	}
+	if err := w.InstallEncoded(data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// HTTPTransport reaches workers over HTTP; NodeID is the worker's
+// host:port. Request identity and the calling span propagate in the
+// X-Request-Id and X-Parent-Span headers.
+type HTTPTransport struct {
+	// Scheme defaults to "http".
+	Scheme string
+	// Client defaults to http.DefaultClient; production callers
+	// should set timeouts via the request context.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) scheme() string {
+	if t.Scheme != "" {
+		return t.Scheme
+	}
+	return "http"
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+// Estimate implements Transport over GET /cluster/estimate.
+func (t *HTTPTransport) Estimate(ctx context.Context, node NodeID, req EstimateRequest) (EstimateReply, error) {
+	params := url.Values{
+		"table": {req.Table},
+		"shard": {strconv.Itoa(req.Shard)},
+		"epoch": {strconv.FormatUint(req.Epoch, 10)},
+		"minx":  {strconv.FormatFloat(req.Query.MinX, 'g', -1, 64)},
+		"miny":  {strconv.FormatFloat(req.Query.MinY, 'g', -1, 64)},
+		"maxx":  {strconv.FormatFloat(req.Query.MaxX, 'g', -1, 64)},
+		"maxy":  {strconv.FormatFloat(req.Query.MaxY, 'g', -1, 64)},
+	}
+	u := fmt.Sprintf("%s://%s/cluster/estimate?%s", t.scheme(), node, params.Encode())
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return EstimateReply{}, fmt.Errorf("cluster: build request: %w", err)
+	}
+	reqtrace.InjectHTTP(ctx, hr.Header)
+	resp, err := t.client().Do(hr)
+	if err != nil {
+		return EstimateReply{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, node, err)
+	}
+	defer resp.Body.Close() //spatialvet:ignore errdrop response body close on read path
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return EstimateReply{}, fmt.Errorf("%w: %s: read reply: %v", ErrUnreachable, node, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we workerError
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return EstimateReply{}, fmt.Errorf("cluster: node %s: %s", node, we.Error)
+		}
+		return EstimateReply{}, fmt.Errorf("cluster: node %s: HTTP %d", node, resp.StatusCode)
+	}
+	var reply EstimateReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return EstimateReply{}, fmt.Errorf("cluster: node %s: decode reply: %v", node, err)
+	}
+	return reply, nil
+}
+
+// Ship implements Transport over PUT /cluster/snapshot.
+func (t *HTTPTransport) Ship(ctx context.Context, node NodeID, snap *Snapshot) (int, error) {
+	data, err := snap.Encode()
+	if err != nil {
+		return 0, err
+	}
+	u := fmt.Sprintf("%s://%s/cluster/snapshot", t.scheme(), node)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(data))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: build request: %w", err)
+	}
+	hr.Header.Set("Content-Type", "application/octet-stream")
+	reqtrace.InjectHTTP(ctx, hr.Header)
+	resp, err := t.client().Do(hr)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s: %v", ErrUnreachable, node, err)
+	}
+	defer resp.Body.Close() //spatialvet:ignore errdrop response body close on write path
+	if resp.StatusCode != http.StatusNoContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //spatialvet:ignore errdrop best-effort error body
+		return 0, fmt.Errorf("cluster: ship to %s: HTTP %d: %s", node, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return len(data), nil
+}

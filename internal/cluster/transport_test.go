@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/reqtrace"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+// startWorkerServer runs a worker behind an httptest server and
+// returns its NodeID (host:port) for the HTTP transport.
+func startWorkerServer(t *testing.T, w *Worker) NodeID {
+	t.Helper()
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NodeID(u.Host)
+}
+
+// TestHTTPTransportEndToEnd drives the full distributed path over real
+// HTTP: the coordinator ships snapshots to two worker servers, fans
+// estimates out to them, and the answers match an in-process catalog
+// built with the same policy bit for bit.
+func TestHTTPTransportEndToEnd(t *testing.T) {
+	d := synthetic.Charminar(1800, 1000, 10, 17)
+	scfg := shard.Config{Shards: 3, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	ref := shard.New(scfg)
+	if err := ref.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := []*Worker{
+		NewWorker(WorkerConfig{ID: "w0", Tracer: reqtrace.New(reqtrace.Config{})}),
+		NewWorker(WorkerConfig{ID: "w1", Tracer: reqtrace.New(reqtrace.Config{})}),
+	}
+	nodes := []NodeID{startWorkerServer(t, workers[0]), startWorkerServer(t, workers[1])}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Nodes:     nodes,
+		Transport: &HTTPTransport{},
+		Replicas:  2,
+		Shard:     scfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	// Every shard replicated to both nodes.
+	for i, w := range workers {
+		if got := len(w.Status()); got != 3 {
+			t.Fatalf("worker %d holds %d snapshots, want 3", i, got)
+		}
+	}
+
+	queries, err := workload.Generate(d, workload.Config{Count: 30, QSize: 0.1, Seed: 13, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err := ref.EstimateContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.EstimateContext(context.Background(), "t", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Quality != shard.QualityFull {
+			t.Fatalf("query %v over HTTP degraded: %+v", q, got)
+		}
+		if math.Float64bits(got.Estimate) != math.Float64bits(want.Estimate) {
+			t.Fatalf("query %v: HTTP cluster %g != in-process %g", q, got.Estimate, want.Estimate)
+		}
+	}
+}
+
+// TestHTTPTransportTracePropagation: the request ID and calling span
+// cross the HTTP hop in headers, so the worker's trace joins the
+// coordinator's request.
+func TestHTTPTransportTracePropagation(t *testing.T) {
+	d := synthetic.Charminar(800, 1000, 10, 5)
+	scfg := shard.Config{Shards: 2, Buckets: 40, Resilience: resilience.Config{Disable: true}}
+	wtr := reqtrace.New(reqtrace.Config{})
+	w := NewWorker(WorkerConfig{ID: "w0", Tracer: wtr})
+	node := startWorkerServer(t, w)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Nodes:     []NodeID{node},
+		Transport: &HTTPTransport{},
+		Replicas:  1,
+		Shard:     scfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctr := reqtrace.New(reqtrace.Config{})
+	ctx, tr := ctr.StartRequest(context.Background(), "req-e2e-42")
+	queries, err := workload.Generate(d, workload.Config{Count: 1, QSize: 0.2, Seed: 2, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.EstimateContext(ctx, "t", queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish(reqtrace.Outcome{Table: "t", Estimate: res.Estimate, Quality: res.Quality.String()})
+
+	traces := wtr.Recent()
+	if len(traces) == 0 {
+		t.Fatal("worker recorded no traces")
+	}
+	for _, wt := range traces {
+		if wt.RequestID() != "req-e2e-42" {
+			t.Fatalf("worker trace request ID %q, want req-e2e-42", wt.RequestID())
+		}
+		parent, ok := wt.Root().Attr("parent_span")
+		if !ok || parent != "cluster.call" {
+			t.Fatalf("worker root parent_span = %q (ok=%v), want cluster.call", parent, ok)
+		}
+		served := wt.Root().Find("worker.estimate")
+		if len(served) != 1 {
+			t.Fatalf("worker trace has %d worker.estimate spans, want 1", len(served))
+		}
+	}
+}
+
+// TestWorkerServesPreviousEpoch: after a reshard installs epoch 2, a
+// request routed by an old epoch-1 map still gets an exact epoch-1
+// answer from the held previous generation.
+func TestWorkerServesPreviousEpoch(t *testing.T) {
+	sc, queries := buildCatalog(t, shard.Config{Shards: 2, Buckets: 40})
+	w := NewWorker(WorkerConfig{ID: "w0"})
+	first := sc.Export()
+	for _, ex := range first {
+		w.Install(FromExport("t", ex))
+	}
+	// Re-analyze: epoch advances, histograms rebuilt.
+	d2 := synthetic.Charminar(2400, 1000, 10, 77)
+	if err := sc.Analyze(d2); err != nil {
+		t.Fatal(err)
+	}
+	second := sc.Export()
+	if second[0].Epoch != first[0].Epoch+1 {
+		t.Fatalf("epoch did not advance: %d -> %d", first[0].Epoch, second[0].Epoch)
+	}
+	for _, ex := range second {
+		w.Install(FromExport("t", ex))
+	}
+	q := queries[0]
+	for _, ex := range first {
+		reply, err := w.Estimate(context.Background(), EstimateRequest{
+			Table: "t", Shard: ex.Index, Epoch: ex.Epoch, Query: q,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Epoch != ex.Epoch {
+			t.Fatalf("shard %d: served epoch %d, want previous generation %d",
+				ex.Index, reply.Epoch, ex.Epoch)
+		}
+		want := ex.Hist.Estimate(q)
+		if math.Float64bits(reply.Estimate) != math.Float64bits(want) {
+			t.Fatalf("shard %d: previous-epoch estimate %g != %g", ex.Index, reply.Estimate, want)
+		}
+	}
+	// An unknown epoch falls through to current — the mismatch is
+	// exposed in the reply, not hidden.
+	reply, err := w.Estimate(context.Background(), EstimateRequest{
+		Table: "t", Shard: 0, Epoch: 99, Query: q,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Epoch != second[0].Epoch {
+		t.Fatalf("unknown epoch served %d, want current %d", reply.Epoch, second[0].Epoch)
+	}
+}

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/reqtrace"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// EstimateRequest is one shard call from the coordinator to a worker.
+type EstimateRequest struct {
+	Table string
+	Shard int
+	// Epoch is the statistics generation the coordinator's partition
+	// map expects; the worker answers from the matching snapshot when
+	// it holds one.
+	Epoch uint64
+	Query geom.Rect
+}
+
+// EstimateReply is a worker's answer to one shard call. Epoch states
+// which snapshot generation actually produced the estimate — the
+// coordinator compares it against the map epoch to detect staleness.
+type EstimateReply struct {
+	Estimate float64 `json:"estimate"`
+	Epoch    uint64  `json:"epoch"`
+	Node     NodeID  `json:"node"`
+}
+
+// WorkerConfig configures a worker node.
+type WorkerConfig struct {
+	// ID names the node in replies and status output.
+	ID NodeID
+	// Tracer, when non-nil, records a trace per served HTTP estimate,
+	// joined to the coordinator's request via the propagation headers.
+	Tracer *reqtrace.Tracer
+}
+
+// Worker serves per-shard estimates from installed snapshots. All
+// methods are safe for concurrent use; snapshot installs are atomic
+// swaps that keep the previous epoch alive, so requests routed by the
+// coordinator's old map during a reshard still get exact-epoch
+// answers.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu    sync.RWMutex
+	snaps map[snapKey]*snapEntry
+
+	// Telemetry (nil-safe before EnableTelemetry).
+	installs     *telemetry.Counter
+	installBytes *telemetry.Histogram
+	estimates    *telemetry.Counter
+	staleServes  *telemetry.Counter
+}
+
+type snapKey struct {
+	table string
+	shard int
+}
+
+// snapEntry holds the current snapshot and the previous epoch's, the
+// two generations a live reshard can route to.
+type snapEntry struct {
+	cur, prev *Snapshot
+}
+
+// NewWorker returns an empty worker; feed it snapshots with Install.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg, snaps: make(map[snapKey]*snapEntry)}
+}
+
+// ID returns the worker's node ID.
+func (w *Worker) ID() NodeID { return w.cfg.ID }
+
+// snapshotBytesBuckets bound the installed-snapshot size histogram.
+var snapshotBytesBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+
+// EnableTelemetry registers the worker's metrics in reg.
+func (w *Worker) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.installs = reg.Counter("cluster_worker_installs_total",
+		"Shard snapshots installed on this worker.")
+	w.installBytes = reg.Histogram("cluster_snapshot_bytes",
+		"Encoded size of installed shard snapshots.", snapshotBytesBuckets)
+	w.estimates = reg.Counter("cluster_worker_estimates_total",
+		"Shard estimate calls served from installed snapshots.")
+	w.staleServes = reg.Counter("cluster_worker_stale_serves_total",
+		"Shard calls answered from a snapshot epoch other than the requested one.")
+}
+
+// Install atomically makes snap the current snapshot for its
+// (table, shard), demoting the previously current one to the held
+// previous generation.
+func (w *Worker) Install(snap *Snapshot) {
+	key := snapKey{table: snap.Table, shard: snap.Shard}
+	w.mu.Lock()
+	e := w.snaps[key]
+	if e == nil {
+		e = &snapEntry{}
+		w.snaps[key] = e
+	}
+	if e.cur != nil && e.cur.Epoch != snap.Epoch {
+		e.prev = e.cur
+	}
+	e.cur = snap
+	w.mu.Unlock()
+	w.installs.Inc()
+}
+
+// InstallEncoded decodes and installs a shipped snapshot, observing
+// its wire size.
+func (w *Worker) InstallEncoded(data []byte) error {
+	snap, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	w.installBytes.Observe(float64(len(data)))
+	w.Install(snap)
+	return nil
+}
+
+// lookup picks the snapshot to answer req from: the exact-epoch
+// generation when held (current or previous), else whatever is
+// current — the reply's epoch exposes the mismatch to the
+// coordinator.
+func (w *Worker) lookup(req EstimateRequest) (*Snapshot, error) {
+	w.mu.RLock()
+	e := w.snaps[snapKey{table: req.Table, shard: req.Shard}]
+	w.mu.RUnlock()
+	if e == nil || e.cur == nil {
+		return nil, fmt.Errorf("%w: %s/%d on node %s", ErrNoSnapshot, req.Table, req.Shard, w.cfg.ID)
+	}
+	if e.cur.Epoch == req.Epoch {
+		return e.cur, nil
+	}
+	if e.prev != nil && e.prev.Epoch == req.Epoch {
+		return e.prev, nil
+	}
+	return e.cur, nil
+}
+
+// Estimate answers one shard call from the worker's snapshots. The
+// estimate is a pure walk of the replicated histogram, so it is
+// byte-identical to the building node's answer for the same epoch.
+func (w *Worker) Estimate(ctx context.Context, req EstimateRequest) (EstimateReply, error) {
+	if !req.Query.Valid() {
+		return EstimateReply{}, fmt.Errorf("cluster: invalid query rectangle %v", req.Query)
+	}
+	snap, err := w.lookup(req)
+	if err != nil {
+		return EstimateReply{}, err
+	}
+	sp := reqtrace.SpanFrom(ctx).StartChild("worker.estimate")
+	sp.SetAttr("node", string(w.cfg.ID))
+	sp.SetInt("shard", req.Shard)
+	sp.SetInt("epoch_requested", int(req.Epoch))
+	sp.SetInt("epoch_served", int(snap.Epoch))
+	est := snap.Hist.Estimate(req.Query)
+	sp.SetFloat("estimate", est)
+	sp.End()
+	w.estimates.Inc()
+	if snap.Epoch != req.Epoch {
+		w.staleServes.Inc()
+	}
+	return EstimateReply{Estimate: est, Epoch: snap.Epoch, Node: w.cfg.ID}, nil
+}
+
+// SnapshotStatus describes one installed snapshot for /cluster/status.
+type SnapshotStatus struct {
+	Table   string `json:"table"`
+	Shard   int    `json:"shard"`
+	Epoch   uint64 `json:"epoch"`
+	Rows    int    `json:"rows"`
+	Buckets int    `json:"buckets"`
+}
+
+// Status lists the worker's installed snapshots, sorted by (table,
+// shard) so output is deterministic.
+func (w *Worker) Status() []SnapshotStatus {
+	w.mu.RLock()
+	out := make([]SnapshotStatus, 0, len(w.snaps))
+	for k, e := range w.snaps {
+		if e.cur == nil {
+			continue
+		}
+		out = append(out, SnapshotStatus{
+			Table:   k.table,
+			Shard:   k.shard,
+			Epoch:   e.cur.Epoch,
+			Rows:    e.cur.Rows,
+			Buckets: len(e.cur.Hist.Buckets()),
+		})
+	}
+	w.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
+// maxSnapshotBody bounds an uploaded snapshot.
+const maxSnapshotBody = 64 << 20
+
+// workerError is the JSON error body of the worker endpoints.
+type workerError struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// Handler serves the worker protocol:
+//
+//	PUT  /cluster/snapshot  — install an encoded snapshot
+//	GET  /cluster/estimate  — serve one shard call
+//	GET  /cluster/status    — list installed snapshots
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/snapshot", w.handleSnapshot)
+	mux.HandleFunc("/cluster/estimate", w.handleEstimate)
+	mux.HandleFunc("/cluster/status", w.handleStatus)
+	return mux
+}
+
+func writeWorkerJSON(rw http.ResponseWriter, code int, body any) {
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(body) // client gone is the only failure
+}
+
+func (w *Worker) handleSnapshot(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut && r.Method != http.MethodPost {
+		writeWorkerJSON(rw, http.StatusMethodNotAllowed,
+			workerError{Error: "PUT required", Code: http.StatusMethodNotAllowed})
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody+1))
+	if err != nil {
+		writeWorkerJSON(rw, http.StatusBadRequest,
+			workerError{Error: fmt.Sprintf("read body: %v", err), Code: http.StatusBadRequest})
+		return
+	}
+	if len(data) > maxSnapshotBody {
+		writeWorkerJSON(rw, http.StatusRequestEntityTooLarge,
+			workerError{Error: "snapshot too large", Code: http.StatusRequestEntityTooLarge})
+		return
+	}
+	if err := w.InstallEncoded(data); err != nil {
+		writeWorkerJSON(rw, http.StatusBadRequest,
+			workerError{Error: err.Error(), Code: http.StatusBadRequest})
+		return
+	}
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
+	req, err := parseEstimateParams(r)
+	if err != nil {
+		writeWorkerJSON(rw, http.StatusBadRequest,
+			workerError{Error: err.Error(), Code: http.StatusBadRequest})
+		return
+	}
+	// Bind this node's trace to the coordinator's request: same
+	// request ID, parent span recorded on the root.
+	ctx, tr := w.cfg.Tracer.StartRemoteRequest(r.Context(), r.Header,
+		fmt.Sprintf("%s-%s-%d", w.cfg.ID, req.Table, req.Shard))
+	reply, err := w.Estimate(ctx, req)
+	out := reqtrace.Outcome{
+		Table: req.Table,
+		Query: [4]float64{req.Query.MinX, req.Query.MinY, req.Query.MaxX, req.Query.MaxY},
+	}
+	if err != nil {
+		out.Err = "backend"
+	} else {
+		out.Estimate = reply.Estimate
+		out.Quality = shard.QualityFull.String()
+	}
+	tr.Finish(out)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNoSnapshot) {
+			code = http.StatusNotFound
+		}
+		writeWorkerJSON(rw, code, workerError{Error: err.Error(), Code: code})
+		return
+	}
+	writeWorkerJSON(rw, http.StatusOK, reply)
+}
+
+func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
+	writeWorkerJSON(rw, http.StatusOK, struct {
+		Node      NodeID           `json:"node"`
+		Snapshots []SnapshotStatus `json:"snapshots"`
+	}{Node: w.cfg.ID, Snapshots: w.Status()})
+}
+
+// parseEstimateParams reads a shard call from URL query parameters:
+// table, shard, epoch, minx/miny/maxx/maxy.
+func parseEstimateParams(r *http.Request) (EstimateRequest, error) {
+	q := r.URL.Query()
+	req := EstimateRequest{Table: q.Get("table")}
+	if req.Table == "" {
+		return req, fmt.Errorf("cluster: missing table parameter")
+	}
+	shardIdx, err := strconv.Atoi(q.Get("shard"))
+	if err != nil {
+		return req, fmt.Errorf("cluster: bad shard parameter: %v", err)
+	}
+	req.Shard = shardIdx
+	epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	if err != nil {
+		return req, fmt.Errorf("cluster: bad epoch parameter: %v", err)
+	}
+	req.Epoch = epoch
+	coords := [4]float64{}
+	for i, name := range [...]string{"minx", "miny", "maxx", "maxy"} {
+		v, err := strconv.ParseFloat(q.Get(name), 64)
+		if err != nil {
+			return req, fmt.Errorf("cluster: bad %s parameter: %v", name, err)
+		}
+		coords[i] = v
+	}
+	req.Query = geom.Rect{MinX: coords[0], MinY: coords[1], MaxX: coords[2], MaxY: coords[3]}
+	if !req.Query.Valid() {
+		return req, fmt.Errorf("cluster: invalid query rectangle %v", req.Query)
+	}
+	return req, nil
+}

@@ -20,7 +20,18 @@ func FuzzReadHistogram(f *testing.F) {
 	f.Add(raw)
 	f.Add([]byte{})
 	f.Add([]byte("SPHIST1\n"))
+	f.Add([]byte("SPHIST2\n"))
 	f.Add(raw[:len(raw)-5])
+	// Legacy v1 payload: v2 body without version field or checksum.
+	f.Add(append([]byte("SPHIST1\n"), raw[10:len(raw)-4]...))
+	// Valid payload with a corrupted checksum trailer.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	f.Add(corrupt)
+	// Version from the future.
+	future := append([]byte(nil), raw...)
+	future[9] = 0x63
+	f.Add(future)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
 			return

@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -12,96 +15,196 @@ import (
 )
 
 // Histogram serialization: database systems persist statistics in the
-// catalog between sessions. The binary format is versioned and
-// self-describing:
+// catalog between sessions, and the distributed tier ships them
+// between nodes. The binary format is versioned and self-describing:
 //
-//	magic "SPHIST1\n"
+//	magic "SPHIST2\n"
+//	uint16 format version (currently 2)
 //	uint16 name length, name bytes
 //	uint32 bucket count
 //	per bucket: 4 float64 box coords, uint64 count,
 //	            3 float64 (avg width, avg height, avg density)
+//	uint32 CRC-32C checksum of everything after the magic
 //
-// All integers are big-endian; floats are IEEE-754 bits.
+// All integers are big-endian; floats are IEEE-754 bits. Readers also
+// accept the legacy "SPHIST1\n" format, which is identical except that
+// it carries no version field and no checksum.
 
-const histMagic = "SPHIST1\n"
+const (
+	histMagicV1 = "SPHIST1\n"
+	histMagicV2 = "SPHIST2\n"
 
-// WriteTo serializes the histogram. It implements io.WriterTo.
+	// histVersion is the version stamped into new snapshots. Bump it
+	// when the payload layout changes; readers reject versions they do
+	// not understand rather than guessing.
+	histVersion = 2
+)
+
+// Sentinel errors for snapshot decoding. Every decode failure wraps
+// one of these, so callers can distinguish "not a snapshot at all"
+// from "a snapshot from the future" from "bits rotted in transit".
+var (
+	// ErrSnapshotMagic: the payload does not start with a known magic.
+	ErrSnapshotMagic = errors.New("core: unrecognized histogram snapshot magic")
+	// ErrSnapshotVersion: recognized magic, unsupported format version.
+	ErrSnapshotVersion = errors.New("core: unsupported histogram snapshot version")
+	// ErrSnapshotChecksum: payload parsed but the trailing CRC-32C
+	// does not match — corruption in storage or transit.
+	ErrSnapshotChecksum = errors.New("core: histogram snapshot checksum mismatch")
+	// ErrSnapshotCorrupt: truncated or semantically invalid payload
+	// (impossible boxes, negative statistics, implausible counts).
+	ErrSnapshotCorrupt = errors.New("core: corrupt histogram snapshot")
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// amd64/arm64 and with better error-detection spread than IEEE.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteTo serializes the histogram in the current (v2) format. It
+// implements io.WriterTo.
 func (e *BucketEstimator) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
+	sum := crc32.New(crcTable)
 	var n int64
 	write := func(p []byte) error {
 		m, err := bw.Write(p)
 		n += int64(m)
 		return err
 	}
-	if err := write([]byte(histMagic)); err != nil {
+	// Checksummed write: everything between magic and trailer.
+	writeSum := func(p []byte) error {
+		_, _ = sum.Write(p) // hash.Hash.Write never errors
+		return write(p)
+	}
+	if err := write([]byte(histMagicV2)); err != nil {
 		return n, err
 	}
 	if len(e.name) > math.MaxUint16 {
 		return n, fmt.Errorf("core: histogram name too long (%d bytes)", len(e.name))
 	}
 	var buf [8]byte
-	binary.BigEndian.PutUint16(buf[:2], uint16(len(e.name)))
-	if err := write(buf[:2]); err != nil {
+	binary.BigEndian.PutUint16(buf[:2], histVersion)
+	if err := writeSum(buf[:2]); err != nil {
 		return n, err
 	}
-	if err := write([]byte(e.name)); err != nil {
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(e.name)))
+	if err := writeSum(buf[:2]); err != nil {
+		return n, err
+	}
+	if err := writeSum([]byte(e.name)); err != nil {
 		return n, err
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(e.buckets)))
-	if err := write(buf[:4]); err != nil {
+	if err := writeSum(buf[:4]); err != nil {
 		return n, err
 	}
 	for _, b := range e.buckets {
 		for _, v := range [...]float64{b.Box.MinX, b.Box.MinY, b.Box.MaxX, b.Box.MaxY} {
 			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
-			if err := write(buf[:]); err != nil {
+			if err := writeSum(buf[:]); err != nil {
 				return n, err
 			}
 		}
 		binary.BigEndian.PutUint64(buf[:], uint64(b.Count))
-		if err := write(buf[:]); err != nil {
+		if err := writeSum(buf[:]); err != nil {
 			return n, err
 		}
 		for _, v := range [...]float64{b.AvgW, b.AvgH, b.AvgDensity} {
 			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
-			if err := write(buf[:]); err != nil {
+			if err := writeSum(buf[:]); err != nil {
 				return n, err
 			}
 		}
 	}
+	binary.BigEndian.PutUint32(buf[:4], sum.Sum32())
+	if err := write(buf[:4]); err != nil {
+		return n, err
+	}
 	return n, bw.Flush()
 }
 
-// ReadHistogram deserializes a histogram written by WriteTo.
+// crcReader tees everything read through a running CRC so streaming
+// decode and checksum verification share one pass.
+type crcReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		_, _ = c.h.Write(p[:n]) // hash.Hash.Write never errors
+	}
+	return n, err
+}
+
+// ReadHistogram deserializes a histogram written by WriteTo. It
+// accepts the current v2 format (verifying the trailing checksum) and
+// the legacy unchecksummed v1 format. Failures wrap ErrSnapshotMagic,
+// ErrSnapshotVersion, ErrSnapshotChecksum, or ErrSnapshotCorrupt.
 func ReadHistogram(r io.Reader) (*BucketEstimator, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(histMagic))
+	magic := make([]byte, len(histMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: read histogram magic: %v", err)
+		return nil, fmt.Errorf("%w: read magic: %v", ErrSnapshotMagic, err)
 	}
-	if string(magic) != histMagic {
-		return nil, fmt.Errorf("core: bad histogram magic %q", magic)
+	switch string(magic) {
+	case histMagicV1:
+		// Legacy format: bare payload, no version, no checksum.
+		return readHistogramPayload(br)
+	case histMagicV2:
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrSnapshotMagic, magic)
 	}
+	sum := crc32.New(crcTable)
+	cr := &crcReader{r: br, h: sum}
+	var buf [2]byte
+	if _, err := io.ReadFull(cr, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: read version: %v", ErrSnapshotCorrupt, err)
+	}
+	if v := binary.BigEndian.Uint16(buf[:]); v != histVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrSnapshotVersion, v, histVersion)
+	}
+	e, err := readHistogramPayload(cr)
+	if err != nil {
+		return nil, err
+	}
+	want := sum.Sum32() // trailer is read outside the CRC tee
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: read checksum: %v", ErrSnapshotCorrupt, err)
+	}
+	if got := binary.BigEndian.Uint32(trailer[:]); got != want {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrSnapshotChecksum, got, want)
+	}
+	return e, nil
+}
+
+// readHistogramPayload decodes the common name/count/buckets body.
+// Validation is inline with the stream, so on a corrupt v2 payload a
+// semantic error may surface before the checksum is ever reached —
+// both wrap ErrSnapshotCorrupt-family sentinels, so callers that only
+// care about "bad payload" need not distinguish.
+func readHistogramPayload(r io.Reader) (*BucketEstimator, error) {
 	var buf [8]byte
-	if _, err := io.ReadFull(br, buf[:2]); err != nil {
-		return nil, fmt.Errorf("core: read name length: %v", err)
+	if _, err := io.ReadFull(r, buf[:2]); err != nil {
+		return nil, fmt.Errorf("%w: read name length: %v", ErrSnapshotCorrupt, err)
 	}
 	nameLen := binary.BigEndian.Uint16(buf[:2])
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("core: read name: %v", err)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("%w: read name: %v", ErrSnapshotCorrupt, err)
 	}
-	if _, err := io.ReadFull(br, buf[:4]); err != nil {
-		return nil, fmt.Errorf("core: read bucket count: %v", err)
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return nil, fmt.Errorf("%w: read bucket count: %v", ErrSnapshotCorrupt, err)
 	}
 	count := binary.BigEndian.Uint32(buf[:4])
 	const maxBuckets = 1 << 24
 	if count > maxBuckets {
-		return nil, fmt.Errorf("core: implausible bucket count %d", count)
+		return nil, fmt.Errorf("%w: implausible bucket count %d", ErrSnapshotCorrupt, count)
 	}
 	readF := func() (float64, error) {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
 			return 0, err
 		}
 		return math.Float64frombits(binary.BigEndian.Uint64(buf[:])), nil
@@ -118,35 +221,35 @@ func ReadHistogram(r io.Reader) (*BucketEstimator, error) {
 		for j := range vals {
 			v, err := readF()
 			if err != nil {
-				return nil, fmt.Errorf("core: bucket %d box: %v", i, err)
+				return nil, fmt.Errorf("%w: bucket %d box: %v", ErrSnapshotCorrupt, i, err)
 			}
 			vals[j] = v
 		}
 		box := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
 		if !box.Valid() {
-			return nil, fmt.Errorf("core: bucket %d has invalid box %v", i, box)
+			return nil, fmt.Errorf("%w: bucket %d has invalid box %v", ErrSnapshotCorrupt, i, box)
 		}
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("core: bucket %d count: %v", i, err)
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: bucket %d count: %v", ErrSnapshotCorrupt, i, err)
 		}
 		cnt := binary.BigEndian.Uint64(buf[:])
 		if cnt > math.MaxInt32 {
-			return nil, fmt.Errorf("core: bucket %d implausible count %d", i, cnt)
+			return nil, fmt.Errorf("%w: bucket %d implausible count %d", ErrSnapshotCorrupt, i, cnt)
 		}
 		w, err := readF()
 		if err != nil {
-			return nil, fmt.Errorf("core: bucket %d stats: %v", i, err)
+			return nil, fmt.Errorf("%w: bucket %d stats: %v", ErrSnapshotCorrupt, i, err)
 		}
 		h, err := readF()
 		if err != nil {
-			return nil, fmt.Errorf("core: bucket %d stats: %v", i, err)
+			return nil, fmt.Errorf("%w: bucket %d stats: %v", ErrSnapshotCorrupt, i, err)
 		}
 		dens, err := readF()
 		if err != nil {
-			return nil, fmt.Errorf("core: bucket %d stats: %v", i, err)
+			return nil, fmt.Errorf("%w: bucket %d stats: %v", ErrSnapshotCorrupt, i, err)
 		}
 		if math.IsNaN(w) || math.IsNaN(h) || math.IsNaN(dens) || w < 0 || h < 0 || dens < 0 {
-			return nil, fmt.Errorf("core: bucket %d has invalid statistics", i)
+			return nil, fmt.Errorf("%w: bucket %d has invalid statistics", ErrSnapshotCorrupt, i)
 		}
 		buckets = append(buckets, Bucket{Box: box, Count: int(cnt), AvgW: w, AvgH: h, AvgDensity: dens})
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -74,42 +75,93 @@ func TestReadHistogramErrors(t *testing.T) {
 	}
 
 	cases := []struct {
-		name string
-		data []byte
+		name     string
+		data     []byte
+		sentinel error
 	}{
-		{"empty", nil},
-		{"bad magic", []byte("NOTHIST!rest")},
-		{"truncated header", raw[:9]},
-		{"truncated buckets", raw[:len(raw)-8]},
+		{"empty", nil, ErrSnapshotMagic},
+		{"bad magic", []byte("NOTHIST!rest"), ErrSnapshotMagic},
+		{"truncated header", raw[:11], ErrSnapshotCorrupt},
+		{"truncated buckets", raw[:len(raw)-16], ErrSnapshotCorrupt},
+		{"missing checksum", raw[:len(raw)-4], ErrSnapshotCorrupt},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if _, err := ReadHistogram(bytes.NewReader(c.data)); err == nil {
+			_, err := ReadHistogram(bytes.NewReader(c.data))
+			if err == nil {
 				t.Fatal("want error")
+			}
+			if !errors.Is(err, c.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, c.sentinel)
 			}
 		})
 	}
 
-	// Corrupt box: make MinX > MaxX.
+	// Corrupt box: make MinX > MaxX. Inline payload validation fires
+	// before the checksum trailer is ever reached.
 	bad := append([]byte(nil), raw...)
-	// Header: 8 magic + 2 len + 1 name + 4 count = 15; first float is MinX.
-	for i := 0; i < 8; i++ {
-		bad[15+i] = 0
-	}
+	// Header: 8 magic + 2 version + 2 len + 1 name + 4 count = 17;
+	// first float is MinX.
+	const firstFloat = 17
 	// Set MinX = +Inf.
 	inf := math.Float64bits(math.Inf(1))
 	for i := 0; i < 8; i++ {
-		bad[15+i] = byte(inf >> (56 - 8*i))
+		bad[firstFloat+i] = byte(inf >> (56 - 8*i))
 	}
 	if _, err := ReadHistogram(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "invalid box") {
 		t.Fatalf("corrupt box error = %v", err)
+	} else if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt box error %v does not wrap ErrSnapshotCorrupt", err)
 	}
 
 	// Implausible bucket count.
-	badCount := append([]byte(nil), raw[:11]...)
+	badCount := append([]byte(nil), raw[:13]...)
 	badCount = append(badCount, 0xFF, 0xFF, 0xFF, 0xFF)
-	if _, err := ReadHistogram(bytes.NewReader(badCount)); err == nil {
-		t.Fatal("huge bucket count should fail")
+	if _, err := ReadHistogram(bytes.NewReader(badCount)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("huge bucket count error = %v", err)
+	}
+
+	// Flipped payload bit that keeps the payload semantically valid:
+	// only the checksum catches it. Byte 12 is the one-byte name "x".
+	flipped := append([]byte(nil), raw...)
+	flipped[12] ^= 0x01
+	if _, err := ReadHistogram(bytes.NewReader(flipped)); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Fatalf("flipped-name error = %v, want checksum mismatch", err)
+	}
+
+	// Unsupported future version.
+	future := append([]byte(nil), raw...)
+	future[8], future[9] = 0x00, 0x63 // version 99
+	if _, err := ReadHistogram(bytes.NewReader(future)); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("future version error = %v", err)
+	}
+}
+
+// TestReadHistogramLegacyV1 verifies that unchecksummed SPHIST1
+// payloads written before the version stamp still decode. The v1 body
+// is byte-identical to the v2 payload, so a legacy snapshot is the v2
+// bytes minus the version field and checksum trailer.
+func TestReadHistogramLegacyV1(t *testing.T) {
+	good := NewBucketEstimator("legacy", []Bucket{
+		{Box: geom.NewRect(0, 0, 2, 3), Count: 4, AvgW: 0.5, AvgH: 0.25, AvgDensity: 0.125},
+		{Box: geom.NewRect(2, 0, 5, 3), Count: 9, AvgW: 1, AvgH: 1, AvgDensity: 0.4},
+	})
+	raw, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := append([]byte("SPHIST1\n"), raw[10:len(raw)-4]...)
+	back, err := ReadHistogram(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy read: %v", err)
+	}
+	if back.Name() != "legacy" || len(back.Buckets()) != 2 {
+		t.Fatalf("legacy round trip lost data: %+v", back)
+	}
+	for i, b := range good.Buckets() {
+		if back.Buckets()[i] != b {
+			t.Fatalf("legacy bucket %d: %+v != %+v", i, back.Buckets()[i], b)
+		}
 	}
 }
 

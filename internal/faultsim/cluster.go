@@ -1,0 +1,304 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// ErrInjectedNet marks a coordinator→worker call or snapshot ship
+// failed by the simulated network. The coordinator degrades the
+// affected shard to its map summary rather than erroring the request,
+// so this error never escapes a scenario — it only appears in call
+// spans and injection counters.
+var ErrInjectedNet = errors.New("faultsim: injected network fault")
+
+// NetFaults is the network fault model for cluster scenarios. All
+// probabilities are in [0, 1]; durations are virtual time. Faults
+// apply only while injection is enabled — the initial snapshot ship
+// during setup, the shutdown probes and the recovery probe all run on
+// a healed network.
+type NetFaults struct {
+	// PartitionNodes lists node indices (into the cluster's node list)
+	// unreachable while injection is on: every estimate call and
+	// snapshot ship to them fails immediately.
+	PartitionNodes []int `json:"partition_nodes,omitempty"`
+	// DropProb drops individual coordinator→worker estimate calls,
+	// decided per (node, shard, epoch, query) — a flaky link rather
+	// than a dead node.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// LatencyProb delays individual estimate calls by Latency before
+	// they reach the worker; a delay at or beyond the scatter deadline
+	// degrades exactly the affected shards.
+	LatencyProb float64       `json:"latency_prob,omitempty"`
+	Latency     time.Duration `json:"latency,omitempty"`
+	// ShipDropNodes lists node indices whose snapshot ships fail: a
+	// reshard leaves them serving the previous epoch, exercising the
+	// coordinator's stale-reply detection and replica failover.
+	ShipDropNodes []int `json:"ship_drop_nodes,omitempty"`
+}
+
+// ClusterSpec switches a scenario to the distributed tier: the serve
+// stack fronts a cluster.Coordinator fanning out to in-process worker
+// nodes over the Local transport, wrapped in the network fault model.
+// The shard-level fault knobs (SlowShards, ShardErrors, build hooks)
+// do not apply in cluster mode — workers serve pure snapshot walks;
+// use NetFaults instead.
+type ClusterSpec struct {
+	// Nodes is the worker node count. Default 3.
+	Nodes int `json:"nodes,omitempty"`
+	// Replicas is how many nodes hold each shard's snapshot. Default 1
+	// (so a single partitioned node visibly degrades; set 2 to assert
+	// failover instead).
+	Replicas int `json:"replicas,omitempty"`
+	// Net is the network fault schedule.
+	Net NetFaults `json:"net"`
+}
+
+func (cs ClusterSpec) withDefaults() ClusterSpec {
+	if cs.Nodes == 0 {
+		cs.Nodes = 3
+	}
+	if cs.Replicas == 0 {
+		cs.Replicas = 1
+	}
+	return cs
+}
+
+// network fault sites, mixed into the per-site salts.
+const (
+	siteNetDrop = iota
+	siteNetLatency
+)
+
+// netTransport wraps a cluster.Transport with seed-deterministic
+// network faults on the virtual clock: partitions, per-call drops and
+// latency, and snapshot-ship failures. Decisions are pure functions of
+// (seed, site, node, request identity), so goroutine scheduling never
+// changes which calls are faulted.
+type netTransport struct {
+	inner cluster.Transport
+	clk   vclock.Clock
+	nf    NetFaults
+	salt  [2]uint64
+
+	partitioned map[cluster.NodeID]bool
+	shipDrop    map[cluster.NodeID]bool
+
+	disabled atomic.Bool
+
+	// Injection counters for the report.
+	PartitionRefusals atomic.Int64
+	Drops             atomic.Int64
+	Delays            atomic.Int64
+	ShipDrops         atomic.Int64
+}
+
+func newNetTransport(inner cluster.Transport, clk vclock.Clock, seed int64, nf NetFaults, nodes []cluster.NodeID) *netTransport {
+	nt := &netTransport{
+		inner:       inner,
+		clk:         clk,
+		nf:          nf,
+		partitioned: make(map[cluster.NodeID]bool, len(nf.PartitionNodes)),
+		shipDrop:    make(map[cluster.NodeID]bool, len(nf.ShipDropNodes)),
+	}
+	for i := range nt.salt {
+		// Site salts diverge from the Injector's (which consumes the
+		// seed through math/rand) by construction.
+		nt.salt[i] = splitmix64(uint64(seed)+uint64(i)*0x9e3779b97f4a7c15) | 1
+	}
+	for _, i := range nf.PartitionNodes {
+		if i >= 0 && i < len(nodes) {
+			nt.partitioned[nodes[i]] = true
+		}
+	}
+	for _, i := range nf.ShipDropNodes {
+		if i >= 0 && i < len(nodes) {
+			nt.shipDrop[nodes[i]] = true
+		}
+	}
+	return nt
+}
+
+// SetDisabled turns network faults off (true) or back on (false).
+func (nt *netTransport) SetDisabled(v bool) { nt.disabled.Store(v) }
+
+// roll maps (site salt, key parts) to a uniform [0, 1) float.
+func (nt *netTransport) roll(site int, parts ...uint64) float64 {
+	x := nt.salt[site]
+	for _, p := range parts {
+		x = splitmix64(x ^ p)
+	}
+	return float64(x>>11) / float64(1<<53)
+}
+
+// callKey folds one shard call's identity into hash parts: the target
+// node, the shard coordinate and the query rectangle.
+func callKey(node cluster.NodeID, req cluster.EstimateRequest) []uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, c := range []byte(node) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	parts := []uint64{h, uint64(req.Shard), req.Epoch}
+	return append(parts, rectKey(req.Table, req.Query)...)
+}
+
+// Estimate implements cluster.Transport with network faults around the
+// wrapped transport.
+func (nt *netTransport) Estimate(ctx context.Context, node cluster.NodeID, req cluster.EstimateRequest) (cluster.EstimateReply, error) {
+	if nt.disabled.Load() {
+		return nt.inner.Estimate(ctx, node, req)
+	}
+	if nt.partitioned[node] {
+		nt.PartitionRefusals.Add(1)
+		return cluster.EstimateReply{}, fmt.Errorf("%w: node %s partitioned", ErrInjectedNet, node)
+	}
+	key := callKey(node, req)
+	if nt.nf.DropProb > 0 && nt.roll(siteNetDrop, key...) < nt.nf.DropProb {
+		nt.Drops.Add(1)
+		return cluster.EstimateReply{}, fmt.Errorf("%w: call to %s dropped", ErrInjectedNet, node)
+	}
+	if nt.nf.LatencyProb > 0 && nt.nf.Latency > 0 &&
+		nt.roll(siteNetLatency, key...) < nt.nf.LatencyProb {
+		nt.Delays.Add(1)
+		// The network does not watch the caller's deadline, but waking
+		// on ctx drains simulated goroutines promptly; the inner call
+		// then runs against the already-dead context.
+		select {
+		case <-nt.clk.After(nt.nf.Latency):
+		case <-ctx.Done():
+		}
+	}
+	return nt.inner.Estimate(ctx, node, req)
+}
+
+// Ship implements cluster.Transport: partitioned and ship-drop nodes
+// never receive the snapshot, so they keep serving their previous
+// epoch — the stale-snapshot model.
+func (nt *netTransport) Ship(ctx context.Context, node cluster.NodeID, snap *cluster.Snapshot) (int, error) {
+	if nt.disabled.Load() {
+		return nt.inner.Ship(ctx, node, snap)
+	}
+	if nt.partitioned[node] || nt.shipDrop[node] {
+		nt.ShipDrops.Add(1)
+		return 0, fmt.Errorf("%w: ship to %s dropped", ErrInjectedNet, node)
+	}
+	return nt.inner.Ship(ctx, node, snap)
+}
+
+// setupCluster builds the distributed backend: worker nodes behind the
+// Local transport, the network fault model, and a coordinator whose
+// shard policy mirrors the single-node scenarios. The initial build
+// and snapshot ship run with network faults disabled — partitions
+// model serving-time failures, and every worker must start holding a
+// live snapshot so the post-heal recovery invariant is meaningful.
+func (st *runState) setupCluster() error {
+	cs := st.sc.Cluster.withDefaults()
+	local := cluster.NewLocal()
+	nodes := make([]cluster.NodeID, cs.Nodes)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(fmt.Sprintf("node-%d", i))
+		w := cluster.NewWorker(cluster.WorkerConfig{ID: nodes[i]})
+		w.EnableTelemetry(st.reg)
+		local.Register(nodes[i], w)
+		st.workers = append(st.workers, w)
+	}
+	st.net = newNetTransport(local, st.sim, st.seed, cs.Net, nodes)
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Nodes:     nodes,
+		Transport: st.net,
+		Replicas:  cs.Replicas,
+		Shard:     st.shardConfig(st.sc.Resilience),
+	})
+	if err != nil {
+		return fmt.Errorf("faultsim: coordinator: %w", err)
+	}
+	coord.EnableTelemetry(st.reg)
+	coord.AddTable(simTable, st.dist)
+	st.net.SetDisabled(true)
+	if err := coord.AnalyzeContext(context.Background(), simTable); err != nil {
+		return fmt.Errorf("faultsim: cluster analyze: %w", err)
+	}
+	st.net.SetDisabled(false)
+	st.coord = coord
+	st.backend = coord
+	return nil
+}
+
+// checkClusterEpochs is the snapshot-epoch-consistent invariant: every
+// completed cluster response must be derived from exactly one
+// partition-map epoch. It re-derives the verdict from the span trees,
+// independently of the coordinator's own stale-reply rejection: the
+// response's Epoch must equal the scatter span's epoch attribute, and
+// every shard the merge graded full must show at least one worker
+// answer served from that same epoch. Degraded shards are exempt — a
+// map summary is by construction the map's own epoch.
+func (st *runState) checkClusterEpochs() {
+	if st.coord == nil || st.disabled[InvSnapshotEpochConsistent] {
+		return
+	}
+	final := st.coord.Epoch(simTable)
+	byID := make(map[string]*outcome, len(st.outcomes))
+	st.mu.Lock()
+	for i := range st.outcomes {
+		o := &st.outcomes[i]
+		byID[fmt.Sprintf("q%03d-r%d", o.idx, o.round)] = o
+	}
+	st.mu.Unlock()
+
+	for _, tr := range st.tracer.Recent() {
+		o := byID[tr.RequestID()]
+		if o == nil || o.err != nil {
+			continue
+		}
+		if o.resp.Epoch < 1 || o.resp.Epoch > final {
+			st.violate(InvSnapshotEpochConsistent,
+				"trace %s: response epoch %d outside published range [1, %d]",
+				tr.RequestID(), o.resp.Epoch, final)
+			continue
+		}
+		scatters := tr.Root().Find("cluster.scatter")
+		if len(scatters) == 0 {
+			// Cache hit or shared-flight follower: no scatter of its own.
+			continue
+		}
+		scat := scatters[len(scatters)-1]
+		epochAttr, ok := scat.Attr("epoch")
+		if !ok {
+			st.violate(InvSnapshotEpochConsistent,
+				"trace %s: cluster.scatter span has no epoch attribute", tr.RequestID())
+			continue
+		}
+		want := fmt.Sprintf("%d", o.resp.Epoch)
+		if epochAttr != want {
+			st.violate(InvSnapshotEpochConsistent,
+				"trace %s: scatter ran under map epoch %s but the response reports epoch %d — torn swap",
+				tr.RequestID(), epochAttr, o.resp.Epoch)
+			continue
+		}
+		for _, call := range scat.Find("cluster.call") {
+			ql, _ := call.Attr("quality")
+			if ql != "full" {
+				continue
+			}
+			served := false
+			for _, wsp := range call.Find("worker.estimate") {
+				if v, ok := wsp.Attr("epoch_served"); ok && v == epochAttr {
+					served = true
+					break
+				}
+			}
+			if !served {
+				shardIdx, _ := call.Attr("shard")
+				st.violate(InvSnapshotEpochConsistent,
+					"trace %s: shard %s graded full with no worker answer from map epoch %s",
+					tr.RequestID(), shardIdx, epochAttr)
+			}
+		}
+	}
+}

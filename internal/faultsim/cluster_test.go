@@ -1,0 +1,69 @@
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestClusterPartitionScenario replays the acceptance scenario — a
+// coordinator over three workers with one partitioned — twice under
+// one seed: every invariant (including snapshot-epoch-consistent)
+// must hold, and both the reports and the observability artifacts
+// must be byte-identical.
+func TestClusterPartitionScenario(t *testing.T) {
+	sc, ok := Lookup("cluster-partition")
+	if !ok {
+		t.Fatal("cluster-partition not in the suite")
+	}
+	var traceA, traceB, qlogA, qlogB bytes.Buffer
+	a, err := RunTraced(sc, 99, &traceA, &qlogA)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	for _, v := range a.Violations {
+		t.Errorf("invariant %s violated: %s", v.Invariant, v.Detail)
+	}
+	checked := false
+	for _, inv := range a.InvariantsChecked {
+		if inv == InvSnapshotEpochConsistent {
+			checked = true
+		}
+	}
+	if !checked {
+		t.Errorf("cluster run did not check %s: %v", InvSnapshotEpochConsistent, a.InvariantsChecked)
+	}
+	if a.NetPartitionRefusals == 0 || a.Partials == 0 {
+		t.Errorf("partition had no effect: %d refusals, %d partials", a.NetPartitionRefusals, a.Partials)
+	}
+
+	b, err := RunTraced(sc, 99, &traceB, &qlogB)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("same-seed cluster reports differ:\nA: %s\nB: %s", ja, jb)
+	}
+	if !bytes.Equal(traceA.Bytes(), traceB.Bytes()) {
+		t.Error("same-seed cluster span trees differ")
+	}
+	if !bytes.Equal(qlogA.Bytes(), qlogB.Bytes()) {
+		t.Error("same-seed cluster query logs differ")
+	}
+}
+
+// TestEpochInvariantScopedToCluster: single-node scenarios must not
+// advertise the cluster-only epoch check.
+func TestEpochInvariantScopedToCluster(t *testing.T) {
+	rep, err := Run(Scenario{Name: "plain", ExpectClean: true, Resilience: noResilience()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range rep.InvariantsChecked {
+		if inv == InvSnapshotEpochConsistent {
+			t.Errorf("non-cluster run checked %s", inv)
+		}
+	}
+}

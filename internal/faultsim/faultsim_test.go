@@ -108,6 +108,60 @@ var effectChecks = map[string]func(Report) error{
 		}
 		return nil
 	},
+	"cluster-baseline": func(r Report) error {
+		if r.ClusterNodes != 3 {
+			return fmt.Errorf("ran on %d nodes, want 3", r.ClusterNodes)
+		}
+		if r.ErrorsTotal != 0 || r.Partials != 0 {
+			return fmt.Errorf("cluster baseline not clean: %d errors, %d partials", r.ErrorsTotal, r.Partials)
+		}
+		if r.CacheHits == 0 {
+			return fmt.Errorf("round 2 of a clean cluster run should hit the cache")
+		}
+		return nil
+	},
+	"cluster-partition": func(r Report) error {
+		if r.NetPartitionRefusals == 0 {
+			return fmt.Errorf("no calls refused by the partition")
+		}
+		if r.Partials == 0 {
+			return fmt.Errorf("a partitioned single-replica node must degrade some requests")
+		}
+		if r.QualityFull == 0 {
+			return fmt.Errorf("no full-quality responses after the heal")
+		}
+		if r.ErrorsTotal != 0 {
+			return fmt.Errorf("partition must degrade, not fail: %d request errors", r.ErrorsTotal)
+		}
+		return nil
+	},
+	"cluster-failover": func(r Report) error {
+		if r.NetPartitionRefusals == 0 {
+			return fmt.Errorf("no calls refused by the partition")
+		}
+		if r.Retries == 0 {
+			return fmt.Errorf("failover never engaged the retry policy")
+		}
+		return nil
+	},
+	"cluster-stale-snapshot": func(r Report) error {
+		if r.ShipsDropped == 0 {
+			return fmt.Errorf("no snapshot ships dropped")
+		}
+		if r.StaleReplies == 0 {
+			return fmt.Errorf("the stale node's replies were never rejected")
+		}
+		if r.ClusterEpoch != 2 {
+			return fmt.Errorf("final map epoch %d, want 2 after the mid-run reshard", r.ClusterEpoch)
+		}
+		return nil
+	},
+	"cluster-flaky-net": func(r Report) error {
+		if r.NetDrops+r.NetDelays == 0 {
+			return fmt.Errorf("flaky network dropped and delayed nothing")
+		}
+		return nil
+	},
 }
 
 // TestSuiteAllSeedsPass replays every suite scenario under each fixed
@@ -201,6 +255,11 @@ func TestInjectionDeterminism(t *testing.T) {
 		Workers:   1,  // serial: no scheduling freedom at all
 		CacheSize: -1, // no cache: every request reaches the injector
 		Queries:   80,
+		// Resilience off: a hedged or retried shard attempt races its
+		// cancellation in real scheduling, so whether an abandoned
+		// attempt reaches the injection site — and bumps the injection
+		// call counters compared here — is not a function of the seed.
+		Resilience: noResilience(),
 		Faults: Faults{
 			EstimateDelayProb: 0.3,
 			EstimateDelay:     400 * time.Millisecond, // > deadline: outcome is schedule-independent

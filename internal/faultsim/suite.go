@@ -15,6 +15,24 @@ func resilienceWithHedgeMax(max time.Duration) resilience.Config {
 	return c
 }
 
+// resilienceNoHedge keeps breakers and retry-failover on but disables
+// hedging. The faulted cluster scenarios use it: a hedge timer is
+// armed inside a scatter goroutine, so its virtual deadline depends on
+// whether the clock driver advanced a quantum before or after the
+// goroutine reached resilience.Do — a real-scheduling race that moves
+// the hedge's recorded fire time (and which replica's span lands in
+// the trace) between same-seed runs. Remote calls do enough work per
+// attempt to hit that window regularly, and the determinism gate
+// diffs trace bytes, so cluster scenarios assert failover through
+// retries (whose triggers are injected errors, decided by pure
+// seed-derived rolls) and leave hedging to TestHedgingCapsTailLatency
+// and the single-node hedged-slow-shard scenario.
+func resilienceNoHedge() resilience.Config {
+	var c resilience.Config
+	c.Hedge.Disable = true
+	return c
+}
+
 // noResilience turns the resilience layer off. The legacy multi-worker
 // scenarios run without it: breaker trips and adaptive hedge delays
 // depend on the order concurrent workers record outcomes, which
@@ -126,6 +144,70 @@ func Suite() []Scenario {
 			Faults: Faults{
 				AnalyzeErrorProb: 0.5,
 				BuildErrorProb:   0.5,
+			},
+		},
+		{
+			Name:        "cluster-baseline",
+			Description: "distributed tier, no faults: coordinator + 3 workers, every response complete, accurate and clean",
+			ExpectClean: true,
+			Resilience:  noResilience(),
+			Cluster:     &ClusterSpec{Nodes: 3, Replicas: 2},
+		},
+		{
+			Name: "cluster-partition",
+			Description: "one of 3 single-replica workers partitioned for two rounds; its shards must degrade to map " +
+				"summaries (flagged Partial, never an error), epochs must stay consistent, and full quality must return after the heal",
+			Workers:     1, // sequential: breaker trips are schedule-free
+			Rounds:      4,
+			FaultRounds: 2,
+			Resilience:  resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:    3,
+				Replicas: 1,
+				Net:      NetFaults{PartitionNodes: []int{1}},
+			},
+		},
+		{
+			Name: "cluster-failover",
+			Description: "one worker partitioned but every shard has a second replica; retries fail over and the run " +
+				"stays completely clean — replication hides a node loss",
+			Workers:     1,
+			ExpectClean: true,
+			Resilience:  resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:    3,
+				Replicas: 2,
+				Net:      NetFaults{PartitionNodes: []int{0}},
+			},
+		},
+		{
+			Name: "cluster-stale-snapshot",
+			Description: "mid-run reshard whose snapshot ship to one node is dropped; the node keeps serving the old " +
+				"epoch, the coordinator must reject those replies as stale and fail over to a fresh replica",
+			Workers:       1,
+			MidRunAnalyze: true,
+			ExpectClean:   true,
+			Resilience:    resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:    3,
+				Replicas: 2,
+				Net:      NetFaults{ShipDropNodes: []int{0}},
+			},
+		},
+		{
+			Name: "cluster-flaky-net",
+			Description: "20% call drops and 20% scatter-deadline-exceeding latency on the cluster network; degraded " +
+				"responses must be flagged, cached answers accurate, and epochs never torn",
+			Workers:    1,
+			Resilience: resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:    3,
+				Replicas: 2,
+				Net: NetFaults{
+					DropProb:    0.2,
+					LatencyProb: 0.2,
+					Latency:     300 * time.Millisecond, // > EstimateTimeout
+				},
 			},
 		},
 		{

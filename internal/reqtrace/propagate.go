@@ -1,0 +1,55 @@
+package reqtrace
+
+import (
+	"context"
+	"net/http"
+)
+
+// Cross-node propagation: when the coordinator fans a request out to
+// worker nodes over HTTP, the request identity and the calling span
+// travel in headers, so a worker's trace can be joined back to the
+// coordinator trace that caused it and the trace-driven invariant
+// checks hold cluster-wide.
+const (
+	// HeaderRequestID carries the request ID across node hops (the
+	// same header the serving tier echoes to clients).
+	HeaderRequestID = "X-Request-Id"
+	// HeaderParentSpan carries the name of the span that issued the
+	// remote call, recorded on the receiving trace's root span as the
+	// "parent_span" attribute.
+	HeaderParentSpan = "X-Parent-Span"
+)
+
+// InjectHTTP stamps an outgoing cross-node request with the request
+// ID and calling span carried by ctx. Missing values set no header.
+func InjectHTTP(ctx context.Context, h http.Header) {
+	if id := RequestIDFrom(ctx); id != "" {
+		h.Set(HeaderRequestID, id)
+	}
+	if name := SpanFrom(ctx).Name(); name != "" {
+		h.Set(HeaderParentSpan, name)
+	}
+}
+
+// ExtractHTTP reads the propagation headers from an incoming request.
+func ExtractHTTP(h http.Header) (requestID, parentSpan string) {
+	return h.Get(HeaderRequestID), h.Get(HeaderParentSpan)
+}
+
+// StartRemoteRequest begins a trace for a request that arrived from
+// another node, binding it to the originating request ID and
+// recording the remote parent span (when present) on the root span.
+// fallbackID is used when the caller sent no request ID. The nil
+// contract matches StartRequest: a nil tracer returns ctx unchanged
+// and a nil trace whose methods no-op.
+func (t *Tracer) StartRemoteRequest(ctx context.Context, h http.Header, fallbackID string) (context.Context, *Trace) {
+	reqID, parent := ExtractHTTP(h)
+	if reqID == "" {
+		reqID = fallbackID
+	}
+	ctx, tr := t.StartRequest(ctx, reqID)
+	if parent != "" {
+		tr.Root().SetAttr("parent_span", parent)
+	}
+	return ctx, tr
+}

@@ -90,6 +90,12 @@ type CallPolicy struct {
 	// HedgeDelay, when positive, launches one extra concurrent attempt
 	// after this long without a result.
 	HedgeDelay time.Duration
+	// JitterKey, when nonzero, derives retry backoff jitter from a
+	// pure function of this key and the draw number instead of the
+	// retrier's shared generator, so the backoff schedule does not
+	// depend on how concurrent calls interleave their draws. Callers
+	// fold the call's identity (shard, epoch, query) into the key.
+	JitterKey uint64
 }
 
 // attemptResult carries one attempt's outcome back to the Do loop.
@@ -173,7 +179,12 @@ func Do[T any](ctx context.Context, p CallPolicy, fn func(ctx context.Context, a
 			// Schedule a retry if the budget — both the attempt count and
 			// the remaining deadline — still affords one.
 			if p.Retry != nil && errAttempts < maxAttempts && retryCh == nil {
-				d := p.Retry.NextBackoff(prev)
+				var d time.Duration
+				if p.JitterKey != 0 {
+					d = p.Retry.NextBackoffKeyed(prev, p.JitterKey, errAttempts-1)
+				} else {
+					d = p.Retry.NextBackoff(prev)
+				}
 				prev = d
 				if p.Retry.FitsBudget(ctx, d) {
 					retryTimer = clk.NewTimer(d)

@@ -74,20 +74,27 @@ func NewRetrier(cfg RetryConfig, clk vclock.Clock, rng *rand.Rand) *Retrier {
 // MaxAttempts returns the total attempt budget.
 func (r *Retrier) MaxAttempts() int { return r.cfg.MaxAttempts }
 
-// NextBackoff draws the decorrelated-jitter delay that follows a
-// previous backoff of prev (0 for the first retry): uniform in
-// [Base, min(Cap, 3*max(prev, Base))]. The result is always within
-// [Base, Cap].
-func (r *Retrier) NextBackoff(prev time.Duration) time.Duration {
-	lo := r.cfg.Base
+// backoffWindow resolves the decorrelated-jitter bounds that follow a
+// previous backoff of prev (0 for the first retry): [Base,
+// min(Cap, 3*max(prev, Base))].
+func (r *Retrier) backoffWindow(prev time.Duration) (lo, hi time.Duration) {
+	lo = r.cfg.Base
 	anchor := prev
 	if anchor < lo {
 		anchor = lo
 	}
-	hi := 3 * anchor
+	hi = 3 * anchor
 	if hi > r.cfg.Cap {
 		hi = r.cfg.Cap
 	}
+	return lo, hi
+}
+
+// NextBackoff draws the decorrelated-jitter delay from the shared
+// generator, uniform in the backoffWindow. The result is always
+// within [Base, Cap].
+func (r *Retrier) NextBackoff(prev time.Duration) time.Duration {
+	lo, hi := r.backoffWindow(prev)
 	if hi <= lo {
 		return lo
 	}
@@ -95,6 +102,30 @@ func (r *Retrier) NextBackoff(prev time.Duration) time.Duration {
 	d := lo + time.Duration(r.rng.Int63n(int64(hi-lo)+1))
 	r.mu.Unlock()
 	return d
+}
+
+// NextBackoffKeyed is NextBackoff with the jitter derived from a pure
+// function of (key, draw) instead of the shared generator. Concurrent
+// calls drawing from one generator consume it in scheduling order, so
+// their backoffs swap between runs even when everything else is
+// seeded; a keyed draw pins each call's schedule to its identity,
+// which the deterministic fault simulation requires.
+func (r *Retrier) NextBackoffKeyed(prev time.Duration, key uint64, draw int) time.Duration {
+	lo, hi := r.backoffWindow(prev)
+	if hi <= lo {
+		return lo
+	}
+	x := splitmix64(key ^ (uint64(draw)+1)*0x9e3779b97f4a7c15)
+	return lo + time.Duration(x%uint64(hi-lo+1))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix
+// turning a structured key into uniform bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // FitsBudget reports whether sleeping backoff and then running an

@@ -255,6 +255,11 @@ type EstimateResponse struct {
 	// Breakers is the per-shard circuit-breaker state observed by this
 	// estimate; empty when breakers are disabled.
 	Breakers []string `json:"breakers,omitempty"`
+	// Epoch is the build epoch of the statistics snapshot that
+	// produced the answer (see shard.ShardedCatalog.Epoch). A cached
+	// answer keeps the epoch it was computed at, so clients can detect
+	// reads that predate the latest ANALYZE or partition-map swap.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// RequestID identifies the request across the response, the error
 	// body, the X-Request-Id header, the span trace and the query log.
 	// Taken from the caller (X-Request-Id header or context) or minted
@@ -336,6 +341,7 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 			resp.Estimate, resp.Partial, resp.Cached = res.Estimate, res.Partial, true
 			resp.Quality = res.Quality.String()
 			resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
+			resp.Epoch = res.Epoch
 			s.noteQuality(res.Quality)
 			s.finishTrace(tr, resp, nil)
 			return resp, nil
@@ -397,6 +403,7 @@ func (s *Server) Estimate(ctx context.Context, table string, q geom.Rect) (Estim
 	resp.Quality = res.Quality.String()
 	resp.ShardsQueried, resp.ShardsMissed = res.ShardsQueried, res.ShardsMissed
 	resp.FallbackShards, resp.Breakers = res.FallbackShards, res.Breakers
+	resp.Epoch = res.Epoch
 	s.noteQuality(res.Quality)
 	s.finishTrace(tr, resp, nil)
 	return resp, nil

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -97,6 +98,11 @@ type Result struct {
 	// time of the estimate ("closed", "half_open", "open"); nil when
 	// breakers are disabled.
 	Breakers []string
+	// Epoch is the build epoch of the statistics snapshot the estimate
+	// walked (see ShardedCatalog.Epoch). An estimate that raced a
+	// rebuild carries the epoch of the set it actually used, never a
+	// mix.
+	Epoch uint64
 }
 
 // shardAnswer carries one shard's partial count and its quality back
@@ -116,6 +122,7 @@ type scatterSnap struct {
 	hook    func(shardIdx, attempt int) error
 	retrier *resilience.Retrier
 	clk     vclock.Clock
+	epoch   uint64
 
 	fanout       *telemetry.Histogram
 	estimates    *telemetry.Counter
@@ -162,6 +169,7 @@ func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Res
 		hook:    sc.estimateHook,
 		retrier: sc.retrier,
 		clk:     sc.cfg.Clock,
+		epoch:   sc.epoch,
 
 		fanout:       sc.fanout,
 		estimates:    sc.estimates,
@@ -189,7 +197,7 @@ func (sc *ShardedCatalog) EstimateContext(ctx context.Context, q geom.Rect) (Res
 	}
 	snap.estimates.Inc()
 	snap.fanout.Observe(float64(len(relevant)))
-	res := Result{ShardsTotal: len(snap.shards), ShardsQueried: len(relevant)}
+	res := Result{ShardsTotal: len(snap.shards), ShardsQueried: len(relevant), Epoch: snap.epoch}
 
 	// The scatter span (nil — a no-op — when the request carries no
 	// trace). done grades the result and seals the span with the merge
@@ -418,6 +426,25 @@ func (sn *scatterSnap) walkOne(idx int, q geom.Rect, sp *reqtrace.Span) shardAns
 	return shardAnswer{idx: idx, est: est, quality: QualityFull}
 }
 
+// jitterKey folds one shard call's identity into the key that pins
+// its retry-backoff jitter (see resilience.CallPolicy.JitterKey), so
+// concurrent calls never swap backoff draws between same-seed runs.
+// The cluster coordinator keys its remote calls the same way.
+func jitterKey(shardIdx int, epoch uint64, q geom.Rect) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(v uint64) { h = (h ^ v) * 1099511628211 }
+	mix(uint64(shardIdx))
+	mix(epoch)
+	mix(math.Float64bits(q.MinX))
+	mix(math.Float64bits(q.MinY))
+	mix(math.Float64bits(q.MaxX))
+	mix(math.Float64bits(q.MaxY))
+	if h == 0 {
+		h = 1 // zero disables keyed jitter; keep the key always-on
+	}
+	return h
+}
+
 // walk runs the full histogram walk with its core.walk span and
 // latency observation.
 func (sn *scatterSnap) walk(s *shardStat, q geom.Rect, sp *reqtrace.Span) float64 {
@@ -459,6 +486,7 @@ func (sn *scatterSnap) callShard(ctx context.Context, idx int, q geom.Rect, hedg
 		Clock:      sn.clk,
 		Retry:      sn.retrier,
 		HedgeDelay: hedgeDelay,
+		JitterKey:  jitterKey(idx, sn.epoch, q),
 	}, func(actx context.Context, attempt int) (float64, error) {
 		t0 := sn.clk.Now()
 		if err := sn.hook(idx, attempt); err != nil {

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Export is one built shard lifted out of the catalog for snapshot
+// shipping: everything a remote node needs to serve this shard's
+// estimates — routing geometry, the full histogram, the degradation
+// ladder, and the uniformity fallback — plus the build epoch so the
+// receiver can tell which statistics generation it is serving. The
+// histograms are the catalog's own immutable-by-contract instances;
+// callers must treat them as read-only.
+type Export struct {
+	// Index is the shard's position in the catalog (routing order).
+	Index int
+	// Epoch is the build epoch of the shard set the export was taken
+	// from (see ShardedCatalog.Epoch).
+	Epoch uint64
+	// Region is the partition cell the shard was assigned.
+	Region geom.Rect
+	// MBR bounds the shard's member rectangles.
+	MBR geom.Rect
+	// RouteBox is the MBR padded for exact pruning (see shardStat).
+	RouteBox geom.Rect
+	// Rows is the shard's rectangle count.
+	Rows int
+	// Hist is the shard's full Min-Skew histogram.
+	Hist *core.BucketEstimator
+	// Ladder holds the coarser degradation rungs, finest first.
+	Ladder []*core.BucketEstimator
+	// Fallback is the single-bucket uniformity summary.
+	Fallback core.Bucket
+}
+
+// Export returns the live shard set as per-shard exports in routing
+// order, all stamped with the same epoch. It returns nil before the
+// first AnalyzeContext. The snapshot is consistent: a rebuild racing
+// the call yields either the old set or the new one, never a mix.
+func (sc *ShardedCatalog) Export() []Export {
+	sc.mu.RLock()
+	shards, epoch := sc.shards, sc.epoch
+	sc.mu.RUnlock()
+	if shards == nil {
+		return nil
+	}
+	out := make([]Export, len(shards))
+	for i, s := range shards {
+		out[i] = Export{
+			Index:    i,
+			Epoch:    epoch,
+			Region:   s.region,
+			MBR:      s.mbr,
+			RouteBox: s.routeBox,
+			Rows:     s.n,
+			Hist:     s.hist,
+			Ladder:   s.ladder,
+			Fallback: s.fallback,
+		}
+	}
+	return out
+}

@@ -189,6 +189,12 @@ type ShardedCatalog struct {
 	shards []*shardStat
 	bounds geom.Rect
 	rows   int
+	// epoch counts successful shard-set swaps: it starts at 0 (nothing
+	// built) and increments under the write lock every time
+	// AnalyzeContext installs a new shard slice. Estimates report the
+	// epoch of the snapshot they walked, so readers — and the
+	// distributed tier's coordinator — can detect stale statistics.
+	epoch uint64
 
 	// estimateHook, when non-nil, runs inside every shard-call attempt
 	// before the bucket walk; tests and the fault simulation harness
@@ -372,6 +378,16 @@ func (sc *ShardedCatalog) Rows() int {
 	return sc.rows
 }
 
+// Epoch returns the build epoch of the live shard set: 0 before the
+// first AnalyzeContext, then +1 per successful swap. Comparing the
+// epoch on a Result against the current value detects stale reads
+// across a rebuild.
+func (sc *ShardedCatalog) Epoch() uint64 {
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.epoch
+}
+
 // ShardInfo describes one live shard for inspection.
 type ShardInfo struct {
 	Region  geom.Rect // partition cell assigned by the partitioner
@@ -480,6 +496,7 @@ func (sc *ShardedCatalog) AnalyzeContext(ctx context.Context, d *dataset.Distrib
 	sc.shards = built
 	sc.bounds = bounds
 	sc.rows = d.N()
+	sc.epoch++
 	if sc.cfg.Resilience.BreakersEnabled() {
 		// Size the breaker slice to the new shard count, preserving the
 		// failure history of surviving indices: a rebuilt shard is the

@@ -1,0 +1,29 @@
+package spatialdb
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/synthetic"
+	"repro/internal/tiger"
+)
+
+// Generate builds one of the named example datasets: the paper's
+// Charminar corner distribution, the scaled TIGER NJ-Road network, or
+// a uniform control. Seeds are fixed, so two nodes generating the same
+// (kind, n) hold identical data — the cluster coordinator relies on
+// this to make generated tables reproducible across restarts.
+func Generate(kind string, n int) (*dataset.Distribution, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset size must be positive, got %d", n)
+	}
+	switch kind {
+	case "charminar":
+		return synthetic.Charminar(n, 10000, 100, 1999), nil
+	case "njroad":
+		return tiger.NJRoad(n), nil
+	case "uniform":
+		return synthetic.Uniform(n, 10000, 10, 100, 1999), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q (want charminar, njroad or uniform)", kind)
+}

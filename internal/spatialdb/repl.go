@@ -12,8 +12,6 @@ import (
 	"repro/internal/geojson"
 	"repro/internal/geom"
 	"repro/internal/reqtrace"
-	"repro/internal/synthetic"
-	"repro/internal/tiger"
 	"repro/internal/trace"
 	"repro/internal/wkt"
 )
@@ -258,16 +256,9 @@ func (r *REPL) gen(args []string, ew *errWriter) error {
 	if err != nil || n < 1 {
 		return fmt.Errorf("bad size %q", args[2])
 	}
-	var d *dataset.Distribution
-	switch kind {
-	case "charminar":
-		d = synthetic.Charminar(n, 10000, 100, 1999)
-	case "njroad":
-		d = tiger.NJRoad(n)
-	case "uniform":
-		d = synthetic.Uniform(n, 10000, 10, 100, 1999)
-	default:
-		return fmt.Errorf("unknown generator %q", kind)
+	d, err := Generate(kind, n)
+	if err != nil {
+		return err
 	}
 	if err := r.DB.Create(name, d); err != nil {
 		return err

@@ -120,10 +120,62 @@ func BenchmarkEstimateSuite(b *testing.B) {
 		})
 	}
 
+	buildMinSkew := func(b *testing.B, buckets int) *spatialest.Histogram {
+		b.Helper()
+		est, err := spatialest.NewMinSkew(d, spatialest.MinSkewOptions{Buckets: buckets, Regions: 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	}
+
+	// Min-Skew-Linear is the retained linear-scan reference: the
+	// indexed-vs-linear gap across bucket budgets is the point of the
+	// read-optimized layout, and the differential tests hold the two
+	// bit-identical so the gap is pure walk cost.
+	runLinear := func(buckets int) {
+		b.Run("Min-Skew-Linear/"+benchName("b", buckets), func(b *testing.B) {
+			est := buildMinSkew(b, buckets)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est.EstimateLinear(queries[i%len(queries)])
+			}
+			b.StopTimer()
+			recordBenchRow(b, benchRow{
+				Estimator: "Min-Skew-Linear",
+				Buckets:   buckets,
+				NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				N:         b.N,
+			})
+		})
+	}
+
+	// Min-Skew-Batch amortizes the scratch checkout across the whole
+	// query set; ns_per_op is per query, not per batch.
+	runBatch := func(buckets int) {
+		b.Run("Min-Skew-Batch/"+benchName("b", buckets), func(b *testing.B) {
+			est := buildMinSkew(b, buckets)
+			dst := make([]float64, 0, len(queries))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = est.EstimateBatch(queries, dst[:0])
+			}
+			b.StopTimer()
+			recordBenchRow(b, benchRow{
+				Estimator: "Min-Skew-Batch",
+				Buckets:   buckets,
+				NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(queries)),
+				N:         b.N * len(queries),
+			})
+		})
+	}
+
 	// Uniform has no buckets; record it once with buckets=0.
 	run("Uniform", 0)
 	for _, buckets := range []int{100, 1000, 10000} {
 		run("Min-Skew", buckets)
 		run("R-Tree", buckets)
+		runLinear(buckets)
+		runBatch(buckets)
 	}
 }

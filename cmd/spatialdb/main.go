@@ -12,9 +12,11 @@
 // /metrics (Prometheus text format), /debug/vars (expvar-style JSON),
 // and /debug/pprof/* (Go runtime profiles).
 //
-// With -serve-addr, an estimation service exposes /estimate, /analyze
-// and /healthz (plus /healthz/live and /healthz/ready split probes)
-// over HTTP JSON, backed by the same engine the REPL drives;
+// With -serve-addr, an estimation service exposes /estimate,
+// /estimate/batch (POST many rectangles per request, amortizing
+// admission, tracing and cache lookups), /analyze and /healthz (plus
+// /healthz/live and /healthz/ready split probes) over HTTP JSON,
+// backed by the same engine the REPL drives;
 // -shards > 1 additionally builds sharded statistics at each ANALYZE
 // so /estimate scatter-gathers them with circuit breakers, retries,
 // hedged shard calls and ladder-based graceful degradation

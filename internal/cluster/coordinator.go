@@ -483,6 +483,28 @@ func (c *Coordinator) EstimateContext(ctx context.Context, table string, q geom.
 	return done(relevant, quality)
 }
 
+// Compile-time check: the coordinator serves batches too.
+var _ serve.BatchBackend = (*Coordinator)(nil)
+
+// EstimateBatchContext implements serve.BatchBackend: one Result per
+// query, in order. Remote fan-out dominates a cluster estimate, so the
+// batch reuses the per-query scatter unchanged — the amortization the
+// batch API buys here is the serving tier's per-request work (request
+// ID, trace, admission, cache pass), not the scatter itself. Each
+// query still loads the partition-map pointer once, so a concurrent
+// reshard can split a batch across epochs but never tear one query.
+func (c *Coordinator) EstimateBatchContext(ctx context.Context, table string, qs []geom.Rect) ([]shard.Result, error) {
+	out := make([]shard.Result, 0, len(qs))
+	for _, q := range qs {
+		r, err := c.EstimateContext(ctx, table, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // hedgeDelay resolves the adaptive hedge trigger: remote calls always
 // have a tail worth hedging, so unlike the in-process catalog this is
 // gated only on the policy.

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+// Allocation regression tests for the estimate hot path. These run in
+// the tier-1 suite so a reintroduced per-query slice (a fresh scratch,
+// a candidate slice, an interface box) fails CI, not just a benchmark
+// eyeball. testing.AllocsPerRun reports the integral average, so a
+// single cold-pool refill across the runs does not trip them.
+
+func allocTestEstimator(t *testing.T) *BucketEstimator {
+	t.Helper()
+	data := synthetic.Clusters(4000, 6, 800, 0.05, 1, 20, 29)
+	est, err := NewMinSkew(data, MinSkewConfig{Buckets: 100, Regions: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestEstimateZeroAllocs(t *testing.T) {
+	e := allocTestEstimator(t)
+	q := geom.NewRect(200, 200, 400, 400)
+	e.Estimate(q) // warm the scratch pool
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.Estimate(q)
+	}); allocs != 0 {
+		t.Fatalf("Estimate allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEstimateStatsZeroAllocs(t *testing.T) {
+	e := allocTestEstimator(t)
+	q := geom.NewRect(200, 200, 400, 400)
+	e.EstimateStats(q)
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.EstimateStats(q)
+	}); allocs != 0 {
+		t.Fatalf("EstimateStats allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEstimateBatchAmortizedAllocs(t *testing.T) {
+	e := allocTestEstimator(t)
+	qs := make([]geom.Rect, 128)
+	for i := range qs {
+		x := float64(i * 7 % 900)
+		qs[i] = geom.NewRect(x, x, x+50, x+50)
+	}
+	dst := make([]float64, 0, len(qs))
+	dst = e.EstimateBatch(qs, dst[:0]) // warm pool and dst
+	perBatch := testing.AllocsPerRun(50, func() {
+		dst = e.EstimateBatch(qs, dst[:0])
+	})
+	// The contract is amortized ≤1 alloc/query; with a preallocated dst
+	// the whole batch should in fact be allocation-free.
+	if perBatch > float64(len(qs)) {
+		t.Fatalf("EstimateBatch allocates %v per batch of %d (> 1/query)", perBatch, len(qs))
+	}
+	if perBatch != 0 {
+		t.Fatalf("EstimateBatch with preallocated dst allocates %v per batch, want 0", perBatch)
+	}
+}

@@ -97,47 +97,58 @@ func (b Bucket) Estimate(q geom.Rect) float64 {
 }
 
 // BucketEstimator sums per-bucket estimates; it implements Estimator
-// for every bucket-based technique.
+// for every bucket-based technique. Construction finalizes the bucket
+// list into a read-optimized layout (see soa.go): struct-of-arrays
+// mirrors for cache-friendly scans plus a coarse grid index over the
+// bucket boxes, so Estimate visits only the buckets a query can reach
+// and allocates nothing. The indexed walk is bit-identical to the
+// retained linear reference (EstimateLinear).
 type BucketEstimator struct {
 	name    string
 	buckets []Bucket
+
+	// Derived read-optimized state, built by finalize and kept in sync
+	// by the maintenance methods. Never serialized.
+	soa soaBuckets
+	idx *bucketIndex
 
 	// Incremental-maintenance state (see maintain.go).
 	churn     int
 	uncovered int
 }
 
-// NewBucketEstimator wraps a finished bucket list.
+// NewBucketEstimator wraps a finished bucket list and finalizes it
+// into the read-optimized layout. The bucket boxes must not change
+// afterwards (maintenance mutates only the per-bucket statistics).
 func NewBucketEstimator(name string, buckets []Bucket) *BucketEstimator {
-	return &BucketEstimator{name: name, buckets: buckets}
+	e := &BucketEstimator{name: name, buckets: buckets}
+	e.finalize()
+	return e
 }
 
 // Estimate implements Estimator.
 func (e *BucketEstimator) Estimate(q geom.Rect) float64 {
-	total, _ := e.EstimateStats(q)
+	s := e.getScratch()
+	total, _ := e.walkIndexed(q, s)
+	putScratch(s)
 	return total
 }
 
 // WalkStats describes one histogram walk for trace attribution: how
-// many buckets were examined and how many actually contributed to the
-// estimate.
+// many buckets the histogram holds, how many the index let the walk
+// visit, and how many actually contributed to the estimate.
 type WalkStats struct {
 	Buckets      int
+	Visited      int
 	Contributing int
 }
 
 // EstimateStats is Estimate plus the walk statistics the request
 // tracer attaches to its core.walk span.
 func (e *BucketEstimator) EstimateStats(q geom.Rect) (float64, WalkStats) {
-	var total float64
-	st := WalkStats{Buckets: len(e.buckets)}
-	for _, b := range e.buckets {
-		c := b.Estimate(q)
-		if c > 0 {
-			st.Contributing++
-		}
-		total += c
-	}
+	s := e.getScratch()
+	total, st := e.walkIndexed(q, s)
+	putScratch(s)
 	return total, st
 }
 

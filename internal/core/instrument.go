@@ -9,18 +9,18 @@ import (
 
 // instrumented wraps an Estimator with runtime telemetry: an
 // estimate-latency histogram, an estimate counter, and a bucket-visit
-// counter (for bucket-based estimators, whose Estimate walks every
-// bucket). All series carry the caller's labels plus an "estimator"
-// label with the technique name.
+// counter (for bucket-based estimators, counting the buckets the
+// index actually let the walk examine). All series carry the caller's
+// labels plus an "estimator" label with the technique name.
 type instrumented struct {
 	base    Estimator
 	latency *telemetry.Histogram
 	total   *telemetry.Counter
 	visits  *telemetry.Counter
-	// nbuckets caches the wrapped histogram's bucket count; 0 when the
-	// base is not bucket-based. Estimate visits every bucket, so this
-	// is the per-call visit count without a second walk.
-	nbuckets uint64
+	// bucketed, when non-nil, is the wrapped bucket-based histogram;
+	// its EstimateStats reports the exact per-call visit count under
+	// the grid index, at no extra walk.
+	bucketed *BucketEstimator
 }
 
 // Instrument wraps base so every Estimate is timed and counted in reg.
@@ -45,7 +45,7 @@ func Instrument(base Estimator, reg *telemetry.Registry, labels ...telemetry.Lab
 			"Histogram buckets inspected while estimating.", ls...),
 	}
 	if be, ok := base.(*BucketEstimator); ok {
-		in.nbuckets = uint64(len(be.buckets))
+		in.bucketed = be
 	}
 	return in
 }
@@ -53,10 +53,18 @@ func Instrument(base Estimator, reg *telemetry.Registry, labels ...telemetry.Lab
 // Estimate implements Estimator.
 func (in *instrumented) Estimate(q geom.Rect) float64 {
 	t0 := time.Now()
-	v := in.base.Estimate(q)
+	var v float64
+	var visited uint64
+	if in.bucketed != nil {
+		var st WalkStats
+		v, st = in.bucketed.EstimateStats(q)
+		visited = uint64(st.Visited)
+	} else {
+		v = in.base.Estimate(q)
+	}
 	in.latency.ObserveSince(t0)
 	in.total.Inc()
-	in.visits.Add(in.nbuckets)
+	in.visits.Add(visited)
 	return v
 }
 

@@ -35,6 +35,7 @@ func (e *BucketEstimator) Insert(r geom.Rect) {
 		b.AvgDensity++
 	}
 	b.Count++
+	e.syncDerived(i)
 }
 
 // Delete updates the histogram for a removed rectangle. It is the
@@ -57,6 +58,7 @@ func (e *BucketEstimator) Delete(r geom.Rect) {
 	if b.Count == 1 {
 		b.AvgW, b.AvgH, b.AvgDensity = 0, 0, 0
 		b.Count = 0
+		e.syncDerived(i)
 		return
 	}
 	b.AvgW = math.Max(0, (b.AvgW*n-r.Width())/(n-1))
@@ -67,12 +69,26 @@ func (e *BucketEstimator) Delete(r geom.Rect) {
 		b.AvgDensity--
 	}
 	b.Count--
+	e.syncDerived(i)
 }
 
 // bucketFor returns the index of the first bucket whose box contains
 // the point, or -1. Buckets from BSP techniques tile the space so at
-// most a boundary tie is ambiguous; first match is deterministic.
+// most a boundary tie is ambiguous; first match is deterministic. The
+// grid index narrows the scan to the point's cell: every bucket
+// containing p is listed there (its box overlaps p's cell), and the
+// per-cell id list is ascending, so the first match in the cell is the
+// first match globally.
 func (e *BucketEstimator) bucketFor(p geom.Point) int {
+	if ix := e.idx; ix != nil {
+		c := ix.cellY(p.Y)*ix.nx + ix.cellX(p.X)
+		for _, id := range ix.cellIDs[ix.cellStart[c]:ix.cellStart[c+1]] {
+			if e.buckets[id].Box.ContainsPoint(p) {
+				return int(id)
+			}
+		}
+		return -1
+	}
 	for i := range e.buckets {
 		if e.buckets[i].Box.ContainsPoint(p) {
 			return i

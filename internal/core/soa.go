@@ -1,0 +1,464 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Read-optimized estimate hot path. A BucketEstimator's Estimate is
+// the inner loop of the serving tier — millions of calls between
+// rebuilds — so the bucket list is finalized into two derived
+// structures at construction:
+//
+//   - soaBuckets: struct-of-arrays mirrors of the per-bucket fields
+//     (box coordinates, precomputed half-extents, count as float64,
+//     density, box area), so the walk streams through flat float64
+//     slices instead of striding over 72-byte Bucket structs;
+//   - bucketIndex: a coarse uniform grid over the bucket boxes, so a
+//     query visits only the O(k) buckets whose cells it can reach
+//     instead of all B.
+//
+// Both are derived state: they are rebuilt from the bucket list on
+// construction, kept in sync by the incremental-maintenance methods,
+// and never serialized (the SPHIST1/SPHIST2 wire formats carry only
+// the buckets).
+//
+// # Bit-identical equivalence
+//
+// The indexed walk must be indistinguishable from the retained linear
+// reference (EstimateLinear): it visits the candidate buckets in
+// ascending bucket order and evaluates exactly the IEEE-754 operation
+// sequence of Bucket.Estimate, and the index may only prune buckets
+// whose contribution is exactly zero — the query expanded by the
+// histogram-wide maximum half-extent cannot reach their box — so the
+// float sum is bit-for-bit the linear scan's (skipped zeros cannot
+// change a non-negative partial sum). The differential tests assert
+// this with math.Float64bits.
+//
+// # Scratch ownership
+//
+// The walk needs one bitmap of B bits to deduplicate bucket ids
+// across grid cells. Estimate borrows it from a sync.Pool (zero
+// allocations steady-state, safe for any number of concurrent
+// callers); EstimateBatch checks one scratch out per batch and reuses
+// it across queries, so a caller amortizes even the cold-pool
+// allocation over the whole batch.
+
+// soaBuckets mirrors the bucket fields as parallel slices.
+type soaBuckets struct {
+	xlo, ylo, xhi, yhi []float64
+	// halfW and halfH are AvgW/2 and AvgH/2 — the query expansion of
+	// Section 3.1, precomputed (division by two is exact).
+	halfW, halfH []float64
+	// count is float64(Count), the conversion Bucket.Estimate performs.
+	count   []float64
+	density []float64
+	// boxArea is Box.Area() evaluated exactly as the reference does;
+	// zeroArea caches geom.IsZero(boxArea) for the degenerate branch.
+	boxArea  []float64
+	zeroArea []bool
+}
+
+// syncFrom refreshes bucket i's mirrors after maintenance mutated the
+// authoritative Bucket.
+func (s *soaBuckets) syncFrom(b *Bucket, i int) {
+	s.halfW[i] = b.AvgW / 2
+	s.halfH[i] = b.AvgH / 2
+	s.count[i] = float64(b.Count)
+	s.density[i] = b.AvgDensity
+}
+
+// build populates the mirrors from a finished bucket list.
+func (s *soaBuckets) build(buckets []Bucket) {
+	n := len(buckets)
+	s.xlo = make([]float64, n)
+	s.ylo = make([]float64, n)
+	s.xhi = make([]float64, n)
+	s.yhi = make([]float64, n)
+	s.halfW = make([]float64, n)
+	s.halfH = make([]float64, n)
+	s.count = make([]float64, n)
+	s.density = make([]float64, n)
+	s.boxArea = make([]float64, n)
+	s.zeroArea = make([]bool, n)
+	for i := range buckets {
+		b := &buckets[i]
+		s.xlo[i] = b.Box.MinX
+		s.ylo[i] = b.Box.MinY
+		s.xhi[i] = b.Box.MaxX
+		s.yhi[i] = b.Box.MaxY
+		area := b.Box.Area()
+		s.boxArea[i] = area
+		s.zeroArea[i] = geom.IsZero(area)
+		s.syncFrom(b, i)
+	}
+}
+
+// estimateAt evaluates bucket i's contribution to q, replicating
+// Bucket.Estimate operation for operation so the result is
+// bit-identical. isPoint is the hoisted per-query degenerate check;
+// the expansion never needs Expand's collapse normalization because
+// half-extents are non-negative.
+func (e *BucketEstimator) estimateAt(i int, q geom.Rect, isPoint bool) float64 {
+	s := &e.soa
+	cnt := s.count[i]
+	//spatialvet:ignore floatcmp count mirrors the integer Bucket.Count exactly; == 0 must match the reference's b.Count == 0, a tolerance would diverge
+	if cnt == 0 {
+		return 0
+	}
+	if isPoint &&
+		s.xlo[i] <= q.MinX && q.MinX <= s.xhi[i] &&
+		s.ylo[i] <= q.MinY && q.MinY <= s.yhi[i] {
+		// Point query inside the box: the average spatial density
+		// (Section 3.1). Points outside fall through to the extended
+		// formula, as in the reference.
+		return s.density[i]
+	}
+	// ext := q.Expand(AvgW/2, AvgH/2); inter, ok := ext.Intersection(Box)
+	ixlo := q.MinX - s.halfW[i]
+	if bl := s.xlo[i]; bl > ixlo {
+		ixlo = bl
+	}
+	ixhi := q.MaxX + s.halfW[i]
+	if bh := s.xhi[i]; bh < ixhi {
+		ixhi = bh
+	}
+	iylo := q.MinY - s.halfH[i]
+	if bl := s.ylo[i]; bl > iylo {
+		iylo = bl
+	}
+	iyhi := q.MaxY + s.halfH[i]
+	if bh := s.yhi[i]; bh < iyhi {
+		iyhi = bh
+	}
+	if ixlo > ixhi || iylo > iyhi {
+		return 0
+	}
+	if s.zeroArea[i] {
+		// Degenerate bucket: every rectangle is assumed to intersect.
+		return cnt
+	}
+	return cnt * ((ixhi - ixlo) * (iyhi - iylo)) / s.boxArea[i]
+}
+
+// bucketIndex is a coarse uniform grid over the bucket boxes in CSR
+// layout: cell c's bucket ids are cellIDs[cellStart[c]:cellStart[c+1]],
+// ascending. Routing expands the query by the histogram-wide maximum
+// half-extents, so every bucket whose own (smaller or equal) expansion
+// could reach the query is among the candidates — pruning is always
+// conservative. The geometry is immutable (bucket boxes never change);
+// only maxHalfW/maxHalfH may grow when maintenance raises an average
+// extent, under the same external synchronization the maintenance
+// methods already require.
+type bucketIndex struct {
+	minX, minY float64
+	invW, invH float64 // cells per coordinate unit; 0 collapses the axis
+	nx, ny     int
+	cellStart  []int32
+	cellIDs    []int32
+	maxHalfW   float64
+	maxHalfH   float64
+	// words is the scratch bitmap length: (B+63)/64.
+	words int
+}
+
+// maxIndexEntries bounds the CSR size relative to the bucket count;
+// when huge buckets would overflow it (each bucket is charged one
+// entry per covered cell) the grid is coarsened until they fit.
+const maxIndexEntries = 32
+
+// cellX maps an x coordinate to its grid column, clamped to the grid.
+// The mapping is monotone, so two real intervals that overlap always
+// map to overlapping cell ranges — the conservativeness proof of the
+// routing step. Non-positive and NaN offsets clamp to column zero.
+func (ix *bucketIndex) cellX(x float64) int {
+	f := (x - ix.minX) * ix.invW
+	if !(f > 0) {
+		return 0
+	}
+	if f >= float64(ix.nx) {
+		return ix.nx - 1
+	}
+	return int(f)
+}
+
+// cellY is cellX for rows.
+func (ix *bucketIndex) cellY(y float64) int {
+	f := (y - ix.minY) * ix.invH
+	if !(f > 0) {
+		return 0
+	}
+	if f >= float64(ix.ny) {
+		return ix.ny - 1
+	}
+	return int(f)
+}
+
+// buildIndex constructs the grid over a finished bucket list, or
+// returns nil for an empty one (the walk then degenerates to the
+// trivial empty scan).
+func buildIndex(buckets []Bucket, soa *soaBuckets) *bucketIndex {
+	n := len(buckets)
+	if n == 0 {
+		return nil
+	}
+	bounds := buckets[0].Box
+	for i := 1; i < n; i++ {
+		bounds = bounds.Union(buckets[i].Box)
+	}
+	ix := &bucketIndex{
+		minX:  bounds.MinX,
+		minY:  bounds.MinY,
+		words: (n + 63) / 64,
+	}
+	for i := range buckets {
+		if hw := soa.halfW[i]; hw > ix.maxHalfW {
+			ix.maxHalfW = hw
+		}
+		if hh := soa.halfH[i]; hh > ix.maxHalfH {
+			ix.maxHalfH = hh
+		}
+	}
+	// Start near sqrt(B) cells per side and coarsen until the CSR fits
+	// the entry budget; a 1x1 grid always fits (exactly B entries).
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side > 512 {
+		side = 512
+	}
+	width, height := bounds.Width(), bounds.Height()
+	for {
+		ix.nx, ix.ny = side, side
+		ix.invW, ix.invH = 0, 0
+		if width > 0 {
+			ix.invW = float64(ix.nx) / width
+		}
+		if height > 0 {
+			ix.invH = float64(ix.ny) / height
+		}
+		entries, ok := countEntries(buckets, ix, n*maxIndexEntries+4096)
+		if ok {
+			fillIndex(buckets, ix, entries)
+			return ix
+		}
+		side /= 2
+		if side < 1 {
+			side = 1
+		}
+	}
+}
+
+// countEntries runs the counting pass of the CSR build, aborting early
+// when the budget is exceeded (the caller then coarsens the grid).
+func countEntries(buckets []Bucket, ix *bucketIndex, budget int) (int, bool) {
+	total := 0
+	for i := range buckets {
+		b := &buckets[i]
+		cells := (ix.cellX(b.Box.MaxX) - ix.cellX(b.Box.MinX) + 1) *
+			(ix.cellY(b.Box.MaxY) - ix.cellY(b.Box.MinY) + 1)
+		total += cells
+		if total > budget && ix.nx > 1 {
+			return 0, false
+		}
+	}
+	return total, true
+}
+
+// fillIndex runs the filling pass: per-cell counts, prefix sums, then
+// ids appended in ascending bucket order (so each cell's candidate
+// list is sorted, which bucketFor's first-match contract relies on).
+func fillIndex(buckets []Bucket, ix *bucketIndex, entries int) {
+	ncells := ix.nx * ix.ny
+	counts := make([]int32, ncells+1)
+	for i := range buckets {
+		b := &buckets[i]
+		x0, x1 := ix.cellX(b.Box.MinX), ix.cellX(b.Box.MaxX)
+		y0, y1 := ix.cellY(b.Box.MinY), ix.cellY(b.Box.MaxY)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				counts[cy*ix.nx+cx+1]++
+			}
+		}
+	}
+	for c := 1; c <= ncells; c++ {
+		counts[c] += counts[c-1]
+	}
+	ix.cellStart = counts
+	ix.cellIDs = make([]int32, entries)
+	next := make([]int32, ncells)
+	for c := range next {
+		next[c] = counts[c]
+	}
+	for i := range buckets {
+		b := &buckets[i]
+		x0, x1 := ix.cellX(b.Box.MinX), ix.cellX(b.Box.MaxX)
+		y0, y1 := ix.cellY(b.Box.MinY), ix.cellY(b.Box.MaxY)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				c := cy*ix.nx + cx
+				ix.cellIDs[next[c]] = int32(i)
+				next[c]++
+			}
+		}
+	}
+}
+
+// walkScratch is the per-query candidate bitmap, pooled so the hot
+// path never allocates.
+type walkScratch struct {
+	words []uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(walkScratch) }}
+
+// getScratch checks a bitmap out of the pool, sized for this
+// histogram.
+func (e *BucketEstimator) getScratch() *walkScratch {
+	s := scratchPool.Get().(*walkScratch)
+	if e.idx != nil && cap(s.words) < e.idx.words {
+		s.words = make([]uint64, e.idx.words)
+	}
+	return s
+}
+
+// putScratch returns the bitmap to the pool.
+func putScratch(s *walkScratch) { scratchPool.Put(s) }
+
+// finalize builds the derived read-optimized state from the bucket
+// list. Called once at construction; the buckets' boxes are immutable
+// afterwards (maintenance only mutates the statistics, via
+// syncDerived).
+func (e *BucketEstimator) finalize() {
+	e.soa.build(e.buckets)
+	e.idx = buildIndex(e.buckets, &e.soa)
+}
+
+// syncDerived refreshes bucket i's SoA mirrors and, when an average
+// extent grew past the indexed maximum, widens the routing expansion
+// so pruning stays conservative. Shrinking extents leave the maxima
+// alone — a too-wide expansion only costs candidates, never
+// correctness.
+func (e *BucketEstimator) syncDerived(i int) {
+	b := &e.buckets[i]
+	e.soa.syncFrom(b, i)
+	if e.idx == nil {
+		return
+	}
+	if hw := e.soa.halfW[i]; hw > e.idx.maxHalfW {
+		e.idx.maxHalfW = hw
+	}
+	if hh := e.soa.halfH[i]; hh > e.idx.maxHalfH {
+		e.idx.maxHalfH = hh
+	}
+}
+
+// isPointQuery hoists Bucket.Estimate's degenerate-query test, which
+// depends only on q.
+func isPointQuery(q geom.Rect) bool {
+	return geom.IsZero(q.Area()) && geom.IsZero(q.Width()) && geom.IsZero(q.Height())
+}
+
+// walkIndexed is the indexed, allocation-free estimate walk: route the
+// expanded query through the grid, mark candidate buckets in the
+// scratch bitmap, then evaluate them in ascending bucket order.
+func (e *BucketEstimator) walkIndexed(q geom.Rect, s *walkScratch) (float64, WalkStats) {
+	st := WalkStats{Buckets: len(e.buckets)}
+	ix := e.idx
+	if ix == nil {
+		return 0, st
+	}
+	isPoint := isPointQuery(q)
+	x0 := ix.cellX(q.MinX - ix.maxHalfW)
+	x1 := ix.cellX(q.MaxX + ix.maxHalfW)
+	y0 := ix.cellY(q.MinY - ix.maxHalfH)
+	y1 := ix.cellY(q.MaxY + ix.maxHalfH)
+	var total float64
+	if x0 == 0 && y0 == 0 && x1 == ix.nx-1 && y1 == ix.ny-1 {
+		// The expanded query covers every cell — the common
+		// whole-domain query. Skip the bitmap and stream the SoA
+		// directly; order and operations match the reference exactly.
+		for i := range e.soa.count {
+			c := e.estimateAt(i, q, isPoint)
+			if c > 0 {
+				st.Contributing++
+			}
+			total += c
+		}
+		st.Visited = len(e.soa.count)
+		return total, st
+	}
+	words := s.words[:ix.words]
+	for i := range words {
+		words[i] = 0
+	}
+	for cy := y0; cy <= y1; cy++ {
+		base := cy * ix.nx
+		for cx := x0; cx <= x1; cx++ {
+			c := base + cx
+			for _, id := range ix.cellIDs[ix.cellStart[c]:ix.cellStart[c+1]] {
+				words[id>>6] |= 1 << (uint(id) & 63)
+			}
+		}
+	}
+	// Iterating set bits word-by-word visits candidates in ascending
+	// bucket order; pruned buckets contribute exactly zero in the
+	// linear scan, and a non-negative partial sum is unchanged by
+	// adding +0.0, so the total is bit-identical to the reference.
+	for w, word := range words {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			i := w<<6 + bit
+			st.Visited++
+			c := e.estimateAt(i, q, isPoint)
+			if c > 0 {
+				st.Contributing++
+			}
+			total += c
+		}
+	}
+	return total, st
+}
+
+// EstimateLinear is the retained reference implementation: the linear
+// scan over every bucket via Bucket.Estimate. The differential tests
+// hold the indexed hot path bit-identical to it; it is exported so
+// benchmarks and external verification can do the same.
+func (e *BucketEstimator) EstimateLinear(q geom.Rect) float64 {
+	total, _ := e.EstimateStatsLinear(q)
+	return total
+}
+
+// EstimateStatsLinear is EstimateLinear plus walk statistics; Visited
+// always equals Buckets (nothing is pruned).
+func (e *BucketEstimator) EstimateStatsLinear(q geom.Rect) (float64, WalkStats) {
+	var total float64
+	st := WalkStats{Buckets: len(e.buckets), Visited: len(e.buckets)}
+	for _, b := range e.buckets {
+		c := b.Estimate(q)
+		if c > 0 {
+			st.Contributing++
+		}
+		total += c
+	}
+	return total, st
+}
+
+// EstimateBatch estimates every query in qs, appending the results to
+// dst (pass nil, or a slice with spare capacity to avoid the growth
+// allocation) and returning the extended slice. One scratch is checked
+// out for the whole batch, so per-query cost is allocation-free and
+// even a cold pool amortizes to well under one allocation per query.
+func (e *BucketEstimator) EstimateBatch(qs []geom.Rect, dst []float64) []float64 {
+	s := e.getScratch()
+	for _, q := range qs {
+		v, _ := e.walkIndexed(q, s)
+		dst = append(dst, v)
+	}
+	putScratch(s)
+	return dst
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzGridIndex hammers the grid-index builder with arbitrary bucket
+// geometry and asserts its two load-bearing properties:
+//
+//  1. No false pruning: for any query, the routed candidate set is a
+//     superset of the buckets whose own expanded query reaches their
+//     box (the only buckets that can contribute non-zero).
+//  2. Bit-identity: the indexed walk returns exactly the linear scan's
+//     float, bit for bit.
+func FuzzGridIndex(f *testing.F) {
+	seed := make([]byte, 0, 8*13)
+	for _, v := range []float64{0, 0, 10, 10, 2, 1, 1, 20, 5, 20, 5, 0.5, 0.5} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, 8*9))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := fuzzFloats(data, 8+6*64) // query + up to 64 buckets
+		if len(vals) < 8+6 {
+			return
+		}
+		q := fuzzRect(vals[0], vals[1], vals[2], vals[3])
+		if vals[4] < 0.5 {
+			// Exercise the point-query branch too.
+			q = geom.PointRect(geom.Point{X: q.MinX, Y: q.MinY})
+		}
+		var buckets []Bucket
+		for i := 8; i+6 <= len(vals); i += 6 {
+			buckets = append(buckets, Bucket{
+				Box:        fuzzRect(vals[i], vals[i+1], vals[i+2], vals[i+3]),
+				Count:      int(math.Abs(vals[i+4])) % 100,
+				AvgW:       math.Abs(vals[i+4]),
+				AvgH:       math.Abs(vals[i+5]),
+				AvgDensity: math.Abs(vals[i+5]) / 2,
+			})
+		}
+		e := NewBucketEstimator("fuzz", buckets)
+
+		// Property 1: candidate superset. Recompute the routed candidate
+		// set exactly as walkIndexed does and require every bucket whose
+		// per-bucket expanded query intersects its box to be in it.
+		ix := e.idx
+		if ix == nil {
+			t.Fatalf("nil index for %d buckets", len(buckets))
+		}
+		candidates := make(map[int32]bool)
+		x0 := ix.cellX(q.MinX - ix.maxHalfW)
+		x1 := ix.cellX(q.MaxX + ix.maxHalfW)
+		y0 := ix.cellY(q.MinY - ix.maxHalfH)
+		y1 := ix.cellY(q.MaxY + ix.maxHalfH)
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				c := cy*ix.nx + cx
+				for _, id := range ix.cellIDs[ix.cellStart[c]:ix.cellStart[c+1]] {
+					candidates[id] = true
+				}
+			}
+		}
+		for i, b := range buckets {
+			ext := q.Expand(b.AvgW/2, b.AvgH/2)
+			if _, overlaps := ext.Intersection(b.Box); overlaps && !candidates[int32(i)] {
+				t.Fatalf("bucket %d (%v) reachable by %v but pruned", i, b.Box, q)
+			}
+		}
+
+		// Property 2: bit-identical estimates.
+		got, lin := e.Estimate(q), e.EstimateLinear(q)
+		if math.Float64bits(got) != math.Float64bits(lin) {
+			t.Fatalf("Estimate(%v) = %v, linear %v", q, got, lin)
+		}
+	})
+}
+
+// fuzzFloats decodes data into finite float64s in a bounded range,
+// mapping NaN/Inf/overflow deterministically instead of rejecting so
+// the fuzzer keeps its coverage.
+func fuzzFloats(data []byte, max int) []float64 {
+	n := len(data) / 8
+	if n > max {
+		n = max
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		u := binary.LittleEndian.Uint64(data[i*8:])
+		v := math.Float64frombits(u)
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+			v = float64(u%2_000_000)/1000 - 1000
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+// fuzzRect orders the coordinates into a valid rectangle.
+func fuzzRect(x1, y1, x2, y2 float64) geom.Rect {
+	return geom.NewRect(x1, y1, x2, y2)
+}

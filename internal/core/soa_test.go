@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+	"repro/internal/workload"
+)
+
+// Differential property suite for the indexed estimate hot path: the
+// grid-routed SoA walk must be bit-identical (math.Float64bits) to the
+// retained linear reference over every histogram shape we can build —
+// seeded random bucket sets with degenerate members, Min-Skew
+// histograms over synthetic data, and histograms mutated by the
+// incremental-maintenance methods.
+
+// randomHistogram builds a bucket list with deliberately nasty shapes:
+// ordinary boxes, zero-area lines, point buckets, a full-domain
+// bucket, and empty buckets.
+func randomHistogram(r *rand.Rand, n int) *BucketEstimator {
+	buckets := make([]Bucket, 0, n)
+	for i := 0; i < n; i++ {
+		x := r.Float64()*200 - 100
+		y := r.Float64()*200 - 100
+		w := r.Float64() * 30
+		h := r.Float64() * 30
+		switch i % 7 {
+		case 3: // horizontal line (zero area)
+			h = 0
+		case 4: // vertical line (zero area)
+			w = 0
+		case 5: // point bucket
+			w, h = 0, 0
+		case 6: // full-domain bucket
+			x, y, w, h = -100, -100, 200, 200
+		}
+		b := Bucket{
+			Box:   geom.NewRect(x, y, x+w, y+h),
+			Count: r.Intn(50),
+			AvgW:  r.Float64() * 10,
+			AvgH:  r.Float64() * 10,
+		}
+		if b.Count == 0 {
+			b.AvgW, b.AvgH = 0, 0
+		} else if area := b.Box.Area(); area > 0 {
+			b.AvgDensity = float64(b.Count) * b.AvgW * b.AvgH / area
+		} else {
+			b.AvgDensity = float64(b.Count)
+		}
+		buckets = append(buckets, b)
+	}
+	return NewBucketEstimator("random", buckets)
+}
+
+// randomQueries mixes range queries, point queries, boundary-aligned
+// queries (edges exactly on a bucket box's edges), whole-domain and
+// far-outside queries.
+func randomQueries(r *rand.Rand, e *BucketEstimator, n int) []geom.Rect {
+	bs := e.Buckets()
+	qs := make([]geom.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%5 == 1 && len(bs) > 0:
+			// Exactly a bucket's box: every edge is a boundary tie.
+			qs = append(qs, bs[r.Intn(len(bs))].Box)
+		case i%5 == 2:
+			// Point query, sometimes exactly on a bucket corner.
+			if len(bs) > 0 && i%2 == 0 {
+				b := bs[r.Intn(len(bs))].Box
+				qs = append(qs, geom.PointRect(geom.Point{X: b.MinX, Y: b.MaxY}))
+			} else {
+				qs = append(qs, geom.PointRect(geom.Point{
+					X: r.Float64()*240 - 120, Y: r.Float64()*240 - 120,
+				}))
+			}
+		case i%5 == 3:
+			// Whole domain and beyond.
+			qs = append(qs, geom.NewRect(-500, -500, 500, 500))
+		case i%5 == 4:
+			// Far outside every bucket: must prune to nothing.
+			qs = append(qs, geom.NewRect(1e6, 1e6, 1e6+5, 1e6+5))
+		default:
+			x := r.Float64()*220 - 110
+			y := r.Float64()*220 - 110
+			qs = append(qs, geom.NewRect(x, y, x+r.Float64()*40, y+r.Float64()*40))
+		}
+	}
+	return qs
+}
+
+// assertBitIdentical runs every query through both walks and requires
+// bit-for-bit equality, consistent stats, and visible pruning bounds.
+func assertBitIdentical(t *testing.T, e *BucketEstimator, qs []geom.Rect) {
+	t.Helper()
+	for _, q := range qs {
+		got := e.Estimate(q)
+		want := e.EstimateLinear(q)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Estimate(%v) = %v (bits %x), linear %v (bits %x)",
+				q, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		sGot, stGot := e.EstimateStats(q)
+		sWant, stWant := e.EstimateStatsLinear(q)
+		if math.Float64bits(sGot) != math.Float64bits(sWant) {
+			t.Fatalf("EstimateStats(%v) = %v, linear %v", q, sGot, sWant)
+		}
+		if stGot.Buckets != stWant.Buckets {
+			t.Fatalf("Buckets = %d, want %d", stGot.Buckets, stWant.Buckets)
+		}
+		if stGot.Contributing != stWant.Contributing {
+			t.Fatalf("Contributing(%v) = %d, linear %d", q, stGot.Contributing, stWant.Contributing)
+		}
+		if stGot.Visited < stGot.Contributing || stGot.Visited > stGot.Buckets {
+			t.Fatalf("Visited = %d outside [%d, %d]", stGot.Visited, stGot.Contributing, stGot.Buckets)
+		}
+	}
+}
+
+func TestIndexedEstimateBitIdenticalRandom(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 300} {
+		for seed := int64(1); seed <= 6; seed++ {
+			r := rand.New(rand.NewSource(seed*1000 + int64(n)))
+			e := randomHistogram(r, n)
+			assertBitIdentical(t, e, randomQueries(r, e, 150))
+		}
+	}
+}
+
+func TestIndexedEstimateBitIdenticalMinSkew(t *testing.T) {
+	data := synthetic.Clusters(4000, 6, 800, 0.05, 1, 20, 97)
+	for _, nb := range []int{16, 100} {
+		est, err := NewMinSkew(data, MinSkewConfig{Buckets: nb, Regions: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := workload.Generate(data, workload.Config{
+			Count: 300, QSize: 0.1, Seed: 7, Clamp: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(int64(nb)))
+		qs = append(qs, randomQueries(r, est, 100)...)
+		assertBitIdentical(t, est, qs)
+	}
+}
+
+func TestIndexedEstimateDegenerateBuckets(t *testing.T) {
+	e := NewBucketEstimator("degenerate", []Bucket{
+		{Box: geom.NewRect(0, 0, 10, 10), Count: 5, AvgW: 2, AvgH: 2, AvgDensity: 0.2},
+		// Zero-area bucket: a horizontal segment.
+		{Box: geom.NewRect(20, 5, 30, 5), Count: 3, AvgW: 1, AvgH: 1, AvgDensity: 3},
+		// Point bucket.
+		{Box: geom.NewRect(40, 40, 40, 40), Count: 2, AvgW: 4, AvgH: 4, AvgDensity: 2},
+		// Full-domain bucket.
+		{Box: geom.NewRect(-100, -100, 100, 100), Count: 7, AvgW: 0.5, AvgH: 0.5, AvgDensity: 0.001},
+		// Empty bucket.
+		{Box: geom.NewRect(60, 60, 70, 70)},
+	})
+	qs := []geom.Rect{
+		geom.NewRect(0, 0, 10, 10),               // exactly the first box
+		geom.NewRect(10, 0, 20, 10),              // shares only the MaxX edge
+		geom.NewRect(25, 5, 26, 5),               // degenerate query on the segment
+		geom.PointRect(geom.Point{X: 40, Y: 40}), // point query on the point bucket
+		geom.PointRect(geom.Point{X: 41, Y: 40}), // just outside it
+		geom.NewRect(-100, -100, 100, 100),       // whole domain
+		geom.NewRect(-1e3, -1e3, 1e3, 1e3),       // beyond the domain
+		geom.NewRect(200, 200, 210, 210),         // reaches nothing
+		geom.NewRect(60, 60, 70, 70),             // only the empty bucket
+	}
+	assertBitIdentical(t, e, qs)
+}
+
+// TestIndexedEstimateAfterMaintenance holds the equivalence through
+// Insert/Delete churn, including inserts wide enough to grow the
+// indexed maximum half-extents.
+func TestIndexedEstimateAfterMaintenance(t *testing.T) {
+	r := rand.New(rand.NewSource(314))
+	e := randomHistogram(r, 48)
+	for i := 0; i < 200; i++ {
+		x := r.Float64()*200 - 100
+		y := r.Float64()*200 - 100
+		w, h := r.Float64()*5, r.Float64()*5
+		if i%17 == 0 {
+			// Much wider than anything summarized at build time.
+			w, h = 80, 80
+		}
+		rect := geom.NewRect(x, y, x+w, y+h)
+		if i%3 == 0 {
+			e.Delete(rect)
+		} else {
+			e.Insert(rect)
+		}
+	}
+	assertBitIdentical(t, e, randomQueries(r, e, 200))
+}
+
+func TestEstimateBatchMatchesSingle(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	e := randomHistogram(r, 80)
+	qs := randomQueries(r, e, 64)
+	got := e.EstimateBatch(qs, nil)
+	if len(got) != len(qs) {
+		t.Fatalf("EstimateBatch returned %d results for %d queries", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want := e.Estimate(q)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("batch[%d] = %v, single = %v", i, got[i], want)
+		}
+	}
+	// Appending semantics: results land after any existing prefix.
+	pre := []float64{-1, -2}
+	out := e.EstimateBatch(qs[:4], pre)
+	if len(out) != 6 || out[0] != -1 || out[1] != -2 {
+		t.Fatalf("EstimateBatch must append to dst, got %v", out[:2])
+	}
+}

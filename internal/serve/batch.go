@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/geom"
+	"repro/internal/reqtrace"
+	"repro/internal/shard"
+	"repro/internal/vclock"
+)
+
+// Batch estimation endpoint. A planner probing hundreds of candidate
+// predicates pays the serving tier's per-request overhead — request ID,
+// trace, admission, deadline — once per batch instead of once per
+// query. The layering per batch is: parse → per-item validation →
+// per-item cache lookup → intra-batch dedup → admission gate (once) →
+// backend batch call under one deadline → per-item cache fill.
+//
+// Error isolation is per item for anything item-shaped (an invalid
+// rectangle yields an item-level error while the rest of the batch is
+// answered) and per request for anything request-shaped (shed
+// admission, backend failure, malformed JSON), which always returns the
+// structured errorBody with the request ID. Batches do not join the
+// cross-request singleflight: duplicate queries within one batch are
+// deduplicated (the copies report Shared), but two concurrent batches
+// may walk the same query twice.
+
+// BatchBackend is the optional Backend extension for amortized
+// multi-query estimation; *spatialdb.DB and *cluster.Coordinator
+// implement it. Backends without it are served by looping
+// EstimateContext under the same admission slot and deadline.
+type BatchBackend interface {
+	// EstimateBatchContext estimates every query against the named
+	// table's statistics snapshot, one Result per query, in order.
+	EstimateBatchContext(ctx context.Context, table string, qs []geom.Rect) ([]shard.Result, error)
+}
+
+// MaxBatchQueries bounds one /estimate/batch request.
+const MaxBatchQueries = 4096
+
+// maxBatchBody bounds the /estimate/batch request body (4 MiB holds a
+// full MaxBatchQueries batch with room to spare).
+const maxBatchBody = 4 << 20
+
+// BatchRequest is the JSON body of /estimate/batch.
+type BatchRequest struct {
+	Table string `json:"table"`
+	// Queries are [minx, miny, maxx, maxy] rectangles.
+	Queries [][4]float64 `json:"queries"`
+}
+
+// BatchItem is one query's answer within a BatchResponse. Either the
+// estimate fields or Error/Code are set, never both.
+type BatchItem struct {
+	Query    [4]float64 `json:"query"`
+	Estimate float64    `json:"estimate"`
+	Quality  string     `json:"quality,omitempty"`
+	Partial  bool       `json:"partial,omitempty"`
+	Cached   bool       `json:"cached,omitempty"`
+	// Shared reports the answer was computed once for an identical
+	// query earlier in the same batch.
+	Shared bool   `json:"shared,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	// Error and Code report an item-level failure (an invalid
+	// rectangle); the rest of the batch is unaffected.
+	Error string `json:"error,omitempty"`
+	Code  int    `json:"code,omitempty"`
+}
+
+// BatchResponse is the JSON body of /estimate/batch.
+type BatchResponse struct {
+	Table     string      `json:"table"`
+	Items     []BatchItem `json:"items"`
+	CacheHits int         `json:"cache_hits"`
+	Errors    int         `json:"errors"`
+	RequestID string      `json:"request_id,omitempty"`
+}
+
+// EstimateBatch runs the batched serving path for one table. It is the
+// engine behind /estimate/batch and is exported for in-process callers
+// and benchmarks.
+func (s *Server) EstimateBatch(ctx context.Context, table string, queries [][4]float64) (BatchResponse, error) {
+	start := s.clk.Now()
+	defer func() { s.requestSeconds.Observe(s.clk.Since(start).Seconds()) }()
+	reqID := s.resolveRequestID(ctx)
+	ctx, tr := s.cfg.Tracer.StartRequest(ctx, reqID)
+	resp := BatchResponse{Table: table, Items: make([]BatchItem, len(queries)), RequestID: reqID}
+	bs := reqtrace.SpanFrom(ctx).StartChild("serve.batch")
+	bs.SetInt("queries", len(queries))
+
+	// Per-item validation and cache lookup; misses are deduplicated by
+	// cache key so an identical query is walked once per batch. The
+	// first item for a key is the leader; later copies report Shared.
+	type missRef struct {
+		item, uniq int
+		shared     bool
+	}
+	var (
+		missQs    []geom.Rect
+		missRefs  []missRef
+		uniqByKey = make(map[cacheKey]int)
+	)
+	for i, qv := range queries {
+		it := &resp.Items[i]
+		it.Query = qv
+		q := geom.Rect{MinX: qv[0], MinY: qv[1], MaxX: qv[2], MaxY: qv[3]}
+		if !q.Valid() {
+			it.Error = fmt.Sprintf("invalid rectangle %v", q)
+			it.Code = http.StatusBadRequest
+			resp.Errors++
+			continue
+		}
+		key := quantizeKey(table, q, s.cfg.CacheQuantum)
+		if s.cache != nil {
+			if res, ok := s.cache.get(key); ok {
+				s.hits.Inc()
+				resp.CacheHits++
+				fillBatchItem(it, res, true, false)
+				s.noteQuality(res.Quality)
+				continue
+			}
+		}
+		s.misses.Inc()
+		if u, ok := uniqByKey[key]; ok {
+			// Duplicate within the batch: reuse the earlier walk.
+			missRefs = append(missRefs, missRef{item: i, uniq: u, shared: true})
+			continue
+		}
+		uniqByKey[key] = len(missQs)
+		missRefs = append(missRefs, missRef{item: i, uniq: len(missQs)})
+		missQs = append(missQs, q)
+	}
+	bs.SetInt("cache_hits", resp.CacheHits)
+	bs.SetInt("invalid", resp.Errors)
+	bs.SetInt("backend_queries", len(missQs))
+
+	if len(missQs) > 0 {
+		// One admission slot and one deadline cover the whole batch.
+		gs := bs.StartChild("serve.gate")
+		if err := s.gate.acquire(ctx); err != nil {
+			gs.SetAttr("outcome", errClass(err))
+			gs.End()
+			bs.End()
+			if errors.Is(err, ErrShed) {
+				s.shed.Inc()
+				s.queueTimeouts.Inc()
+			}
+			s.finishBatchTrace(tr, table, resp, err)
+			return BatchResponse{}, err
+		}
+		gs.SetAttr("outcome", "admitted")
+		gs.End()
+		s.inFlight.Set(float64(s.gate.inFlight()))
+		ectx, cancel := vclock.WithTimeout(ctx, s.clk, s.cfg.EstimateTimeout)
+		bks := bs.StartChild("serve.backend")
+		results, err := s.batchBackend(reqtrace.ContextWithSpan(ectx, bks), table, missQs)
+		bks.End()
+		cancel()
+		s.gate.release()
+		if err != nil {
+			bs.End()
+			s.finishBatchTrace(tr, table, resp, err)
+			return BatchResponse{}, err
+		}
+		for _, ref := range missRefs {
+			res := results[ref.uniq]
+			it := &resp.Items[ref.item]
+			fillBatchItem(it, res, false, ref.shared)
+			if res.Partial || res.Quality != shard.QualityFull {
+				s.partials.Inc()
+			}
+			s.noteQuality(res.Quality)
+		}
+		if s.cache != nil {
+			for key, u := range uniqByKey {
+				if res := results[u]; !res.Partial && res.Quality == shard.QualityFull {
+					s.cache.add(key, res)
+				}
+			}
+			s.cacheEntries.Set(float64(s.cache.len()))
+		}
+	}
+	bs.End()
+	s.finishBatchTrace(tr, table, resp, nil)
+	return resp, nil
+}
+
+// batchBackend calls the backend's native batch method when it has
+// one, else loops EstimateContext under the already-held admission
+// slot and deadline.
+func (s *Server) batchBackend(ctx context.Context, table string, qs []geom.Rect) ([]shard.Result, error) {
+	if bb, ok := s.backend.(BatchBackend); ok {
+		return bb.EstimateBatchContext(ctx, table, qs)
+	}
+	out := make([]shard.Result, 0, len(qs))
+	for _, q := range qs {
+		r, err := s.backend.EstimateContext(ctx, table, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// fillBatchItem copies one backend result into its response item.
+func fillBatchItem(it *BatchItem, res shard.Result, cached, shared bool) {
+	it.Estimate = res.Estimate
+	it.Partial = res.Partial
+	it.Quality = res.Quality.String()
+	it.Cached = cached
+	it.Shared = shared
+	it.Epoch = res.Epoch
+}
+
+// finishBatchTrace seals a batch request's trace with an aggregate
+// outcome: the batch size as ShardsQueried is meaningless here, so the
+// outcome carries the table, the worst item quality, and the error
+// class.
+func (s *Server) finishBatchTrace(tr *reqtrace.Trace, table string, resp BatchResponse, err error) {
+	worst := shard.QualityFull
+	partial := false
+	var total float64
+	for _, it := range resp.Items {
+		if it.Error != "" {
+			continue
+		}
+		total += it.Estimate
+		if it.Partial {
+			partial = true
+		}
+		switch it.Quality {
+		case shard.QualityUniform.String():
+			worst = worseBatchQuality(worst, shard.QualityUniform)
+		case shard.QualityCoarse.String():
+			worst = worseBatchQuality(worst, shard.QualityCoarse)
+		}
+	}
+	tr.Finish(reqtrace.Outcome{
+		Table:    table,
+		Estimate: total,
+		Quality:  worst.String(),
+		Partial:  partial,
+		Err:      errClass(err),
+	})
+}
+
+// worseBatchQuality mirrors shard.worseQuality for the aggregate grade.
+func worseBatchQuality(a, b shard.Quality) shard.Quality {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := s.httpRequestID(w, r)
+	if r.Method != http.MethodPost {
+		s.writeJSON(w, "estimate_batch", http.StatusMethodNotAllowed,
+			errorBody{Error: "POST required", Code: http.StatusMethodNotAllowed, RequestID: reqID})
+		return
+	}
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeJSON(w, "estimate_batch", http.StatusBadRequest,
+			errorBody{Error: "bad request body: " + err.Error(), Code: http.StatusBadRequest, RequestID: reqID})
+		return
+	}
+	if req.Table == "" {
+		req.Table = r.URL.Query().Get("table")
+	}
+	if req.Table == "" {
+		s.writeJSON(w, "estimate_batch", http.StatusBadRequest,
+			errorBody{Error: "missing table", Code: http.StatusBadRequest, RequestID: reqID})
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeJSON(w, "estimate_batch", http.StatusBadRequest,
+			errorBody{Error: "empty batch", Code: http.StatusBadRequest, RequestID: reqID})
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		s.writeJSON(w, "estimate_batch", http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), MaxBatchQueries),
+				Code: http.StatusBadRequest, RequestID: reqID})
+		return
+	}
+	resp, err := s.EstimateBatch(reqtrace.WithRequestID(r.Context(), reqID), req.Table, req.Queries)
+	if err != nil {
+		s.writeError(w, "estimate_batch", reqID, err)
+		return
+	}
+	s.writeJSON(w, "estimate_batch", http.StatusOK, resp)
+}

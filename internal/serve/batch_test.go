@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// stubBatchBackend adds a native batch method to stubBackend so tests
+// can assert the server prefers it over the per-query loop.
+type stubBatchBackend struct {
+	stubBackend
+	batches atomic.Int64
+}
+
+func (b *stubBatchBackend) EstimateBatchContext(ctx context.Context, table string, qs []geom.Rect) ([]shard.Result, error) {
+	b.batches.Add(1)
+	out := make([]shard.Result, 0, len(qs))
+	for _, q := range qs {
+		r, err := b.stubBackend.EstimateContext(ctx, table, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// postBatch issues a POST /estimate/batch with the given body.
+func postBatch(t *testing.T, h http.Handler, body string, reqID string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/estimate/batch", strings.NewReader(body))
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeBatch(t *testing.T, rec *httptest.ResponseRecorder) BatchResponse {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not JSON: %v (%s)", err, rec.Body.String())
+	}
+	return resp
+}
+
+func TestBatchEndpointRoundTrip(t *testing.T) {
+	b := &stubBackend{}
+	h := New(b, Config{}).Handler()
+	rec := postBatch(t, h,
+		`{"table":"roads","queries":[[0,0,10,10],[1,1,3,3]]}`, "batch-1")
+	resp := decodeBatch(t, rec)
+	if resp.Table != "roads" || len(resp.Items) != 2 {
+		t.Fatalf("table %q, %d items", resp.Table, len(resp.Items))
+	}
+	if resp.RequestID != "batch-1" || rec.Header().Get("X-Request-Id") != "batch-1" {
+		t.Errorf("request ID not echoed: body %q header %q",
+			resp.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+	// stubBackend answers with q.Area().
+	if resp.Items[0].Estimate != 100 || resp.Items[1].Estimate != 4 {
+		t.Errorf("estimates %v, %v; want 100, 4", resp.Items[0].Estimate, resp.Items[1].Estimate)
+	}
+	for i, it := range resp.Items {
+		if it.Quality != "full" || it.Error != "" || it.Cached {
+			t.Errorf("item %d: %+v", i, it)
+		}
+	}
+	if resp.Errors != 0 || resp.CacheHits != 0 {
+		t.Errorf("errors %d, cache hits %d", resp.Errors, resp.CacheHits)
+	}
+}
+
+// TestBatchItemErrorIsolation: one inverted rectangle yields one
+// item-level error; the rest of the batch is answered normally.
+func TestBatchItemErrorIsolation(t *testing.T) {
+	b := &stubBackend{}
+	h := New(b, Config{}).Handler()
+	rec := postBatch(t, h,
+		`{"table":"roads","queries":[[0,0,2,2],[5,0,0,5],[0,0,4,4]]}`, "")
+	resp := decodeBatch(t, rec)
+	if resp.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", resp.Errors)
+	}
+	bad := resp.Items[1]
+	if bad.Error == "" || bad.Code != http.StatusBadRequest || bad.Estimate != 0 {
+		t.Fatalf("bad item: %+v", bad)
+	}
+	if resp.Items[0].Estimate != 4 || resp.Items[2].Estimate != 16 {
+		t.Fatalf("good items not answered: %+v", resp.Items)
+	}
+}
+
+// TestBatchCachePerItem: cache hits are taken per item; misses fill
+// the cache for subsequent single-query requests, and cached answers
+// never touch the backend.
+func TestBatchCachePerItem(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{})
+	ctx := context.Background()
+	if _, err := s.Estimate(ctx, "roads", q(0, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.EstimateBatch(ctx, "roads", [][4]float64{{0, 0, 10, 10}, {1, 1, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Items[0].Cached || resp.Items[1].Cached {
+		t.Fatalf("cached flags wrong: %+v", resp.Items)
+	}
+	if resp.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", resp.CacheHits)
+	}
+	if got := b.estimates.Load(); got != 2 { // priming call + one batch miss
+		t.Fatalf("backend consulted %d times, want 2", got)
+	}
+	// The batch miss filled the cache: a single query now hits.
+	r, err := s.Estimate(ctx, "roads", q(1, 1, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cached {
+		t.Fatal("batch results must fill the cache")
+	}
+}
+
+// TestBatchIntraBatchDedup: identical queries within one batch are
+// walked once; the copies report Shared.
+func TestBatchIntraBatchDedup(t *testing.T) {
+	b := &stubBackend{}
+	s := New(b, Config{CacheSize: -1})
+	resp, err := s.EstimateBatch(context.Background(), "roads",
+		[][4]float64{{0, 0, 3, 3}, {0, 0, 3, 3}, {0, 0, 3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.estimates.Load(); got != 1 {
+		t.Fatalf("backend consulted %d times, want 1", got)
+	}
+	if resp.Items[0].Shared {
+		t.Fatal("the leading copy is the one that walked")
+	}
+	for i := 1; i < 3; i++ {
+		it := resp.Items[i]
+		if !it.Shared || it.Estimate != resp.Items[0].Estimate {
+			t.Fatalf("item %d: %+v", i, it)
+		}
+	}
+}
+
+// TestBatchPartialNeverCached: degraded batch answers are served but
+// not cached.
+func TestBatchPartialNeverCached(t *testing.T) {
+	b := &stubBackend{partial: true}
+	s := New(b, Config{})
+	ctx := context.Background()
+	queries := [][4]float64{{0, 0, 5, 5}}
+	if _, err := s.EstimateBatch(ctx, "roads", queries); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.EstimateBatch(ctx, "roads", queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items[0].Cached || resp.CacheHits != 0 {
+		t.Fatalf("partial result was cached: %+v", resp.Items[0])
+	}
+}
+
+// TestBatchAdmissionOncePerRequest: the gate admits the whole batch as
+// one request — a saturated gate sheds it with a single 503 and a
+// single shed-counter bump, not one per query.
+func TestBatchAdmissionOncePerRequest(t *testing.T) {
+	block := make(chan struct{})
+	b := &stubBackend{block: block}
+	s := New(b, Config{MaxInFlight: 1, QueueTimeout: 20 * time.Millisecond, CacheSize: -1})
+	reg := telemetry.NewRegistry()
+	s.EnableTelemetry(reg)
+	defer close(block)
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = s.Estimate(context.Background(), "roads", q(0, 0, 1, 1))
+	}()
+	<-started
+	// Wait for the slot holder to reach the backend.
+	for i := 0; b.estimates.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if b.estimates.Load() == 0 {
+		t.Fatal("slot holder never reached the backend")
+	}
+
+	rec := postBatch(t, s.Handler(),
+		`{"table":"roads","queries":[[0,0,2,2],[0,0,4,4],[0,0,6,6]]}`, "batch-shed")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatalf("error body not JSON: %v", err)
+	}
+	if eb.Code != http.StatusServiceUnavailable || eb.RequestID != "batch-shed" {
+		t.Fatalf("error body %+v", eb)
+	}
+	if rec.Header().Get("X-Request-Id") != "batch-shed" {
+		t.Errorf("X-Request-Id %q", rec.Header().Get("X-Request-Id"))
+	}
+	if got := reg.Counter("serve_shed_total", "").Value(); got != 1 {
+		t.Fatalf("serve_shed_total = %d, want 1 (one admission per batch)", got)
+	}
+}
+
+// TestBatchUsesNativeBatchBackend: a BatchBackend gets one batch call
+// for all unique misses instead of a per-query loop.
+func TestBatchUsesNativeBatchBackend(t *testing.T) {
+	b := &stubBatchBackend{}
+	s := New(b, Config{CacheSize: -1})
+	resp, err := s.EstimateBatch(context.Background(), "roads",
+		[][4]float64{{0, 0, 1, 1}, {0, 0, 2, 2}, {0, 0, 3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.batches.Load(); got != 1 {
+		t.Fatalf("batch backend called %d times, want 1", got)
+	}
+	if len(resp.Items) != 3 {
+		t.Fatalf("%d items", len(resp.Items))
+	}
+}
+
+// TestBatchErrorBodyEveryPath covers every early-exit path of the
+// /estimate/batch handler: each must answer the structured error
+// envelope with the echoed request ID.
+func TestBatchErrorBodyEveryPath(t *testing.T) {
+	t.Run("method not allowed", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("GET", "/estimate/batch", nil)
+		req.Header.Set("X-Request-Id", "bm-1")
+		body, rec := getErrorBody(t, h, req, http.StatusMethodNotAllowed)
+		if body.RequestID != "bm-1" || rec.Header().Get("X-Request-Id") != "bm-1" {
+			t.Errorf("request ID not echoed: %+v", body)
+		}
+	})
+	t.Run("malformed json", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("POST", "/estimate/batch", strings.NewReader(`{"table":`))
+		req.Header.Set("X-Request-Id", "bm-2")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "bm-2" {
+			t.Errorf("request ID not echoed: %+v", body)
+		}
+	})
+	t.Run("missing table", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("POST", "/estimate/batch",
+			strings.NewReader(`{"queries":[[0,0,1,1]]}`))
+		req.Header.Set("X-Request-Id", "bm-3")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "bm-3" {
+			t.Errorf("request ID not echoed: %+v", body)
+		}
+	})
+	t.Run("table from query param", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("POST", "/estimate/batch?table=roads",
+			strings.NewReader(`{"queries":[[0,0,1,1]]}`))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d, body %s", rec.Code, rec.Body.String())
+		}
+	})
+	t.Run("empty batch", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		req := httptest.NewRequest("POST", "/estimate/batch",
+			strings.NewReader(`{"table":"roads","queries":[]}`))
+		req.Header.Set("X-Request-Id", "bm-4")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "bm-4" {
+			t.Errorf("request ID not echoed: %+v", body)
+		}
+	})
+	t.Run("oversized batch", func(t *testing.T) {
+		h := New(&stubBackend{}, Config{}).Handler()
+		var sb bytes.Buffer
+		sb.WriteString(`{"table":"roads","queries":[`)
+		for i := 0; i <= MaxBatchQueries; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`[0,0,1,1]`)
+		}
+		sb.WriteString(`]}`)
+		req := httptest.NewRequest("POST", "/estimate/batch", &sb)
+		req.Header.Set("X-Request-Id", "bm-5")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "bm-5" {
+			t.Errorf("request ID not echoed: %+v", body)
+		}
+	})
+	t.Run("backend error", func(t *testing.T) {
+		h := New(&stubBackend{err: errBackendBoom}, Config{}).Handler()
+		req := httptest.NewRequest("POST", "/estimate/batch",
+			strings.NewReader(`{"table":"roads","queries":[[0,0,1,1]]}`))
+		req.Header.Set("X-Request-Id", "bm-6")
+		body, _ := getErrorBody(t, h, req, http.StatusBadRequest)
+		if body.RequestID != "bm-6" {
+			t.Errorf("request ID not echoed: %+v", body)
+		}
+	})
+}

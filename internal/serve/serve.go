@@ -444,6 +444,7 @@ func (s *Server) Analyze(ctx context.Context, table string) (AnalyzeResponse, er
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/estimate/batch", s.handleEstimateBatch)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/healthz/live", s.handleLive)

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/reqtrace"
+)
+
+// Batch estimation. A batch takes the catalog read lock once, walks
+// every query against the same statistics snapshot (one Epoch for the
+// whole batch), and reuses the routing scratch across queries — the
+// per-query overhead a planner pays when it probes hundreds of
+// candidate predicates is the histogram walk itself and nothing else.
+//
+// Semantics per query are identical to EstimateContext: exact padded-MBR
+// routing, breaker-gated full walks, and graceful degradation to the
+// coarsest ladder rung once the deadline is spent. When a test hook is
+// installed the batch routes each query through the full scatter path
+// instead, so fault injection sees every call.
+
+// EstimateBatch is EstimateBatchContext without a deadline.
+func (sc *ShardedCatalog) EstimateBatch(qs []geom.Rect) ([]Result, error) {
+	return sc.EstimateBatchContext(context.Background(), qs)
+}
+
+// EstimateBatchContext estimates every query in qs against one
+// statistics snapshot and returns one Result per query, in order. The
+// only errors are structural — no statistics yet, or an invalid
+// rectangle (reported with its index, before any walking starts);
+// deadline pressure degrades per-query quality exactly as
+// EstimateContext does.
+func (sc *ShardedCatalog) EstimateBatchContext(ctx context.Context, qs []geom.Rect) ([]Result, error) {
+	for i, q := range qs {
+		if !q.Valid() {
+			return nil, fmt.Errorf("shard: invalid query rectangle %v at index %d", q, i)
+		}
+	}
+	sc.mu.RLock()
+	snap := &scatterSnap{
+		shards:  sc.shards,
+		breaker: sc.breakers,
+		hook:    sc.estimateHook,
+		retrier: sc.retrier,
+		clk:     sc.cfg.Clock,
+		epoch:   sc.epoch,
+
+		fanout:       sc.fanout,
+		estimates:    sc.estimates,
+		partials:     sc.partials,
+		missedShards: sc.missedShards,
+		retries:      sc.retries,
+		hedges:       sc.hedges,
+		hedgeWins:    sc.hedgeWins,
+		qualityCtr:   sc.qualityCtr,
+		walkLatency:  sc.walkLatency,
+	}
+	sc.mu.RUnlock()
+	if snap.shards == nil {
+		return nil, fmt.Errorf("shard: no statistics; run AnalyzeContext first")
+	}
+	if snap.hook != nil {
+		// Fault-injection hook installed: take the scatter path per
+		// query so breakers, retries and hedges stay exercisable.
+		out := make([]Result, 0, len(qs))
+		for _, q := range qs {
+			r, err := sc.EstimateContext(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+
+	batch := reqtrace.SpanFrom(ctx).StartChild("shard.batch")
+	batch.SetInt("queries", len(qs))
+	batch.SetInt("shards_total", len(snap.shards))
+	defer batch.End()
+
+	out := make([]Result, 0, len(qs))
+	relevant := make([]int, 0, len(snap.shards))
+	ests := make(map[int]float64, len(snap.shards))
+	quality := make(map[int]Quality, len(snap.shards))
+	degradedAll := false
+	for _, q := range qs {
+		relevant = relevant[:0]
+		for i, s := range snap.shards {
+			if s.routeBox.Intersects(q) {
+				relevant = append(relevant, i)
+			}
+		}
+		snap.estimates.Inc()
+		snap.fanout.Observe(float64(len(relevant)))
+		res := Result{ShardsTotal: len(snap.shards), ShardsQueried: len(relevant), Epoch: snap.epoch}
+		for k := range ests {
+			delete(ests, k)
+		}
+		for k := range quality {
+			delete(quality, k)
+		}
+
+		// Once the deadline is spent, every remaining query answers from
+		// the cheapest skew-aware rung — the batch never returns fewer
+		// results than queries.
+		if !degradedAll {
+			if deadline, ok := ctx.Deadline(); ctx.Err() != nil ||
+				(ok && deadline.Sub(snap.clk.Now()) < minScatterBudget) {
+				degradedAll = true
+				batch.Event("deadline.mid_batch", reqtrace.Int("answered_full", len(out)))
+			}
+		}
+		for _, idx := range relevant {
+			var a shardAnswer
+			if degradedAll {
+				s := snap.shards[idx]
+				est, ql := s.degraded(q, s.coarsestRung())
+				a = shardAnswer{idx: idx, est: est, quality: ql}
+			} else {
+				a = snap.walkOne(idx, q, nil)
+			}
+			ests[idx] = a.est
+			quality[idx] = a.quality
+		}
+		res.Estimate = sumInOrder(relevant, ests)
+		out = append(out, sc.finish(snap, res, relevant, quality))
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/synthetic"
+)
+
+func batchQueries() []geom.Rect {
+	return []geom.Rect{
+		geom.NewRect(0, 0, 1000, 1000),
+		geom.NewRect(100, 100, 400, 400),
+		geom.NewRect(900, 900, 950, 950),
+		geom.PointRect(geom.Point{X: 500, Y: 500}),
+		geom.NewRect(-50, -50, 10, 10),
+	}
+}
+
+// TestEstimateBatchMatchesPerQuery holds the batch path to the
+// single-query path bit for bit: same snapshot, same routing, same
+// walks, so the merged floats must be identical.
+func TestEstimateBatchMatchesPerQuery(t *testing.T) {
+	d := synthetic.Charminar(3000, 1000, 10, 17)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	qs := batchQueries()
+	got, err := sc.EstimateBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("batch returned %d results for %d queries", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want, err := sc.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := got[i]
+		if math.Float64bits(g.Estimate) != math.Float64bits(want.Estimate) {
+			t.Errorf("query %d: batch estimate %v, single %v", i, g.Estimate, want.Estimate)
+		}
+		if g.Quality != want.Quality || g.Partial != want.Partial {
+			t.Errorf("query %d: quality %v/%v, single %v/%v",
+				i, g.Quality, g.Partial, want.Quality, want.Partial)
+		}
+		if g.ShardsQueried != want.ShardsQueried || g.ShardsTotal != want.ShardsTotal {
+			t.Errorf("query %d: routed %d/%d, single %d/%d",
+				i, g.ShardsQueried, g.ShardsTotal, want.ShardsQueried, want.ShardsTotal)
+		}
+		if g.Epoch != want.Epoch {
+			t.Errorf("query %d: epoch %d, single %d", i, g.Epoch, want.Epoch)
+		}
+	}
+}
+
+func TestEstimateBatchInvalidQueryReportsIndex(t *testing.T) {
+	sc := buildSharded(t, synthetic.Uniform(200, 100, 1, 5, 1), Config{Shards: 2, Regions: 512})
+	qs := []geom.Rect{
+		geom.NewRect(0, 0, 10, 10),
+		{MinX: 5, MinY: 0, MaxX: 0, MaxY: 5}, // inverted
+	}
+	if _, err := sc.EstimateBatchContext(context.Background(), qs); err == nil {
+		t.Fatal("invalid rectangle must fail the batch before walking")
+	}
+}
+
+func TestEstimateBatchBeforeAnalyzeFails(t *testing.T) {
+	sc := New(Config{})
+	if _, err := sc.EstimateBatch(batchQueries()); err == nil {
+		t.Fatal("batch before Analyze should error")
+	}
+}
+
+// TestEstimateBatchExpiredDeadlineDegrades: a spent deadline answers
+// every query from the coarsest ladder rung — degraded, never an
+// error, and never fewer results than queries.
+func TestEstimateBatchExpiredDeadlineDegrades(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 11)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := batchQueries()
+	got, err := sc.EstimateBatchContext(ctx, qs)
+	if err != nil {
+		t.Fatalf("degradation must not be an error: %v", err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("batch returned %d results for %d queries", len(got), len(qs))
+	}
+	full := got[0] // whole-domain query surely routes to shards
+	if !full.Partial || full.ShardsMissed == 0 {
+		t.Fatalf("expired context must degrade: %+v", full)
+	}
+	if full.Estimate < 0.5*float64(d.N()) || full.Estimate > 1.5*float64(d.N()) {
+		t.Errorf("degraded estimate %.1f far from N=%d", full.Estimate, d.N())
+	}
+}
+
+// TestEstimateBatchHookTakesScatterPath: with a fault-injection hook
+// installed the batch must route through the full scatter machinery,
+// so injected failures still degrade per query.
+func TestEstimateBatchHookTakesScatterPath(t *testing.T) {
+	d := synthetic.Charminar(2000, 1000, 10, 13)
+	sc := buildSharded(t, d, Config{Shards: 4, Buckets: 40, Regions: 1024})
+	var calls atomic.Int64
+	sc.SetEstimateHook(func(idx, attempt int) error {
+		calls.Add(1)
+		return nil
+	})
+	got, err := sc.EstimateBatch([]geom.Rect{geom.NewRect(0, 0, 1000, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("hooked batch must exercise the scatter path")
+	}
+	if got[0].Partial {
+		t.Fatalf("healthy hook must stay full quality: %+v", got[0])
+	}
+}

@@ -453,6 +453,7 @@ func (sn *scatterSnap) walk(s *shardStat, q geom.Rect, sp *reqtrace.Span) float6
 	est, wst := s.hist.EstimateStats(q)
 	sn.walkLatency.Observe(sn.clk.Since(t0).Seconds())
 	ws.SetInt("buckets", wst.Buckets)
+	ws.SetInt("visited", wst.Visited)
 	ws.SetInt("contributing", wst.Contributing)
 	ws.End()
 	return est

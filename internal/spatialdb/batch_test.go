@@ -1,0 +1,66 @@
+package spatialdb
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+)
+
+// TestEstimateBatchContextMatchesSingle covers both engine paths —
+// the monolithic histogram and the sharded catalog — and holds the
+// batch answers bit-identical to per-query EstimateContext.
+func TestEstimateBatchContextMatchesSingle(t *testing.T) {
+	qs := []geom.Rect{
+		geom.NewRect(0, 0, 1000, 1000),
+		geom.NewRect(100, 100, 300, 300),
+		geom.PointRect(geom.Point{X: 500, Y: 500}),
+	}
+	run := func(t *testing.T, db *DB) {
+		ctx := context.Background()
+		got, err := db.EstimateBatchContext(ctx, "t", qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("%d results for %d queries", len(got), len(qs))
+		}
+		for i, q := range qs {
+			want, err := db.EstimateContext(ctx, "t", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got[i].Estimate) != math.Float64bits(want.Estimate) {
+				t.Errorf("query %d: batch %v, single %v", i, got[i].Estimate, want.Estimate)
+			}
+			if got[i].ShardsQueried != want.ShardsQueried {
+				t.Errorf("query %d: routed %d, single %d", i, got[i].ShardsQueried, want.ShardsQueried)
+			}
+		}
+	}
+	d := synthetic.Charminar(3000, 1000, 10, 23)
+	t.Run("monolithic", func(t *testing.T) {
+		db := newTestDB(t)
+		if err := db.Create("t", d); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Analyze("t"); err != nil {
+			t.Fatal(err)
+		}
+		run(t, db)
+	})
+	t.Run("sharded", func(t *testing.T) {
+		db := newTestDB(t)
+		db.SetShardPolicy(shard.Config{Shards: 4, Buckets: 40, Regions: 1024})
+		if err := db.Create("t", d); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Analyze("t"); err != nil {
+			t.Fatal(err)
+		}
+		run(t, db)
+	})
+}

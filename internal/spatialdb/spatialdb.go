@@ -74,6 +74,7 @@ type DB struct {
 // honest at compile time.
 var (
 	_ serve.Backend        = (*DB)(nil)
+	_ serve.BatchBackend   = (*DB)(nil)
 	_ serve.StatusReporter = (*DB)(nil)
 )
 
@@ -305,6 +306,42 @@ func (db *DB) EstimateContext(ctx context.Context, name string, q geom.Rect) (sh
 		return shard.Result{}, err
 	}
 	return shard.Result{Estimate: est, ShardsTotal: 1, ShardsQueried: 1}, nil
+}
+
+// EstimateBatchContext estimates every query in qs against name's
+// statistics, one Result per query in order, implementing
+// serve.BatchBackend. A sharded table answers the whole batch from one
+// statistics snapshot (shard.ShardedCatalog.EstimateBatchContext); a
+// monolithic table walks its histogram per query. The batch counts as
+// one "estimate_batch" operation in the telemetry, not len(qs)
+// estimates.
+func (db *DB) EstimateBatchContext(ctx context.Context, name string, qs []geom.Rect) ([]shard.Result, error) {
+	db.mu.RLock()
+	sc := db.shards[name]
+	db.opCounter("estimate_batch", name).Inc()
+	lat := db.opSeconds("estimate_batch", name)
+	db.mu.RUnlock()
+	var start time.Time
+	if lat != nil {
+		start = time.Now()
+	}
+	defer lat.ObserveSince(start)
+
+	if sc != nil {
+		return sc.EstimateBatchContext(ctx, qs)
+	}
+	out := make([]shard.Result, 0, len(qs))
+	for _, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		est, err := db.cat.Estimate(name, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, shard.Result{Estimate: est, ShardsTotal: 1, ShardsQueried: 1})
+	}
+	return out, nil
 }
 
 // Status reports per-table serving health for the readiness probe:

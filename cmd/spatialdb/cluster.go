@@ -48,12 +48,18 @@ type nodeOpts struct {
 	noResil     bool
 	traceRing   int
 	queryLog    string
+	stateDir    string
+	coordAddr   string
+	resyncIvl   time.Duration
 }
 
 // runWorker serves the worker protocol (PUT /cluster/snapshot, GET
 // /cluster/estimate, GET /cluster/status) on -cluster-addr until
 // signalled. A worker starts empty and holds whatever snapshots a
-// coordinator ships to it.
+// coordinator ships to it. With -state-dir it persists installs and
+// reloads them on boot, serving immediately after a restart; with
+// -coordinator it also pulls missing or stale snapshots every
+// -resync-interval, so a missed ship heals without a re-ANALYZE.
 func runWorker(ctx context.Context, o nodeOpts) int {
 	ln, err := net.Listen("tcp", o.clusterAddr)
 	if err != nil {
@@ -63,11 +69,37 @@ func runWorker(ctx context.Context, o nodeOpts) int {
 	reg := telemetry.NewRegistry()
 	tracer := reqtrace.New(reqtrace.Config{Ring: o.traceRing})
 	tracer.EnableTelemetry(reg)
-	w := cluster.NewWorker(cluster.WorkerConfig{
-		ID:     cluster.NodeID(ln.Addr().String()),
-		Tracer: tracer,
-	})
+	cfg := cluster.WorkerConfig{
+		// The advertised -cluster-addr, not ln.Addr(): the coordinator's
+		// partition map names peers by the -peers strings, and pull
+		// resync matches manifest assignments against this ID.
+		ID:       cluster.NodeID(o.clusterAddr),
+		Tracer:   tracer,
+		StateDir: o.stateDir,
+	}
+	if o.coordAddr != "" {
+		cfg.Client = &cluster.HTTPCoordinatorClient{Addr: o.coordAddr}
+	}
+	w := cluster.NewWorker(cfg)
 	w.EnableTelemetry(reg)
+	if o.stateDir != "" {
+		loaded, skipped, err := w.LoadState()
+		if err != nil {
+			// Serving with no state beats not serving: pull resync (when
+			// configured) refills from the coordinator.
+			fmt.Fprintf(os.Stderr, "spatialdb: state reload: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "spatialdb: restored %d snapshots from %s (%d files skipped)\n",
+				loaded, o.stateDir, skipped)
+		}
+	}
+	loopCtx, stopLoop := context.WithCancel(ctx)
+	defer stopLoop()
+	if cfg.Client != nil && o.resyncIvl > 0 {
+		go w.RunResyncLoop(loopCtx, o.resyncIvl)
+		fmt.Fprintf(os.Stderr, "spatialdb: pulling from coordinator %s every %s\n",
+			o.coordAddr, o.resyncIvl)
+	}
 	metricsSrv := startMetricsServer(reg, o.metricsAddr)
 
 	fmt.Fprintf(os.Stderr, "spatialdb: worker %s awaiting snapshots\n", ln.Addr())
@@ -97,6 +129,10 @@ func runWorker(ctx context.Context, o nodeOpts) int {
 
 // runCoordinator builds the cluster coordinator, ships statistics to
 // the -peers workers, and serves the /estimate API until signalled.
+// On -cluster-addr it additionally serves the pull protocol (GET
+// /cluster/manifest, GET /cluster/fetch) workers resync from, and
+// every -resync-interval it runs an anti-entropy pass that re-ships
+// whatever a worker should hold but does not.
 func runCoordinator(ctx context.Context, o nodeOpts) int {
 	if o.serveAddr == "" {
 		fmt.Fprintln(os.Stderr, "spatialdb: -role coordinator needs -serve-addr for the /estimate API")
@@ -111,6 +147,27 @@ func runCoordinator(ctx context.Context, o nodeOpts) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spatialdb: serve listener: %v\n", err)
 		return 1
+	}
+	var clusterSrv *http.Server
+	if o.clusterAddr != "" {
+		cln, err := net.Listen("tcp", o.clusterAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: cluster listener: %v\n", err)
+			return 1
+		}
+		clusterSrv = &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := clusterSrv.Serve(cln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "spatialdb: manifest server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "spatialdb: manifest/fetch for pull resync on http://%s/cluster/manifest\n", cln.Addr())
+	}
+	loopCtx, stopLoop := context.WithCancel(ctx)
+	defer stopLoop()
+	if o.resyncIvl > 0 {
+		go coord.RunReconcileLoop(loopCtx, o.resyncIvl)
+		fmt.Fprintf(os.Stderr, "spatialdb: anti-entropy reconcile every %s\n", o.resyncIvl)
 	}
 	var qlog *reqtrace.QueryLog
 	if o.queryLog != "" {
@@ -146,6 +203,12 @@ func runCoordinator(ctx context.Context, o nodeOpts) int {
 	if err := estSrv.Shutdown(grace); err != nil {
 		fmt.Fprintf(os.Stderr, "spatialdb: coordinator shutdown: %v\n", err)
 		exit = 1
+	}
+	if clusterSrv != nil {
+		if err := clusterSrv.Shutdown(grace); err != nil {
+			fmt.Fprintf(os.Stderr, "spatialdb: manifest server shutdown: %v\n", err)
+			exit = 1
+		}
 	}
 	shutdownMetrics(grace, metricsSrv)
 	if qlog != nil {

@@ -81,6 +81,9 @@ func main() {
 		peers       = flag.String("peers", "", "coordinator: comma-separated worker host:port list")
 		replicas    = flag.Int("replicas", 2, "coordinator: worker replicas holding each shard snapshot")
 		clusterGen  = flag.String("cluster-gen", "roads=charminar:20000", "coordinator: tables to generate and analyze, as table=kind:rows[,...] with kind charminar|njroad|uniform")
+		stateDir    = flag.String("state-dir", "", "worker: persist installed snapshots here and reload them on boot")
+		coordAddr   = flag.String("coordinator", "", "worker: coordinator cluster address (host:port) to pull missing snapshots from")
+		resyncIvl   = flag.Duration("resync-interval", 5*time.Second, "worker: pull-resync cadence; coordinator: anti-entropy reconcile cadence (0 disables)")
 	)
 	flag.Parse()
 
@@ -104,6 +107,9 @@ func main() {
 			noResil:     *noResil,
 			traceRing:   *traceRing,
 			queryLog:    *queryLog,
+			stateDir:    *stateDir,
+			coordAddr:   *coordAddr,
+			resyncIvl:   *resyncIvl,
 		}
 		exit := 0
 		switch *role {

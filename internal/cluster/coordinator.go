@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,6 +40,9 @@ type CoordinatorConfig struct {
 	// repurposed per-remote-node: breakers guard nodes, retries fail
 	// over to the next replica, hedging races one.
 	Shard shard.Config
+	// ReconcileConcurrency bounds how many nodes one anti-entropy pass
+	// inspects and re-ships concurrently. Default 2.
+	ReconcileConcurrency int
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -52,6 +56,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	if c.Replicas > len(c.Nodes) {
 		c.Replicas = len(c.Nodes)
 	}
+	if c.ReconcileConcurrency <= 0 {
+		c.ReconcileConcurrency = 2
+	}
 	return c
 }
 
@@ -61,12 +68,22 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 const minScatterBudget = 500 * time.Microsecond
 
 // tableState is one table's routing state: the retained distribution
-// (for rebuilds), the local build catalog, and the atomically swapped
-// partition map.
+// (for rebuilds), the local build catalog, the atomically swapped
+// partition map, and the published snapshot set behind the pull
+// protocol's fetch RPC.
 type tableState struct {
 	d   *dataset.Distribution
 	cat *shard.ShardedCatalog
 	pm  atomic.Pointer[PartitionMap]
+	pub atomic.Pointer[publishedSnaps]
+}
+
+// publishedSnaps retains one epoch's full snapshot set for fetch and
+// anti-entropy re-ships. It is stored before the partition-map swap,
+// so the fetchable epoch is never behind the epoch the map routes by.
+type publishedSnaps struct {
+	epoch uint64
+	snaps []*Snapshot
 }
 
 // Coordinator owns the partition maps and fans estimates out to
@@ -90,14 +107,16 @@ type Coordinator struct {
 	callLatency *telemetry.Histogram
 
 	// Telemetry (nil-safe until EnableTelemetry).
-	reg        *telemetry.Registry
-	estimates  *telemetry.Counter
-	partials   *telemetry.Counter
-	staleCalls *telemetry.Counter
-	retries    *telemetry.Counter
-	hedges     *telemetry.Counter
-	hedgeWins  *telemetry.Counter
-	shipBytes  *telemetry.Histogram
+	reg         *telemetry.Registry
+	estimates   *telemetry.Counter
+	partials    *telemetry.Counter
+	staleCalls  *telemetry.Counter
+	retries     *telemetry.Counter
+	hedges      *telemetry.Counter
+	hedgeWins   *telemetry.Counter
+	shipBytes   *telemetry.Histogram
+	reships     *telemetry.Counter
+	resyncFails *telemetry.Counter
 }
 
 // NewCoordinator builds a coordinator over the given nodes and
@@ -156,6 +175,10 @@ func (c *Coordinator) EnableTelemetry(reg *telemetry.Registry) {
 		"Hedged attempts that produced the winning result.")
 	c.shipBytes = reg.Histogram("cluster_snapshot_bytes",
 		"Encoded size of shard snapshots shipped to workers.", snapshotBytesBuckets)
+	c.reships = reg.Counter("cluster_resync_reships_total",
+		"Snapshots re-shipped to lagging workers by the anti-entropy reconciler.")
+	c.resyncFails = reg.Counter("cluster_resync_failures_total",
+		"Failed resync operations (status probes, re-ships, pulls).")
 }
 
 // noteBreakerTransition mirrors the shard catalog's: per-node breaker
@@ -276,6 +299,7 @@ func (c *Coordinator) AnalyzeContext(ctx context.Context, name string) error {
 	}
 	exports := ts.cat.Export()
 	pm := &PartitionMap{Table: name, Epoch: ts.cat.Epoch(), Rows: ts.cat.Rows()}
+	pub := &publishedSnaps{epoch: pm.Epoch, snaps: make([]*Snapshot, 0, len(exports))}
 	for _, ex := range exports {
 		route := ShardRoute{
 			Index:    ex.Index,
@@ -289,6 +313,7 @@ func (c *Coordinator) AnalyzeContext(ctx context.Context, name string) error {
 			route.Coarse = ex.Ladder[len(ex.Ladder)-1]
 		}
 		snap := FromExport(name, ex)
+		pub.snaps = append(pub.snaps, snap)
 		for _, node := range route.Nodes {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("cluster: analyze: %w", err)
@@ -298,6 +323,9 @@ func (c *Coordinator) AnalyzeContext(ctx context.Context, name string) error {
 		}
 		pm.Shards = append(pm.Shards, route)
 	}
+	// The published set must be fetchable before the map routes by its
+	// epoch: a worker that sees the new epoch can always pull it.
+	ts.pub.Store(pub)
 	ts.pm.Store(pm)
 	c.mu.RLock()
 	reg := c.reg
@@ -567,6 +595,12 @@ func (c *Coordinator) callShard(ctx context.Context, pm *PartitionMap, idx int, 
 	sp.SetInt("attempts", stats.Attempts)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
+		if dl, ok := ctx.Deadline(); ok && errors.Is(err, context.DeadlineExceeded) {
+			// The call logically ended when its deadline expired; this
+			// goroutine may be observing that long after the clock moved
+			// on, and a wake-up-time stamp would be schedule-dependent.
+			sp.EndNoLaterThan(dl)
+		}
 		dest, ql := routeDegraded(route, q)
 		endCallSpan(sp, dest, ql)
 		return clusterAnswer{idx: idx, est: dest, quality: ql}

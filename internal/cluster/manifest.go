@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Manifest is the coordinator's published view of what every worker
+// should hold: per table, the live partition-map epoch and each
+// shard's replica set. Workers diff it against their installed
+// snapshots to find gaps they must pull (see Worker.ResyncOnce).
+type Manifest struct {
+	Tables []ManifestTable `json:"tables"`
+}
+
+// ManifestTable is one table's expected (epoch, shard→nodes) set.
+type ManifestTable struct {
+	Table  string          `json:"table"`
+	Epoch  uint64          `json:"epoch"`
+	Shards []ManifestShard `json:"shards"`
+}
+
+// ManifestShard names one shard and the nodes expected to hold its
+// current-epoch snapshot.
+type ManifestShard struct {
+	Shard int      `json:"shard"`
+	Nodes []NodeID `json:"nodes"`
+}
+
+// NodeStatus is one worker's installed-snapshot inventory, as served
+// on GET /cluster/status and consumed by the anti-entropy reconciler.
+type NodeStatus struct {
+	Node      NodeID           `json:"node"`
+	Snapshots []SnapshotStatus `json:"snapshots"`
+}
+
+// CoordinatorClient is the worker's view of the coordinator for
+// pull/catch-up resync: the expected-state manifest and a fetch RPC
+// returning one shard's current snapshot in SPSNAP1 wire form.
+type CoordinatorClient interface {
+	Manifest(ctx context.Context) (Manifest, error)
+	Fetch(ctx context.Context, table string, shard int) ([]byte, error)
+}
+
+// LocalCoordinatorClient serves pulls from an in-process coordinator
+// (tests and the fault simulation harness).
+type LocalCoordinatorClient struct {
+	C *Coordinator
+}
+
+// Manifest implements CoordinatorClient.
+func (l LocalCoordinatorClient) Manifest(ctx context.Context) (Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return Manifest{}, err
+	}
+	return l.C.Manifest(), nil
+}
+
+// Fetch implements CoordinatorClient.
+func (l LocalCoordinatorClient) Fetch(ctx context.Context, table string, shard int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.C.FetchEncoded(table, shard)
+}
+
+// HTTPCoordinatorClient pulls from a remote coordinator's manifest
+// endpoint (see Coordinator.Handler); Addr is its cluster host:port.
+type HTTPCoordinatorClient struct {
+	Addr string
+	// Scheme defaults to "http".
+	Scheme string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (c *HTTPCoordinatorClient) scheme() string {
+	if c.Scheme != "" {
+		return c.Scheme
+	}
+	return "http"
+}
+
+func (c *HTTPCoordinatorClient) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// get issues one GET and returns the body, decoding the coordinator's
+// structured error on a non-200.
+func (c *HTTPCoordinatorClient) get(ctx context.Context, u string, limit int64) ([]byte, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build request: %w", err)
+	}
+	resp, err := c.client().Do(hr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: coordinator %s: %v", ErrUnreachable, c.Addr, err)
+	}
+	defer resp.Body.Close() //spatialvet:ignore errdrop response body close on read path
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("%w: coordinator %s: read reply: %v", ErrUnreachable, c.Addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we workerError
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return nil, fmt.Errorf("cluster: coordinator %s: %s", c.Addr, we.Error)
+		}
+		return nil, fmt.Errorf("cluster: coordinator %s: HTTP %d", c.Addr, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// Manifest implements CoordinatorClient over GET /cluster/manifest.
+func (c *HTTPCoordinatorClient) Manifest(ctx context.Context) (Manifest, error) {
+	body, err := c.get(ctx, fmt.Sprintf("%s://%s/cluster/manifest", c.scheme(), c.Addr), 4<<20)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Manifest{}, fmt.Errorf("cluster: coordinator %s: decode manifest: %v", c.Addr, err)
+	}
+	return m, nil
+}
+
+// Fetch implements CoordinatorClient over GET /cluster/fetch.
+func (c *HTTPCoordinatorClient) Fetch(ctx context.Context, table string, shard int) ([]byte, error) {
+	params := url.Values{
+		"table": {table},
+		"shard": {strconv.Itoa(shard)},
+	}
+	u := fmt.Sprintf("%s://%s/cluster/fetch?%s", c.scheme(), c.Addr, params.Encode())
+	return c.get(ctx, u, defaultMaxSnapshotBody)
+}
+
+// Manifest returns the coordinator's expected-state manifest: every
+// analyzed table's live epoch and shard replica sets, tables sorted by
+// name. Unanalyzed tables are omitted — there is nothing to pull yet.
+func (c *Coordinator) Manifest() Manifest {
+	var m Manifest
+	for _, name := range c.Tables() {
+		pm := c.Map(name)
+		if pm == nil {
+			continue
+		}
+		mt := ManifestTable{Table: name, Epoch: pm.Epoch, Shards: make([]ManifestShard, 0, len(pm.Shards))}
+		for i := range pm.Shards {
+			mt.Shards = append(mt.Shards, ManifestShard{
+				Shard: pm.Shards[i].Index,
+				Nodes: pm.Shards[i].Nodes,
+			})
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	return m
+}
+
+// FetchEncoded returns the encoded current-epoch snapshot for (table,
+// shard). The snapshot set is retained at publish time — stored before
+// the partition-map swap — so a fetch can always serve at least the
+// epoch the live map routes by.
+func (c *Coordinator) FetchEncoded(table string, shard int) ([]byte, error) {
+	ts := c.table(table)
+	if ts == nil {
+		return nil, fmt.Errorf("cluster: no table %q", table)
+	}
+	pub := ts.pub.Load()
+	if pub == nil {
+		return nil, fmt.Errorf("%w: %s/%d not yet analyzed", ErrNoSnapshot, table, shard)
+	}
+	for _, snap := range pub.snaps {
+		if snap.Shard == shard {
+			return snap.Encode()
+		}
+	}
+	return nil, fmt.Errorf("%w: %s/%d not in the published set", ErrNoSnapshot, table, shard)
+}
+
+// Handler serves the coordinator's side of the pull protocol:
+//
+//	GET /cluster/manifest — expected (table, epoch, shard→nodes) set
+//	GET /cluster/fetch    — one shard's current snapshot (SPSNAP1)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/manifest", c.handleManifest)
+	mux.HandleFunc("/cluster/fetch", c.handleFetch)
+	return mux
+}
+
+func (c *Coordinator) handleManifest(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeWorkerJSON(rw, http.StatusMethodNotAllowed,
+			workerError{Error: "GET required", Code: http.StatusMethodNotAllowed})
+		return
+	}
+	writeWorkerJSON(rw, http.StatusOK, c.Manifest())
+}
+
+func (c *Coordinator) handleFetch(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeWorkerJSON(rw, http.StatusMethodNotAllowed,
+			workerError{Error: "GET required", Code: http.StatusMethodNotAllowed})
+		return
+	}
+	q := r.URL.Query()
+	table := q.Get("table")
+	if table == "" {
+		writeWorkerJSON(rw, http.StatusBadRequest,
+			workerError{Error: "cluster: missing table parameter", Code: http.StatusBadRequest})
+		return
+	}
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil {
+		writeWorkerJSON(rw, http.StatusBadRequest,
+			workerError{Error: fmt.Sprintf("cluster: bad shard parameter: %v", err), Code: http.StatusBadRequest})
+		return
+	}
+	data, err := c.FetchEncoded(table, shard)
+	if err != nil {
+		writeWorkerJSON(rw, http.StatusNotFound,
+			workerError{Error: err.Error(), Code: http.StatusNotFound})
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write(data) //spatialvet:ignore errdrop client gone is the only failure
+}

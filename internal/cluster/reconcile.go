@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// ReconcileStats summarizes one anti-entropy pass.
+type ReconcileStats struct {
+	// Nodes is how many nodes were inspected (breaker-open nodes are
+	// skipped and not counted here).
+	Nodes int
+	// SkippedOpen is how many nodes were skipped because their circuit
+	// breaker was open — the estimate path already considers them down,
+	// and a resync ship would only prolong the outage window.
+	SkippedOpen int
+	// Reshipped is how many snapshots were re-shipped to close gaps.
+	Reshipped int
+	// Failures counts failed status probes and failed re-ships.
+	Failures int
+}
+
+// nodeReconcile is one node's outcome, gathered by ReconcileOnce.
+type nodeReconcile struct {
+	lag       uint64
+	reshipped int
+	failures  int
+}
+
+// ReconcileOnce runs one anti-entropy pass: read every node's
+// installed-snapshot inventory, diff it against the live partition
+// maps, and re-ship any snapshot the node should hold but does not
+// hold at the current epoch. Nodes are processed with bounded
+// concurrency (CoordinatorConfig.ReconcileConcurrency) and the pass
+// never takes the coordinator's locks across a network call, so the
+// estimate path is never blocked. Per node it publishes the
+// cluster_snapshot_lag_epochs gauge: how many epochs the node still
+// trails the map after the pass (0 when fully converged, the map epoch
+// when unreachable).
+func (c *Coordinator) ReconcileOnce(ctx context.Context) ReconcileStats {
+	var stats ReconcileStats
+	// Snapshot the diff targets once; maps and published sets are
+	// immutable values behind atomic pointers.
+	type target struct {
+		pm  *PartitionMap
+		pub *publishedSnaps
+	}
+	targets := make([]target, 0, 4)
+	for _, name := range c.Tables() {
+		ts := c.table(name)
+		if ts == nil {
+			continue
+		}
+		pm := ts.pm.Load()
+		pub := ts.pub.Load()
+		if pm == nil || pub == nil {
+			continue
+		}
+		targets = append(targets, target{pm: pm, pub: pub})
+	}
+	if len(targets) == 0 {
+		return stats
+	}
+
+	var mu sync.Mutex
+	sem := make(chan struct{}, c.cfg.ReconcileConcurrency)
+	var wg sync.WaitGroup
+	for _, node := range c.cfg.Nodes {
+		if br := c.breakers[node]; br != nil && br.State() == resilience.StateOpen {
+			stats.SkippedOpen++
+			continue
+		}
+		stats.Nodes++
+		wg.Add(1)
+		go func(node NodeID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var nr nodeReconcile
+			st, err := c.cfg.Transport.Status(ctx, node)
+			if err != nil {
+				// Unknown inventory: report the worst-case lag and try
+				// again next pass rather than blind-shipping everything.
+				nr.failures++
+				for _, t := range targets {
+					if t.pm.Epoch > nr.lag {
+						nr.lag = t.pm.Epoch
+					}
+				}
+			} else {
+				have := make(map[snapKey]uint64, len(st.Snapshots))
+				for _, s := range st.Snapshots {
+					have[snapKey{table: s.Table, shard: s.Shard}] = s.Epoch
+				}
+				for _, t := range targets {
+					c.reconcileNodeTable(ctx, node, t.pm, t.pub, have, &nr)
+				}
+			}
+			c.noteLag(node, nr.lag)
+			mu.Lock()
+			stats.Reshipped += nr.reshipped
+			stats.Failures += nr.failures
+			mu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+	if stats.Failures > 0 {
+		c.resyncFails.Add(uint64(stats.Failures))
+	}
+	return stats
+}
+
+// reconcileNodeTable closes one (node, table) gap set: every shard
+// routed to the node must be installed at the map epoch, anything
+// older (or missing) gets the published snapshot re-shipped.
+func (c *Coordinator) reconcileNodeTable(ctx context.Context, node NodeID, pm *PartitionMap, pub *publishedSnaps, have map[snapKey]uint64, nr *nodeReconcile) {
+	for i := range pm.Shards {
+		route := &pm.Shards[i]
+		wanted := false
+		for _, n := range route.Nodes {
+			if n == node {
+				wanted = true
+				break
+			}
+		}
+		if !wanted {
+			continue
+		}
+		cur := have[snapKey{table: pm.Table, shard: route.Index}]
+		if cur >= pm.Epoch {
+			continue
+		}
+		var snap *Snapshot
+		for _, s := range pub.snaps {
+			if s.Shard == route.Index {
+				snap = s
+				break
+			}
+		}
+		if snap == nil {
+			continue
+		}
+		n, err := c.cfg.Transport.Ship(ctx, node, snap)
+		c.noteShip(node, n, err)
+		if err != nil {
+			nr.failures++
+			if lag := pm.Epoch - cur; lag > nr.lag {
+				nr.lag = lag
+			}
+			continue
+		}
+		nr.reshipped++
+		c.reships.Inc()
+	}
+}
+
+// noteLag publishes one node's post-pass snapshot lag.
+func (c *Coordinator) noteLag(node NodeID, lag uint64) {
+	c.mu.RLock()
+	reg := c.reg
+	c.mu.RUnlock()
+	if reg == nil {
+		return
+	}
+	reg.Gauge("cluster_snapshot_lag_epochs",
+		"Epochs a worker's installed snapshots trail the live partition map, per node (after the last anti-entropy pass).",
+		telemetry.Label{Key: "node", Value: string(node)}).Set(float64(lag))
+}
+
+// RunReconcileLoop runs anti-entropy passes every interval on the
+// coordinator's clock until ctx is done. Each pass runs under a
+// deadline of one interval, so a wedged node cannot make passes pile
+// up. Intended for production coordinators; deterministic harnesses
+// call ReconcileOnce directly instead of racing a background loop
+// against the virtual clock.
+func (c *Coordinator) RunReconcileLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	for {
+		t := c.clk.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		pctx, cancel := vclock.WithTimeout(ctx, c.clk, interval)
+		c.ReconcileOnce(pctx)
+		cancel()
+	}
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/vclock"
+)
+
+// Worker-side pull/catch-up resync: the worker learns the expected
+// (table, epoch, shard→nodes) set from the coordinator's manifest —
+// and, piggybacked, from estimate requests that name an epoch ahead of
+// what it holds — and pulls every missing or stale snapshot through
+// the fetch RPC. Combined with the coordinator's anti-entropy re-ship
+// pass this makes snapshot distribution convergent: a dropped ship, a
+// partition during ANALYZE, or a crash-restart all heal without
+// waiting for the next ANALYZE.
+
+// ResyncStats summarizes one pull pass.
+type ResyncStats struct {
+	// Pulled is how many snapshots were fetched and installed.
+	Pulled int
+	// Failed is how many needed pulls failed (fetch or install).
+	Failed int
+}
+
+// noteGap records that an estimate request named an epoch ahead of the
+// installed snapshot and wakes the resync loop. The kick is
+// non-blocking: gap detection must never slow an estimate.
+func (w *Worker) noteGap(table string, epoch uint64) {
+	w.mu.Lock()
+	if epoch > w.expected[table] {
+		w.expected[table] = epoch
+	}
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ExpectedEpoch returns the highest epoch estimate traffic has named
+// for table — 0 when no gap has been observed.
+func (w *Worker) ExpectedEpoch(table string) uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.expected[table]
+}
+
+// installedEpoch returns the current generation's epoch for (table,
+// shard), 0 when nothing is installed.
+func (w *Worker) installedEpoch(table string, shard int) uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	e := w.snaps[snapKey{table: table, shard: shard}]
+	if e == nil || e.cur == nil {
+		return 0
+	}
+	return e.cur.Epoch
+}
+
+// fetchJitterKey pins one pull's retry-backoff jitter to its identity
+// (see resilience.CallPolicy.JitterKey).
+func fetchJitterKey(table string, shard int, epoch uint64) uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(v uint64) { h = (h ^ v) * 1099511628211 }
+	for _, c := range []byte(table) {
+		mix(uint64(c))
+	}
+	mix(uint64(shard))
+	mix(epoch)
+	if h == 0 {
+		h = 1 // zero disables keyed jitter; keep the key always-on
+	}
+	return h
+}
+
+// ResyncOnce runs one pull pass against the coordinator's manifest: a
+// shard is pulled when this worker holds it at an older epoch than the
+// manifest (catch-up), or holds nothing but the manifest assigns the
+// shard to this node (missed ship, fresh boot). Each pull retries with
+// decorrelated-jitter backoff within ctx's deadline budget, reusing
+// the resilience layer on the worker's clock. Installs go through the
+// normal path, so a worker serving epoch N while pulling N+1 keeps
+// both generations live and never mixes them in one answer.
+func (w *Worker) ResyncOnce(ctx context.Context) (ResyncStats, error) {
+	var stats ResyncStats
+	if w.cfg.Client == nil {
+		return stats, fmt.Errorf("cluster: worker %s has no coordinator client", w.cfg.ID)
+	}
+	m, err := w.cfg.Client.Manifest(ctx)
+	if err != nil {
+		w.resyncFails.Inc()
+		return stats, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	for _, mt := range m.Tables {
+		for _, ms := range mt.Shards {
+			cur := w.installedEpoch(mt.Table, ms.Shard)
+			if cur >= mt.Epoch {
+				continue
+			}
+			if cur == 0 && !containsNode(ms.Nodes, w.cfg.ID) {
+				// Not ours and never was: an unassigned worker must not
+				// mirror the whole cluster.
+				continue
+			}
+			if w.pullOne(ctx, mt.Table, ms.Shard, mt.Epoch) {
+				stats.Pulled++
+			} else {
+				stats.Failed++
+			}
+		}
+		// The manifest is at least as fresh as any gap traffic reported;
+		// clear the piggybacked expectation up to its epoch.
+		w.mu.Lock()
+		if w.expected[mt.Table] <= mt.Epoch {
+			delete(w.expected, mt.Table)
+		}
+		w.mu.Unlock()
+	}
+	return stats, nil
+}
+
+// pullOne fetches and installs one snapshot, reporting success.
+func (w *Worker) pullOne(ctx context.Context, table string, shard int, epoch uint64) bool {
+	data, _, err := resilience.Do(ctx, resilience.CallPolicy{
+		Clock:     w.clk,
+		Retry:     w.retrier,
+		JitterKey: fetchJitterKey(table, shard, epoch),
+	}, func(actx context.Context, _ int) ([]byte, error) {
+		return w.cfg.Client.Fetch(actx, table, shard)
+	})
+	if err == nil {
+		if int64(len(data)) > w.cfg.MaxSnapshotBytes {
+			err = fmt.Errorf("cluster: fetched snapshot %s/%d exceeds %d byte limit",
+				table, shard, w.cfg.MaxSnapshotBytes)
+		} else {
+			err = w.InstallEncoded(data)
+		}
+	}
+	if err != nil {
+		w.resyncFails.Inc()
+		return false
+	}
+	w.pulls.Inc()
+	return true
+}
+
+// containsNode reports whether nodes names id.
+func containsNode(nodes []NodeID, id NodeID) bool {
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RunResyncLoop pulls every interval on the worker's clock — or
+// sooner, when estimate traffic detects a gap — until ctx is done.
+// Each pass runs under a deadline of one interval, which is also the
+// retry budget for its pulls. Intended for production workers;
+// deterministic harnesses call ResyncOnce directly instead of racing a
+// background loop against the virtual clock.
+func (w *Worker) RunResyncLoop(ctx context.Context, interval time.Duration) {
+	if w.cfg.Client == nil || interval <= 0 {
+		return
+	}
+	for {
+		t := w.clk.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		case <-w.kick:
+			t.Stop()
+		}
+		pctx, cancel := vclock.WithTimeout(ctx, w.clk, interval)
+		if _, err := w.ResyncOnce(pctx); err != nil {
+			// Already counted in cluster_resync_failures_total; the next
+			// tick (or kick) tries again.
+			_ = err
+		}
+		cancel()
+	}
+}

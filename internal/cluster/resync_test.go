@@ -1,0 +1,832 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/synthetic"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// newResyncCluster wires a coordinator over in-process workers that
+// each carry a pull client back to the coordinator — the full
+// self-healing loop in one process.
+func newResyncCluster(t *testing.T, n, replicas int, scfg shard.Config) (*Coordinator, *Local, []NodeID) {
+	t.Helper()
+	local := NewLocal()
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = NodeID(string(rune('a'+i)) + "-node")
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Nodes:     nodes,
+		Transport: local,
+		Replicas:  replicas,
+		Shard:     scfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range nodes {
+		local.Register(id, NewWorker(WorkerConfig{
+			ID:     id,
+			Client: LocalCoordinatorClient{C: coord},
+			Retry:  resilience.RetryConfig{Disable: true},
+		}))
+	}
+	return coord, local, nodes
+}
+
+// assignedShards returns the shard indexes the live map routes to node.
+func assignedShards(pm *PartitionMap, node NodeID) []int {
+	var out []int
+	for i := range pm.Shards {
+		if containsNode(pm.Shards[i].Nodes, node) {
+			out = append(out, pm.Shards[i].Index)
+		}
+	}
+	return out
+}
+
+// TestStatePersistAndReload: a worker with a state directory persists
+// every install, and a fresh worker over the same directory serves
+// byte-identical estimates immediately after LoadState — before any
+// network pull.
+func TestStatePersistAndReload(t *testing.T) {
+	for _, noSync := range []bool{false, true} {
+		name := "sync"
+		if noSync {
+			name = "nosync"
+		}
+		t.Run(name, func(t *testing.T) {
+			sc, queries := buildCatalog(t, shard.Config{Shards: 4, Buckets: 80})
+			dir := t.TempDir()
+			w := NewWorker(WorkerConfig{ID: "n0", StateDir: dir, StateNoSync: noSync})
+			exports := sc.Export()
+			for _, ex := range exports {
+				data, err := FromExport("dot.s/table", ex).Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.InstallEncoded(data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.PersistErr(); err != nil {
+				t.Fatalf("persist error: %v", err)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ents) != len(exports) {
+				t.Fatalf("state dir holds %d files, want %d", len(ents), len(exports))
+			}
+			for _, ent := range ents {
+				// The escaped table name must keep path separators and dots
+				// from escaping the state directory.
+				if strings.ContainsAny(ent.Name(), "/") || !strings.HasSuffix(ent.Name(), ".snap") {
+					t.Fatalf("suspicious state file name %q", ent.Name())
+				}
+			}
+
+			restarted := NewWorker(WorkerConfig{ID: "n0", StateDir: dir})
+			loaded, skipped, err := restarted.LoadState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded != len(exports) || skipped != 0 {
+				t.Fatalf("LoadState = (%d, %d), want (%d, 0)", loaded, skipped, len(exports))
+			}
+			for _, q := range queries[:10] {
+				for _, ex := range exports {
+					req := EstimateRequest{Table: "dot.s/table", Shard: ex.Index, Epoch: ex.Epoch, Query: q}
+					want, err := w.Estimate(context.Background(), req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := restarted.Estimate(context.Background(), req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Float64bits(got.Estimate) != math.Float64bits(want.Estimate) {
+						t.Fatalf("shard %d query %v: reloaded %g != original %g",
+							ex.Index, q, got.Estimate, want.Estimate)
+					}
+					if got.Epoch != want.Epoch {
+						t.Fatalf("shard %d: reloaded epoch %d != %d", ex.Index, got.Epoch, want.Epoch)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatePersistKeepsNewestEpoch: a persist racing a newer install
+// (newer generation already current by the time the older write gets
+// the lock) must not roll the on-disk file back to the older epoch.
+func TestStatePersistKeepsNewestEpoch(t *testing.T) {
+	sc, _ := buildCatalog(t, shard.Config{Shards: 2, Buckets: 40})
+	dir := t.TempDir()
+	w := NewWorker(WorkerConfig{ID: "n0", StateDir: dir})
+	old := FromExport("t", sc.Export()[0])
+	newer := FromExport("t", sc.Export()[0])
+	newer.Epoch = old.Epoch + 1
+	w.Install(newer)
+	// Replay the loser of the race: the older generation's deferred
+	// state-dir write runs after the newer one is already current.
+	w.persist(old, nil)
+
+	restarted := NewWorker(WorkerConfig{ID: "n0", StateDir: dir})
+	if _, _, err := restarted.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.installedEpoch("t", old.Shard); got != newer.Epoch {
+		t.Fatalf("reloaded epoch %d, want %d", got, newer.Epoch)
+	}
+}
+
+// TestLoadStateSkipsCorrupt: corrupt, truncated, oversized and alien
+// files in the state directory are skipped — never fatal, never
+// installed.
+func TestLoadStateSkipsCorrupt(t *testing.T) {
+	sc, _ := buildCatalog(t, shard.Config{Shards: 2, Buckets: 40})
+	dir := t.TempDir()
+	w := NewWorker(WorkerConfig{ID: "n0", StateDir: dir})
+	for _, ex := range sc.Export() {
+		w.Install(FromExport("t", ex))
+	}
+	good := 2
+
+	// One torn/corrupt snapshot (CRC catches it), one truncated, one
+	// leftover temp file, one unrelated file, one subdirectory.
+	name0 := stateFileName("t", 0)
+	data, err := os.ReadFile(filepath.Join(dir, name0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	for name, body := range map[string][]byte{
+		"corrupt.snap":      corrupt,
+		"torn.snap":         data[:len(data)/3],
+		name0 + ".tmp-1234": data,
+		"README":            []byte("not a snapshot"),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.snap"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := NewWorker(WorkerConfig{ID: "n0", StateDir: dir})
+	loaded, skipped, err := restarted.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != good || skipped != 5 {
+		t.Fatalf("LoadState = (%d, %d), want (%d, 5)", loaded, skipped, good)
+	}
+	if got := len(restarted.Status()); got != good {
+		t.Fatalf("status lists %d snapshots, want %d", got, good)
+	}
+
+	// A tiny body cap rejects even the valid files (the fetch-side
+	// defense applies to disk too — the file may not be ours).
+	tiny := NewWorker(WorkerConfig{ID: "n0", StateDir: dir, MaxSnapshotBytes: 16})
+	loaded, _, err = tiny.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 {
+		t.Fatalf("oversized files loaded %d snapshots, want 0", loaded)
+	}
+}
+
+// TestResyncOncePullsAssigned: a worker that missed every ship (fresh
+// boot after the ANALYZE) pulls exactly its assigned shards from the
+// manifest and then serves them at the live epoch.
+func TestResyncOncePullsAssigned(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 4, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	coord, local, nodes := newResyncCluster(t, 3, 1, scfg)
+	coord.AddTable("t", d)
+
+	// Take node b off the transport during ANALYZE: its ships drop.
+	missed := nodes[1]
+	wb := local.Worker(missed)
+	local.mu.Lock()
+	delete(local.workers, missed)
+	local.mu.Unlock()
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	local.Register(missed, wb)
+
+	want := assignedShards(coord.Map("t"), missed)
+	if len(want) == 0 {
+		t.Skip("no shard assigned to the dropped node")
+	}
+	if got := len(wb.Status()); got != 0 {
+		t.Fatalf("dropped node holds %d snapshots before resync", got)
+	}
+	stats, err := wb.ResyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != len(want) || stats.Failed != 0 {
+		t.Fatalf("ResyncOnce = %+v, want %d pulls", stats, len(want))
+	}
+	st := wb.Status()
+	if len(st) != len(want) {
+		t.Fatalf("node holds %d snapshots after resync, want %d", len(st), len(want))
+	}
+	for _, s := range st {
+		if s.Epoch != coord.Epoch("t") {
+			t.Fatalf("shard %d at epoch %d, want %d", s.Shard, s.Epoch, coord.Epoch("t"))
+		}
+	}
+
+	// With every replica back in place, a scatter answers full quality.
+	res, err := coord.EstimateContext(context.Background(), "t", geom.NewRect(0, 0, 1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != shard.QualityFull || res.Partial {
+		t.Fatalf("post-resync estimate degraded: %+v", res)
+	}
+
+	// A second pass is a no-op: convergence is stable.
+	stats, err = wb.ResyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != 0 || stats.Failed != 0 {
+		t.Fatalf("second pass not idempotent: %+v", stats)
+	}
+}
+
+// TestResyncOnceUnassignedDoesNotMirror: a registered-but-unassigned
+// worker must not pull the whole cluster's snapshots; a worker holding
+// a stale epoch catches up even for shards the new map moved away.
+func TestResyncOnceUnassignedDoesNotMirror(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 3, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	coord, _, _ := newResyncCluster(t, 3, 1, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	outsider := NewWorker(WorkerConfig{ID: "z-node", Client: LocalCoordinatorClient{C: coord}})
+	stats, err := outsider.ResyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != 0 {
+		t.Fatalf("unassigned worker mirrored %d snapshots", stats.Pulled)
+	}
+
+	// But once it holds a shard — however it got it — a stale epoch is
+	// caught up regardless of assignment: holders serve exact-epoch
+	// answers during the bridge, so they should track head.
+	pub := coord.table("t").pub.Load()
+	outsider.Install(pub.snaps[0])
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = outsider.ResyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != 1 {
+		t.Fatalf("stale holder pulled %d, want 1 catch-up", stats.Pulled)
+	}
+	if got := outsider.installedEpoch("t", pub.snaps[0].Shard); got != coord.Epoch("t") {
+		t.Fatalf("holder at epoch %d, want %d", got, coord.Epoch("t"))
+	}
+}
+
+// TestEstimateGapPiggyback: an estimate request naming an epoch ahead
+// of the installed snapshot records the gap, wakes the resync kick,
+// and the next pull pass clears it.
+func TestEstimateGapPiggyback(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 3, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	coord, local, nodes := newResyncCluster(t, 2, 2, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	w := local.Worker(nodes[0])
+
+	// Miss the second ANALYZE's ships, then see a request for it.
+	local.mu.Lock()
+	delete(local.workers, nodes[0])
+	local.mu.Unlock()
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	local.Register(nodes[0], w)
+
+	head := coord.Epoch("t")
+	reply, err := w.Estimate(context.Background(), EstimateRequest{
+		Table: "t", Shard: 0, Epoch: head, Query: geom.NewRect(0, 0, 10, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Epoch != head-1 {
+		t.Fatalf("stale reply epoch %d, want %d", reply.Epoch, head-1)
+	}
+	if got := w.ExpectedEpoch("t"); got != head {
+		t.Fatalf("piggybacked expectation %d, want %d", got, head)
+	}
+	select {
+	case <-w.kick:
+	default:
+		t.Fatal("gap detection did not kick the resync loop")
+	}
+
+	if _, err := w.ResyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ExpectedEpoch("t"); got != 0 {
+		t.Fatalf("expectation %d survived a pull pass at head", got)
+	}
+	if got := w.installedEpoch("t", 0); got != head {
+		t.Fatalf("worker at epoch %d after pull, want %d", got, head)
+	}
+}
+
+// shipFilter wraps a Transport and fails Ship calls to nodes in deny.
+type shipFilter struct {
+	Transport
+	mu   sync.Mutex
+	deny map[NodeID]bool
+}
+
+func (f *shipFilter) Ship(ctx context.Context, node NodeID, snap *Snapshot) (int, error) {
+	f.mu.Lock()
+	denied := f.deny[node]
+	f.mu.Unlock()
+	if denied {
+		return 0, errors.New("shipFilter: injected ship failure")
+	}
+	return f.Transport.Ship(ctx, node, snap)
+}
+
+func (f *shipFilter) allow(node NodeID) {
+	f.mu.Lock()
+	delete(f.deny, node)
+	f.mu.Unlock()
+}
+
+// TestReconcileOnceReships: the coordinator's anti-entropy pass
+// detects a node that missed its ships, re-ships the published
+// snapshots, and drives the per-node lag gauge back to zero.
+func TestReconcileOnceReships(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 4, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	local := NewLocal()
+	nodes := []NodeID{"a-node", "b-node", "c-node"}
+	filt := &shipFilter{Transport: local, deny: map[NodeID]bool{"b-node": true}}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Nodes:     nodes,
+		Transport: filt,
+		Replicas:  1,
+		Shard:     scfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range nodes {
+		local.Register(id, NewWorker(WorkerConfig{ID: id}))
+	}
+	reg := telemetry.NewRegistry()
+	coord.EnableTelemetry(reg)
+
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	missed := assignedShards(coord.Map("t"), "b-node")
+	if len(missed) == 0 {
+		t.Skip("no shard assigned to the denied node")
+	}
+
+	// While ships still fail, the pass reports failures and a nonzero lag.
+	stats := coord.ReconcileOnce(context.Background())
+	if stats.Failures == 0 || stats.Reshipped != 0 {
+		t.Fatalf("pass under failure = %+v, want failures and no reships", stats)
+	}
+	if lag := lagGauge(reg, "b-node"); lag == 0 {
+		t.Fatal("lag gauge zero while the node is missing snapshots")
+	}
+
+	// Heal and reconcile: the gap closes in one pass.
+	filt.allow("b-node")
+	stats = coord.ReconcileOnce(context.Background())
+	if stats.Reshipped != len(missed) || stats.Failures != 0 {
+		t.Fatalf("healing pass = %+v, want %d reships", stats, len(missed))
+	}
+	if lag := lagGauge(reg, "b-node"); lag != 0 {
+		t.Fatalf("lag gauge %g after convergence, want 0", lag)
+	}
+	st := local.Worker("b-node").Status()
+	if len(st) != len(missed) {
+		t.Fatalf("node holds %d snapshots, want %d", len(st), len(missed))
+	}
+	for _, s := range st {
+		if s.Epoch != coord.Epoch("t") {
+			t.Fatalf("shard %d reshipped at epoch %d, want %d", s.Shard, s.Epoch, coord.Epoch("t"))
+		}
+	}
+
+	// Converged cluster: the next pass is a no-op.
+	stats = coord.ReconcileOnce(context.Background())
+	if stats.Reshipped != 0 || stats.Failures != 0 {
+		t.Fatalf("post-convergence pass not idempotent: %+v", stats)
+	}
+}
+
+// lagGauge reads the per-node snapshot-lag gauge from reg.
+func lagGauge(reg *telemetry.Registry, node string) float64 {
+	return reg.Gauge("cluster_snapshot_lag_epochs",
+		"Epochs a worker's installed snapshots trail the live partition map, per node (after the last anti-entropy pass).",
+		telemetry.Label{Key: "node", Value: node}).Value()
+}
+
+// TestInstallEncodedCorruptKeepsPrevious is the crash-safety half of
+// the install contract: a snapshot that fails to decode — whatever the
+// corruption — is rejected whole, and the previously installed
+// generation keeps serving byte-identical answers.
+func TestInstallEncodedCorruptKeepsPrevious(t *testing.T) {
+	sc, queries := buildCatalog(t, shard.Config{Shards: 2, Buckets: 40})
+	ex := sc.Export()[0]
+	snap := FromExport("t", ex)
+	raw, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := FromExport("t", ex)
+	next.Epoch = ex.Epoch + 1
+	nextRaw, err := next.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		sentinel error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrSnapshotCorrupt},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}, ErrSnapshotMagic},
+		{"flipped payload bit", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[24] ^= 0x08
+			return c
+		}, ErrSnapshotChecksum},
+		{"flipped checksum byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xFF
+			return c
+		}, ErrSnapshotChecksum},
+		{"truncated mid-body", func(b []byte) []byte { return b[:2*len(b)/3] }, ErrSnapshotChecksum},
+		{"future version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[9] = 0x63
+			refreshChecksum(c)
+			return c
+		}, ErrSnapshotVersion},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w := NewWorker(WorkerConfig{ID: "n0", StateDir: dir})
+			if err := w.InstallEncoded(raw); err != nil {
+				t.Fatal(err)
+			}
+			req := EstimateRequest{Table: "t", Shard: ex.Index, Epoch: ex.Epoch}
+			before := make([]float64, len(queries))
+			for i, q := range queries {
+				req.Query = q
+				reply, err := w.Estimate(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before[i] = reply.Estimate
+			}
+
+			// The corrupted next-epoch ship must fail with the exact codec
+			// sentinel and change nothing.
+			err := w.InstallEncoded(c.mutate(nextRaw))
+			if err == nil {
+				t.Fatal("corrupt install must error")
+			}
+			if !errors.Is(err, c.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, c.sentinel)
+			}
+			if got := w.installedEpoch("t", ex.Index); got != ex.Epoch {
+				t.Fatalf("installed epoch %d after rejected install, want %d", got, ex.Epoch)
+			}
+			for i, q := range queries {
+				req.Query = q
+				reply, err := w.Estimate(context.Background(), req)
+				if err != nil {
+					t.Fatalf("estimate after rejected install: %v", err)
+				}
+				if math.Float64bits(reply.Estimate) != math.Float64bits(before[i]) {
+					t.Fatalf("query %v: estimate drifted %g != %g after rejected install",
+						q, reply.Estimate, before[i])
+				}
+				if reply.Epoch != ex.Epoch {
+					t.Fatalf("query %v served epoch %d, want %d", q, reply.Epoch, ex.Epoch)
+				}
+			}
+			// And nothing corrupt was persisted.
+			ents, err2 := os.ReadDir(dir)
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			if len(ents) != 1 {
+				t.Fatalf("state dir holds %d files, want only the good snapshot", len(ents))
+			}
+		})
+	}
+}
+
+// TestSnapshotUploadBodyLimit: the worker's snapshot endpoint cuts an
+// oversized upload off at MaxSnapshotBytes with a structured 413.
+func TestSnapshotUploadBodyLimit(t *testing.T) {
+	w := NewWorker(WorkerConfig{ID: "n0", MaxSnapshotBytes: 64})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/cluster/snapshot",
+		bytes.NewReader(make([]byte, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var we workerError
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+		t.Fatalf("413 body not structured JSON: %v", err)
+	}
+	if we.Code != http.StatusRequestEntityTooLarge || !strings.Contains(we.Error, "64 byte limit") {
+		t.Fatalf("413 body %+v, want the limit named", we)
+	}
+	if got := len(w.Status()); got != 0 {
+		t.Fatalf("oversized upload installed %d snapshots", got)
+	}
+
+	// A well-formed snapshot within the limit of a default worker still
+	// installs — the bound is about size, not format.
+	sc, _ := buildCatalog(t, shard.Config{Shards: 2, Buckets: 40})
+	data, err := FromExport("t", sc.Export()[0]).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWorker(WorkerConfig{ID: "n1"})
+	srv2 := httptest.NewServer(w2.Handler())
+	defer srv2.Close()
+	resp2, err := http.Post(srv2.URL+"/cluster/snapshot", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid upload status %d, want 204", resp2.StatusCode)
+	}
+	if got := len(w2.Status()); got != 1 {
+		t.Fatalf("valid upload installed %d snapshots, want 1", got)
+	}
+}
+
+// TestHTTPPullProtocol runs the whole pull path over real HTTP: the
+// coordinator's manifest/fetch handler on one side, an
+// HTTPCoordinatorClient-equipped worker on the other.
+func TestHTTPPullProtocol(t *testing.T) {
+	d := synthetic.Charminar(1500, 1000, 10, 9)
+	scfg := shard.Config{Shards: 3, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	coord, _, nodes := newResyncCluster(t, 1, 1, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	client := &HTTPCoordinatorClient{Addr: srv.Listener.Addr().String()}
+
+	m, err := client.Manifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tables) != 1 || m.Tables[0].Table != "t" || m.Tables[0].Epoch != coord.Epoch("t") {
+		t.Fatalf("HTTP manifest %+v does not match the coordinator", m)
+	}
+	if len(m.Tables[0].Shards) != scfg.Shards {
+		t.Fatalf("manifest lists %d shards, want %d", len(m.Tables[0].Shards), scfg.Shards)
+	}
+
+	// A restarted replica of the only node, pulling over HTTP, converges
+	// to the full assignment.
+	w := NewWorker(WorkerConfig{
+		ID:     nodes[0],
+		Client: client,
+		Retry:  resilience.RetryConfig{Disable: true},
+	})
+	stats, err := w.ResyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pulled != scfg.Shards || stats.Failed != 0 {
+		t.Fatalf("HTTP resync = %+v, want %d pulls", stats, scfg.Shards)
+	}
+	for _, s := range w.Status() {
+		if s.Epoch != coord.Epoch("t") {
+			t.Fatalf("shard %d pulled at epoch %d, want %d", s.Shard, s.Epoch, coord.Epoch("t"))
+		}
+	}
+
+	// Structured errors surface through the client.
+	if _, err := client.Fetch(context.Background(), "absent", 0); err == nil ||
+		!strings.Contains(err.Error(), "absent") {
+		t.Fatalf("fetch of unknown table = %v, want a named error", err)
+	}
+}
+
+// TestHTTPTransportStatus: the reconciler's status probe round-trips a
+// worker's inventory over real HTTP.
+func TestHTTPTransportStatus(t *testing.T) {
+	sc, _ := buildCatalog(t, shard.Config{Shards: 3, Buckets: 40})
+	w := NewWorker(WorkerConfig{ID: "w0"})
+	for _, ex := range sc.Export() {
+		w.Install(FromExport("t", ex))
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	tr := &HTTPTransport{}
+	st, err := tr.Status(context.Background(), NodeID(srv.Listener.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "w0" {
+		t.Fatalf("status node %q, want w0", st.Node)
+	}
+	want := w.Status()
+	if len(st.Snapshots) != len(want) {
+		t.Fatalf("status lists %d snapshots, want %d", len(st.Snapshots), len(want))
+	}
+	for i := range want {
+		if st.Snapshots[i] != want[i] {
+			t.Fatalf("snapshot %d: %+v != %+v", i, st.Snapshots[i], want[i])
+		}
+	}
+}
+
+// TestEstimateConsistencyDuringResync is the mid-reshard race check
+// extended with an active resync: while maps swap and a lagging node
+// is concurrently healed by pull and anti-entropy passes, estimates
+// never mix epochs and full-quality answers stay bit-identical to the
+// reference. Run under -race.
+func TestEstimateConsistencyDuringResync(t *testing.T) {
+	d := synthetic.Charminar(1200, 1000, 10, 31)
+	scfg := shard.Config{Shards: 4, Buckets: 60, Resilience: resilience.Config{Disable: true}}
+	ref := shard.New(scfg)
+	if err := ref.Analyze(d); err != nil {
+		t.Fatal(err)
+	}
+	coord, local, nodes := newResyncCluster(t, 3, 2, scfg)
+	coord.AddTable("t", d)
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	// Node b misses the second ANALYZE entirely — the healing work below
+	// has real gaps to close while estimates fly.
+	lagging := local.Worker(nodes[1])
+	local.mu.Lock()
+	delete(local.workers, nodes[1])
+	local.mu.Unlock()
+	if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+		t.Fatal(err)
+	}
+	local.Register(nodes[1], lagging)
+
+	queries, err := workload.Generate(d, workload.Config{Count: 40, QSize: 0.15, Seed: 11, Clamp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const swaps = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(g*13+i)%len(queries)]
+				res, err := coord.EstimateContext(context.Background(), "t", q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Epoch < 1 || res.Epoch > swaps+2 {
+					errs <- errTornEpoch(res.Epoch)
+					return
+				}
+				if res.Quality == shard.QualityFull {
+					want, err := ref.EstimateContext(context.Background(), q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if math.Float64bits(res.Estimate) != math.Float64bits(want.Estimate) {
+						errs <- errMixedEstimate{got: res.Estimate, want: want.Estimate}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// The healing goroutine: pull and anti-entropy passes racing the
+	// estimators and the map swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := lagging.ResyncOnce(context.Background()); err != nil {
+				errs <- err
+				return
+			}
+			coord.ReconcileOnce(context.Background())
+		}
+	}()
+	for i := 0; i < swaps; i++ {
+		if err := coord.AnalyzeContext(context.Background(), "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After one final quiesced pass, the lagging node is fully converged.
+	if _, err := lagging.ResyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	head := coord.Epoch("t")
+	if head != swaps+2 {
+		t.Fatalf("final epoch = %d, want %d", head, swaps+2)
+	}
+	for _, idx := range assignedShards(coord.Map("t"), nodes[1]) {
+		if got := lagging.installedEpoch("t", idx); got != head {
+			t.Fatalf("lagging node shard %d at epoch %d after heal, want %d", idx, got, head)
+		}
+	}
+}

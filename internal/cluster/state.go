@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Durable worker state: each installed snapshot's SPSNAP1 encoding is
+// kept at <StateDir>/<escape(table)>__<shard>.snap. The wire format
+// already carries a CRC over the body, so a reload validates integrity
+// for free, and writes go through a temp file + rename so a crash
+// mid-write can never leave a torn current file. Only the current
+// generation is persisted — the previous generation exists to bridge a
+// live reshard, which a restart by definition is not in the middle of.
+
+// stateFileName maps a snapshot identity to its file name. Table names
+// are path-escaped so separators and dots cannot escape the state dir;
+// the file itself records the identity, so names are never parsed.
+func stateFileName(table string, shard int) string {
+	return fmt.Sprintf("%s__%d.snap", url.PathEscape(table), shard)
+}
+
+// persist writes snap's encoding to the state directory. encoded may
+// be nil (Install from a decoded snapshot), in which case it is
+// re-encoded here. Failures never fail the install — the in-memory
+// swap already happened — they latch into PersistErr and are counted.
+func (w *Worker) persist(snap *Snapshot, encoded []byte) {
+	w.persistMu.Lock()
+	defer w.persistMu.Unlock()
+	// A newer generation may have been installed (and persisted) while
+	// this one waited for the lock; writing would roll the file back.
+	if cur := w.installedEpoch(snap.Table, snap.Shard); cur > snap.Epoch {
+		return
+	}
+	var err error
+	if encoded == nil {
+		encoded, err = snap.Encode()
+		if err != nil {
+			w.persistErr = fmt.Errorf("cluster: persist %s/%d: %w", snap.Table, snap.Shard, err)
+			return
+		}
+	}
+	if err := atomicWrite(w.cfg.StateDir, stateFileName(snap.Table, snap.Shard), encoded, !w.cfg.StateNoSync); err != nil {
+		w.persistErr = fmt.Errorf("cluster: persist %s/%d: %w", snap.Table, snap.Shard, err)
+		return
+	}
+	w.persists.Inc()
+}
+
+// atomicWrite lands data at dir/name via a same-directory temp file
+// and rename, so readers only ever see a complete file. sync controls
+// the pre-rename fsync (see WorkerConfig.StateNoSync).
+func atomicWrite(dir, name string, data []byte, sync bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()        //spatialvet:ignore errdrop already failing; write error wins
+		_ = os.Remove(tmpName) //spatialvet:ignore errdrop best-effort temp cleanup
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			_ = tmp.Close()        //spatialvet:ignore errdrop already failing; sync error wins
+			_ = os.Remove(tmpName) //spatialvet:ignore errdrop best-effort temp cleanup
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName) //spatialvet:ignore errdrop best-effort temp cleanup
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmpName) //spatialvet:ignore errdrop best-effort temp cleanup
+		return err
+	}
+	return nil
+}
+
+// PersistErr returns the latched state-dir write error, if any. The
+// worker keeps serving from memory regardless; operators surface this
+// to know durability is degraded.
+func (w *Worker) PersistErr() error {
+	w.persistMu.Lock()
+	defer w.persistMu.Unlock()
+	return w.persistErr
+}
+
+// LoadState reloads every persisted snapshot from the state directory
+// into memory, so a restarted worker serves immediately — possibly a
+// stale epoch, which pull resync then catches up to head. Corrupt or
+// truncated files (the codec's CRC catches both) and leftover temp
+// files are skipped, not fatal: a worker with partial state is
+// strictly better than one with none. Returns how many snapshots were
+// loaded and how many files were skipped.
+func (w *Worker) LoadState() (loaded, skipped int, err error) {
+	if w.cfg.StateDir == "" {
+		return 0, 0, fmt.Errorf("cluster: worker %s has no state directory", w.cfg.ID)
+	}
+	entries, err := os.ReadDir(w.cfg.StateDir)
+	if os.IsNotExist(err) {
+		return 0, 0, nil // first boot: nothing persisted yet
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: load state: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".snap") {
+			skipped++
+			continue
+		}
+		data, rerr := os.ReadFile(filepath.Join(w.cfg.StateDir, ent.Name()))
+		if rerr != nil || int64(len(data)) > w.cfg.MaxSnapshotBytes {
+			skipped++
+			continue
+		}
+		snap, derr := Decode(data)
+		if derr != nil {
+			skipped++
+			continue
+		}
+		w.installMem(snap)
+		loaded++
+	}
+	return loaded, skipped, nil
+}

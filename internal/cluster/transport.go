@@ -17,10 +17,13 @@ import (
 // Transport delivers coordinator→worker calls. Two implementations:
 // HTTP for real deployments, Local for in-process clusters (tests and
 // the fault simulation harness). Ship returns the encoded snapshot
-// size in bytes, feeding the shipping telemetry.
+// size in bytes, feeding the shipping telemetry. Status reads a
+// worker's installed-snapshot inventory — the anti-entropy
+// reconciler's input.
 type Transport interface {
 	Estimate(ctx context.Context, node NodeID, req EstimateRequest) (EstimateReply, error)
 	Ship(ctx context.Context, node NodeID, snap *Snapshot) (int, error)
+	Status(ctx context.Context, node NodeID) (NodeStatus, error)
 }
 
 // Local is an in-process transport: a registry of workers addressed
@@ -81,6 +84,19 @@ func (l *Local) Ship(ctx context.Context, node NodeID, snap *Snapshot) (int, err
 		return 0, err
 	}
 	return len(data), nil
+}
+
+// Status implements Transport by reading the worker's inventory
+// directly.
+func (l *Local) Status(ctx context.Context, node NodeID) (NodeStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return NodeStatus{}, err
+	}
+	w := l.Worker(node)
+	if w == nil {
+		return NodeStatus{}, fmt.Errorf("%w: %s", ErrUnreachable, node)
+	}
+	return NodeStatus{Node: w.ID(), Snapshots: w.Status()}, nil
 }
 
 // HTTPTransport reaches workers over HTTP; NodeID is the worker's
@@ -146,6 +162,32 @@ func (t *HTTPTransport) Estimate(ctx context.Context, node NodeID, req EstimateR
 		return EstimateReply{}, fmt.Errorf("cluster: node %s: decode reply: %v", node, err)
 	}
 	return reply, nil
+}
+
+// Status implements Transport over GET /cluster/status.
+func (t *HTTPTransport) Status(ctx context.Context, node NodeID) (NodeStatus, error) {
+	u := fmt.Sprintf("%s://%s/cluster/status", t.scheme(), node)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return NodeStatus{}, fmt.Errorf("cluster: build request: %w", err)
+	}
+	resp, err := t.client().Do(hr)
+	if err != nil {
+		return NodeStatus{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, node, err)
+	}
+	defer resp.Body.Close() //spatialvet:ignore errdrop response body close on read path
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return NodeStatus{}, fmt.Errorf("%w: %s: read reply: %v", ErrUnreachable, node, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return NodeStatus{}, fmt.Errorf("cluster: node %s: HTTP %d", node, resp.StatusCode)
+	}
+	var st NodeStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return NodeStatus{}, fmt.Errorf("cluster: node %s: decode status: %v", node, err)
+	}
+	return st, nil
 }
 
 // Ship implements Transport over PUT /cluster/snapshot.

@@ -13,8 +13,10 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/reqtrace"
+	"repro/internal/resilience"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/vclock"
 )
 
 // EstimateRequest is one shard call from the coordinator to a worker.
@@ -39,11 +41,35 @@ type EstimateReply struct {
 
 // WorkerConfig configures a worker node.
 type WorkerConfig struct {
-	// ID names the node in replies and status output.
+	// ID names the node in replies and status output. For pull resync
+	// it must match the name the coordinator's partition map routes to
+	// this worker, so the worker can recognize its own assignments in
+	// the manifest.
 	ID NodeID
 	// Tracer, when non-nil, records a trace per served HTTP estimate,
 	// joined to the coordinator's request via the propagation headers.
 	Tracer *reqtrace.Tracer
+	// StateDir, when non-empty, persists every installed snapshot
+	// (atomic write of the checksummed SPSNAP1 encoding) so a restarted
+	// worker can serve immediately via LoadState.
+	StateDir string
+	// Client, when non-nil, is the coordinator the worker pulls missing
+	// snapshots from (see ResyncOnce).
+	Client CoordinatorClient
+	// Clock times resync backoff and loop intervals. Default real time.
+	Clock vclock.Clock
+	// Retry tunes the fetch retry policy: deadline-budgeted attempts
+	// with decorrelated-jitter backoff. The zero value takes the
+	// resilience defaults; Retry.Disable makes each pull single-shot.
+	Retry resilience.RetryConfig
+	// MaxSnapshotBytes bounds one uploaded or fetched snapshot body.
+	// Default 64 MiB.
+	MaxSnapshotBytes int64
+	// StateNoSync skips the fsync in state-dir writes, trading crash
+	// durability of the very last write for predictable latency. The
+	// deterministic harness sets it because its clock driver races real
+	// I/O stalls; production workers should leave it off.
+	StateNoSync bool
 }
 
 // Worker serves per-shard estimates from installed snapshots. All
@@ -52,16 +78,33 @@ type WorkerConfig struct {
 // coordinator's old map during a reshard still get exact-epoch
 // answers.
 type Worker struct {
-	cfg WorkerConfig
+	cfg     WorkerConfig
+	clk     vclock.Clock
+	retrier *resilience.Retrier
 
 	mu    sync.RWMutex
 	snaps map[snapKey]*snapEntry
+	// expected tracks the highest epoch estimate requests have named
+	// per table — evidence of a gap when it exceeds what is installed.
+	expected map[string]uint64
+
+	// persistMu serializes state-dir writes so concurrent installs for
+	// the same shard can never leave an older generation on disk.
+	persistMu  sync.Mutex
+	persistErr error // guarded by persistMu; latched, surfaced by PersistErr
+
+	// kick wakes the resync loop early when a gap is detected;
+	// buffered so gap detection never blocks an estimate.
+	kick chan struct{}
 
 	// Telemetry (nil-safe before EnableTelemetry).
 	installs     *telemetry.Counter
 	installBytes *telemetry.Histogram
 	estimates    *telemetry.Counter
 	staleServes  *telemetry.Counter
+	pulls        *telemetry.Counter
+	resyncFails  *telemetry.Counter
+	persists     *telemetry.Counter
 }
 
 type snapKey struct {
@@ -75,9 +118,26 @@ type snapEntry struct {
 	cur, prev *Snapshot
 }
 
-// NewWorker returns an empty worker; feed it snapshots with Install.
+// NewWorker returns an empty worker; feed it snapshots with Install,
+// LoadState, or pull resync.
 func NewWorker(cfg WorkerConfig) *Worker {
-	return &Worker{cfg: cfg, snaps: make(map[snapKey]*snapEntry)}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real()
+	}
+	if cfg.MaxSnapshotBytes <= 0 {
+		cfg.MaxSnapshotBytes = defaultMaxSnapshotBody
+	}
+	w := &Worker{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		snaps:    make(map[snapKey]*snapEntry),
+		expected: make(map[string]uint64),
+		kick:     make(chan struct{}, 1),
+	}
+	if cfg.Client != nil && !cfg.Retry.Disable {
+		w.retrier = resilience.NewRetrier(cfg.Retry, w.clk, nil)
+	}
+	return w
 }
 
 // ID returns the worker's node ID.
@@ -101,12 +161,28 @@ func (w *Worker) EnableTelemetry(reg *telemetry.Registry) {
 		"Shard estimate calls served from installed snapshots.")
 	w.staleServes = reg.Counter("cluster_worker_stale_serves_total",
 		"Shard calls answered from a snapshot epoch other than the requested one.")
+	w.pulls = reg.Counter("cluster_resync_pulls_total",
+		"Missing or stale snapshots this worker pulled from the coordinator.")
+	w.resyncFails = reg.Counter("cluster_resync_failures_total",
+		"Failed resync operations (status probes, re-ships, pulls).")
+	w.persists = reg.Counter("cluster_state_persists_total",
+		"Installed snapshots persisted to the worker's state directory.")
 }
 
 // Install atomically makes snap the current snapshot for its
 // (table, shard), demoting the previously current one to the held
-// previous generation.
+// previous generation, and persists it when a state directory is
+// configured.
 func (w *Worker) Install(snap *Snapshot) {
+	w.installMem(snap)
+	if w.cfg.StateDir != "" {
+		w.persist(snap, nil)
+	}
+}
+
+// installMem is Install without the state-dir write — the memory-only
+// path LoadState uses so reloading does not rewrite identical files.
+func (w *Worker) installMem(snap *Snapshot) {
 	key := snapKey{table: snap.Table, shard: snap.Shard}
 	w.mu.Lock()
 	e := w.snaps[key]
@@ -123,14 +199,19 @@ func (w *Worker) Install(snap *Snapshot) {
 }
 
 // InstallEncoded decodes and installs a shipped snapshot, observing
-// its wire size.
+// its wire size. A snapshot that fails to decode — bad magic, wrong
+// version, checksum mismatch, truncation — is rejected whole: the
+// previously installed generations stay live and untouched.
 func (w *Worker) InstallEncoded(data []byte) error {
 	snap, err := Decode(data)
 	if err != nil {
 		return err
 	}
 	w.installBytes.Observe(float64(len(data)))
-	w.Install(snap)
+	w.installMem(snap)
+	if w.cfg.StateDir != "" {
+		w.persist(snap, data)
+	}
 	return nil
 }
 
@@ -139,19 +220,25 @@ func (w *Worker) InstallEncoded(data []byte) error {
 // current — the reply's epoch exposes the mismatch to the
 // coordinator.
 func (w *Worker) lookup(req EstimateRequest) (*Snapshot, error) {
+	// Copy the generation pointers while holding the lock: a concurrent
+	// install mutates the entry in place, and snapshots themselves are
+	// immutable once installed.
+	var cur, prev *Snapshot
 	w.mu.RLock()
-	e := w.snaps[snapKey{table: req.Table, shard: req.Shard}]
+	if e := w.snaps[snapKey{table: req.Table, shard: req.Shard}]; e != nil {
+		cur, prev = e.cur, e.prev
+	}
 	w.mu.RUnlock()
-	if e == nil || e.cur == nil {
+	if cur == nil {
 		return nil, fmt.Errorf("%w: %s/%d on node %s", ErrNoSnapshot, req.Table, req.Shard, w.cfg.ID)
 	}
-	if e.cur.Epoch == req.Epoch {
-		return e.cur, nil
+	if cur.Epoch == req.Epoch {
+		return cur, nil
 	}
-	if e.prev != nil && e.prev.Epoch == req.Epoch {
-		return e.prev, nil
+	if prev != nil && prev.Epoch == req.Epoch {
+		return prev, nil
 	}
-	return e.cur, nil
+	return cur, nil
 }
 
 // Estimate answers one shard call from the worker's snapshots. The
@@ -176,6 +263,12 @@ func (w *Worker) Estimate(ctx context.Context, req EstimateRequest) (EstimateRep
 	w.estimates.Inc()
 	if snap.Epoch != req.Epoch {
 		w.staleServes.Inc()
+	}
+	if snap.Epoch < req.Epoch {
+		// The coordinator's map is ahead of what we hold: record the
+		// gap and wake the resync loop — the piggybacked half of gap
+		// detection (the manifest is the other half).
+		w.noteGap(req.Table, req.Epoch)
 	}
 	return EstimateReply{Estimate: est, Epoch: snap.Epoch, Node: w.cfg.ID}, nil
 }
@@ -216,8 +309,9 @@ func (w *Worker) Status() []SnapshotStatus {
 	return out
 }
 
-// maxSnapshotBody bounds an uploaded snapshot.
-const maxSnapshotBody = 64 << 20
+// defaultMaxSnapshotBody bounds an uploaded or fetched snapshot when
+// WorkerConfig.MaxSnapshotBytes is unset.
+const defaultMaxSnapshotBody = 64 << 20
 
 // workerError is the JSON error body of the worker endpoints.
 type workerError struct {
@@ -250,15 +344,19 @@ func (w *Worker) handleSnapshot(rw http.ResponseWriter, r *http.Request) {
 			workerError{Error: "PUT required", Code: http.StatusMethodNotAllowed})
 		return
 	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody+1))
+	// MaxBytesReader cuts the connection off at the limit — a huge or
+	// malicious ship can never balloon this worker's memory.
+	data, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, w.cfg.MaxSnapshotBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeWorkerJSON(rw, http.StatusRequestEntityTooLarge,
+				workerError{Error: fmt.Sprintf("snapshot exceeds %d byte limit", mbe.Limit),
+					Code: http.StatusRequestEntityTooLarge})
+			return
+		}
 		writeWorkerJSON(rw, http.StatusBadRequest,
 			workerError{Error: fmt.Sprintf("read body: %v", err), Code: http.StatusBadRequest})
-		return
-	}
-	if len(data) > maxSnapshotBody {
-		writeWorkerJSON(rw, http.StatusRequestEntityTooLarge,
-			workerError{Error: "snapshot too large", Code: http.StatusRequestEntityTooLarge})
 		return
 	}
 	if err := w.InstallEncoded(data); err != nil {
@@ -304,10 +402,7 @@ func (w *Worker) handleEstimate(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
-	writeWorkerJSON(rw, http.StatusOK, struct {
-		Node      NodeID           `json:"node"`
-		Snapshots []SnapshotStatus `json:"snapshots"`
-	}{Node: w.cfg.ID, Snapshots: w.Status()})
+	writeWorkerJSON(rw, http.StatusOK, NodeStatus{Node: w.cfg.ID, Snapshots: w.Status()})
 }
 
 // parseEstimateParams reads a shard call from URL query parameters:

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/shard"
 	"repro/internal/vclock"
 )
 
@@ -58,6 +62,33 @@ type ClusterSpec struct {
 	Replicas int `json:"replicas,omitempty"`
 	// Net is the network fault schedule.
 	Net NetFaults `json:"net"`
+	// Resync selects the self-healing passes the runner drives
+	// synchronously when injection is disabled at the FaultRounds
+	// boundary: "reconcile" (coordinator anti-entropy re-ships),
+	// "pull" (worker manifest-driven pulls), or "both". Empty runs no
+	// resync — the PR-8 behavior. The passes run synchronously rather
+	// than as background loops so same-seed runs stay byte-identical
+	// (a loop's timers race the clock driver; see resilienceNoHedge).
+	// Scenarios with Resync set are additionally checked against the
+	// converges-to-head-epoch invariant.
+	Resync string `json:"resync,omitempty"`
+	// StateDirs gives every worker a run-scoped temp state directory,
+	// so installs persist and a crash-restarted worker reloads them.
+	StateDirs bool `json:"state_dirs,omitempty"`
+	// Crash, when set, tears one worker down after the given round and
+	// restarts it immediately as a fresh Worker under the same NodeID
+	// (reloading its state dir when StateDirs is on) — the
+	// crash-restart model.
+	Crash *CrashSpec `json:"crash,omitempty"`
+}
+
+// CrashSpec schedules one worker crash-restart.
+type CrashSpec struct {
+	// Node indexes the cluster's node list.
+	Node int `json:"node"`
+	// AfterRound crashes the worker after this round completes
+	// (0-based). The restart happens before the next round's traffic.
+	AfterRound int `json:"after_round"`
 }
 
 func (cs ClusterSpec) withDefaults() ClusterSpec {
@@ -167,14 +198,28 @@ func (nt *netTransport) Estimate(ctx context.Context, node cluster.NodeID, req c
 		nt.roll(siteNetLatency, key...) < nt.nf.LatencyProb {
 		nt.Delays.Add(1)
 		// The network does not watch the caller's deadline, but waking
-		// on ctx drains simulated goroutines promptly; the inner call
-		// then runs against the already-dead context.
+		// on ctx drains simulated goroutines promptly. A call whose
+		// context died mid-delay never reaches the worker: the caller
+		// has abandoned it, and letting it run late would stamp
+		// worker-side spans at a schedule-dependent virtual time.
 		select {
 		case <-nt.clk.After(nt.nf.Latency):
 		case <-ctx.Done():
+			return cluster.EstimateReply{}, ctx.Err()
 		}
 	}
 	return nt.inner.Estimate(ctx, node, req)
+}
+
+// Status implements cluster.Transport: a partitioned node's inventory
+// is unreadable, so the anti-entropy reconciler sees it as unreachable
+// until the heal — it cannot re-ship through a partition.
+func (nt *netTransport) Status(ctx context.Context, node cluster.NodeID) (cluster.NodeStatus, error) {
+	if !nt.disabled.Load() && nt.partitioned[node] {
+		nt.PartitionRefusals.Add(1)
+		return cluster.NodeStatus{}, fmt.Errorf("%w: node %s partitioned", ErrInjectedNet, node)
+	}
+	return nt.inner.Status(ctx, node)
 }
 
 // Ship implements cluster.Transport: partitioned and ship-drop nodes
@@ -199,16 +244,37 @@ func (nt *netTransport) Ship(ctx context.Context, node cluster.NodeID, snap *clu
 // live snapshot so the post-heal recovery invariant is meaningful.
 func (st *runState) setupCluster() error {
 	cs := st.sc.Cluster.withDefaults()
-	local := cluster.NewLocal()
+	if cs.StateDirs {
+		root, err := os.MkdirTemp("", "faultsim-state-")
+		if err != nil {
+			return fmt.Errorf("faultsim: state root: %w", err)
+		}
+		st.stateRoot = root
+	}
+	st.local = cluster.NewLocal()
 	nodes := make([]cluster.NodeID, cs.Nodes)
 	for i := range nodes {
 		nodes[i] = cluster.NodeID(fmt.Sprintf("node-%d", i))
-		w := cluster.NewWorker(cluster.WorkerConfig{ID: nodes[i]})
+		cfg := cluster.WorkerConfig{
+			ID:     nodes[i],
+			Clock:  st.sim,
+			Client: coordClient{st: st},
+		}
+		if cs.StateDirs {
+			cfg.StateDir = filepath.Join(st.stateRoot, string(nodes[i]))
+			// No fsync under the virtual clock: the driver pumps virtual
+			// time whenever the run stalls in real time with a timer armed
+			// (e.g. the analyze timeout during ships), so a multi-ms disk
+			// sync would make sim-time totals depend on disk latency.
+			cfg.StateNoSync = true
+		}
+		w := cluster.NewWorker(cfg)
 		w.EnableTelemetry(st.reg)
-		local.Register(nodes[i], w)
+		st.local.Register(nodes[i], w)
 		st.workers = append(st.workers, w)
+		st.workerCfgs = append(st.workerCfgs, cfg)
 	}
-	st.net = newNetTransport(local, st.sim, st.seed, cs.Net, nodes)
+	st.net = newNetTransport(st.local, st.sim, st.seed, cs.Net, nodes)
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Nodes:     nodes,
 		Transport: st.net,
@@ -228,6 +294,167 @@ func (st *runState) setupCluster() error {
 	st.coord = coord
 	st.backend = coord
 	return nil
+}
+
+// coordClient lets workers pull from the run's coordinator, resolved
+// at call time — workers are built before the coordinator exists.
+type coordClient struct{ st *runState }
+
+// Manifest implements cluster.CoordinatorClient.
+func (c coordClient) Manifest(ctx context.Context) (cluster.Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return cluster.Manifest{}, err
+	}
+	return c.st.coord.Manifest(), nil
+}
+
+// Fetch implements cluster.CoordinatorClient.
+func (c coordClient) Fetch(ctx context.Context, table string, shard int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.st.coord.FetchEncoded(table, shard)
+}
+
+// crashRestart models a worker process crash and immediate restart: a
+// fresh Worker replaces the old instance under the same NodeID and, if
+// durable state is on, reloads its state dir. The restarted worker
+// must be able to serve immediately from persisted snapshots — before
+// any pull completes — which is asserted here with a direct probe.
+func (st *runState) crashRestart(idx int) {
+	if idx < 0 || idx >= len(st.workers) {
+		return
+	}
+	cfg := st.workerCfgs[idx]
+	w := cluster.NewWorker(cfg)
+	w.EnableTelemetry(st.reg)
+	if cfg.StateDir != "" {
+		loaded, _, err := w.LoadState()
+		if err != nil {
+			st.violate(InvConvergesToHead, "restart %s: load state: %v", cfg.ID, err)
+		}
+		if loaded == 0 {
+			st.violate(InvConvergesToHead,
+				"restarted worker %s reloaded no persisted snapshots — it cannot serve until a pull completes", cfg.ID)
+		} else {
+			// Serve-immediately probe: the first held snapshot must answer
+			// at its persisted epoch with no network involved.
+			s := w.Status()[0]
+			reply, err := w.Estimate(context.Background(), cluster.EstimateRequest{
+				Table: s.Table, Shard: s.Shard, Epoch: s.Epoch, Query: st.queries[0],
+			})
+			if err != nil {
+				st.violate(InvConvergesToHead, "restarted worker %s probe: %v", cfg.ID, err)
+			} else if reply.Epoch != s.Epoch {
+				st.violate(InvConvergesToHead,
+					"restarted worker %s probe served epoch %d, persisted %d", cfg.ID, reply.Epoch, s.Epoch)
+			}
+		}
+	}
+	st.local.Register(cfg.ID, w)
+	st.workers[idx] = w
+}
+
+// resyncCluster drives the scenario's self-healing passes
+// synchronously (see ClusterSpec.Resync for why not background
+// loops). Mode "reconcile" exercises the coordinator's anti-entropy
+// re-ships alone, "pull" the workers' manifest-driven catch-up alone,
+// "both" the full convergent protocol.
+func (st *runState) resyncCluster() {
+	if st.coord == nil || st.sc.Cluster == nil {
+		return
+	}
+	mode := st.sc.Cluster.Resync
+	ctx := context.Background()
+	if mode == "reconcile" || mode == "both" {
+		st.coord.ReconcileOnce(ctx)
+	}
+	if mode == "pull" || mode == "both" {
+		for _, w := range st.workers {
+			if _, err := w.ResyncOnce(ctx); err != nil {
+				st.violate(InvConvergesToHead, "worker %s pull resync: %v", w.ID(), err)
+			}
+		}
+	}
+}
+
+// checkClusterConvergence is the converges-to-head-epoch invariant,
+// checked for cluster scenarios that enable resync: after the heal and
+// resync passes, (a) every replica named by the final partition map
+// must hold its shard at the head epoch (worker-status-derived), and
+// (b) every final-round non-cached response must be full quality at
+// the head epoch, with its scatter span stamped accordingly
+// (span-tree-derived) — healing that does not reach served traffic is
+// no healing at all.
+func (st *runState) checkClusterConvergence() {
+	if st.coord == nil || st.sc.Cluster == nil || st.sc.Cluster.Resync == "" ||
+		st.disabled[InvConvergesToHead] {
+		return
+	}
+	head := st.coord.Epoch(simTable)
+	pm := st.coord.Map(simTable)
+	if pm == nil {
+		st.violate(InvConvergesToHead, "no partition map published")
+		return
+	}
+	byID := make(map[cluster.NodeID]*cluster.Worker, len(st.workers))
+	for _, w := range st.workers {
+		byID[w.ID()] = w
+	}
+	for i := range pm.Shards {
+		route := &pm.Shards[i]
+		for _, node := range route.Nodes {
+			w := byID[node]
+			if w == nil {
+				st.violate(InvConvergesToHead, "map routes shard %d to unknown node %s", route.Index, node)
+				continue
+			}
+			got := uint64(0)
+			for _, s := range w.Status() {
+				if s.Table == simTable && s.Shard == route.Index {
+					got = s.Epoch
+					break
+				}
+			}
+			if got != head {
+				st.violate(InvConvergesToHead,
+					"node %s holds %s/%d at epoch %d, head is %d — resync did not converge",
+					node, simTable, route.Index, got, head)
+			}
+		}
+	}
+	// Span-derived half: the last round runs post-heal when FaultRounds
+	// bounds the storm; its traffic must be served from the head epoch
+	// at full quality.
+	if st.sc.FaultRounds <= 0 || st.sc.Rounds <= st.sc.FaultRounds {
+		return
+	}
+	lastSuffix := fmt.Sprintf("-r%d", st.sc.Rounds-1)
+	wantEpoch := fmt.Sprintf("%d", head)
+	for _, tr := range st.tracer.Recent() {
+		id := tr.RequestID()
+		if !strings.HasSuffix(id, lastSuffix) {
+			continue
+		}
+		o := tr.Outcome()
+		if o.Err != "" {
+			st.violate(InvConvergesToHead, "trace %s: post-heal request errored: %s", id, o.Err)
+			continue
+		}
+		scatters := tr.Root().Find("cluster.scatter")
+		if len(scatters) == 0 {
+			continue // cache hit or shared-flight follower
+		}
+		scat := scatters[len(scatters)-1]
+		if epochAttr, ok := scat.Attr("epoch"); !ok || epochAttr != wantEpoch {
+			st.violate(InvConvergesToHead,
+				"trace %s: post-heal scatter ran under epoch %s, head is %s", id, epochAttr, wantEpoch)
+		}
+		if o.Quality != shard.QualityFull.String() {
+			st.violate(InvConvergesToHead,
+				"trace %s: post-heal response graded %q, want full — the cluster did not heal", id, o.Quality)
+		}
+	}
 }
 
 // checkClusterEpochs is the snapshot-epoch-consistent invariant: every

@@ -54,6 +54,93 @@ func TestClusterPartitionScenario(t *testing.T) {
 	}
 }
 
+// runResyncScenario runs a self-healing scenario twice under one seed,
+// asserting every invariant held (including converges-to-head-epoch)
+// and that the reports and observability artifacts are byte-identical.
+func runResyncScenario(t *testing.T, name string, seed int64) Report {
+	t.Helper()
+	sc, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("%s not in the suite", name)
+	}
+	var traceA, traceB, qlogA, qlogB bytes.Buffer
+	a, err := RunTraced(sc, seed, &traceA, &qlogA)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	for _, v := range a.Violations {
+		t.Errorf("invariant %s violated: %s", v.Invariant, v.Detail)
+	}
+	checked := false
+	for _, inv := range a.InvariantsChecked {
+		if inv == InvConvergesToHead {
+			checked = true
+		}
+	}
+	if !checked {
+		t.Errorf("resync run did not check %s: %v", InvConvergesToHead, a.InvariantsChecked)
+	}
+
+	b, err := RunTraced(sc, seed, &traceB, &qlogB)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("same-seed reports differ:\nA: %s\nB: %s", ja, jb)
+	}
+	if !bytes.Equal(traceA.Bytes(), traceB.Bytes()) {
+		t.Error("same-seed span trees differ")
+	}
+	if !bytes.Equal(qlogA.Bytes(), qlogB.Bytes()) {
+		t.Error("same-seed query logs differ")
+	}
+	return a
+}
+
+// TestShipDropThenResync: a dropped snapshot ship to a single-replica
+// node must be healed by the coordinator's anti-entropy re-ship, with
+// the stale window visible in the stale-reply counter first.
+func TestShipDropThenResync(t *testing.T) {
+	rep := runResyncScenario(t, "ship-drop-then-resync", 99)
+	if rep.ShipsDropped == 0 {
+		t.Errorf("scenario dropped no ships")
+	}
+	if rep.ResyncReships == 0 {
+		t.Errorf("reconciler re-shipped nothing; report: pulls=%d reships=%d", rep.ResyncPulls, rep.ResyncReships)
+	}
+	if rep.StaleReplies == 0 {
+		t.Errorf("stale window never observed: the dropped ship should leave the node answering old-epoch")
+	}
+}
+
+// TestWorkerCrashRestart: a worker killed after round 1 restarts from
+// its state dir (serving its persisted epoch immediately — asserted
+// inside the harness) and then pulls itself to head.
+func TestWorkerCrashRestart(t *testing.T) {
+	rep := runResyncScenario(t, "worker-crash-restart", 99)
+	if rep.StatePersists == 0 {
+		t.Errorf("stateful scenario persisted nothing")
+	}
+	if rep.ResyncPulls == 0 {
+		t.Errorf("restarted worker pulled nothing; report: pulls=%d reships=%d", rep.ResyncPulls, rep.ResyncReships)
+	}
+}
+
+// TestPartitionHeal: with a second replica hiding the partitioned
+// node, the run stays clean while both resync directions converge the
+// healed node to head.
+func TestPartitionHeal(t *testing.T) {
+	rep := runResyncScenario(t, "partition-heal", 99)
+	if rep.Partials != 0 || rep.ErrorsTotal != 0 {
+		t.Errorf("replicated heal was not clean: %d partials, %d errors", rep.Partials, rep.ErrorsTotal)
+	}
+	if rep.ResyncPulls+rep.ResyncReships == 0 {
+		t.Errorf("no resync activity despite the missed ships")
+	}
+}
+
 // TestEpochInvariantScopedToCluster: single-node scenarios must not
 // advertise the cluster-only epoch check.
 func TestEpochInvariantScopedToCluster(t *testing.T) {

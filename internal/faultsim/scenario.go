@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -70,13 +71,19 @@ const (
 	// A reshard concurrent with traffic must never tear a response
 	// across statistics generations.
 	InvSnapshotEpochConsistent = "snapshot-epoch-consistent"
+	// InvConvergesToHead (cluster scenarios with ClusterSpec.Resync):
+	// after the heal and the resync passes, every replica the final
+	// partition map names holds its shard at the head epoch, and every
+	// post-heal response is full quality at that epoch — snapshot
+	// distribution is convergent, not a one-shot broadcast.
+	InvConvergesToHead = "converges-to-head-epoch"
 )
 
 // AllInvariants lists every check the runner knows, in report order.
 var AllInvariants = []string{
 	InvNoSilentDegradation, InvNoPartialCached, InvCachedAccurate,
 	InvErrorsClassified, InvNoDeadlock, InvShutdownDrains, InvRecovers,
-	InvCleanRun, InvSnapshotEpochConsistent,
+	InvCleanRun, InvSnapshotEpochConsistent, InvConvergesToHead,
 }
 
 // Scenario is one named fault-injection run: a synthetic dataset and
@@ -243,6 +250,11 @@ type Report struct {
 	NetDrops             int64  `json:"net_drops,omitempty"`
 	NetDelays            int64  `json:"net_delays,omitempty"`
 	ShipsDropped         int64  `json:"ships_dropped,omitempty"`
+	// Self-healing activity (scenarios with ClusterSpec.Resync).
+	ResyncPulls    int64 `json:"resync_pulls,omitempty"`
+	ResyncReships  int64 `json:"resync_reships,omitempty"`
+	ResyncFailures int64 `json:"resync_failures,omitempty"`
+	StatePersists  int64 `json:"state_persists,omitempty"`
 
 	SimElapsedMillis int64 `json:"sim_elapsed_millis"`
 
@@ -269,22 +281,25 @@ type outcome struct {
 
 // runState carries everything one scenario run touches.
 type runState struct {
-	sc      Scenario
-	seed    int64
-	sim     *vclock.Sim
-	dist    *dataset.Distribution
-	queries []geom.Rect
-	refs    []float64
-	backend serve.Backend
-	coord   *cluster.Coordinator
-	net     *netTransport
-	workers []*cluster.Worker
-	inj     *Injector
-	srv     *serve.Server
-	reg     *telemetry.Registry
-	tracer  *reqtrace.Tracer
-	qlog    *reqtrace.QueryLog
-	qlogBuf *bytes.Buffer
+	sc         Scenario
+	seed       int64
+	sim        *vclock.Sim
+	dist       *dataset.Distribution
+	queries    []geom.Rect
+	refs       []float64
+	backend    serve.Backend
+	coord      *cluster.Coordinator
+	net        *netTransport
+	local      *cluster.Local
+	workers    []*cluster.Worker
+	workerCfgs []cluster.WorkerConfig
+	stateRoot  string
+	inj        *Injector
+	srv        *serve.Server
+	reg        *telemetry.Registry
+	tracer     *reqtrace.Tracer
+	qlog       *reqtrace.QueryLog
+	qlogBuf    *bytes.Buffer
 
 	mu       sync.Mutex
 	outcomes []outcome
@@ -358,6 +373,9 @@ func run(sc Scenario, seed int64) (*runState, error) {
 		st.disabled[name] = true
 	}
 	if err := st.setup(); err != nil {
+		if st.stateRoot != "" {
+			_ = os.RemoveAll(st.stateRoot) //spatialvet:ignore errdrop best-effort temp cleanup
+		}
 		return nil, err
 	}
 	st.replay()
@@ -365,7 +383,11 @@ func run(sc Scenario, seed int64) (*runState, error) {
 	st.checkRecovery()
 	st.checkSpanTrees()
 	st.checkClusterEpochs()
+	st.checkClusterConvergence()
 	st.finishReport()
+	if st.stateRoot != "" {
+		_ = os.RemoveAll(st.stateRoot) //spatialvet:ignore errdrop best-effort temp cleanup
+	}
 	return st, nil
 }
 
@@ -517,11 +539,20 @@ func (st *runState) replay() {
 		if st.sc.MidRunAnalyze && round == 0 {
 			st.midRunAnalyze(runCtx)
 		}
+		if st.sc.Cluster != nil && st.sc.Cluster.Crash != nil &&
+			round == st.sc.Cluster.Crash.AfterRound {
+			st.crashRestart(st.sc.Cluster.Crash.Node)
+		}
 		if st.sc.FaultRounds > 0 && round+1 == st.sc.FaultRounds {
 			// The storm is over: stop injecting and let the breaker
 			// cooldowns elapse, so the remaining rounds replay recovery.
 			st.setInjectionDisabled(true)
 			st.sim.Advance(st.sc.PostFaultAdvance)
+			// With the network healed, drive the scenario's self-healing
+			// passes so the remaining rounds observe convergence.
+			if st.sc.Cluster != nil && st.sc.Cluster.Resync != "" {
+				st.resyncCluster()
+			}
 		}
 	}
 	close(stopDriver)
@@ -814,6 +845,10 @@ func (st *runState) finishReport() {
 		r.NetDrops = st.net.Drops.Load()
 		r.NetDelays = st.net.Delays.Load()
 		r.ShipsDropped = st.net.ShipDrops.Load()
+		r.ResyncPulls = st.counterValue("cluster_resync_pulls_total")
+		r.ResyncReships = st.counterValue("cluster_resync_reships_total")
+		r.ResyncFailures = st.counterValue("cluster_resync_failures_total")
+		r.StatePersists = st.counterValue("cluster_state_persists_total")
 	}
 	r.TracesRetained = len(st.tracer.Recent())
 	r.TracesSampled = len(st.tracer.Sampled())
@@ -910,6 +945,9 @@ func (st *runState) finishReport() {
 			continue
 		}
 		if inv == InvSnapshotEpochConsistent && st.sc.Cluster == nil {
+			continue
+		}
+		if inv == InvConvergesToHead && (st.sc.Cluster == nil || st.sc.Cluster.Resync == "") {
 			continue
 		}
 		r.InvariantsChecked = append(r.InvariantsChecked, inv)

@@ -211,6 +211,60 @@ func Suite() []Scenario {
 			},
 		},
 		{
+			Name: "ship-drop-then-resync",
+			Description: "mid-run reshard whose ship to a single-replica node is dropped; the node serves stale until " +
+				"the anti-entropy reconciler re-ships the gap, after which every node and the final rounds converge to head",
+			Workers:       1,
+			Rounds:        4,
+			FaultRounds:   2,
+			MidRunAnalyze: true,
+			CacheSize:     -1, // resync must be observed by live traffic, not replayed cache hits
+			Resilience:    resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:    3,
+				Replicas: 1,
+				Resync:   "reconcile",
+				Net:      NetFaults{ShipDropNodes: []int{1}},
+			},
+		},
+		{
+			Name: "worker-crash-restart",
+			Description: "a stateful worker is crashed after round 1 and restarted from its state dir; it must serve its " +
+				"persisted epoch immediately, then pull itself to head so the final rounds are fully converged",
+			Workers:       1,
+			Rounds:        4,
+			FaultRounds:   2,
+			MidRunAnalyze: true,
+			CacheSize:     -1,
+			Resilience:    resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:     3,
+				Replicas:  1,
+				Resync:    "pull",
+				StateDirs: true,
+				Net:       NetFaults{ShipDropNodes: []int{1}},
+				Crash:     &CrashSpec{Node: 1, AfterRound: 1},
+			},
+		},
+		{
+			Name: "partition-heal",
+			Description: "a replicated worker partitioned through a mid-run reshard misses its ships; after the heal " +
+				"both resync directions (worker pull + reconciler re-ship) race benignly to converge it, and the run stays clean",
+			Workers:       1,
+			Rounds:        4,
+			FaultRounds:   2,
+			MidRunAnalyze: true,
+			ExpectClean:   true,
+			CacheSize:     -1,
+			Resilience:    resilienceNoHedge(),
+			Cluster: &ClusterSpec{
+				Nodes:    3,
+				Replicas: 2,
+				Resync:   "both",
+				Net:      NetFaults{PartitionNodes: []int{0}},
+			},
+		},
+		{
 			Name:          "chaos",
 			Description:   "delays, errors, panics, slow shards, rebuild failures and queue pressure together",
 			Workers:       12,

@@ -228,6 +228,10 @@ type Trace struct {
 // began, on the injected clock.
 func (tr *Trace) nowNS() int64 { return int64(tr.clk.Since(tr.start)) }
 
+// nsAt converts an absolute clock reading to trace-relative
+// nanoseconds (see Span.EndNoLaterThan).
+func (tr *Trace) nsAt(t time.Time) int64 { return int64(t.Sub(tr.start)) }
+
 // Root returns the root span (nil on a nil receiver).
 func (tr *Trace) Root() *Span {
 	if tr == nil {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // openEnd marks a span that has not ended yet; it serializes as
@@ -122,6 +123,28 @@ func (s *Span) End() {
 		return
 	}
 	ns := s.tr.nowNS()
+	s.mu.Lock()
+	if s.endNS == openEnd {
+		s.endNS = ns
+	}
+	s.mu.Unlock()
+}
+
+// EndNoLaterThan closes the span at t or the current clock reading,
+// whichever is earlier. An operation abandoned at a deadline uses this
+// to record the deadline as its end: the goroutine observing the
+// expiry may be scheduled after the clock has moved on, and stamping
+// its late wake-up time would make the trace depend on goroutine
+// scheduling rather than on when the operation logically ended.
+// Ending twice keeps the first end time. No-op on a nil receiver.
+func (s *Span) EndNoLaterThan(t time.Time) {
+	if s == nil {
+		return
+	}
+	ns := s.tr.nsAt(t)
+	if now := s.tr.nowNS(); now < ns {
+		ns = now
+	}
 	s.mu.Lock()
 	if s.endNS == openEnd {
 		s.endNS = ns
